@@ -1,0 +1,286 @@
+//! Ensembling strategies: greedy selection (AutoSklearn), out-of-fold
+//! stacking (AutoGluon) and the GLM super learner (H2O).
+
+use linalg::decomp::ridge_solve;
+use linalg::{Matrix, Rng};
+use ml::cv::stratified_kfold;
+use ml::dataset::TabularData;
+use ml::metrics::f1_at_threshold;
+use ml::Classifier;
+
+/// Greedy (Caruana) ensemble selection: repeatedly add the model — with
+/// replacement — whose inclusion maximizes validation F1 of the averaged
+/// probabilities. Returns per-model weights summing to 1.
+///
+/// This is AutoSklearn's post-processing step verbatim.
+pub fn greedy_selection(
+    val_probs: &[Vec<f32>],
+    val_labels: &[bool],
+    max_members: usize,
+) -> Vec<f32> {
+    assert!(!val_probs.is_empty(), "no models to select from");
+    let n = val_probs[0].len();
+    assert!(val_probs.iter().all(|p| p.len() == n), "ragged probabilities");
+    let mut counts = vec![0usize; val_probs.len()];
+    let mut ensemble_sum = vec![0.0f32; n];
+    let mut members = 0usize;
+    let mut best_f1 = -1.0f64;
+    for _ in 0..max_members {
+        let mut best_add: Option<(usize, f64)> = None;
+        for (m, probs) in val_probs.iter().enumerate() {
+            // score of ensemble ∪ {m}
+            let scale = 1.0 / (members + 1) as f32;
+            let cand: Vec<f32> = ensemble_sum
+                .iter()
+                .zip(probs)
+                .map(|(&s, &p)| (s + p) * scale)
+                .collect();
+            let f1 = best_f1_over_thresholds(&cand, val_labels);
+            if best_add.is_none_or(|(_, b)| f1 > b) {
+                best_add = Some((m, f1));
+            }
+        }
+        let (m, f1) = best_add.expect("at least one model");
+        if f1 <= best_f1 && members >= 1 {
+            break; // no further improvement
+        }
+        best_f1 = f1;
+        counts[m] += 1;
+        for (s, &p) in ensemble_sum.iter_mut().zip(&val_probs[m]) {
+            *s += p;
+        }
+        members += 1;
+    }
+    let total = members.max(1) as f32;
+    counts.iter().map(|&c| c as f32 / total).collect()
+}
+
+/// Max F1 over a coarse threshold sweep (selection metric — cheaper than
+/// the exact sweep and smooth enough for greedy selection).
+fn best_f1_over_thresholds(probs: &[f32], labels: &[bool]) -> f64 {
+    let mut best: f64 = 0.0;
+    for t in 1..20 {
+        let thr = t as f32 / 20.0;
+        best = best.max(f1_at_threshold(probs, labels, thr));
+    }
+    best
+}
+
+/// Weighted average of model probabilities.
+pub fn weighted_average(probs: &[Vec<f32>], weights: &[f32]) -> Vec<f32> {
+    assert_eq!(probs.len(), weights.len(), "weights/models mismatch");
+    assert!(!probs.is_empty(), "empty ensemble");
+    let n = probs[0].len();
+    let mut out = vec![0.0f32; n];
+    let wsum: f32 = weights.iter().sum();
+    let norm = if wsum > 0.0 { wsum } else { 1.0 };
+    for (p, &w) in probs.iter().zip(weights) {
+        for (o, &v) in out.iter_mut().zip(p) {
+            *o += v * w / norm;
+        }
+    }
+    out
+}
+
+/// Out-of-fold predictions: train a fresh copy of `template` on each
+/// k-fold train side and predict its validation side. Returns one
+/// probability per training row, plus the per-fold fitted models.
+pub fn out_of_fold(
+    template: &dyn Classifier,
+    data: &TabularData,
+    k: usize,
+    rng: &mut Rng,
+) -> (Vec<f32>, Vec<Box<dyn Classifier>>) {
+    let folds = stratified_kfold(&data.y, k, rng);
+    let mut oof = vec![0.0f32; data.len()];
+    let mut models = Vec::with_capacity(k);
+    for (train_idx, valid_idx) in folds {
+        let train = data.select(&train_idx);
+        let mut model = template.fresh();
+        model.fit(&train.x, &train.y);
+        let valid_x = data.x.select_rows(&valid_idx);
+        let preds = model.predict_proba(&valid_x);
+        for (&i, &p) in valid_idx.iter().zip(&preds) {
+            oof[i] = p;
+        }
+        models.push(model);
+    }
+    (oof, models)
+}
+
+/// A bagged base model: the average of its per-fold members (AutoGluon
+/// serves the bag average at inference time).
+pub struct BaggedModel {
+    members: Vec<Box<dyn Classifier>>,
+    /// Out-of-fold probabilities on the training data (stacker features).
+    pub oof: Vec<f32>,
+    name: String,
+}
+
+impl BaggedModel {
+    /// Bag `template` over `k` stratified folds of `data`.
+    pub fn fit(template: &dyn Classifier, data: &TabularData, k: usize, rng: &mut Rng) -> Self {
+        let (oof, members) = out_of_fold(template, data, k, rng);
+        Self {
+            members,
+            oof,
+            name: template.name(),
+        }
+    }
+
+    /// Average probability across fold members.
+    pub fn predict_proba(&self, x: &Matrix) -> Vec<f32> {
+        let mut out = vec![0.0f32; x.rows()];
+        for m in &self.members {
+            for (o, p) in out.iter_mut().zip(m.predict_proba(x)) {
+                *o += p;
+            }
+        }
+        let inv = 1.0 / self.members.len() as f32;
+        out.iter_mut().for_each(|o| *o *= inv);
+        out
+    }
+
+    /// Base-model name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// Ridge-GLM metalearner over base-model probabilities — the H2O super
+/// learner. Weights are fitted on out-of-fold probabilities (never on
+/// in-fold ones, which would leak) with an intercept term.
+pub struct GlmMetalearner {
+    /// Per-base-model coefficients.
+    pub coefs: Vec<f32>,
+    /// Intercept.
+    pub intercept: f32,
+}
+
+impl GlmMetalearner {
+    /// Fit on the `(n_rows × n_models)` out-of-fold probability matrix.
+    pub fn fit(oof: &Matrix, y: &[f32], lambda: f32) -> Self {
+        // design matrix with intercept column
+        let ones = Matrix::full(oof.rows(), 1, 1.0);
+        let design = ones.hstack(oof);
+        let w = ridge_solve(&design, y, lambda);
+        Self {
+            intercept: w[0],
+            coefs: w[1..].to_vec(),
+        }
+    }
+
+    /// Combine base probabilities into a final score, clamped to `[0, 1]`.
+    pub fn predict(&self, base_probs: &[Vec<f32>]) -> Vec<f32> {
+        assert_eq!(base_probs.len(), self.coefs.len(), "model count mismatch");
+        let n = base_probs.first().map_or(0, Vec::len);
+        let mut out = vec![self.intercept; n];
+        for (probs, &c) in base_probs.iter().zip(&self.coefs) {
+            for (o, &p) in out.iter_mut().zip(probs) {
+                *o += c * p;
+            }
+        }
+        out.iter_mut().for_each(|o| *o = o.clamp(0.0, 1.0));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ml::linear::{LinearConfig, LogisticRegression};
+
+    fn labels(n: usize) -> Vec<bool> {
+        (0..n).map(|i| i % 3 == 0).collect()
+    }
+
+    #[test]
+    fn greedy_prefers_the_good_model() {
+        let y = labels(60);
+        let perfect: Vec<f32> = y.iter().map(|&b| if b { 0.9 } else { 0.1 }).collect();
+        let noise: Vec<f32> = (0..60).map(|i| ((i * 37) % 100) as f32 / 100.0).collect();
+        let anti: Vec<f32> = y.iter().map(|&b| if b { 0.1 } else { 0.9 }).collect();
+        let w = greedy_selection(&[noise, perfect, anti], &y, 10);
+        assert!(w[1] > 0.8, "{w:?}");
+        assert!((w.iter().sum::<f32>() - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn greedy_combines_complementary_models() {
+        // model A perfect on first half, random on second; B the reverse
+        let y = labels(80);
+        let a: Vec<f32> = y
+            .iter()
+            .enumerate()
+            .map(|(i, &b)| if i < 40 { if b { 0.9 } else { 0.1 } } else { 0.5 })
+            .collect();
+        let b: Vec<f32> = y
+            .iter()
+            .enumerate()
+            .map(|(i, &l)| if i >= 40 { if l { 0.9 } else { 0.1 } } else { 0.5 })
+            .collect();
+        let w = greedy_selection(&[a.clone(), b.clone()], &y, 12);
+        // both should participate
+        assert!(w[0] > 0.2 && w[1] > 0.2, "{w:?}");
+        let combined = weighted_average(&[a, b], &w);
+        let f1 = best_f1_over_thresholds(&combined, &y);
+        assert!(f1 > 95.0, "{f1}");
+    }
+
+    #[test]
+    fn weights_form_simplex() {
+        let y = labels(30);
+        let models: Vec<Vec<f32>> = (0..5)
+            .map(|m| (0..30).map(|i| ((i * (m + 2)) % 10) as f32 / 10.0).collect())
+            .collect();
+        let w = greedy_selection(&models, &y, 8);
+        assert!((w.iter().sum::<f32>() - 1.0).abs() < 1e-5);
+        assert!(w.iter().all(|&x| (0.0..=1.0).contains(&x)));
+    }
+
+    #[test]
+    fn oof_has_no_leakage_shape() {
+        // every row gets exactly one OOF prediction; model count == k
+        let mut rng = Rng::new(1);
+        let rows: Vec<Vec<f32>> = (0..40).map(|i| vec![i as f32, (i % 7) as f32]).collect();
+        let y: Vec<f32> = (0..40).map(|i| if i % 2 == 0 { 1.0 } else { 0.0 }).collect();
+        let data = TabularData::new(Matrix::from_rows(&rows), y);
+        let template = LogisticRegression::new(LinearConfig { epochs: 3, ..LinearConfig::default() });
+        let (oof, models) = out_of_fold(&template, &data, 4, &mut rng);
+        assert_eq!(oof.len(), 40);
+        assert_eq!(models.len(), 4);
+        assert!(oof.iter().all(|p| (0.0..=1.0).contains(p)));
+    }
+
+    #[test]
+    fn bagged_model_predicts_and_names() {
+        let mut rng = Rng::new(2);
+        let rows: Vec<Vec<f32>> = (0..60).map(|i| vec![(i as f32) / 30.0 - 1.0]).collect();
+        let y: Vec<f32> = (0..60).map(|i| if i >= 30 { 1.0 } else { 0.0 }).collect();
+        let data = TabularData::new(Matrix::from_rows(&rows), y);
+        let template = LogisticRegression::default();
+        let bag = BaggedModel::fit(&template, &data, 3, &mut rng);
+        assert!(bag.name().starts_with("logreg"));
+        let probs = bag.predict_proba(&data.x);
+        // monotone feature → later rows should have higher probability
+        assert!(probs[55] > probs[5]);
+    }
+
+    #[test]
+    fn glm_metalearner_recovers_best_model() {
+        // base model 0 is informative, model 1 is noise
+        let n = 200;
+        let y: Vec<f32> = (0..n).map(|i| if i % 4 == 0 { 1.0 } else { 0.0 }).collect();
+        let good: Vec<f32> = y.iter().map(|&v| 0.8 * v + 0.1).collect();
+        let noise: Vec<f32> = (0..n).map(|i| ((i * 13) % 100) as f32 / 100.0).collect();
+        let oof = Matrix::from_fn(n, 2, |i, j| if j == 0 { good[i] } else { noise[i] });
+        let meta = GlmMetalearner::fit(&oof, &y, 1e-3);
+        assert!(
+            meta.coefs[0].abs() > 5.0 * meta.coefs[1].abs(),
+            "{:?}",
+            meta.coefs
+        );
+        let preds = meta.predict(&[good, noise]);
+        assert!(preds.iter().all(|p| (0.0..=1.0).contains(p)));
+    }
+}

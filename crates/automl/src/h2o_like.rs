@@ -1,0 +1,240 @@
+//! H2OAutoML-style system: fast random search over the model space plus
+//! stacked ensembles ("super learner") with a ridge-GLM metalearner —
+//! the combination the paper's §2 describes in place of Bayesian
+//! optimization.
+//!
+//! Like the real tool, the run can finish *before* the budget is gone: the
+//! random search is capped, which is why Table 2 reports 0.74–0.97 h
+//! against a 1-hour limit.
+
+use crate::budget::{fit_cost, Budget, ModelFamily};
+use crate::ensemble::{out_of_fold, GlmMetalearner};
+use crate::leaderboard::{FitReport, Leaderboard};
+use crate::space::{h2o_families, Candidate};
+use crate::AutoMlSystem;
+use linalg::{Matrix, Rng};
+use ml::dataset::TabularData;
+use ml::metrics::best_f1_threshold;
+use ml::Classifier;
+
+/// Random-search cap (the tool's `max_models` knob).
+const MAX_MODELS: usize = 24;
+/// Members of the super learner (top models by validation F1).
+const STACK_TOP: usize = 6;
+/// Folds used to build leak-free metalearner features.
+const K_FOLDS: usize = 4;
+
+/// The H2OAutoML-style engine. See module docs.
+pub struct H2oStyle {
+    seed: u64,
+    members: Vec<Box<dyn Classifier>>,
+    meta: Option<GlmMetalearner>,
+    /// Index of the best single model (used when stacking doesn't help).
+    best_single: usize,
+    threshold: f32,
+}
+
+impl H2oStyle {
+    /// New engine with a deterministic seed.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            seed,
+            members: Vec::new(),
+            meta: None,
+            best_single: 0,
+            threshold: 0.5,
+        }
+    }
+}
+
+impl AutoMlSystem for H2oStyle {
+    fn name(&self) -> &'static str {
+        "H2OAutoML"
+    }
+
+    fn fit(&mut self, train: &TabularData, valid: &TabularData, budget: &mut Budget) -> FitReport {
+        let mut rng = Rng::new(self.seed ^ 0x420);
+        let families = h2o_families();
+        let valid_labels = valid.labels_bool();
+        let mut leaderboard = Leaderboard::new();
+
+        // --- fast random search -----------------------------------------
+        // reserve a slice of the budget for the stacking stage
+        let stack_reserve =
+            K_FOLDS as f64 * fit_cost(ModelFamily::Gbm, train.len()) * STACK_TOP as f64 * 0.3;
+        type Evaluated = (Candidate, Box<dyn Classifier>, Vec<f32>, f64);
+        let mut evaluated: Vec<Evaluated> = Vec::new();
+        let mut eval_idx = 0u64;
+        while evaluated.len() < MAX_MODELS {
+            let candidate = Candidate::sample(&families, &mut rng);
+            let cost = fit_cost(candidate.family, train.len());
+            if budget.remaining() - cost < stack_reserve.min(budget.remaining() * 0.5)
+                || !budget.can_afford(cost)
+            {
+                break;
+            }
+            let mut model = candidate.build(self.seed.wrapping_add(eval_idx));
+            eval_idx += 1;
+            model.fit(&train.x, &train.y);
+            let probs = model.predict_proba(&valid.x);
+            let (_, f1) = best_f1_threshold(&probs, &valid_labels);
+            budget.consume(cost);
+            leaderboard.push(model.name(), f1, cost);
+            evaluated.push((candidate, model, probs, f1));
+        }
+        assert!(
+            !evaluated.is_empty(),
+            "budget too small for even one H2O evaluation"
+        );
+
+        // rank by validation F1, keep the stack members
+        evaluated.sort_by(|a, b| b.3.partial_cmp(&a.3).expect("finite F1"));
+        evaluated.truncate(STACK_TOP.max(1));
+
+        // --- super learner ------------------------------------------------
+        // leak-free metalearner features: out-of-fold probabilities
+        let mut oof_cols: Vec<Vec<f32>> = Vec::new();
+        let mut kept: Vec<Evaluated> = Vec::new();
+        for (cand, model, vprobs, f1) in evaluated {
+            let oof_cost = K_FOLDS as f64
+                * fit_cost(cand.family, train.len() * (K_FOLDS - 1) / K_FOLDS)
+                * 0.5; // folds are smaller and reuse binning work
+            if budget.can_afford(oof_cost) {
+                let mut fold_rng = rng.fork(oof_cols.len() as u64);
+                let (oof, _) = out_of_fold(model.as_ref(), train, K_FOLDS, &mut fold_rng);
+                budget.consume(oof_cost);
+                oof_cols.push(oof);
+            }
+            kept.push((cand, model, vprobs, f1));
+        }
+
+        let single_val = kept[0].2.clone();
+        let (single_t, single_f1) = best_f1_threshold(&single_val, &valid_labels);
+        let mut best = (single_f1, single_t, false);
+
+        if oof_cols.len() >= 2 {
+            let oof =
+                Matrix::from_fn(train.len(), oof_cols.len(), |i, m| oof_cols[m][i]);
+            let meta = GlmMetalearner::fit(&oof, &train.y, 1e-2);
+            let member_val: Vec<Vec<f32>> = kept
+                .iter()
+                .take(oof_cols.len())
+                .map(|(_, _, p, _)| p.clone())
+                .collect();
+            let stacked_val = meta.predict(&member_val);
+            let (st, sf1) = best_f1_threshold(&stacked_val, &valid_labels);
+            leaderboard.push("super_learner[glm]".to_owned(), sf1, 0.0);
+            if sf1 >= best.0 {
+                best = (sf1, st, true);
+                self.meta = Some(meta);
+            }
+        }
+
+        let n_meta = oof_cols.len();
+        self.members = kept.into_iter().map(|(_, m, _, _)| m).collect();
+        if best.2 {
+            self.members.truncate(n_meta);
+        }
+        self.best_single = 0;
+        self.threshold = best.1;
+        FitReport {
+            units_used: budget.used(),
+            hours_used: budget.used_hours(),
+            val_f1: best.0,
+            threshold: best.1,
+            leaderboard,
+        }
+    }
+
+    fn predict_proba(&self, x: &Matrix) -> Vec<f32> {
+        assert!(!self.members.is_empty(), "predict before fit");
+        match &self.meta {
+            Some(meta) => {
+                let base: Vec<Vec<f32>> =
+                    self.members.iter().map(|m| m.predict_proba(x)).collect();
+                meta.predict(&base)
+            }
+            None => self.members[self.best_single].predict_proba(x),
+        }
+    }
+
+    fn threshold(&self) -> f32 {
+        self.threshold
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ml::metrics::f1_score;
+
+    fn blob_data(n: usize, seed: u64) -> TabularData {
+        let mut rng = Rng::new(seed);
+        let mut rows = Vec::with_capacity(n);
+        let mut y = Vec::with_capacity(n);
+        for _ in 0..n {
+            let pos = rng.chance(0.25);
+            let c = if pos { 1.3f32 } else { -1.3 };
+            rows.push(vec![c + rng.normal(), rng.normal()]);
+            y.push(if pos { 1.0 } else { 0.0 });
+        }
+        TabularData::new(Matrix::from_rows(&rows), y)
+    }
+
+    #[test]
+    fn end_to_end() {
+        let train = blob_data(300, 1);
+        let valid = blob_data(120, 2);
+        let test = blob_data(120, 3);
+        let mut sys = H2oStyle::new(11);
+        let mut budget = Budget::hours(1.0);
+        let report = sys.fit(&train, &valid, &mut budget);
+        assert!(report.leaderboard.len() >= 3);
+        let f1 = f1_score(&sys.predict(&test.x), &test.labels_bool());
+        assert!(f1 > 85.0, "F1 {f1}");
+    }
+
+    #[test]
+    fn can_finish_under_budget() {
+        // tiny dataset: the MAX_MODELS cap stops the search early
+        let train = blob_data(80, 4);
+        let valid = blob_data(40, 5);
+        let mut sys = H2oStyle::new(2);
+        let mut budget = Budget::hours(10.0);
+        sys.fit(&train, &valid, &mut budget);
+        assert!(!budget.exhausted());
+        assert!(budget.used_hours() < 5.0);
+    }
+
+    #[test]
+    fn deterministic() {
+        let train = blob_data(200, 6);
+        let valid = blob_data(80, 7);
+        let run = || {
+            let mut sys = H2oStyle::new(3);
+            let mut budget = Budget::hours(1.0);
+            sys.fit(&train, &valid, &mut budget);
+            sys.predict_proba(&valid.x)
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn stacking_never_selected_when_worse() {
+        // with a nearly perfect single model the chosen val F1 must be at
+        // least the best single model's F1
+        let train = blob_data(250, 8);
+        let valid = blob_data(100, 9);
+        let mut sys = H2oStyle::new(4);
+        let mut budget = Budget::hours(2.0);
+        let report = sys.fit(&train, &valid, &mut budget);
+        let best_single = report
+            .leaderboard
+            .entries()
+            .iter()
+            .filter(|e| !e.model.starts_with("super_learner"))
+            .map(|e| e.val_f1)
+            .fold(f64::MIN, f64::max);
+        assert!(report.val_f1 >= best_single - 1e-9);
+    }
+}

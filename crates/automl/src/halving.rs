@@ -1,0 +1,252 @@
+//! Successive halving: a budget-aware search strategy that trains many
+//! cheap configurations on a data subsample and promotes only the top
+//! fraction to larger subsamples.
+//!
+//! Not one of the paper's three systems — included as the natural "next
+//! generation" search the AutoML literature proposes (Hyperband/ASHA class)
+//! and used by the `ablations` bench to compare search strategies under
+//! the same budget accounting.
+
+use crate::budget::{fit_cost, Budget};
+use crate::leaderboard::{FitReport, Leaderboard};
+use crate::space::{sklearn_families, Candidate};
+use crate::AutoMlSystem;
+use linalg::{Matrix, Rng};
+use ml::cv::stratified_holdout;
+use ml::dataset::TabularData;
+use ml::metrics::best_f1_threshold;
+use ml::Classifier;
+
+/// Successive-halving configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct HalvingConfig {
+    /// Configurations sampled in the first rung.
+    pub initial_population: usize,
+    /// Fraction promoted between rungs (η⁻¹; 1/3 is the ASHA default).
+    pub keep_fraction: f64,
+    /// Training-subsample fraction of the first rung (doubles per rung,
+    /// capped at 1.0).
+    pub initial_subsample: f64,
+}
+
+impl Default for HalvingConfig {
+    fn default() -> Self {
+        Self {
+            initial_population: 18,
+            keep_fraction: 1.0 / 3.0,
+            initial_subsample: 0.25,
+        }
+    }
+}
+
+/// The successive-halving engine.
+pub struct SuccessiveHalving {
+    seed: u64,
+    config: HalvingConfig,
+    best: Option<Box<dyn Classifier>>,
+    threshold: f32,
+}
+
+impl SuccessiveHalving {
+    /// New engine with a deterministic seed and default rungs.
+    pub fn new(seed: u64) -> Self {
+        Self::with_config(seed, HalvingConfig::default())
+    }
+
+    /// New engine with explicit halving parameters.
+    pub fn with_config(seed: u64, config: HalvingConfig) -> Self {
+        Self {
+            seed,
+            config,
+            best: None,
+            threshold: 0.5,
+        }
+    }
+}
+
+impl AutoMlSystem for SuccessiveHalving {
+    fn name(&self) -> &'static str {
+        "SuccessiveHalving"
+    }
+
+    fn fit(&mut self, train: &TabularData, valid: &TabularData, budget: &mut Budget) -> FitReport {
+        let mut rng = Rng::new(self.seed ^ 0x5A1);
+        let families = sklearn_families();
+        let valid_labels = valid.labels_bool();
+        let mut leaderboard = Leaderboard::new();
+
+        // rung 0 population
+        let mut population: Vec<(Candidate, f64)> = (0..self.config.initial_population)
+            .map(|_| (Candidate::sample(&families, &mut rng), f64::MIN))
+            .collect();
+        let mut subsample = self.config.initial_subsample;
+        let mut survivors: Vec<(Candidate, Box<dyn Classifier>, Vec<f32>, f64)> = Vec::new();
+        let mut eval_idx = 0u64;
+        let mut rung = 0usize;
+        loop {
+            let rows = ((train.len() as f64 * subsample) as usize).clamp(
+                2.max(valid_labels.len().min(8)),
+                train.len(),
+            );
+            // deterministic per-rung subsample (stratified so tiny rungs
+            // keep both classes)
+            let subset = if rows < train.len() {
+                let mut sub_rng = rng.fork(rung as u64);
+                let (keep, _) =
+                    stratified_holdout(&train.y, 1.0 - rows as f64 / train.len() as f64, &mut sub_rng);
+                train.select(&keep)
+            } else {
+                train.clone()
+            };
+            let mut rung_results: Vec<(Candidate, Box<dyn Classifier>, Vec<f32>, f64)> =
+                Vec::new();
+            for (cand, score) in population.iter_mut() {
+                let cost = fit_cost(cand.family, subset.len());
+                if !budget.can_afford(cost) {
+                    break;
+                }
+                let mut model = cand.build(self.seed.wrapping_add(eval_idx));
+                eval_idx += 1;
+                model.fit(&subset.x, &subset.y);
+                let probs = model.predict_proba(&valid.x);
+                let (_, f1) = best_f1_threshold(&probs, &valid_labels);
+                budget.consume(cost);
+                leaderboard.push(
+                    format!("rung{rung}[{}]", model.name()),
+                    f1,
+                    cost,
+                );
+                *score = f1;
+                rung_results.push((cand.clone(), model, probs, f1));
+            }
+            if rung_results.is_empty() {
+                // this rung could not afford a single fit; keep the previous
+                // rung's survivors as the final population
+                break;
+            }
+            survivors = rung_results;
+            // promote the top fraction
+            survivors.sort_by(|a, b| b.3.partial_cmp(&a.3).expect("finite F1"));
+            let keep = ((survivors.len() as f64 * self.config.keep_fraction).ceil() as usize)
+                .max(1);
+            if keep == 1 || subsample >= 1.0 || budget.exhausted() {
+                break;
+            }
+            population = survivors
+                .iter()
+                .take(keep)
+                .map(|(c, _, _, s)| (c.clone(), *s))
+                .collect();
+            subsample = (subsample * 2.0).min(1.0);
+            rung += 1;
+        }
+
+        assert!(
+            !survivors.is_empty(),
+            "budget too small for even one halving evaluation"
+        );
+        let (_, model, probs, _) = survivors.swap_remove(0);
+        let (threshold, val_f1) = best_f1_threshold(&probs, &valid_labels);
+        self.best = Some(model);
+        self.threshold = threshold;
+        FitReport {
+            units_used: budget.used(),
+            hours_used: budget.used_hours(),
+            val_f1,
+            threshold,
+            leaderboard,
+        }
+    }
+
+    fn predict_proba(&self, x: &Matrix) -> Vec<f32> {
+        self.best
+            .as_ref()
+            .expect("predict before fit")
+            .predict_proba(x)
+    }
+
+    fn threshold(&self) -> f32 {
+        self.threshold
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blob_data(n: usize, seed: u64) -> TabularData {
+        let mut rng = Rng::new(seed);
+        let mut rows = Vec::with_capacity(n);
+        let mut y = Vec::with_capacity(n);
+        for _ in 0..n {
+            let pos = rng.chance(0.3);
+            let c = if pos { 1.3f32 } else { -1.3 };
+            rows.push(vec![c + rng.normal(), -c + rng.normal()]);
+            y.push(if pos { 1.0 } else { 0.0 });
+        }
+        TabularData::new(Matrix::from_rows(&rows), y)
+    }
+
+    #[test]
+    fn end_to_end() {
+        let train = blob_data(400, 1);
+        let valid = blob_data(150, 2);
+        let test = blob_data(150, 3);
+        let mut sys = SuccessiveHalving::new(7);
+        let mut budget = Budget::hours(1.0);
+        let report = sys.fit(&train, &valid, &mut budget);
+        assert!(report.leaderboard.len() >= HalvingConfig::default().initial_population / 2);
+        let f1 = ml::metrics::f1_score(&sys.predict(&test.x), &test.labels_bool());
+        assert!(f1 > 85.0, "F1 {f1}");
+    }
+
+    #[test]
+    fn rungs_promote_fewer_models_on_more_data() {
+        let train = blob_data(600, 4);
+        let valid = blob_data(150, 5);
+        let mut sys = SuccessiveHalving::new(3);
+        let mut budget = Budget::hours(2.0);
+        let report = sys.fit(&train, &valid, &mut budget);
+        // rung labels must show at least two rungs and rung-1 strictly
+        // smaller than rung-0
+        let rung0 = report
+            .leaderboard
+            .entries()
+            .iter()
+            .filter(|e| e.model.starts_with("rung0"))
+            .count();
+        let rung1 = report
+            .leaderboard
+            .entries()
+            .iter()
+            .filter(|e| e.model.starts_with("rung1"))
+            .count();
+        assert!(rung0 > 0);
+        assert!(rung1 > 0, "expected a second rung");
+        assert!(rung1 < rung0, "rung1 {rung1} !< rung0 {rung0}");
+    }
+
+    #[test]
+    fn deterministic() {
+        let train = blob_data(200, 6);
+        let valid = blob_data(80, 7);
+        let run = || {
+            let mut sys = SuccessiveHalving::new(5);
+            let mut budget = Budget::hours(0.5);
+            sys.fit(&train, &valid, &mut budget);
+            sys.predict_proba(&valid.x)
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn cheap_budget_still_yields_a_model() {
+        let train = blob_data(300, 8);
+        let valid = blob_data(100, 9);
+        let mut sys = SuccessiveHalving::new(1);
+        let mut budget = Budget::units(1.5);
+        let report = sys.fit(&train, &valid, &mut budget);
+        assert!(!report.leaderboard.is_empty());
+        assert!((0.0..=1.0).contains(&sys.threshold()));
+    }
+}

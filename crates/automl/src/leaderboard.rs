@@ -1,0 +1,87 @@
+//! Search-run reporting: leaderboards and fit reports.
+
+/// One evaluated model in a search run.
+#[derive(Debug, Clone)]
+pub struct LeaderboardEntry {
+    /// Human-readable model description.
+    pub model: String,
+    /// Validation F1 (percentage points) at the model's best threshold.
+    pub val_f1: f64,
+    /// Budget units this fit consumed.
+    pub cost_units: f64,
+}
+
+/// All models evaluated during a search, in evaluation order.
+#[derive(Debug, Clone, Default)]
+pub struct Leaderboard {
+    entries: Vec<LeaderboardEntry>,
+}
+
+impl Leaderboard {
+    /// Empty leaderboard.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one evaluation.
+    pub fn push(&mut self, model: String, val_f1: f64, cost_units: f64) {
+        self.entries.push(LeaderboardEntry {
+            model,
+            val_f1,
+            cost_units,
+        });
+    }
+
+    /// Entries in evaluation order.
+    pub fn entries(&self) -> &[LeaderboardEntry] {
+        &self.entries
+    }
+
+    /// Number of evaluations.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing was evaluated.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The best entry by validation F1.
+    pub fn best(&self) -> Option<&LeaderboardEntry> {
+        self.entries
+            .iter()
+            .max_by(|a, b| a.val_f1.partial_cmp(&b.val_f1).expect("finite F1"))
+    }
+}
+
+/// Summary of one AutoML `fit` run.
+#[derive(Debug, Clone)]
+pub struct FitReport {
+    /// Budget units consumed.
+    pub units_used: f64,
+    /// Consumed budget expressed in paper-hours.
+    pub hours_used: f64,
+    /// Validation F1 of the final (possibly ensembled) predictor.
+    pub val_f1: f64,
+    /// Decision threshold tuned on validation data.
+    pub threshold: f32,
+    /// Every model evaluated along the way.
+    pub leaderboard: Leaderboard,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn best_picks_max_f1() {
+        let mut lb = Leaderboard::new();
+        assert!(lb.best().is_none());
+        lb.push("a".into(), 50.0, 1.0);
+        lb.push("b".into(), 80.0, 2.0);
+        lb.push("c".into(), 70.0, 1.5);
+        assert_eq!(lb.best().unwrap().model, "b");
+        assert_eq!(lb.len(), 3);
+    }
+}

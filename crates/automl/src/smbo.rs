@@ -1,0 +1,338 @@
+//! Sequential model-based optimization (SMBO) with a random-forest
+//! surrogate — the SMAC recipe that powers AutoSklearn.
+//!
+//! The surrogate is a tiny exact-split **regression forest** (evaluation
+//! histories hold tens of points, so exhaustive split search is cheap).
+//! Tree-to-tree disagreement provides the predictive variance that the
+//! expected-improvement acquisition needs.
+
+use crate::space::Candidate;
+use linalg::stats::expected_improvement;
+use linalg::{Matrix, Rng};
+
+/// One node of a surrogate regression tree.
+#[derive(Debug, Clone)]
+enum SNode {
+    Leaf { value: f64 },
+    Split { feature: usize, threshold: f32, left: usize, right: usize },
+}
+
+#[derive(Debug, Clone)]
+struct STree {
+    nodes: Vec<SNode>,
+}
+
+impl STree {
+    fn fit(x: &Matrix, y: &[f64], indices: &[usize], max_depth: usize, rng: &mut Rng) -> STree {
+        let mut nodes = Vec::new();
+        grow(x, y, indices.to_vec(), 0, max_depth, rng, &mut nodes);
+        STree { nodes }
+    }
+
+    fn predict(&self, row: &[f32]) -> f64 {
+        let mut node = 0usize;
+        loop {
+            match &self.nodes[node] {
+                SNode::Leaf { value } => return *value,
+                SNode::Split { feature, threshold, left, right } => {
+                    node = if row[*feature] <= *threshold { *left } else { *right };
+                }
+            }
+        }
+    }
+}
+
+fn mean_of(y: &[f64], idx: &[usize]) -> f64 {
+    idx.iter().map(|&i| y[i]).sum::<f64>() / idx.len() as f64
+}
+
+fn sse_of(y: &[f64], idx: &[usize], mean: f64) -> f64 {
+    idx.iter().map(|&i| (y[i] - mean) * (y[i] - mean)).sum()
+}
+
+fn grow(
+    x: &Matrix,
+    y: &[f64],
+    indices: Vec<usize>,
+    depth: usize,
+    max_depth: usize,
+    rng: &mut Rng,
+    nodes: &mut Vec<SNode>,
+) -> usize {
+    let mean = mean_of(y, &indices);
+    if depth >= max_depth || indices.len() < 4 {
+        nodes.push(SNode::Leaf { value: mean });
+        return nodes.len() - 1;
+    }
+    let parent_sse = sse_of(y, &indices, mean);
+    // random subset of features, exact threshold scan within each
+    let d = x.cols();
+    let k = ((d as f64).sqrt().ceil() as usize).max(1);
+    let features = rng.sample_indices(d, k.min(d));
+    let mut best: Option<(usize, f32, f64)> = None;
+    for &j in &features {
+        let mut vals: Vec<(f32, usize)> = indices.iter().map(|&i| (x[(i, j)], i)).collect();
+        vals.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
+        for s in 1..vals.len() {
+            if vals[s].0 == vals[s - 1].0 {
+                continue;
+            }
+            let threshold = (vals[s].0 + vals[s - 1].0) / 2.0;
+            let left: Vec<usize> = vals[..s].iter().map(|&(_, i)| i).collect();
+            let right: Vec<usize> = vals[s..].iter().map(|&(_, i)| i).collect();
+            let lm = mean_of(y, &left);
+            let rm = mean_of(y, &right);
+            let gain = parent_sse - sse_of(y, &left, lm) - sse_of(y, &right, rm);
+            if gain > 1e-12 && best.is_none_or(|(_, _, g)| gain > g) {
+                best = Some((j, threshold, gain));
+            }
+        }
+    }
+    let Some((feature, threshold, _)) = best else {
+        nodes.push(SNode::Leaf { value: mean });
+        return nodes.len() - 1;
+    };
+    let (li, ri): (Vec<usize>, Vec<usize>) =
+        indices.into_iter().partition(|&i| x[(i, feature)] <= threshold);
+    let slot = nodes.len();
+    nodes.push(SNode::Leaf { value: mean });
+    let left = grow(x, y, li, depth + 1, max_depth, rng, nodes);
+    let right = grow(x, y, ri, depth + 1, max_depth, rng, nodes);
+    nodes[slot] = SNode::Split { feature, threshold, left, right };
+    slot
+}
+
+/// Random-forest surrogate over candidate encodings.
+pub struct Surrogate {
+    trees: Vec<STree>,
+}
+
+impl Surrogate {
+    /// Fit `n_trees` bootstrapped regression trees on `(encoding, score)`
+    /// history.
+    pub fn fit(encodings: &Matrix, scores: &[f64], n_trees: usize, rng: &mut Rng) -> Surrogate {
+        assert_eq!(encodings.rows(), scores.len(), "history length mismatch");
+        assert!(encodings.rows() >= 2, "need at least two observations");
+        let n = encodings.rows();
+        let trees = (0..n_trees)
+            .map(|t| {
+                let mut tree_rng = rng.fork(t as u64);
+                let idx: Vec<usize> = (0..n).map(|_| tree_rng.below(n)).collect();
+                STree::fit(encodings, scores, &idx, 8, &mut tree_rng)
+            })
+            .collect();
+        Surrogate { trees }
+    }
+
+    /// Posterior mean and standard deviation at one encoding.
+    pub fn predict(&self, encoding: &[f32]) -> (f64, f64) {
+        let preds: Vec<f64> = self.trees.iter().map(|t| t.predict(encoding)).collect();
+        let mean = preds.iter().sum::<f64>() / preds.len() as f64;
+        let var =
+            preds.iter().map(|p| (p - mean) * (p - mean)).sum::<f64>() / preds.len() as f64;
+        (mean, var.sqrt())
+    }
+
+    /// Expected improvement of `encoding` over the incumbent `best`.
+    pub fn ei(&self, encoding: &[f32], best: f64) -> f64 {
+        let (mu, sigma) = self.predict(encoding);
+        expected_improvement(mu, sigma, best)
+    }
+}
+
+/// Propose the next candidate: sample a pool of random + perturbed points
+/// and return the one maximizing expected improvement.
+pub fn propose(
+    surrogate: &Surrogate,
+    families: &[crate::budget::ModelFamily],
+    history: &[(Candidate, f64)],
+    rng: &mut Rng,
+) -> Candidate {
+    let best_score = history
+        .iter()
+        .map(|(_, s)| *s)
+        .fold(f64::NEG_INFINITY, f64::max);
+    let mut pool: Vec<Candidate> = (0..48).map(|_| Candidate::sample(families, rng)).collect();
+    // local search around the current top-3
+    let mut top: Vec<&(Candidate, f64)> = history.iter().collect();
+    top.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite score"));
+    for (cand, _) in top.iter().take(3) {
+        for _ in 0..8 {
+            pool.push(cand.perturb(0.15, rng));
+        }
+    }
+    pool.into_iter()
+        .max_by(|a, b| {
+            let ea = surrogate.ei(&a.encode(families), best_score);
+            let eb = surrogate.ei(&b.encode(families), best_score);
+            ea.partial_cmp(&eb).expect("finite EI")
+        })
+        .expect("non-empty pool")
+}
+
+/// Meta-learning warm starts: hand-picked configurations that historically
+/// work well on EM-shaped data (imbalanced, dense, moderately sized).
+/// AutoSklearn seeds its SMBO run with configurations retrieved by dataset
+/// meta-features; we condition on the two features that matter at our
+/// scale: training-set size and imbalance.
+pub fn warm_starts(n_rows: usize, positive_ratio: f64) -> Vec<Candidate> {
+    use crate::budget::ModelFamily::*;
+    let mut out = Vec::new();
+    // a solid GBM is the best first guess on tabular data of any size
+    out.push(Candidate { family: Gbm, params: [0.5, 0.5, 0.5, 1.0] });
+    if n_rows < 1500 {
+        // tiny datasets: strong regularization / simple models first
+        out.push(Candidate { family: LogReg, params: [0.6, 0.5, 0.5, 1.0] });
+        out.push(Candidate { family: RandomForest, params: [0.5, 0.3, 0.5, 0.6] });
+    } else {
+        out.push(Candidate { family: RandomForest, params: [0.7, 0.7, 0.4, 0.1] });
+        out.push(Candidate { family: ExtraTrees, params: [0.7, 0.7, 0.4, 0.1] });
+    }
+    if positive_ratio < 0.15 {
+        // heavy imbalance: balanced linear model probes the threshold geometry
+        out.push(Candidate { family: LinearSvm, params: [0.4, 0.6, 1.0, 0.5] });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::budget::ModelFamily;
+    use crate::space::{sklearn_families, PARAM_DIMS};
+
+    /// Quadratic test function on the cube: max at params = (0.7, 0.2, …).
+    fn objective(c: &Candidate) -> f64 {
+        let target = [0.7, 0.2, 0.5, 0.9];
+        1.0 - c
+            .params
+            .iter()
+            .zip(&target)
+            .map(|(p, t)| (p - t) * (p - t))
+            .sum::<f64>()
+    }
+
+    fn encode_history(
+        history: &[(Candidate, f64)],
+        families: &[ModelFamily],
+    ) -> (Matrix, Vec<f64>) {
+        let rows: Vec<Vec<f32>> = history.iter().map(|(c, _)| c.encode(families)).collect();
+        let y: Vec<f64> = history.iter().map(|(_, s)| *s).collect();
+        (Matrix::from_rows(&rows), y)
+    }
+
+    #[test]
+    fn surrogate_fits_smooth_function() {
+        let families = vec![ModelFamily::Gbm];
+        let mut rng = Rng::new(1);
+        let history: Vec<(Candidate, f64)> = (0..60)
+            .map(|_| {
+                let c = Candidate::sample(&families, &mut rng);
+                let s = objective(&c);
+                (c, s)
+            })
+            .collect();
+        let (x, y) = encode_history(&history, &families);
+        let s = Surrogate::fit(&x, &y, 20, &mut rng);
+        // prediction at a fresh point should correlate with the truth
+        let mut errs = Vec::new();
+        for _ in 0..30 {
+            let c = Candidate::sample(&families, &mut rng);
+            let (mu, _) = s.predict(&c.encode(&families));
+            errs.push((mu - objective(&c)).abs());
+        }
+        let mae: f64 = errs.iter().sum::<f64>() / errs.len() as f64;
+        assert!(mae < 0.15, "MAE {mae}");
+    }
+
+    #[test]
+    fn smbo_beats_random_on_budgeted_search() {
+        let families = vec![ModelFamily::Gbm];
+        let mut rng = Rng::new(2);
+        // SMBO loop
+        let mut history: Vec<(Candidate, f64)> = (0..6)
+            .map(|_| {
+                let c = Candidate::sample(&families, &mut rng);
+                let s = objective(&c);
+                (c, s)
+            })
+            .collect();
+        for _ in 0..25 {
+            let (x, y) = encode_history(&history, &families);
+            let surrogate = Surrogate::fit(&x, &y, 15, &mut rng);
+            let next = propose(&surrogate, &families, &history, &mut rng);
+            let s = objective(&next);
+            history.push((next, s));
+        }
+        let smbo_best = history.iter().map(|(_, s)| *s).fold(f64::MIN, f64::max);
+
+        // pure random search with the same total budget
+        let mut rng2 = Rng::new(3);
+        let random_best = (0..31)
+            .map(|_| objective(&Candidate::sample(&families, &mut rng2)))
+            .fold(f64::MIN, f64::max);
+
+        assert!(
+            smbo_best >= random_best - 0.02,
+            "smbo {smbo_best} vs random {random_best}"
+        );
+        assert!(smbo_best > 0.95, "smbo best {smbo_best}");
+    }
+
+    #[test]
+    fn variance_shrinks_with_data_density() {
+        let families = vec![ModelFamily::Gbm];
+        let mut rng = Rng::new(4);
+        let make_history = |n: usize, rng: &mut Rng| -> Vec<(Candidate, f64)> {
+            (0..n)
+                .map(|_| {
+                    let c = Candidate::sample(&families, rng);
+                    let s = objective(&c);
+                    (c, s)
+                })
+                .collect()
+        };
+        let sparse = make_history(8, &mut rng);
+        let dense = make_history(120, &mut rng);
+        let probe = Candidate { family: ModelFamily::Gbm, params: [0.5; PARAM_DIMS] };
+        let enc = probe.encode(&families);
+        let (xs, ys) = encode_history(&sparse, &families);
+        let (xd, yd) = encode_history(&dense, &families);
+        let ss = Surrogate::fit(&xs, &ys, 25, &mut rng);
+        let sd = Surrogate::fit(&xd, &yd, 25, &mut rng);
+        let (_, sig_sparse) = ss.predict(&enc);
+        let (_, sig_dense) = sd.predict(&enc);
+        assert!(sig_dense <= sig_sparse + 0.05, "{sig_dense} vs {sig_sparse}");
+    }
+
+    #[test]
+    fn warm_starts_adapt_to_meta_features() {
+        let tiny = warm_starts(400, 0.1);
+        let large = warm_starts(20_000, 0.2);
+        assert!(tiny.iter().any(|c| c.family == ModelFamily::LogReg));
+        assert!(large.iter().any(|c| c.family == ModelFamily::ExtraTrees));
+        // imbalanced case adds the balanced SVM probe
+        assert!(tiny.iter().any(|c| c.family == ModelFamily::LinearSvm));
+        assert!(!warm_starts(20_000, 0.4)
+            .iter()
+            .any(|c| c.family == ModelFamily::LinearSvm));
+    }
+
+    #[test]
+    fn propose_prefers_high_ei_region() {
+        let families = sklearn_families();
+        let mut rng = Rng::new(5);
+        let history: Vec<(Candidate, f64)> = (0..40)
+            .map(|_| {
+                let c = Candidate::sample(&families, &mut rng);
+                let s = objective(&c);
+                (c, s)
+            })
+            .collect();
+        let (x, y) = encode_history(&history, &families);
+        let surrogate = Surrogate::fit(&x, &y, 20, &mut rng);
+        let proposal = propose(&surrogate, &families, &history, &mut rng);
+        // proposal should not be a terrible point
+        assert!(objective(&proposal) > 0.3, "{}", objective(&proposal));
+    }
+}

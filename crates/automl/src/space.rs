@@ -1,0 +1,248 @@
+//! The model/hyperparameter search space shared by the AutoSklearn-style
+//! SMBO loop and the H2O-style random search.
+//!
+//! A candidate is a model family plus a point in the unit hypercube; each
+//! family maps the unit coordinates onto its real hyperparameters
+//! (log-scaled where appropriate). The unit-cube encoding is also what the
+//! SMBO surrogate regresses on.
+
+use crate::budget::ModelFamily;
+use linalg::Rng;
+use ml::boosting::{BoostConfig, GradientBoosting, ObliviousBoosting};
+use ml::forest::{ForestConfig, RandomForest};
+use ml::knn::{KNearest, KnnConfig};
+use ml::linear::{LinearConfig, LinearSvm, LogisticRegression};
+use ml::naive_bayes::GaussianNb;
+use ml::tree::{DecisionTree, SplitRule, TreeConfig};
+use ml::Classifier;
+
+/// Number of unit-cube dimensions every candidate is padded to.
+pub const PARAM_DIMS: usize = 4;
+
+/// A point in the search space.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Candidate {
+    /// Model family.
+    pub family: ModelFamily,
+    /// Hyperparameters as unit-cube coordinates, length [`PARAM_DIMS`].
+    pub params: [f64; PARAM_DIMS],
+}
+
+/// Map `u ∈ [0,1]` onto `[lo, hi]` on a log scale.
+fn log_scale(u: f64, lo: f64, hi: f64) -> f64 {
+    (lo.ln() + u * (hi.ln() - lo.ln())).exp()
+}
+
+/// Map `u ∈ [0,1]` onto the integer range `[lo, hi]`.
+fn int_scale(u: f64, lo: usize, hi: usize) -> usize {
+    lo + ((u * (hi - lo + 1) as f64) as usize).min(hi - lo)
+}
+
+impl Candidate {
+    /// Sample a uniformly random candidate.
+    pub fn sample(families: &[ModelFamily], rng: &mut Rng) -> Candidate {
+        let family = *rng.choose(families);
+        let mut params = [0.0; PARAM_DIMS];
+        for p in &mut params {
+            *p = rng.f64();
+        }
+        Candidate { family, params }
+    }
+
+    /// Gaussian perturbation of this candidate (local search move for the
+    /// SMBO acquisition optimizer), clipped to the cube.
+    pub fn perturb(&self, sigma: f64, rng: &mut Rng) -> Candidate {
+        let mut params = self.params;
+        for p in &mut params {
+            *p = (*p + sigma * rng.normal() as f64).clamp(0.0, 1.0);
+        }
+        Candidate {
+            family: self.family,
+            params,
+        }
+    }
+
+    /// Instantiate the classifier this candidate encodes. `seed` decorrelates
+    /// repeated builds of the same point.
+    pub fn build(&self, seed: u64) -> Box<dyn Classifier> {
+        let [a, b, c, d] = self.params;
+        match self.family {
+            ModelFamily::Gbm => Box::new(GradientBoosting::new(BoostConfig {
+                n_rounds: int_scale(a, 30, 130),
+                lr: log_scale(b, 0.03, 0.3) as f32,
+                max_depth: int_scale(c, 3, 6),
+                subsample: (0.6 + 0.4 * d) as f32,
+                seed,
+                ..BoostConfig::default()
+            })),
+            ModelFamily::CatGbm => Box::new(ObliviousBoosting::new(BoostConfig {
+                n_rounds: int_scale(a, 30, 120),
+                lr: log_scale(b, 0.02, 0.3) as f32,
+                max_depth: int_scale(c, 3, 6),
+                lambda: log_scale(d, 0.5, 10.0) as f32,
+                seed,
+                ..BoostConfig::default()
+            })),
+            ModelFamily::RandomForest => Box::new(RandomForest::new(ForestConfig {
+                n_trees: int_scale(a, 25, 90),
+                max_depth: int_scale(b, 6, 18),
+                max_features: (0.1 + 0.9 * c) as f32,
+                min_samples_leaf: int_scale(d, 1, 8),
+                seed,
+                ..ForestConfig::random_forest(0, seed)
+            })),
+            ModelFamily::ExtraTrees => Box::new(RandomForest::new(ForestConfig {
+                n_trees: int_scale(a, 25, 90),
+                max_depth: int_scale(b, 6, 18),
+                max_features: (0.1 + 0.9 * c) as f32,
+                min_samples_leaf: int_scale(d, 1, 8),
+                seed,
+                ..ForestConfig::extra_trees(0, seed)
+            })),
+            ModelFamily::Knn => Box::new(KNearest::new(KnnConfig {
+                k: int_scale(a, 1, 32),
+                distance_weighted: b >= 0.5,
+            })),
+            ModelFamily::LogReg => Box::new(LogisticRegression::new(LinearConfig {
+                l2: log_scale(a, 1e-6, 1e-1) as f32,
+                lr: log_scale(b, 0.01, 0.5) as f32,
+                epochs: int_scale(c, 15, 60),
+                balanced: d >= 0.3, // biased toward balanced, the EM-sane choice
+                seed,
+                ..LinearConfig::default()
+            })),
+            ModelFamily::LinearSvm => Box::new(LinearSvm::new(LinearConfig {
+                l2: log_scale(a, 1e-5, 1e-1) as f32,
+                epochs: int_scale(b, 10, 40),
+                balanced: c >= 0.3,
+                seed,
+                ..LinearConfig::default()
+            })),
+            ModelFamily::NaiveBayes => Box::new(GaussianNb::new()),
+            ModelFamily::Tree => Box::new(DecisionTree::new(TreeConfig {
+                max_depth: int_scale(a, 3, 20),
+                min_samples_leaf: int_scale(b, 1, 16),
+                split_rule: if c >= 0.5 {
+                    SplitRule::Best
+                } else {
+                    SplitRule::Random
+                },
+                seed,
+                ..TreeConfig::default()
+            })),
+        }
+    }
+
+    /// Encode as a feature vector for the SMBO surrogate: a one-hot of the
+    /// family followed by the unit-cube coordinates.
+    pub fn encode(&self, families: &[ModelFamily]) -> Vec<f32> {
+        let mut out = vec![0.0f32; families.len() + PARAM_DIMS];
+        if let Some(idx) = families.iter().position(|&f| f == self.family) {
+            out[idx] = 1.0;
+        }
+        for (i, &p) in self.params.iter().enumerate() {
+            out[families.len() + i] = p as f32;
+        }
+        out
+    }
+}
+
+/// The full family list searched by the AutoSklearn-style system.
+pub fn sklearn_families() -> Vec<ModelFamily> {
+    vec![
+        ModelFamily::Gbm,
+        ModelFamily::RandomForest,
+        ModelFamily::ExtraTrees,
+        ModelFamily::LogReg,
+        ModelFamily::LinearSvm,
+        ModelFamily::NaiveBayes,
+        ModelFamily::Tree,
+        ModelFamily::Knn,
+    ]
+}
+
+/// The family list sampled by the H2O-style random search (its real
+/// counterpart searches GBMs, GLMs, DRF and XGBoost variants).
+pub fn h2o_families() -> Vec<ModelFamily> {
+    vec![
+        ModelFamily::Gbm,
+        ModelFamily::RandomForest,
+        ModelFamily::ExtraTrees,
+        ModelFamily::LogReg,
+        ModelFamily::Gbm, // weighted: H2O spends most of its search on GBMs
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use linalg::Matrix;
+
+    fn tiny_data() -> (Matrix, Vec<f32>) {
+        let mut rng = Rng::new(1);
+        let rows: Vec<Vec<f32>> = (0..60)
+            .map(|i| vec![i as f32 / 30.0 + 0.1 * rng.normal(), rng.normal()])
+            .collect();
+        let y: Vec<f32> = (0..60).map(|i| if i >= 30 { 1.0 } else { 0.0 }).collect();
+        (Matrix::from_rows(&rows), y)
+    }
+
+    #[test]
+    fn every_family_builds_and_fits() {
+        let (x, y) = tiny_data();
+        let mut rng = Rng::new(2);
+        for family in sklearn_families() {
+            let c = Candidate::sample(&[family], &mut rng);
+            let mut model = c.build(7);
+            model.fit(&x, &y);
+            let probs = model.predict_proba(&x);
+            assert_eq!(probs.len(), 60);
+            assert!(
+                probs.iter().all(|p| p.is_finite() && (0.0..=1.0).contains(p)),
+                "{family:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn scales_map_endpoints() {
+        assert!((log_scale(0.0, 1e-4, 1.0) - 1e-4).abs() < 1e-10);
+        assert!((log_scale(1.0, 1e-4, 1.0) - 1.0).abs() < 1e-10);
+        assert_eq!(int_scale(0.0, 3, 8), 3);
+        assert_eq!(int_scale(0.9999, 3, 8), 8);
+    }
+
+    #[test]
+    fn encode_shape_and_onehot() {
+        let fams = sklearn_families();
+        let mut rng = Rng::new(3);
+        let c = Candidate::sample(&fams, &mut rng);
+        let enc = c.encode(&fams);
+        assert_eq!(enc.len(), fams.len() + PARAM_DIMS);
+        let ones = enc[..fams.len()].iter().filter(|&&v| v == 1.0).count();
+        assert_eq!(ones, 1);
+    }
+
+    #[test]
+    fn perturb_stays_in_cube() {
+        let mut rng = Rng::new(4);
+        let c = Candidate::sample(&sklearn_families(), &mut rng);
+        for _ in 0..50 {
+            let p = c.perturb(0.5, &mut rng);
+            assert_eq!(p.family, c.family);
+            assert!(p.params.iter().all(|&v| (0.0..=1.0).contains(&v)));
+        }
+    }
+
+    #[test]
+    fn build_is_deterministic_per_seed() {
+        let mut rng = Rng::new(5);
+        let c = Candidate::sample(&[ModelFamily::Gbm], &mut rng);
+        let (x, y) = tiny_data();
+        let mut m1 = c.build(9);
+        let mut m2 = c.build(9);
+        m1.fit(&x, &y);
+        m2.fit(&x, &y);
+        assert_eq!(m1.predict_proba(&x), m2.predict_proba(&x));
+    }
+}

@@ -1,0 +1,174 @@
+//! Ablation benches for the design choices DESIGN.md calls out — beyond
+//! the paper's tables:
+//!
+//! * **combiner** — average (paper) vs max vs average⧺spread, and the
+//!   concat-last-4-layers embedding variant the paper cites from Devlin
+//!   et al. (§4);
+//! * **unstructured tokenizer** — described in §4 but not evaluated there;
+//! * **oversampling** — the class-imbalance augmentation the paper lists
+//!   as future work (§6.1);
+//! * **local embeddings** — the paper's §6.2 future work: word vectors
+//!   trained on the target dataset itself (Cappuzzo et al.) in place of
+//!   the pretrained transformer.
+//!
+//! Runs on a subset of datasets (one easy, one hard, one dirty) with the
+//! AutoSklearn-style system.
+
+use bench::experiments::{adapter_run, dataset_seed, pretrain_embedders};
+use bench::report::{emit, f1, Table};
+use bench::Cli;
+use em_core::{run_pipeline, Combiner, EmAdapter, PipelineConfig, TokenizerMode};
+use em_data::MagellanDataset;
+use embed::families::EmbedderFamily;
+use embed::{LocalEmbedder, SequenceEmbedder};
+
+/// Wrapper exposing the concat-last-4 embedding as a `SequenceEmbedder`.
+struct ConcatLast4<'a>(&'a embed::PretrainedTransformer);
+
+impl SequenceEmbedder for ConcatLast4<'_> {
+    fn dim(&self) -> usize {
+        self.0.embed_concat_last4("x").len()
+    }
+
+    fn embed(&self, textv: &str) -> Vec<f32> {
+        self.0.embed_concat_last4(textv)
+    }
+
+    fn name(&self) -> String {
+        format!("{}+cat4", self.0.family().label())
+    }
+}
+
+fn main() {
+    let cli = Cli::parse();
+    let subset = [MagellanDataset::SDA, MagellanDataset::SWA, MagellanDataset::DIA];
+    let profiles: Vec<_> = subset.iter().map(|d| d.profile()).collect();
+    eprintln!("pretraining embedders…");
+    let embedders = pretrain_embedders(&profiles, cli.seed);
+    let albert = embedders.get(EmbedderFamily::Albert);
+
+    // --- combiner ablation -------------------------------------------------
+    let mut combiner_table = Table::new(
+        "Ablation - combiner variants (Hybrid tokenizer, Albert, AutoSklearn)",
+        &["Dataset", "avg (paper)", "max", "avg+spread", "concat-last4"],
+    );
+    for p in &profiles {
+        let seed = dataset_seed(cli.seed, p.code);
+        let dataset = p.generate_scaled(seed, bench::experiments::effective_scale(p, cli.scale));
+        let mut cells = Vec::new();
+        for combiner in [Combiner::Average, Combiner::Max, Combiner::AverageAndSpread] {
+            cells.push(
+                adapter_run(&dataset, albert, TokenizerMode::Hybrid, combiner, 0, 1.0, seed)
+                    .test_f1,
+            );
+        }
+        // concat-last-4 embedder variant with the standard average combiner
+        let cat4 = ConcatLast4(albert);
+        let adapter = EmAdapter::new(TokenizerMode::Hybrid, &cat4, Combiner::Average);
+        let mut sys = bench::experiments::make_system(0, seed);
+        let r = run_pipeline(
+            sys.as_mut(),
+            &adapter,
+            &dataset,
+            PipelineConfig { budget_hours: 1.0, seed, ..PipelineConfig::default() },
+        );
+        cells.push(r.test_f1);
+        combiner_table.row(vec![
+            p.code.to_owned(),
+            f1(cells[0]),
+            f1(cells[1]),
+            f1(cells[2]),
+            f1(cells[3]),
+        ]);
+    }
+    emit(&combiner_table, cli.out.as_deref());
+
+    // --- tokenizer ablation (adds the unstructured mode) --------------------
+    let mut tok_table = Table::new(
+        "Ablation - tokenizer modes (Albert, AutoSklearn)",
+        &["Dataset", "Unstructured", "Attr", "Hybrid (paper best)"],
+    );
+    for p in &profiles {
+        let seed = dataset_seed(cli.seed, p.code);
+        let dataset = p.generate_scaled(seed, bench::experiments::effective_scale(p, cli.scale));
+        let mut row = vec![p.code.to_owned()];
+        for mode in [
+            TokenizerMode::Unstructured,
+            TokenizerMode::AttributeBased,
+            TokenizerMode::Hybrid,
+        ] {
+            let r = adapter_run(&dataset, albert, mode, Combiner::Average, 0, 1.0, seed);
+            row.push(f1(r.test_f1));
+        }
+        tok_table.row(row);
+    }
+    emit(&tok_table, cli.out.as_deref());
+
+    // --- oversampling (the paper's §6 future work) ---------------------------
+    let mut os_table = Table::new(
+        "Ablation - minority oversampling (Hybrid+Albert, AutoSklearn)",
+        &["Dataset", "no augmentation (paper)", "oversampled"],
+    );
+    for p in &profiles {
+        let seed = dataset_seed(cli.seed, p.code);
+        let dataset = p.generate_scaled(seed, bench::experiments::effective_scale(p, cli.scale));
+        let adapter = EmAdapter::new(TokenizerMode::Hybrid, albert, Combiner::Average);
+        let mut plain_sys = bench::experiments::make_system(0, seed);
+        let plain = run_pipeline(
+            plain_sys.as_mut(),
+            &adapter,
+            &dataset,
+            PipelineConfig { budget_hours: 1.0, seed, ..PipelineConfig::default() },
+        );
+        let adapter2 = EmAdapter::new(TokenizerMode::Hybrid, albert, Combiner::Average);
+        let mut os_sys = bench::experiments::make_system(0, seed);
+        let oversampled = run_pipeline(
+            os_sys.as_mut(),
+            &adapter2,
+            &dataset,
+            PipelineConfig {
+                budget_hours: 1.0,
+                oversample: true,
+                seed,
+            },
+        );
+        os_table.row(vec![
+            p.code.to_owned(),
+            f1(plain.test_f1),
+            f1(oversampled.test_f1),
+        ]);
+    }
+    emit(&os_table, cli.out.as_deref());
+
+    // --- local embeddings (the paper's §6.2 future work) --------------------
+    let mut local_table = Table::new(
+        "Ablation - pretrained transformer vs dataset-local embeddings (Hybrid, AutoSklearn)",
+        &["Dataset", "Albert (pretrained)", "local w2v"],
+    );
+    for p in &profiles {
+        let seed = dataset_seed(cli.seed, p.code);
+        let dataset = p.generate_scaled(seed, bench::experiments::effective_scale(p, cli.scale));
+        let pretrained =
+            adapter_run(&dataset, albert, TokenizerMode::Hybrid, Combiner::Average, 0, 1.0, seed);
+        let texts: Vec<String> = dataset
+            .pairs()
+            .iter()
+            .flat_map(|pair| [pair.left.flatten(), pair.right.flatten()])
+            .collect();
+        let local = LocalEmbedder::train(&texts, 32, seed);
+        let adapter = EmAdapter::new(TokenizerMode::Hybrid, &local, Combiner::Average);
+        let mut sys = bench::experiments::make_system(0, seed);
+        let local_run = run_pipeline(
+            sys.as_mut(),
+            &adapter,
+            &dataset,
+            PipelineConfig { budget_hours: 1.0, seed, ..PipelineConfig::default() },
+        );
+        local_table.row(vec![
+            p.code.to_owned(),
+            f1(pretrained.test_f1),
+            f1(local_run.test_f1),
+        ]);
+    }
+    emit(&local_table, cli.out.as_deref());
+}

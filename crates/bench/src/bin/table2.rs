@@ -1,0 +1,55 @@
+//! Regenerates **Table 2**: effectiveness of raw AutoML systems (1-hour
+//! budget, word2vec preprocessing, no EM adapter) against DeepMatcher
+//! (Hybrid) on all 12 datasets — F1 and training time per system.
+
+use bench::experiments::{dataset_seed, per_dataset, table2_row, SYSTEM_NAMES};
+use bench::report::{emit, f1, hours, Table};
+use bench::Cli;
+
+fn main() {
+    let cli = Cli::parse();
+    let profiles = cli.profiles();
+    let rows = per_dataset(&profiles, |p| {
+        table2_row(p, cli.scale, dataset_seed(cli.seed, p.code))
+    });
+
+    let mut table = Table::new(
+        "Table 2 - Effectiveness of AutoML systems in EM tasks",
+        &[
+            "Dataset",
+            "AutoSklearn F1",
+            "(h)",
+            "AutoGluon F1",
+            "(h)",
+            "H2OAutoML F1",
+            "(h)",
+            "DeepMatcher F1",
+            "(h)",
+        ],
+    );
+    let mut avgs = [0.0f64; 4];
+    for row in &rows {
+        table.row(vec![
+            row.code.to_owned(),
+            f1(row.systems[0].0),
+            hours(row.systems[0].1),
+            f1(row.systems[1].0),
+            hours(row.systems[1].1),
+            f1(row.systems[2].0),
+            hours(row.systems[2].1),
+            f1(row.dm_f1),
+            hours(row.dm_hours),
+        ]);
+        for i in 0..3 {
+            avgs[i] += row.systems[i].0;
+        }
+        avgs[3] += row.dm_f1;
+    }
+    let n = rows.len().max(1) as f64;
+    emit(&table, cli.out.as_deref());
+    println!("Average F1 — raw AutoML vs DeepMatcher (paper: ~49-52 vs 80.4):");
+    for (i, name) in SYSTEM_NAMES.iter().enumerate() {
+        println!("  {name:12} {:.2}", avgs[i] / n);
+    }
+    println!("  {:12} {:.2}", "DeepMatcher", avgs[3] / n);
+}

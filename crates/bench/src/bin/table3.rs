@@ -1,0 +1,82 @@
+//! Regenerates **Table 3 (a, b, c)**: F1 of the EM adapter for every
+//! combination of tokenizer (Attr / Hybrid), embedder family (Bert, DBert,
+//! Albert, Roberta, XLNET) and AutoML system — one sub-table per system,
+//! exactly as the paper lays them out.
+
+use bench::experiments::{
+    dataset_seed, per_dataset, pretrain_embedders, table3_rows, SYSTEM_NAMES,
+};
+use bench::report::{emit, f1, Table};
+use bench::Cli;
+use em_core::TokenizerMode;
+use embed::families::EmbedderFamily;
+
+fn main() {
+    let cli = Cli::parse();
+    let profiles = cli.profiles();
+    eprintln!("pretraining the 5 embedder families…");
+    let embedders = pretrain_embedders(&profiles, cli.seed);
+    eprintln!("running the adapter grid…");
+    let all_cells = per_dataset(&profiles, |p| {
+        table3_rows(
+            p,
+            &embedders,
+            cli.scale,
+            dataset_seed(cli.seed, p.code),
+            1.0,
+        )
+    });
+
+    for (sys_idx, sys_name) in SYSTEM_NAMES.iter().enumerate() {
+        let mut header: Vec<String> = vec!["Dataset".into()];
+        for mode in TokenizerMode::EVALUATED {
+            for fam in EmbedderFamily::ALL {
+                header.push(format!("{}:{}", mode.label(), fam.label()));
+            }
+        }
+        let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+        let mut table = Table::new(
+            &format!(
+                "Table 3{} - EM-Adapter with {sys_name}",
+                ["a", "b", "c"][sys_idx]
+            ),
+            &header_refs,
+        );
+        for (p, cells) in profiles.iter().zip(&all_cells) {
+            let mut row = vec![p.code.to_owned()];
+            for mode in TokenizerMode::EVALUATED {
+                for fam in EmbedderFamily::ALL {
+                    let cell = cells
+                        .iter()
+                        .find(|c| c.mode == mode && c.family == fam)
+                        .expect("grid complete");
+                    row.push(f1(cell.f1[sys_idx]));
+                }
+            }
+            table.row(row);
+        }
+        emit(&table, cli.out.as_deref());
+    }
+
+    // summary: which embedder wins most often (paper: Albert on 7-8/12)
+    for (sys_idx, sys_name) in SYSTEM_NAMES.iter().enumerate() {
+        let mut wins = [0usize; 5];
+        for cells in &all_cells {
+            let best = cells
+                .iter()
+                .max_by(|a, b| a.f1[sys_idx].partial_cmp(&b.f1[sys_idx]).unwrap())
+                .unwrap();
+            let fam_idx = EmbedderFamily::ALL
+                .iter()
+                .position(|&f| f == best.family)
+                .unwrap();
+            wins[fam_idx] += 1;
+        }
+        let winners: Vec<String> = EmbedderFamily::ALL
+            .iter()
+            .zip(wins)
+            .map(|(f, w)| format!("{}:{w}", f.label()))
+            .collect();
+        println!("{sys_name}: best-embedder counts — {}", winners.join(" "));
+    }
+}

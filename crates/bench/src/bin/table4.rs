@@ -1,0 +1,106 @@
+//! Regenerates **Table 4**: the impact of the EM adapter — for each
+//! dataset and AutoML system, the F1 without any adapter (the Table 2 raw
+//! path), the average F1 of the attribute-based adapters and of the hybrid
+//! adapters (across the five embedder families), and the Δ between the
+//! adapter average and the raw baseline.
+//!
+//! Because Table 4 already computes the full adapter grid, this binary
+//! also emits the **Table 3 a/b/c** sub-tables — running `table4` alone
+//! regenerates both artifacts in one pass (the standalone `table3` binary
+//! remains for grid-only runs).
+
+use bench::experiments::{
+    dataset_seed, per_dataset, pretrain_embedders, table2_row, table3_rows, SYSTEM_NAMES,
+};
+use bench::report::{emit, f1, Table};
+use bench::Cli;
+use em_core::TokenizerMode;
+use embed::families::EmbedderFamily;
+
+fn main() {
+    let cli = Cli::parse();
+    let profiles = cli.profiles();
+    eprintln!("pretraining the 5 embedder families…");
+    let embedders = pretrain_embedders(&profiles, cli.seed);
+    eprintln!("running raw baselines and adapter grids…");
+    let results = per_dataset(&profiles, |p| {
+        let seed = dataset_seed(cli.seed, p.code);
+        let raw = table2_row(p, cli.scale, seed);
+        let grid = table3_rows(p, &embedders, cli.scale, seed, 1.0);
+        (raw, grid)
+    });
+
+    // --- Table 3 sub-tables (the grid is already computed) ---------------
+    for (sys_idx, sys_name) in SYSTEM_NAMES.iter().enumerate() {
+        let mut header: Vec<String> = vec!["Dataset".into()];
+        for mode in TokenizerMode::EVALUATED {
+            for fam in EmbedderFamily::ALL {
+                header.push(format!("{}:{}", mode.label(), fam.label()));
+            }
+        }
+        let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+        let mut t3 = Table::new(
+            &format!("Table 3{} - EM-Adapter with {sys_name}", ["a", "b", "c"][sys_idx]),
+            &header_refs,
+        );
+        for (p, (_, grid)) in profiles.iter().zip(&results) {
+            let mut row = vec![p.code.to_owned()];
+            for mode in TokenizerMode::EVALUATED {
+                for fam in EmbedderFamily::ALL {
+                    let cell = grid
+                        .iter()
+                        .find(|c| c.mode == mode && c.family == fam)
+                        .expect("grid complete");
+                    row.push(f1(cell.f1[sys_idx]));
+                }
+            }
+            t3.row(row);
+        }
+        emit(&t3, cli.out.as_deref());
+    }
+
+    // --- Table 4 ------------------------------------------------------------
+    let mut header: Vec<String> = vec!["Dataset".into()];
+    for sys in SYSTEM_NAMES {
+        header.push(format!("{sys}:None"));
+        header.push(format!("{sys}:Attr"));
+        header.push(format!("{sys}:Hybrid"));
+        header.push(format!("{sys}:Delta"));
+    }
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    let mut table = Table::new(
+        "Table 4 - Impact of EM-Adapter on AutoML performance",
+        &header_refs,
+    );
+
+    let mut delta_sums = [0.0f64; 3];
+    for (p, (raw, grid)) in profiles.iter().zip(&results) {
+        let mut row = vec![p.code.to_owned()];
+        for sys_idx in 0..3 {
+            let none = raw.systems[sys_idx].0;
+            let avg_of = |mode: TokenizerMode| {
+                let vals: Vec<f64> = grid
+                    .iter()
+                    .filter(|c| c.mode == mode)
+                    .map(|c| c.f1[sys_idx])
+                    .collect();
+                linalg::stats::mean(&vals)
+            };
+            let attr = avg_of(TokenizerMode::AttributeBased);
+            let hybrid = avg_of(TokenizerMode::Hybrid);
+            let delta = (attr + hybrid) / 2.0 - none;
+            delta_sums[sys_idx] += delta;
+            row.push(f1(none));
+            row.push(f1(attr));
+            row.push(f1(hybrid));
+            row.push(format!("{delta:+.2}"));
+        }
+        table.row(row);
+    }
+    emit(&table, cli.out.as_deref());
+    let n = profiles.len().max(1) as f64;
+    println!("Average adapter Δ per system (paper: +24.96 / +28.02 / +23.60):");
+    for (name, d) in SYSTEM_NAMES.iter().zip(delta_sums) {
+        println!("  {name:12} {:+.2}", d / n);
+    }
+}

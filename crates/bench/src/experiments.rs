@@ -1,0 +1,314 @@
+//! Shared experiment runner behind every table binary and Criterion bench.
+//!
+//! The expensive artifacts are built once and shared: the five pretrained
+//! embedder families (pretrained on the generalist corpus plus a sample of
+//! Magellan-style domain text, like real checkpoints' BPE vocabularies
+//! cover benchmark text), and each dataset's encodings are reused across
+//! the three AutoML systems. Datasets run in parallel with scoped threads.
+
+use automl::AutoMlSystem;
+use deepmatcher::{train_deepmatcher, TrainConfig};
+use em_core::{run_pipeline, run_raw, Combiner, EmAdapter, PipelineConfig, TokenizerMode};
+use em_data::{DatasetProfile, EmDataset, Split};
+use embed::families::{EmbedderFamily, PretrainConfig, PretrainedTransformer};
+use linalg::Rng;
+
+/// Systems in the order the paper's tables list them.
+pub const SYSTEM_NAMES: [&str; 3] = ["AutoSklearn", "AutoGluon", "H2OAutoML"];
+
+/// Build the system with index `idx` (0 = AutoSklearn, 1 = AutoGluon,
+/// 2 = H2OAutoML).
+pub fn make_system(idx: usize, seed: u64) -> Box<dyn AutoMlSystem> {
+    match idx {
+        0 => Box::new(automl::sklearn_like::AutoSklearnStyle::new(seed)),
+        1 => Box::new(automl::gluon_like::AutoGluonStyle::new(seed)),
+        2 => Box::new(automl::h2o_like::H2oStyle::new(seed)),
+        _ => panic!("system index out of range"),
+    }
+}
+
+/// The five pretrained embedders, in Table 3 column order.
+pub struct Embedders {
+    /// One frozen encoder per family.
+    pub families: Vec<PretrainedTransformer>,
+}
+
+impl Embedders {
+    /// Embedder of one family.
+    pub fn get(&self, family: EmbedderFamily) -> &PretrainedTransformer {
+        self.families
+            .iter()
+            .find(|e| e.family() == family)
+            .expect("all families pretrained")
+    }
+}
+
+/// Sample domain text from each profile so the embedders' subword
+/// vocabularies cover benchmark surface forms.
+fn domain_text_sample(profiles: &[DatasetProfile], seed: u64) -> Vec<String> {
+    let mut out = Vec::new();
+    for p in profiles {
+        let d = p.generate_scaled(seed ^ 0x7E47, (200.0 / p.size as f64).min(1.0));
+        for pair in d.pairs().iter().take(100) {
+            out.push(pair.left.flatten());
+            out.push(pair.right.flatten());
+        }
+    }
+    out
+}
+
+/// Pretrain all five embedder families (in parallel).
+pub fn pretrain_embedders(profiles: &[DatasetProfile], seed: u64) -> Embedders {
+    let domain_text = domain_text_sample(profiles, seed);
+    // benches opt into fast pretraining via EMBED_BENCH_FAST=1
+    let fast = std::env::var_os("EMBED_BENCH_FAST").is_some();
+    let cfg = PretrainConfig {
+        seed,
+        steps: if fast { 40 } else { PretrainConfig::default().steps },
+        corpus_sentences: if fast { 300 } else { PretrainConfig::default().corpus_sentences },
+        ..PretrainConfig::default()
+    };
+    let mut families: Vec<(usize, PretrainedTransformer)> = Vec::new();
+    crossbeam::thread::scope(|s| {
+        let handles: Vec<_> = EmbedderFamily::ALL
+            .iter()
+            .enumerate()
+            .map(|(i, &family)| {
+                let domain_text = &domain_text;
+                s.spawn(move |_| (i, PretrainedTransformer::pretrain(family, domain_text, cfg)))
+            })
+            .collect();
+        for h in handles {
+            families.push(h.join().expect("pretraining thread panicked"));
+        }
+    })
+    .expect("scope");
+    families.sort_by_key(|(i, _)| *i);
+    Embedders {
+        families: families.into_iter().map(|(_, f)| f).collect(),
+    }
+}
+
+
+/// Effective generation scale: small datasets always run at (near) full
+/// size — they are cheap and meaningless below a few hundred pairs — while
+/// large ones honour the requested scale.
+pub fn effective_scale(profile: &DatasetProfile, scale: f64) -> f64 {
+    let min_pairs = 400.0_f64.min(profile.size as f64);
+    scale.max(min_pairs / profile.size as f64).min(1.0)
+}
+
+/// One dataset's result for Table 2.
+#[derive(Debug, Clone)]
+pub struct Table2Row {
+    /// Dataset code.
+    pub code: &'static str,
+    /// Per-system `(test F1, training hours)` in [`SYSTEM_NAMES`] order.
+    pub systems: [(f64, f64); 3],
+    /// DeepMatcher (Hybrid) test F1.
+    pub dm_f1: f64,
+    /// DeepMatcher training hours (paper units).
+    pub dm_hours: f64,
+}
+
+/// Run Table 2 for one dataset: raw AutoML (1 h budget) + DeepMatcher.
+pub fn table2_row(profile: &DatasetProfile, scale: f64, seed: u64) -> Table2Row {
+    let dataset = profile.generate_scaled(seed, effective_scale(profile, scale));
+    let cfg = PipelineConfig {
+        budget_hours: 1.0,
+        seed,
+        ..PipelineConfig::default()
+    };
+    let mut systems = [(0.0, 0.0); 3];
+    for (i, slot) in systems.iter_mut().enumerate() {
+        let mut sys = make_system(i, seed);
+        let r = run_raw(sys.as_mut(), &dataset, cfg);
+        *slot = (r.test_f1, r.hours_used);
+    }
+    let dm = train_deepmatcher(&dataset, TrainConfig { seed, ..TrainConfig::default() });
+    let dm_f1 = dm.f1_on(dataset.split(Split::Test));
+    Table2Row {
+        code: profile.code,
+        systems,
+        dm_f1,
+        dm_hours: deepmatcher::train::estimated_hours(profile.size),
+    }
+}
+
+/// One adapter grid cell result.
+#[derive(Debug, Clone)]
+pub struct GridCell {
+    /// Dataset code.
+    pub code: &'static str,
+    /// Tokenizer mode.
+    pub mode: TokenizerMode,
+    /// Embedder family.
+    pub family: EmbedderFamily,
+    /// Test F1 per system ([`SYSTEM_NAMES`] order).
+    pub f1: [f64; 3],
+}
+
+/// Run the full Table 3 grid for one dataset: encode once per
+/// (tokenizer, embedder) and reuse across the three systems.
+pub fn table3_rows(
+    profile: &DatasetProfile,
+    embedders: &Embedders,
+    scale: f64,
+    seed: u64,
+    budget_hours: f64,
+) -> Vec<GridCell> {
+    let dataset = profile.generate_scaled(seed, effective_scale(profile, scale));
+    let cfg = PipelineConfig {
+        budget_hours,
+        seed,
+        ..PipelineConfig::default()
+    };
+    let mut cells = Vec::new();
+    for mode in TokenizerMode::EVALUATED {
+        for &family in &EmbedderFamily::ALL {
+            let adapter = EmAdapter::new(mode, embedders.get(family), Combiner::Average);
+            let train = adapter.encode_split(&dataset, Split::Train);
+            let valid = adapter.encode_split(&dataset, Split::Validation);
+            let test = adapter.encode_split(&dataset, Split::Test);
+            let mut f1 = [0.0; 3];
+            for (i, slot) in f1.iter_mut().enumerate() {
+                let mut sys = make_system(i, seed);
+                let r = em_core::pipeline::run_encoded(sys.as_mut(), &train, &valid, &test, cfg);
+                *slot = r.test_f1;
+            }
+            cells.push(GridCell {
+                code: profile.code,
+                mode,
+                family,
+                f1,
+            });
+        }
+    }
+    cells
+}
+
+/// Run one specific adapter cell (used by Table 5 and the ablations).
+pub fn adapter_run(
+    dataset: &EmDataset,
+    embedder: &PretrainedTransformer,
+    mode: TokenizerMode,
+    combiner: Combiner,
+    system_idx: usize,
+    budget_hours: f64,
+    seed: u64,
+) -> em_core::PipelineResult {
+    let adapter = EmAdapter::new(mode, embedder, combiner);
+    let mut sys = make_system(system_idx, seed);
+    run_pipeline(
+        sys.as_mut(),
+        &adapter,
+        dataset,
+        PipelineConfig {
+            budget_hours,
+            seed,
+            ..PipelineConfig::default()
+        },
+    )
+}
+
+/// Run a closure per profile in parallel, preserving profile order.
+pub fn per_dataset<T: Send>(
+    profiles: &[DatasetProfile],
+    f: impl Fn(&DatasetProfile) -> T + Sync,
+) -> Vec<T> {
+    let mut results: Vec<(usize, T)> = Vec::with_capacity(profiles.len());
+    crossbeam::thread::scope(|s| {
+        let handles: Vec<_> = profiles
+            .iter()
+            .enumerate()
+            .map(|(i, p)| {
+                let f = &f;
+                s.spawn(move |_| (i, f(p)))
+            })
+            .collect();
+        for h in handles {
+            results.push(h.join().expect("dataset thread panicked"));
+        }
+    })
+    .expect("scope");
+    results.sort_by_key(|(i, _)| *i);
+    results.into_iter().map(|(_, t)| t).collect()
+}
+
+/// Deterministic per-dataset sub-seed.
+pub fn dataset_seed(master: u64, code: &str) -> u64 {
+    let mut rng = Rng::new(master);
+    let tag = code.bytes().fold(0u64, |a, b| a.wrapping_mul(31).wrapping_add(b as u64));
+    rng.fork(tag).next_u64()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use em_data::MagellanDataset;
+
+    fn tiny_embedders() -> Embedders {
+        let profiles = vec![MagellanDataset::SBR.profile()];
+        let domain_text = domain_text_sample(&profiles, 1);
+        Embedders {
+            families: EmbedderFamily::ALL
+                .iter()
+                .map(|&f| {
+                    PretrainedTransformer::pretrain(
+                        f,
+                        &domain_text,
+                        PretrainConfig {
+                            corpus_sentences: 100,
+                            steps: 10,
+                            batch: 2,
+                            seed: 1,
+                            ..PretrainConfig::default()
+                        },
+                    )
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn table2_row_shape() {
+        let p = MagellanDataset::SBR.profile();
+        let row = table2_row(&p, 0.5, 3);
+        assert_eq!(row.code, "S-BR");
+        for (f1, hours) in row.systems {
+            assert!((0.0..=100.0).contains(&f1));
+            assert!(hours > 0.0);
+        }
+        assert!((0.0..=100.0).contains(&row.dm_f1));
+        assert!(row.dm_hours < 0.5, "S-BR is tiny: {}", row.dm_hours);
+    }
+
+    #[test]
+    fn grid_covers_modes_and_families() {
+        let p = MagellanDataset::SBR.profile();
+        let embedders = tiny_embedders();
+        let cells = table3_rows(&p, &embedders, 0.25, 5, 0.2);
+        assert_eq!(cells.len(), 2 * 5);
+        assert!(cells.iter().any(|c| c.mode == TokenizerMode::Hybrid
+            && c.family == EmbedderFamily::Albert));
+        for c in &cells {
+            for f1 in c.f1 {
+                assert!((0.0..=100.0).contains(&f1));
+            }
+        }
+    }
+
+    #[test]
+    fn per_dataset_preserves_order() {
+        let profiles: Vec<_> = em_data::magellan_benchmark().into_iter().take(4).collect();
+        let codes = per_dataset(&profiles, |p| p.code);
+        assert_eq!(codes, vec!["S-DG", "S-DA", "S-AG", "S-WA"]);
+    }
+
+    #[test]
+    fn dataset_seed_is_stable_and_distinct() {
+        assert_eq!(dataset_seed(1, "S-DG"), dataset_seed(1, "S-DG"));
+        assert_ne!(dataset_seed(1, "S-DG"), dataset_seed(1, "S-DA"));
+        assert_ne!(dataset_seed(1, "S-DG"), dataset_seed(2, "S-DG"));
+    }
+}

@@ -1,0 +1,102 @@
+//! # bench — the experiment harness that regenerates the paper's tables
+//!
+//! One binary per table (`table1` … `table5`, plus `ablations`), all built
+//! on the shared runner in [`experiments`]:
+//!
+//! | binary | paper artifact |
+//! |---|---|
+//! | `table1` | Table 1 — benchmark inventory (type, size, % match) |
+//! | `table2` | Table 2 — raw AutoML vs DeepMatcher (F1 + training hours) |
+//! | `table3` | Table 3a/b/c — adapter grid: tokenizer × embedder × system |
+//! | `table4` | Table 4 — adapter impact (no-adapter vs attr vs hybrid, Δ) |
+//! | `table5` | Table 5 — Hybrid+Albert adapter at 1 h / 6 h vs DeepMatcher |
+//! | `ablations` | combiner / unstructured-tokenizer / oversampling extras |
+//!
+//! All binaries accept `--scale <f>` (fraction of each dataset's Table 1
+//! size; default keeps runtimes in minutes — pass `--scale 1.0` for the
+//! full benchmark), `--seed <n>` and `--out <dir>` (TSV output next to the
+//! printed markdown).
+
+pub mod experiments;
+pub mod report;
+
+/// Shared CLI options for the table binaries.
+#[derive(Debug, Clone)]
+pub struct Cli {
+    /// Dataset scale in `(0, 1]`.
+    pub scale: f64,
+    /// Master seed.
+    pub seed: u64,
+    /// Output directory for TSV artifacts (created if missing).
+    pub out: Option<String>,
+    /// Optional filter: only run datasets whose code contains this string.
+    pub only: Option<String>,
+}
+
+impl Default for Cli {
+    fn default() -> Self {
+        Self {
+            scale: 0.06,
+            seed: 42,
+            out: Some("results".to_owned()),
+            only: None,
+        }
+    }
+}
+
+impl Cli {
+    /// Parse `--scale`, `--seed`, `--out`, `--only` from `std::env::args`.
+    pub fn parse() -> Cli {
+        let mut cli = Cli::default();
+        let args: Vec<String> = std::env::args().collect();
+        let mut i = 1;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--scale" => {
+                    cli.scale = args
+                        .get(i + 1)
+                        .and_then(|v| v.parse().ok())
+                        .expect("--scale needs a number in (0, 1]");
+                    i += 2;
+                }
+                "--seed" => {
+                    cli.seed = args
+                        .get(i + 1)
+                        .and_then(|v| v.parse().ok())
+                        .expect("--seed needs an integer");
+                    i += 2;
+                }
+                "--out" => {
+                    cli.out = Some(args.get(i + 1).expect("--out needs a path").clone());
+                    i += 2;
+                }
+                "--no-out" => {
+                    cli.out = None;
+                    i += 1;
+                }
+                "--only" => {
+                    cli.only = Some(args.get(i + 1).expect("--only needs a code").clone());
+                    i += 2;
+                }
+                other => panic!("unknown argument: {other} (try --scale/--seed/--out/--only)"),
+            }
+        }
+        assert!(
+            cli.scale > 0.0 && cli.scale <= 1.0,
+            "--scale must be in (0, 1]"
+        );
+        cli
+    }
+
+    /// The dataset profiles selected by `--only` (all 12 by default).
+    pub fn profiles(&self) -> Vec<em_data::DatasetProfile> {
+        em_data::magellan_benchmark()
+            .into_iter()
+            .filter(|p| {
+                self.only
+                    .as_ref()
+                    .is_none_or(|f| p.code.to_lowercase().contains(&f.to_lowercase()))
+            })
+            .collect()
+    }
+}

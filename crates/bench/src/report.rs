@@ -1,0 +1,157 @@
+//! Markdown / TSV rendering of experiment results.
+
+use std::fs;
+use std::io::Write;
+use std::path::Path;
+
+/// A simple table: header + rows of equally long string cells.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    /// Table title (printed above, used as the TSV filename stem).
+    pub title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// New table with a title and column names.
+    pub fn new(title: &str, header: &[&str]) -> Self {
+        Self {
+            title: title.to_owned(),
+            header: header.iter().map(|s| (*s).to_owned()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append one row; must match the header width.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when no rows were added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render as aligned GitHub-flavoured markdown.
+    pub fn to_markdown(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("### {}\n\n", self.title));
+        let fmt_row = |cells: &[String], widths: &[usize]| {
+            let mut line = String::from("|");
+            for (c, w) in cells.iter().zip(widths) {
+                line.push_str(&format!(" {c:>w$} |"));
+            }
+            line.push('\n');
+            line
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        let mut sep = String::from("|");
+        for w in &widths {
+            sep.push_str(&format!("{:-<1$}|", "", w + 2));
+        }
+        sep.push('\n');
+        out.push_str(&sep);
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+        }
+        out
+    }
+
+    /// Render as TSV (header + rows).
+    pub fn to_tsv(&self) -> String {
+        let mut out = self.header.join("\t");
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.join("\t"));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Write the TSV into `dir/<slug(title)>.tsv`.
+    pub fn write_tsv(&self, dir: &str) -> std::io::Result<std::path::PathBuf> {
+        fs::create_dir_all(dir)?;
+        let slug: String = self
+            .title
+            .to_lowercase()
+            .chars()
+            .map(|c| if c.is_alphanumeric() { c } else { '_' })
+            .collect();
+        let path = Path::new(dir).join(format!("{slug}.tsv"));
+        let mut f = fs::File::create(&path)?;
+        f.write_all(self.to_tsv().as_bytes())?;
+        Ok(path)
+    }
+}
+
+/// Format an F1 cell (paper style: 2 decimals).
+pub fn f1(v: f64) -> String {
+    format!("{v:.2}")
+}
+
+/// Format an hours cell.
+pub fn hours(v: f64) -> String {
+    format!("{v:.2}")
+}
+
+/// Print the table and optionally persist the TSV.
+pub fn emit(table: &Table, out_dir: Option<&str>) {
+    println!("{}", table.to_markdown());
+    if let Some(dir) = out_dir {
+        match table.write_tsv(dir) {
+            Ok(path) => println!("(wrote {})\n", path.display()),
+            Err(e) => eprintln!("warning: could not write TSV: {e}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn markdown_alignment_and_shape() {
+        let mut t = Table::new("Demo", &["name", "f1"]);
+        t.row(vec!["S-DG".into(), f1(94.7)]);
+        t.row(vec!["longer-name".into(), f1(5.0)]);
+        let md = t.to_markdown();
+        assert!(md.contains("### Demo"));
+        assert!(md.contains("| longer-name |"));
+        let lines: Vec<&str> = md.lines().filter(|l| l.starts_with('|')).collect();
+        assert_eq!(lines.len(), 4); // header + sep + 2 rows
+        let width = lines[0].len();
+        assert!(lines.iter().all(|l| l.len() == width), "ragged table");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn row_width_checked() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn tsv_roundtrip() {
+        let mut t = Table::new("Tsv Test", &["a", "b"]);
+        t.row(vec!["1".into(), "2".into()]);
+        assert_eq!(t.to_tsv(), "a\tb\n1\t2\n");
+        let dir = std::env::temp_dir().join("bench_report_test");
+        let path = t.write_tsv(dir.to_str().unwrap()).unwrap();
+        assert!(path.to_string_lossy().ends_with("tsv_test.tsv"));
+        let content = std::fs::read_to_string(path).unwrap();
+        assert!(content.starts_with("a\tb"));
+    }
+}

@@ -1,0 +1,27 @@
+//! # deepmatcher — the paper's baseline EM system, reimplemented
+//!
+//! DeepMatcher (Mudgal et al., SIGMOD 2018) in its **Hybrid** variant — the
+//! configuration every table of the paper compares against. Architecture,
+//! per attribute:
+//!
+//! 1. token embeddings for both value sequences ([`model`]);
+//! 2. *attribute summarization* with a bidirectional GRU **and**
+//!    decomposable soft-alignment attention against the other side (the
+//!    "RNN + attention" combination that defines the Hybrid variant);
+//! 3. a comparison vector `[|u₁ − u₂|, u₁ ∘ u₂]` of the two summaries;
+//!
+//! then the per-attribute comparison vectors are concatenated and scored by
+//! a two-layer classifier. Training is Adam over binary cross-entropy with
+//! a validation-tuned decision threshold ([`train`]).
+//!
+//! The original uses pretrained fastText vectors; we learn the embedding
+//! table from scratch on the training split (the datasets here are
+//! synthetic, so no external vectors exist) — capacity is scaled so the
+//! model remains the strongest single system in the reproduction, as
+//! DeepMatcher is in the paper.
+
+pub mod model;
+pub mod train;
+
+pub use model::{DeepMatcher, DeepMatcherConfig};
+pub use train::{train_deepmatcher, TrainConfig, TrainedDeepMatcher};

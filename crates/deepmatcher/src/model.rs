@@ -1,0 +1,354 @@
+//! The DeepMatcher (Hybrid) network.
+
+use em_data::{RecordPair, Schema};
+use embed::word2vec as embed_init;
+use linalg::Rng;
+use nn::attention::SoftAlign;
+use nn::layers::{Embedding, Linear};
+use nn::rnn::BiGru;
+use nn::layers::dropout_mask;
+use nn::{ParamStore, Tape, TensorId};
+use text::subword::{SubwordTokenizer, SubwordVocabBuilder};
+use text::tokenize::words;
+
+/// Model hyperparameters.
+#[derive(Debug, Clone, Copy)]
+pub struct DeepMatcherConfig {
+    /// Token-embedding width.
+    pub embed_dim: usize,
+    /// GRU hidden width (per direction).
+    pub hidden: usize,
+    /// Comparison-projection width.
+    pub compare_dim: usize,
+    /// Classifier hidden width.
+    pub clf_hidden: usize,
+    /// Maximum tokens per attribute value.
+    pub max_tokens: usize,
+    /// Tokenize attribute values into subword pieces (typo-robust, the
+    /// fastText-like behaviour) instead of whole words.
+    pub subword: bool,
+    /// Initialize the embedding table from skip-gram vectors trained on
+    /// the training corpus (stands in for loading pretrained fastText).
+    pub w2v_init: bool,
+    /// Dropout probability on the classifier hidden layer (training only).
+    pub dropout: f32,
+    /// Keep the (w2v-initialized) embedding table frozen during training —
+    /// DeepMatcher's default treatment of its fastText vectors. Freezing
+    /// removes the model's main memorization channel on small data.
+    pub freeze_embedding: bool,
+    /// Seed for weight init.
+    pub seed: u64,
+}
+
+impl Default for DeepMatcherConfig {
+    fn default() -> Self {
+        Self {
+            embed_dim: 32,
+            hidden: 24,
+            compare_dim: 32,
+            clf_hidden: 48,
+            max_tokens: 16,
+            subword: true,
+            w2v_init: true,
+            dropout: 0.25,
+            freeze_embedding: true,
+            seed: 0,
+        }
+    }
+}
+
+/// The Hybrid DeepMatcher network: per-attribute bi-GRU + soft-alignment
+/// summarizers feeding a two-layer classifier.
+pub struct DeepMatcher {
+    /// Hyperparameters.
+    pub config: DeepMatcherConfig,
+    /// Trainable parameters.
+    pub store: ParamStore,
+    tokenizer: SubwordTokenizer,
+    embedding: Embedding,
+    rnn: BiGru,
+    align: SoftAlign,
+    compare: Linear,
+    clf1: Linear,
+    clf2: Linear,
+    n_attrs: usize,
+}
+
+impl DeepMatcher {
+    /// Build the network for a schema, with a **subword** vocabulary
+    /// collected from the given training pairs. The original DeepMatcher
+    /// consumes pretrained fastText vectors, whose character n-grams make
+    /// it robust to typos and unseen model numbers; greedy subword pieces
+    /// provide the same property here, and the embedding table is
+    /// initialized from skip-gram vectors trained on the same corpus
+    /// (the from-scratch stand-in for loading fastText).
+    pub fn new(schema: &Schema, train_pairs: &[RecordPair], config: DeepMatcherConfig) -> Self {
+        let mut builder = SubwordVocabBuilder::new();
+        let mut sentences: Vec<Vec<String>> = Vec::new();
+        for pair in train_pairs {
+            for entity in [&pair.left, &pair.right] {
+                for v in entity.values().flatten() {
+                    builder.feed_text(v);
+                }
+            }
+        }
+        let tokenizer = SubwordTokenizer::new(builder.build(if config.subword { 3000 } else { 20_000 }));
+        let to_tokens = |v: &str| -> Vec<String> {
+            if config.subword {
+                tokenizer.tokenize(v)
+            } else {
+                words(v)
+            }
+        };
+        for pair in train_pairs {
+            for entity in [&pair.left, &pair.right] {
+                for v in entity.values().flatten() {
+                    let pieces = to_tokens(v);
+                    if !pieces.is_empty() {
+                        sentences.push(pieces);
+                    }
+                }
+            }
+        }
+
+        let mut rng = Rng::new(config.seed ^ 0xD33);
+        let mut store = ParamStore::new();
+        let vocab_len = tokenizer.vocab().len();
+        let embedding = Embedding::new(&mut store, "emb", vocab_len, config.embed_dim, &mut rng);
+        if config.w2v_init {
+            // fastText stand-in: skip-gram init of the embedding table
+            let w2v = embed_init::Word2Vec::train(
+                &sentences,
+                embed_init::W2vConfig {
+                    dim: config.embed_dim,
+                    epochs: 2,
+                    seed: config.seed,
+                    ..embed_init::W2vConfig::default()
+                },
+            );
+            let table = store.get_mut(embedding.table());
+            for (tok, id) in tokenizer.vocab().iter() {
+                if let Some(v) = w2v.vector(tok) {
+                    let row = table.row_mut(id as usize);
+                    for (r, &x) in row.iter_mut().zip(v) {
+                        // w2v vectors are small-magnitude; scale to the
+                        // usual embedding init range
+                        *r = x * 2.0;
+                    }
+                }
+            }
+        }
+        let rnn = BiGru::new(&mut store, "rnn", config.embed_dim, config.hidden, &mut rng);
+        let align = SoftAlign::new(&mut store, "align", 2 * config.hidden, &mut rng);
+        // summarizer compare layer: [h, ctx, |h − ctx|] → compare_dim
+        let compare = Linear::new(
+            &mut store,
+            "compare",
+            6 * config.hidden,
+            config.compare_dim,
+            &mut rng,
+        );
+        // per attribute: [sq-diff, product] of mean⧺max-pooled summaries
+        let clf_in = schema.len() * 2 * (2 * config.compare_dim);
+        let clf1 = Linear::new(&mut store, "clf1", clf_in, config.clf_hidden, &mut rng);
+        let clf2 = Linear::new(&mut store, "clf2", config.clf_hidden, 1, &mut rng);
+        Self {
+            config,
+            store,
+            tokenizer,
+            embedding,
+            rnn,
+            align,
+            compare,
+            clf1,
+            clf2,
+            n_attrs: schema.len(),
+        }
+    }
+
+    /// Token ids of one attribute value (always non-empty: missing values
+    /// become a single `[PAD]`).
+    fn ids(&self, value: &str) -> Vec<u32> {
+        let mut ids = Vec::new();
+        for w in words(value) {
+            if self.config.subword {
+                for piece in self.tokenizer.pieces(&w) {
+                    ids.push(self.tokenizer.vocab().id(&piece));
+                    if ids.len() >= self.config.max_tokens {
+                        break;
+                    }
+                }
+            } else {
+                ids.push(self.tokenizer.vocab().id(&w));
+            }
+            if ids.len() >= self.config.max_tokens {
+                break;
+            }
+        }
+        ids.truncate(self.config.max_tokens);
+        if ids.is_empty() {
+            ids.push(text::vocab::Vocab::PAD);
+        }
+        ids
+    }
+
+    /// Summarize one side against the other:
+    /// `mean over tokens of relu(W[h, ctx, |h−ctx|])`.
+    fn summarize(
+        &self,
+        tape: &mut Tape,
+        h_self: TensorId,
+        h_other: TensorId,
+    ) -> TensorId {
+        let ctx = self.align.forward(tape, &self.store, h_self, h_other);
+        let diff = tape.sub(h_self, ctx);
+        let sq = tape.mul(diff, diff);
+        let joined0 = tape.concat_cols(h_self, ctx);
+        let joined = tape.concat_cols(joined0, sq);
+        let projected = self.compare.forward(tape, &self.store, joined);
+        let activated = tape.relu(projected);
+        // mean ⧺ max pooling: the mean carries overall agreement, the max
+        // singles out the worst-aligned token (the discriminative signal
+        // when two products differ only in a model number)
+        let mean = tape.mean_rows(activated);
+        let max = tape.max_rows(activated);
+        tape.concat_cols(mean, max)
+    }
+
+    /// Forward pass: record pair → match logit (`1 × 1`). Pass a
+    /// `dropout_rng` during training to enable dropout; inference passes
+    /// `None` (identity).
+    pub fn forward_train(
+        &self,
+        tape: &mut Tape,
+        pair: &RecordPair,
+        dropout_rng: Option<&mut Rng>,
+    ) -> TensorId {
+        let mut features: Option<TensorId> = None;
+        for i in 0..self.n_attrs {
+            let ids_l = self.ids(pair.left.value_or_empty(i));
+            let ids_r = self.ids(pair.right.value_or_empty(i));
+            let e_l = self.embedding.forward(tape, &self.store, &ids_l);
+            let e_r = self.embedding.forward(tape, &self.store, &ids_r);
+            let h_l = self.rnn.forward(tape, &self.store, e_l);
+            let h_r = self.rnn.forward(tape, &self.store, e_r);
+            let u_l = self.summarize(tape, h_l, h_r);
+            let u_r = self.summarize(tape, h_r, h_l);
+            // comparison vector: [|u_l − u_r|, u_l ∘ u_r]
+            let d = tape.sub(u_l, u_r);
+            let abs = {
+                let sq = tape.mul(d, d);
+                // |x| ≈ sqrt(x²+ε) is not available as an op; x² carries the
+                // same information for the classifier
+                sq
+            };
+            let prod = tape.mul(u_l, u_r);
+            let cmp = tape.concat_cols(abs, prod);
+            features = Some(match features {
+                None => cmp,
+                Some(acc) => tape.concat_cols(acc, cmp),
+            });
+        }
+        let f = features.expect("schema has at least one attribute");
+        let hidden = self.clf1.forward(tape, &self.store, f);
+        let mut activated = tape.relu(hidden);
+        if let Some(rng) = dropout_rng {
+            let (r, c) = tape.shape(activated);
+            let mask = dropout_mask(r, c, self.config.dropout, rng);
+            activated = tape.dropout(activated, mask);
+        }
+        self.clf2.forward(tape, &self.store, activated)
+    }
+
+    /// Inference forward pass (no dropout).
+    pub fn forward(&self, tape: &mut Tape, pair: &RecordPair) -> TensorId {
+        self.forward_train(tape, pair, None)
+    }
+
+    /// Match probability of one pair (inference).
+    pub fn predict_proba(&self, pair: &RecordPair) -> f32 {
+        let mut tape = Tape::new();
+        let logit = self.forward(&mut tape, pair);
+        linalg::vector::sigmoid(tape.value(logit)[(0, 0)])
+    }
+
+    /// The embedding-table parameter id (frozen-embedding training needs
+    /// to drop its gradient).
+    pub fn embedding_table(&self) -> nn::ParamId {
+        self.embedding.table()
+    }
+
+    /// Vocabulary size (diagnostics).
+    pub fn vocab_size(&self) -> usize {
+        self.tokenizer.vocab().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use em_data::{AttrType, Attribute, Entity};
+
+    fn toy_schema() -> Schema {
+        Schema::new(vec![
+            Attribute::new("name", AttrType::Text),
+            Attribute::new("price", AttrType::Numeric),
+        ])
+    }
+
+    fn pair(l: &[&str], r: &[&str], label: bool) -> RecordPair {
+        RecordPair::new(
+            Entity::new(l.iter().map(|v| Some((*v).to_owned())).collect()),
+            Entity::new(r.iter().map(|v| Some((*v).to_owned())).collect()),
+            label,
+        )
+    }
+
+    #[test]
+    fn forward_produces_scalar_logit() {
+        let schema = toy_schema();
+        let pairs = vec![pair(&["red shoe", "10"], &["red shoes", "11"], true)];
+        let dm = DeepMatcher::new(&schema, &pairs, DeepMatcherConfig::default());
+        let mut tape = Tape::new();
+        let logit = dm.forward(&mut tape, &pairs[0]);
+        assert_eq!(tape.shape(logit), (1, 1));
+        let p = dm.predict_proba(&pairs[0]);
+        assert!((0.0..=1.0).contains(&p));
+    }
+
+    #[test]
+    fn missing_values_handled() {
+        let schema = toy_schema();
+        let pairs = vec![pair(&["x", "1"], &["y", "2"], false)];
+        let dm = DeepMatcher::new(&schema, &pairs, DeepMatcherConfig::default());
+        let empty = RecordPair::new(Entity::empty(2), Entity::empty(2), false);
+        let p = dm.predict_proba(&empty);
+        assert!(p.is_finite());
+    }
+
+    #[test]
+    fn vocab_built_from_training_pairs() {
+        let schema = toy_schema();
+        let pairs = vec![pair(&["alpha beta", "1"], &["gamma", "2"], true)];
+        let dm = DeepMatcher::new(&schema, &pairs, DeepMatcherConfig::default());
+        // subword vocabulary: specials + characters (+ continuations) +
+        // the whole words — every training word must encode without UNK
+        assert!(dm.vocab_size() > 10);
+        for value in ["alpha beta", "gamma"] {
+            let ids = dm.ids(value);
+            assert!(
+                ids.iter().all(|&i| i != text::vocab::Vocab::UNK),
+                "{value}: {ids:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let schema = toy_schema();
+        let pairs = vec![pair(&["a b c", "3"], &["a b", "3"], true)];
+        let a = DeepMatcher::new(&schema, &pairs, DeepMatcherConfig::default());
+        let b = DeepMatcher::new(&schema, &pairs, DeepMatcherConfig::default());
+        assert_eq!(a.predict_proba(&pairs[0]), b.predict_proba(&pairs[0]));
+    }
+}

@@ -1,0 +1,177 @@
+//! The EM adapter: Tokenizer → Embedder → Combiner (§4), plus dataset-level
+//! encoding into feature matrices.
+
+use crate::combiner::Combiner;
+use crate::tokenizer::{tokenize_pair, TokenizerMode};
+use em_data::{EmDataset, RecordPair, Schema, Split};
+use embed::cache::EmbeddingCache;
+use embed::SequenceEmbedder;
+use linalg::Matrix;
+use ml::dataset::TabularData;
+
+/// An EM adapter configured with one tokenizer mode, one frozen embedder
+/// and one combiner.
+pub struct EmAdapter<'a> {
+    mode: TokenizerMode,
+    cache: EmbeddingCache<'a>,
+    combiner: Combiner,
+    name: String,
+}
+
+impl<'a> EmAdapter<'a> {
+    /// Build an adapter over a borrowed embedder.
+    pub fn new(mode: TokenizerMode, embedder: &'a dyn SequenceEmbedder, combiner: Combiner) -> Self {
+        let name = format!("{}-{}", mode.label(), embedder.name());
+        Self {
+            mode,
+            cache: EmbeddingCache::new(embedder),
+            combiner,
+            name,
+        }
+    }
+
+    /// Adapter description ("Hybrid-Albert").
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The tokenizer mode.
+    pub fn mode(&self) -> TokenizerMode {
+        self.mode
+    }
+
+    /// Output feature width.
+    pub fn out_dim(&self) -> usize {
+        self.combiner.out_dim(self.cache.dim())
+    }
+
+    /// Encode one record pair into a single feature vector.
+    pub fn encode_pair(&self, pair: &RecordPair, schema: &Schema) -> Vec<f32> {
+        let sequences = tokenize_pair(pair, schema, self.mode);
+        let embeddings: Vec<Vec<f32>> =
+            sequences.iter().map(|s| self.cache.embed(s)).collect();
+        self.combiner.combine(&embeddings)
+    }
+
+    /// Encode one split of a dataset into features + labels.
+    pub fn encode_split(&self, dataset: &EmDataset, split: Split) -> TabularData {
+        let pairs = dataset.split(split);
+        let mut rows = Vec::with_capacity(pairs.len());
+        let mut y = Vec::with_capacity(pairs.len());
+        for pair in pairs {
+            rows.push(self.encode_pair(pair, dataset.schema()));
+            y.push(if pair.label { 1.0 } else { 0.0 });
+        }
+        TabularData::new(Matrix::from_rows(&rows), y)
+    }
+
+    /// Embedding-cache statistics `(hits, misses)` — shows how much work
+    /// value repetition saves on real datasets.
+    pub fn cache_stats(&self) -> (usize, usize) {
+        self.cache.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use em_data::MagellanDataset;
+
+    /// A cheap deterministic embedder for adapter-level tests: hashed
+    /// bag-of-words, so similar strings share coordinates.
+    pub struct HashEmbedder {
+        pub dim: usize,
+    }
+
+    impl SequenceEmbedder for HashEmbedder {
+        fn dim(&self) -> usize {
+            self.dim
+        }
+
+        fn embed(&self, textv: &str) -> Vec<f32> {
+            let mut out = vec![0.0f32; self.dim];
+            for tok in textv.split_whitespace() {
+                let h = linalg::SplitMix64::mix(
+                    tok.bytes().fold(0u64, |a, b| a.wrapping_mul(131).wrapping_add(b as u64)),
+                );
+                out[(h % self.dim as u64) as usize] += 1.0;
+            }
+            linalg::vector::normalize(&mut out);
+            out
+        }
+
+        fn name(&self) -> String {
+            "hash".into()
+        }
+    }
+
+    #[test]
+    fn encode_split_shapes_and_labels() {
+        let d = MagellanDataset::SBR.profile().generate(1);
+        let emb = HashEmbedder { dim: 32 };
+        let adapter = EmAdapter::new(TokenizerMode::Hybrid, &emb, Combiner::Average);
+        let data = adapter.encode_split(&d, Split::Train);
+        assert_eq!(data.len(), d.split(Split::Train).len());
+        assert_eq!(data.n_features(), 32);
+        assert!((data.positive_ratio() - d.match_ratio()).abs() < 0.05);
+        assert!(data.x.all_finite());
+    }
+
+    #[test]
+    fn adapter_name_composition() {
+        let emb = HashEmbedder { dim: 8 };
+        let a = EmAdapter::new(TokenizerMode::AttributeBased, &emb, Combiner::Average);
+        assert_eq!(a.name(), "Attr-hash");
+        assert_eq!(a.out_dim(), 8);
+        let b = EmAdapter::new(TokenizerMode::Hybrid, &emb, Combiner::AverageAndSpread);
+        assert_eq!(b.out_dim(), 16);
+    }
+
+    #[test]
+    fn cache_is_exercised_by_repeated_values() {
+        let d = MagellanDataset::SFZ.profile().generate_scaled(2, 0.3);
+        let emb = HashEmbedder { dim: 16 };
+        let adapter = EmAdapter::new(TokenizerMode::AttributeBased, &emb, Combiner::Average);
+        let _ = adapter.encode_split(&d, Split::Train);
+        let (hits, misses) = adapter.cache_stats();
+        assert!(hits > 0, "hits {hits}, misses {misses}");
+    }
+
+    #[test]
+    fn matching_pairs_encode_distinguishably() {
+        // with a similarity-preserving embedder and the hybrid tokenizer,
+        // match rows should be linearly separable to a useful degree —
+        // check that mean cosine between match encodings and the match
+        // centroid exceeds that of non-matches
+        let d = MagellanDataset::SDA.profile().generate_scaled(3, 0.04);
+        let emb = HashEmbedder { dim: 64 };
+        let adapter = EmAdapter::new(TokenizerMode::Hybrid, &emb, Combiner::Average);
+        let data = adapter.encode_split(&d, Split::Train);
+        // crude check: a nearest-centroid rule beats chance
+        let mut pos_centroid = vec![0.0f32; 64];
+        let mut neg_centroid = vec![0.0f32; 64];
+        let (mut np, mut nn) = (0, 0);
+        for i in 0..data.len() {
+            if data.y[i] >= 0.5 {
+                linalg::vector::axpy(1.0, data.x.row(i), &mut pos_centroid);
+                np += 1;
+            } else {
+                linalg::vector::axpy(1.0, data.x.row(i), &mut neg_centroid);
+                nn += 1;
+            }
+        }
+        linalg::vector::scale(&mut pos_centroid, 1.0 / np as f32);
+        linalg::vector::scale(&mut neg_centroid, 1.0 / nn as f32);
+        let mut correct = 0;
+        for i in 0..data.len() {
+            let dp = linalg::vector::sq_dist(data.x.row(i), &pos_centroid);
+            let dn = linalg::vector::sq_dist(data.x.row(i), &neg_centroid);
+            let pred = dp < dn;
+            if pred == (data.y[i] >= 0.5) {
+                correct += 1;
+            }
+        }
+        let acc = correct as f64 / data.len() as f64;
+        assert!(acc > 0.6, "nearest-centroid accuracy {acc}");
+    }
+}

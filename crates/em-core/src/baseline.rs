@@ -1,0 +1,176 @@
+//! The *no-adapter* baseline path of Table 2.
+//!
+//! Generic AutoML tools consume EM records as plain tabular rows. Numeric
+//! columns pass through; text/categorical columns are embedded with the
+//! word2vec treatment the paper applied for AutoSklearn ("the average
+//! Word2Vec embedding for each token of non-numeric attributes has been
+//! computed and concatenated", §5.1). Crucially the two entities of a pair
+//! are featurized **independently and concatenated** — no pairing
+//! knowledge — which is exactly why raw AutoML struggles on EM.
+
+use em_data::{AttrType, EmDataset, RecordPair, Split};
+use embed::word2vec::{W2vConfig, Word2Vec};
+use linalg::Matrix;
+use ml::dataset::TabularData;
+use text::tokenize::words;
+
+/// Word2vec width per text column (kept small: the concatenation spans
+/// `2 × n_attrs` columns).
+const COLUMN_DIM: usize = 16;
+
+/// Hashed token-presence buckets per record side. Real tabular AutoML
+/// tools expand text columns into hashed n-gram features; deep tree
+/// ensembles can then learn conjunctions like "both sides hit bucket 17",
+/// which is how they extract *some* matching signal from independently
+/// featurized sides (and why the paper's raw numbers are respectable on
+/// the easy datasets while collapsing on the hard ones).
+const HASH_DIM: usize = 24;
+
+fn token_bucket(token: &str) -> usize {
+    let h = linalg::SplitMix64::mix(
+        token
+            .bytes()
+            .fold(0u64, |a, b| a.wrapping_mul(131).wrapping_add(b as u64)),
+    );
+    (h % HASH_DIM as u64) as usize
+}
+
+/// The featurizer of the raw baseline: per-column word2vec + raw numerics.
+pub struct RawFeaturizer {
+    w2v: Word2Vec,
+}
+
+impl RawFeaturizer {
+    /// Train the column word2vec on the *training split* text of `dataset`.
+    pub fn fit(dataset: &EmDataset, seed: u64) -> Self {
+        let mut sentences: Vec<Vec<String>> = Vec::new();
+        for pair in dataset.split(Split::Train) {
+            for entity in [&pair.left, &pair.right] {
+                for v in entity.values().flatten() {
+                    let toks = words(v);
+                    if !toks.is_empty() {
+                        sentences.push(toks);
+                    }
+                }
+            }
+        }
+        let w2v = Word2Vec::train(
+            &sentences,
+            W2vConfig {
+                dim: COLUMN_DIM,
+                epochs: 2,
+                seed,
+                ..W2vConfig::default()
+            },
+        );
+        Self { w2v }
+    }
+
+    /// Feature width for a dataset schema.
+    pub fn out_dim(&self, dataset: &EmDataset) -> usize {
+        let mut dim = HASH_DIM; // record-level hashed token presence
+        for attr in dataset.schema().attributes() {
+            dim += match attr.ty {
+                AttrType::Numeric => 2, // value + missing flag
+                _ => COLUMN_DIM,
+            };
+        }
+        dim * 2 // both sides concatenated
+    }
+
+    /// Featurize one pair: left columns then right columns.
+    pub fn encode_pair(&self, pair: &RecordPair, dataset: &EmDataset) -> Vec<f32> {
+        let mut out = Vec::with_capacity(self.out_dim(dataset));
+        for entity in [&pair.left, &pair.right] {
+            // record-level hashed token presence
+            let mut buckets = [0.0f32; HASH_DIM];
+            for w in words(&entity.flatten()) {
+                buckets[token_bucket(&w)] = 1.0;
+            }
+            out.extend_from_slice(&buckets);
+            for (i, attr) in dataset.schema().attributes().iter().enumerate() {
+                match attr.ty {
+                    AttrType::Numeric => {
+                        let parsed = entity
+                            .value(i)
+                            .and_then(text::normalize::parse_numeric);
+                        match parsed {
+                            Some(v) => {
+                                out.push(v as f32);
+                                out.push(0.0);
+                            }
+                            None => {
+                                out.push(0.0);
+                                out.push(1.0);
+                            }
+                        }
+                    }
+                    _ => {
+                        let toks = words(entity.value_or_empty(i));
+                        out.extend(self.w2v.average(&toks));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Encode one split.
+    pub fn encode_split(&self, dataset: &EmDataset, split: Split) -> TabularData {
+        let pairs = dataset.split(split);
+        let mut rows = Vec::with_capacity(pairs.len());
+        let mut y = Vec::with_capacity(pairs.len());
+        for pair in pairs {
+            rows.push(self.encode_pair(pair, dataset));
+            y.push(if pair.label { 1.0 } else { 0.0 });
+        }
+        TabularData::new(Matrix::from_rows(&rows), y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use em_data::MagellanDataset;
+
+    #[test]
+    fn featurizer_shapes() {
+        let d = MagellanDataset::SBR.profile().generate(1);
+        let f = RawFeaturizer::fit(&d, 7);
+        let data = f.encode_split(&d, Split::Validation);
+        assert_eq!(data.len(), d.split(Split::Validation).len());
+        assert_eq!(data.n_features(), f.out_dim(&d));
+        assert!(data.x.all_finite());
+    }
+
+    #[test]
+    fn numeric_columns_pass_through() {
+        let d = MagellanDataset::SBR.profile().generate(2);
+        // beer schema: abv is numeric and last
+        let f = RawFeaturizer::fit(&d, 1);
+        let pair = &d.pairs()[0];
+        let feats = f.encode_pair(pair, &d);
+        // left side: hash block, then 2 text cols + 1 categorical, then abv
+        let left_numeric_pos = HASH_DIM + 3 * COLUMN_DIM;
+        if let Some(abv) = pair.left.value(3).and_then(text::normalize::parse_numeric) {
+            assert!((feats[left_numeric_pos] - abv as f32).abs() < 1e-5);
+            assert_eq!(feats[left_numeric_pos + 1], 0.0);
+        } else {
+            assert_eq!(feats[left_numeric_pos + 1], 1.0);
+        }
+    }
+
+    #[test]
+    fn sides_are_independent() {
+        // swapping right-entity text must not change the left half
+        let d = MagellanDataset::SFZ.profile().generate(3);
+        let f = RawFeaturizer::fit(&d, 2);
+        let a = &d.pairs()[0];
+        let b = em_data::RecordPair::new(a.left.clone(), d.pairs()[1].right.clone(), false);
+        let fa = f.encode_pair(a, &d);
+        let fb = f.encode_pair(&b, &d);
+        let half = fa.len() / 2;
+        assert_eq!(fa[..half], fb[..half]);
+        assert_ne!(fa[half..], fb[half..]);
+    }
+}

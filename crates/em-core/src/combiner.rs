@@ -1,0 +1,100 @@
+//! The EM adapter's *Combiner* stage (§4): summarize the embeddings of all
+//! sequences generated from one dataset entry into a single vector.
+
+/// Combination strategies. The paper's standard is [`Combiner::Average`];
+/// the others are reproduction ablations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Combiner {
+    /// Elementwise average of the sequence embeddings (the paper's choice).
+    Average,
+    /// Elementwise maximum.
+    Max,
+    /// Average ⧺ elementwise absolute deviation from the average — keeps a
+    /// dispersion signal the plain average discards (2× width).
+    AverageAndSpread,
+}
+
+impl Combiner {
+    /// Label used in ablation reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Combiner::Average => "avg",
+            Combiner::Max => "max",
+            Combiner::AverageAndSpread => "avg+spread",
+        }
+    }
+
+    /// Output width given the embedder width.
+    pub fn out_dim(self, embed_dim: usize) -> usize {
+        match self {
+            Combiner::Average | Combiner::Max => embed_dim,
+            Combiner::AverageAndSpread => 2 * embed_dim,
+        }
+    }
+
+    /// Combine one entry's sequence embeddings (non-empty, equal length).
+    pub fn combine(self, embeddings: &[Vec<f32>]) -> Vec<f32> {
+        assert!(!embeddings.is_empty(), "no embeddings to combine");
+        let dim = embeddings[0].len();
+        debug_assert!(embeddings.iter().all(|e| e.len() == dim));
+        match self {
+            Combiner::Average => linalg::vector::average(embeddings),
+            Combiner::Max => {
+                let mut out = vec![f32::NEG_INFINITY; dim];
+                for e in embeddings {
+                    for (o, &v) in out.iter_mut().zip(e) {
+                        *o = o.max(v);
+                    }
+                }
+                out
+            }
+            Combiner::AverageAndSpread => {
+                let avg = linalg::vector::average(embeddings);
+                let mut spread = vec![0.0f32; dim];
+                for e in embeddings {
+                    for ((s, &v), &a) in spread.iter_mut().zip(e).zip(&avg) {
+                        *s += (v - a).abs();
+                    }
+                }
+                linalg::vector::scale(&mut spread, 1.0 / embeddings.len() as f32);
+                let mut out = avg;
+                out.extend(spread);
+                out
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn average_combiner() {
+        let e = vec![vec![1.0, 2.0], vec![3.0, 6.0]];
+        assert_eq!(Combiner::Average.combine(&e), vec![2.0, 4.0]);
+        assert_eq!(Combiner::Average.out_dim(2), 2);
+    }
+
+    #[test]
+    fn max_combiner() {
+        let e = vec![vec![1.0, 5.0], vec![3.0, -6.0]];
+        assert_eq!(Combiner::Max.combine(&e), vec![3.0, 5.0]);
+    }
+
+    #[test]
+    fn spread_combiner_dims_and_values() {
+        let e = vec![vec![1.0, 0.0], vec![3.0, 0.0]];
+        let out = Combiner::AverageAndSpread.combine(&e);
+        assert_eq!(out.len(), 4);
+        assert_eq!(out, vec![2.0, 0.0, 1.0, 0.0]);
+        assert_eq!(Combiner::AverageAndSpread.out_dim(2), 4);
+    }
+
+    #[test]
+    fn single_sequence_passthrough() {
+        let e = vec![vec![7.0, -1.0]];
+        assert_eq!(Combiner::Average.combine(&e), vec![7.0, -1.0]);
+        assert_eq!(Combiner::Max.combine(&e), vec![7.0, -1.0]);
+    }
+}

@@ -1,0 +1,34 @@
+//! # em-core — the EM adapter and the adapter ⊕ AutoML pipeline
+//!
+//! This crate is the paper's primary contribution (§3–§4): the **EM
+//! adapter**, a preprocessing component that turns entity-pair records into
+//! dense numeric vectors so that generic AutoML systems become effective on
+//! entity matching. It has the paper's three-stage functional architecture:
+//!
+//! 1. **Tokenizer** ([`tokenizer`]) — turns a record pair into one or more
+//!    *token sequences*: `Unstructured` (everything concatenated, schema
+//!    lost), `AttributeBased` (one sequence per attribute, values of the
+//!    same attribute coupled) or `Hybrid` (incremental concatenations
+//!    ending with the full pair) — §4's three modes.
+//! 2. **Embedder** — any frozen [`embed::SequenceEmbedder`] (the five
+//!    transformer families, or word2vec).
+//! 3. **Combiner** ([`combiner`]) — summarizes the per-sequence embeddings
+//!    into a single vector; the paper's standard is the average.
+//!
+//! [`adapter::EmAdapter`] wires the three together and encodes whole
+//! datasets into [`ml::dataset::TabularData`]; [`pipeline`] runs an adapter
+//! with any [`automl::AutoMlSystem`] under a budget and reports test F1 —
+//! the measurement every table of the paper is made of. [`baseline`]
+//! implements the *no-adapter* path of Table 2 (word2vec-per-column
+//! features, the paper's §5.1 preprocessing for AutoSklearn).
+
+pub mod adapter;
+pub mod baseline;
+pub mod combiner;
+pub mod pipeline;
+pub mod tokenizer;
+
+pub use adapter::EmAdapter;
+pub use combiner::Combiner;
+pub use pipeline::{run_encoded, run_pipeline, run_raw, PipelineConfig, PipelineResult};
+pub use tokenizer::TokenizerMode;

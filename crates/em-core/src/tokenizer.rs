@@ -1,0 +1,200 @@
+//! The EM adapter's *Tokenizer* stage (§4).
+//!
+//! Transforms an entity pair `(e₁, e₂)` described by attributes
+//! `a₁₁ … a₁M, a₂₁ … a₂M` into one or more token sequences (here:
+//! normalized text strings handed to the embedder):
+//!
+//! * **Unstructured** — all fields of both entities concatenated into one
+//!   sentence; any reference to the schema is lost.
+//! * **AttributeBased** — one sequence per attribute, coupling the values
+//!   the two entities take on that attribute; the record is broken into M
+//!   sub-pairs.
+//! * **Hybrid** — incremental concatenations: the i-th sequence holds the
+//!   values of the first i attributes of both entities, the last sequence
+//!   compares the entire original pair.
+
+use em_data::{RecordPair, Schema};
+use text::normalize::normalize;
+
+/// The three tokenization modes of §4.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TokenizerMode {
+    /// One schema-free sequence.
+    Unstructured,
+    /// One sequence per attribute.
+    AttributeBased,
+    /// Incremental prefixes of the attribute list (evaluated in the paper
+    /// together with `AttributeBased`).
+    Hybrid,
+}
+
+impl TokenizerMode {
+    /// The two modes the paper's tables evaluate.
+    pub const EVALUATED: [TokenizerMode; 2] =
+        [TokenizerMode::AttributeBased, TokenizerMode::Hybrid];
+
+    /// Table label ("Attr" / "Hybrid" / "Unstructured").
+    pub fn label(self) -> &'static str {
+        match self {
+            TokenizerMode::Unstructured => "Unstructured",
+            TokenizerMode::AttributeBased => "Attr",
+            TokenizerMode::Hybrid => "Hybrid",
+        }
+    }
+
+    /// Number of sequences this mode produces for a `width`-attribute pair.
+    pub fn n_sequences(self, width: usize) -> usize {
+        match self {
+            TokenizerMode::Unstructured => 1,
+            TokenizerMode::AttributeBased | TokenizerMode::Hybrid => width.max(1),
+        }
+    }
+}
+
+/// Per-side word budget of a coupled sequence: keeps the full pair inside
+/// the embedders' context window so the right side is never truncated away.
+const SIDE_WORDS: usize = 22;
+
+fn truncate_words(s: &str, max_words: usize) -> String {
+    let mut out = String::new();
+    for (i, w) in s.split_whitespace().enumerate() {
+        if i >= max_words {
+            break;
+        }
+        if !out.is_empty() {
+            out.push(' ');
+        }
+        out.push_str(w);
+    }
+    out
+}
+
+/// Couple the values of attribute prefix `[0, upto)` of both entities into
+/// one normalized sequence. Missing values contribute nothing; the sides
+/// are separated so the embedder sees the pairing structure.
+fn couple(pair: &RecordPair, upto: usize, from: usize) -> String {
+    let mut left = String::new();
+    let mut right = String::new();
+    for i in from..upto {
+        if let Some(v) = pair.left.value(i) {
+            if !left.is_empty() {
+                left.push(' ');
+            }
+            left.push_str(v);
+        }
+        if let Some(v) = pair.right.value(i) {
+            if !right.is_empty() {
+                right.push(' ');
+            }
+            right.push_str(v);
+        }
+    }
+    let left = truncate_words(&normalize(&left), SIDE_WORDS);
+    let right = truncate_words(&normalize(&right), SIDE_WORDS);
+    format!("{left} sep {right}").trim().to_owned()
+}
+
+/// Apply a tokenization mode to one record pair.
+pub fn tokenize_pair(pair: &RecordPair, schema: &Schema, mode: TokenizerMode) -> Vec<String> {
+    let width = schema.len().min(pair.width()).max(1);
+    match mode {
+        TokenizerMode::Unstructured => {
+            vec![normalize(&format!(
+                "{} {}",
+                pair.left.flatten(),
+                pair.right.flatten()
+            ))]
+        }
+        TokenizerMode::AttributeBased => {
+            (0..width).map(|i| couple(pair, i + 1, i)).collect()
+        }
+        TokenizerMode::Hybrid => (1..=width).map(|i| couple(pair, i, 0)).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use em_data::{AttrType, Attribute, Entity};
+
+    fn pair() -> (RecordPair, Schema) {
+        let schema = Schema::new(vec![
+            Attribute::new("title", AttrType::Text),
+            Attribute::new("brand", AttrType::Categorical),
+            Attribute::new("price", AttrType::Numeric),
+        ]);
+        let left = Entity::new(vec![
+            Some("Alpha Laptop".into()),
+            Some("Acme".into()),
+            Some("999".into()),
+        ]);
+        let right = Entity::new(vec![
+            Some("alpha laptop 15".into()),
+            None,
+            Some("989".into()),
+        ]);
+        (RecordPair::new(left, right, true), schema)
+    }
+
+    #[test]
+    fn unstructured_single_sequence_loses_schema() {
+        let (p, s) = pair();
+        let seqs = tokenize_pair(&p, &s, TokenizerMode::Unstructured);
+        assert_eq!(seqs.len(), 1);
+        assert_eq!(seqs[0], "alpha laptop acme 999 alpha laptop 15 989");
+    }
+
+    #[test]
+    fn attribute_based_couples_per_attribute() {
+        let (p, s) = pair();
+        let seqs = tokenize_pair(&p, &s, TokenizerMode::AttributeBased);
+        assert_eq!(seqs.len(), 3);
+        assert_eq!(seqs[0], "alpha laptop sep alpha laptop 15");
+        // missing right brand: only left side + separator
+        assert_eq!(seqs[1], "acme sep");
+        assert_eq!(seqs[2], "999 sep 989");
+    }
+
+    #[test]
+    fn hybrid_is_incremental_and_ends_with_full_pair() {
+        let (p, s) = pair();
+        let seqs = tokenize_pair(&p, &s, TokenizerMode::Hybrid);
+        assert_eq!(seqs.len(), 3);
+        // first sequence equals the attribute-based first sequence
+        assert_eq!(seqs[0], "alpha laptop sep alpha laptop 15");
+        // each sequence extends the previous one's left part
+        assert!(seqs[1].starts_with("alpha laptop acme"));
+        // last sequence holds everything
+        assert_eq!(seqs[2], "alpha laptop acme 999 sep alpha laptop 15 989");
+    }
+
+    #[test]
+    fn sequence_counts_match_mode() {
+        let (p, s) = pair();
+        for mode in [
+            TokenizerMode::Unstructured,
+            TokenizerMode::AttributeBased,
+            TokenizerMode::Hybrid,
+        ] {
+            assert_eq!(
+                tokenize_pair(&p, &s, mode).len(),
+                mode.n_sequences(s.len()),
+                "{mode:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn all_missing_pair_still_produces_sequences() {
+        let schema = Schema::new(vec![Attribute::new("a", AttrType::Text)]);
+        let p = RecordPair::new(Entity::empty(1), Entity::empty(1), false);
+        for mode in [
+            TokenizerMode::Unstructured,
+            TokenizerMode::AttributeBased,
+            TokenizerMode::Hybrid,
+        ] {
+            let seqs = tokenize_pair(&p, &schema, mode);
+            assert_eq!(seqs.len(), 1, "{mode:?}");
+        }
+    }
+}

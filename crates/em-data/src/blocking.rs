@@ -1,0 +1,275 @@
+//! Candidate generation by blocking.
+//!
+//! The Magellan benchmark's record pairs are the *output* of a blocking
+//! stage: comparing every record of table A against every record of table B
+//! is quadratic, so real EM systems first select candidate pairs that share
+//! cheap surface evidence. This module implements the standard **token
+//! (overlap) blocker** — a pair becomes a candidate when the chosen
+//! attributes share at least `min_overlap` tokens — plus recall/reduction
+//! metrics, so the library covers the full raw-tables → candidate-set →
+//! matcher workflow (see `examples/custom_csv.rs` and the blocking
+//! integration tests).
+
+use crate::record::Entity;
+use crate::schema::Schema;
+use std::collections::HashMap;
+use text::tokenize::words;
+
+/// Configuration of the token blocker.
+#[derive(Debug, Clone)]
+pub struct BlockerConfig {
+    /// Attribute indices whose tokens form blocking keys (empty = all).
+    pub key_attributes: Vec<usize>,
+    /// Minimum number of shared tokens for a pair to become a candidate.
+    pub min_overlap: usize,
+    /// Tokens appearing in more than this fraction of one table's records
+    /// are ignored as stop words (they would block everything together).
+    pub max_token_frequency: f64,
+}
+
+impl Default for BlockerConfig {
+    fn default() -> Self {
+        Self {
+            key_attributes: Vec::new(),
+            min_overlap: 1,
+            max_token_frequency: 0.1,
+        }
+    }
+}
+
+/// A candidate pair: indices into the left and right tables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CandidatePair {
+    /// Row in the left table.
+    pub left: usize,
+    /// Row in the right table.
+    pub right: usize,
+}
+
+/// Result of a blocking run.
+#[derive(Debug, Clone)]
+pub struct BlockingResult {
+    /// Candidate pairs, sorted by `(left, right)`.
+    pub candidates: Vec<CandidatePair>,
+    /// `|A| × |B|`, the size of the full cross product.
+    pub cross_product: usize,
+}
+
+impl BlockingResult {
+    /// Fraction of the cross product removed (higher = cheaper matching).
+    pub fn reduction_ratio(&self) -> f64 {
+        if self.cross_product == 0 {
+            return 0.0;
+        }
+        1.0 - self.candidates.len() as f64 / self.cross_product as f64
+    }
+
+    /// Fraction of `true_pairs` surviving in the candidate set
+    /// (pair-completeness / blocking recall).
+    pub fn recall(&self, true_pairs: &[CandidatePair]) -> f64 {
+        if true_pairs.is_empty() {
+            return 1.0;
+        }
+        let set: std::collections::HashSet<&CandidatePair> = self.candidates.iter().collect();
+        let hit = true_pairs.iter().filter(|p| set.contains(p)).count();
+        hit as f64 / true_pairs.len() as f64
+    }
+}
+
+fn blocking_tokens(entity: &Entity, keys: &[usize], width: usize) -> Vec<String> {
+    let mut out = Vec::new();
+    let indices: Vec<usize> = if keys.is_empty() {
+        (0..width).collect()
+    } else {
+        keys.to_vec()
+    };
+    for &i in &indices {
+        if let Some(v) = entity.value(i) {
+            out.extend(words(v));
+        }
+    }
+    out.sort();
+    out.dedup();
+    out
+}
+
+/// Run the overlap blocker over two entity tables sharing `schema`.
+pub fn token_blocking(
+    left: &[Entity],
+    right: &[Entity],
+    schema: &Schema,
+    config: &BlockerConfig,
+) -> BlockingResult {
+    let width = schema.len();
+    // inverted index over the right table, with stop-word removal
+    let right_tokens: Vec<Vec<String>> = right
+        .iter()
+        .map(|e| blocking_tokens(e, &config.key_attributes, width))
+        .collect();
+    let mut doc_freq: HashMap<&str, usize> = HashMap::new();
+    for toks in &right_tokens {
+        for t in toks {
+            *doc_freq.entry(t).or_insert(0) += 1;
+        }
+    }
+    let cutoff = ((right.len() as f64) * config.max_token_frequency).ceil() as usize;
+    let mut index: HashMap<&str, Vec<usize>> = HashMap::new();
+    for (j, toks) in right_tokens.iter().enumerate() {
+        for t in toks {
+            if doc_freq[t.as_str()] <= cutoff.max(1) {
+                index.entry(t).or_default().push(j);
+            }
+        }
+    }
+
+    let mut candidates = Vec::new();
+    let mut overlap: HashMap<usize, usize> = HashMap::new();
+    for (i, l) in left.iter().enumerate() {
+        overlap.clear();
+        for t in blocking_tokens(l, &config.key_attributes, width) {
+            if let Some(matches) = index.get(t.as_str()) {
+                for &j in matches {
+                    *overlap.entry(j).or_insert(0) += 1;
+                }
+            }
+        }
+        for (&j, &count) in &overlap {
+            if count >= config.min_overlap {
+                candidates.push(CandidatePair { left: i, right: j });
+            }
+        }
+    }
+    candidates.sort_by_key(|p| (p.left, p.right));
+    BlockingResult {
+        candidates,
+        cross_product: left.len() * right.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{Domain, Restaurant};
+    use crate::noise::{corrupt_entity, NoiseConfig};
+    use linalg::Rng;
+
+    fn entity(vals: &[&str]) -> Entity {
+        Entity::new(vals.iter().map(|v| Some((*v).to_owned())).collect())
+    }
+
+    fn toy_schema() -> Schema {
+        use crate::schema::{AttrType, Attribute};
+        Schema::new(vec![
+            Attribute::new("name", AttrType::Text),
+            Attribute::new("city", AttrType::Text),
+        ])
+    }
+
+    #[test]
+    fn shared_tokens_create_candidates() {
+        let schema = toy_schema();
+        let left = vec![entity(&["golden dragon", "boston"]), entity(&["blue ocean", "miami"])];
+        let right = vec![
+            entity(&["golden dragon cafe", "boston"]),
+            entity(&["red lantern", "chicago"]),
+        ];
+        let r = token_blocking(&left, &right, &schema, &BlockerConfig {
+            max_token_frequency: 1.0,
+            ..BlockerConfig::default()
+        });
+        assert!(r.candidates.contains(&CandidatePair { left: 0, right: 0 }));
+        assert!(!r.candidates.contains(&CandidatePair { left: 1, right: 1 }));
+        assert_eq!(r.cross_product, 4);
+    }
+
+    #[test]
+    fn min_overlap_tightens_the_set() {
+        let schema = toy_schema();
+        let left = vec![entity(&["alpha beta", "x"])];
+        let right = vec![entity(&["alpha gamma", "y"]), entity(&["alpha beta", "z"])];
+        let loose = token_blocking(&left, &right, &schema, &BlockerConfig {
+            min_overlap: 1,
+            max_token_frequency: 1.0,
+            ..BlockerConfig::default()
+        });
+        let tight = token_blocking(&left, &right, &schema, &BlockerConfig {
+            min_overlap: 2,
+            max_token_frequency: 1.0,
+            ..BlockerConfig::default()
+        });
+        assert_eq!(loose.candidates.len(), 2);
+        assert_eq!(tight.candidates.len(), 1);
+        assert!(tight.reduction_ratio() > loose.reduction_ratio());
+    }
+
+    #[test]
+    fn stop_words_are_ignored() {
+        let schema = toy_schema();
+        // "cafe" appears in every right record → removed as a stop word
+        let left = vec![entity(&["cafe unique", "a"])];
+        let right: Vec<Entity> = (0..20)
+            .map(|i| entity(&[&format!("cafe place{i}"), "b"]))
+            .collect();
+        let r = token_blocking(&left, &right, &schema, &BlockerConfig {
+            max_token_frequency: 0.2,
+            ..BlockerConfig::default()
+        });
+        assert!(r.candidates.is_empty(), "{:?}", r.candidates);
+    }
+
+    #[test]
+    fn key_attributes_restrict_evidence() {
+        let schema = toy_schema();
+        let left = vec![entity(&["unique name", "shared city"])];
+        let right = vec![entity(&["other words", "shared city"])];
+        // block on name only: no candidate
+        let name_only = token_blocking(&left, &right, &schema, &BlockerConfig {
+            key_attributes: vec![0],
+            max_token_frequency: 1.0,
+            ..BlockerConfig::default()
+        });
+        assert!(name_only.candidates.is_empty());
+        // block on all attributes: city overlap creates the candidate
+        let all = token_blocking(&left, &right, &schema, &BlockerConfig {
+            max_token_frequency: 1.0,
+            ..BlockerConfig::default()
+        });
+        assert_eq!(all.candidates.len(), 1);
+    }
+
+    #[test]
+    fn blocking_keeps_true_duplicates_on_synthetic_tables() {
+        // generate restaurant entities, corrupt copies into a second table,
+        // and verify blocking recall is high while reduction is substantial
+        let domain = Restaurant;
+        let schema = domain.schema();
+        let mut rng = Rng::new(7);
+        let cfg = NoiseConfig::from_level(0.2);
+        let mut left = Vec::new();
+        let mut right = Vec::new();
+        let mut truth = Vec::new();
+        for i in 0..120 {
+            let base = domain.generate(&mut rng);
+            let dup = corrupt_entity(&base, &schema, &cfg, &[], &mut rng);
+            left.push(base);
+            right.push(dup);
+            truth.push(CandidatePair { left: i, right: i });
+        }
+        let r = token_blocking(&left, &right, &schema, &BlockerConfig::default());
+        assert!(r.recall(&truth) > 0.9, "recall {}", r.recall(&truth));
+        assert!(
+            r.reduction_ratio() > 0.5,
+            "reduction {}",
+            r.reduction_ratio()
+        );
+    }
+
+    #[test]
+    fn empty_tables_degenerate_cleanly() {
+        let schema = toy_schema();
+        let r = token_blocking(&[], &[], &schema, &BlockerConfig::default());
+        assert!(r.candidates.is_empty());
+        assert_eq!(r.reduction_ratio(), 0.0);
+        assert_eq!(r.recall(&[]), 1.0);
+    }
+}

@@ -1,0 +1,218 @@
+//! The EM dataset container and its train/validation/test split.
+
+use crate::record::RecordPair;
+use crate::schema::{DatasetKind, Schema};
+use linalg::Rng;
+
+/// A named split of a dataset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Split {
+    /// 60% — used to fit models.
+    Train,
+    /// 20% — used for model selection inside AutoML systems.
+    Validation,
+    /// 20% — used only for the final F1 reported in the tables.
+    Test,
+}
+
+/// A complete EM dataset: schema, labeled record pairs, and the index
+/// boundaries of its 60/20/20 split.
+#[derive(Debug, Clone)]
+pub struct EmDataset {
+    name: String,
+    kind: DatasetKind,
+    schema: Schema,
+    pairs: Vec<RecordPair>,
+    train_end: usize,
+    valid_end: usize,
+}
+
+impl EmDataset {
+    /// Build a dataset and create a **stratified, shuffled 60/20/20 split**
+    /// (the proportions used by the paper's benchmark). Stratification keeps
+    /// the match percentage equal across splits, which matters for the tiny
+    /// datasets (S-BR has 450 pairs).
+    pub fn with_split(
+        name: &str,
+        kind: DatasetKind,
+        schema: Schema,
+        mut pairs: Vec<RecordPair>,
+        rng: &mut Rng,
+    ) -> Self {
+        // stratified shuffle: shuffle positives and negatives separately,
+        // then interleave deterministically by global ratio
+        rng.shuffle(&mut pairs);
+        let (pos, neg): (Vec<_>, Vec<_>) = pairs.into_iter().partition(|p| p.label);
+        let total = pos.len() + neg.len();
+        let mut ordered = Vec::with_capacity(total);
+        let (mut pi, mut ni) = (0usize, 0usize);
+        for k in 0..total {
+            // largest-remainder interleaving keeps each prefix's class ratio
+            // close to the global one
+            let want_pos = ((k + 1) * pos.len()) / total;
+            if pi < want_pos.min(pos.len()) || ni >= neg.len() {
+                ordered.push(pos[pi].clone());
+                pi += 1;
+            } else {
+                ordered.push(neg[ni].clone());
+                ni += 1;
+            }
+        }
+        let train_end = (total * 60) / 100;
+        let valid_end = train_end + (total * 20) / 100;
+        Self {
+            name: name.to_owned(),
+            kind,
+            schema,
+            pairs: ordered,
+            train_end,
+            valid_end,
+        }
+    }
+
+    /// Dataset name (e.g. `"S-DG"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Dataset kind (structured / textual / dirty).
+    pub fn kind(&self) -> DatasetKind {
+        self.kind
+    }
+
+    /// The shared schema of both pair sides.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// All pairs in split order (train, then validation, then test).
+    pub fn pairs(&self) -> &[RecordPair] {
+        &self.pairs
+    }
+
+    /// Total number of record pairs.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// True when the dataset holds no pairs.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// The record pairs of one split.
+    pub fn split(&self, split: Split) -> &[RecordPair] {
+        match split {
+            Split::Train => &self.pairs[..self.train_end],
+            Split::Validation => &self.pairs[self.train_end..self.valid_end],
+            Split::Test => &self.pairs[self.valid_end..],
+        }
+    }
+
+    /// Labels of one split.
+    pub fn labels(&self, split: Split) -> Vec<bool> {
+        self.split(split).iter().map(|p| p.label).collect()
+    }
+
+    /// Fraction of matching pairs over the whole dataset, in `[0, 1]`.
+    pub fn match_ratio(&self) -> f64 {
+        if self.pairs.is_empty() {
+            return 0.0;
+        }
+        self.pairs.iter().filter(|p| p.label).count() as f64 / self.pairs.len() as f64
+    }
+
+    /// A copy containing only the first `n` pairs of each split, preserving
+    /// split proportions — used by tests and fast examples.
+    pub fn subsample(&self, n_train: usize, n_valid: usize, n_test: usize) -> EmDataset {
+        let mut pairs = Vec::new();
+        pairs.extend_from_slice(&self.split(Split::Train)[..n_train.min(self.train_end)]);
+        let valid = self.split(Split::Validation);
+        pairs.extend_from_slice(&valid[..n_valid.min(valid.len())]);
+        let test = self.split(Split::Test);
+        pairs.extend_from_slice(&test[..n_test.min(test.len())]);
+        let train_end = n_train.min(self.train_end);
+        let valid_end = train_end + n_valid.min(valid.len());
+        EmDataset {
+            name: self.name.clone(),
+            kind: self.kind,
+            schema: self.schema.clone(),
+            pairs,
+            train_end,
+            valid_end,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::Entity;
+    use crate::schema::{AttrType, Attribute};
+
+    fn toy_dataset(n: usize, pos_ratio: f64, seed: u64) -> EmDataset {
+        let schema = Schema::new(vec![Attribute::new("name", AttrType::Text)]);
+        let pairs: Vec<RecordPair> = (0..n)
+            .map(|i| {
+                let label = (i as f64) < pos_ratio * n as f64;
+                RecordPair::new(
+                    Entity::new(vec![Some(format!("e{i}"))]),
+                    Entity::new(vec![Some(format!("e{i}b"))]),
+                    label,
+                )
+            })
+            .collect();
+        let mut rng = Rng::new(seed);
+        EmDataset::with_split("toy", DatasetKind::Structured, schema, pairs, &mut rng)
+    }
+
+    #[test]
+    fn split_proportions() {
+        let d = toy_dataset(1000, 0.2, 1);
+        assert_eq!(d.split(Split::Train).len(), 600);
+        assert_eq!(d.split(Split::Validation).len(), 200);
+        assert_eq!(d.split(Split::Test).len(), 200);
+        assert_eq!(d.len(), 1000);
+    }
+
+    #[test]
+    fn split_is_stratified() {
+        let d = toy_dataset(1000, 0.2, 2);
+        for split in [Split::Train, Split::Validation, Split::Test] {
+            let labels = d.labels(split);
+            let ratio = labels.iter().filter(|&&l| l).count() as f64 / labels.len() as f64;
+            assert!((ratio - 0.2).abs() < 0.03, "{split:?}: {ratio}");
+        }
+    }
+
+    #[test]
+    fn splits_partition_dataset() {
+        let d = toy_dataset(100, 0.3, 3);
+        let total = d.split(Split::Train).len()
+            + d.split(Split::Validation).len()
+            + d.split(Split::Test).len();
+        assert_eq!(total, d.len());
+    }
+
+    #[test]
+    fn match_ratio_reported() {
+        let d = toy_dataset(500, 0.1, 4);
+        assert!((d.match_ratio() - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = toy_dataset(200, 0.25, 7);
+        let b = toy_dataset(200, 0.25, 7);
+        assert_eq!(a.pairs(), b.pairs());
+    }
+
+    #[test]
+    fn subsample_keeps_structure() {
+        let d = toy_dataset(1000, 0.2, 5);
+        let s = d.subsample(60, 20, 20);
+        assert_eq!(s.split(Split::Train).len(), 60);
+        assert_eq!(s.split(Split::Validation).len(), 20);
+        assert_eq!(s.split(Split::Test).len(), 20);
+    }
+}

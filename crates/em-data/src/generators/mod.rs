@@ -1,0 +1,648 @@
+//! Synthetic entity factories, one per Magellan domain family.
+//!
+//! A [`Domain`] produces clean entities under a fixed [`Schema`]; the
+//! `magellan` module turns them into labeled record pairs. Every domain also
+//! knows how to produce a **near-miss**: a distinct entity that shares
+//! surface tokens with a given one (same brand different model, same group
+//! different paper) — what blocking-based candidate sets are full of and
+//! what makes EM hard.
+//!
+//! The `closeness ∈ [0, 1]` knob controls how similar a near-miss stays to
+//! the source entity: easy datasets use low closeness (negatives are
+//! clearly different records), hard ones high closeness (negatives differ
+//! only in identity tokens like a model number or a year). Profiles set
+//! `closeness = difficulty`, which is what produces the paper's achievable-
+//! F1 ordering across the twelve datasets.
+
+pub mod pools;
+
+use crate::record::Entity;
+use crate::schema::{AttrType, Attribute, Schema};
+use linalg::Rng;
+
+/// Pick from a pool with a Zipf-like skew (low ranks far more likely),
+/// matching the frequency profile of real-world text sources.
+pub fn zipf_pick<'a>(pool: &[&'a str], rng: &mut Rng) -> &'a str {
+    debug_assert!(!pool.is_empty());
+    let n = pool.len() as f64;
+    let u = rng.f64();
+    let idx = ((n + 1.0).powf(u) - 1.0).floor() as usize;
+    pool[idx.min(pool.len() - 1)]
+}
+
+/// Pick `k` tokens (with replacement) joined by spaces.
+pub fn zipf_phrase(pool: &[&str], k: usize, rng: &mut Rng) -> String {
+    (0..k)
+        .map(|_| zipf_pick(pool, rng).to_owned())
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+/// Replace each whitespace token with a fresh pool pick with probability
+/// `p`; guarantees at least one replacement when `force` is set.
+fn replace_tokens(value: &str, pool: &[&str], p: f64, force: bool, rng: &mut Rng) -> String {
+    let mut toks: Vec<String> = value.split_whitespace().map(str::to_owned).collect();
+    if toks.is_empty() {
+        return value.to_owned();
+    }
+    let mut changed = false;
+    for t in toks.iter_mut() {
+        if rng.chance(p) {
+            let cand = zipf_pick(pool, rng);
+            if cand != t {
+                *t = cand.to_owned();
+                changed = true;
+            }
+        }
+    }
+    if force && !changed {
+        let i = rng.below(toks.len());
+        // a forced replacement must actually change the token
+        loop {
+            let cand = zipf_pick(pool, rng);
+            if cand != toks[i] {
+                toks[i] = cand.to_owned();
+                break;
+            }
+        }
+    }
+    toks.join(" ")
+}
+
+fn model_number(rng: &mut Rng) -> String {
+    format!(
+        "{}{}{}",
+        char::from(b'a' + rng.below(26) as u8),
+        char::from(b'a' + rng.below(26) as u8),
+        100 + rng.below(900)
+    )
+}
+
+/// A synthetic entity source for one Magellan domain family.
+pub trait Domain: Send + Sync {
+    /// The schema shared by both sides of every pair.
+    fn schema(&self) -> Schema;
+
+    /// Generate one clean entity.
+    fn generate(&self, rng: &mut Rng) -> Entity;
+
+    /// Produce a *near-miss* of `entity`: a different real-world entity
+    /// whose description shares tokens. `closeness ∈ [0, 1]`: 0 keeps
+    /// little beyond the domain vocabulary, 1 changes only identity tokens.
+    fn near_miss(&self, entity: &Entity, closeness: f64, rng: &mut Rng) -> Entity;
+
+    /// Tokens a second data source tends to append (used by the noise
+    /// operators when corrupting the matching counterpart).
+    fn extra_pool(&self) -> &'static [&'static str] {
+        pools::SOURCE_EXTRAS
+    }
+}
+
+/// Bibliographic domain: DBLP-ACM / DBLP-GoogleScholar.
+/// Schema: title, authors, venue, year.
+pub struct Bibliographic;
+
+fn author(rng: &mut Rng) -> String {
+    format!(
+        "{} {}",
+        zipf_pick(pools::FIRST_NAMES, rng),
+        zipf_pick(pools::LAST_NAMES, rng)
+    )
+}
+
+impl Domain for Bibliographic {
+    fn schema(&self) -> Schema {
+        Schema::new(vec![
+            Attribute::new("title", AttrType::Text),
+            Attribute::new("authors", AttrType::Text),
+            Attribute::new("venue", AttrType::Categorical),
+            Attribute::new("year", AttrType::Numeric),
+        ])
+    }
+
+    fn generate(&self, rng: &mut Rng) -> Entity {
+        let title_len = 4 + rng.below(6);
+        let title = zipf_phrase(pools::RESEARCH_WORDS, title_len, rng);
+        let n_authors = 1 + rng.below(4);
+        let authors = (0..n_authors)
+            .map(|_| author(rng))
+            .collect::<Vec<_>>()
+            .join(" , ");
+        let venue = zipf_pick(pools::VENUES, rng).to_owned();
+        let year = 1985 + rng.below(36);
+        Entity::new(vec![
+            Some(title),
+            Some(authors),
+            Some(venue),
+            Some(year.to_string()),
+        ])
+    }
+
+    fn near_miss(&self, entity: &Entity, closeness: f64, rng: &mut Rng) -> Entity {
+        let mut out = entity.clone();
+        // a different paper: replace title words (almost all when the
+        // dataset is easy, only a couple when it is hard)
+        let replace_p = 0.9 - 0.75 * closeness;
+        if let Some(title) = entity.value(0) {
+            out.set(
+                0,
+                Some(replace_tokens(title, pools::RESEARCH_WORDS, replace_p, true, rng)),
+            );
+        }
+        // authors: shared co-author only on hard datasets
+        if let Some(authors) = entity.value(1) {
+            if rng.chance(closeness) {
+                // keep the first author, regenerate the rest
+                let first = authors.split(" , ").next().unwrap_or_default().to_owned();
+                let extra = (0..rng.below(3))
+                    .map(|_| author(rng))
+                    .collect::<Vec<_>>()
+                    .join(" , ");
+                out.set(
+                    1,
+                    Some(if extra.is_empty() {
+                        first
+                    } else {
+                        format!("{first} , {extra}")
+                    }),
+                );
+            } else {
+                let n = 1 + rng.below(4);
+                out.set(
+                    1,
+                    Some((0..n).map(|_| author(rng)).collect::<Vec<_>>().join(" , ")),
+                );
+            }
+        }
+        if rng.chance(0.7) {
+            out.set(3, Some((1985 + rng.below(36)).to_string()));
+        }
+        if rng.chance(0.5) {
+            out.set(2, Some(zipf_pick(pools::VENUES, rng).to_owned()));
+        }
+        out
+    }
+}
+
+/// Electronics products with a manufacturer column:
+/// Amazon-Google. Schema: title, manufacturer, price.
+pub struct ProductElectronics;
+
+fn product_title(rng: &mut Rng) -> (String, String) {
+    let brand = zipf_pick(pools::BRANDS, rng).to_owned();
+    let noun = zipf_pick(pools::PRODUCT_NOUNS, rng);
+    let model = model_number(rng);
+    let n_qual = 1 + rng.below(3);
+    let quals = zipf_phrase(pools::PRODUCT_QUALIFIERS, n_qual, rng);
+    (format!("{brand} {model} {quals} {noun}"), brand)
+}
+
+/// Shared near-miss for product titles: regenerate the model token, swap
+/// qualifiers/noun depending on closeness. Returns the new title and model.
+fn product_near_title(title: &str, closeness: f64, rng: &mut Rng) -> (String, String) {
+    let mut toks: Vec<String> = title.split_whitespace().map(str::to_owned).collect();
+    let new_model = model_number(rng);
+    if toks.len() > 1 {
+        toks[1] = new_model.clone();
+    }
+    let replace_p = 0.8 - 0.7 * closeness;
+    for t in toks.iter_mut().skip(2) {
+        if rng.chance(replace_p) {
+            *t = zipf_pick(pools::PRODUCT_QUALIFIERS, rng).to_owned();
+        }
+    }
+    // the product noun is the last token; easy datasets change it often
+    if rng.chance((1.0 - closeness) * 0.7) {
+        if let Some(last) = toks.last_mut() {
+            *last = zipf_pick(pools::PRODUCT_NOUNS, rng).to_owned();
+        }
+    }
+    (toks.join(" "), new_model)
+}
+
+impl Domain for ProductElectronics {
+    fn schema(&self) -> Schema {
+        Schema::new(vec![
+            Attribute::new("title", AttrType::Text),
+            Attribute::new("manufacturer", AttrType::Categorical),
+            Attribute::new("price", AttrType::Numeric),
+        ])
+    }
+
+    fn generate(&self, rng: &mut Rng) -> Entity {
+        let (title, brand) = product_title(rng);
+        let price = 5.0 + rng.f64() * 995.0;
+        Entity::new(vec![Some(title), Some(brand), Some(format!("{price:.2}"))])
+    }
+
+    fn near_miss(&self, entity: &Entity, closeness: f64, rng: &mut Rng) -> Entity {
+        let mut out = entity.clone();
+        if let Some(title) = entity.value(0) {
+            let (new_title, _) = product_near_title(title, closeness, rng);
+            out.set(0, Some(new_title));
+        }
+        let price = 5.0 + rng.f64() * 995.0;
+        out.set(2, Some(format!("{price:.2}")));
+        out
+    }
+}
+
+/// Retail products with more columns: Walmart-Amazon.
+/// Schema: title, category, brand, modelno, price.
+pub struct ProductRetail;
+
+impl Domain for ProductRetail {
+    fn schema(&self) -> Schema {
+        Schema::new(vec![
+            Attribute::new("title", AttrType::Text),
+            Attribute::new("category", AttrType::Categorical),
+            Attribute::new("brand", AttrType::Categorical),
+            Attribute::new("modelno", AttrType::Text),
+            Attribute::new("price", AttrType::Numeric),
+        ])
+    }
+
+    fn generate(&self, rng: &mut Rng) -> Entity {
+        let (title, brand) = product_title(rng);
+        let model = title.split_whitespace().nth(1).unwrap_or("x000").to_owned();
+        let category = zipf_pick(pools::PRODUCT_CATEGORIES, rng).to_owned();
+        let price = 5.0 + rng.f64() * 1495.0;
+        Entity::new(vec![
+            Some(title),
+            Some(category),
+            Some(brand),
+            Some(model),
+            Some(format!("{price:.2}")),
+        ])
+    }
+
+    fn near_miss(&self, entity: &Entity, closeness: f64, rng: &mut Rng) -> Entity {
+        let mut out = entity.clone();
+        let mut model = String::new();
+        if let Some(title) = entity.value(0) {
+            let (new_title, new_model) = product_near_title(title, closeness, rng);
+            out.set(0, Some(new_title));
+            model = new_model;
+        }
+        if !model.is_empty() {
+            out.set(3, Some(model));
+        }
+        let price = 5.0 + rng.f64() * 1495.0;
+        out.set(4, Some(format!("{price:.2}")));
+        out
+    }
+}
+
+/// Beers: BeerAdvo-RateBeer. Schema: beer_name, brewery, style, abv.
+pub struct Beer;
+
+impl Domain for Beer {
+    fn schema(&self) -> Schema {
+        Schema::new(vec![
+            Attribute::new("beer_name", AttrType::Text),
+            Attribute::new("brewery", AttrType::Text),
+            Attribute::new("style", AttrType::Categorical),
+            Attribute::new("abv", AttrType::Numeric),
+        ])
+    }
+
+    fn generate(&self, rng: &mut Rng) -> Entity {
+        let name = zipf_phrase(pools::BEER_WORDS, 2 + rng.below(2), rng);
+        let brewery = format!(
+            "{} {}",
+            zipf_pick(pools::BEER_WORDS, rng),
+            zipf_pick(pools::BREWERY_WORDS, rng)
+        );
+        let style = zipf_pick(pools::BEER_STYLES, rng).to_owned();
+        let abv = 3.5 + rng.f64() * 9.0;
+        Entity::new(vec![
+            Some(name),
+            Some(brewery),
+            Some(style),
+            Some(format!("{abv:.1}")),
+        ])
+    }
+
+    fn near_miss(&self, entity: &Entity, closeness: f64, rng: &mut Rng) -> Entity {
+        let mut out = entity.clone();
+        // same brewery (hard) or different brewery (easy), different beer
+        if let Some(name) = entity.value(0) {
+            out.set(
+                0,
+                Some(replace_tokens(
+                    name,
+                    pools::BEER_WORDS,
+                    0.9 - 0.6 * closeness,
+                    true,
+                    rng,
+                )),
+            );
+        }
+        if !rng.chance(closeness) {
+            let brewery = format!(
+                "{} {}",
+                zipf_pick(pools::BEER_WORDS, rng),
+                zipf_pick(pools::BREWERY_WORDS, rng)
+            );
+            out.set(1, Some(brewery));
+        }
+        if rng.chance(0.6) {
+            out.set(2, Some(zipf_pick(pools::BEER_STYLES, rng).to_owned()));
+        }
+        let abv = 3.5 + rng.f64() * 9.0;
+        out.set(3, Some(format!("{abv:.1}")));
+        out
+    }
+}
+
+/// Songs: iTunes-Amazon.
+/// Schema: song_name, artist_name, album_name, genre, price, released.
+pub struct Music;
+
+impl Domain for Music {
+    fn schema(&self) -> Schema {
+        Schema::new(vec![
+            Attribute::new("song_name", AttrType::Text),
+            Attribute::new("artist_name", AttrType::Text),
+            Attribute::new("album_name", AttrType::Text),
+            Attribute::new("genre", AttrType::Categorical),
+            Attribute::new("price", AttrType::Numeric),
+            Attribute::new("released", AttrType::Numeric),
+        ])
+    }
+
+    fn generate(&self, rng: &mut Rng) -> Entity {
+        let song = zipf_phrase(pools::SONG_WORDS, 1 + rng.below(3), rng);
+        let artist = zipf_phrase(pools::ARTIST_WORDS, 2, rng);
+        let album = zipf_phrase(pools::SONG_WORDS, 1 + rng.below(2), rng);
+        let genre = zipf_pick(pools::GENRES, rng).to_owned();
+        let price = 0.69 + rng.f64() * 1.3;
+        let released = 1990 + rng.below(31);
+        Entity::new(vec![
+            Some(song),
+            Some(artist),
+            Some(album),
+            Some(genre),
+            Some(format!("{price:.2}")),
+            Some(released.to_string()),
+        ])
+    }
+
+    fn near_miss(&self, entity: &Entity, closeness: f64, rng: &mut Rng) -> Entity {
+        let mut out = entity.clone();
+        // same artist (hard) different song, or different artist (easy)
+        if let Some(song) = entity.value(0) {
+            out.set(
+                0,
+                Some(replace_tokens(
+                    song,
+                    pools::SONG_WORDS,
+                    0.95 - 0.55 * closeness,
+                    true,
+                    rng,
+                )),
+            );
+        }
+        if !rng.chance(closeness) {
+            out.set(1, Some(zipf_phrase(pools::ARTIST_WORDS, 2, rng)));
+        }
+        if rng.chance(0.5) {
+            out.set(2, Some(zipf_phrase(pools::SONG_WORDS, 1 + rng.below(2), rng)));
+        }
+        if rng.chance(0.6) {
+            out.set(5, Some((1990 + rng.below(31)).to_string()));
+        }
+        out
+    }
+}
+
+/// Restaurants: Fodors-Zagats.
+/// Schema: name, addr, city, phone, cuisine.
+pub struct Restaurant;
+
+fn phone(rng: &mut Rng) -> String {
+    format!(
+        "{:03} {:03} {:04}",
+        200 + rng.below(800),
+        rng.below(1000),
+        rng.below(10000)
+    )
+}
+
+impl Domain for Restaurant {
+    fn schema(&self) -> Schema {
+        Schema::new(vec![
+            Attribute::new("name", AttrType::Text),
+            Attribute::new("addr", AttrType::Text),
+            Attribute::new("city", AttrType::Categorical),
+            Attribute::new("phone", AttrType::Text),
+            Attribute::new("cuisine", AttrType::Categorical),
+        ])
+    }
+
+    fn generate(&self, rng: &mut Rng) -> Entity {
+        let name = zipf_phrase(pools::RESTAURANT_WORDS, 2, rng);
+        let addr = format!("{} {}", 1 + rng.below(999), zipf_pick(pools::STREETS, rng));
+        let city = zipf_pick(pools::CITIES, rng).to_owned();
+        let cuisine = zipf_pick(pools::CUISINES, rng).to_owned();
+        Entity::new(vec![
+            Some(name),
+            Some(addr),
+            Some(city),
+            Some(phone(rng)),
+            Some(cuisine),
+        ])
+    }
+
+    fn near_miss(&self, entity: &Entity, closeness: f64, rng: &mut Rng) -> Entity {
+        let mut out = entity.clone();
+        if let Some(name) = entity.value(0) {
+            out.set(
+                0,
+                Some(replace_tokens(
+                    name,
+                    pools::RESTAURANT_WORDS,
+                    0.9 - 0.5 * closeness,
+                    true,
+                    rng,
+                )),
+            );
+        }
+        out.set(
+            1,
+            Some(format!("{} {}", 1 + rng.below(999), zipf_pick(pools::STREETS, rng))),
+        );
+        out.set(3, Some(phone(rng)));
+        if !rng.chance(closeness) {
+            out.set(2, Some(zipf_pick(pools::CITIES, rng).to_owned()));
+        }
+        out
+    }
+}
+
+/// Long-text products: Abt-Buy. Schema: name, description, price — the
+/// description dominates and the price is often missing, which is what
+/// makes the dataset "textual".
+pub struct TextualProduct;
+
+impl Domain for TextualProduct {
+    fn schema(&self) -> Schema {
+        Schema::new(vec![
+            Attribute::new("name", AttrType::Text),
+            Attribute::new("description", AttrType::Text),
+            Attribute::new("price", AttrType::Numeric),
+        ])
+    }
+
+    fn generate(&self, rng: &mut Rng) -> Entity {
+        let (title, _) = product_title(rng);
+        let desc_len = 15 + rng.below(25);
+        let description = format!(
+            "{} {}",
+            title,
+            zipf_phrase(pools::DESCRIPTION_WORDS, desc_len, rng)
+        );
+        let price = if rng.chance(0.35) {
+            None // Abt-Buy price is frequently missing
+        } else {
+            Some(format!("{:.2}", 10.0 + rng.f64() * 990.0))
+        };
+        Entity::new(vec![Some(title), Some(description), price])
+    }
+
+    fn near_miss(&self, entity: &Entity, closeness: f64, rng: &mut Rng) -> Entity {
+        let mut out = entity.clone();
+        let mut new_model = String::new();
+        if let Some(title) = entity.value(0) {
+            let (t, m) = product_near_title(title, closeness, rng);
+            out.set(0, Some(t));
+            new_model = m;
+        }
+        if let Some(desc) = entity.value(1) {
+            let mut toks: Vec<String> = desc.split_whitespace().map(str::to_owned).collect();
+            if toks.len() > 1 && !new_model.is_empty() {
+                toks[1] = new_model;
+            }
+            let replace_p = (1.0 - closeness) * 0.5;
+            for t in toks.iter_mut().skip(2) {
+                if rng.chance(replace_p) {
+                    *t = zipf_pick(pools::DESCRIPTION_WORDS, rng).to_owned();
+                }
+            }
+            out.set(1, Some(toks.join(" ")));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use text::similarity::jaccard;
+
+    fn all_domains() -> Vec<Box<dyn Domain>> {
+        vec![
+            Box::new(Bibliographic),
+            Box::new(ProductElectronics),
+            Box::new(ProductRetail),
+            Box::new(Beer),
+            Box::new(Music),
+            Box::new(Restaurant),
+            Box::new(TextualProduct),
+        ]
+    }
+
+    fn toks(e: &Entity) -> Vec<String> {
+        e.flatten().split_whitespace().map(str::to_owned).collect()
+    }
+
+    #[test]
+    fn generated_entities_match_schema_width() {
+        let mut rng = Rng::new(1);
+        for d in all_domains() {
+            let e = d.generate(&mut rng);
+            assert_eq!(e.width(), d.schema().len());
+        }
+    }
+
+    #[test]
+    fn near_miss_differs_but_overlaps() {
+        let mut rng = Rng::new(2);
+        for d in all_domains() {
+            let mut sims = Vec::new();
+            for _ in 0..30 {
+                let e = d.generate(&mut rng);
+                let nm = d.near_miss(&e, 0.5, &mut rng);
+                assert_ne!(e, nm, "near_miss produced an identical entity");
+                sims.push(jaccard(&toks(&e), &toks(&nm)));
+            }
+            let avg = linalg::stats::mean(&sims);
+            assert!(
+                (0.05..0.95).contains(&avg),
+                "mean near-miss similarity {avg} out of range ({:?})",
+                d.schema()
+            );
+        }
+    }
+
+    #[test]
+    fn closeness_controls_similarity() {
+        let mut rng = Rng::new(3);
+        for d in all_domains() {
+            let mut close_sims = Vec::new();
+            let mut far_sims = Vec::new();
+            for _ in 0..60 {
+                let e = d.generate(&mut rng);
+                let near = d.near_miss(&e, 0.95, &mut rng);
+                let far = d.near_miss(&e, 0.05, &mut rng);
+                close_sims.push(jaccard(&toks(&e), &toks(&near)));
+                far_sims.push(jaccard(&toks(&e), &toks(&far)));
+            }
+            let c = linalg::stats::mean(&close_sims);
+            let f = linalg::stats::mean(&far_sims);
+            assert!(c > f + 0.05, "closeness ineffective: close {c} vs far {f}");
+        }
+    }
+
+    #[test]
+    fn zipf_pick_is_skewed() {
+        let mut rng = Rng::new(3);
+        let mut low = 0;
+        let n = 10_000;
+        for _ in 0..n {
+            let u = rng.f64();
+            let idx = ((51.0f64).powf(u) - 1.0).floor() as usize;
+            if idx < 5 {
+                low += 1;
+            }
+        }
+        assert!(low as f64 / n as f64 > 0.3, "{low}");
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let d = Bibliographic;
+        let mut a = Rng::new(9);
+        let mut b = Rng::new(9);
+        for _ in 0..10 {
+            assert_eq!(d.generate(&mut a), d.generate(&mut b));
+        }
+    }
+
+    #[test]
+    fn textual_product_sometimes_misses_price() {
+        let d = TextualProduct;
+        let mut rng = Rng::new(4);
+        let missing = (0..200)
+            .filter(|_| d.generate(&mut rng).value(2).is_none())
+            .count();
+        assert!(missing > 30 && missing < 120, "{missing}");
+    }
+
+    #[test]
+    fn replace_tokens_forces_change() {
+        let mut rng = Rng::new(5);
+        let out = replace_tokens("alpha beta", pools::BEER_WORDS, 0.0, true, &mut rng);
+        assert_ne!(out, "alpha beta");
+    }
+}

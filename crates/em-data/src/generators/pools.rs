@@ -1,0 +1,161 @@
+//! Static token pools for the synthetic entity generators.
+//!
+//! Each pool plays the role of the source vocabularies of the original
+//! Magellan tables (paper titles, product lines, beer styles, …). Pools are
+//! intentionally skewed when sampled (see [`super::zipf_pick`]) so token
+//! frequencies follow the Zipf-like shape of real text.
+
+/// Research-paper title words (DBLP / ACM / Google Scholar universe).
+pub const RESEARCH_WORDS: &[&str] = &[
+    "learning", "database", "query", "optimization", "distributed", "systems", "efficient",
+    "scalable", "parallel", "indexing", "mining", "streams", "graph", "semantic", "web",
+    "knowledge", "integration", "schema", "matching", "entity", "resolution", "clustering",
+    "classification", "neural", "networks", "deep", "probabilistic", "models", "inference",
+    "approximate", "algorithms", "analysis", "processing", "transactions", "concurrency",
+    "recovery", "storage", "memory", "cache", "adaptive", "dynamic", "incremental", "online",
+    "framework", "architecture", "evaluation", "benchmark", "performance", "spatial",
+    "temporal", "relational", "xml", "keyword", "search", "ranking", "similarity", "joins",
+    "aggregation", "sampling", "estimation", "privacy", "security", "crowdsourcing",
+    "provenance", "uncertain", "incomplete", "heterogeneous", "federated", "cloud",
+    "mapreduce", "workflow", "visualization", "interactive", "exploration", "recommendation",
+];
+
+/// Author first names.
+pub const FIRST_NAMES: &[&str] = &[
+    "john", "wei", "maria", "david", "yuki", "anna", "carlos", "elena", "rajesh", "sofia",
+    "michael", "li", "sarah", "ahmed", "laura", "peter", "chen", "julia", "marco", "nina",
+    "thomas", "ying", "paul", "irina", "jorge", "kate", "hiro", "emma", "luigi", "divya",
+];
+
+/// Author last names.
+pub const LAST_NAMES: &[&str] = &[
+    "smith", "zhang", "garcia", "johnson", "tanaka", "mueller", "rossi", "kumar", "ivanov",
+    "kim", "chen", "brown", "silva", "nguyen", "hansen", "lopez", "wang", "taylor", "sato",
+    "weber", "ferrari", "patel", "petrov", "lee", "liu", "davis", "santos", "tran", "larsen",
+    "moreno",
+];
+
+/// Publication venues (paired long/short forms live in `VENUE_ABBREV`).
+pub const VENUES: &[&str] = &[
+    "sigmod conference", "vldb", "icde", "edbt", "cikm", "kdd", "icml", "nips", "www",
+    "sigir", "pods", "icdt", "acm transactions on database systems", "vldb journal",
+    "ieee transactions on knowledge and data engineering", "information systems",
+    "data mining and knowledge discovery", "journal of machine learning research",
+];
+
+/// Consumer-electronics brands (Amazon-Google / Walmart-Amazon universe).
+pub const BRANDS: &[&str] = &[
+    "sony", "samsung", "panasonic", "canon", "nikon", "apple", "microsoft", "logitech",
+    "hp", "dell", "lenovo", "asus", "acer", "toshiba", "philips", "lg", "epson", "brother",
+    "kodak", "sandisk", "kingston", "netgear", "linksys", "belkin", "garmin", "jvc",
+    "olympus", "casio", "sharp", "vizio",
+];
+
+/// Product nouns.
+pub const PRODUCT_NOUNS: &[&str] = &[
+    "laptop", "camera", "printer", "monitor", "keyboard", "mouse", "speaker", "headphones",
+    "router", "tablet", "smartphone", "charger", "adapter", "cable", "battery", "projector",
+    "scanner", "webcam", "microphone", "drive", "memory", "card", "case", "stand", "dock",
+    "television", "soundbar", "receiver", "lens", "tripod",
+];
+
+/// Product qualifier tokens.
+pub const PRODUCT_QUALIFIERS: &[&str] = &[
+    "wireless", "bluetooth", "portable", "digital", "compact", "professional", "gaming",
+    "ultra", "slim", "premium", "hd", "4k", "stereo", "noise", "cancelling", "rechargeable",
+    "waterproof", "ergonomic", "backlit", "mechanical", "optical", "usb", "hdmi", "black",
+    "white", "silver", "rgb", "mini", "max", "pro",
+];
+
+/// Product categories (Walmart-Amazon has a category column).
+pub const PRODUCT_CATEGORIES: &[&str] = &[
+    "electronics", "computers", "accessories", "audio", "video", "photography", "networking",
+    "storage", "printers", "televisions", "cameras", "office",
+];
+
+/// Beer name words (BeerAdvo-RateBeer universe).
+pub const BEER_WORDS: &[&str] = &[
+    "golden", "dark", "old", "river", "mountain", "hoppy", "amber", "winter", "summer",
+    "harvest", "imperial", "double", "barrel", "aged", "wild", "sour", "smoked", "honey",
+    "ghost", "iron", "copper", "raven", "eagle", "wolf", "bear", "fox", "oak", "maple",
+    "stone", "creek",
+];
+
+/// Beer styles.
+pub const BEER_STYLES: &[&str] = &[
+    "american ipa", "imperial stout", "pale ale", "pilsner", "porter", "hefeweizen",
+    "saison", "lager", "amber ale", "brown ale", "belgian tripel", "witbier", "barleywine",
+    "kolsch", "dunkel",
+];
+
+/// Brewery name words.
+pub const BREWERY_WORDS: &[&str] = &[
+    "brewing", "company", "brewery", "brewers", "craft", "works", "house", "valley", "city",
+    "north", "south", "coast", "point", "street", "union", "anchor", "summit", "granite",
+];
+
+/// Song title words (iTunes-Amazon universe).
+pub const SONG_WORDS: &[&str] = &[
+    "love", "night", "heart", "dance", "fire", "dream", "light", "rain", "summer", "home",
+    "road", "time", "stars", "moon", "river", "sky", "gold", "blue", "wild", "young",
+    "forever", "tonight", "baby", "crazy", "sweet", "broken", "midnight", "sunshine",
+    "thunder", "echo",
+];
+
+/// Artist name words.
+pub const ARTIST_WORDS: &[&str] = &[
+    "the", "black", "red", "electric", "velvet", "royal", "silver", "neon", "lost", "city",
+    "kings", "queens", "riders", "brothers", "sisters", "band", "crew", "project", "sound",
+    "collective",
+];
+
+/// Music genres.
+pub const GENRES: &[&str] = &[
+    "pop", "rock", "hip hop", "country", "jazz", "electronic", "r&b", "folk", "classical",
+    "reggae", "blues", "metal", "indie", "soul", "dance",
+];
+
+/// Restaurant name words (Fodors-Zagats universe).
+pub const RESTAURANT_WORDS: &[&str] = &[
+    "cafe", "grill", "bistro", "kitchen", "garden", "palace", "house", "corner", "golden",
+    "royal", "little", "blue", "ocean", "harbor", "vine", "olive", "spice", "pepper",
+    "bamboo", "lotus", "sunset", "terrace", "plaza", "fountain", "villa", "castle",
+];
+
+/// Cuisines.
+pub const CUISINES: &[&str] = &[
+    "italian", "french", "chinese", "japanese", "mexican", "indian", "thai", "american",
+    "mediterranean", "greek", "spanish", "vietnamese", "korean", "seafood", "steakhouse",
+];
+
+/// US cities.
+pub const CITIES: &[&str] = &[
+    "new york", "los angeles", "chicago", "san francisco", "boston", "seattle", "austin",
+    "denver", "miami", "portland", "atlanta", "dallas", "philadelphia", "phoenix", "houston",
+];
+
+/// Street names for addresses.
+pub const STREETS: &[&str] = &[
+    "main st", "oak ave", "maple dr", "park blvd", "market st", "broadway", "sunset blvd",
+    "5th ave", "lake shore dr", "mission st", "elm st", "pine st", "washington ave",
+    "lincoln rd", "river rd",
+];
+
+/// Long-description filler (Abt-Buy style descriptions).
+pub const DESCRIPTION_WORDS: &[&str] = &[
+    "features", "includes", "designed", "perfect", "quality", "durable", "lightweight",
+    "easy", "install", "compatible", "warranty", "package", "contents", "dimensions",
+    "resolution", "battery", "life", "hours", "connectivity", "performance", "advanced",
+    "technology", "system", "control", "remote", "display", "screen", "inch", "power",
+    "energy", "efficient", "sleek", "design", "color", "options", "available", "model",
+    "series", "edition", "includes", "adapter", "manual", "support", "ideal", "everyday",
+    "use", "high", "speed", "capacity", "storage",
+];
+
+/// Extra tokens a second source typically appends (condition notes, sellers,
+/// shipping notes). Used as the `extra_pool` of the corruption operators.
+pub const SOURCE_EXTRAS: &[&str] = &[
+    "new", "oem", "retail", "pack", "edition", "bundle", "kit", "w", "incl", "free",
+    "shipping", "genuine", "original", "refurbished", "sealed", "us", "version", "2nd",
+    "gen", "latest",
+];

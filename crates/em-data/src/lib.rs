@@ -1,0 +1,41 @@
+//! # em-data — Entity Matching dataset substrate
+//!
+//! The paper evaluates on the 12 Magellan benchmark datasets (Table 1). The
+//! real datasets are scraped CSVs distributed with DeepMatcher; this crate
+//! replaces them with **deterministic synthetic generators** that reproduce
+//! each dataset's published profile:
+//!
+//! * the record-pair count and match percentage of Table 1,
+//! * the schema family (bibliographic, product, beer, music, restaurant,
+//!   long-text) of the original source pair,
+//! * the dataset *type* — `Structured`, `Textual`, `Dirty` — including the
+//!   Magellan construction of the dirty variants (attribute values moved
+//!   into the wrong column),
+//! * the qualitative difficulty ordering (e.g. Walmart-Amazon and Abt-Buy
+//!   are hard, DBLP-ACM and Fodors-Zagats are nearly saturated), via a
+//!   per-profile noise intensity.
+//!
+//! Matching pairs are corrupted duplicates of one generated entity;
+//! non-matching pairs are produced the way Magellan candidate sets are —
+//! by *blocking*, i.e. sampling pairs of distinct entities that still share
+//! tokens, so negatives are hard and the class ratio matches Table 1.
+//!
+//! Layout: [`schema`] and [`record`] define the data model, [`dataset`]
+//! the split container, [`generators`] the per-domain entity factories,
+//! [`noise`] the corruption operators, [`magellan`] the 12 profiles, and
+//! [`csv`] a tiny load/store format so examples can persist datasets.
+
+pub mod blocking;
+pub mod csv;
+pub mod dataset;
+pub mod generators;
+pub mod magellan;
+pub mod noise;
+pub mod record;
+pub mod schema;
+
+pub use blocking::{token_blocking, BlockerConfig, BlockingResult, CandidatePair};
+pub use dataset::{EmDataset, Split};
+pub use magellan::{magellan_benchmark, DatasetProfile, MagellanDataset};
+pub use record::{Entity, RecordPair};
+pub use schema::{AttrType, Attribute, DatasetKind, Schema};

@@ -1,0 +1,346 @@
+//! Corruption operators used to derive the "other source's" description of
+//! an entity, and to create the *dirty* dataset variants.
+//!
+//! The intensity of each operator is governed by a single [`NoiseConfig`]
+//! whose `level` knob is what the Magellan profiles tune per dataset: the
+//! near-saturated datasets (DBLP-ACM, Fodors-Zagats) use low levels, the
+//! hard ones (Walmart-Amazon, Abt-Buy) high levels.
+
+use crate::record::Entity;
+use crate::schema::{AttrType, Schema};
+use linalg::Rng;
+
+/// Per-operator probabilities for corrupting one attribute value.
+#[derive(Debug, Clone, Copy)]
+pub struct NoiseConfig {
+    /// Probability of a character-level typo per token.
+    pub typo: f64,
+    /// Probability of dropping each token.
+    pub token_drop: f64,
+    /// Probability of abbreviating each token to its first letters.
+    pub abbreviate: f64,
+    /// Probability of nulling out a whole attribute value.
+    pub missing: f64,
+    /// Probability of appending extra source-specific tokens.
+    pub extra_tokens: f64,
+    /// Relative jitter applied to numeric attributes.
+    pub numeric_jitter: f64,
+    /// Probability that a token is replaced by a synonym-style variant
+    /// (simulated by a deterministic re-spelling).
+    pub respell: f64,
+}
+
+impl NoiseConfig {
+    /// Scale a base configuration by a difficulty `level` in `[0, 1]`.
+    ///
+    /// `level = 0` produces nearly verbatim duplicates; `level = 1` the
+    /// heaviest corruption used by the hardest Magellan profiles.
+    pub fn from_level(level: f64) -> Self {
+        let level = level.clamp(0.0, 1.0);
+        Self {
+            typo: 0.02 + 0.13 * level,
+            token_drop: 0.02 + 0.28 * level,
+            abbreviate: 0.01 + 0.14 * level,
+            missing: 0.01 + 0.19 * level,
+            extra_tokens: 0.05 + 0.35 * level,
+            numeric_jitter: 0.005 + 0.12 * level,
+            respell: 0.01 + 0.14 * level,
+        }
+    }
+}
+
+/// Apply one random character-level typo to a token: swap, delete, replace
+/// or duplicate a character. Tokens of length < 2 are returned unchanged.
+pub fn typo(token: &str, rng: &mut Rng) -> String {
+    let chars: Vec<char> = token.chars().collect();
+    if chars.len() < 2 {
+        return token.to_owned();
+    }
+    let mut out = chars.clone();
+    match rng.below(4) {
+        0 => {
+            // adjacent swap
+            let i = rng.below(out.len() - 1);
+            out.swap(i, i + 1);
+        }
+        1 => {
+            // delete
+            let i = rng.below(out.len());
+            out.remove(i);
+        }
+        2 => {
+            // replace with a nearby letter
+            let i = rng.below(out.len());
+            let c = out[i];
+            out[i] = if c.is_ascii_alphabetic() {
+                let base = if c.is_ascii_uppercase() { b'A' } else { b'a' };
+                let off = (c as u8 - base + 1 + rng.below(24) as u8) % 26;
+                (base + off) as char
+            } else {
+                'x'
+            };
+        }
+        _ => {
+            // duplicate
+            let i = rng.below(out.len());
+            let c = out[i];
+            out.insert(i, c);
+        }
+    }
+    out.into_iter().collect()
+}
+
+/// Abbreviate a token: keep the first 1–3 characters (simulating
+/// "proceedings" → "proc", "international" → "intl"-style differences).
+pub fn abbreviate(token: &str, rng: &mut Rng) -> String {
+    let chars: Vec<char> = token.chars().collect();
+    if chars.len() <= 3 {
+        return token.to_owned();
+    }
+    let keep = 1 + rng.below(3);
+    chars[..keep].iter().collect()
+}
+
+/// Deterministic re-spelling of a token (vowel dropping), simulating
+/// source-specific naming conventions ("center" / "centre" class of
+/// variation).
+pub fn respell(token: &str) -> String {
+    if token.chars().count() <= 3 {
+        return token.to_owned();
+    }
+    let mut out = String::with_capacity(token.len());
+    let chars: Vec<char> = token.chars().collect();
+    for (i, &c) in chars.iter().enumerate() {
+        // drop internal vowels, keep first/last characters
+        if i > 0 && i + 1 < chars.len() && matches!(c, 'a' | 'e' | 'i' | 'o' | 'u') {
+            continue;
+        }
+        out.push(c);
+    }
+    if out.len() < 2 {
+        token.to_owned()
+    } else {
+        out
+    }
+}
+
+/// Corrupt a single text value token-by-token according to `cfg`.
+pub fn corrupt_text(value: &str, cfg: &NoiseConfig, extra_pool: &[&str], rng: &mut Rng) -> String {
+    let mut tokens: Vec<String> = Vec::new();
+    for tok in value.split_whitespace() {
+        if rng.chance(cfg.token_drop) {
+            continue;
+        }
+        let mut t = tok.to_owned();
+        if rng.chance(cfg.respell) {
+            t = respell(&t);
+        }
+        if rng.chance(cfg.abbreviate) {
+            t = abbreviate(&t, rng);
+        }
+        if rng.chance(cfg.typo) {
+            t = typo(&t, rng);
+        }
+        tokens.push(t);
+    }
+    if !extra_pool.is_empty() && rng.chance(cfg.extra_tokens) {
+        let n_extra = 1 + rng.below(2);
+        for _ in 0..n_extra {
+            tokens.push((*rng.choose(extra_pool)).to_owned());
+        }
+    }
+    if tokens.is_empty() {
+        // never return a fully empty corruption of a non-empty value;
+        // keep the first original token instead
+        value
+            .split_whitespace()
+            .next()
+            .unwrap_or_default()
+            .to_owned()
+    } else {
+        tokens.join(" ")
+    }
+}
+
+/// Corrupt a numeric value by relative jitter, preserving integer-ness.
+pub fn corrupt_numeric(value: &str, cfg: &NoiseConfig, rng: &mut Rng) -> String {
+    match value.parse::<f64>() {
+        Ok(x) => {
+            let jitter = 1.0 + cfg.numeric_jitter * (rng.f64() * 2.0 - 1.0);
+            let y = x * jitter;
+            if value.contains('.') {
+                format!("{y:.2}")
+            } else {
+                format!("{}", y.round() as i64)
+            }
+        }
+        Err(_) => value.to_owned(),
+    }
+}
+
+/// Derive the matching counterpart of `entity`: every attribute value is
+/// corrupted independently; whole values go missing with `cfg.missing`.
+pub fn corrupt_entity(
+    entity: &Entity,
+    schema: &Schema,
+    cfg: &NoiseConfig,
+    extra_pool: &[&str],
+    rng: &mut Rng,
+) -> Entity {
+    let mut out = Entity::empty(entity.width());
+    for (i, attr) in schema.attributes().iter().enumerate() {
+        let Some(v) = entity.value(i) else {
+            continue;
+        };
+        if rng.chance(cfg.missing) {
+            continue; // value lost in the other source
+        }
+        let corrupted = match attr.ty {
+            AttrType::Numeric => corrupt_numeric(v, cfg, rng),
+            AttrType::Text | AttrType::Categorical => corrupt_text(v, cfg, extra_pool, rng),
+        };
+        out.set(i, Some(corrupted));
+    }
+    out
+}
+
+/// Make an entity *dirty* in the Magellan sense: with probability
+/// `move_prob` per attribute, its value is appended to another attribute's
+/// value and the original is emptied.
+pub fn dirtify(entity: &Entity, move_prob: f64, rng: &mut Rng) -> Entity {
+    let width = entity.width();
+    let mut out = entity.clone();
+    if width < 2 {
+        return out;
+    }
+    for i in 0..width {
+        if out.value(i).is_some() && rng.chance(move_prob) {
+            let mut j = rng.below(width - 1);
+            if j >= i {
+                j += 1;
+            }
+            let moved = out.value(i).unwrap().to_owned();
+            let merged = match out.value(j) {
+                Some(existing) => format!("{existing} {moved}"),
+                None => moved,
+            };
+            out.set(j, Some(merged));
+            out.set(i, None);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{AttrType, Attribute};
+    use text::similarity::levenshtein_sim;
+
+    #[test]
+    fn typo_changes_string_slightly() {
+        let mut rng = Rng::new(1);
+        for _ in 0..50 {
+            let t = typo("keyboard", &mut rng);
+            assert!(levenshtein_sim("keyboard", &t) >= 0.7, "{t}");
+        }
+        assert_eq!(typo("a", &mut rng), "a");
+    }
+
+    #[test]
+    fn abbreviate_shortens() {
+        let mut rng = Rng::new(2);
+        let a = abbreviate("international", &mut rng);
+        assert!(a.len() <= 3 && "international".starts_with(&a));
+        assert_eq!(abbreviate("abc", &mut rng), "abc");
+    }
+
+    #[test]
+    fn respell_drops_vowels() {
+        assert_eq!(respell("center"), "cntr");
+        assert_eq!(respell("cat"), "cat");
+        // first and last chars kept
+        let r = respell("orange");
+        assert!(r.starts_with('o') && r.ends_with('e'), "{r}");
+    }
+
+    #[test]
+    fn corrupt_text_preserves_similarity_at_low_level() {
+        let mut rng = Rng::new(3);
+        let cfg = NoiseConfig::from_level(0.1);
+        let original = "deep learning for entity matching a design space exploration";
+        let mut sims = Vec::new();
+        for _ in 0..30 {
+            let c = corrupt_text(original, &cfg, &["acm", "press"], &mut rng);
+            sims.push(text::similarity::jaccard(
+                &original.split_whitespace().map(str::to_owned).collect::<Vec<_>>(),
+                &c.split_whitespace().map(str::to_owned).collect::<Vec<_>>(),
+            ));
+        }
+        let avg: f64 = sims.iter().sum::<f64>() / sims.len() as f64;
+        assert!(avg > 0.6, "avg jaccard {avg}");
+    }
+
+    #[test]
+    fn corrupt_text_never_empty_for_nonempty_input() {
+        let mut rng = Rng::new(4);
+        let cfg = NoiseConfig {
+            token_drop: 1.0, // drop everything
+            ..NoiseConfig::from_level(1.0)
+        };
+        let c = corrupt_text("solo", &cfg, &[], &mut rng);
+        assert_eq!(c, "solo");
+    }
+
+    #[test]
+    fn corrupt_numeric_jitters_within_bounds() {
+        let mut rng = Rng::new(5);
+        let cfg = NoiseConfig::from_level(0.5);
+        for _ in 0..50 {
+            let v: f64 = corrupt_numeric("100", &cfg, &mut rng).parse().unwrap();
+            assert!((v - 100.0).abs() <= 100.0 * cfg.numeric_jitter + 1.0, "{v}");
+        }
+        assert_eq!(corrupt_numeric("n/a", &cfg, &mut rng), "n/a");
+    }
+
+    #[test]
+    fn corrupt_entity_respects_missing() {
+        let schema = Schema::new(vec![
+            Attribute::new("title", AttrType::Text),
+            Attribute::new("year", AttrType::Numeric),
+        ]);
+        let e = Entity::new(vec![Some("some title here".into()), Some("1999".into())]);
+        let mut rng = Rng::new(6);
+        let cfg = NoiseConfig {
+            missing: 1.0,
+            ..NoiseConfig::from_level(0.0)
+        };
+        let c = corrupt_entity(&e, &schema, &cfg, &[], &mut rng);
+        assert_eq!(c.missing_count(), 2);
+    }
+
+    #[test]
+    fn dirtify_moves_but_preserves_tokens() {
+        let e = Entity::new(vec![
+            Some("alpha".into()),
+            Some("beta".into()),
+            Some("gamma".into()),
+        ]);
+        let mut rng = Rng::new(7);
+        let d = dirtify(&e, 1.0, &mut rng);
+        // all original tokens survive somewhere
+        let all: String = d.flatten();
+        for tok in ["alpha", "beta", "gamma"] {
+            assert!(all.contains(tok), "missing {tok} in {all}");
+        }
+        // and at least one slot was emptied
+        assert!(d.missing_count() >= 1);
+    }
+
+    #[test]
+    fn dirtify_single_column_is_noop() {
+        let e = Entity::new(vec![Some("only".into())]);
+        let mut rng = Rng::new(8);
+        assert_eq!(dirtify(&e, 1.0, &mut rng), e);
+    }
+}

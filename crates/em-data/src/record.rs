@@ -1,0 +1,166 @@
+//! Entities and record pairs — the unit of data in every EM dataset.
+
+use crate::schema::Schema;
+
+/// One entity description: a value (possibly missing) per schema attribute.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Entity {
+    values: Vec<Option<String>>,
+}
+
+impl Entity {
+    /// Build from per-attribute values. Empty strings are normalized to
+    /// missing (`None`): the two are indistinguishable in the CSV format
+    /// and every consumer treats them identically.
+    pub fn new(values: Vec<Option<String>>) -> Self {
+        Self {
+            values: values
+                .into_iter()
+                .map(|v| v.filter(|s| !s.is_empty()))
+                .collect(),
+        }
+    }
+
+    /// All-missing entity of the given width.
+    pub fn empty(width: usize) -> Self {
+        Self {
+            values: vec![None; width],
+        }
+    }
+
+    /// Value of attribute `i` (`None` when missing).
+    pub fn value(&self, i: usize) -> Option<&str> {
+        self.values.get(i).and_then(|v| v.as_deref())
+    }
+
+    /// Value of attribute `i`, or `""` when missing.
+    pub fn value_or_empty(&self, i: usize) -> &str {
+        self.value(i).unwrap_or("")
+    }
+
+    /// Replace the value of attribute `i`.
+    pub fn set(&mut self, i: usize, value: Option<String>) {
+        self.values[i] = value;
+    }
+
+    /// Number of attribute slots.
+    pub fn width(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Iterate values in attribute order.
+    pub fn values(&self) -> impl Iterator<Item = Option<&str>> {
+        self.values.iter().map(|v| v.as_deref())
+    }
+
+    /// All attribute values concatenated with single spaces (missing values
+    /// skipped) — the "unstructured" serialization of §4.
+    pub fn flatten(&self) -> String {
+        let mut out = String::new();
+        for v in self.values.iter().flatten() {
+            if !out.is_empty() {
+                out.push(' ');
+            }
+            out.push_str(v);
+        }
+        out
+    }
+
+    /// Count of missing values.
+    pub fn missing_count(&self) -> usize {
+        self.values.iter().filter(|v| v.is_none()).count()
+    }
+}
+
+/// One labeled record of an EM dataset: a pair of entity descriptions and
+/// whether they refer to the same real-world entity.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecordPair {
+    /// The left entity (from the first source table).
+    pub left: Entity,
+    /// The right entity (from the second source table).
+    pub right: Entity,
+    /// `true` when the two descriptions refer to the same entity.
+    pub label: bool,
+}
+
+impl RecordPair {
+    /// Build a pair; both sides must agree on width.
+    pub fn new(left: Entity, right: Entity, label: bool) -> Self {
+        assert_eq!(
+            left.width(),
+            right.width(),
+            "record pair sides have different widths"
+        );
+        Self { left, right, label }
+    }
+
+    /// Width (number of attributes per side).
+    pub fn width(&self) -> usize {
+        self.left.width()
+    }
+
+    /// Serialize the pair into the flat
+    /// `a₁₁ … a₁M a₂₁ … a₂M` attribute layout described in §4,
+    /// with attribute names qualified by side.
+    pub fn flat_columns(&self, schema: &Schema) -> Vec<(String, Option<String>)> {
+        let mut out = Vec::with_capacity(self.width() * 2);
+        for (side, entity) in [("left", &self.left), ("right", &self.right)] {
+            for (i, attr) in schema.attributes().iter().enumerate() {
+                out.push((
+                    format!("{side}_{}", attr.name),
+                    entity.value(i).map(str::to_owned),
+                ));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{AttrType, Attribute, Schema};
+
+    fn entity(vals: &[&str]) -> Entity {
+        Entity::new(vals.iter().map(|v| Some((*v).to_owned())).collect())
+    }
+
+    #[test]
+    fn entity_accessors() {
+        let mut e = entity(&["iphone", "apple"]);
+        assert_eq!(e.value(0), Some("iphone"));
+        assert_eq!(e.width(), 2);
+        e.set(1, None);
+        assert_eq!(e.value(1), None);
+        assert_eq!(e.value_or_empty(1), "");
+        assert_eq!(e.missing_count(), 1);
+    }
+
+    #[test]
+    fn flatten_skips_missing() {
+        let e = Entity::new(vec![Some("a".into()), None, Some("b".into())]);
+        assert_eq!(e.flatten(), "a b");
+        assert_eq!(Entity::empty(3).flatten(), "");
+    }
+
+    #[test]
+    fn pair_flat_columns_layout() {
+        let schema = Schema::new(vec![
+            Attribute::new("title", AttrType::Text),
+            Attribute::new("year", AttrType::Numeric),
+        ]);
+        let p = RecordPair::new(entity(&["t1", "1999"]), entity(&["t2", "2001"]), true);
+        let cols = p.flat_columns(&schema);
+        assert_eq!(cols.len(), 4);
+        assert_eq!(cols[0].0, "left_title");
+        assert_eq!(cols[3].0, "right_year");
+        assert_eq!(cols[3].1.as_deref(), Some("2001"));
+    }
+
+    #[test]
+    #[should_panic(expected = "different widths")]
+    fn mismatched_widths_rejected() {
+        RecordPair::new(Entity::empty(2), Entity::empty(3), false);
+    }
+}

@@ -1,0 +1,134 @@
+//! Dataset schemas: attribute names, types and dataset kinds.
+
+use std::fmt;
+
+/// The value domain of an attribute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AttrType {
+    /// Free text (titles, descriptions, author lists, …).
+    Text,
+    /// Numeric values (year, price, ABV, …) stored as strings but parseable.
+    Numeric,
+    /// Low-cardinality strings (venue, genre, category, …).
+    Categorical,
+}
+
+/// One attribute of an entity description.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Attribute {
+    /// Column name, e.g. `"title"`.
+    pub name: String,
+    /// Value domain.
+    pub ty: AttrType,
+}
+
+impl Attribute {
+    /// Convenience constructor.
+    pub fn new(name: &str, ty: AttrType) -> Self {
+        Self {
+            name: name.to_owned(),
+            ty,
+        }
+    }
+}
+
+/// The Magellan benchmark groups datasets into three types (Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DatasetKind {
+    /// Clean attribute-aligned records.
+    Structured,
+    /// Records dominated by one long free-text attribute.
+    Textual,
+    /// Structured records whose values were moved into wrong columns.
+    Dirty,
+}
+
+impl fmt::Display for DatasetKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DatasetKind::Structured => "Structured",
+            DatasetKind::Textual => "Textual",
+            DatasetKind::Dirty => "Dirty",
+        };
+        f.write_str(s)
+    }
+}
+
+/// An ordered list of attributes shared by both entities of every pair.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schema {
+    attributes: Vec<Attribute>,
+}
+
+impl Schema {
+    /// Build from an attribute list; names must be unique.
+    pub fn new(attributes: Vec<Attribute>) -> Self {
+        for i in 0..attributes.len() {
+            for j in i + 1..attributes.len() {
+                assert_ne!(
+                    attributes[i].name, attributes[j].name,
+                    "duplicate attribute name '{}'",
+                    attributes[i].name
+                );
+            }
+        }
+        Self { attributes }
+    }
+
+    /// The attributes, in column order.
+    pub fn attributes(&self) -> &[Attribute] {
+        &self.attributes
+    }
+
+    /// Number of attributes.
+    pub fn len(&self) -> usize {
+        self.attributes.len()
+    }
+
+    /// True when the schema has no attributes.
+    pub fn is_empty(&self) -> bool {
+        self.attributes.is_empty()
+    }
+
+    /// Index of the attribute called `name`.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.attributes.iter().position(|a| a.name == name)
+    }
+
+    /// Attribute at position `i`.
+    pub fn attr(&self, i: usize) -> &Attribute {
+        &self.attributes[i]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schema_lookup() {
+        let s = Schema::new(vec![
+            Attribute::new("title", AttrType::Text),
+            Attribute::new("year", AttrType::Numeric),
+        ]);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.index_of("year"), Some(1));
+        assert_eq!(s.index_of("nope"), None);
+        assert_eq!(s.attr(0).name, "title");
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate attribute")]
+    fn duplicate_names_rejected() {
+        Schema::new(vec![
+            Attribute::new("a", AttrType::Text),
+            Attribute::new("a", AttrType::Numeric),
+        ]);
+    }
+
+    #[test]
+    fn kind_display() {
+        assert_eq!(DatasetKind::Structured.to_string(), "Structured");
+        assert_eq!(DatasetKind::Dirty.to_string(), "Dirty");
+    }
+}

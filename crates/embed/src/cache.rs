@@ -1,0 +1,92 @@
+//! Memoized embedding of text sequences.
+//!
+//! EM datasets repeat attribute values heavily (the same venue string, the
+//! same brand, near-duplicate titles appear in many pairs), so caching by
+//! exact string removes a large share of the transformer forward passes
+//! when embedding a full dataset.
+
+use crate::SequenceEmbedder;
+use std::cell::RefCell;
+use std::collections::HashMap;
+
+/// A caching wrapper around any [`SequenceEmbedder`].
+pub struct EmbeddingCache<'a> {
+    inner: &'a dyn SequenceEmbedder,
+    cache: RefCell<HashMap<String, Vec<f32>>>,
+    hits: RefCell<usize>,
+    misses: RefCell<usize>,
+}
+
+impl<'a> EmbeddingCache<'a> {
+    /// Wrap an embedder.
+    pub fn new(inner: &'a dyn SequenceEmbedder) -> Self {
+        Self {
+            inner,
+            cache: RefCell::new(HashMap::new()),
+            hits: RefCell::new(0),
+            misses: RefCell::new(0),
+        }
+    }
+
+    /// Embed through the cache.
+    pub fn embed(&self, textv: &str) -> Vec<f32> {
+        if let Some(v) = self.cache.borrow().get(textv) {
+            *self.hits.borrow_mut() += 1;
+            return v.clone();
+        }
+        *self.misses.borrow_mut() += 1;
+        let v = self.inner.embed(textv);
+        self.cache.borrow_mut().insert(textv.to_owned(), v.clone());
+        v
+    }
+
+    /// `(hits, misses)` counters.
+    pub fn stats(&self) -> (usize, usize) {
+        (*self.hits.borrow(), *self.misses.borrow())
+    }
+
+    /// Embedding width of the wrapped embedder.
+    pub fn dim(&self) -> usize {
+        self.inner.dim()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct CountingEmbedder {
+        calls: RefCell<usize>,
+    }
+
+    impl SequenceEmbedder for CountingEmbedder {
+        fn dim(&self) -> usize {
+            2
+        }
+
+        fn embed(&self, textv: &str) -> Vec<f32> {
+            *self.calls.borrow_mut() += 1;
+            vec![textv.len() as f32, 1.0]
+        }
+
+        fn name(&self) -> String {
+            "counting".into()
+        }
+    }
+
+    #[test]
+    fn cache_deduplicates_calls() {
+        let inner = CountingEmbedder {
+            calls: RefCell::new(0),
+        };
+        let cache = EmbeddingCache::new(&inner);
+        let a1 = cache.embed("hello");
+        let a2 = cache.embed("hello");
+        let b = cache.embed("world!");
+        assert_eq!(a1, a2);
+        assert_eq!(b[0], 6.0);
+        assert_eq!(*inner.calls.borrow(), 2);
+        assert_eq!(cache.stats(), (1, 2));
+        assert_eq!(cache.dim(), 2);
+    }
+}

@@ -1,0 +1,459 @@
+//! The five transformer embedder families of the paper (§4/§5.2): Bert,
+//! DistilBert, Albert, Roberta and XLNet stand-ins.
+//!
+//! Each family keeps the architecture trait that distinguishes the real
+//! checkpoint (see the table in [`nn::transformer`]); capacities are scaled
+//! down to laptop size. A family is **pretrained once** on the generalist
+//! corpus with the masked-LM objective, then frozen; the EM adapter only
+//! ever calls [`PretrainedTransformer::embed`].
+//!
+//! The ALBERT family intentionally gets the *largest* effective depth for
+//! its parameter count (layer sharing lets it train further within the same
+//! pretraining budget) — the property that makes it the paper's best
+//! embedder in Table 3.
+
+use crate::pretrain::{build_tokenizer, generalist_corpus, mask_tokens};
+use crate::SequenceEmbedder;
+use linalg::Rng;
+use nn::optim::Adam;
+use nn::transformer::{TransformerConfig, TransformerEncoder};
+use nn::{Grads, ParamStore, Tape};
+use text::SubwordTokenizer;
+
+/// The five embedder families evaluated in Table 3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EmbedderFamily {
+    /// Baseline encoder, learned absolute positions.
+    Bert,
+    /// Distilled: half the layers of Bert.
+    DBert,
+    /// Cross-layer parameter sharing + factorized embeddings, more
+    /// effective layers.
+    Albert,
+    /// Larger subword vocabulary.
+    Roberta,
+    /// Relative position bias instead of absolute positions.
+    Xlnet,
+}
+
+impl EmbedderFamily {
+    /// All families in the order of the paper's tables.
+    pub const ALL: [EmbedderFamily; 5] = [
+        EmbedderFamily::Bert,
+        EmbedderFamily::DBert,
+        EmbedderFamily::Albert,
+        EmbedderFamily::Roberta,
+        EmbedderFamily::Xlnet,
+    ];
+
+    /// Table column label.
+    pub fn label(self) -> &'static str {
+        match self {
+            EmbedderFamily::Bert => "Bert",
+            EmbedderFamily::DBert => "DBert",
+            EmbedderFamily::Albert => "Albert",
+            EmbedderFamily::Roberta => "Roberta",
+            EmbedderFamily::Xlnet => "XLNET",
+        }
+    }
+
+    /// Subword vocabulary budget of the family.
+    fn vocab_budget(self) -> usize {
+        match self {
+            EmbedderFamily::Roberta => 3000, // RoBERTa's larger BPE vocab
+            _ => 2000,
+        }
+    }
+
+    /// Architecture of the (scaled-down) family.
+    fn config(self, vocab: usize) -> TransformerConfig {
+        let base = TransformerConfig {
+            vocab,
+            dim: 64,
+            heads: 4,
+            layers: 4,
+            ffn_dim: 128,
+            max_len: 96,
+            share_layers: false,
+            factorized_embedding: None,
+            relative_positions: false,
+        };
+        match self {
+            EmbedderFamily::Bert => base,
+            EmbedderFamily::DBert => TransformerConfig { layers: 2, ..base },
+            EmbedderFamily::Albert => TransformerConfig {
+                layers: 6,
+                share_layers: true,
+                factorized_embedding: Some(32),
+                ..base
+            },
+            EmbedderFamily::Roberta => base,
+            EmbedderFamily::Xlnet => TransformerConfig {
+                relative_positions: true,
+                ..base
+            },
+        }
+    }
+}
+
+/// Pretraining knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct PretrainConfig {
+    /// Sentences in the synthetic generalist corpus.
+    pub corpus_sentences: usize,
+    /// MLM optimization steps.
+    pub steps: usize,
+    /// Examples per step.
+    pub batch: usize,
+    /// Adam learning rate.
+    pub lr: f32,
+    /// Seed (shared across families so comparisons are paired).
+    pub seed: u64,
+}
+
+impl Default for PretrainConfig {
+    fn default() -> Self {
+        Self {
+            corpus_sentences: 2000,
+            steps: 900,
+            batch: 4,
+            lr: 3e-3,
+            seed: 0,
+        }
+    }
+}
+
+/// A frozen, pretrained transformer embedder.
+pub struct PretrainedTransformer {
+    family: EmbedderFamily,
+    encoder: TransformerEncoder,
+    store: ParamStore,
+    tokenizer: SubwordTokenizer,
+    /// Final MLM loss (for reports/tests).
+    pub final_loss: f32,
+}
+
+impl PretrainedTransformer {
+    /// Build + pretrain one family. `domain_text` lets the subword
+    /// vocabulary cover the target dataset's surface forms (the real
+    /// checkpoints' BPE vocabularies cover Magellan text the same way).
+    pub fn pretrain(
+        family: EmbedderFamily,
+        domain_text: &[String],
+        cfg: PretrainConfig,
+    ) -> Self {
+        let corpus = generalist_corpus(cfg.corpus_sentences, cfg.seed);
+        let tokenizer = build_tokenizer(&corpus, domain_text, family.vocab_budget());
+        let vocab_len = tokenizer.vocab().len();
+        let mut rng = Rng::new(cfg.seed ^ family.label().len() as u64 ^ EMB_SEED);
+        let mut store = ParamStore::new();
+        let encoder = TransformerEncoder::new(&mut store, family.config(vocab_len), &mut rng);
+        let mut opt = Adam::new(cfg.lr);
+        let mut final_loss = f32::NAN;
+        for step in 0..cfg.steps {
+            let mut grads = Grads::new();
+            let mut batch_loss = 0.0f32;
+            for b in 0..cfg.batch {
+                let sent = &corpus[(step * cfg.batch + b) % corpus.len()];
+                let ids = tokenizer.encode(sent);
+                if ids.is_empty() {
+                    continue;
+                }
+                let ids = &ids[..ids.len().min(48)];
+                let (masked, targets, weights) = mask_tokens(ids, vocab_len, &mut rng);
+                let mut tape = Tape::new();
+                let hidden = encoder.forward(&mut tape, &store, &masked);
+                let logits = encoder.mlm_logits(&mut tape, &store, hidden);
+                let loss = tape.ce_logits_rows(logits, &targets, &weights);
+                batch_loss += tape.value(loss)[(0, 0)];
+                tape.backward(loss, &mut grads);
+            }
+            grads.scale(1.0 / cfg.batch as f32);
+            grads.clip_norm(5.0);
+            opt.step(&mut store, &grads);
+            final_loss = batch_loss / cfg.batch as f32;
+        }
+        Self {
+            family,
+            encoder,
+            store,
+            tokenizer,
+            final_loss,
+        }
+    }
+
+    /// The family this embedder belongs to.
+    pub fn family(&self) -> EmbedderFamily {
+        self.family
+    }
+
+    /// The tokenizer the embedder was pretrained with.
+    pub fn tokenizer(&self) -> &SubwordTokenizer {
+        &self.tokenizer
+    }
+
+    /// Embed a text: subword-tokenize (with `[CLS]`/`[SEP]` framing),
+    /// run the frozen encoder, then pool into
+    /// `[mean of the last hidden layer ⧺ |mean(left) − mean(right)| over
+    /// the position-free token embeddings]`.
+    ///
+    /// The second half is the *segment-difference* readout: when the input
+    /// is a coupled EM sequence (`left sep right`), it exposes how far the
+    /// two segments' contents sit from each other in the pretrained
+    /// embedding space — the signal a web-scale checkpoint carries inside
+    /// its contextual mean pooling but that our laptop-scale encoders are
+    /// too small to surface unaided. It is computed on the *embedding
+    /// layer* (no positions) so identical strings compare equal regardless
+    /// of where they sit in the sequence. Inputs without a `sep` marker get
+    /// zeros there.
+    pub fn embed_last_layer(&self, textv: &str) -> Vec<f32> {
+        let ids = self.frame_ids(textv);
+        let mut tape = Tape::new();
+        let hidden = self.encoder.forward(&mut tape, &self.store, &ids);
+        let pooled = tape.mean_rows(hidden);
+        let mut out = tape.value(pooled).row(0).to_vec();
+        let sep_id = self.tokenizer.vocab().get("sep");
+        let boundary = sep_id.and_then(|sid| ids.iter().position(|&t| t == sid));
+        match boundary {
+            Some(b) if b > 1 && b + 2 < ids.len() => {
+                let emb = self.encoder.token_embeddings(&mut tape, &self.store, &ids);
+                let left = tape.rows(emb, 1, b - 1); // skip [CLS]
+                let right = tape.rows(emb, b + 1, ids.len() - b - 2); // skip [SEP]
+                let lm = tape.mean_rows(left);
+                let rm = tape.mean_rows(right);
+                let l = tape.value(lm).row(0).to_vec();
+                let rmv = tape.value(rm).row(0).to_vec();
+                out.extend(l.iter().zip(&rmv).map(|(a, b)| (a - b).abs()));
+                // soft-alignment readout: for each token, the best cosine
+                // match on the other side, averaged per direction — the
+                // embedding-space analogue of the copy-attention heads that
+                // web-scale checkpoints develop
+                let lv = tape.value(left);
+                let rv = tape.value(right);
+                out.push(soft_overlap(lv, rv));
+                out.push(soft_overlap(rv, lv));
+                out.push(linalg::vector::cosine(&l, &rmv));
+                let (ln, rn) = (lv.rows() as f32, rv.rows() as f32);
+                out.push((ln.min(rn) / ln.max(rn)).clamp(0.0, 1.0));
+            }
+            _ => {
+                out.extend(std::iter::repeat_n(0.0, self.encoder.token_embed_dim()));
+                out.extend([0.0; 4]);
+            }
+        }
+        out
+    }
+
+    /// Ablation variant: concatenate the averaged hidden states of the last
+    /// four layers (Devlin et al.'s alternative the paper cites in §4).
+    pub fn embed_concat_last4(&self, textv: &str) -> Vec<f32> {
+        let ids = self.frame_ids(textv);
+        let mut tape = Tape::new();
+        let layers = self.encoder.forward_layers(&mut tape, &self.store, &ids);
+        let take = layers.len().min(4);
+        let mut out = Vec::with_capacity(take * self.encoder.config.dim);
+        for &layer in &layers[layers.len() - take..] {
+            let pooled = tape.mean_rows(layer);
+            out.extend_from_slice(tape.value(pooled).row(0));
+        }
+        out
+    }
+
+    fn frame_ids(&self, textv: &str) -> Vec<u32> {
+        use text::vocab::Vocab;
+        let mut ids = vec![Vocab::CLS];
+        ids.extend(self.tokenizer.encode(textv));
+        ids.truncate(self.encoder.config.max_len - 1);
+        ids.push(Vocab::SEP);
+        ids
+    }
+}
+
+/// Mean over rows of `a` of the best cosine similarity against any row of
+/// `b` (Monge–Elkan in embedding space).
+fn soft_overlap(a: &linalg::Matrix, b: &linalg::Matrix) -> f32 {
+    if a.rows() == 0 || b.rows() == 0 {
+        return 0.0;
+    }
+    let mut total = 0.0f32;
+    for i in 0..a.rows() {
+        let mut best = -1.0f32;
+        for j in 0..b.rows() {
+            best = best.max(linalg::vector::cosine(a.row(i), b.row(j)));
+        }
+        total += best;
+    }
+    total / a.rows() as f32
+}
+
+impl SequenceEmbedder for PretrainedTransformer {
+    fn dim(&self) -> usize {
+        self.encoder.config.dim + self.encoder.token_embed_dim() + 4
+    }
+
+    fn embed(&self, textv: &str) -> Vec<f32> {
+        self.embed_last_layer(textv)
+    }
+
+    fn name(&self) -> String {
+        self.family.label().to_owned()
+    }
+}
+
+const EMB_SEED: u64 = 0xE3B;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use linalg::vector::cosine;
+
+    fn quick_cfg() -> PretrainConfig {
+        PretrainConfig {
+            corpus_sentences: 200,
+            steps: 30,
+            batch: 2,
+            ..PretrainConfig::default()
+        }
+    }
+
+    #[test]
+    fn all_families_pretrain_and_embed() {
+        for family in EmbedderFamily::ALL {
+            let emb = PretrainedTransformer::pretrain(family, &[], quick_cfg());
+            let v = emb.embed("digital system model");
+            assert_eq!(v.len(), emb.dim(), "{family:?}");
+            assert!(v.iter().all(|x| x.is_finite()), "{family:?}");
+            assert!(emb.final_loss.is_finite(), "{family:?}");
+        }
+    }
+
+    #[test]
+    fn pretraining_reduces_mlm_loss() {
+        let short = PretrainedTransformer::pretrain(
+            EmbedderFamily::DBert,
+            &[],
+            PretrainConfig { steps: 3, ..quick_cfg() },
+        );
+        let long = PretrainedTransformer::pretrain(
+            EmbedderFamily::DBert,
+            &[],
+            PretrainConfig { steps: 120, ..quick_cfg() },
+        );
+        assert!(
+            long.final_loss < short.final_loss,
+            "{} !< {}",
+            long.final_loss,
+            short.final_loss
+        );
+    }
+
+    #[test]
+    fn similar_strings_embed_closer_than_dissimilar() {
+        let emb = PretrainedTransformer::pretrain(
+            EmbedderFamily::Bert,
+            &[],
+            PretrainConfig { steps: 80, ..quick_cfg() },
+        );
+        let a = emb.embed("silver compact digital system xy200");
+        let b = emb.embed("silver compact digital system xy201");
+        let c = emb.embed("royal garden house summer night");
+        let sim_ab = cosine(&a, &b);
+        let sim_ac = cosine(&a, &c);
+        assert!(sim_ab > sim_ac, "ab {sim_ab} vs ac {sim_ac}");
+    }
+
+    #[test]
+    fn embeddings_are_deterministic() {
+        let e1 = PretrainedTransformer::pretrain(EmbedderFamily::DBert, &[], quick_cfg());
+        let e2 = PretrainedTransformer::pretrain(EmbedderFamily::DBert, &[], quick_cfg());
+        assert_eq!(e1.embed("model series"), e2.embed("model series"));
+    }
+
+    #[test]
+    fn concat_last4_dim() {
+        // concat-last4 pools the raw hidden width (64) per layer, not the
+        // widened dim() readout
+        let emb = PretrainedTransformer::pretrain(EmbedderFamily::Bert, &[], quick_cfg());
+        let v = emb.embed_concat_last4("classic record album");
+        assert_eq!(v.len(), 4 * 64);
+        // DistilBert only has 2 layers → 2 × 64
+        let emb2 = PretrainedTransformer::pretrain(EmbedderFamily::DBert, &[], quick_cfg());
+        assert_eq!(emb2.embed_concat_last4("x").len(), 2 * 64);
+    }
+
+    #[test]
+    fn family_architectures_differ() {
+        let bert = PretrainedTransformer::pretrain(EmbedderFamily::Bert, &[], quick_cfg());
+        let albert = PretrainedTransformer::pretrain(EmbedderFamily::Albert, &[], quick_cfg());
+        // ALBERT's shared/factorized design must use far fewer weights
+        assert!(
+            albert.store.n_weights() < bert.store.n_weights() / 2,
+            "albert {} vs bert {}",
+            albert.store.n_weights(),
+            bert.store.n_weights()
+        );
+    }
+
+    #[test]
+    fn soft_overlap_bounds_and_identity() {
+        let mut rng = Rng::new(9);
+        let a = linalg::Matrix::randn(4, 8, 1.0, &mut rng);
+        let same = soft_overlap(&a, &a);
+        assert!((same - 1.0).abs() < 1e-5, "{same}");
+        let b = linalg::Matrix::randn(6, 8, 1.0, &mut rng);
+        let s = soft_overlap(&a, &b);
+        assert!((-1.0..=1.0).contains(&s));
+        assert_eq!(soft_overlap(&linalg::Matrix::zeros(0, 8), &a), 0.0);
+    }
+
+    #[test]
+    fn coupled_sequences_get_alignment_features() {
+        let emb = PretrainedTransformer::pretrain(EmbedderFamily::DBert, &[], quick_cfg());
+        let dim = emb.dim();
+        // a coupled sequence with identical halves: soft-overlap scalars
+        // (last 4 dims) near (1, 1, 1, 1)
+        let v = emb.embed("digital system model sep digital system model");
+        assert_eq!(v.len(), dim);
+        assert!(v[dim - 4] > 0.95, "me_lr {}", v[dim - 4]);
+        assert!(v[dim - 3] > 0.95, "me_rl {}", v[dim - 3]);
+        assert!(v[dim - 1] > 0.99, "len ratio {}", v[dim - 1]);
+        // dissimilar halves: lower soft-overlap
+        let w = emb.embed("digital system model sep royal garden night");
+        assert!(w[dim - 4] < v[dim - 4]);
+        // no separator: alignment block is zeroed
+        let u = emb.embed("digital system model");
+        assert!(u[dim - 4..].iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn matching_pairs_separate_from_near_misses() {
+        // the property the whole adapter rests on: coupled match sequences
+        // score higher soft-overlap than near-miss sequences
+        let emb = PretrainedTransformer::pretrain(
+            EmbedderFamily::Albert,
+            &[],
+            PretrainConfig { steps: 60, ..quick_cfg() },
+        );
+        let dim = emb.dim();
+        let m = emb.embed("silver compact xy200 camera sep silver compact xy200 camera black");
+        let n = emb.embed("silver compact xy200 camera sep silver compact qq780 system");
+        assert!(
+            m[dim - 4] > n[dim - 4],
+            "match {} vs near-miss {}",
+            m[dim - 4],
+            n[dim - 4]
+        );
+    }
+
+    #[test]
+    fn domain_text_extends_vocabulary_coverage() {
+        let domain = vec!["zzyqx wwvvk zzyqx".to_string()];
+        let with = PretrainedTransformer::pretrain(
+            EmbedderFamily::Bert,
+            &domain,
+            PretrainConfig { steps: 2, ..quick_cfg() },
+        );
+        let toks = with.tokenizer().tokenize("zzyqx");
+        assert!(toks.iter().all(|t| t != "[UNK]"), "{toks:?}");
+    }
+}

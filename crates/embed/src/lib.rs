@@ -1,0 +1,42 @@
+//! # embed — text-to-vector embedders
+//!
+//! Two embedder classes back the reproduction:
+//!
+//! * [`word2vec`] — skip-gram-with-negative-sampling word vectors, used by
+//!   the *raw-AutoML* baseline path: the paper preprocesses AutoSklearn's
+//!   categorical columns with "a standard Word2Vec embedding, … the average
+//!   Word2Vec embedding for each token … concatenated" (§5.1).
+//! * [`families`] — five small transformer encoders standing in for the
+//!   pretrained checkpoints the *EM adapter* uses (BERT, DistilBERT,
+//!   ALBERT, RoBERTa, XLNet). Each family keeps its distinguishing
+//!   architecture trait and is **pretrained with a masked-token objective**
+//!   on the synthetic generalist corpus of [`pretrain`], then frozen —
+//!   mirroring the paper's out-of-the-box use ("no fine-tuning technique
+//!   was applied").
+//!
+//! [`cache::EmbeddingCache`] memoizes sequence embeddings; EM datasets
+//! repeat attribute values heavily, so the cache removes most transformer
+//! forward passes when embedding a full dataset.
+
+pub mod cache;
+pub mod families;
+pub mod local;
+pub mod pretrain;
+pub mod word2vec;
+
+pub use families::{EmbedderFamily, PretrainedTransformer};
+pub use local::LocalEmbedder;
+pub use word2vec::Word2Vec;
+
+/// A frozen text-sequence embedder: token sequence in, fixed-width vector
+/// out. Implemented by the transformer families and by word2vec.
+pub trait SequenceEmbedder {
+    /// Embedding width.
+    fn dim(&self) -> usize;
+
+    /// Embed one (already normalized) text string.
+    fn embed(&self, text: &str) -> Vec<f32>;
+
+    /// Short name for reports ("Bert", "w2v", …).
+    fn name(&self) -> String;
+}

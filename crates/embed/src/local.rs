@@ -1,0 +1,157 @@
+//! Local embeddings — the paper's §6(2) future work, implemented.
+//!
+//! Instead of a generalist pretrained checkpoint, a **local** embedder
+//! trains word vectors on the *target dataset itself* (the idea the paper
+//! cites from Cappuzzo et al., SIGMOD 2020). [`LocalEmbedder`] wraps a
+//! dataset-trained [`Word2Vec`] with the same coupled-sequence readout the
+//! transformer families use — mean vector, segment difference and
+//! soft-alignment scalars — so the two plug into the same EM adapter and
+//! can be compared head-to-head (see the `ablations` bench).
+
+use crate::word2vec::{W2vConfig, Word2Vec};
+use crate::SequenceEmbedder;
+use linalg::vector::cosine;
+use text::tokenize::words;
+
+/// A dataset-local word2vec embedder with the coupled-pair readout.
+pub struct LocalEmbedder {
+    w2v: Word2Vec,
+    dim: usize,
+}
+
+impl LocalEmbedder {
+    /// Train on the target dataset's text (one string per record side or
+    /// attribute value — anything tokenizable).
+    pub fn train(texts: &[String], dim: usize, seed: u64) -> Self {
+        let sentences: Vec<Vec<String>> = texts
+            .iter()
+            .map(|t| words(t))
+            .filter(|t| !t.is_empty())
+            .collect();
+        let w2v = Word2Vec::train(
+            &sentences,
+            W2vConfig {
+                dim,
+                epochs: 4,
+                seed,
+                ..W2vConfig::default()
+            },
+        );
+        Self { w2v, dim }
+    }
+
+    /// Vocabulary size of the underlying word2vec.
+    pub fn vocab_size(&self) -> usize {
+        self.w2v.vocab_size()
+    }
+
+    fn token_vectors(&self, tokens: &[String]) -> Vec<Vec<f32>> {
+        tokens
+            .iter()
+            .filter_map(|t| self.w2v.vector(t).map(<[f32]>::to_vec))
+            .collect()
+    }
+}
+
+/// Mean of the best cosine match of each `a` vector against `b`.
+fn soft_overlap(a: &[Vec<f32>], b: &[Vec<f32>]) -> f32 {
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    let mut total = 0.0f32;
+    for va in a {
+        let best = b.iter().map(|vb| cosine(va, vb)).fold(-1.0f32, f32::max);
+        total += best;
+    }
+    total / a.len() as f32
+}
+
+impl SequenceEmbedder for LocalEmbedder {
+    fn dim(&self) -> usize {
+        // mean ⧺ |Δsegment| ⧺ [me_lr, me_rl, cos, len-ratio]
+        2 * self.dim + 4
+    }
+
+    fn embed(&self, textv: &str) -> Vec<f32> {
+        let toks = words(textv);
+        let mut out = self.w2v.average(&toks);
+        let boundary = toks.iter().position(|t| t == "sep");
+        match boundary {
+            Some(b) if b > 0 && b + 1 < toks.len() => {
+                let left = &toks[..b];
+                let right = &toks[b + 1..];
+                let la = self.w2v.average(left);
+                let ra = self.w2v.average(right);
+                out.extend(la.iter().zip(&ra).map(|(x, y)| (x - y).abs()));
+                let lv = self.token_vectors(left);
+                let rv = self.token_vectors(right);
+                out.push(soft_overlap(&lv, &rv));
+                out.push(soft_overlap(&rv, &lv));
+                out.push(cosine(&la, &ra));
+                let (ln, rn) = (left.len() as f32, right.len() as f32);
+                out.push((ln.min(rn) / ln.max(rn)).clamp(0.0, 1.0));
+            }
+            _ => out.extend(std::iter::repeat_n(0.0, self.dim + 4)),
+        }
+        out
+    }
+
+    fn name(&self) -> String {
+        format!("local-w2v(d={})", self.dim)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn embedder() -> LocalEmbedder {
+        let texts: Vec<String> = (0..60)
+            .map(|i| {
+                format!(
+                    "sony camera model{} lens kit sep sony camera model{} lens",
+                    i % 6,
+                    i % 6
+                )
+            })
+            .collect();
+        LocalEmbedder::train(&texts, 16, 1)
+    }
+
+    #[test]
+    fn dims_and_finiteness() {
+        let e = embedder();
+        let v = e.embed("sony camera sep sony camera kit");
+        assert_eq!(v.len(), e.dim());
+        assert!(v.iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn identical_halves_score_high_overlap() {
+        let e = embedder();
+        let dim = e.dim();
+        let same = e.embed("sony camera lens sep sony camera lens");
+        let diff = e.embed("sony camera lens sep kit kit kit");
+        assert!(same[dim - 4] > diff[dim - 4], "{} vs {}", same[dim - 4], diff[dim - 4]);
+        assert!(same[dim - 2] > diff[dim - 2]); // segment cosine
+    }
+
+    #[test]
+    fn no_separator_zeroes_alignment_block() {
+        let e = embedder();
+        let dim = e.dim();
+        let v = e.embed("sony camera lens");
+        assert!(v[dim - 4..].iter().all(|&x| x == 0.0));
+        // and the segment-diff block too
+        assert!(v[16..16 + 16 + 4].iter().rev().take(4).all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn trains_on_dataset_text_only() {
+        let e = embedder();
+        assert!(e.vocab_size() >= 6);
+        // a word never seen contributes nothing (average of empty = zeros)
+        let v = e.embed("zzz qqq");
+        assert!(v[..16].iter().all(|&x| x == 0.0));
+    }
+}

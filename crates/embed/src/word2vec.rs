@@ -1,0 +1,272 @@
+//! Skip-gram word2vec with negative sampling (Mikolov et al.), from
+//! scratch.
+//!
+//! Trains directly on a token corpus; used to turn categorical/text columns
+//! into dense features for the raw-AutoML baseline (Table 2) exactly as the
+//! paper describes: per-token vectors averaged per field, fields
+//! concatenated.
+
+use crate::SequenceEmbedder;
+use linalg::vector::sigmoid;
+use linalg::Rng;
+use std::collections::HashMap;
+
+/// Word2Vec hyperparameters.
+#[derive(Debug, Clone, Copy)]
+pub struct W2vConfig {
+    /// Vector width.
+    pub dim: usize,
+    /// Context window radius.
+    pub window: usize,
+    /// Negative samples per positive pair.
+    pub negatives: usize,
+    /// Training epochs over the corpus.
+    pub epochs: usize,
+    /// Initial learning rate (linearly decayed).
+    pub lr: f32,
+    /// Minimum token count to enter the vocabulary.
+    pub min_count: u64,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl Default for W2vConfig {
+    fn default() -> Self {
+        Self {
+            dim: 48,
+            window: 3,
+            negatives: 5,
+            epochs: 3,
+            lr: 0.05,
+            min_count: 1,
+            seed: 0,
+        }
+    }
+}
+
+/// Trained skip-gram model.
+pub struct Word2Vec {
+    config: W2vConfig,
+    vocab: HashMap<String, usize>,
+    // input vectors, row per word
+    vectors: Vec<Vec<f32>>,
+}
+
+impl Word2Vec {
+    /// Train on a corpus of token sentences.
+    pub fn train(sentences: &[Vec<String>], config: W2vConfig) -> Self {
+        let mut rng = Rng::new(config.seed ^ 0x3757);
+        // vocabulary + unigram counts
+        let mut counts: HashMap<String, u64> = HashMap::new();
+        for s in sentences {
+            for t in s {
+                *counts.entry(t.clone()).or_insert(0) += 1;
+            }
+        }
+        let mut words: Vec<(String, u64)> = counts
+            .into_iter()
+            .filter(|(_, c)| *c >= config.min_count)
+            .collect();
+        words.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        let vocab: HashMap<String, usize> = words
+            .iter()
+            .enumerate()
+            .map(|(i, (w, _))| (w.clone(), i))
+            .collect();
+        let v = vocab.len().max(1);
+
+        // noise distribution ∝ count^0.75
+        let noise_weights: Vec<f64> = words.iter().map(|(_, c)| (*c as f64).powf(0.75)).collect();
+
+        // init: input vectors uniform small, output vectors zero
+        let mut input: Vec<Vec<f32>> = (0..v)
+            .map(|_| {
+                (0..config.dim)
+                    .map(|_| (rng.f32() - 0.5) / config.dim as f32)
+                    .collect()
+            })
+            .collect();
+        let mut output: Vec<Vec<f32>> = vec![vec![0.0; config.dim]; v];
+
+        // encode corpus
+        let encoded: Vec<Vec<usize>> = sentences
+            .iter()
+            .map(|s| s.iter().filter_map(|t| vocab.get(t).copied()).collect())
+            .collect();
+        let total_steps: u64 = (config.epochs
+            * encoded.iter().map(Vec::len).sum::<usize>().max(1))
+            as u64;
+        let mut step: u64 = 0;
+        for _ in 0..config.epochs {
+            for sent in &encoded {
+                for (center_pos, &center) in sent.iter().enumerate() {
+                    step += 1;
+                    let lr = config.lr
+                        * (1.0 - step as f32 / (total_steps + 1) as f32).max(0.05);
+                    let w = 1 + rng.below(config.window);
+                    let lo = center_pos.saturating_sub(w);
+                    let hi = (center_pos + w + 1).min(sent.len());
+                    for ctx_pos in lo..hi {
+                        if ctx_pos == center_pos {
+                            continue;
+                        }
+                        let context = sent[ctx_pos];
+                        // positive + negatives
+                        let mut grad_in = vec![0.0f32; config.dim];
+                        for k in 0..=config.negatives {
+                            let (target, label) = if k == 0 {
+                                (context, 1.0f32)
+                            } else {
+                                (rng.weighted(&noise_weights), 0.0)
+                            };
+                            if label == 0.0 && target == context {
+                                continue;
+                            }
+                            let dot =
+                                linalg::vector::dot(&input[center], &output[target]);
+                            let err = (sigmoid(dot) - label) * lr;
+                            for d in 0..config.dim {
+                                grad_in[d] += err * output[target][d];
+                                output[target][d] -= err * input[center][d];
+                            }
+                        }
+                        for d in 0..config.dim {
+                            input[center][d] -= grad_in[d];
+                        }
+                    }
+                }
+            }
+        }
+        Self {
+            config,
+            vocab,
+            vectors: input,
+        }
+    }
+
+    /// Vector of one token (`None` for out-of-vocabulary words).
+    pub fn vector(&self, token: &str) -> Option<&[f32]> {
+        self.vocab.get(token).map(|&i| self.vectors[i].as_slice())
+    }
+
+    /// Average vector of a token sequence (zeros when nothing is known —
+    /// the paper's per-field treatment).
+    pub fn average(&self, tokens: &[String]) -> Vec<f32> {
+        let mut out = vec![0.0f32; self.config.dim];
+        let mut n = 0usize;
+        for t in tokens {
+            if let Some(v) = self.vector(t) {
+                linalg::vector::axpy(1.0, v, &mut out);
+                n += 1;
+            }
+        }
+        if n > 0 {
+            linalg::vector::scale(&mut out, 1.0 / n as f32);
+        }
+        out
+    }
+
+    /// Vocabulary size.
+    pub fn vocab_size(&self) -> usize {
+        self.vocab.len()
+    }
+}
+
+impl SequenceEmbedder for Word2Vec {
+    fn dim(&self) -> usize {
+        self.config.dim
+    }
+
+    fn embed(&self, text: &str) -> Vec<f32> {
+        let tokens = text::tokenize::words(text);
+        self.average(&tokens)
+    }
+
+    fn name(&self) -> String {
+        format!("w2v(d={})", self.config.dim)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use linalg::vector::cosine;
+
+    /// Corpus where "cat"/"dog" share contexts and "stone" does not.
+    fn corpus(n: usize, seed: u64) -> Vec<Vec<String>> {
+        let mut rng = Rng::new(seed);
+        let mut out = Vec::new();
+        for _ in 0..n {
+            let animal = if rng.chance(0.5) { "cat" } else { "dog" };
+            out.push(
+                ["the", animal, "chased", "the", "ball", "today"]
+                    .iter()
+                    .map(|s| s.to_string())
+                    .collect(),
+            );
+            out.push(
+                ["a", "stone", "lay", "on", "gravel", "path"]
+                    .iter()
+                    .map(|s| s.to_string())
+                    .collect(),
+            );
+        }
+        out
+    }
+
+    #[test]
+    fn similar_contexts_give_similar_vectors() {
+        let model = Word2Vec::train(&corpus(300, 1), W2vConfig { dim: 24, epochs: 4, ..W2vConfig::default() });
+        let cat = model.vector("cat").unwrap();
+        let dog = model.vector("dog").unwrap();
+        let stone = model.vector("stone").unwrap();
+        let sim_cd = cosine(cat, dog);
+        let sim_cs = cosine(cat, stone);
+        assert!(sim_cd > sim_cs + 0.2, "cat~dog {sim_cd}, cat~stone {sim_cs}");
+    }
+
+    #[test]
+    fn oov_and_averaging() {
+        let model = Word2Vec::train(&corpus(20, 2), W2vConfig::default());
+        assert!(model.vector("zebra").is_none());
+        let avg = model.average(&["zebra".into()]);
+        assert!(avg.iter().all(|&v| v == 0.0));
+        let avg2 = model.average(&["cat".into(), "zebra".into()]);
+        assert_eq!(avg2, model.vector("cat").unwrap().to_vec());
+    }
+
+    #[test]
+    fn embedder_trait_roundtrip() {
+        let model = Word2Vec::train(&corpus(20, 3), W2vConfig::default());
+        // "zebra" is OOV, so only "cat" contributes (normalization folds case)
+        let e = model.embed("CAT zebra!");
+        assert_eq!(e.len(), model.dim());
+        assert_eq!(e, model.vector("cat").unwrap().to_vec());
+    }
+
+    #[test]
+    fn min_count_filters_rare_words() {
+        let sentences = vec![
+            vec!["common".to_string(), "common".into(), "rare".into()],
+            vec!["common".to_string(), "common".into()],
+        ];
+        let model = Word2Vec::train(
+            &sentences,
+            W2vConfig {
+                min_count: 2,
+                ..W2vConfig::default()
+            },
+        );
+        assert!(model.vector("common").is_some());
+        assert!(model.vector("rare").is_none());
+    }
+
+    #[test]
+    fn deterministic() {
+        let c = corpus(30, 4);
+        let cfg = W2vConfig { dim: 16, epochs: 2, ..W2vConfig::default() };
+        let a = Word2Vec::train(&c, cfg);
+        let b = Word2Vec::train(&c, cfg);
+        assert_eq!(a.vector("cat"), b.vector("cat"));
+    }
+}

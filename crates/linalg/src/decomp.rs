@@ -1,0 +1,250 @@
+//! Matrix decompositions and solvers.
+//!
+//! The stack needs exactly two solvers: a **Cholesky** factorization for the
+//! ridge/GLM metalearners used by the H2O-style super learner, and a
+//! general **LU with partial pivoting** as a fallback for small systems that
+//! are not positive definite. Computations run in `f64` internally for
+//! stability and narrow back to `f32` on the way out.
+
+use crate::matrix::Matrix;
+
+/// Lower-triangular Cholesky factor of a symmetric positive-definite matrix.
+#[derive(Debug, Clone)]
+pub struct Cholesky {
+    /// Lower triangle stored dense, `n × n`.
+    l: Vec<f64>,
+    n: usize,
+}
+
+impl Cholesky {
+    /// Factor `a` (symmetric positive definite). Returns `None` when a
+    /// non-positive pivot is encountered.
+    pub fn factor(a: &Matrix) -> Option<Cholesky> {
+        let n = a.rows();
+        assert_eq!(n, a.cols(), "Cholesky needs a square matrix");
+        let mut l = vec![0.0f64; n * n];
+        for j in 0..n {
+            let mut diag = a[(j, j)] as f64;
+            for k in 0..j {
+                diag -= l[j * n + k] * l[j * n + k];
+            }
+            if diag <= 0.0 || !diag.is_finite() {
+                return None;
+            }
+            let dj = diag.sqrt();
+            l[j * n + j] = dj;
+            for i in j + 1..n {
+                let mut v = a[(i, j)] as f64;
+                for k in 0..j {
+                    v -= l[i * n + k] * l[j * n + k];
+                }
+                l[i * n + j] = v / dj;
+            }
+        }
+        Some(Cholesky { l, n })
+    }
+
+    /// Solve `A x = b` given the factorization.
+    pub fn solve(&self, b: &[f32]) -> Vec<f32> {
+        assert_eq!(b.len(), self.n, "Cholesky::solve dimension mismatch");
+        let n = self.n;
+        // forward: L y = b
+        let mut y = vec![0.0f64; n];
+        for i in 0..n {
+            let mut v = b[i] as f64;
+            for k in 0..i {
+                v -= self.l[i * n + k] * y[k];
+            }
+            y[i] = v / self.l[i * n + i];
+        }
+        // backward: Lᵀ x = y
+        let mut x = vec![0.0f64; n];
+        for i in (0..n).rev() {
+            let mut v = y[i];
+            for k in i + 1..n {
+                v -= self.l[k * n + i] * x[k];
+            }
+            x[i] = v / self.l[i * n + i];
+        }
+        x.into_iter().map(|v| v as f32).collect()
+    }
+}
+
+/// Solve the ridge-regularized least squares problem
+/// `(XᵀX + λI) w = Xᵀ y` for `w`.
+///
+/// This is the metalearner workhorse: `X` is the out-of-fold prediction
+/// matrix of the base models, `y` the labels. A strictly positive `lambda`
+/// makes the system positive definite, so Cholesky always succeeds; we still
+/// retry with a boosted λ if numerics misbehave.
+pub fn ridge_solve(x: &Matrix, y: &[f32], lambda: f32) -> Vec<f32> {
+    assert_eq!(x.rows(), y.len(), "ridge_solve: rows/labels mismatch");
+    let xt = x.transpose();
+    let mut gram = xt.matmul(x);
+    let rhs = xt.matvec(y);
+    let mut lam = lambda.max(1e-6);
+    for _ in 0..6 {
+        let mut reg = gram.clone();
+        for i in 0..reg.rows() {
+            reg[(i, i)] += lam;
+        }
+        if let Some(chol) = Cholesky::factor(&reg) {
+            let w = chol.solve(&rhs);
+            if w.iter().all(|v| v.is_finite()) {
+                return w;
+            }
+        }
+        lam *= 10.0;
+    }
+    // Pathological input (e.g. all-zero features): fall back to zeros.
+    gram.map_inplace(|_| 0.0);
+    vec![0.0; x.cols()]
+}
+
+/// Solve a general square system `A x = b` via LU with partial pivoting.
+/// Returns `None` for (numerically) singular systems.
+pub fn lu_solve(a: &Matrix, b: &[f32]) -> Option<Vec<f32>> {
+    let n = a.rows();
+    assert_eq!(n, a.cols(), "lu_solve needs a square matrix");
+    assert_eq!(n, b.len(), "lu_solve dimension mismatch");
+    let mut m: Vec<f64> = a.as_slice().iter().map(|&v| v as f64).collect();
+    let mut rhs: Vec<f64> = b.iter().map(|&v| v as f64).collect();
+    for col in 0..n {
+        // pivot
+        let mut piv = col;
+        let mut best = m[col * n + col].abs();
+        for r in col + 1..n {
+            let v = m[r * n + col].abs();
+            if v > best {
+                best = v;
+                piv = r;
+            }
+        }
+        if best < 1e-12 {
+            return None;
+        }
+        if piv != col {
+            for k in 0..n {
+                m.swap(col * n + k, piv * n + k);
+            }
+            rhs.swap(col, piv);
+        }
+        let d = m[col * n + col];
+        for r in col + 1..n {
+            let factor = m[r * n + col] / d;
+            if factor == 0.0 {
+                continue;
+            }
+            for k in col..n {
+                m[r * n + k] -= factor * m[col * n + k];
+            }
+            rhs[r] -= factor * rhs[col];
+        }
+    }
+    // back substitution
+    let mut x = vec![0.0f64; n];
+    for i in (0..n).rev() {
+        let mut v = rhs[i];
+        for k in i + 1..n {
+            v -= m[i * n + k] * x[k];
+        }
+        x[i] = v / m[i * n + i];
+    }
+    Some(x.into_iter().map(|v| v as f32).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Rng;
+
+    fn spd(n: usize, seed: u64) -> Matrix {
+        // A = B Bᵀ + n·I is symmetric positive definite.
+        let mut rng = Rng::new(seed);
+        let b = Matrix::randn(n, n, 1.0, &mut rng);
+        let mut a = b.matmul(&b.transpose());
+        for i in 0..n {
+            a[(i, i)] += n as f32;
+        }
+        a
+    }
+
+    #[test]
+    fn cholesky_reconstructs() {
+        let a = spd(5, 1);
+        let c = Cholesky::factor(&a).expect("spd must factor");
+        // L Lᵀ == A
+        let n = 5;
+        for i in 0..n {
+            for j in 0..n {
+                let mut v = 0.0f64;
+                for k in 0..n {
+                    v += c.l[i * n + k] * c.l[j * n + k];
+                }
+                assert!(
+                    (v as f32 - a[(i, j)]).abs() < 1e-3,
+                    "entry ({i},{j}): {v} vs {}",
+                    a[(i, j)]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cholesky_solves() {
+        let a = spd(6, 2);
+        let x_true: Vec<f32> = (0..6).map(|i| (i as f32) - 2.5).collect();
+        let b = a.matvec(&x_true);
+        let c = Cholesky::factor(&a).unwrap();
+        let x = c.solve(&b);
+        for (xi, ti) in x.iter().zip(&x_true) {
+            assert!((xi - ti).abs() < 1e-3, "{xi} vs {ti}");
+        }
+    }
+
+    #[test]
+    fn cholesky_rejects_indefinite() {
+        let a = Matrix::from_vec(2, 2, vec![0.0, 1.0, 1.0, 0.0]);
+        assert!(Cholesky::factor(&a).is_none());
+    }
+
+    #[test]
+    fn ridge_recovers_weights() {
+        let mut rng = Rng::new(3);
+        let x = Matrix::randn(200, 4, 1.0, &mut rng);
+        let w_true = [0.5f32, -1.0, 2.0, 0.0];
+        let y: Vec<f32> = (0..200)
+            .map(|i| crate::vector::dot(x.row(i), &w_true))
+            .collect();
+        let w = ridge_solve(&x, &y, 1e-4);
+        for (wi, ti) in w.iter().zip(&w_true) {
+            assert!((wi - ti).abs() < 0.05, "{wi} vs {ti}");
+        }
+    }
+
+    #[test]
+    fn ridge_handles_degenerate_input() {
+        let x = Matrix::zeros(10, 3);
+        let y = vec![1.0; 10];
+        let w = ridge_solve(&x, &y, 1.0);
+        assert_eq!(w.len(), 3);
+        assert!(w.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn lu_solves_general_system() {
+        let a = Matrix::from_vec(3, 3, vec![0.0, 2.0, 1.0, 1.0, -1.0, 0.0, 3.0, 0.0, -2.0]);
+        let x_true = [1.0f32, 2.0, -1.0];
+        let b = a.matvec(&x_true);
+        let x = lu_solve(&a, &b).expect("nonsingular");
+        for (xi, ti) in x.iter().zip(&x_true) {
+            assert!((xi - ti).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn lu_detects_singular() {
+        let a = Matrix::from_vec(2, 2, vec![1.0, 2.0, 2.0, 4.0]);
+        assert!(lu_solve(&a, &[1.0, 2.0]).is_none());
+    }
+}

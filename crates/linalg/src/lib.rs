@@ -1,0 +1,30 @@
+//! # linalg — dense numeric substrate
+//!
+//! Small, dependency-free dense linear algebra used by every layer of the
+//! `automl-em` stack: the classical-ML model zoo, the autodiff engine, the
+//! embedders and the AutoML search infrastructure.
+//!
+//! Design goals:
+//!
+//! * **`f32` row-major storage** — everything downstream (embeddings,
+//!   gradients, feature matrices) is `f32`; row-major matches the access
+//!   pattern of per-record feature rows.
+//! * **No `unsafe`** — bounds checks are hoisted by iterating over row
+//!   slices; hot loops use `chunks_exact` so LLVM can vectorize.
+//! * **Explicit determinism** — the [`rng`] module provides seedable,
+//!   version-stable generators (SplitMix64 / xoshiro256++) so that every
+//!   experiment in the reproduction is bit-reproducible regardless of any
+//!   external crate's evolution.
+//!
+//! The API favours free functions over methods where an operation reads more
+//! naturally on slices (see [`vector`]), and a concrete [`Matrix`] type where
+//! shape bookkeeping matters.
+
+pub mod decomp;
+pub mod matrix;
+pub mod rng;
+pub mod stats;
+pub mod vector;
+
+pub use matrix::Matrix;
+pub use rng::{Rng, SplitMix64};

@@ -1,0 +1,190 @@
+//! Descriptive statistics and distribution helpers.
+//!
+//! Shared by the dataset generators (checking class-balance targets), the
+//! AutoML surrogate model (expected improvement needs the normal CDF/PDF) and
+//! the experiment report code (means, quantiles over F1 scores).
+
+/// Arithmetic mean; 0 for empty input.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Population variance; 0 for fewer than two values.
+pub fn variance(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64
+}
+
+/// Population standard deviation.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    variance(xs).sqrt()
+}
+
+/// Linear-interpolation quantile (`q` in `[0, 1]`); panics on empty input.
+pub fn quantile(xs: &[f64], q: f64) -> f64 {
+    assert!(!xs.is_empty(), "quantile of empty slice");
+    assert!((0.0..=1.0).contains(&q), "quantile q out of range: {q}");
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input"));
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    #[allow(clippy::float_cmp)] // lo/hi come from floor/ceil of the same value
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = pos - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// Median.
+pub fn median(xs: &[f64]) -> f64 {
+    quantile(xs, 0.5)
+}
+
+/// Pearson correlation coefficient; 0 when either side is constant.
+pub fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len(), "pearson: length mismatch");
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let mx = mean(xs);
+    let my = mean(ys);
+    let mut cov = 0.0;
+    let mut vx = 0.0;
+    let mut vy = 0.0;
+    for (&x, &y) in xs.iter().zip(ys) {
+        cov += (x - mx) * (y - my);
+        vx += (x - mx) * (x - mx);
+        vy += (y - my) * (y - my);
+    }
+    if vx == 0.0 || vy == 0.0 {
+        return 0.0;
+    }
+    cov / (vx.sqrt() * vy.sqrt())
+}
+
+/// Standard normal probability density function.
+pub fn normal_pdf(x: f64) -> f64 {
+    (-0.5 * x * x).exp() / (2.0 * std::f64::consts::PI).sqrt()
+}
+
+/// Standard normal cumulative distribution function.
+///
+/// Uses the Abramowitz–Stegun 7.1.26 rational approximation of `erf`
+/// (|error| < 1.5e-7), plenty for expected-improvement acquisition.
+pub fn normal_cdf(x: f64) -> f64 {
+    0.5 * (1.0 + erf(x / std::f64::consts::SQRT_2))
+}
+
+/// Error function approximation (Abramowitz–Stegun 7.1.26).
+pub fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.327_591_1 * x);
+    let poly = t
+        * (0.254_829_592
+            + t * (-0.284_496_736 + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
+    sign * (1.0 - poly * (-x * x).exp())
+}
+
+/// Expected improvement of a Gaussian posterior `N(mu, sigma²)` over the
+/// incumbent best value `best`, for a **maximization** problem.
+pub fn expected_improvement(mu: f64, sigma: f64, best: f64) -> f64 {
+    if sigma <= 0.0 {
+        return (mu - best).max(0.0);
+    }
+    let z = (mu - best) / sigma;
+    (mu - best) * normal_cdf(z) + sigma * normal_pdf(z)
+}
+
+/// Min-max normalize into `[0, 1]`; constant slices map to all-zeros.
+pub fn min_max_normalize(xs: &mut [f64]) {
+    if xs.is_empty() {
+        return;
+    }
+    let lo = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+    let hi = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    if hi - lo < f64::EPSILON {
+        xs.iter_mut().for_each(|x| *x = 0.0);
+        return;
+    }
+    let inv = 1.0 / (hi - lo);
+    for x in xs {
+        *x = (*x - lo) * inv;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_variance_basic() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&xs) - 5.0).abs() < 1e-12);
+        assert!((std_dev(&xs) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantile_endpoints_and_median() {
+        let xs = [3.0, 1.0, 2.0];
+        assert_eq!(quantile(&xs, 0.0), 1.0);
+        assert_eq!(quantile(&xs, 1.0), 3.0);
+        assert_eq!(median(&xs), 2.0);
+        assert_eq!(median(&[1.0, 2.0, 3.0, 4.0]), 2.5);
+    }
+
+    #[test]
+    fn pearson_perfect_and_constant() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys = [2.0, 4.0, 6.0, 8.0];
+        assert!((pearson(&xs, &ys) - 1.0).abs() < 1e-12);
+        let neg: Vec<f64> = ys.iter().map(|y| -y).collect();
+        assert!((pearson(&xs, &neg) + 1.0).abs() < 1e-12);
+        assert_eq!(pearson(&xs, &[5.0; 4]), 0.0);
+    }
+
+    #[test]
+    fn normal_cdf_known_values() {
+        assert!((normal_cdf(0.0) - 0.5).abs() < 1e-7);
+        assert!((normal_cdf(1.96) - 0.975).abs() < 1e-3);
+        assert!((normal_cdf(-1.96) - 0.025).abs() < 1e-3);
+    }
+
+    #[test]
+    fn erf_symmetry() {
+        for x in [0.1, 0.5, 1.0, 2.0] {
+            assert!((erf(x) + erf(-x)).abs() < 1e-12);
+        }
+        assert!((erf(1.0) - 0.8427007).abs() < 1e-5);
+    }
+
+    #[test]
+    fn ei_monotone_in_mu() {
+        let a = expected_improvement(0.5, 0.1, 0.6);
+        let b = expected_improvement(0.7, 0.1, 0.6);
+        assert!(b > a);
+        // zero variance: EI is the plain improvement
+        assert!((expected_improvement(0.7, 0.0, 0.6) - 0.1).abs() < 1e-12);
+        assert_eq!(expected_improvement(0.5, 0.0, 0.6), 0.0);
+    }
+
+    #[test]
+    fn min_max_normalize_range() {
+        let mut xs = vec![5.0, 10.0, 7.5];
+        min_max_normalize(&mut xs);
+        assert_eq!(xs, vec![0.0, 1.0, 0.5]);
+        let mut constant = vec![3.0, 3.0];
+        min_max_normalize(&mut constant);
+        assert_eq!(constant, vec![0.0, 0.0]);
+    }
+}

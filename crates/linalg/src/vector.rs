@@ -1,0 +1,267 @@
+//! Free functions on `&[f32]` slices.
+//!
+//! These are the hot kernels of the stack (dot products inside matmuls and
+//! kNN, softmax inside every attention head and classifier). They take plain
+//! slices so callers never pay for a wrapper type.
+
+/// Dot product. Panics if lengths differ.
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "dot: length mismatch");
+    // Four-lane manual unroll: keeps independent accumulator chains so the
+    // compiler can use SIMD without relying on float reassociation.
+    let mut acc = [0.0f32; 4];
+    let chunks = a.len() / 4;
+    for i in 0..chunks {
+        let o = i * 4;
+        acc[0] += a[o] * b[o];
+        acc[1] += a[o + 1] * b[o + 1];
+        acc[2] += a[o + 2] * b[o + 2];
+        acc[3] += a[o + 3] * b[o + 3];
+    }
+    let mut sum = acc[0] + acc[1] + acc[2] + acc[3];
+    for i in chunks * 4..a.len() {
+        sum += a[i] * b[i];
+    }
+    sum
+}
+
+/// `y += alpha * x`, in place.
+pub fn axpy(alpha: f32, x: &[f32], y: &mut [f32]) {
+    assert_eq!(x.len(), y.len(), "axpy: length mismatch");
+    for (yi, &xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// Scale a vector in place.
+pub fn scale(x: &mut [f32], alpha: f32) {
+    for v in x {
+        *v *= alpha;
+    }
+}
+
+/// Euclidean (L2) norm.
+pub fn norm(x: &[f32]) -> f32 {
+    dot(x, x).sqrt()
+}
+
+/// Squared Euclidean distance between two vectors.
+pub fn sq_dist(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "sq_dist: length mismatch");
+    let mut s = 0.0;
+    for (&x, &y) in a.iter().zip(b) {
+        let d = x - y;
+        s += d * d;
+    }
+    s
+}
+
+/// Cosine similarity in `[-1, 1]`; returns 0 when either vector is zero.
+pub fn cosine(a: &[f32], b: &[f32]) -> f32 {
+    let na = norm(a);
+    let nb = norm(b);
+    if na == 0.0 || nb == 0.0 {
+        return 0.0;
+    }
+    (dot(a, b) / (na * nb)).clamp(-1.0, 1.0)
+}
+
+/// Sum of entries.
+pub fn sum(x: &[f32]) -> f32 {
+    x.iter().sum()
+}
+
+/// Arithmetic mean (0 for the empty slice).
+pub fn mean(x: &[f32]) -> f32 {
+    if x.is_empty() {
+        0.0
+    } else {
+        sum(x) / x.len() as f32
+    }
+}
+
+/// Index of the maximum entry (first on ties); panics on empty input.
+pub fn argmax(x: &[f32]) -> usize {
+    assert!(!x.is_empty(), "argmax of empty slice");
+    let mut best = 0;
+    for (i, &v) in x.iter().enumerate().skip(1) {
+        if v > x[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+/// Numerically stable softmax, in place.
+pub fn softmax_inplace(x: &mut [f32]) {
+    if x.is_empty() {
+        return;
+    }
+    let max = x.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+    let mut total = 0.0;
+    for v in x.iter_mut() {
+        *v = (*v - max).exp();
+        total += *v;
+    }
+    if total > 0.0 {
+        let inv = 1.0 / total;
+        for v in x.iter_mut() {
+            *v *= inv;
+        }
+    }
+}
+
+/// Numerically stable softmax into a new vector.
+pub fn softmax(x: &[f32]) -> Vec<f32> {
+    let mut out = x.to_vec();
+    softmax_inplace(&mut out);
+    out
+}
+
+/// Logistic sigmoid.
+pub fn sigmoid(x: f32) -> f32 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// Stable `ln(1 + e^x)`.
+pub fn softplus(x: f32) -> f32 {
+    if x > 20.0 {
+        x
+    } else if x < -20.0 {
+        x.exp()
+    } else {
+        x.exp().ln_1p()
+    }
+}
+
+/// Elementwise addition into a new vector.
+pub fn add(a: &[f32], b: &[f32]) -> Vec<f32> {
+    assert_eq!(a.len(), b.len(), "add: length mismatch");
+    a.iter().zip(b).map(|(&x, &y)| x + y).collect()
+}
+
+/// Elementwise subtraction into a new vector.
+pub fn sub(a: &[f32], b: &[f32]) -> Vec<f32> {
+    assert_eq!(a.len(), b.len(), "sub: length mismatch");
+    a.iter().zip(b).map(|(&x, &y)| x - y).collect()
+}
+
+/// Elementwise product into a new vector.
+pub fn hadamard(a: &[f32], b: &[f32]) -> Vec<f32> {
+    assert_eq!(a.len(), b.len(), "hadamard: length mismatch");
+    a.iter().zip(b).map(|(&x, &y)| x * y).collect()
+}
+
+/// Elementwise absolute difference into a new vector (used by similarity
+/// feature builders and by DeepMatcher's comparison layer).
+pub fn abs_diff(a: &[f32], b: &[f32]) -> Vec<f32> {
+    assert_eq!(a.len(), b.len(), "abs_diff: length mismatch");
+    a.iter().zip(b).map(|(&x, &y)| (x - y).abs()).collect()
+}
+
+/// Average several equal-length vectors; panics on empty or ragged input.
+pub fn average(vectors: &[Vec<f32>]) -> Vec<f32> {
+    assert!(!vectors.is_empty(), "average of zero vectors");
+    let dim = vectors[0].len();
+    let mut out = vec![0.0f32; dim];
+    for v in vectors {
+        assert_eq!(v.len(), dim, "average: ragged input");
+        axpy(1.0, v, &mut out);
+    }
+    scale(&mut out, 1.0 / vectors.len() as f32);
+    out
+}
+
+/// L2-normalize in place; zero vectors are left untouched.
+pub fn normalize(x: &mut [f32]) {
+    let n = norm(x);
+    if n > 0.0 {
+        scale(x, 1.0 / n);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_basic() {
+        assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+        // length > 4 exercises the unrolled path + remainder
+        let a: Vec<f32> = (0..11).map(|i| i as f32).collect();
+        let b: Vec<f32> = (0..11).map(|i| (i * 2) as f32).collect();
+        let expect: f32 = (0..11).map(|i| (i * i * 2) as f32).sum();
+        assert_eq!(dot(&a, &b), expect);
+    }
+
+    #[test]
+    fn softmax_sums_to_one_and_is_stable() {
+        let probs = softmax(&[1000.0, 1000.0, 1000.0]);
+        assert!((sum(&probs) - 1.0).abs() < 1e-6);
+        for p in &probs {
+            assert!((p - 1.0 / 3.0).abs() < 1e-6);
+        }
+        let big = softmax(&[1e30, 0.0]);
+        assert!(big.iter().all(|p| p.is_finite()));
+    }
+
+    #[test]
+    fn softmax_preserves_order() {
+        let probs = softmax(&[0.5, 2.0, -1.0]);
+        assert!(probs[1] > probs[0] && probs[0] > probs[2]);
+    }
+
+    #[test]
+    fn sigmoid_symmetry_and_stability() {
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-7);
+        assert!((sigmoid(3.0) + sigmoid(-3.0) - 1.0).abs() < 1e-6);
+        assert_eq!(sigmoid(1000.0), 1.0);
+        assert_eq!(sigmoid(-1000.0), 0.0);
+    }
+
+    #[test]
+    fn cosine_bounds_and_zero() {
+        assert_eq!(cosine(&[0.0, 0.0], &[1.0, 2.0]), 0.0);
+        assert!((cosine(&[1.0, 0.0], &[1.0, 0.0]) - 1.0).abs() < 1e-6);
+        assert!((cosine(&[1.0, 0.0], &[-1.0, 0.0]) + 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn argmax_first_tie() {
+        assert_eq!(argmax(&[1.0, 3.0, 3.0, 2.0]), 1);
+    }
+
+    #[test]
+    fn average_of_vectors() {
+        let avg = average(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        assert_eq!(avg, vec![2.0, 3.0]);
+    }
+
+    #[test]
+    fn normalize_unit_norm() {
+        let mut v = vec![3.0, 4.0];
+        normalize(&mut v);
+        assert!((norm(&v) - 1.0).abs() < 1e-6);
+        let mut z = vec![0.0, 0.0];
+        normalize(&mut z);
+        assert_eq!(z, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn softplus_limits() {
+        assert!((softplus(0.0) - 2.0f32.ln()).abs() < 1e-6);
+        assert_eq!(softplus(100.0), 100.0);
+        assert!(softplus(-100.0) >= 0.0);
+    }
+
+    #[test]
+    fn sq_dist_and_abs_diff() {
+        assert_eq!(sq_dist(&[0.0, 0.0], &[3.0, 4.0]), 25.0);
+        assert_eq!(abs_diff(&[1.0, -2.0], &[3.0, 2.0]), vec![2.0, 4.0]);
+    }
+}

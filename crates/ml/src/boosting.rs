@@ -1,0 +1,521 @@
+//! Gradient-boosted trees with the logistic loss.
+//!
+//! Two variants mirror the two boosting libraries in AutoGluon's fixed
+//! roster (and the paper's Section 2 description of it):
+//!
+//! * [`GradientBoosting`] — depth-wise regression trees over histogram bins
+//!   with second-order (gradient/hessian) split gains, the LightGBM recipe.
+//! * [`ObliviousBoosting`] — *symmetric/oblivious* trees (one split decision
+//!   per level shared by every node of that level), CatBoost's signature
+//!   tree structure.
+//!
+//! Both train additive models `F ← F + lr · tree(g, h)` where
+//! `g = p − y`, `h = p(1 − p)` and leaves take the Newton step
+//! `−G/(H + λ)`.
+
+use crate::tree::{Binner, BinnedData, MAX_BINS};
+use crate::{check_fit_inputs, Classifier};
+use linalg::vector::sigmoid;
+use linalg::{Matrix, Rng};
+
+/// Shared boosting hyperparameters.
+#[derive(Debug, Clone, Copy)]
+pub struct BoostConfig {
+    /// Number of boosting rounds (trees).
+    pub n_rounds: usize,
+    /// Shrinkage (learning rate).
+    pub lr: f32,
+    /// Maximum tree depth.
+    pub max_depth: usize,
+    /// L2 regularization on leaf values (λ).
+    pub lambda: f32,
+    /// Minimum hessian sum per child.
+    pub min_child_weight: f32,
+    /// Row subsample fraction per round.
+    pub subsample: f32,
+    /// Feature subsample fraction per round.
+    pub colsample: f32,
+    /// Histogram bins.
+    pub n_bins: usize,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl Default for BoostConfig {
+    fn default() -> Self {
+        Self {
+            n_rounds: 100,
+            lr: 0.1,
+            max_depth: 6,
+            lambda: 1.0,
+            min_child_weight: 1.0,
+            subsample: 1.0,
+            colsample: 1.0,
+            n_bins: 32,
+            seed: 0,
+        }
+    }
+}
+
+/// One node of a fitted regression tree.
+#[derive(Debug, Clone)]
+enum RNode {
+    Leaf { value: f32 },
+    Split { feature: u32, threshold: f32, left: usize, right: usize },
+}
+
+#[derive(Debug, Clone)]
+struct RegTree {
+    nodes: Vec<RNode>,
+}
+
+impl RegTree {
+    fn predict_row(&self, row: &[f32]) -> f32 {
+        let mut node = 0usize;
+        loop {
+            match &self.nodes[node] {
+                RNode::Leaf { value } => return *value,
+                RNode::Split { feature, threshold, left, right } => {
+                    let v = row[*feature as usize];
+                    node = if !v.is_finite() || v <= *threshold { *left } else { *right };
+                }
+            }
+        }
+    }
+}
+
+struct GrowCtx<'a> {
+    binned: &'a BinnedData,
+    binner: &'a Binner,
+    g: &'a [f32],
+    h: &'a [f32],
+    cfg: &'a BoostConfig,
+    features: &'a [usize],
+}
+
+fn leaf_value(gsum: f32, hsum: f32, lambda: f32) -> f32 {
+    -gsum / (hsum + lambda)
+}
+
+fn split_gain(gl: f32, hl: f32, gr: f32, hr: f32, lambda: f32) -> f32 {
+    let score = |g: f32, h: f32| g * g / (h + lambda);
+    0.5 * (score(gl, hl) + score(gr, hr) - score(gl + gr, hl + hr))
+}
+
+/// Find the best (feature, bin, gain, gl, hl) split for a set of rows.
+fn best_split(ctx: &GrowCtx, indices: &[usize]) -> Option<(usize, u8, f32)> {
+    let mut gsum = 0.0f32;
+    let mut hsum = 0.0f32;
+    for &i in indices {
+        gsum += ctx.g[i];
+        hsum += ctx.h[i];
+    }
+    let mut best: Option<(usize, u8, f32)> = None;
+    for &j in ctx.features {
+        let n_bins = ctx.binner.n_bins(j);
+        if n_bins < 2 {
+            continue;
+        }
+        let mut gh = [(0.0f32, 0.0f32); MAX_BINS];
+        for &i in indices {
+            let b = ctx.binned.get(i, j) as usize;
+            gh[b].0 += ctx.g[i];
+            gh[b].1 += ctx.h[i];
+        }
+        let mut gl = 0.0f32;
+        let mut hl = 0.0f32;
+        for b in 0..n_bins - 1 {
+            gl += gh[b].0;
+            hl += gh[b].1;
+            let hr = hsum - hl;
+            if hl < ctx.cfg.min_child_weight || hr < ctx.cfg.min_child_weight {
+                continue;
+            }
+            let gain = split_gain(gl, hl, gsum - gl, hr, ctx.cfg.lambda);
+            if gain > 1e-6 && best.is_none_or(|(_, _, g)| gain > g) {
+                best = Some((j, b as u8, gain));
+            }
+        }
+    }
+    best
+}
+
+fn grow_depthwise(ctx: &GrowCtx, indices: Vec<usize>, depth: usize, nodes: &mut Vec<RNode>) -> usize {
+    let mut gsum = 0.0f32;
+    let mut hsum = 0.0f32;
+    for &i in &indices {
+        gsum += ctx.g[i];
+        hsum += ctx.h[i];
+    }
+    if depth >= ctx.cfg.max_depth || indices.len() < 2 {
+        nodes.push(RNode::Leaf { value: leaf_value(gsum, hsum, ctx.cfg.lambda) });
+        return nodes.len() - 1;
+    }
+    let Some((feature, bin, _)) = best_split(ctx, &indices) else {
+        nodes.push(RNode::Leaf { value: leaf_value(gsum, hsum, ctx.cfg.lambda) });
+        return nodes.len() - 1;
+    };
+    let threshold = ctx.binner.threshold(feature, bin).expect("valid split bin");
+    let (li, ri): (Vec<usize>, Vec<usize>) =
+        indices.into_iter().partition(|&i| ctx.binned.get(i, feature) <= bin);
+    let slot = nodes.len();
+    nodes.push(RNode::Leaf { value: 0.0 });
+    let left = grow_depthwise(ctx, li, depth + 1, nodes);
+    let right = grow_depthwise(ctx, ri, depth + 1, nodes);
+    nodes[slot] = RNode::Split { feature: feature as u32, threshold, left, right };
+    slot
+}
+
+/// Grow a CatBoost-style oblivious tree: one (feature, bin) decision per
+/// level, chosen to maximize the summed gain across all current leaves.
+fn grow_oblivious(ctx: &GrowCtx, indices: Vec<usize>) -> RegTree {
+    // leaves as partitions of indices
+    let mut partitions: Vec<Vec<usize>> = vec![indices];
+    let mut decisions: Vec<(u32, f32, u8)> = Vec::new(); // feature, threshold, bin
+    for _ in 0..ctx.cfg.max_depth {
+        // choose the split maximizing total gain over all partitions
+        let mut best: Option<(usize, u8, f32)> = None;
+        for &j in ctx.features {
+            let n_bins = ctx.binner.n_bins(j);
+            if n_bins < 2 {
+                continue;
+            }
+            for b in 0..n_bins - 1 {
+                let mut total_gain = 0.0f32;
+                let mut valid = false;
+                for part in &partitions {
+                    let mut gl = 0.0;
+                    let mut hl = 0.0;
+                    let mut gs = 0.0;
+                    let mut hs = 0.0;
+                    for &i in part {
+                        gs += ctx.g[i];
+                        hs += ctx.h[i];
+                        if ctx.binned.get(i, j) <= b as u8 {
+                            gl += ctx.g[i];
+                            hl += ctx.h[i];
+                        }
+                    }
+                    let hr = hs - hl;
+                    if hl >= ctx.cfg.min_child_weight && hr >= ctx.cfg.min_child_weight {
+                        total_gain += split_gain(gl, hl, gs - gl, hr, ctx.cfg.lambda);
+                        valid = true;
+                    }
+                }
+                if valid && total_gain > 1e-6 && best.is_none_or(|(_, _, g)| total_gain > g) {
+                    best = Some((j, b as u8, total_gain));
+                }
+            }
+        }
+        let Some((feature, bin, _)) = best else { break };
+        let threshold = ctx.binner.threshold(feature, bin).expect("valid split bin");
+        decisions.push((feature as u32, threshold, bin));
+        let mut next = Vec::with_capacity(partitions.len() * 2);
+        for part in partitions {
+            let (l, r): (Vec<usize>, Vec<usize>) =
+                part.into_iter().partition(|&i| ctx.binned.get(i, feature) <= bin);
+            next.push(l);
+            next.push(r);
+        }
+        partitions = next;
+    }
+    // materialize as a normal node tree (complete binary over decisions)
+    let mut nodes = Vec::new();
+    build_oblivious_nodes(&decisions, 0, &partitions, 0, ctx, &mut nodes);
+    RegTree { nodes }
+}
+
+/// Recursively materialize the oblivious decision list into node form.
+/// `leaf_base` indexes into `partitions` (leaves are in left-to-right order).
+fn build_oblivious_nodes(
+    decisions: &[(u32, f32, u8)],
+    level: usize,
+    partitions: &[Vec<usize>],
+    leaf_base: usize,
+    ctx: &GrowCtx,
+    nodes: &mut Vec<RNode>,
+) -> usize {
+    if level == decisions.len() {
+        let part = &partitions[leaf_base];
+        let mut gsum = 0.0;
+        let mut hsum = 0.0;
+        for &i in part {
+            gsum += ctx.g[i];
+            hsum += ctx.h[i];
+        }
+        nodes.push(RNode::Leaf { value: leaf_value(gsum, hsum, ctx.cfg.lambda) });
+        return nodes.len() - 1;
+    }
+    let (feature, threshold, _) = decisions[level];
+    let slot = nodes.len();
+    nodes.push(RNode::Leaf { value: 0.0 });
+    let stride = 1 << (decisions.len() - level - 1);
+    let left = build_oblivious_nodes(decisions, level + 1, partitions, leaf_base, ctx, nodes);
+    let right =
+        build_oblivious_nodes(decisions, level + 1, partitions, leaf_base + stride, ctx, nodes);
+    nodes[slot] = RNode::Split { feature, threshold, left, right };
+    slot
+}
+
+/// Which tree structure a boosting model grows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TreeKind {
+    DepthWise,
+    Oblivious,
+}
+
+/// Generic boosted-trees classifier.
+pub struct Boosted {
+    /// Hyperparameters.
+    pub config: BoostConfig,
+    kind: TreeKind,
+    base_score: f32,
+    trees: Vec<RegTree>,
+}
+
+impl Boosted {
+    fn new(config: BoostConfig, kind: TreeKind) -> Self {
+        Self { config, kind, base_score: 0.0, trees: Vec::new() }
+    }
+
+    /// Number of fitted trees.
+    pub fn n_trees(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// Split-frequency feature importance over all boosting rounds,
+    /// normalized to sum to 1.
+    pub fn feature_importance(&self, n_features: usize) -> Vec<f32> {
+        assert!(!self.trees.is_empty(), "importance before fit");
+        let mut counts = vec![0.0f32; n_features];
+        for tree in &self.trees {
+            for node in &tree.nodes {
+                if let RNode::Split { feature, .. } = node {
+                    counts[*feature as usize] += 1.0;
+                }
+            }
+        }
+        let total: f32 = counts.iter().sum();
+        if total > 0.0 {
+            counts.iter_mut().for_each(|c| *c /= total);
+        }
+        counts
+    }
+
+    fn raw_scores(&self, x: &Matrix) -> Vec<f32> {
+        let mut scores = vec![self.base_score; x.rows()];
+        for tree in &self.trees {
+            for (i, row) in x.rows_iter().enumerate() {
+                scores[i] += self.config.lr * tree.predict_row(row);
+            }
+        }
+        scores
+    }
+}
+
+impl Classifier for Boosted {
+    fn fit(&mut self, x: &Matrix, y: &[f32]) {
+        check_fit_inputs(x, y);
+        self.trees.clear();
+        let n = x.rows();
+        let pos = y.iter().filter(|&&v| v >= 0.5).count().max(1) as f32;
+        let neg = (n as f32 - pos).max(1.0);
+        self.base_score = (pos / neg).ln();
+        let binner = Binner::fit(x, self.config.n_bins);
+        let binned = binner.transform(x);
+        let mut rng = Rng::new(self.config.seed);
+        let mut margins = vec![self.base_score; n];
+        let d = x.cols();
+        for _round in 0..self.config.n_rounds {
+            // gradients and hessians of the logistic loss
+            let mut g = vec![0.0f32; n];
+            let mut h = vec![0.0f32; n];
+            for i in 0..n {
+                let p = sigmoid(margins[i]);
+                g[i] = p - y[i];
+                h[i] = (p * (1.0 - p)).max(1e-6);
+            }
+            // row / column subsampling
+            let rows: Vec<usize> = if self.config.subsample < 1.0 {
+                let k = ((n as f32 * self.config.subsample) as usize).max(2);
+                rng.sample_indices(n, k.min(n))
+            } else {
+                (0..n).collect()
+            };
+            let features: Vec<usize> = if self.config.colsample < 1.0 {
+                let k = ((d as f32 * self.config.colsample).ceil() as usize).clamp(1, d);
+                rng.sample_indices(d, k)
+            } else {
+                (0..d).collect()
+            };
+            let ctx = GrowCtx {
+                binned: &binned,
+                binner: &binner,
+                g: &g,
+                h: &h,
+                cfg: &self.config,
+                features: &features,
+            };
+            let tree = match self.kind {
+                TreeKind::DepthWise => {
+                    let mut nodes = Vec::new();
+                    grow_depthwise(&ctx, rows, 0, &mut nodes);
+                    RegTree { nodes }
+                }
+                TreeKind::Oblivious => grow_oblivious(&ctx, rows),
+            };
+            // update margins on ALL rows
+            for (i, row) in x.rows_iter().enumerate() {
+                margins[i] += self.config.lr * tree.predict_row(row);
+            }
+            self.trees.push(tree);
+        }
+    }
+
+    fn predict_proba(&self, x: &Matrix) -> Vec<f32> {
+        assert!(!self.trees.is_empty(), "predict before fit");
+        self.raw_scores(x).into_iter().map(sigmoid).collect()
+    }
+
+    fn name(&self) -> String {
+        let kind = match self.kind {
+            TreeKind::DepthWise => "gbm",
+            TreeKind::Oblivious => "catgbm",
+        };
+        format!(
+            "{kind}(n={},lr={},depth={})",
+            self.config.n_rounds, self.config.lr, self.config.max_depth
+        )
+    }
+
+    fn fresh(&self) -> Box<dyn Classifier> {
+        Box::new(Boosted::new(self.config, self.kind))
+    }
+}
+
+/// LightGBM-style depth-wise histogram gradient boosting.
+pub struct GradientBoosting;
+
+impl GradientBoosting {
+    /// Build an unfitted booster.
+    #[allow(clippy::new_ret_no_self)] // constructor of the shared Boosted engine
+    pub fn new(config: BoostConfig) -> Boosted {
+        Boosted::new(config, TreeKind::DepthWise)
+    }
+}
+
+/// CatBoost-style boosting with oblivious (symmetric) trees.
+pub struct ObliviousBoosting;
+
+impl ObliviousBoosting {
+    /// Build an unfitted booster.
+    #[allow(clippy::new_ret_no_self)] // constructor of the shared Boosted engine
+    pub fn new(config: BoostConfig) -> Boosted {
+        Boosted::new(config, TreeKind::Oblivious)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linear::test_data::{blobs, xor};
+    use crate::metrics::{f1_at_threshold, roc_auc};
+
+    fn fit_eval(mut model: Boosted, seed: u64) -> f64 {
+        let (x, y) = xor(500, seed);
+        let (xt, yt) = xor(300, seed + 1);
+        model.fit(&x, &y);
+        let probs = model.predict_proba(&xt);
+        let actual: Vec<bool> = yt.iter().map(|&v| v >= 0.5).collect();
+        f1_at_threshold(&probs, &actual, 0.5)
+    }
+
+    #[test]
+    fn gbm_solves_xor() {
+        let cfg = BoostConfig { n_rounds: 50, ..BoostConfig::default() };
+        let f1 = fit_eval(GradientBoosting::new(cfg), 1);
+        assert!(f1 > 92.0, "F1 {f1}");
+    }
+
+    #[test]
+    fn oblivious_solves_xor() {
+        let cfg = BoostConfig { n_rounds: 50, max_depth: 4, ..BoostConfig::default() };
+        let f1 = fit_eval(ObliviousBoosting::new(cfg), 2);
+        assert!(f1 > 92.0, "F1 {f1}");
+    }
+
+    #[test]
+    fn more_rounds_do_not_hurt_training_fit() {
+        let (x, y) = blobs(300, 0.3, 0.8, 3);
+        let actual: Vec<bool> = y.iter().map(|&v| v >= 0.5).collect();
+        let mut short = GradientBoosting::new(BoostConfig { n_rounds: 5, ..BoostConfig::default() });
+        let mut long = GradientBoosting::new(BoostConfig { n_rounds: 80, ..BoostConfig::default() });
+        short.fit(&x, &y);
+        long.fit(&x, &y);
+        let auc_s = roc_auc(&short.predict_proba(&x), &actual);
+        let auc_l = roc_auc(&long.predict_proba(&x), &actual);
+        assert!(auc_l >= auc_s - 1e-9, "{auc_l} vs {auc_s}");
+    }
+
+    #[test]
+    fn subsampling_still_learns() {
+        let cfg = BoostConfig {
+            n_rounds: 60,
+            subsample: 0.7,
+            colsample: 0.8,
+            ..BoostConfig::default()
+        };
+        let f1 = fit_eval(GradientBoosting::new(cfg), 4);
+        assert!(f1 > 88.0, "F1 {f1}");
+    }
+
+    #[test]
+    fn deterministic() {
+        let (x, y) = blobs(200, 0.4, 1.0, 5);
+        let cfg = BoostConfig { n_rounds: 10, subsample: 0.8, ..BoostConfig::default() };
+        let mut a = GradientBoosting::new(cfg);
+        let mut b = GradientBoosting::new(cfg);
+        a.fit(&x, &y);
+        b.fit(&x, &y);
+        assert_eq!(a.predict_proba(&x), b.predict_proba(&x));
+    }
+
+    #[test]
+    fn base_score_reflects_prior() {
+        // without trees the prediction is the class prior logit; with heavy
+        // imbalance the untrained probability must be far below 0.5
+        let (x, y) = blobs(300, 0.05, 0.1, 6);
+        let mut m = GradientBoosting::new(BoostConfig { n_rounds: 1, lr: 0.0, ..BoostConfig::default() });
+        m.fit(&x, &y);
+        let probs = m.predict_proba(&x);
+        assert!(probs[0] < 0.2, "{}", probs[0]);
+    }
+
+    #[test]
+    fn importance_sums_to_one_and_prefers_signal() {
+        let (x, y) = blobs(300, 0.4, 2.0, 12);
+        let mut m = GradientBoosting::new(BoostConfig { n_rounds: 30, ..BoostConfig::default() });
+        m.fit(&x, &y);
+        let imp = m.feature_importance(x.cols());
+        assert!((imp.iter().sum::<f32>() - 1.0).abs() < 1e-4);
+        assert!(imp[0] + imp[1] > imp[2], "{imp:?}");
+    }
+
+    #[test]
+    fn oblivious_trees_are_symmetric() {
+        // an oblivious tree of depth k has exactly 2^k leaves when splits
+        // are found at every level; verify the node count is consistent
+        let (x, y) = blobs(400, 0.5, 1.5, 7);
+        let mut m = ObliviousBoosting::new(BoostConfig {
+            n_rounds: 1,
+            max_depth: 3,
+            ..BoostConfig::default()
+        });
+        m.fit(&x, &y);
+        assert_eq!(m.n_trees(), 1);
+        // depth-3 complete tree: 2^4 - 1 = 15 nodes (or fewer levels if no
+        // gain was found, giving 2^d+1 - 1)
+        let n = m.trees[0].nodes.len();
+        assert!([1usize, 3, 7, 15].contains(&n), "nodes {n}");
+    }
+}

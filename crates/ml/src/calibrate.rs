@@ -1,0 +1,201 @@
+//! Probability calibration and precision-recall analysis.
+//!
+//! EM systems act on a decision threshold, so probability *calibration*
+//! matters: Platt scaling (a 1-D logistic fit on validation scores) is the
+//! standard post-hoc fix that the real AutoML stacks apply to their
+//! ensemble outputs. The PR utilities support threshold diagnostics beyond
+//! the single F1 number the paper reports.
+
+use linalg::vector::sigmoid;
+
+/// A fitted Platt scaler: `p' = σ(a·logit(p) + b)`.
+#[derive(Debug, Clone, Copy)]
+pub struct PlattScaler {
+    /// Slope.
+    pub a: f32,
+    /// Intercept.
+    pub b: f32,
+}
+
+fn logit(p: f32) -> f32 {
+    let p = p.clamp(1e-6, 1.0 - 1e-6);
+    (p / (1.0 - p)).ln()
+}
+
+impl PlattScaler {
+    /// Fit on validation probabilities vs labels by gradient descent on
+    /// the log loss (the problem is 2-parameter and convex).
+    pub fn fit(probs: &[f32], labels: &[bool]) -> Self {
+        assert_eq!(probs.len(), labels.len(), "length mismatch");
+        assert!(!probs.is_empty(), "cannot calibrate on empty data");
+        let scores: Vec<f32> = probs.iter().map(|&p| logit(p)).collect();
+        // Platt's target smoothing avoids saturated gradients
+        let n_pos = labels.iter().filter(|&&l| l).count() as f32;
+        let n_neg = labels.len() as f32 - n_pos;
+        let t_pos = (n_pos + 1.0) / (n_pos + 2.0);
+        let t_neg = 1.0 / (n_neg + 2.0);
+        let mut a = 1.0f32;
+        let mut b = 0.0f32;
+        let lr = 0.1;
+        for _ in 0..2000 {
+            let mut ga = 0.0f32;
+            let mut gb = 0.0f32;
+            for (&s, &l) in scores.iter().zip(labels) {
+                let t = if l { t_pos } else { t_neg };
+                let p = sigmoid(a * s + b);
+                let err = p - t;
+                ga += err * s;
+                gb += err;
+            }
+            let inv = 1.0 / scores.len() as f32;
+            a -= lr * ga * inv;
+            b -= lr * gb * inv;
+        }
+        Self { a, b }
+    }
+
+    /// Apply the scaler to one probability.
+    pub fn transform_one(&self, p: f32) -> f32 {
+        sigmoid(self.a * logit(p) + self.b)
+    }
+
+    /// Apply the scaler to a probability slice.
+    pub fn transform(&self, probs: &[f32]) -> Vec<f32> {
+        probs.iter().map(|&p| self.transform_one(p)).collect()
+    }
+}
+
+/// One point of a precision-recall curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PrPoint {
+    /// Decision threshold producing this point.
+    pub threshold: f32,
+    /// Precision at the threshold.
+    pub precision: f64,
+    /// Recall at the threshold.
+    pub recall: f64,
+}
+
+/// Precision-recall curve over all distinct thresholds, ordered by
+/// decreasing threshold (increasing recall).
+pub fn pr_curve(probs: &[f32], labels: &[bool]) -> Vec<PrPoint> {
+    assert_eq!(probs.len(), labels.len(), "length mismatch");
+    let total_pos = labels.iter().filter(|&&l| l).count();
+    if total_pos == 0 || probs.is_empty() {
+        return Vec::new();
+    }
+    let mut order: Vec<usize> = (0..probs.len()).collect();
+    order.sort_by(|&a, &b| probs[b].partial_cmp(&probs[a]).expect("NaN probability"));
+    let mut out = Vec::new();
+    let mut tp = 0usize;
+    let mut fp = 0usize;
+    let mut i = 0;
+    while i < order.len() {
+        let threshold = probs[order[i]];
+        // consume all examples tied at this threshold
+        while i < order.len() && probs[order[i]] == threshold {
+            if labels[order[i]] {
+                tp += 1;
+            } else {
+                fp += 1;
+            }
+            i += 1;
+        }
+        out.push(PrPoint {
+            threshold,
+            precision: tp as f64 / (tp + fp) as f64,
+            recall: tp as f64 / total_pos as f64,
+        });
+    }
+    out
+}
+
+/// Average precision (area under the PR curve, step interpolation).
+pub fn average_precision(probs: &[f32], labels: &[bool]) -> f64 {
+    let curve = pr_curve(probs, labels);
+    let mut ap = 0.0;
+    let mut prev_recall = 0.0;
+    for p in &curve {
+        ap += (p.recall - prev_recall) * p.precision;
+        prev_recall = p.recall;
+    }
+    ap
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ml_test_helpers::*;
+
+    mod ml_test_helpers {
+        pub fn labels_alternating(n: usize) -> Vec<bool> {
+            (0..n).map(|i| i % 3 == 0).collect()
+        }
+    }
+
+    #[test]
+    fn platt_fixes_systematic_bias() {
+        // scores systematically too low: positives near 0.3, negatives 0.05
+        let probs: Vec<f32> = (0..200)
+            .map(|i| if i % 4 == 0 { 0.3 } else { 0.05 })
+            .collect();
+        let labels: Vec<bool> = (0..200).map(|i| i % 4 == 0).collect();
+        let scaler = PlattScaler::fit(&probs, &labels);
+        let cal_pos = scaler.transform_one(0.3);
+        let cal_neg = scaler.transform_one(0.05);
+        assert!(cal_pos > 0.5, "calibrated positive {cal_pos}");
+        assert!(cal_neg < 0.5, "calibrated negative {cal_neg}");
+    }
+
+    #[test]
+    fn platt_preserves_monotonicity() {
+        let probs: Vec<f32> = (1..100).map(|i| i as f32 / 100.0).collect();
+        let labels: Vec<bool> = (1..100).map(|i| i > 50).collect();
+        let scaler = PlattScaler::fit(&probs, &labels);
+        let cal = scaler.transform(&probs);
+        for w in cal.windows(2) {
+            assert!(w[1] >= w[0] - 1e-6);
+        }
+    }
+
+    #[test]
+    fn pr_curve_perfect_classifier() {
+        let probs = [0.9f32, 0.8, 0.2, 0.1];
+        let labels = [true, true, false, false];
+        let curve = pr_curve(&probs, &labels);
+        // every point before recall 1.0 has precision 1.0
+        assert!(curve.iter().all(|p| p.recall < 1.0 || p.precision >= 0.5));
+        assert!((average_precision(&probs, &labels) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pr_curve_random_classifier_ap_near_base_rate() {
+        let mut rng = linalg::Rng::new(5);
+        let n = 4000;
+        let probs: Vec<f32> = (0..n).map(|_| rng.f32()).collect();
+        let labels: Vec<bool> = (0..n).map(|_| rng.chance(0.2)).collect();
+        let ap = average_precision(&probs, &labels);
+        assert!((ap - 0.2).abs() < 0.05, "AP {ap}");
+    }
+
+    #[test]
+    fn pr_curve_handles_ties_and_degenerates() {
+        assert!(pr_curve(&[0.5, 0.5], &[false, false]).is_empty());
+        let curve = pr_curve(&[0.5, 0.5, 0.5], &[true, false, true]);
+        assert_eq!(curve.len(), 1);
+        assert!((curve[0].recall - 1.0).abs() < 1e-12);
+        let _ = labels_alternating(3);
+    }
+
+    #[test]
+    fn recall_is_monotone_along_curve() {
+        let mut rng = linalg::Rng::new(6);
+        let probs: Vec<f32> = (0..300).map(|_| rng.f32()).collect();
+        let labels: Vec<bool> = (0..300).map(|_| rng.chance(0.3)).collect();
+        let curve = pr_curve(&probs, &labels);
+        for w in curve.windows(2) {
+            assert!(w[1].recall >= w[0].recall);
+            assert!(w[1].threshold <= w[0].threshold);
+        }
+    }
+}

@@ -1,0 +1,139 @@
+//! Cross-validation utilities.
+//!
+//! Stratified k-fold is the backbone of the ensembling strategies: bagged
+//! stacking (AutoGluon-style) and the super learner (H2O-style) both need
+//! out-of-fold predictions, and the SMBO loop scores candidates on a
+//! stratified holdout.
+
+use linalg::Rng;
+
+/// Stratified k-fold split: returns `k` (train_indices, valid_indices)
+/// pairs. Both classes are spread evenly across folds.
+pub fn stratified_kfold(y: &[f32], k: usize, rng: &mut Rng) -> Vec<(Vec<usize>, Vec<usize>)> {
+    assert!(k >= 2, "need at least 2 folds");
+    assert!(y.len() >= k, "fewer examples than folds");
+    let mut pos: Vec<usize> = (0..y.len()).filter(|&i| y[i] >= 0.5).collect();
+    let mut neg: Vec<usize> = (0..y.len()).filter(|&i| y[i] < 0.5).collect();
+    rng.shuffle(&mut pos);
+    rng.shuffle(&mut neg);
+    let mut folds: Vec<Vec<usize>> = vec![Vec::new(); k];
+    for (i, &idx) in pos.iter().enumerate() {
+        folds[i % k].push(idx);
+    }
+    for (i, &idx) in neg.iter().enumerate() {
+        folds[i % k].push(idx);
+    }
+    (0..k)
+        .map(|f| {
+            let valid = folds[f].clone();
+            let train: Vec<usize> = (0..k)
+                .filter(|&g| g != f)
+                .flat_map(|g| folds[g].iter().copied())
+                .collect();
+            (train, valid)
+        })
+        .collect()
+}
+
+/// Stratified holdout split: `(train, valid)` index sets with
+/// `valid_frac` of each class in the validation part.
+pub fn stratified_holdout(y: &[f32], valid_frac: f64, rng: &mut Rng) -> (Vec<usize>, Vec<usize>) {
+    assert!((0.0..1.0).contains(&valid_frac), "valid_frac out of range");
+    let mut pos: Vec<usize> = (0..y.len()).filter(|&i| y[i] >= 0.5).collect();
+    let mut neg: Vec<usize> = (0..y.len()).filter(|&i| y[i] < 0.5).collect();
+    rng.shuffle(&mut pos);
+    rng.shuffle(&mut neg);
+    let mut train = Vec::new();
+    let mut valid = Vec::new();
+    for class in [pos, neg] {
+        // ceil so tiny minority classes keep at least one validation example
+        let n_valid = ((class.len() as f64 * valid_frac).ceil() as usize).min(class.len());
+        // but never drain a class entirely out of train
+        let n_valid = if n_valid == class.len() && !class.is_empty() {
+            class.len() - 1
+        } else {
+            n_valid
+        };
+        valid.extend_from_slice(&class[..n_valid]);
+        train.extend_from_slice(&class[n_valid..]);
+    }
+    rng.shuffle(&mut train);
+    rng.shuffle(&mut valid);
+    (train, valid)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn labels(n_pos: usize, n_neg: usize) -> Vec<f32> {
+        let mut y = vec![1.0; n_pos];
+        y.extend(vec![0.0; n_neg]);
+        y
+    }
+
+    #[test]
+    fn kfold_partitions_everything() {
+        let y = labels(20, 80);
+        let mut rng = Rng::new(1);
+        let folds = stratified_kfold(&y, 5, &mut rng);
+        assert_eq!(folds.len(), 5);
+        let mut seen = vec![0usize; 100];
+        for (train, valid) in &folds {
+            assert_eq!(train.len() + valid.len(), 100);
+            for &i in valid {
+                seen[i] += 1;
+            }
+        }
+        // every example is in exactly one validation fold
+        assert!(seen.iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn kfold_is_stratified() {
+        let y = labels(20, 80);
+        let mut rng = Rng::new(2);
+        for (_, valid) in stratified_kfold(&y, 5, &mut rng) {
+            let pos = valid.iter().filter(|&&i| y[i] >= 0.5).count();
+            assert_eq!(pos, 4, "each fold should hold 4 of the 20 positives");
+        }
+    }
+
+    #[test]
+    fn kfold_no_train_valid_overlap() {
+        let y = labels(10, 30);
+        let mut rng = Rng::new(3);
+        for (train, valid) in stratified_kfold(&y, 4, &mut rng) {
+            for i in valid {
+                assert!(!train.contains(&i));
+            }
+        }
+    }
+
+    #[test]
+    fn holdout_fractions_and_coverage() {
+        let y = labels(10, 90);
+        let mut rng = Rng::new(4);
+        let (train, valid) = stratified_holdout(&y, 0.2, &mut rng);
+        assert_eq!(train.len() + valid.len(), 100);
+        let vp = valid.iter().filter(|&&i| y[i] >= 0.5).count();
+        assert_eq!(vp, 2); // 20% of 10 positives
+    }
+
+    #[test]
+    fn holdout_keeps_minority_in_both_sides() {
+        // 3 positives, 20% → ceil gives 1 validation positive, 2 train
+        let y = labels(3, 50);
+        let mut rng = Rng::new(5);
+        let (train, valid) = stratified_holdout(&y, 0.2, &mut rng);
+        let tp = train.iter().filter(|&&i| y[i] >= 0.5).count();
+        let vp = valid.iter().filter(|&&i| y[i] >= 0.5).count();
+        assert!(tp >= 1 && vp >= 1, "train {tp}, valid {vp}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 folds")]
+    fn kfold_rejects_k1() {
+        stratified_kfold(&labels(5, 5), 1, &mut Rng::new(0));
+    }
+}

@@ -1,0 +1,147 @@
+//! Feature-matrix dataset container shared by models and AutoML.
+
+use linalg::{Matrix, Rng};
+
+/// A supervised binary-classification dataset: a dense feature matrix plus
+/// one `{0.0, 1.0}` label per row.
+#[derive(Debug, Clone)]
+pub struct TabularData {
+    /// Features, one row per example.
+    pub x: Matrix,
+    /// Labels, `0.0` = non-match, `1.0` = match.
+    pub y: Vec<f32>,
+}
+
+impl TabularData {
+    /// Build and validate shapes.
+    pub fn new(x: Matrix, y: Vec<f32>) -> Self {
+        assert_eq!(x.rows(), y.len(), "features/labels length mismatch");
+        Self { x, y }
+    }
+
+    /// Number of examples.
+    pub fn len(&self) -> usize {
+        self.y.len()
+    }
+
+    /// True when there are no examples.
+    pub fn is_empty(&self) -> bool {
+        self.y.is_empty()
+    }
+
+    /// Number of feature columns.
+    pub fn n_features(&self) -> usize {
+        self.x.cols()
+    }
+
+    /// Labels as booleans.
+    pub fn labels_bool(&self) -> Vec<bool> {
+        self.y.iter().map(|&v| v >= 0.5).collect()
+    }
+
+    /// Fraction of positive examples.
+    pub fn positive_ratio(&self) -> f64 {
+        if self.y.is_empty() {
+            return 0.0;
+        }
+        self.y.iter().filter(|&&v| v >= 0.5).count() as f64 / self.y.len() as f64
+    }
+
+    /// Subset by row indices.
+    pub fn select(&self, indices: &[usize]) -> TabularData {
+        TabularData {
+            x: self.x.select_rows(indices),
+            y: indices.iter().map(|&i| self.y[i]).collect(),
+        }
+    }
+
+    /// Bootstrap resample of the same size (sampling with replacement).
+    pub fn bootstrap(&self, rng: &mut Rng) -> TabularData {
+        let idx: Vec<usize> = (0..self.len()).map(|_| rng.below(self.len())).collect();
+        self.select(&idx)
+    }
+
+    /// Random-oversample the minority class until the classes are balanced —
+    /// the data-augmentation hook the paper lists as future work (§6); wired
+    /// into the pipeline as an ablation.
+    pub fn oversample_minority(&self, rng: &mut Rng) -> TabularData {
+        let pos: Vec<usize> = (0..self.len()).filter(|&i| self.y[i] >= 0.5).collect();
+        let neg: Vec<usize> = (0..self.len()).filter(|&i| self.y[i] < 0.5).collect();
+        if pos.is_empty() || neg.is_empty() || pos.len() == neg.len() {
+            return self.clone();
+        }
+        let (minority, majority) = if pos.len() < neg.len() {
+            (&pos, &neg)
+        } else {
+            (&neg, &pos)
+        };
+        let mut idx: Vec<usize> = (0..self.len()).collect();
+        for _ in 0..(majority.len() - minority.len()) {
+            idx.push(*rng.choose(minority));
+        }
+        rng.shuffle(&mut idx);
+        self.select(&idx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy(n_pos: usize, n_neg: usize) -> TabularData {
+        let mut rows = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..n_pos {
+            rows.push(vec![i as f32, 1.0]);
+            y.push(1.0);
+        }
+        for i in 0..n_neg {
+            rows.push(vec![i as f32, 0.0]);
+            y.push(0.0);
+        }
+        TabularData::new(Matrix::from_rows(&rows), y)
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let d = toy(3, 7);
+        assert_eq!(d.len(), 10);
+        assert_eq!(d.n_features(), 2);
+        assert!((d.positive_ratio() - 0.3).abs() < 1e-9);
+        assert_eq!(d.labels_bool().iter().filter(|&&b| b).count(), 3);
+    }
+
+    #[test]
+    fn select_subsets() {
+        let d = toy(2, 2);
+        let s = d.select(&[3, 0]);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.y, vec![0.0, 1.0]);
+    }
+
+    #[test]
+    fn bootstrap_preserves_size() {
+        let d = toy(5, 5);
+        let mut rng = Rng::new(1);
+        let b = d.bootstrap(&mut rng);
+        assert_eq!(b.len(), d.len());
+    }
+
+    #[test]
+    fn oversampling_balances() {
+        let d = toy(2, 18);
+        let mut rng = Rng::new(2);
+        let o = d.oversample_minority(&mut rng);
+        assert_eq!(o.len(), 36);
+        assert!((o.positive_ratio() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn oversampling_noop_when_balanced_or_degenerate() {
+        let d = toy(5, 5);
+        let mut rng = Rng::new(3);
+        assert_eq!(d.oversample_minority(&mut rng).len(), 10);
+        let all_pos = toy(4, 0);
+        assert_eq!(all_pos.oversample_minority(&mut rng).len(), 4);
+    }
+}

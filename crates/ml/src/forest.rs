@@ -1,0 +1,250 @@
+//! Tree ensembles: random forests and extremely randomized trees.
+//!
+//! Both appear in the fixed roster of the AutoGluon-style system and in the
+//! AutoSklearn-style search space. They share one binning pass over the
+//! training matrix, then average the probability output of their trees.
+
+use crate::tree::{Binner, DecisionTree, SplitRule, TreeConfig};
+use crate::{check_fit_inputs, Classifier};
+use linalg::{Matrix, Rng};
+
+/// Forest hyperparameters.
+#[derive(Debug, Clone, Copy)]
+pub struct ForestConfig {
+    /// Number of trees.
+    pub n_trees: usize,
+    /// Per-tree depth limit.
+    pub max_depth: usize,
+    /// Minimum samples per leaf.
+    pub min_samples_leaf: usize,
+    /// Fraction of features per split (`0.0` → √d heuristic).
+    pub max_features: f32,
+    /// Bootstrap rows per tree (random forest) or use the full sample
+    /// (extra-trees convention).
+    pub bootstrap: bool,
+    /// Threshold selection: `Best` = random forest, `Random` = extra-trees.
+    pub split_rule: SplitRule,
+    /// Histogram bins.
+    pub n_bins: usize,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl ForestConfig {
+    /// Canonical random-forest configuration.
+    pub fn random_forest(n_trees: usize, seed: u64) -> Self {
+        Self {
+            n_trees,
+            max_depth: 16,
+            min_samples_leaf: 1,
+            max_features: 0.0,
+            bootstrap: true,
+            split_rule: SplitRule::Best,
+            n_bins: 32,
+            seed,
+        }
+    }
+
+    /// Canonical extremely-randomized-trees configuration.
+    pub fn extra_trees(n_trees: usize, seed: u64) -> Self {
+        Self {
+            bootstrap: false,
+            split_rule: SplitRule::Random,
+            ..Self::random_forest(n_trees, seed)
+        }
+    }
+}
+
+impl Default for ForestConfig {
+    fn default() -> Self {
+        Self::random_forest(100, 0)
+    }
+}
+
+/// Bagged ensemble of [`DecisionTree`]s.
+pub struct RandomForest {
+    /// Hyperparameters.
+    pub config: ForestConfig,
+    trees: Vec<DecisionTree>,
+}
+
+impl RandomForest {
+    /// Unfitted forest.
+    pub fn new(config: ForestConfig) -> Self {
+        Self {
+            config,
+            trees: Vec::new(),
+        }
+    }
+
+    /// Number of fitted trees.
+    pub fn n_trees(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// Mean split-frequency feature importance across the forest's trees.
+    pub fn feature_importance(&self, n_features: usize) -> Vec<f32> {
+        assert!(!self.trees.is_empty(), "importance before fit");
+        let mut out = vec![0.0f32; n_features];
+        for tree in &self.trees {
+            for (o, v) in out.iter_mut().zip(tree.feature_importance(n_features)) {
+                *o += v;
+            }
+        }
+        let inv = 1.0 / self.trees.len() as f32;
+        out.iter_mut().for_each(|o| *o *= inv);
+        out
+    }
+}
+
+impl Default for RandomForest {
+    fn default() -> Self {
+        Self::new(ForestConfig::default())
+    }
+}
+
+impl Classifier for RandomForest {
+    fn fit(&mut self, x: &Matrix, y: &[f32]) {
+        check_fit_inputs(x, y);
+        self.trees.clear();
+        let binner = Binner::fit(x, self.config.n_bins);
+        let binned = binner.transform(x);
+        let mut rng = Rng::new(self.config.seed);
+        let all: Vec<usize> = (0..x.rows()).collect();
+        for t in 0..self.config.n_trees {
+            let mut tree_rng = rng.fork(t as u64);
+            let indices: Vec<usize> = if self.config.bootstrap {
+                (0..x.rows()).map(|_| tree_rng.below(x.rows())).collect()
+            } else {
+                all.clone()
+            };
+            let mut tree = DecisionTree::new(TreeConfig {
+                max_depth: self.config.max_depth,
+                min_samples_leaf: self.config.min_samples_leaf,
+                max_features: self.config.max_features,
+                split_rule: self.config.split_rule,
+                n_bins: self.config.n_bins,
+                seed: 0, // rng passed explicitly below
+            });
+            tree.fit_binned(&binned, &binner, y, &indices, &mut tree_rng);
+            self.trees.push(tree);
+        }
+    }
+
+    fn predict_proba(&self, x: &Matrix) -> Vec<f32> {
+        assert!(!self.trees.is_empty(), "predict before fit");
+        let mut probs = vec![0.0f32; x.rows()];
+        for tree in &self.trees {
+            for (i, row) in x.rows_iter().enumerate() {
+                probs[i] += tree.predict_row(row);
+            }
+        }
+        let inv = 1.0 / self.trees.len() as f32;
+        for p in &mut probs {
+            *p *= inv;
+        }
+        probs
+    }
+
+    fn name(&self) -> String {
+        let kind = match self.config.split_rule {
+            SplitRule::Best => "rf",
+            SplitRule::Random => "xt",
+        };
+        format!("{kind}(n={},depth={})", self.config.n_trees, self.config.max_depth)
+    }
+
+    fn fresh(&self) -> Box<dyn Classifier> {
+        Box::new(RandomForest::new(self.config))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linear::test_data::{blobs, xor};
+    use crate::metrics::{f1_at_threshold, roc_auc};
+
+    #[test]
+    fn forest_solves_xor_better_than_chance() {
+        let (x, y) = xor(500, 1);
+        let (xt, yt) = xor(300, 2);
+        let mut rf = RandomForest::new(ForestConfig::random_forest(30, 7));
+        rf.fit(&x, &y);
+        let probs = rf.predict_proba(&xt);
+        let actual: Vec<bool> = yt.iter().map(|&v| v >= 0.5).collect();
+        let f1 = f1_at_threshold(&probs, &actual, 0.5);
+        assert!(f1 > 90.0, "F1 {f1}");
+    }
+
+    #[test]
+    fn extra_trees_work_too() {
+        let (x, y) = blobs(400, 0.3, 1.5, 3);
+        let (xt, yt) = blobs(200, 0.3, 1.5, 4);
+        let mut xt_model = RandomForest::new(ForestConfig::extra_trees(30, 9));
+        xt_model.fit(&x, &y);
+        let probs = xt_model.predict_proba(&xt);
+        let actual: Vec<bool> = yt.iter().map(|&v| v >= 0.5).collect();
+        assert!(roc_auc(&probs, &actual) > 0.95);
+    }
+
+    #[test]
+    fn forest_beats_single_tree_on_noisy_data() {
+        let (x, y) = blobs(300, 0.4, 0.6, 5);
+        let (xt, yt) = blobs(300, 0.4, 0.6, 6);
+        let actual: Vec<bool> = yt.iter().map(|&v| v >= 0.5).collect();
+        let mut tree = DecisionTree::default();
+        tree.fit(&x, &y);
+        let mut forest = RandomForest::new(ForestConfig::random_forest(50, 1));
+        forest.fit(&x, &y);
+        let auc_tree = roc_auc(&tree.predict_proba(&xt), &actual);
+        let auc_forest = roc_auc(&forest.predict_proba(&xt), &actual);
+        assert!(
+            auc_forest >= auc_tree - 0.01,
+            "forest {auc_forest} vs tree {auc_tree}"
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (x, y) = blobs(200, 0.3, 1.0, 8);
+        let mut a = RandomForest::new(ForestConfig::random_forest(10, 3));
+        let mut b = RandomForest::new(ForestConfig::random_forest(10, 3));
+        a.fit(&x, &y);
+        b.fit(&x, &y);
+        assert_eq!(a.predict_proba(&x), b.predict_proba(&x));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let (x, y) = blobs(200, 0.3, 0.7, 9);
+        let mut a = RandomForest::new(ForestConfig::random_forest(5, 1));
+        let mut b = RandomForest::new(ForestConfig::random_forest(5, 2));
+        a.fit(&x, &y);
+        b.fit(&x, &y);
+        assert_ne!(a.predict_proba(&x), b.predict_proba(&x));
+    }
+
+    #[test]
+    fn importance_identifies_informative_features() {
+        // feature 0 carries the signal; features 1-2 are noise
+        let (x, y) = blobs(400, 0.5, 2.0, 11);
+        let mut rf = RandomForest::new(ForestConfig::random_forest(20, 2));
+        rf.fit(&x, &y);
+        let imp = rf.feature_importance(x.cols());
+        assert_eq!(imp.len(), 3);
+        assert!((imp.iter().sum::<f32>() - 1.0).abs() < 1e-4);
+        // the informative features (0 and 1 are ±center) dominate noise (2)
+        assert!(imp[0] + imp[1] > imp[2], "{imp:?}");
+    }
+
+    #[test]
+    fn probabilities_bounded() {
+        let (x, y) = blobs(150, 0.2, 1.0, 10);
+        let mut rf = RandomForest::new(ForestConfig::random_forest(15, 4));
+        rf.fit(&x, &y);
+        for p in rf.predict_proba(&x) {
+            assert!((0.0..=1.0).contains(&p));
+        }
+    }
+}

@@ -1,0 +1,166 @@
+//! k-nearest-neighbours classifier (brute force, Euclidean).
+//!
+//! Part of the AutoGluon roster. Brute force is adequate at benchmark scale
+//! (≤ ~17k training rows, ≤ few hundred dims); distances reuse the
+//! vectorized kernels in `linalg`.
+
+use crate::{check_fit_inputs, Classifier};
+use linalg::vector::sq_dist;
+use linalg::Matrix;
+
+/// kNN hyperparameters.
+#[derive(Debug, Clone, Copy)]
+pub struct KnnConfig {
+    /// Number of neighbours.
+    pub k: usize,
+    /// Weight votes by inverse distance instead of uniformly.
+    pub distance_weighted: bool,
+}
+
+impl Default for KnnConfig {
+    fn default() -> Self {
+        Self {
+            k: 5,
+            distance_weighted: true,
+        }
+    }
+}
+
+/// Brute-force kNN over the training matrix.
+pub struct KNearest {
+    /// Hyperparameters.
+    pub config: KnnConfig,
+    x: Option<Matrix>,
+    y: Vec<f32>,
+}
+
+impl KNearest {
+    /// Unfitted model.
+    pub fn new(config: KnnConfig) -> Self {
+        Self {
+            config,
+            x: None,
+            y: Vec::new(),
+        }
+    }
+}
+
+impl Default for KNearest {
+    fn default() -> Self {
+        Self::new(KnnConfig::default())
+    }
+}
+
+impl Classifier for KNearest {
+    fn fit(&mut self, x: &Matrix, y: &[f32]) {
+        check_fit_inputs(x, y);
+        self.x = Some(x.clone());
+        self.y = y.to_vec();
+    }
+
+    fn predict_proba(&self, x: &Matrix) -> Vec<f32> {
+        let train = self.x.as_ref().expect("predict before fit");
+        assert_eq!(train.cols(), x.cols(), "feature width mismatch");
+        let k = self.config.k.clamp(1, train.rows());
+        let mut out = Vec::with_capacity(x.rows());
+        // reusable scratch of (distance, label)
+        let mut dists: Vec<(f32, f32)> = Vec::with_capacity(train.rows());
+        for row in x.rows_iter() {
+            dists.clear();
+            for (ti, trow) in train.rows_iter().enumerate() {
+                dists.push((sq_dist(row, trow), self.y[ti]));
+            }
+            // partial selection of the k smallest
+            dists.select_nth_unstable_by(k - 1, |a, b| {
+                a.0.partial_cmp(&b.0).expect("finite distance")
+            });
+            let neighbours = &dists[..k];
+            let prob = if self.config.distance_weighted {
+                let mut wsum = 0.0f64;
+                let mut psum = 0.0f64;
+                for &(d, label) in neighbours {
+                    let w = 1.0 / (d as f64 + 1e-9);
+                    wsum += w;
+                    psum += w * label as f64;
+                }
+                (psum / wsum) as f32
+            } else {
+                neighbours.iter().map(|&(_, l)| l).sum::<f32>() / k as f32
+            };
+            out.push(prob);
+        }
+        out
+    }
+
+    fn name(&self) -> String {
+        format!("knn(k={})", self.config.k)
+    }
+
+    fn fresh(&self) -> Box<dyn Classifier> {
+        Box::new(KNearest::new(self.config))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linear::test_data::blobs;
+    use crate::metrics::f1_at_threshold;
+
+    #[test]
+    fn knn_separates_blobs() {
+        let (x, y) = blobs(300, 0.4, 2.0, 1);
+        let (xt, yt) = blobs(150, 0.4, 2.0, 2);
+        let mut m = KNearest::default();
+        m.fit(&x, &y);
+        let probs = m.predict_proba(&xt);
+        let actual: Vec<bool> = yt.iter().map(|&v| v >= 0.5).collect();
+        let f1 = f1_at_threshold(&probs, &actual, 0.5);
+        assert!(f1 > 90.0, "F1 {f1}");
+    }
+
+    #[test]
+    fn k1_memorizes_training_data() {
+        let (x, y) = blobs(100, 0.5, 1.0, 3);
+        let mut m = KNearest::new(KnnConfig {
+            k: 1,
+            distance_weighted: false,
+        });
+        m.fit(&x, &y);
+        let probs = m.predict_proba(&x);
+        for (p, &label) in probs.iter().zip(&y) {
+            assert_eq!(*p, label);
+        }
+    }
+
+    #[test]
+    fn k_clamped_to_train_size() {
+        let (x, y) = blobs(5, 0.4, 1.0, 4);
+        let mut m = KNearest::new(KnnConfig {
+            k: 50,
+            distance_weighted: false,
+        });
+        m.fit(&x, &y);
+        let probs = m.predict_proba(&x);
+        // with k = n every prediction equals the global positive rate
+        let rate = y.iter().sum::<f32>() / y.len() as f32;
+        for p in probs {
+            assert!((p - rate).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn distance_weighting_prefers_close_neighbours() {
+        // train: one positive at 0, two negatives at 1 and 1.1
+        let x = Matrix::from_rows(&[vec![0.0], vec![1.0], vec![1.1]]);
+        let y = vec![1.0, 0.0, 0.0];
+        let mut m = KNearest::new(KnnConfig {
+            k: 3,
+            distance_weighted: true,
+        });
+        m.fit(&x, &y);
+        // query right on the positive: weighted prob must exceed 1/3
+        let p = m.predict_proba(&Matrix::from_rows(&[vec![0.01]]))[0];
+        assert!(p > 0.8, "{p}");
+    }
+}

@@ -1,0 +1,70 @@
+//! # ml — classical machine-learning model zoo
+//!
+//! The model families the three AutoML systems of the paper search over,
+//! reimplemented from scratch:
+//!
+//! | module | models | used by |
+//! |---|---|---|
+//! | [`linear`] | logistic regression, linear SVM | AutoSklearn space, H2O GLM metalearner |
+//! | [`tree`] | CART decision tree | building block of every ensemble |
+//! | [`forest`] | random forest, extremely randomized trees | all three systems |
+//! | [`boosting`] | histogram gradient boosting ("LightGBM-style"), ordered boosting ("CatBoost-style") | AutoGluon roster, AutoSklearn space |
+//! | [`knn`] | k-nearest neighbours | AutoGluon roster |
+//! | [`naive_bayes`] | Gaussian naive Bayes | AutoSklearn space |
+//!
+//! Everything trains on a dense [`linalg::Matrix`] of `f32` features with
+//! binary labels in `{0.0, 1.0}` and predicts a match probability — the
+//! interface captured by the [`Classifier`] trait. Supporting modules:
+//! [`metrics`] (F1 and friends — the currency of every experiment table),
+//! [`preprocess`] (scaling/imputation), [`cv`] (stratified k-fold, used by
+//! the ensembling strategies) and [`dataset`] (feature-matrix container).
+//!
+//! Models are deterministic given their `seed` configuration field.
+
+pub mod boosting;
+pub mod calibrate;
+pub mod cv;
+pub mod dataset;
+pub mod forest;
+pub mod knn;
+pub mod linear;
+pub mod metrics;
+pub mod naive_bayes;
+pub mod preprocess;
+pub mod tree;
+
+use linalg::Matrix;
+
+/// A binary probabilistic classifier.
+///
+/// `fit` consumes features `x` (one row per example) and labels `y`
+/// (`0.0` / `1.0`); `predict_proba` returns the probability of the positive
+/// ("match") class per row.
+pub trait Classifier: Send {
+    /// Train on the given data, replacing any previous fit.
+    fn fit(&mut self, x: &Matrix, y: &[f32]);
+
+    /// Probability of the positive class for each row of `x`.
+    fn predict_proba(&self, x: &Matrix) -> Vec<f32>;
+
+    /// Hard predictions at the 0.5 threshold.
+    fn predict(&self, x: &Matrix) -> Vec<bool> {
+        self.predict_proba(x).iter().map(|&p| p >= 0.5).collect()
+    }
+
+    /// Short human-readable model name (for leaderboards).
+    fn name(&self) -> String;
+
+    /// Clone into a fresh, unfitted box with the same configuration.
+    fn fresh(&self) -> Box<dyn Classifier>;
+}
+
+/// Validate a training-set shape shared by every `fit` implementation.
+pub(crate) fn check_fit_inputs(x: &Matrix, y: &[f32]) {
+    assert_eq!(x.rows(), y.len(), "features/labels length mismatch");
+    assert!(x.rows() > 0, "cannot fit on an empty dataset");
+    debug_assert!(
+        y.iter().all(|&v| v == 0.0 || v == 1.0),
+        "labels must be 0.0 or 1.0"
+    );
+}

@@ -1,0 +1,357 @@
+//! Linear models: logistic regression and linear SVM.
+//!
+//! Both train with deterministic mini-batch SGD (momentum + inverse-scaling
+//! learning-rate decay) and L2 regularization. They handle the class
+//! imbalance of EM with optional class weighting, mirroring
+//! `class_weight="balanced"` in scikit-learn — part of the AutoSklearn
+//! search space.
+
+use crate::{check_fit_inputs, Classifier};
+use linalg::vector::{dot, sigmoid};
+use linalg::{Matrix, Rng};
+
+/// Configuration shared by the linear models.
+#[derive(Debug, Clone, Copy)]
+pub struct LinearConfig {
+    /// L2 regularization strength.
+    pub l2: f32,
+    /// Initial learning rate.
+    pub lr: f32,
+    /// Number of passes over the training data.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch: usize,
+    /// Weight positive examples by `n_neg / n_pos` (balanced class weight).
+    pub balanced: bool,
+    /// RNG seed (shuffling, init).
+    pub seed: u64,
+}
+
+impl Default for LinearConfig {
+    fn default() -> Self {
+        Self {
+            l2: 1e-4,
+            lr: 0.1,
+            epochs: 30,
+            batch: 32,
+            balanced: true,
+            seed: 0,
+        }
+    }
+}
+
+/// Logistic regression trained with mini-batch SGD.
+#[derive(Debug, Clone)]
+pub struct LogisticRegression {
+    /// Training configuration.
+    pub config: LinearConfig,
+    weights: Vec<f32>,
+    bias: f32,
+}
+
+impl LogisticRegression {
+    /// Unfitted model with the given configuration.
+    pub fn new(config: LinearConfig) -> Self {
+        Self {
+            config,
+            weights: Vec::new(),
+            bias: 0.0,
+        }
+    }
+
+    /// Learned weights (empty before `fit`).
+    pub fn weights(&self) -> &[f32] {
+        &self.weights
+    }
+}
+
+impl Default for LogisticRegression {
+    fn default() -> Self {
+        Self::new(LinearConfig::default())
+    }
+}
+
+fn class_weights(y: &[f32], balanced: bool) -> (f32, f32) {
+    if !balanced {
+        return (1.0, 1.0);
+    }
+    let n_pos = y.iter().filter(|&&v| v >= 0.5).count().max(1) as f32;
+    let n_neg = (y.len() - n_pos as usize).max(1) as f32;
+    // weights scaled so their average over the data is ~1
+    let total = y.len() as f32;
+    (total / (2.0 * n_neg), total / (2.0 * n_pos))
+}
+
+impl Classifier for LogisticRegression {
+    fn fit(&mut self, x: &Matrix, y: &[f32]) {
+        check_fit_inputs(x, y);
+        let d = x.cols();
+        let mut rng = Rng::new(self.config.seed);
+        self.weights = vec![0.0; d];
+        self.bias = 0.0;
+        let (w_neg, w_pos) = class_weights(y, self.config.balanced);
+        let mut idx: Vec<usize> = (0..x.rows()).collect();
+        let mut vel = vec![0.0f32; d];
+        let mut vel_b = 0.0f32;
+        let momentum = 0.9f32;
+        let mut step = 0usize;
+        for _ in 0..self.config.epochs {
+            rng.shuffle(&mut idx);
+            for chunk in idx.chunks(self.config.batch.max(1)) {
+                let lr = self.config.lr / (1.0 + 0.01 * step as f32);
+                step += 1;
+                let mut grad = vec![0.0f32; d];
+                let mut grad_b = 0.0f32;
+                for &i in chunk {
+                    let row = x.row(i);
+                    let p = sigmoid(dot(&self.weights, row) + self.bias);
+                    let w = if y[i] >= 0.5 { w_pos } else { w_neg };
+                    let err = (p - y[i]) * w;
+                    for (g, &xv) in grad.iter_mut().zip(row) {
+                        *g += err * xv;
+                    }
+                    grad_b += err;
+                }
+                let inv = 1.0 / chunk.len() as f32;
+                for ((w, g), v) in self.weights.iter_mut().zip(&grad).zip(&mut vel) {
+                    *v = momentum * *v - lr * (g * inv + self.config.l2 * *w);
+                    *w += *v;
+                }
+                vel_b = momentum * vel_b - lr * grad_b * inv;
+                self.bias += vel_b;
+            }
+        }
+    }
+
+    fn predict_proba(&self, x: &Matrix) -> Vec<f32> {
+        assert_eq!(x.cols(), self.weights.len(), "predict before fit?");
+        x.rows_iter()
+            .map(|row| sigmoid(dot(&self.weights, row) + self.bias))
+            .collect()
+    }
+
+    fn name(&self) -> String {
+        format!("logreg(l2={:.0e})", self.config.l2)
+    }
+
+    fn fresh(&self) -> Box<dyn Classifier> {
+        Box::new(LogisticRegression::new(self.config))
+    }
+}
+
+/// Linear SVM (hinge loss) trained with Pegasos-style SGD. Probabilities
+/// are produced by squashing the margin with a sigmoid (Platt-style with
+/// fixed slope — adequate for ranking inside ensembles).
+#[derive(Debug, Clone)]
+pub struct LinearSvm {
+    /// Training configuration (`l2` plays the role of `λ` in Pegasos).
+    pub config: LinearConfig,
+    weights: Vec<f32>,
+    bias: f32,
+}
+
+impl LinearSvm {
+    /// Unfitted model with the given configuration.
+    pub fn new(config: LinearConfig) -> Self {
+        Self {
+            config,
+            weights: Vec::new(),
+            bias: 0.0,
+        }
+    }
+}
+
+impl Default for LinearSvm {
+    fn default() -> Self {
+        Self::new(LinearConfig {
+            l2: 1e-3,
+            ..LinearConfig::default()
+        })
+    }
+}
+
+impl Classifier for LinearSvm {
+    fn fit(&mut self, x: &Matrix, y: &[f32]) {
+        check_fit_inputs(x, y);
+        let d = x.cols();
+        let lambda = self.config.l2.max(1e-6);
+        let mut rng = Rng::new(self.config.seed);
+        self.weights = vec![0.0; d];
+        self.bias = 0.0;
+        let (w_neg, w_pos) = class_weights(y, self.config.balanced);
+        // start the Pegasos clock at 1/λ so the first step size is ≤ 1;
+        // the textbook t = 1 start makes the initial bias update explode
+        let mut t = (1.0 / lambda).ceil() as usize;
+        let mut idx: Vec<usize> = (0..x.rows()).collect();
+        for _ in 0..self.config.epochs {
+            rng.shuffle(&mut idx);
+            for &i in &idx {
+                let lr = 1.0 / (lambda * t as f32);
+                t += 1;
+                let row = x.row(i);
+                let target = if y[i] >= 0.5 { 1.0f32 } else { -1.0 };
+                let cw = if y[i] >= 0.5 { w_pos } else { w_neg };
+                let margin = target * (dot(&self.weights, row) + self.bias);
+                // w ← (1 − lr·λ)·w  [+ lr·cw·target·x when margin < 1]
+                let shrink = 1.0 - lr * lambda;
+                for w in &mut self.weights {
+                    *w *= shrink;
+                }
+                if margin < 1.0 {
+                    for (w, &xv) in self.weights.iter_mut().zip(row) {
+                        *w += lr * cw * target * xv;
+                    }
+                    self.bias += lr * cw * target;
+                }
+            }
+        }
+    }
+
+    fn predict_proba(&self, x: &Matrix) -> Vec<f32> {
+        assert_eq!(x.cols(), self.weights.len(), "predict before fit?");
+        x.rows_iter()
+            .map(|row| sigmoid(2.0 * (dot(&self.weights, row) + self.bias)))
+            .collect()
+    }
+
+    fn name(&self) -> String {
+        format!("linsvm(l2={:.0e})", self.config.l2)
+    }
+
+    fn fresh(&self) -> Box<dyn Classifier> {
+        Box::new(LinearSvm::new(self.config))
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod test_data {
+    use linalg::{Matrix, Rng};
+
+    /// Two Gaussian blobs with the given separation and imbalance.
+    pub fn blobs(n: usize, pos_ratio: f64, sep: f32, seed: u64) -> (Matrix, Vec<f32>) {
+        let mut rng = Rng::new(seed);
+        let mut rows = Vec::with_capacity(n);
+        let mut y = Vec::with_capacity(n);
+        for _ in 0..n {
+            let pos = rng.chance(pos_ratio);
+            let center = if pos { sep } else { -sep };
+            rows.push(vec![
+                center + rng.normal(),
+                -center + rng.normal(),
+                rng.normal(), // noise feature
+            ]);
+            y.push(if pos { 1.0 } else { 0.0 });
+        }
+        (Matrix::from_rows(&rows), y)
+    }
+
+    /// XOR-ish dataset no linear model can solve.
+    pub fn xor(n: usize, seed: u64) -> (Matrix, Vec<f32>) {
+        let mut rng = Rng::new(seed);
+        let mut rows = Vec::with_capacity(n);
+        let mut y = Vec::with_capacity(n);
+        for _ in 0..n {
+            let a = rng.chance(0.5);
+            let b = rng.chance(0.5);
+            rows.push(vec![
+                if a { 1.0 } else { -1.0 } + 0.2 * rng.normal(),
+                if b { 1.0 } else { -1.0 } + 0.2 * rng.normal(),
+            ]);
+            y.push(if a ^ b { 1.0 } else { 0.0 });
+        }
+        (Matrix::from_rows(&rows), y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::test_data::blobs;
+    use super::*;
+    use crate::metrics::f1_at_threshold;
+
+    fn f1_of(model: &mut dyn Classifier, seed: u64) -> f64 {
+        let (x, y) = blobs(400, 0.3, 1.5, seed);
+        let (xt, yt) = blobs(200, 0.3, 1.5, seed + 1);
+        model.fit(&x, &y);
+        let probs = model.predict_proba(&xt);
+        let actual: Vec<bool> = yt.iter().map(|&v| v >= 0.5).collect();
+        f1_at_threshold(&probs, &actual, 0.5)
+    }
+
+    #[test]
+    fn logreg_separates_blobs() {
+        let mut m = LogisticRegression::default();
+        let f1 = f1_of(&mut m, 1);
+        assert!(f1 > 90.0, "F1 {f1}");
+    }
+
+    #[test]
+    fn svm_separates_blobs() {
+        let mut m = LinearSvm::default();
+        let f1 = f1_of(&mut m, 2);
+        assert!(f1 > 90.0, "F1 {f1}");
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let (x, y) = blobs(200, 0.3, 1.0, 3);
+        let mut a = LogisticRegression::default();
+        let mut b = LogisticRegression::default();
+        a.fit(&x, &y);
+        b.fit(&x, &y);
+        assert_eq!(a.weights(), b.weights());
+    }
+
+    #[test]
+    fn balanced_weighting_helps_recall_on_imbalance() {
+        let (x, y) = blobs(600, 0.05, 0.8, 4);
+        let (xt, yt) = blobs(400, 0.05, 0.8, 5);
+        let actual: Vec<bool> = yt.iter().map(|&v| v >= 0.5).collect();
+        let mut balanced = LogisticRegression::new(LinearConfig {
+            balanced: true,
+            ..LinearConfig::default()
+        });
+        let mut plain = LogisticRegression::new(LinearConfig {
+            balanced: false,
+            ..LinearConfig::default()
+        });
+        balanced.fit(&x, &y);
+        plain.fit(&x, &y);
+        let recall = |probs: &[f32]| {
+            let tp = probs
+                .iter()
+                .zip(&actual)
+                .filter(|(&p, &a)| p >= 0.5 && a)
+                .count();
+            let pos = actual.iter().filter(|&&a| a).count();
+            tp as f64 / pos as f64
+        };
+        let rb = recall(&balanced.predict_proba(&xt));
+        let rp = recall(&plain.predict_proba(&xt));
+        assert!(rb >= rp, "balanced {rb} vs plain {rp}");
+    }
+
+    #[test]
+    fn fresh_resets_fit_state() {
+        let (x, y) = blobs(100, 0.4, 1.0, 6);
+        let mut m = LogisticRegression::default();
+        m.fit(&x, &y);
+        let f = m.fresh();
+        // fresh model must not carry weights — predicting should panic
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            f.predict_proba(&x);
+        }));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn probabilities_in_unit_interval() {
+        let (x, y) = blobs(150, 0.3, 1.0, 7);
+        for model in [&mut LogisticRegression::default() as &mut dyn Classifier, &mut LinearSvm::default()] {
+            model.fit(&x, &y);
+            for p in model.predict_proba(&x) {
+                assert!((0.0..=1.0).contains(&p), "{p}");
+            }
+        }
+    }
+}

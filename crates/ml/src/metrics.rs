@@ -1,0 +1,236 @@
+//! Binary-classification metrics.
+//!
+//! Every table of the paper reports **F1 on the match class**, so this
+//! module is the measurement backbone of the whole reproduction. F1 values
+//! are returned in `[0, 100]` percentage points, matching the paper's
+//! presentation.
+
+/// Counts of a binary confusion matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Confusion {
+    /// Predicted match, was match.
+    pub tp: usize,
+    /// Predicted match, was non-match.
+    pub fp: usize,
+    /// Predicted non-match, was non-match.
+    pub tn: usize,
+    /// Predicted non-match, was match.
+    pub fn_: usize,
+}
+
+impl Confusion {
+    /// Tally predictions against ground truth.
+    pub fn from_predictions(predicted: &[bool], actual: &[bool]) -> Self {
+        assert_eq!(predicted.len(), actual.len(), "prediction length mismatch");
+        let mut c = Confusion::default();
+        for (&p, &a) in predicted.iter().zip(actual) {
+            match (p, a) {
+                (true, true) => c.tp += 1,
+                (true, false) => c.fp += 1,
+                (false, false) => c.tn += 1,
+                (false, true) => c.fn_ += 1,
+            }
+        }
+        c
+    }
+
+    /// Precision of the match class (1.0 when nothing was predicted
+    /// positive, the scikit-learn zero-division convention is 0; we use 0
+    /// as well so F1 degrades properly).
+    pub fn precision(&self) -> f64 {
+        if self.tp + self.fp == 0 {
+            0.0
+        } else {
+            self.tp as f64 / (self.tp + self.fp) as f64
+        }
+    }
+
+    /// Recall of the match class.
+    pub fn recall(&self) -> f64 {
+        if self.tp + self.fn_ == 0 {
+            0.0
+        } else {
+            self.tp as f64 / (self.tp + self.fn_) as f64
+        }
+    }
+
+    /// F1 of the match class, in **percentage points** `[0, 100]`.
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            0.0
+        } else {
+            100.0 * 2.0 * p * r / (p + r)
+        }
+    }
+
+    /// Overall accuracy in `[0, 1]`.
+    pub fn accuracy(&self) -> f64 {
+        let total = self.tp + self.fp + self.tn + self.fn_;
+        if total == 0 {
+            0.0
+        } else {
+            (self.tp + self.tn) as f64 / total as f64
+        }
+    }
+}
+
+/// F1 (percentage points) from hard predictions.
+pub fn f1_score(predicted: &[bool], actual: &[bool]) -> f64 {
+    Confusion::from_predictions(predicted, actual).f1()
+}
+
+/// F1 (percentage points) from probabilities at a fixed threshold.
+pub fn f1_at_threshold(probs: &[f32], actual: &[bool], threshold: f32) -> f64 {
+    let preds: Vec<bool> = probs.iter().map(|&p| p >= threshold).collect();
+    f1_score(&preds, actual)
+}
+
+/// Binary cross-entropy (log loss) of probabilities; lower is better.
+pub fn log_loss(probs: &[f32], actual: &[bool]) -> f64 {
+    assert_eq!(probs.len(), actual.len(), "log_loss length mismatch");
+    if probs.is_empty() {
+        return 0.0;
+    }
+    let mut total = 0.0f64;
+    for (&p, &a) in probs.iter().zip(actual) {
+        let p = (p as f64).clamp(1e-7, 1.0 - 1e-7);
+        total -= if a { p.ln() } else { (1.0 - p).ln() };
+    }
+    total / probs.len() as f64
+}
+
+/// Area under the ROC curve via the rank-sum formulation; 0.5 when one
+/// class is absent.
+pub fn roc_auc(probs: &[f32], actual: &[bool]) -> f64 {
+    assert_eq!(probs.len(), actual.len(), "roc_auc length mismatch");
+    let n_pos = actual.iter().filter(|&&a| a).count();
+    let n_neg = actual.len() - n_pos;
+    if n_pos == 0 || n_neg == 0 {
+        return 0.5;
+    }
+    // rank probabilities (average ranks on ties)
+    let mut order: Vec<usize> = (0..probs.len()).collect();
+    order.sort_by(|&a, &b| probs[a].partial_cmp(&probs[b]).expect("NaN probability"));
+    let mut ranks = vec![0.0f64; probs.len()];
+    let mut i = 0;
+    while i < order.len() {
+        let mut j = i;
+        while j + 1 < order.len() && probs[order[j + 1]] == probs[order[i]] {
+            j += 1;
+        }
+        let avg_rank = (i + j) as f64 / 2.0 + 1.0;
+        for &k in &order[i..=j] {
+            ranks[k] = avg_rank;
+        }
+        i = j + 1;
+    }
+    let pos_rank_sum: f64 = actual
+        .iter()
+        .zip(&ranks)
+        .filter(|(&a, _)| a)
+        .map(|(_, &r)| r)
+        .sum();
+    (pos_rank_sum - n_pos as f64 * (n_pos as f64 + 1.0) / 2.0) / (n_pos as f64 * n_neg as f64)
+}
+
+/// Pick the probability threshold maximizing F1 on a validation set.
+///
+/// EM is heavily imbalanced, so the 0.5 default is rarely optimal; every
+/// system in the stack tunes the threshold on validation data, which is also
+/// what the AutoML tools in the paper do internally.
+pub fn best_f1_threshold(probs: &[f32], actual: &[bool]) -> (f32, f64) {
+    let mut candidates: Vec<f32> = probs.to_vec();
+    candidates.push(0.5);
+    candidates.sort_by(|a, b| a.partial_cmp(b).expect("NaN probability"));
+    candidates.dedup();
+    let mut best = (0.5f32, -1.0f64);
+    for &t in &candidates {
+        let f1 = f1_at_threshold(probs, actual, t);
+        if f1 > best.1 {
+            best = (t, f1);
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn confusion_counts() {
+        let pred = [true, true, false, false, true];
+        let actual = [true, false, false, true, true];
+        let c = Confusion::from_predictions(&pred, &actual);
+        assert_eq!((c.tp, c.fp, c.tn, c.fn_), (2, 1, 1, 1));
+    }
+
+    #[test]
+    fn perfect_f1_is_100() {
+        let y = [true, false, true, false];
+        assert_eq!(f1_score(&y, &y), 100.0);
+    }
+
+    #[test]
+    fn degenerate_predictions() {
+        let actual = [true, false, true];
+        assert_eq!(f1_score(&[false, false, false], &actual), 0.0);
+        // all-positive: precision 2/3, recall 1 → F1 = 80
+        assert!((f1_score(&[true, true, true], &actual) - 80.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn f1_is_harmonic_mean() {
+        let pred = [true, true, false, false, true, false];
+        let actual = [true, false, true, false, true, true];
+        let c = Confusion::from_predictions(&pred, &actual);
+        let (p, r) = (c.precision(), c.recall());
+        assert!((c.f1() / 100.0 - 2.0 * p * r / (p + r)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn log_loss_behaviour() {
+        let actual = [true, false];
+        let good = log_loss(&[0.9, 0.1], &actual);
+        let bad = log_loss(&[0.1, 0.9], &actual);
+        assert!(good < bad);
+        // clamping keeps extreme probabilities finite
+        assert!(log_loss(&[1.0, 0.0], &actual).is_finite());
+    }
+
+    #[test]
+    fn auc_known_values() {
+        let actual = [true, true, false, false];
+        assert_eq!(roc_auc(&[0.9, 0.8, 0.2, 0.1], &actual), 1.0);
+        assert_eq!(roc_auc(&[0.1, 0.2, 0.8, 0.9], &actual), 0.0);
+        assert_eq!(roc_auc(&[0.5; 4], &actual), 0.5);
+        assert_eq!(roc_auc(&[0.9, 0.1], &[true, true]), 0.5);
+    }
+
+    #[test]
+    fn threshold_tuning_beats_default_on_imbalance() {
+        // 10% positives, scores shifted low: 0.5 threshold catches nothing
+        let mut probs = vec![0.05f32; 90];
+        probs.extend(vec![0.3f32; 10]);
+        let mut actual = vec![false; 90];
+        actual.extend(vec![true; 10]);
+        let at_half = f1_at_threshold(&probs, &actual, 0.5);
+        let (t, best) = best_f1_threshold(&probs, &actual);
+        assert_eq!(at_half, 0.0);
+        assert_eq!(best, 100.0);
+        assert!(t <= 0.3);
+    }
+
+    #[test]
+    fn accuracy_sanity() {
+        let c = Confusion {
+            tp: 3,
+            fp: 1,
+            tn: 5,
+            fn_: 1,
+        };
+        assert!((c.accuracy() - 0.8).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,162 @@
+//! Gaussian naive Bayes — the cheap baseline of the AutoSklearn space.
+
+use crate::{check_fit_inputs, Classifier};
+use linalg::Matrix;
+
+/// Gaussian NB with per-class feature means/variances and class priors.
+#[derive(Debug, Clone, Default)]
+pub struct GaussianNb {
+    // [class][feature]
+    means: [Vec<f32>; 2],
+    vars: [Vec<f32>; 2],
+    log_priors: [f64; 2],
+    fitted: bool,
+}
+
+impl GaussianNb {
+    /// Unfitted model.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Classifier for GaussianNb {
+    fn fit(&mut self, x: &Matrix, y: &[f32]) {
+        check_fit_inputs(x, y);
+        let d = x.cols();
+        let mut counts = [0usize; 2];
+        let mut sums = [vec![0.0f64; d], vec![0.0f64; d]];
+        for (i, row) in x.rows_iter().enumerate() {
+            let c = usize::from(y[i] >= 0.5);
+            counts[c] += 1;
+            for (s, &v) in sums[c].iter_mut().zip(row) {
+                *s += v as f64;
+            }
+        }
+        let mut means = [vec![0.0f32; d], vec![0.0f32; d]];
+        for c in 0..2 {
+            if counts[c] > 0 {
+                for j in 0..d {
+                    means[c][j] = (sums[c][j] / counts[c] as f64) as f32;
+                }
+            }
+        }
+        let mut vars = [vec![0.0f64; d], vec![0.0f64; d]];
+        for (i, row) in x.rows_iter().enumerate() {
+            let c = usize::from(y[i] >= 0.5);
+            for (v, (&xv, &m)) in vars[c].iter_mut().zip(row.iter().zip(&means[c])) {
+                let dmean = xv as f64 - m as f64;
+                *v += dmean * dmean;
+            }
+        }
+        // variance smoothing à la sklearn: eps = 1e-9 · max feature variance
+        let global_max_var = x
+            .col_stds()
+            .iter()
+            .map(|s| (s * s) as f64)
+            .fold(0.0f64, f64::max)
+            .max(1e-9);
+        let eps = 1e-9 * global_max_var;
+        let mut var_out = [vec![0.0f32; d], vec![0.0f32; d]];
+        for c in 0..2 {
+            for j in 0..d {
+                let v = if counts[c] > 0 {
+                    vars[c][j] / counts[c] as f64
+                } else {
+                    1.0
+                };
+                var_out[c][j] = (v + eps).max(1e-9) as f32;
+            }
+        }
+        let total = (counts[0] + counts[1]) as f64;
+        self.log_priors = [
+            ((counts[0].max(1)) as f64 / total).ln(),
+            ((counts[1].max(1)) as f64 / total).ln(),
+        ];
+        self.means = means;
+        self.vars = var_out;
+        self.fitted = true;
+    }
+
+    fn predict_proba(&self, x: &Matrix) -> Vec<f32> {
+        assert!(self.fitted, "predict before fit");
+        let mut out = Vec::with_capacity(x.rows());
+        for row in x.rows_iter() {
+            let mut log_like = [self.log_priors[0], self.log_priors[1]];
+            for c in 0..2 {
+                for (j, &v) in row.iter().enumerate() {
+                    let var = self.vars[c][j] as f64;
+                    let diff = v as f64 - self.means[c][j] as f64;
+                    log_like[c] +=
+                        -0.5 * ((2.0 * std::f64::consts::PI * var).ln() + diff * diff / var);
+                }
+            }
+            // softmax over the two log-likelihoods
+            let m = log_like[0].max(log_like[1]);
+            let e0 = (log_like[0] - m).exp();
+            let e1 = (log_like[1] - m).exp();
+            out.push((e1 / (e0 + e1)) as f32);
+        }
+        out
+    }
+
+    fn name(&self) -> String {
+        "gaussian_nb".to_owned()
+    }
+
+    fn fresh(&self) -> Box<dyn Classifier> {
+        Box::new(GaussianNb::new())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linear::test_data::blobs;
+    use crate::metrics::f1_at_threshold;
+
+    #[test]
+    fn nb_separates_blobs() {
+        let (x, y) = blobs(400, 0.3, 2.0, 1);
+        let (xt, yt) = blobs(200, 0.3, 2.0, 2);
+        let mut m = GaussianNb::new();
+        m.fit(&x, &y);
+        let probs = m.predict_proba(&xt);
+        let actual: Vec<bool> = yt.iter().map(|&v| v >= 0.5).collect();
+        let f1 = f1_at_threshold(&probs, &actual, 0.5);
+        assert!(f1 > 90.0, "F1 {f1}");
+    }
+
+    #[test]
+    fn priors_dominate_with_uninformative_features() {
+        // features identical across classes, 90/10 prior → probs near 0.1
+        let x = Matrix::full(200, 2, 1.0);
+        let mut y = vec![0.0f32; 180];
+        y.extend(vec![1.0; 20]);
+        let mut m = GaussianNb::new();
+        m.fit(&x, &y);
+        let p = m.predict_proba(&Matrix::full(1, 2, 1.0))[0];
+        assert!((p - 0.1).abs() < 0.02, "{p}");
+    }
+
+    #[test]
+    fn handles_single_class_training() {
+        let x = Matrix::full(10, 2, 1.0);
+        let y = vec![1.0; 10];
+        let mut m = GaussianNb::new();
+        m.fit(&x, &y);
+        let p = m.predict_proba(&x);
+        assert!(p.iter().all(|v| v.is_finite()));
+        assert!(p[0] > 0.5);
+    }
+
+    #[test]
+    fn probabilities_bounded_and_finite() {
+        let (x, y) = blobs(100, 0.5, 5.0, 3);
+        let mut m = GaussianNb::new();
+        m.fit(&x, &y);
+        for p in m.predict_proba(&x) {
+            assert!(p.is_finite() && (0.0..=1.0).contains(&p));
+        }
+    }
+}

@@ -1,0 +1,143 @@
+//! Feature preprocessing: imputation and standardization.
+//!
+//! The adapters emit dense embeddings that are already well-scaled, but the
+//! raw-feature baseline path (Table 2) produces heterogeneous columns
+//! (similarities, numeric diffs, missing indicators), so AutoML pipelines
+//! fit a scaler + imputer as their first stage, like the real systems do.
+
+use linalg::Matrix;
+
+/// Mean imputer: replaces non-finite entries (NaN encodes "missing") with
+/// the column mean computed over finite training values.
+#[derive(Debug, Clone)]
+pub struct MeanImputer {
+    means: Vec<f32>,
+}
+
+impl MeanImputer {
+    /// Learn column means from the finite entries of `x`.
+    pub fn fit(x: &Matrix) -> Self {
+        let mut means = vec![0.0f32; x.cols()];
+        let mut counts = vec![0usize; x.cols()];
+        for row in x.rows_iter() {
+            for (j, &v) in row.iter().enumerate() {
+                if v.is_finite() {
+                    means[j] += v;
+                    counts[j] += 1;
+                }
+            }
+        }
+        for (m, &c) in means.iter_mut().zip(&counts) {
+            if c > 0 {
+                *m /= c as f32;
+            }
+        }
+        Self { means }
+    }
+
+    /// Replace non-finite entries with the learned means.
+    pub fn transform(&self, x: &Matrix) -> Matrix {
+        assert_eq!(x.cols(), self.means.len(), "imputer column mismatch");
+        let mut out = x.clone();
+        for i in 0..out.rows() {
+            let row = out.row_mut(i);
+            for (j, v) in row.iter_mut().enumerate() {
+                if !v.is_finite() {
+                    *v = self.means[j];
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Standard (z-score) scaler. Constant columns are left centered at zero.
+#[derive(Debug, Clone)]
+pub struct StandardScaler {
+    means: Vec<f32>,
+    stds: Vec<f32>,
+}
+
+impl StandardScaler {
+    /// Learn per-column mean and standard deviation.
+    pub fn fit(x: &Matrix) -> Self {
+        let means = x.col_means();
+        let stds = x
+            .col_stds()
+            .into_iter()
+            .map(|s| if s > 1e-12 { s } else { 1.0 })
+            .collect();
+        Self { means, stds }
+    }
+
+    /// Apply `(x - mean) / std` per column.
+    pub fn transform(&self, x: &Matrix) -> Matrix {
+        assert_eq!(x.cols(), self.means.len(), "scaler column mismatch");
+        let mut out = x.clone();
+        for i in 0..out.rows() {
+            let row = out.row_mut(i);
+            for (j, v) in row.iter_mut().enumerate() {
+                *v = (*v - self.means[j]) / self.stds[j];
+            }
+        }
+        out
+    }
+
+    /// Fit and transform in one step.
+    pub fn fit_transform(x: &Matrix) -> (Self, Matrix) {
+        let s = Self::fit(x);
+        let t = s.transform(x);
+        (s, t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn imputer_fills_nan_with_mean() {
+        let x = Matrix::from_rows(&[vec![1.0, f32::NAN], vec![3.0, 4.0], vec![f32::NAN, 6.0]]);
+        let imp = MeanImputer::fit(&x);
+        let t = imp.transform(&x);
+        assert!((t[(2, 0)] - 2.0).abs() < 1e-6);
+        assert!((t[(0, 1)] - 5.0).abs() < 1e-6);
+        assert!(t.all_finite());
+    }
+
+    #[test]
+    fn imputer_all_missing_column() {
+        let x = Matrix::from_rows(&[vec![f32::NAN], vec![f32::NAN]]);
+        let t = MeanImputer::fit(&x).transform(&x);
+        assert_eq!(t.as_slice(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn scaler_zero_mean_unit_std() {
+        let x = Matrix::from_rows(&[vec![1.0, 100.0], vec![3.0, 200.0], vec![5.0, 300.0]]);
+        let (_, t) = StandardScaler::fit_transform(&x);
+        for j in 0..2 {
+            let col = t.col(j);
+            let m: f32 = col.iter().sum::<f32>() / 3.0;
+            assert!(m.abs() < 1e-6);
+            let var: f32 = col.iter().map(|v| (v - m) * (v - m)).sum::<f32>() / 3.0;
+            assert!((var - 1.0).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn scaler_constant_column_is_centered() {
+        let x = Matrix::from_rows(&[vec![7.0], vec![7.0]]);
+        let (_, t) = StandardScaler::fit_transform(&x);
+        assert_eq!(t.as_slice(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn scaler_applies_train_stats_to_test() {
+        let train = Matrix::from_rows(&[vec![0.0], vec![10.0]]);
+        let test = Matrix::from_rows(&[vec![5.0]]);
+        let s = StandardScaler::fit(&train);
+        let t = s.transform(&test);
+        assert!(t[(0, 0)].abs() < 1e-6); // 5 is the train mean
+    }
+}

@@ -1,0 +1,492 @@
+//! CART decision trees over histogram-binned features.
+//!
+//! Both the forests and the boosting machines share the [`Binner`]
+//! quantile-binning front end (the core trick of LightGBM-class libraries):
+//! features are discretized once into ≤ 64 bins, after which every split
+//! search is a linear scan over bin statistics instead of a sort.
+//!
+//! [`DecisionTree`] is the classification tree (Gini impurity, probability
+//! leaves) used by [`crate::forest`]; the boosting module builds its own
+//! gradient/hessian regression tree on the same binned representation.
+
+use crate::{check_fit_inputs, Classifier};
+use linalg::{Matrix, Rng};
+
+/// Maximum number of histogram bins per feature.
+pub const MAX_BINS: usize = 64;
+
+/// Quantile binner: maps each feature to a small integer bin id.
+#[derive(Debug, Clone)]
+pub struct Binner {
+    /// Per feature: ascending cut points; bin id = #cuts < value.
+    edges: Vec<Vec<f32>>,
+}
+
+impl Binner {
+    /// Learn per-feature quantile cut points from `x`.
+    pub fn fit(x: &Matrix, n_bins: usize) -> Self {
+        let n_bins = n_bins.clamp(2, MAX_BINS);
+        let mut edges = Vec::with_capacity(x.cols());
+        for j in 0..x.cols() {
+            let mut col = x.col(j);
+            col.retain(|v| v.is_finite());
+            col.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+            col.dedup();
+            let mut cuts = Vec::new();
+            if col.len() > 1 {
+                // midpoints between the quantile values
+                for k in 1..n_bins {
+                    let pos = k * (col.len() - 1) / n_bins;
+                    let next = (pos + 1).min(col.len() - 1);
+                    let cut = (col[pos] + col[next]) / 2.0;
+                    if cuts.last().is_none_or(|&last| cut > last) {
+                        cuts.push(cut);
+                    }
+                }
+            }
+            edges.push(cuts);
+        }
+        Self { edges }
+    }
+
+    /// Number of features this binner was fitted on.
+    pub fn n_features(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Number of bins for feature `j` (`#cuts + 1`).
+    pub fn n_bins(&self, j: usize) -> usize {
+        self.edges[j].len() + 1
+    }
+
+    /// Bin id of a raw value for feature `j`.
+    pub fn bin(&self, j: usize, value: f32) -> u8 {
+        if !value.is_finite() {
+            return 0; // missing values sink to the lowest bin
+        }
+        let cuts = &self.edges[j];
+        cuts.partition_point(|&c| c < value) as u8
+    }
+
+    /// The raw-value threshold meaning "bin ≤ b": the cut point after bin
+    /// `b` (values ≤ this go left). `None` when `b` is the last bin.
+    pub fn threshold(&self, j: usize, b: u8) -> Option<f32> {
+        self.edges[j].get(b as usize).copied()
+    }
+
+    /// Bin an entire matrix (row-major `u8` codes).
+    pub fn transform(&self, x: &Matrix) -> BinnedData {
+        assert_eq!(x.cols(), self.n_features(), "binner column mismatch");
+        let mut bins = Vec::with_capacity(x.rows() * x.cols());
+        for row in x.rows_iter() {
+            for (j, &v) in row.iter().enumerate() {
+                bins.push(self.bin(j, v));
+            }
+        }
+        BinnedData {
+            bins,
+            rows: x.rows(),
+            cols: x.cols(),
+        }
+    }
+}
+
+/// A matrix of bin codes.
+#[derive(Debug, Clone)]
+pub struct BinnedData {
+    bins: Vec<u8>,
+    rows: usize,
+    cols: usize,
+}
+
+impl BinnedData {
+    /// Bin code of `(row, col)`.
+    #[inline]
+    pub fn get(&self, row: usize, col: usize) -> u8 {
+        self.bins[row * self.cols + col]
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of feature columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+}
+
+/// How split thresholds are chosen.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SplitRule {
+    /// Scan all bins, choose the best Gini gain (classic CART / RF).
+    Best,
+    /// Choose one uniformly random bin per feature (extremely randomized
+    /// trees); the best of the sampled (feature, threshold) pairs wins.
+    Random,
+}
+
+/// Decision-tree hyperparameters.
+#[derive(Debug, Clone, Copy)]
+pub struct TreeConfig {
+    /// Maximum tree depth.
+    pub max_depth: usize,
+    /// Minimum samples required in a leaf.
+    pub min_samples_leaf: usize,
+    /// Fraction of features examined per split (`1.0` = all, `0.0` → √d).
+    pub max_features: f32,
+    /// Split-threshold selection rule.
+    pub split_rule: SplitRule,
+    /// Number of histogram bins.
+    pub n_bins: usize,
+    /// Seed for feature subsampling / random thresholds.
+    pub seed: u64,
+}
+
+impl Default for TreeConfig {
+    fn default() -> Self {
+        Self {
+            max_depth: 12,
+            min_samples_leaf: 2,
+            max_features: 1.0,
+            split_rule: SplitRule::Best,
+            n_bins: 32,
+            seed: 0,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Node {
+    Leaf {
+        prob: f32,
+    },
+    Split {
+        feature: u32,
+        /// Raw-value threshold: go left when `value <= threshold`
+        /// (missing/NaN goes left).
+        threshold: f32,
+        left: usize,
+        right: usize,
+    },
+}
+
+/// A single CART classification tree.
+#[derive(Debug, Clone)]
+pub struct DecisionTree {
+    /// Hyperparameters.
+    pub config: TreeConfig,
+    nodes: Vec<Node>,
+}
+
+impl DecisionTree {
+    /// Unfitted tree.
+    pub fn new(config: TreeConfig) -> Self {
+        Self {
+            config,
+            nodes: Vec::new(),
+        }
+    }
+
+    /// Number of nodes in the fitted tree.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Fit on pre-binned data (used by forests to share one binning pass).
+    /// `indices` selects the training rows (with repetitions for bagging).
+    pub fn fit_binned(
+        &mut self,
+        binned: &BinnedData,
+        binner: &Binner,
+        y: &[f32],
+        indices: &[usize],
+        rng: &mut Rng,
+    ) {
+        assert!(!indices.is_empty(), "empty training subset");
+        self.nodes.clear();
+        self.grow(binned, binner, y, indices.to_vec(), 0, rng);
+    }
+
+    fn grow(
+        &mut self,
+        binned: &BinnedData,
+        binner: &Binner,
+        y: &[f32],
+        indices: Vec<usize>,
+        depth: usize,
+        rng: &mut Rng,
+    ) -> usize {
+        let n = indices.len();
+        let n_pos: f32 = indices.iter().map(|&i| y[i]).sum();
+        let prob = n_pos / n as f32;
+        let pure = prob <= f32::EPSILON || prob >= 1.0 - f32::EPSILON;
+        if depth >= self.config.max_depth || n < 2 * self.config.min_samples_leaf || pure {
+            self.nodes.push(Node::Leaf { prob });
+            return self.nodes.len() - 1;
+        }
+
+        // feature subsample
+        let d = binned.cols();
+        let k = if self.config.max_features <= 0.0 {
+            (d as f32).sqrt().ceil() as usize
+        } else {
+            ((d as f32 * self.config.max_features).ceil() as usize).clamp(1, d)
+        };
+        let features = rng.sample_indices(d, k);
+
+        // find best split among candidate features
+        let mut best: Option<(usize, u8, f32)> = None; // (feature, bin, gain)
+        let base_impurity = gini(n_pos, n as f32);
+        for &j in &features {
+            let n_bins = binner.n_bins(j);
+            if n_bins < 2 {
+                continue;
+            }
+            // histogram of (count, pos) per bin
+            let mut count = [0f32; MAX_BINS];
+            let mut pos = [0f32; MAX_BINS];
+            for &i in &indices {
+                let b = binned.get(i, j) as usize;
+                count[b] += 1.0;
+                pos[b] += y[i];
+            }
+            let candidate_bins: Vec<u8> = match self.config.split_rule {
+                SplitRule::Best => (0..n_bins as u8 - 1).collect(),
+                SplitRule::Random => vec![rng.below(n_bins - 1) as u8],
+            };
+            let total = n as f32;
+            for &b in &candidate_bins {
+                let mut left_n = 0.0;
+                let mut left_pos = 0.0;
+                for bb in 0..=b as usize {
+                    left_n += count[bb];
+                    left_pos += pos[bb];
+                }
+                let right_n = total - left_n;
+                let right_pos = n_pos - left_pos;
+                if left_n < self.config.min_samples_leaf as f32
+                    || right_n < self.config.min_samples_leaf as f32
+                {
+                    continue;
+                }
+                let gain = base_impurity
+                    - (left_n / total) * gini(left_pos, left_n)
+                    - (right_n / total) * gini(right_pos, right_n);
+                if gain > 1e-7 && best.is_none_or(|(_, _, g)| gain > g) {
+                    best = Some((j, b, gain));
+                }
+            }
+        }
+
+        let Some((feature, bin, _)) = best else {
+            self.nodes.push(Node::Leaf { prob });
+            return self.nodes.len() - 1;
+        };
+        let threshold = binner
+            .threshold(feature, bin)
+            .expect("split bin has a cut point");
+        let (left_idx, right_idx): (Vec<usize>, Vec<usize>) = indices
+            .into_iter()
+            .partition(|&i| binned.get(i, feature) <= bin);
+
+        // reserve this node's slot, then grow children
+        let slot = self.nodes.len();
+        self.nodes.push(Node::Leaf { prob }); // placeholder
+        let left = self.grow(binned, binner, y, left_idx, depth + 1, rng);
+        let right = self.grow(binned, binner, y, right_idx, depth + 1, rng);
+        self.nodes[slot] = Node::Split {
+            feature: feature as u32,
+            threshold,
+            left,
+            right,
+        };
+        slot
+    }
+
+    /// Split-frequency feature importance: how often each feature is used
+    /// as a split, normalized to sum to 1 (all-zeros for a stump-less tree).
+    pub fn feature_importance(&self, n_features: usize) -> Vec<f32> {
+        let mut counts = vec![0.0f32; n_features];
+        for node in &self.nodes {
+            if let Node::Split { feature, .. } = node {
+                counts[*feature as usize] += 1.0;
+            }
+        }
+        let total: f32 = counts.iter().sum();
+        if total > 0.0 {
+            for c in &mut counts {
+                *c /= total;
+            }
+        }
+        counts
+    }
+
+    /// Probability for one raw feature row.
+    pub fn predict_row(&self, row: &[f32]) -> f32 {
+        let mut node = 0usize;
+        loop {
+            match &self.nodes[node] {
+                Node::Leaf { prob } => return *prob,
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    let v = row[*feature as usize];
+                    node = if !v.is_finite() || v <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
+                }
+            }
+        }
+    }
+}
+
+impl Default for DecisionTree {
+    fn default() -> Self {
+        Self::new(TreeConfig::default())
+    }
+}
+
+fn gini(pos: f32, total: f32) -> f32 {
+    if total <= 0.0 {
+        return 0.0;
+    }
+    let p = pos / total;
+    2.0 * p * (1.0 - p)
+}
+
+impl Classifier for DecisionTree {
+    fn fit(&mut self, x: &Matrix, y: &[f32]) {
+        check_fit_inputs(x, y);
+        let binner = Binner::fit(x, self.config.n_bins);
+        let binned = binner.transform(x);
+        let indices: Vec<usize> = (0..x.rows()).collect();
+        let mut rng = Rng::new(self.config.seed);
+        self.fit_binned(&binned, &binner, y, &indices, &mut rng);
+    }
+
+    fn predict_proba(&self, x: &Matrix) -> Vec<f32> {
+        assert!(!self.nodes.is_empty(), "predict before fit");
+        x.rows_iter().map(|row| self.predict_row(row)).collect()
+    }
+
+    fn name(&self) -> String {
+        format!("tree(depth={})", self.config.max_depth)
+    }
+
+    fn fresh(&self) -> Box<dyn Classifier> {
+        Box::new(DecisionTree::new(self.config))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linear::test_data::{blobs, xor};
+    use crate::metrics::f1_at_threshold;
+
+    #[test]
+    fn binner_respects_order() {
+        let x = Matrix::from_rows(&[vec![1.0], vec![2.0], vec![3.0], vec![10.0]]);
+        let b = Binner::fit(&x, 4);
+        assert!(b.bin(0, 0.5) <= b.bin(0, 2.5));
+        assert!(b.bin(0, 2.5) <= b.bin(0, 20.0));
+        assert_eq!(b.bin(0, f32::NAN), 0);
+    }
+
+    #[test]
+    fn binner_constant_column() {
+        let x = Matrix::from_rows(&[vec![5.0], vec![5.0], vec![5.0]]);
+        let b = Binner::fit(&x, 8);
+        assert_eq!(b.n_bins(0), 1);
+        assert_eq!(b.bin(0, 5.0), 0);
+    }
+
+    #[test]
+    fn binner_threshold_consistent_with_bin() {
+        let x = Matrix::from_rows(&[vec![0.0], vec![1.0], vec![2.0], vec![3.0], vec![4.0]]);
+        let b = Binner::fit(&x, 4);
+        for bin in 0..(b.n_bins(0) - 1) as u8 {
+            let t = b.threshold(0, bin).unwrap();
+            // values at/below the threshold must land in bins <= bin
+            assert!(b.bin(0, t) <= bin, "bin {bin}, t {t}");
+            assert!(b.bin(0, t + 0.01) > bin);
+        }
+    }
+
+    #[test]
+    fn tree_solves_xor() {
+        let (x, y) = xor(400, 1);
+        let (xt, yt) = xor(200, 2);
+        let mut tree = DecisionTree::default();
+        tree.fit(&x, &y);
+        let probs = tree.predict_proba(&xt);
+        let actual: Vec<bool> = yt.iter().map(|&v| v >= 0.5).collect();
+        let f1 = f1_at_threshold(&probs, &actual, 0.5);
+        assert!(f1 > 90.0, "F1 {f1}");
+    }
+
+    #[test]
+    fn tree_respects_max_depth_1() {
+        let (x, y) = blobs(300, 0.5, 2.0, 3);
+        let mut tree = DecisionTree::new(TreeConfig {
+            max_depth: 1,
+            ..TreeConfig::default()
+        });
+        tree.fit(&x, &y);
+        // a stump has at most 3 nodes
+        assert!(tree.node_count() <= 3, "{}", tree.node_count());
+    }
+
+    #[test]
+    fn pure_node_stops_growing() {
+        let x = Matrix::from_rows(&[vec![0.0], vec![0.1], vec![0.2]]);
+        let y = vec![1.0, 1.0, 1.0];
+        let mut tree = DecisionTree::default();
+        tree.fit(&x, &y);
+        assert_eq!(tree.node_count(), 1);
+        assert_eq!(tree.predict_proba(&x), vec![1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn random_split_rule_still_learns() {
+        let (x, y) = blobs(400, 0.4, 2.0, 4);
+        let mut tree = DecisionTree::new(TreeConfig {
+            split_rule: SplitRule::Random,
+            ..TreeConfig::default()
+        });
+        tree.fit(&x, &y);
+        let probs = tree.predict_proba(&x);
+        let actual: Vec<bool> = y.iter().map(|&v| v >= 0.5).collect();
+        let f1 = f1_at_threshold(&probs, &actual, 0.5);
+        assert!(f1 > 85.0, "F1 {f1}");
+    }
+
+    #[test]
+    fn deterministic_fit() {
+        let (x, y) = blobs(200, 0.3, 1.0, 5);
+        let mut a = DecisionTree::default();
+        let mut b = DecisionTree::default();
+        a.fit(&x, &y);
+        b.fit(&x, &y);
+        assert_eq!(a.predict_proba(&x), b.predict_proba(&x));
+    }
+
+    #[test]
+    fn min_samples_leaf_respected() {
+        let (x, y) = blobs(100, 0.5, 0.2, 6);
+        let mut tree = DecisionTree::new(TreeConfig {
+            min_samples_leaf: 40,
+            ..TreeConfig::default()
+        });
+        tree.fit(&x, &y);
+        // with such a large leaf requirement only ~1 split is possible
+        assert!(tree.node_count() <= 3);
+    }
+}

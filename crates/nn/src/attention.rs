@@ -1,0 +1,250 @@
+//! Attention mechanisms: multi-head self-attention (transformers) and
+//! soft-align decomposable attention (DeepMatcher's comparison layer).
+
+use crate::layers::Linear;
+use crate::params::{ParamId, ParamStore};
+use crate::tape::{Tape, TensorId};
+use linalg::{Matrix, Rng};
+
+/// Multi-head self-attention over a `(len × dim)` sequence.
+#[derive(Debug, Clone)]
+pub struct MultiHeadAttention {
+    q: Linear,
+    k: Linear,
+    v: Linear,
+    o: Linear,
+    /// Number of heads (must divide `dim`).
+    pub heads: usize,
+    /// Model width.
+    pub dim: usize,
+}
+
+impl MultiHeadAttention {
+    /// Register projections for `dim`-wide sequences with `heads` heads.
+    pub fn new(
+        store: &mut ParamStore,
+        name: &str,
+        dim: usize,
+        heads: usize,
+        rng: &mut Rng,
+    ) -> Self {
+        assert_eq!(dim % heads, 0, "heads must divide dim");
+        Self {
+            q: Linear::new(store, &format!("{name}.q"), dim, dim, rng),
+            k: Linear::new(store, &format!("{name}.k"), dim, dim, rng),
+            v: Linear::new(store, &format!("{name}.v"), dim, dim, rng),
+            o: Linear::new(store, &format!("{name}.o"), dim, dim, rng),
+            heads,
+            dim,
+        }
+    }
+
+    /// Self-attention with an optional additive position bias `(len × len)`
+    /// added to every head's scores (the relative-position mechanism the
+    /// XLNet-style family uses).
+    pub fn forward(
+        &self,
+        tape: &mut Tape,
+        store: &ParamStore,
+        x: TensorId,
+        pos_bias: Option<TensorId>,
+    ) -> TensorId {
+        let q = self.q.forward(tape, store, x);
+        let k = self.k.forward(tape, store, x);
+        let v = self.v.forward(tape, store, x);
+        let head_dim = self.dim / self.heads;
+        let scale = 1.0 / (head_dim as f32).sqrt();
+        let mut heads_out: Option<TensorId> = None;
+        for h in 0..self.heads {
+            // slice head columns: transpose → rows → transpose back
+            let qh = col_slice(tape, q, h * head_dim, head_dim);
+            let kh = col_slice(tape, k, h * head_dim, head_dim);
+            let vh = col_slice(tape, v, h * head_dim, head_dim);
+            let kt = tape.transpose(kh);
+            let scores_raw = tape.matmul(qh, kt);
+            let mut scores = tape.scale(scores_raw, scale);
+            if let Some(bias) = pos_bias {
+                scores = tape.add(scores, bias);
+            }
+            let attn = tape.softmax_rows(scores);
+            let ctx = tape.matmul(attn, vh);
+            heads_out = Some(match heads_out {
+                None => ctx,
+                Some(acc) => tape.concat_cols(acc, ctx),
+            });
+        }
+        let merged = heads_out.expect("at least one head");
+        self.o.forward(tape, store, merged)
+    }
+}
+
+/// Column slice helper implemented with transpose + row slice.
+fn col_slice(tape: &mut Tape, x: TensorId, start: usize, len: usize) -> TensorId {
+    let t = tape.transpose(x);
+    let sliced = tape.rows(t, start, len);
+    tape.transpose(sliced)
+}
+
+/// Decomposable soft-alignment attention between two sequences — the
+/// "attention" half of DeepMatcher's Hybrid attribute summarizer. For each
+/// token of `a`, a softmax over its dot-product scores against `b` builds
+/// an aligned context; the summarizer compares tokens to their contexts.
+#[derive(Debug, Clone, Copy)]
+pub struct SoftAlign {
+    proj: Linear,
+}
+
+impl SoftAlign {
+    /// Register the score projection.
+    pub fn new(store: &mut ParamStore, name: &str, dim: usize, rng: &mut Rng) -> Self {
+        Self {
+            proj: Linear::new(store, &format!("{name}.proj"), dim, dim, rng),
+        }
+    }
+
+    /// Align `b` to `a`: returns `(len_a × dim)` contexts, one per token of
+    /// `a`, as attention-weighted sums of `b` rows.
+    pub fn forward(
+        &self,
+        tape: &mut Tape,
+        store: &ParamStore,
+        a: TensorId,
+        b: TensorId,
+    ) -> TensorId {
+        let pa = self.proj.forward(tape, store, a);
+        let pb = self.proj.forward(tape, store, b);
+        let pbt = tape.transpose(pb);
+        let scores = tape.matmul(pa, pbt); // (len_a × len_b)
+        let attn = tape.softmax_rows(scores);
+        tape.matmul(attn, b)
+    }
+}
+
+/// Learned position-bias table for relative positions in `[-max, max]`,
+/// materialized as a `(len × len)` additive score matrix.
+#[derive(Debug, Clone, Copy)]
+pub struct RelativePositionBias {
+    table: ParamId,
+    max_distance: usize,
+}
+
+impl RelativePositionBias {
+    /// Register a `(2·max+1 × 1)` bias table.
+    pub fn new(store: &mut ParamStore, name: &str, max_distance: usize) -> Self {
+        let table = store.add(
+            &format!("{name}.relpos"),
+            Matrix::zeros(2 * max_distance + 1, 1),
+        );
+        Self {
+            table,
+            max_distance,
+        }
+    }
+
+    /// Build the `(len × len)` bias matrix for a sequence length.
+    pub fn forward(&self, tape: &mut Tape, store: &ParamStore, len: usize) -> TensorId {
+        // gather the relevant relative distances row-by-row, then reshape
+        // via transpose tricks: gather returns (len*len × 1)
+        let mut idx = Vec::with_capacity(len * len);
+        let max = self.max_distance as i64;
+        for i in 0..len as i64 {
+            for j in 0..len as i64 {
+                let d = (j - i).clamp(-max, max) + max;
+                idx.push(d as u32);
+            }
+        }
+        let flat = tape.gather(store, self.table, &idx); // (len² × 1)
+        // reshape (len² × 1) → (len × len): slice and stack rows
+        let mut out: Option<TensorId> = None;
+        for i in 0..len {
+            let row = tape.rows(flat, i * len, len); // (len × 1)
+            let row_t = tape.transpose(row); // (1 × len)
+            out = Some(match out {
+                None => row_t,
+                Some(acc) => tape.concat_rows(acc, row_t),
+            });
+        }
+        out.expect("len > 0")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::Grads;
+
+    #[test]
+    fn mha_shape_preserved() {
+        let mut rng = Rng::new(1);
+        let mut store = ParamStore::new();
+        let mha = MultiHeadAttention::new(&mut store, "a", 8, 2, &mut rng);
+        let mut tape = Tape::new();
+        let x = tape.input(Matrix::randn(5, 8, 1.0, &mut rng));
+        let y = mha.forward(&mut tape, &store, x, None);
+        assert_eq!(tape.shape(y), (5, 8));
+    }
+
+    #[test]
+    #[should_panic(expected = "heads must divide dim")]
+    fn mha_rejects_bad_heads() {
+        let mut rng = Rng::new(2);
+        let mut store = ParamStore::new();
+        MultiHeadAttention::new(&mut store, "a", 10, 3, &mut rng);
+    }
+
+    #[test]
+    fn mha_is_differentiable() {
+        let mut rng = Rng::new(3);
+        let mut store = ParamStore::new();
+        let mha = MultiHeadAttention::new(&mut store, "a", 4, 2, &mut rng);
+        let mut tape = Tape::new();
+        let x = tape.input(Matrix::randn(3, 4, 1.0, &mut rng));
+        let y = mha.forward(&mut tape, &store, x, None);
+        let pooled = tape.mean_rows(y);
+        let w = tape.input(Matrix::full(4, 1, 1.0));
+        let loss = tape.matmul(pooled, w);
+        let mut grads = Grads::new();
+        tape.backward(loss, &mut grads);
+        // all projection weights must receive gradient
+        let touched = store.ids().filter(|id| grads.get(*id).is_some()).count();
+        assert!(touched >= 8, "{touched} params touched");
+    }
+
+    #[test]
+    fn soft_align_attends_to_similar_rows() {
+        let mut rng = Rng::new(4);
+        let mut store = ParamStore::new();
+        let align = SoftAlign::new(&mut store, "s", 3, &mut rng);
+        // identity-ish: with fresh weights, alignment of a to [a_row; junk]
+        // should weight the similar row more than the dissimilar one
+        let mut tape = Tape::new();
+        let a = tape.input(Matrix::from_vec(1, 3, vec![2.0, 0.0, 0.0]));
+        let b = tape.input(Matrix::from_vec(2, 3, vec![2.0, 0.0, 0.0, -2.0, 0.0, 0.0]));
+        let ctx = align.forward(&mut tape, &store, a, b);
+        assert_eq!(tape.shape(ctx), (1, 3));
+        // context is a convex combination of b rows → first component in [-2, 2]
+        let v = tape.value(ctx)[(0, 0)];
+        assert!((-2.0..=2.0).contains(&v));
+    }
+
+    #[test]
+    fn relative_bias_matrix_structure() {
+        let mut store = ParamStore::new();
+        let bias = RelativePositionBias::new(&mut store, "r", 4);
+        // give each distance a distinctive value
+        for d in 0..9 {
+            store.get_mut(bias.table)[(d, 0)] = d as f32;
+        }
+        let mut tape = Tape::new();
+        let m = bias.forward(&mut tape, &store, 3);
+        assert_eq!(tape.shape(m), (3, 3));
+        let v = tape.value(m);
+        // diagonal is distance 0 → table index 4
+        assert_eq!(v[(0, 0)], 4.0);
+        assert_eq!(v[(1, 1)], 4.0);
+        // one step right of diagonal: distance +1 → index 5
+        assert_eq!(v[(0, 1)], 5.0);
+        // one step left: distance −1 → index 3
+        assert_eq!(v[(1, 0)], 3.0);
+    }
+}

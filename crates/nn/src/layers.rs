@@ -1,0 +1,213 @@
+//! Reusable layers: linear, embedding, layer norm with affine parameters.
+//!
+//! A layer owns [`ParamId`]s registered at construction and replays its
+//! forward computation on any tape.
+
+use crate::params::{normal_init, xavier, ParamId, ParamStore};
+use crate::tape::{Tape, TensorId};
+use linalg::{Matrix, Rng};
+
+/// Fully connected layer `x W + b`.
+#[derive(Debug, Clone, Copy)]
+pub struct Linear {
+    w: ParamId,
+    b: ParamId,
+    /// Input feature width.
+    pub in_dim: usize,
+    /// Output feature width.
+    pub out_dim: usize,
+}
+
+impl Linear {
+    /// Register a `(in_dim → out_dim)` layer.
+    pub fn new(
+        store: &mut ParamStore,
+        name: &str,
+        in_dim: usize,
+        out_dim: usize,
+        rng: &mut Rng,
+    ) -> Self {
+        let w = store.add(&format!("{name}.w"), xavier(in_dim, out_dim, rng));
+        let b = store.add(&format!("{name}.b"), Matrix::zeros(1, out_dim));
+        Self {
+            w,
+            b,
+            in_dim,
+            out_dim,
+        }
+    }
+
+    /// Weight parameter id (the tied MLM head needs direct access).
+    pub fn weight_id(&self) -> ParamId {
+        self.w
+    }
+
+    /// Apply to `(n × in_dim)` → `(n × out_dim)`.
+    pub fn forward(&self, tape: &mut Tape, store: &ParamStore, x: TensorId) -> TensorId {
+        let w = tape.param(store, self.w);
+        let b = tape.param(store, self.b);
+        let h = tape.matmul(x, w);
+        tape.add_row(h, b)
+    }
+}
+
+/// Token-embedding table.
+#[derive(Debug, Clone, Copy)]
+pub struct Embedding {
+    table: ParamId,
+    /// Vocabulary size.
+    pub vocab: usize,
+    /// Embedding width.
+    pub dim: usize,
+}
+
+impl Embedding {
+    /// Register a `(vocab × dim)` table with transformer-style init.
+    pub fn new(
+        store: &mut ParamStore,
+        name: &str,
+        vocab: usize,
+        dim: usize,
+        rng: &mut Rng,
+    ) -> Self {
+        let table = store.add(&format!("{name}.table"), normal_init(vocab, dim, rng));
+        Self { table, vocab, dim }
+    }
+
+    /// Look up a token-id sequence → `(len × dim)`.
+    pub fn forward(&self, tape: &mut Tape, store: &ParamStore, ids: &[u32]) -> TensorId {
+        debug_assert!(ids.iter().all(|&i| (i as usize) < self.vocab));
+        tape.gather(store, self.table, ids)
+    }
+
+    /// The raw table parameter (the MLM head ties output weights to it).
+    pub fn table(&self) -> ParamId {
+        self.table
+    }
+}
+
+/// Layer normalization with learned scale γ and shift β.
+#[derive(Debug, Clone, Copy)]
+pub struct LayerNorm {
+    gamma: ParamId,
+    beta: ParamId,
+    eps: f32,
+}
+
+impl LayerNorm {
+    /// Register γ = 1, β = 0 of width `dim`.
+    pub fn new(store: &mut ParamStore, name: &str, dim: usize) -> Self {
+        let gamma = store.add(&format!("{name}.gamma"), Matrix::full(1, dim, 1.0));
+        let beta = store.add(&format!("{name}.beta"), Matrix::zeros(1, dim));
+        Self {
+            gamma,
+            beta,
+            eps: 1e-5,
+        }
+    }
+
+    /// Normalize rows, then apply the affine part.
+    pub fn forward(&self, tape: &mut Tape, store: &ParamStore, x: TensorId) -> TensorId {
+        let n = tape.layer_norm_rows(x, self.eps);
+        let g = tape.param(store, self.gamma);
+        let b = tape.param(store, self.beta);
+        let scaled = tape.mul_row(n, g);
+        tape.add_row(scaled, b)
+    }
+}
+
+/// Build an inverted-dropout mask for a `(rows × cols)` activation.
+/// Returns an all-ones mask when `p == 0` (or at inference time).
+pub fn dropout_mask(rows: usize, cols: usize, p: f32, rng: &mut Rng) -> Vec<f32> {
+    if p <= 0.0 {
+        return vec![1.0; rows * cols];
+    }
+    let keep = 1.0 - p;
+    let scale = 1.0 / keep;
+    (0..rows * cols)
+        .map(|_| if rng.f32() < keep { scale } else { 0.0 })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::Grads;
+
+    #[test]
+    fn linear_shapes_and_bias() {
+        let mut rng = Rng::new(1);
+        let mut store = ParamStore::new();
+        let lin = Linear::new(&mut store, "l", 3, 2, &mut rng);
+        let mut tape = Tape::new();
+        let x = tape.input(Matrix::zeros(4, 3));
+        let y = lin.forward(&mut tape, &store, x);
+        assert_eq!(tape.shape(y), (4, 2));
+        // zero input → output equals bias (zeros at init)
+        assert_eq!(tape.value(y).as_slice(), &[0.0; 8]);
+    }
+
+    #[test]
+    fn embedding_lookup_matches_table() {
+        let mut rng = Rng::new(2);
+        let mut store = ParamStore::new();
+        let emb = Embedding::new(&mut store, "e", 10, 4, &mut rng);
+        let mut tape = Tape::new();
+        let out = emb.forward(&mut tape, &store, &[3, 3, 7]);
+        assert_eq!(tape.shape(out), (3, 4));
+        assert_eq!(tape.value(out).row(0), tape.value(out).row(1));
+        assert_eq!(tape.value(out).row(0), store.get(emb.table()).row(3));
+    }
+
+    #[test]
+    fn layer_norm_normalizes_then_affines() {
+        let mut store = ParamStore::new();
+        let ln = LayerNorm::new(&mut store, "ln", 4);
+        let mut tape = Tape::new();
+        let x = tape.input(Matrix::from_vec(1, 4, vec![1.0, 2.0, 3.0, 4.0]));
+        let y = ln.forward(&mut tape, &store, x);
+        let row = tape.value(y).row(0);
+        let mean: f32 = row.iter().sum::<f32>() / 4.0;
+        assert!(mean.abs() < 1e-5);
+        let var: f32 = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / 4.0;
+        assert!((var - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn layers_are_trainable_end_to_end() {
+        // one gradient step must reduce a simple regression loss
+        let mut rng = Rng::new(3);
+        let mut store = ParamStore::new();
+        let lin = Linear::new(&mut store, "l", 2, 1, &mut rng);
+        let x_data = Matrix::from_vec(4, 2, vec![1.0, 0.0, 0.0, 1.0, 1.0, 1.0, 0.5, -0.5]);
+        let targets = [1.0f32, 0.0, 1.0, 0.0];
+        let loss_of = |store: &ParamStore| {
+            let mut tape = Tape::new();
+            let x = tape.input(x_data.clone());
+            let h = lin.forward(&mut tape, store, x);
+            let l = tape.bce_logits(h, &targets);
+            (tape.value(l)[(0, 0)], tape, l)
+        };
+        let (before, tape, l) = loss_of(&store);
+        let mut grads = Grads::new();
+        tape.backward(l, &mut grads);
+        let mut opt = crate::optim::Sgd::new(0.5, 0.0);
+        opt.step(&mut store, &grads);
+        let (after, _, _) = loss_of(&store);
+        assert!(after < before, "{after} !< {before}");
+    }
+
+    #[test]
+    fn dropout_mask_statistics() {
+        let mut rng = Rng::new(4);
+        let mask = dropout_mask(100, 10, 0.3, &mut rng);
+        let zeros = mask.iter().filter(|&&m| m == 0.0).count();
+        let frac = zeros as f64 / mask.len() as f64;
+        assert!((frac - 0.3).abs() < 0.05, "{frac}");
+        // kept entries carry the inverse-keep scale
+        let kept = mask.iter().find(|&&m| m > 0.0).unwrap();
+        assert!((kept - 1.0 / 0.7).abs() < 1e-6);
+        // p = 0 → identity
+        assert!(dropout_mask(2, 2, 0.0, &mut rng).iter().all(|&m| m == 1.0));
+    }
+}

@@ -1,0 +1,32 @@
+//! # nn — reverse-mode autodiff and neural layers
+//!
+//! The deep-learning substrate of the reproduction. Two consumers:
+//!
+//! * the **transformer embedder families** in `embed` (BERT, DistilBERT,
+//!   ALBERT, RoBERTa, XLNet stand-ins) — pretrained here with a masked-token
+//!   objective, then used frozen by the EM adapter, exactly as the paper
+//!   uses HuggingFace checkpoints ("no fine-tuning technique was applied");
+//! * the **DeepMatcher baseline** in `deepmatcher` — a bi-GRU + attention
+//!   *Hybrid* model trained end-to-end.
+//!
+//! The engine is a classic **tape**: every op appends a node with its value
+//! (a 2-D [`linalg::Matrix`]) and enough structure to compute vector-Jacobian
+//! products in reverse. Ops are a closed enum (no closures), so the whole
+//! graph is inspectable and the backward pass is a simple reverse loop —
+//! and deterministic, like everything else in this stack.
+//!
+//! Trainable parameters live in a [`params::ParamStore`] outside any tape;
+//! a forward pass borrows their current values, `backward` returns a
+//! [`params::Grads`] keyed by parameter id, and an [`optim`] optimizer
+//! applies the update. Tapes are rebuilt per example (define-by-run).
+
+pub mod attention;
+pub mod layers;
+pub mod optim;
+pub mod params;
+pub mod rnn;
+pub mod tape;
+pub mod transformer;
+
+pub use params::{Grads, ParamId, ParamStore};
+pub use tape::{Tape, TensorId};

@@ -1,0 +1,170 @@
+//! Optimizers: SGD with momentum and Adam.
+
+use crate::params::{Grads, ParamStore};
+use linalg::Matrix;
+
+/// Plain SGD with optional momentum.
+pub struct Sgd {
+    /// Learning rate.
+    pub lr: f32,
+    /// Momentum coefficient (`0.0` disables).
+    pub momentum: f32,
+    velocity: Vec<Option<Matrix>>,
+}
+
+impl Sgd {
+    /// New optimizer.
+    pub fn new(lr: f32, momentum: f32) -> Self {
+        Self {
+            lr,
+            momentum,
+            velocity: Vec::new(),
+        }
+    }
+
+    /// Apply one update from accumulated gradients.
+    pub fn step(&mut self, store: &mut ParamStore, grads: &Grads) {
+        if self.velocity.len() < store.len() {
+            self.velocity.resize(store.len(), None);
+        }
+        for id in store.ids().collect::<Vec<_>>() {
+            let Some(g) = grads.get(id) else { continue };
+            let p = store.get_mut(id);
+            if self.momentum > 0.0 {
+                let v = self.velocity[id.0]
+                    .get_or_insert_with(|| Matrix::zeros(p.rows(), p.cols()));
+                for (vi, &gi) in v.as_mut_slice().iter_mut().zip(g.as_slice()) {
+                    *vi = self.momentum * *vi - self.lr * gi;
+                }
+                p.axpy(1.0, v);
+            } else {
+                p.axpy(-self.lr, g);
+            }
+        }
+    }
+}
+
+/// Adam (Kingma & Ba) with bias correction.
+pub struct Adam {
+    /// Learning rate.
+    pub lr: f32,
+    /// First-moment decay.
+    pub beta1: f32,
+    /// Second-moment decay.
+    pub beta2: f32,
+    /// Numerical stabilizer.
+    pub eps: f32,
+    m: Vec<Option<Matrix>>,
+    v: Vec<Option<Matrix>>,
+    t: i32,
+}
+
+impl Adam {
+    /// Adam with the canonical hyperparameters except the learning rate.
+    pub fn new(lr: f32) -> Self {
+        Self {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            m: Vec::new(),
+            v: Vec::new(),
+            t: 0,
+        }
+    }
+
+    /// Apply one update from accumulated gradients.
+    pub fn step(&mut self, store: &mut ParamStore, grads: &Grads) {
+        self.t += 1;
+        if self.m.len() < store.len() {
+            self.m.resize(store.len(), None);
+            self.v.resize(store.len(), None);
+        }
+        let bc1 = 1.0 - self.beta1.powi(self.t);
+        let bc2 = 1.0 - self.beta2.powi(self.t);
+        for id in store.ids().collect::<Vec<_>>() {
+            let Some(g) = grads.get(id) else { continue };
+            let p = store.get_mut(id);
+            let m = self.m[id.0]
+                .get_or_insert_with(|| Matrix::zeros(p.rows(), p.cols()));
+            let v = self.v[id.0]
+                .get_or_insert_with(|| Matrix::zeros(p.rows(), p.cols()));
+            for ((pi, (mi, vi)), &gi) in p
+                .as_mut_slice()
+                .iter_mut()
+                .zip(m.as_mut_slice().iter_mut().zip(v.as_mut_slice().iter_mut()))
+                .zip(g.as_slice())
+            {
+                *mi = self.beta1 * *mi + (1.0 - self.beta1) * gi;
+                *vi = self.beta2 * *vi + (1.0 - self.beta2) * gi * gi;
+                let m_hat = *mi / bc1;
+                let v_hat = *vi / bc2;
+                *pi -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::Grads;
+    use crate::tape::Tape;
+    use linalg::Rng;
+
+    /// Minimize ‖W − target‖² with each optimizer; both must converge.
+    fn converges(mut step: impl FnMut(&mut ParamStore, &Grads)) -> f32 {
+        let mut rng = Rng::new(1);
+        let mut store = ParamStore::new();
+        let w = store.add("w", Matrix::randn(2, 2, 1.0, &mut rng));
+        let target = Matrix::from_vec(2, 2, vec![1.0, -2.0, 0.5, 3.0]);
+        for _ in 0..400 {
+            let mut tape = Tape::new();
+            let p = tape.param(&store, w);
+            let t = tape.input(target.clone());
+            let diff = tape.sub(p, t);
+            let sq = tape.mul(diff, diff);
+            let m1 = tape.mean_rows(sq);
+            let ones = tape.input(Matrix::full(1, 2, 0.5).transpose());
+            let loss = tape.matmul(m1, ones);
+            let mut grads = Grads::new();
+            tape.backward(loss, &mut grads);
+            step(&mut store, &grads);
+        }
+        store.get(w).sub(&target).frobenius()
+    }
+
+    #[test]
+    fn sgd_converges() {
+        let mut opt = Sgd::new(0.5, 0.0);
+        let err = converges(|s, g| opt.step(s, g));
+        assert!(err < 0.05, "err {err}");
+    }
+
+    #[test]
+    fn sgd_momentum_converges() {
+        let mut opt = Sgd::new(0.2, 0.9);
+        let err = converges(|s, g| opt.step(s, g));
+        assert!(err < 0.05, "err {err}");
+    }
+
+    #[test]
+    fn adam_converges() {
+        let mut opt = Adam::new(0.05);
+        let err = converges(|s, g| opt.step(s, g));
+        assert!(err < 0.05, "err {err}");
+    }
+
+    #[test]
+    fn untouched_params_stay_put() {
+        let mut store = ParamStore::new();
+        let a = store.add("a", Matrix::full(1, 1, 5.0));
+        let b = store.add("b", Matrix::full(1, 1, 7.0));
+        let mut grads = Grads::new();
+        grads.accumulate(a, &Matrix::full(1, 1, 1.0));
+        let mut opt = Adam::new(0.1);
+        opt.step(&mut store, &grads);
+        assert_ne!(store.get(a)[(0, 0)], 5.0);
+        assert_eq!(store.get(b)[(0, 0)], 7.0);
+    }
+}

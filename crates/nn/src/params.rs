@@ -1,0 +1,210 @@
+//! Trainable-parameter storage, gradient accumulators, initializers.
+
+use linalg::{Matrix, Rng};
+
+/// Handle to one parameter tensor inside a [`ParamStore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ParamId(pub(crate) usize);
+
+/// All trainable tensors of a model, stable across tapes.
+#[derive(Debug, Clone, Default)]
+pub struct ParamStore {
+    values: Vec<Matrix>,
+    names: Vec<String>,
+}
+
+impl ParamStore {
+    /// Empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a parameter tensor; the name is for debugging/reports.
+    pub fn add(&mut self, name: &str, value: Matrix) -> ParamId {
+        self.values.push(value);
+        self.names.push(name.to_owned());
+        ParamId(self.values.len() - 1)
+    }
+
+    /// Current value of a parameter.
+    pub fn get(&self, id: ParamId) -> &Matrix {
+        &self.values[id.0]
+    }
+
+    /// Mutable value (used by optimizers).
+    pub fn get_mut(&mut self, id: ParamId) -> &mut Matrix {
+        &mut self.values[id.0]
+    }
+
+    /// Name of a parameter.
+    pub fn name(&self, id: ParamId) -> &str {
+        &self.names[id.0]
+    }
+
+    /// Number of registered parameters.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when no parameters are registered.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Total number of scalar weights.
+    pub fn n_weights(&self) -> usize {
+        self.values.iter().map(Matrix::len).sum()
+    }
+
+    /// Iterate ids in registration order.
+    pub fn ids(&self) -> impl Iterator<Item = ParamId> {
+        (0..self.values.len()).map(ParamId)
+    }
+}
+
+/// Gradients keyed by [`ParamId`], accumulated across backward passes
+/// (i.e. across the examples of a mini-batch).
+#[derive(Debug, Clone, Default)]
+pub struct Grads {
+    slots: Vec<Option<Matrix>>,
+}
+
+impl Grads {
+    /// Empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Accumulate `grad` into the slot of `id`.
+    pub fn accumulate(&mut self, id: ParamId, grad: &Matrix) {
+        if self.slots.len() <= id.0 {
+            self.slots.resize(id.0 + 1, None);
+        }
+        match &mut self.slots[id.0] {
+            Some(g) => g.axpy(1.0, grad),
+            slot @ None => *slot = Some(grad.clone()),
+        }
+    }
+
+    /// Gradient of `id`, if any op touched it.
+    pub fn get(&self, id: ParamId) -> Option<&Matrix> {
+        self.slots.get(id.0).and_then(Option::as_ref)
+    }
+
+    /// Merge another accumulator into this one.
+    pub fn merge(&mut self, other: &Grads) {
+        for (i, slot) in other.slots.iter().enumerate() {
+            if let Some(g) = slot {
+                self.accumulate(ParamId(i), g);
+            }
+        }
+    }
+
+    /// Scale all gradients (e.g. by `1/batch_size`).
+    pub fn scale(&mut self, s: f32) {
+        for slot in self.slots.iter_mut().flatten() {
+            slot.map_inplace(|v| v * s);
+        }
+    }
+
+    /// Global L2 norm over all gradients.
+    pub fn norm(&self) -> f32 {
+        self.slots
+            .iter()
+            .flatten()
+            .map(|g| {
+                let f = g.frobenius();
+                f * f
+            })
+            .sum::<f32>()
+            .sqrt()
+    }
+
+    /// Clip the global norm to `max_norm` (no-op when already below).
+    pub fn clip_norm(&mut self, max_norm: f32) {
+        let n = self.norm();
+        if n > max_norm && n > 0.0 {
+            self.scale(max_norm / n);
+        }
+    }
+
+    /// Drop all accumulated gradients.
+    pub fn clear(&mut self) {
+        self.slots.clear();
+    }
+
+    /// Remove the gradient of one parameter (used to freeze it).
+    pub fn clear_slot(&mut self, id: ParamId) {
+        if let Some(slot) = self.slots.get_mut(id.0) {
+            *slot = None;
+        }
+    }
+}
+
+/// Xavier/Glorot-uniform initialization for a `rows × cols` weight.
+pub fn xavier(rows: usize, cols: usize, rng: &mut Rng) -> Matrix {
+    let bound = (6.0 / (rows + cols) as f32).sqrt();
+    Matrix::rand_uniform(rows, cols, -bound, bound, rng)
+}
+
+/// Small-normal initialization (std 0.02), the transformer convention.
+pub fn normal_init(rows: usize, cols: usize, rng: &mut Rng) -> Matrix {
+    Matrix::randn(rows, cols, 0.02, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn store_roundtrip() {
+        let mut store = ParamStore::new();
+        let id = store.add("w", Matrix::full(2, 3, 1.5));
+        assert_eq!(store.get(id)[(1, 2)], 1.5);
+        assert_eq!(store.name(id), "w");
+        assert_eq!(store.n_weights(), 6);
+        store.get_mut(id)[(0, 0)] = 9.0;
+        assert_eq!(store.get(id)[(0, 0)], 9.0);
+    }
+
+    #[test]
+    fn grads_accumulate_and_merge() {
+        let mut store = ParamStore::new();
+        let a = store.add("a", Matrix::zeros(1, 2));
+        let b = store.add("b", Matrix::zeros(1, 2));
+        let mut g1 = Grads::new();
+        g1.accumulate(a, &Matrix::full(1, 2, 1.0));
+        g1.accumulate(a, &Matrix::full(1, 2, 2.0));
+        assert_eq!(g1.get(a).unwrap().as_slice(), &[3.0, 3.0]);
+        assert!(g1.get(b).is_none());
+        let mut g2 = Grads::new();
+        g2.accumulate(b, &Matrix::full(1, 2, 5.0));
+        g1.merge(&g2);
+        assert_eq!(g1.get(b).unwrap().as_slice(), &[5.0, 5.0]);
+    }
+
+    #[test]
+    fn clip_norm_caps() {
+        let mut store = ParamStore::new();
+        let a = store.add("a", Matrix::zeros(1, 2));
+        let mut g = Grads::new();
+        g.accumulate(a, &Matrix::from_vec(1, 2, vec![3.0, 4.0]));
+        assert!((g.norm() - 5.0).abs() < 1e-6);
+        g.clip_norm(1.0);
+        assert!((g.norm() - 1.0).abs() < 1e-5);
+        // already below: untouched
+        let before = g.get(a).unwrap().clone();
+        g.clip_norm(10.0);
+        assert_eq!(g.get(a).unwrap(), &before);
+    }
+
+    #[test]
+    fn xavier_bounds() {
+        let mut rng = Rng::new(1);
+        let w = xavier(50, 70, &mut rng);
+        let bound = (6.0f32 / 120.0).sqrt();
+        assert!(w.as_slice().iter().all(|&v| v.abs() <= bound));
+        // not degenerate
+        assert!(w.frobenius() > 0.0);
+    }
+}

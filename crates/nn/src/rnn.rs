@@ -1,0 +1,262 @@
+//! Recurrent layers: GRU and bidirectional GRU.
+//!
+//! DeepMatcher's attribute summarizer is a bi-directional RNN; we use GRUs
+//! (same family as the paper's DeepER/DeepMatcher LSTMs, cheaper per step).
+//! Sequences are `(len × dim)` tensors processed one timestep row at a time
+//! on the tape.
+
+use crate::layers::Linear;
+use crate::params::ParamStore;
+use crate::tape::{Tape, TensorId};
+use linalg::{Matrix, Rng};
+
+/// One GRU cell: three gates with input and recurrent weights.
+#[derive(Debug, Clone, Copy)]
+pub struct GruCell {
+    wz: Linear,
+    uz: Linear,
+    wr: Linear,
+    ur: Linear,
+    wh: Linear,
+    uh: Linear,
+    /// Hidden width.
+    pub hidden: usize,
+}
+
+impl GruCell {
+    /// Register a cell mapping `in_dim` inputs to `hidden` state.
+    pub fn new(
+        store: &mut ParamStore,
+        name: &str,
+        in_dim: usize,
+        hidden: usize,
+        rng: &mut Rng,
+    ) -> Self {
+        Self {
+            wz: Linear::new(store, &format!("{name}.wz"), in_dim, hidden, rng),
+            uz: Linear::new(store, &format!("{name}.uz"), hidden, hidden, rng),
+            wr: Linear::new(store, &format!("{name}.wr"), in_dim, hidden, rng),
+            ur: Linear::new(store, &format!("{name}.ur"), hidden, hidden, rng),
+            wh: Linear::new(store, &format!("{name}.wh"), in_dim, hidden, rng),
+            uh: Linear::new(store, &format!("{name}.uh"), hidden, hidden, rng),
+            hidden,
+        }
+    }
+
+    /// One step: `(1 × in_dim)` input and `(1 × hidden)` previous state →
+    /// new `(1 × hidden)` state.
+    pub fn step(
+        &self,
+        tape: &mut Tape,
+        store: &ParamStore,
+        x_t: TensorId,
+        h_prev: TensorId,
+    ) -> TensorId {
+        let zx = self.wz.forward(tape, store, x_t);
+        let zh = self.uz.forward(tape, store, h_prev);
+        let z_pre = tape.add(zx, zh);
+        let z = tape.sigmoid(z_pre);
+
+        let rx = self.wr.forward(tape, store, x_t);
+        let rh = self.ur.forward(tape, store, h_prev);
+        let r_pre = tape.add(rx, rh);
+        let r = tape.sigmoid(r_pre);
+
+        let hx = self.wh.forward(tape, store, x_t);
+        let rh_prev = tape.mul(r, h_prev);
+        let hh = self.uh.forward(tape, store, rh_prev);
+        let h_pre = tape.add(hx, hh);
+        let h_cand = tape.tanh(h_pre);
+
+        // h = (1 − z) ∘ h_prev + z ∘ ĥ  =  h_prev + z ∘ (ĥ − h_prev)
+        let delta = tape.sub(h_cand, h_prev);
+        let gated = tape.mul(z, delta);
+        tape.add(h_prev, gated)
+    }
+}
+
+/// A unidirectional GRU over a sequence.
+#[derive(Debug, Clone, Copy)]
+pub struct Gru {
+    cell: GruCell,
+}
+
+impl Gru {
+    /// Register a GRU layer.
+    pub fn new(
+        store: &mut ParamStore,
+        name: &str,
+        in_dim: usize,
+        hidden: usize,
+        rng: &mut Rng,
+    ) -> Self {
+        Self {
+            cell: GruCell::new(store, name, in_dim, hidden, rng),
+        }
+    }
+
+    /// Hidden width.
+    pub fn hidden(&self) -> usize {
+        self.cell.hidden
+    }
+
+    /// Run over `(len × in_dim)`; returns the per-step hidden states in
+    /// input order. `reverse` scans right-to-left (states still returned in
+    /// input order, as a backward RNN's outputs are).
+    pub fn forward(
+        &self,
+        tape: &mut Tape,
+        store: &ParamStore,
+        x: TensorId,
+        reverse: bool,
+    ) -> Vec<TensorId> {
+        let (len, _) = tape.shape(x);
+        assert!(len > 0, "empty sequence");
+        let mut h = tape.input(Matrix::zeros(1, self.cell.hidden));
+        let order: Vec<usize> = if reverse {
+            (0..len).rev().collect()
+        } else {
+            (0..len).collect()
+        };
+        let mut states = vec![None; len];
+        for &t in &order {
+            let x_t = tape.rows(x, t, 1);
+            h = self.cell.step(tape, store, x_t, h);
+            states[t] = Some(h);
+        }
+        states.into_iter().map(|s| s.expect("visited")).collect()
+    }
+}
+
+/// Bidirectional GRU: forward and backward passes concatenated per step.
+#[derive(Debug, Clone, Copy)]
+pub struct BiGru {
+    fwd: Gru,
+    bwd: Gru,
+}
+
+impl BiGru {
+    /// Register both directions.
+    pub fn new(
+        store: &mut ParamStore,
+        name: &str,
+        in_dim: usize,
+        hidden: usize,
+        rng: &mut Rng,
+    ) -> Self {
+        Self {
+            fwd: Gru::new(store, &format!("{name}.fwd"), in_dim, hidden, rng),
+            bwd: Gru::new(store, &format!("{name}.bwd"), in_dim, hidden, rng),
+        }
+    }
+
+    /// Output width (`2 × hidden`).
+    pub fn out_dim(&self) -> usize {
+        2 * self.fwd.hidden()
+    }
+
+    /// `(len × in_dim)` → `(len × 2·hidden)`.
+    pub fn forward(&self, tape: &mut Tape, store: &ParamStore, x: TensorId) -> TensorId {
+        let f = self.fwd.forward(tape, store, x, false);
+        let b = self.bwd.forward(tape, store, x, true);
+        let mut out = None;
+        for (hf, hb) in f.into_iter().zip(b) {
+            let step = tape.concat_cols(hf, hb);
+            out = Some(match out {
+                None => step,
+                Some(acc) => tape.concat_rows(acc, step),
+            });
+        }
+        out.expect("non-empty sequence")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optim::Adam;
+    use crate::params::Grads;
+
+    #[test]
+    fn gru_shapes() {
+        let mut rng = Rng::new(1);
+        let mut store = ParamStore::new();
+        let gru = Gru::new(&mut store, "g", 4, 6, &mut rng);
+        let mut tape = Tape::new();
+        let x = tape.input(Matrix::randn(5, 4, 1.0, &mut rng));
+        let states = gru.forward(&mut tape, &store, x, false);
+        assert_eq!(states.len(), 5);
+        for s in &states {
+            assert_eq!(tape.shape(*s), (1, 6));
+        }
+    }
+
+    #[test]
+    fn bigru_shape_and_direction_sensitivity() {
+        let mut rng = Rng::new(2);
+        let mut store = ParamStore::new();
+        let bi = BiGru::new(&mut store, "b", 3, 4, &mut rng);
+        let mut tape = Tape::new();
+        let x = tape.input(Matrix::randn(6, 3, 1.0, &mut rng));
+        let out = bi.forward(&mut tape, &store, x);
+        assert_eq!(tape.shape(out), (6, 8));
+        // the backward half of the first step must already see the whole
+        // sequence: forward half of step 0 only depends on x₀, so feeding a
+        // sequence differing only at the end changes only the bwd half
+        let mut tape2 = Tape::new();
+        let mut other = tape.value(x).clone();
+        other[(5, 0)] += 1.0;
+        let x2 = tape2.input(other);
+        let out2 = bi.forward(&mut tape2, &store, x2);
+        let row_a = tape.value(out).row(0).to_vec();
+        let row_b = tape2.value(out2).row(0).to_vec();
+        assert_eq!(row_a[..4], row_b[..4], "fwd half must match");
+        assert_ne!(row_a[4..], row_b[4..], "bwd half must differ");
+    }
+
+    #[test]
+    fn gru_learns_sequence_classification() {
+        // task: does the sum of the (single-feature) sequence exceed 0?
+        let mut rng = Rng::new(3);
+        let mut store = ParamStore::new();
+        let gru = Gru::new(&mut store, "g", 1, 8, &mut rng);
+        let head = Linear::new(&mut store, "head", 8, 1, &mut rng);
+        let mut opt = Adam::new(0.02);
+        let make_example = |rng: &mut Rng| {
+            let len = 3 + rng.below(4);
+            let vals: Vec<f32> = (0..len).map(|_| rng.normal()).collect();
+            let label = if vals.iter().sum::<f32>() > 0.0 { 1.0f32 } else { 0.0 };
+            (Matrix::from_vec(len, 1, vals), label)
+        };
+        for _ in 0..300 {
+            let mut grads = Grads::new();
+            for _ in 0..8 {
+                let (seq, label) = make_example(&mut rng);
+                let mut tape = Tape::new();
+                let x = tape.input(seq);
+                let states = gru.forward(&mut tape, &store, x, false);
+                let last = *states.last().unwrap();
+                let logit = head.forward(&mut tape, &store, last);
+                let loss = tape.bce_logits(logit, &[label]);
+                tape.backward(loss, &mut grads);
+            }
+            grads.scale(1.0 / 8.0);
+            opt.step(&mut store, &grads);
+        }
+        // evaluate
+        let mut correct = 0;
+        for _ in 0..100 {
+            let (seq, label) = make_example(&mut rng);
+            let mut tape = Tape::new();
+            let x = tape.input(seq);
+            let states = gru.forward(&mut tape, &store, x, false);
+            let last = *states.last().unwrap();
+            let logit = head.forward(&mut tape, &store, last);
+            let pred = tape.value(logit)[(0, 0)] > 0.0;
+            if pred == (label > 0.5) {
+                correct += 1;
+            }
+        }
+        assert!(correct >= 85, "accuracy {correct}/100");
+    }
+}

@@ -1,0 +1,909 @@
+//! The reverse-mode autodiff tape.
+//!
+//! A [`Tape`] is a growing list of nodes; each op appends one node holding
+//! its forward value and an [`Op`] record of how it was produced. Backward
+//! is a single reverse sweep dispatching on the op enum. Parameters enter
+//! through [`Tape::param`] (dense) or [`Tape::gather`] (row lookup into an
+//! embedding table — gradients stay sparse per batch).
+//!
+//! Everything is 2-D: sequences are `(len × dim)` matrices, scalars are
+//! `1 × 1`. Batches are handled by accumulating [`Grads`] across examples.
+
+use crate::params::{Grads, ParamId, ParamStore};
+use linalg::vector::sigmoid as sig;
+use linalg::Matrix;
+
+/// Handle to a node on a tape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TensorId(usize);
+
+const GELU_C: f32 = 0.797_884_6; // sqrt(2/π)
+const GELU_A: f32 = 0.044_715;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Input,
+    Param(ParamId),
+    Gather {
+        param: ParamId,
+        table_rows: usize,
+        indices: Vec<u32>,
+    },
+    MatMul(usize, usize),
+    Transpose(usize),
+    Add(usize, usize),
+    Sub(usize, usize),
+    Mul(usize, usize),
+    AddRow(usize, usize),
+    MulRow(usize, usize),
+    Scale(usize, f32),
+    Sigmoid(usize),
+    Tanh(usize),
+    Relu(usize),
+    Gelu(usize),
+    SoftmaxRows(usize),
+    LayerNormRows {
+        a: usize,
+        eps: f32,
+    },
+    MeanRows(usize),
+    MaxRows(usize),
+    ConcatCols(usize, usize),
+    ConcatRows(usize, usize),
+    Rows {
+        a: usize,
+        start: usize,
+    },
+    Dropout {
+        a: usize,
+        mask: Vec<f32>,
+    },
+    BceLogits {
+        a: usize,
+        targets: Vec<f32>,
+    },
+    CeLogitsRows {
+        a: usize,
+        targets: Vec<u32>,
+        weights: Vec<f32>,
+    },
+}
+
+struct Node {
+    value: Matrix,
+    op: Op,
+}
+
+/// A single forward computation and its recorded structure.
+#[derive(Default)]
+pub struct Tape {
+    nodes: Vec<Node>,
+}
+
+impl Tape {
+    /// Empty tape.
+    pub fn new() -> Self {
+        Self { nodes: Vec::new() }
+    }
+
+    fn push(&mut self, value: Matrix, op: Op) -> TensorId {
+        debug_assert!(value.all_finite(), "non-finite value from {op:?}");
+        self.nodes.push(Node { value, op });
+        TensorId(self.nodes.len() - 1)
+    }
+
+    /// Forward value of a node.
+    pub fn value(&self, id: TensorId) -> &Matrix {
+        &self.nodes[id.0].value
+    }
+
+    /// Shape of a node.
+    pub fn shape(&self, id: TensorId) -> (usize, usize) {
+        self.nodes[id.0].value.shape()
+    }
+
+    /// Number of nodes recorded so far.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    // ---- leaves ---------------------------------------------------------
+
+    /// Constant input (no gradient flows into it).
+    pub fn input(&mut self, value: Matrix) -> TensorId {
+        self.push(value, Op::Input)
+    }
+
+    /// Dense parameter leaf: value snapshot from the store, gradients
+    /// accumulate under its id.
+    pub fn param(&mut self, store: &ParamStore, id: ParamId) -> TensorId {
+        self.push(store.get(id).clone(), Op::Param(id))
+    }
+
+    /// Row lookup into an embedding table parameter. The forward value is
+    /// `(indices.len() × dim)`; the backward is a sparse row scatter.
+    pub fn gather(&mut self, store: &ParamStore, id: ParamId, indices: &[u32]) -> TensorId {
+        let table = store.get(id);
+        let rows: Vec<usize> = indices.iter().map(|&i| i as usize).collect();
+        let value = table.select_rows(&rows);
+        self.push(
+            value,
+            Op::Gather {
+                param: id,
+                table_rows: table.rows(),
+                indices: indices.to_vec(),
+            },
+        )
+    }
+
+    // ---- linear algebra ---------------------------------------------------
+
+    /// Matrix product.
+    pub fn matmul(&mut self, a: TensorId, b: TensorId) -> TensorId {
+        let v = self.nodes[a.0].value.matmul(&self.nodes[b.0].value);
+        self.push(v, Op::MatMul(a.0, b.0))
+    }
+
+    /// Transpose.
+    pub fn transpose(&mut self, a: TensorId) -> TensorId {
+        let v = self.nodes[a.0].value.transpose();
+        self.push(v, Op::Transpose(a.0))
+    }
+
+    /// Elementwise sum (same shape).
+    pub fn add(&mut self, a: TensorId, b: TensorId) -> TensorId {
+        let v = self.nodes[a.0].value.add(&self.nodes[b.0].value);
+        self.push(v, Op::Add(a.0, b.0))
+    }
+
+    /// Elementwise difference.
+    pub fn sub(&mut self, a: TensorId, b: TensorId) -> TensorId {
+        let v = self.nodes[a.0].value.sub(&self.nodes[b.0].value);
+        self.push(v, Op::Sub(a.0, b.0))
+    }
+
+    /// Elementwise (Hadamard) product.
+    pub fn mul(&mut self, a: TensorId, b: TensorId) -> TensorId {
+        let v = self.nodes[a.0].value.hadamard(&self.nodes[b.0].value);
+        self.push(v, Op::Mul(a.0, b.0))
+    }
+
+    /// Add a `1 × d` row vector to every row of `a`.
+    pub fn add_row(&mut self, a: TensorId, row: TensorId) -> TensorId {
+        let r = &self.nodes[row.0].value;
+        assert_eq!(r.rows(), 1, "add_row expects a 1×d row");
+        let mut v = self.nodes[a.0].value.clone();
+        for i in 0..v.rows() {
+            let dst = v.row_mut(i);
+            for (d, &s) in dst.iter_mut().zip(r.row(0)) {
+                *d += s;
+            }
+        }
+        self.push(v, Op::AddRow(a.0, row.0))
+    }
+
+    /// Multiply every row of `a` by a `1 × d` row vector.
+    pub fn mul_row(&mut self, a: TensorId, row: TensorId) -> TensorId {
+        let r = &self.nodes[row.0].value;
+        assert_eq!(r.rows(), 1, "mul_row expects a 1×d row");
+        let mut v = self.nodes[a.0].value.clone();
+        for i in 0..v.rows() {
+            let dst = v.row_mut(i);
+            for (d, &s) in dst.iter_mut().zip(r.row(0)) {
+                *d *= s;
+            }
+        }
+        self.push(v, Op::MulRow(a.0, row.0))
+    }
+
+    /// Multiply by a constant.
+    pub fn scale(&mut self, a: TensorId, c: f32) -> TensorId {
+        let v = self.nodes[a.0].value.scale(c);
+        self.push(v, Op::Scale(a.0, c))
+    }
+
+    // ---- nonlinearities ---------------------------------------------------
+
+    /// Logistic sigmoid.
+    pub fn sigmoid(&mut self, a: TensorId) -> TensorId {
+        let v = self.nodes[a.0].value.map(sig);
+        self.push(v, Op::Sigmoid(a.0))
+    }
+
+    /// Hyperbolic tangent.
+    pub fn tanh(&mut self, a: TensorId) -> TensorId {
+        let v = self.nodes[a.0].value.map(f32::tanh);
+        self.push(v, Op::Tanh(a.0))
+    }
+
+    /// Rectified linear unit.
+    pub fn relu(&mut self, a: TensorId) -> TensorId {
+        let v = self.nodes[a.0].value.map(|x| x.max(0.0));
+        self.push(v, Op::Relu(a.0))
+    }
+
+    /// GELU (tanh approximation), the transformer FFN activation.
+    pub fn gelu(&mut self, a: TensorId) -> TensorId {
+        let v = self.nodes[a.0].value.map(gelu_fwd);
+        self.push(v, Op::Gelu(a.0))
+    }
+
+    /// Row-wise softmax.
+    pub fn softmax_rows(&mut self, a: TensorId) -> TensorId {
+        let mut v = self.nodes[a.0].value.clone();
+        for i in 0..v.rows() {
+            linalg::vector::softmax_inplace(v.row_mut(i));
+        }
+        self.push(v, Op::SoftmaxRows(a.0))
+    }
+
+    /// Row-wise layer normalization (no affine part — compose with
+    /// [`Tape::mul_row`] / [`Tape::add_row`] for γ and β).
+    pub fn layer_norm_rows(&mut self, a: TensorId, eps: f32) -> TensorId {
+        let x = &self.nodes[a.0].value;
+        let mut v = Matrix::zeros(x.rows(), x.cols());
+        for i in 0..x.rows() {
+            let row = x.row(i);
+            let mean = linalg::vector::mean(row);
+            let var =
+                row.iter().map(|&r| (r - mean) * (r - mean)).sum::<f32>() / row.len() as f32;
+            let inv_std = 1.0 / (var + eps).sqrt();
+            let dst = v.row_mut(i);
+            for (d, &r) in dst.iter_mut().zip(row) {
+                *d = (r - mean) * inv_std;
+            }
+        }
+        self.push(v, Op::LayerNormRows { a: a.0, eps })
+    }
+
+    // ---- shape ops --------------------------------------------------------
+
+    /// Mean over rows: `(n × d)` → `(1 × d)`.
+    pub fn mean_rows(&mut self, a: TensorId) -> TensorId {
+        let x = &self.nodes[a.0].value;
+        let means = x.col_means();
+        self.push(Matrix::from_vec(1, x.cols(), means), Op::MeanRows(a.0))
+    }
+
+    /// Column-wise maximum over rows: `(n × d)` → `(1 × d)`.
+    pub fn max_rows(&mut self, a: TensorId) -> TensorId {
+        let x = &self.nodes[a.0].value;
+        let mut maxs = vec![f32::NEG_INFINITY; x.cols()];
+        for row in x.rows_iter() {
+            for (m, &v) in maxs.iter_mut().zip(row) {
+                *m = m.max(v);
+            }
+        }
+        self.push(Matrix::from_vec(1, x.cols(), maxs), Op::MaxRows(a.0))
+    }
+
+    /// Horizontal concatenation.
+    pub fn concat_cols(&mut self, a: TensorId, b: TensorId) -> TensorId {
+        let v = self.nodes[a.0].value.hstack(&self.nodes[b.0].value);
+        self.push(v, Op::ConcatCols(a.0, b.0))
+    }
+
+    /// Vertical concatenation.
+    pub fn concat_rows(&mut self, a: TensorId, b: TensorId) -> TensorId {
+        let v = self.nodes[a.0].value.vstack(&self.nodes[b.0].value);
+        self.push(v, Op::ConcatRows(a.0, b.0))
+    }
+
+    /// Contiguous row slice `[start, start+len)`.
+    pub fn rows(&mut self, a: TensorId, start: usize, len: usize) -> TensorId {
+        let x = &self.nodes[a.0].value;
+        assert!(start + len <= x.rows(), "row slice out of range");
+        let idx: Vec<usize> = (start..start + len).collect();
+        self.push(x.select_rows(&idx), Op::Rows { a: a.0, start })
+    }
+
+    /// Inverted dropout with the given keep mask (1/keep_prob or 0 per
+    /// entry). Pass the mask explicitly so training loops own the RNG.
+    pub fn dropout(&mut self, a: TensorId, mask: Vec<f32>) -> TensorId {
+        let x = &self.nodes[a.0].value;
+        assert_eq!(mask.len(), x.len(), "dropout mask length mismatch");
+        let mut v = x.clone();
+        for (d, &m) in v.as_mut_slice().iter_mut().zip(&mask) {
+            *d *= m;
+        }
+        self.push(v, Op::Dropout { a: a.0, mask })
+    }
+
+    // ---- losses -----------------------------------------------------------
+
+    /// Mean binary cross-entropy over logits `(n × 1)` against targets.
+    pub fn bce_logits(&mut self, a: TensorId, targets: &[f32]) -> TensorId {
+        let x = &self.nodes[a.0].value;
+        assert_eq!(x.cols(), 1, "bce_logits expects n×1 logits");
+        assert_eq!(x.rows(), targets.len(), "target length mismatch");
+        let mut loss = 0.0f64;
+        for (i, &t) in targets.iter().enumerate() {
+            let z = x[(i, 0)];
+            // stable: max(z,0) − z·t + ln(1 + e^{−|z|})
+            loss += (z.max(0.0) - z * t + (-z.abs()).exp().ln_1p()) as f64;
+        }
+        let v = Matrix::from_vec(1, 1, vec![(loss / targets.len() as f64) as f32]);
+        self.push(
+            v,
+            Op::BceLogits {
+                a: a.0,
+                targets: targets.to_vec(),
+            },
+        )
+    }
+
+    /// Weighted mean cross-entropy over row logits `(n × V)` with integer
+    /// targets; rows with weight 0 are ignored (the MLM objective masks
+    /// most positions out).
+    pub fn ce_logits_rows(&mut self, a: TensorId, targets: &[u32], weights: &[f32]) -> TensorId {
+        let x = &self.nodes[a.0].value;
+        assert_eq!(x.rows(), targets.len(), "target length mismatch");
+        assert_eq!(x.rows(), weights.len(), "weight length mismatch");
+        let wsum: f32 = weights.iter().sum();
+        let mut loss = 0.0f64;
+        if wsum > 0.0 {
+            for i in 0..x.rows() {
+                if weights[i] == 0.0 {
+                    continue;
+                }
+                let row = x.row(i);
+                let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+                let logsum: f32 =
+                    row.iter().map(|&v| (v - max).exp()).sum::<f32>().ln() + max;
+                loss += (weights[i] * (logsum - row[targets[i] as usize])) as f64;
+            }
+            loss /= wsum as f64;
+        }
+        let v = Matrix::from_vec(1, 1, vec![loss as f32]);
+        self.push(
+            v,
+            Op::CeLogitsRows {
+                a: a.0,
+                targets: targets.to_vec(),
+                weights: weights.to_vec(),
+            },
+        )
+    }
+
+    // ---- backward -----------------------------------------------------------
+
+    /// Reverse sweep from `loss` (must be `1 × 1`), accumulating parameter
+    /// gradients into `grads`.
+    pub fn backward(&self, loss: TensorId, grads: &mut Grads) {
+        assert_eq!(self.shape(loss), (1, 1), "loss must be a scalar");
+        let mut adj: Vec<Option<Matrix>> = vec![None; self.nodes.len()];
+        adj[loss.0] = Some(Matrix::full(1, 1, 1.0));
+        for i in (0..=loss.0).rev() {
+            let Some(g) = adj[i].take() else { continue };
+            match &self.nodes[i].op {
+                Op::Input => {}
+                Op::Param(id) => grads.accumulate(*id, &g),
+                Op::Gather {
+                    param,
+                    table_rows,
+                    indices,
+                } => {
+                    // sparse scatter: build a zero table once, add rows
+                    let mut table_grad = Matrix::zeros(*table_rows, g.cols());
+                    for (r, &idx) in indices.iter().enumerate() {
+                        let src = g.row(r).to_vec();
+                        let dst = table_grad.row_mut(idx as usize);
+                        for (d, s) in dst.iter_mut().zip(src) {
+                            *d += s;
+                        }
+                    }
+                    grads.accumulate(*param, &table_grad);
+                }
+                Op::MatMul(a, b) => {
+                    let bt = self.nodes[*b].value.transpose();
+                    add_adj(&mut adj, *a, &g.matmul(&bt));
+                    let at = self.nodes[*a].value.transpose();
+                    add_adj(&mut adj, *b, &at.matmul(&g));
+                }
+                Op::Transpose(a) => add_adj(&mut adj, *a, &g.transpose()),
+                Op::Add(a, b) => {
+                    add_adj(&mut adj, *a, &g);
+                    add_adj(&mut adj, *b, &g);
+                }
+                Op::Sub(a, b) => {
+                    add_adj(&mut adj, *a, &g);
+                    add_adj(&mut adj, *b, &g.scale(-1.0));
+                }
+                Op::Mul(a, b) => {
+                    add_adj(&mut adj, *a, &g.hadamard(&self.nodes[*b].value));
+                    add_adj(&mut adj, *b, &g.hadamard(&self.nodes[*a].value));
+                }
+                Op::AddRow(a, row) => {
+                    add_adj(&mut adj, *a, &g);
+                    let sums = col_sums(&g);
+                    add_adj(&mut adj, *row, &sums);
+                }
+                Op::MulRow(a, row) => {
+                    // da = g ∘ broadcast(row); drow = colsum(g ∘ a)
+                    let rvals = self.nodes[*row].value.row(0).to_vec();
+                    let mut da = g.clone();
+                    for r in 0..da.rows() {
+                        let dst = da.row_mut(r);
+                        for (d, &rv) in dst.iter_mut().zip(&rvals) {
+                            *d *= rv;
+                        }
+                    }
+                    add_adj(&mut adj, *a, &da);
+                    let ga = g.hadamard(&self.nodes[*a].value);
+                    add_adj(&mut adj, *row, &col_sums(&ga));
+                }
+                Op::Scale(a, c) => add_adj(&mut adj, *a, &g.scale(*c)),
+                Op::Sigmoid(a) => {
+                    let s = &self.nodes[i].value;
+                    let da = g.zip(s, |gv, sv| gv * sv * (1.0 - sv));
+                    add_adj(&mut adj, *a, &da);
+                }
+                Op::Tanh(a) => {
+                    let t = &self.nodes[i].value;
+                    let da = g.zip(t, |gv, tv| gv * (1.0 - tv * tv));
+                    add_adj(&mut adj, *a, &da);
+                }
+                Op::Relu(a) => {
+                    let x = &self.nodes[*a].value;
+                    let da = g.zip(x, |gv, xv| if xv > 0.0 { gv } else { 0.0 });
+                    add_adj(&mut adj, *a, &da);
+                }
+                Op::Gelu(a) => {
+                    let x = &self.nodes[*a].value;
+                    let da = g.zip(x, |gv, xv| gv * gelu_bwd(xv));
+                    add_adj(&mut adj, *a, &da);
+                }
+                Op::SoftmaxRows(a) => {
+                    let s = &self.nodes[i].value;
+                    let mut da = Matrix::zeros(s.rows(), s.cols());
+                    for r in 0..s.rows() {
+                        let srow = s.row(r);
+                        let grow = g.row(r);
+                        let dot = linalg::vector::dot(srow, grow);
+                        let dst = da.row_mut(r);
+                        for ((d, &sv), &gv) in dst.iter_mut().zip(srow).zip(grow) {
+                            *d = sv * (gv - dot);
+                        }
+                    }
+                    add_adj(&mut adj, *a, &da);
+                }
+                Op::LayerNormRows { a, eps } => {
+                    let x = &self.nodes[*a].value;
+                    let y = &self.nodes[i].value;
+                    let d = x.cols() as f32;
+                    let mut da = Matrix::zeros(x.rows(), x.cols());
+                    for r in 0..x.rows() {
+                        let xrow = x.row(r);
+                        let yrow = y.row(r);
+                        let grow = g.row(r);
+                        let mean = linalg::vector::mean(xrow);
+                        let var = xrow.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>()
+                            / d;
+                        let inv_std = 1.0 / (var + eps).sqrt();
+                        let g_mean = linalg::vector::mean(grow);
+                        let gy_mean = linalg::vector::dot(grow, yrow) / d;
+                        let dst = da.row_mut(r);
+                        for ((dd, &gv), &yv) in dst.iter_mut().zip(grow).zip(yrow) {
+                            *dd = inv_std * (gv - g_mean - yv * gy_mean);
+                        }
+                    }
+                    add_adj(&mut adj, *a, &da);
+                }
+                Op::MaxRows(a) => {
+                    // gradient routes to the first row attaining the max
+                    let x = &self.nodes[*a].value;
+                    let out = &self.nodes[i].value;
+                    let mut da = Matrix::zeros(x.rows(), x.cols());
+                    for c in 0..x.cols() {
+                        for r in 0..x.rows() {
+                            if x[(r, c)] == out[(0, c)] {
+                                da[(r, c)] = g[(0, c)];
+                                break;
+                            }
+                        }
+                    }
+                    add_adj(&mut adj, *a, &da);
+                }
+                Op::MeanRows(a) => {
+                    let n = self.nodes[*a].value.rows();
+                    let mut da = Matrix::zeros(n, g.cols());
+                    let inv = 1.0 / n as f32;
+                    for r in 0..n {
+                        let dst = da.row_mut(r);
+                        for (d, &gv) in dst.iter_mut().zip(g.row(0)) {
+                            *d = gv * inv;
+                        }
+                    }
+                    add_adj(&mut adj, *a, &da);
+                }
+                Op::ConcatCols(a, b) => {
+                    let ca = self.nodes[*a].value.cols();
+                    let idx_a: Vec<usize> = (0..ca).collect();
+                    let idx_b: Vec<usize> = (ca..g.cols()).collect();
+                    add_adj(&mut adj, *a, &g.select_cols(&idx_a));
+                    add_adj(&mut adj, *b, &g.select_cols(&idx_b));
+                }
+                Op::ConcatRows(a, b) => {
+                    let ra = self.nodes[*a].value.rows();
+                    let idx_a: Vec<usize> = (0..ra).collect();
+                    let idx_b: Vec<usize> = (ra..g.rows()).collect();
+                    add_adj(&mut adj, *a, &g.select_rows(&idx_a));
+                    add_adj(&mut adj, *b, &g.select_rows(&idx_b));
+                }
+                Op::Rows { a, start } => {
+                    let full = &self.nodes[*a].value;
+                    let mut da = Matrix::zeros(full.rows(), full.cols());
+                    for r in 0..g.rows() {
+                        let src = g.row(r).to_vec();
+                        let dst = da.row_mut(start + r);
+                        dst.copy_from_slice(&src);
+                    }
+                    add_adj(&mut adj, *a, &da);
+                }
+                Op::Dropout { a, mask } => {
+                    let mut da = g.clone();
+                    for (d, &m) in da.as_mut_slice().iter_mut().zip(mask) {
+                        *d *= m;
+                    }
+                    add_adj(&mut adj, *a, &da);
+                }
+                Op::BceLogits { a, targets } => {
+                    let x = &self.nodes[*a].value;
+                    let scale = g[(0, 0)] / targets.len() as f32;
+                    let mut da = Matrix::zeros(x.rows(), 1);
+                    for (r, &t) in targets.iter().enumerate() {
+                        da[(r, 0)] = (sig(x[(r, 0)]) - t) * scale;
+                    }
+                    add_adj(&mut adj, *a, &da);
+                }
+                Op::CeLogitsRows { a, targets, weights } => {
+                    let x = &self.nodes[*a].value;
+                    let wsum: f32 = weights.iter().sum();
+                    if wsum > 0.0 {
+                        let scale = g[(0, 0)] / wsum;
+                        let mut da = Matrix::zeros(x.rows(), x.cols());
+                        for r in 0..x.rows() {
+                            if weights[r] == 0.0 {
+                                continue;
+                            }
+                            let probs = linalg::vector::softmax(x.row(r));
+                            let dst = da.row_mut(r);
+                            for (c, (d, p)) in dst.iter_mut().zip(probs).enumerate() {
+                                let onehot = if c == targets[r] as usize { 1.0 } else { 0.0 };
+                                *d = weights[r] * scale * (p - onehot);
+                            }
+                        }
+                        add_adj(&mut adj, *a, &da);
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn add_adj(adj: &mut [Option<Matrix>], idx: usize, g: &Matrix) {
+    match &mut adj[idx] {
+        Some(existing) => existing.axpy(1.0, g),
+        slot @ None => *slot = Some(g.clone()),
+    }
+}
+
+fn col_sums(m: &Matrix) -> Matrix {
+    let mut sums = vec![0.0f32; m.cols()];
+    for row in m.rows_iter() {
+        for (s, &v) in sums.iter_mut().zip(row) {
+            *s += v;
+        }
+    }
+    Matrix::from_vec(1, m.cols(), sums)
+}
+
+fn gelu_fwd(x: f32) -> f32 {
+    0.5 * x * (1.0 + (GELU_C * (x + GELU_A * x * x * x)).tanh())
+}
+
+fn gelu_bwd(x: f32) -> f32 {
+    let u = GELU_C * (x + GELU_A * x * x * x);
+    let t = u.tanh();
+    let du = GELU_C * (1.0 + 3.0 * GELU_A * x * x);
+    0.5 * (1.0 + t) + 0.5 * x * (1.0 - t * t) * du
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use linalg::Rng;
+
+    /// Numerically check d(loss)/d(param) for a builder function.
+    fn check_grad(
+        build: impl Fn(&mut Tape, &ParamStore, ParamId) -> TensorId,
+        param_shape: (usize, usize),
+        seed: u64,
+        tol: f32,
+    ) {
+        let mut rng = Rng::new(seed);
+        let mut store = ParamStore::new();
+        let w = store.add(
+            "w",
+            Matrix::randn(param_shape.0, param_shape.1, 0.5, &mut rng),
+        );
+        // analytic gradient
+        let mut tape = Tape::new();
+        let loss = build(&mut tape, &store, w);
+        let mut grads = Grads::new();
+        tape.backward(loss, &mut grads);
+        let analytic = grads.get(w).expect("gradient exists").clone();
+        // numeric gradient (central differences)
+        let eps = 1e-2f32;
+        for i in 0..param_shape.0 {
+            for j in 0..param_shape.1 {
+                let orig = store.get(w)[(i, j)];
+                store.get_mut(w)[(i, j)] = orig + eps;
+                let mut tp = Tape::new();
+                let lp_id = build(&mut tp, &store, w);
+                let lp = tp.value(lp_id)[(0, 0)];
+                store.get_mut(w)[(i, j)] = orig - eps;
+                let mut tm = Tape::new();
+                let lm_id = build(&mut tm, &store, w);
+                let lm = tm.value(lm_id)[(0, 0)];
+                store.get_mut(w)[(i, j)] = orig;
+                let numeric = (lp - lm) / (2.0 * eps);
+                let a = analytic[(i, j)];
+                assert!(
+                    (a - numeric).abs() < tol * (1.0 + numeric.abs()),
+                    "({i},{j}): analytic {a}, numeric {numeric}"
+                );
+            }
+        }
+    }
+
+    /// Reduce any matrix to a scalar via a fixed quadratic-free combination
+    /// (sum of entries) so losses are differentiable everywhere.
+    fn to_scalar(tape: &mut Tape, x: TensorId) -> TensorId {
+        let (r, c) = tape.shape(x);
+        let ones_r = tape.input(Matrix::full(1, r, 1.0));
+        let ones_c = tape.input(Matrix::full(c, 1, 1.0));
+        let s = tape.matmul(ones_r, x);
+        tape.matmul(s, ones_c)
+    }
+
+    #[test]
+    fn grad_matmul_chain() {
+        check_grad(
+            |tape, store, w| {
+                let x = tape.input(Matrix::from_vec(2, 3, vec![0.5, -1.0, 2.0, 1.5, 0.3, -0.7]));
+                let p = tape.param(store, w);
+                let h = tape.matmul(x, p);
+                to_scalar(tape, h)
+            },
+            (3, 2),
+            1,
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn grad_nonlinearities() {
+        for f in [0usize, 1, 2] {
+            check_grad(
+                move |tape, store, w| {
+                    let p = tape.param(store, w);
+                    let a = match f {
+                        0 => tape.sigmoid(p),
+                        1 => tape.tanh(p),
+                        _ => tape.gelu(p),
+                    };
+                    to_scalar(tape, a)
+                },
+                (2, 3),
+                10 + f as u64,
+                2e-2,
+            );
+        }
+    }
+
+    #[test]
+    fn grad_relu_away_from_kink() {
+        // relu is not differentiable at 0, so shift inputs clear of the kink
+        // before the numeric check
+        check_grad(
+            |tape, store, w| {
+                let p = tape.param(store, w);
+                let shift = tape.input(Matrix::full(2, 3, 2.0));
+                let up = tape.add(p, shift); // all positive side
+                let down = tape.sub(p, shift); // all negative side
+                let a = tape.relu(up);
+                let b = tape.relu(down);
+                let s = tape.add(a, b);
+                to_scalar(tape, s)
+            },
+            (2, 3),
+            13,
+            2e-2,
+        );
+    }
+
+    #[test]
+    fn grad_softmax_rows() {
+        check_grad(
+            |tape, store, w| {
+                let p = tape.param(store, w);
+                let s = tape.softmax_rows(p);
+                // weighted sum to break symmetry
+                let weights = tape.input(Matrix::from_vec(4, 1, vec![1.0, -2.0, 0.5, 3.0]));
+                let out = tape.matmul(s, weights);
+                to_scalar(tape, out)
+            },
+            (3, 4),
+            20,
+            2e-2,
+        );
+    }
+
+    #[test]
+    fn grad_layer_norm() {
+        check_grad(
+            |tape, store, w| {
+                let p = tape.param(store, w);
+                let n = tape.layer_norm_rows(p, 1e-5);
+                let weights = tape.input(Matrix::from_vec(5, 1, vec![1.0, -1.0, 2.0, 0.5, -0.3]));
+                let out = tape.matmul(n, weights);
+                to_scalar(tape, out)
+            },
+            (2, 5),
+            30,
+            5e-2,
+        );
+    }
+
+    #[test]
+    fn grad_max_rows_routes_to_argmax() {
+        let mut store = ParamStore::new();
+        let w = store.add(
+            "w",
+            Matrix::from_vec(3, 2, vec![1.0, 5.0, 4.0, 2.0, 0.5, 3.0]),
+        );
+        let mut tape = Tape::new();
+        let p = tape.param(&store, w);
+        let m = tape.max_rows(p);
+        let loss = to_scalar(&mut tape, m);
+        let mut grads = Grads::new();
+        tape.backward(loss, &mut grads);
+        let g = grads.get(w).unwrap();
+        // column maxima are (1,0)=?: col0 max is 4.0 at row 1; col1 max is
+        // 5.0 at row 0 — only those entries receive gradient
+        assert_eq!(g.as_slice(), &[0.0, 1.0, 1.0, 0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn grad_max_rows_numeric() {
+        // numeric check away from ties
+        check_grad(
+            |tape, store, w| {
+                let p = tape.param(store, w);
+                let scaled = tape.scale(p, 3.0); // spread values to avoid ties
+                let m = tape.max_rows(scaled);
+                to_scalar(tape, m)
+            },
+            (3, 4),
+            123,
+            2e-2,
+        );
+    }
+
+    #[test]
+    fn grad_bce_logits() {
+        check_grad(
+            |tape, store, w| {
+                let p = tape.param(store, w);
+                tape.bce_logits(p, &[1.0, 0.0, 1.0])
+            },
+            (3, 1),
+            40,
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn grad_ce_logits_rows_masked() {
+        check_grad(
+            |tape, store, w| {
+                let p = tape.param(store, w);
+                tape.ce_logits_rows(p, &[2, 0, 1], &[1.0, 0.0, 1.0])
+            },
+            (3, 4),
+            50,
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn grad_through_composite_ops() {
+        check_grad(
+            |tape, store, w| {
+                let p = tape.param(store, w); // 2×4
+                let t = tape.transpose(p); // 4×2
+                let top = tape.rows(t, 0, 2); // 2×2
+                let bottom = tape.rows(t, 2, 2); // 2×2
+                let merged = tape.add(top, bottom);
+                let wide = tape.concat_cols(merged, top); // 2×4
+                let stacked = tape.concat_rows(wide, wide); // 4×4
+                let mean = tape.mean_rows(stacked); // 1×4
+                to_scalar(tape, mean)
+            },
+            (2, 4),
+            60,
+            2e-2,
+        );
+    }
+
+    #[test]
+    fn grad_row_broadcast_ops() {
+        check_grad(
+            |tape, store, w| {
+                let x = tape.input(Matrix::from_vec(3, 2, vec![1.0, 2.0, -0.5, 0.7, 0.2, -1.2]));
+                let p = tape.param(store, w); // 1×2 row
+                let scaled = tape.mul_row(x, p);
+                let shifted = tape.add_row(scaled, p);
+                to_scalar(tape, shifted)
+            },
+            (1, 2),
+            70,
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn grad_gather_scatters_sparsely() {
+        let mut rng = Rng::new(80);
+        let mut store = ParamStore::new();
+        let table = store.add("emb", Matrix::randn(5, 3, 0.5, &mut rng));
+        let mut tape = Tape::new();
+        let looked = tape.gather(&store, table, &[1, 3, 1]);
+        let loss = {
+            let ones_r = tape.input(Matrix::full(1, 3, 1.0));
+            let ones_c = tape.input(Matrix::full(3, 1, 1.0));
+            let s = tape.matmul(ones_r, looked);
+            tape.matmul(s, ones_c)
+        };
+        let mut grads = Grads::new();
+        tape.backward(loss, &mut grads);
+        let g = grads.get(table).unwrap();
+        // rows 1 (hit twice) and 3 (once) carry gradient, others zero
+        assert_eq!(g.row(0), &[0.0, 0.0, 0.0]);
+        assert_eq!(g.row(1), &[2.0, 2.0, 2.0]);
+        assert_eq!(g.row(2), &[0.0, 0.0, 0.0]);
+        assert_eq!(g.row(3), &[1.0, 1.0, 1.0]);
+        assert_eq!(g.row(4), &[0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn dropout_scales_and_masks() {
+        let mut tape = Tape::new();
+        let x = tape.input(Matrix::from_vec(1, 4, vec![1.0, 2.0, 3.0, 4.0]));
+        let d = tape.dropout(x, vec![2.0, 0.0, 2.0, 0.0]);
+        assert_eq!(tape.value(d).as_slice(), &[2.0, 0.0, 6.0, 0.0]);
+    }
+
+    #[test]
+    fn values_reusable_multiple_times() {
+        // a node consumed by two ops must receive both adjoint contributions
+        check_grad(
+            |tape, store, w| {
+                let p = tape.param(store, w);
+                let a = tape.sigmoid(p);
+                let b = tape.tanh(p);
+                let s = tape.add(a, b);
+                to_scalar(tape, s)
+            },
+            (2, 2),
+            90,
+            2e-2,
+        );
+    }
+}

@@ -1,0 +1,382 @@
+//! Transformer encoders with the architecture knobs that distinguish the
+//! five pretrained families the paper evaluates (§4, Table 3):
+//!
+//! | family | distinguishing trait | config knob |
+//! |---|---|---|
+//! | BERT | baseline post-LN encoder, learned absolute positions | — |
+//! | DistilBERT | half the layers | `layers` |
+//! | ALBERT | cross-layer parameter sharing + factorized embedding | `share_layers`, `factorized_embedding` |
+//! | RoBERTa | larger vocabulary, no next-sentence machinery | set by `embed` |
+//! | XLNet | relative position bias instead of absolute positions | `relative_positions` |
+
+use crate::attention::{MultiHeadAttention, RelativePositionBias};
+use crate::layers::{Embedding, LayerNorm, Linear};
+use crate::params::ParamStore;
+use crate::tape::{Tape, TensorId};
+use linalg::Rng;
+
+/// Architecture hyperparameters of one encoder.
+#[derive(Debug, Clone, Copy)]
+pub struct TransformerConfig {
+    /// Vocabulary size.
+    pub vocab: usize,
+    /// Model width.
+    pub dim: usize,
+    /// Attention heads.
+    pub heads: usize,
+    /// Number of (logical) layers.
+    pub layers: usize,
+    /// Feed-forward inner width.
+    pub ffn_dim: usize,
+    /// Maximum sequence length (positions table size).
+    pub max_len: usize,
+    /// ALBERT-style: one physical block reused for every layer.
+    pub share_layers: bool,
+    /// ALBERT-style: token embeddings of this smaller width, projected up.
+    pub factorized_embedding: Option<usize>,
+    /// XLNet-style: relative position bias; otherwise learned absolute
+    /// position embeddings.
+    pub relative_positions: bool,
+}
+
+impl Default for TransformerConfig {
+    fn default() -> Self {
+        Self {
+            vocab: 1000,
+            dim: 64,
+            heads: 4,
+            layers: 4,
+            ffn_dim: 128,
+            max_len: 128,
+            share_layers: false,
+            factorized_embedding: None,
+            relative_positions: false,
+        }
+    }
+}
+
+/// One post-LN encoder block: self-attention and feed-forward sublayers,
+/// each wrapped in residual + layer norm.
+#[derive(Debug, Clone)]
+pub struct TransformerBlock {
+    attn: MultiHeadAttention,
+    ln1: LayerNorm,
+    ff1: Linear,
+    ff2: Linear,
+    ln2: LayerNorm,
+}
+
+impl TransformerBlock {
+    /// Register one block.
+    pub fn new(
+        store: &mut ParamStore,
+        name: &str,
+        dim: usize,
+        heads: usize,
+        ffn_dim: usize,
+        rng: &mut Rng,
+    ) -> Self {
+        Self {
+            attn: MultiHeadAttention::new(store, &format!("{name}.attn"), dim, heads, rng),
+            ln1: LayerNorm::new(store, &format!("{name}.ln1"), dim),
+            ff1: Linear::new(store, &format!("{name}.ff1"), dim, ffn_dim, rng),
+            ff2: Linear::new(store, &format!("{name}.ff2"), ffn_dim, dim, rng),
+            ln2: LayerNorm::new(store, &format!("{name}.ln2"), dim),
+        }
+    }
+
+    /// Apply the block to a `(len × dim)` sequence.
+    pub fn forward(
+        &self,
+        tape: &mut Tape,
+        store: &ParamStore,
+        x: TensorId,
+        pos_bias: Option<TensorId>,
+    ) -> TensorId {
+        let attended = self.attn.forward(tape, store, x, pos_bias);
+        let res1 = tape.add(x, attended);
+        let normed1 = self.ln1.forward(tape, store, res1);
+        let inner = self.ff1.forward(tape, store, normed1);
+        let activated = tape.gelu(inner);
+        let outer = self.ff2.forward(tape, store, activated);
+        let res2 = tape.add(normed1, outer);
+        self.ln2.forward(tape, store, res2)
+    }
+}
+
+/// A full encoder: embeddings, position information, stacked blocks and a
+/// weight-tied masked-LM head.
+pub struct TransformerEncoder {
+    /// Architecture configuration.
+    pub config: TransformerConfig,
+    token_emb: Embedding,
+    emb_proj: Option<Linear>,
+    pos_emb: Option<Embedding>,
+    rel_bias: Option<RelativePositionBias>,
+    blocks: Vec<TransformerBlock>,
+}
+
+impl TransformerEncoder {
+    /// Register all parameters of an encoder into `store`.
+    pub fn new(store: &mut ParamStore, config: TransformerConfig, rng: &mut Rng) -> Self {
+        let emb_dim = config.factorized_embedding.unwrap_or(config.dim);
+        let token_emb = Embedding::new(store, "tok", config.vocab, emb_dim, rng);
+        let emb_proj = config
+            .factorized_embedding
+            .map(|e| Linear::new(store, "embproj", e, config.dim, rng));
+        let (pos_emb, rel_bias) = if config.relative_positions {
+            (None, Some(RelativePositionBias::new(store, "rel", 32)))
+        } else {
+            (
+                Some(Embedding::new(store, "pos", config.max_len, config.dim, rng)),
+                None,
+            )
+        };
+        let physical_blocks = if config.share_layers { 1 } else { config.layers };
+        let blocks = (0..physical_blocks)
+            .map(|i| {
+                TransformerBlock::new(
+                    store,
+                    &format!("block{i}"),
+                    config.dim,
+                    config.heads,
+                    config.ffn_dim,
+                    rng,
+                )
+            })
+            .collect();
+        Self {
+            config,
+            token_emb,
+            emb_proj,
+            pos_emb,
+            rel_bias,
+            blocks,
+        }
+    }
+
+    /// Encode a token-id sequence into `(len × dim)` hidden states.
+    pub fn forward(&self, tape: &mut Tape, store: &ParamStore, ids: &[u32]) -> TensorId {
+        *self
+            .forward_layers(tape, store, ids)
+            .last()
+            .expect("at least one layer")
+    }
+
+    /// Encode and return the hidden states of **every layer** (index 0 =
+    /// first block's output … last = final output). The combiner ablation
+    /// concatenates the last four.
+    pub fn forward_layers(
+        &self,
+        tape: &mut Tape,
+        store: &ParamStore,
+        ids: &[u32],
+    ) -> Vec<TensorId> {
+        assert!(!ids.is_empty(), "cannot encode an empty sequence");
+        let len = ids.len().min(self.config.max_len);
+        let ids = &ids[..len];
+        let mut x = self.token_emb.forward(tape, store, ids);
+        if let Some(proj) = &self.emb_proj {
+            x = proj.forward(tape, store, x);
+        }
+        if let Some(pos) = &self.pos_emb {
+            let positions: Vec<u32> = (0..len as u32).collect();
+            let p = pos.forward(tape, store, &positions);
+            x = tape.add(x, p);
+        }
+        let pos_bias = self
+            .rel_bias
+            .as_ref()
+            .map(|rb| rb.forward(tape, store, len));
+        let mut layer_outputs = Vec::with_capacity(self.config.layers);
+        for layer in 0..self.config.layers {
+            let block = if self.config.share_layers {
+                &self.blocks[0]
+            } else {
+                &self.blocks[layer]
+            };
+            x = block.forward(tape, store, x, pos_bias);
+            layer_outputs.push(x);
+        }
+        layer_outputs
+    }
+
+    /// Raw token embeddings `(len × emb_width)` — no positions, no layers.
+    /// Used by pooling readouts that need position-free content vectors.
+    pub fn token_embeddings(&self, tape: &mut Tape, store: &ParamStore, ids: &[u32]) -> TensorId {
+        let len = ids.len().min(self.config.max_len);
+        self.token_emb.forward(tape, store, &ids[..len])
+    }
+
+    /// Width of the raw token embeddings.
+    pub fn token_embed_dim(&self) -> usize {
+        self.config.factorized_embedding.unwrap_or(self.config.dim)
+    }
+
+    /// Masked-LM logits `(len × vocab)` with weights tied to the token
+    /// embedding table (requires no factorized embedding, or applies the
+    /// projection transpose implicitly by scoring in embedding space).
+    pub fn mlm_logits(
+        &self,
+        tape: &mut Tape,
+        store: &ParamStore,
+        hidden: TensorId,
+    ) -> TensorId {
+        let table = tape.param(store, self.token_emb.table());
+        let table_t = tape.transpose(table);
+        match &self.emb_proj {
+            None => tape.matmul(hidden, table_t),
+            Some(proj) => {
+                // project hidden back to the embedding width via the same
+                // projection (transposed), then score against the table
+                let w_t = {
+                    let w = tape.param(store, proj_weight(proj));
+                    tape.transpose(w)
+                };
+                let down = tape.matmul(hidden, w_t);
+                tape.matmul(down, table_t)
+            }
+        }
+    }
+
+    /// Number of trainable scalar weights (for reports).
+    pub fn n_weights(&self, store: &ParamStore) -> usize {
+        store.n_weights()
+    }
+}
+
+fn proj_weight(l: &Linear) -> crate::params::ParamId {
+    l.weight_id()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::Grads;
+
+    fn tiny_config() -> TransformerConfig {
+        TransformerConfig {
+            vocab: 50,
+            dim: 16,
+            heads: 2,
+            layers: 2,
+            ffn_dim: 32,
+            max_len: 20,
+            ..TransformerConfig::default()
+        }
+    }
+
+    #[test]
+    fn encoder_shapes() {
+        let mut rng = Rng::new(1);
+        let mut store = ParamStore::new();
+        let enc = TransformerEncoder::new(&mut store, tiny_config(), &mut rng);
+        let mut tape = Tape::new();
+        let h = enc.forward(&mut tape, &store, &[1, 5, 9, 3]);
+        assert_eq!(tape.shape(h), (4, 16));
+        let logits = enc.mlm_logits(&mut tape, &store, h);
+        assert_eq!(tape.shape(logits), (4, 50));
+    }
+
+    #[test]
+    fn sequences_longer_than_max_len_truncate() {
+        let mut rng = Rng::new(2);
+        let mut store = ParamStore::new();
+        let mut cfg = tiny_config();
+        cfg.max_len = 3;
+        let enc = TransformerEncoder::new(&mut store, cfg, &mut rng);
+        let mut tape = Tape::new();
+        let h = enc.forward(&mut tape, &store, &[1, 2, 3, 4, 5, 6]);
+        assert_eq!(tape.shape(h), (3, 16));
+    }
+
+    #[test]
+    fn shared_layers_have_fewer_params() {
+        let mut rng = Rng::new(3);
+        let mut store_full = ParamStore::new();
+        TransformerEncoder::new(&mut store_full, tiny_config(), &mut rng);
+        let mut store_shared = ParamStore::new();
+        let mut cfg = tiny_config();
+        cfg.share_layers = true;
+        TransformerEncoder::new(&mut store_shared, cfg, &mut rng);
+        assert!(
+            store_shared.n_weights() < store_full.n_weights(),
+            "{} !< {}",
+            store_shared.n_weights(),
+            store_full.n_weights()
+        );
+    }
+
+    #[test]
+    fn factorized_embedding_shrinks_table() {
+        let mut rng = Rng::new(4);
+        let mut cfg = tiny_config();
+        cfg.vocab = 500; // embedding-dominated
+        let mut full = ParamStore::new();
+        TransformerEncoder::new(&mut full, cfg, &mut rng);
+        cfg.factorized_embedding = Some(4);
+        let mut fact = ParamStore::new();
+        let enc = TransformerEncoder::new(&mut fact, cfg, &mut rng);
+        assert!(fact.n_weights() < full.n_weights());
+        // factorized MLM head still produces vocab-wide logits
+        let mut tape = Tape::new();
+        let h = enc.forward(&mut tape, &fact, &[1, 2]);
+        let logits = enc.mlm_logits(&mut tape, &fact, h);
+        assert_eq!(tape.shape(logits), (2, 500));
+    }
+
+    #[test]
+    fn relative_positions_replace_absolute() {
+        let mut rng = Rng::new(5);
+        let mut cfg = tiny_config();
+        cfg.relative_positions = true;
+        let mut store = ParamStore::new();
+        let enc = TransformerEncoder::new(&mut store, cfg, &mut rng);
+        // the bias table initializes to zero; give distances distinct values
+        // so position information actually flows
+        for id in store.ids().collect::<Vec<_>>() {
+            if store.name(id).contains("relpos") {
+                let t = store.get_mut(id);
+                for d in 0..t.rows() {
+                    // non-linear in d: a linear ramp would be softmax-shift-
+                    // invariant and invisible to the attention weights
+                    t[(d, 0)] = ((d * 37) % 11) as f32 * 0.3;
+                }
+            }
+        }
+        let mut tape = Tape::new();
+        // tokens [3,5,3]: without position information rows 0 and 2 would be
+        // exactly equal (same token, same attention score multiset); the
+        // asymmetric relative bias must break the tie
+        let h = enc.forward(&mut tape, &store, &[3, 5, 3]);
+        assert_eq!(tape.shape(h), (3, 16));
+        let v = tape.value(h);
+        assert_ne!(v.row(0), v.row(2));
+    }
+
+    #[test]
+    fn mlm_training_step_reduces_loss() {
+        let mut rng = Rng::new(6);
+        let mut store = ParamStore::new();
+        let enc = TransformerEncoder::new(&mut store, tiny_config(), &mut rng);
+        let ids = [2u32, 7, 4, 9, 1];
+        let targets = [2u32, 7, 8, 9, 1];
+        let weights = [0.0f32, 0.0, 1.0, 0.0, 0.0];
+        let loss_value = |store: &ParamStore| {
+            let mut tape = Tape::new();
+            let h = enc.forward(&mut tape, store, &ids);
+            let logits = enc.mlm_logits(&mut tape, store, h);
+            let loss = tape.ce_logits_rows(logits, &targets, &weights);
+            (tape.value(loss)[(0, 0)], tape, loss)
+        };
+        let (before, tape, loss) = loss_value(&store);
+        let mut grads = Grads::new();
+        tape.backward(loss, &mut grads);
+        let mut opt = crate::optim::Adam::new(0.01);
+        for _ in 0..10 {
+            opt.step(&mut store, &grads);
+        }
+        let (after, _, _) = loss_value(&store);
+        assert!(after < before, "{after} !< {before}");
+    }
+}

@@ -1,0 +1,25 @@
+//! # text — tokenization and string-similarity substrate
+//!
+//! Everything in the EM stack that touches raw strings lives here:
+//!
+//! * [`normalize`] — canonical lower-casing / punctuation stripping applied
+//!   before any tokenization, mirroring the preprocessing every EM system in
+//!   the paper's benchmark applies to Magellan records.
+//! * [`tokenize`] — whitespace/word tokenization.
+//! * [`subword`] — a greedy longest-match WordPiece-style subword tokenizer
+//!   plus the frequency-based vocabulary learner the transformer embedders
+//!   are built on (pretrained LMs consume subwords, not words).
+//! * [`vocab`] — integer vocabularies with special tokens.
+//! * [`similarity`] — classic string similarity measures (Levenshtein,
+//!   Jaccard, Jaro–Winkler, overlap, Monge–Elkan, cosine over token counts).
+//!   These power the raw-feature baseline and several tests.
+
+pub mod normalize;
+pub mod similarity;
+pub mod subword;
+pub mod tfidf;
+pub mod tokenize;
+pub mod vocab;
+
+pub use subword::{SubwordTokenizer, SubwordVocabBuilder};
+pub use vocab::Vocab;

@@ -1,0 +1,83 @@
+//! String normalization.
+//!
+//! All EM records pass through [`normalize`] before tokenization so that
+//! superficial differences (case, punctuation, repeated whitespace) never
+//! reach a model. This mirrors the canonical Magellan/DeepMatcher pipeline.
+
+/// Lowercase, map punctuation to spaces, collapse whitespace runs.
+///
+/// Digits and alphabetic characters are preserved; everything else becomes a
+/// separator. `"MacBook-Pro 13''"` → `"macbook pro 13"`.
+pub fn normalize(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut last_space = true;
+    for ch in s.chars() {
+        let mapped = if ch.is_alphanumeric() {
+            Some(ch.to_lowercase().next().unwrap_or(ch))
+        } else if ch.is_whitespace() || ch.is_ascii_punctuation() {
+            None
+        } else {
+            // keep other unicode (accented letters already matched above)
+            None
+        };
+        match mapped {
+            Some(c) => {
+                out.push(c);
+                last_space = false;
+            }
+            None => {
+                if !last_space {
+                    out.push(' ');
+                    last_space = true;
+                }
+            }
+        }
+    }
+    while out.ends_with(' ') {
+        out.pop();
+    }
+    out
+}
+
+/// True when the (already normalized) string parses as a number.
+pub fn is_numeric(s: &str) -> bool {
+    !s.is_empty() && s.parse::<f64>().is_ok()
+}
+
+/// Try to parse a normalized field as a number; `None` on failure or empty.
+pub fn parse_numeric(s: &str) -> Option<f64> {
+    let t = s.trim();
+    if t.is_empty() {
+        None
+    } else {
+        t.parse::<f64>().ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lowercases_and_strips() {
+        assert_eq!(normalize("MacBook-Pro 13''"), "macbook pro 13");
+        assert_eq!(normalize("  A   B\tC  "), "a b c");
+        assert_eq!(normalize(""), "");
+        assert_eq!(normalize("!!!"), "");
+    }
+
+    #[test]
+    fn keeps_digits() {
+        assert_eq!(normalize("USB 3.0 (Type-C)"), "usb 3 0 type c");
+    }
+
+    #[test]
+    fn numeric_detection() {
+        assert!(is_numeric("3.14"));
+        assert!(is_numeric("42"));
+        assert!(!is_numeric("3.0ghz"));
+        assert!(!is_numeric(""));
+        assert_eq!(parse_numeric(" 7.5 "), Some(7.5));
+        assert_eq!(parse_numeric("n/a"), None);
+    }
+}

@@ -1,0 +1,289 @@
+//! Classic string-similarity measures.
+//!
+//! These implement the similarity functions a Magellan-style feature
+//! generator computes per attribute pair. In the reproduction they feed the
+//! raw-AutoML baseline path (Table 2) for numeric/categorical features and
+//! several property-based tests; they are also reused by the dataset
+//! generators to validate that corrupted duplicates stay lexically close.
+//!
+//! All similarities return values in `[0, 1]`, 1 meaning identical.
+
+use std::collections::HashMap;
+
+/// Levenshtein edit distance (unit costs).
+pub fn levenshtein(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() {
+        return b.len();
+    }
+    if b.is_empty() {
+        return a.len();
+    }
+    // single-row DP
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0usize; b.len() + 1];
+    for (i, &ca) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, &cb) in b.iter().enumerate() {
+            let cost = usize::from(ca != cb);
+            cur[j + 1] = (prev[j] + cost).min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
+}
+
+/// Normalized Levenshtein similarity: `1 - dist / max_len`.
+pub fn levenshtein_sim(a: &str, b: &str) -> f64 {
+    let max_len = a.chars().count().max(b.chars().count());
+    if max_len == 0 {
+        return 1.0;
+    }
+    1.0 - levenshtein(a, b) as f64 / max_len as f64
+}
+
+/// Jaccard similarity over token multiset *supports* (set semantics).
+pub fn jaccard<T: std::hash::Hash + Eq>(a: &[T], b: &[T]) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    let sa: std::collections::HashSet<&T> = a.iter().collect();
+    let sb: std::collections::HashSet<&T> = b.iter().collect();
+    let inter = sa.intersection(&sb).count();
+    let union = sa.union(&sb).count();
+    inter as f64 / union as f64
+}
+
+/// Overlap coefficient: `|A ∩ B| / min(|A|, |B|)`.
+pub fn overlap<T: std::hash::Hash + Eq>(a: &[T], b: &[T]) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    let sa: std::collections::HashSet<&T> = a.iter().collect();
+    let sb: std::collections::HashSet<&T> = b.iter().collect();
+    let inter = sa.intersection(&sb).count();
+    inter as f64 / sa.len().min(sb.len()) as f64
+}
+
+/// Cosine similarity over token count vectors.
+pub fn cosine_tokens(a: &[String], b: &[String]) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    let mut ca: HashMap<&str, f64> = HashMap::new();
+    let mut cb: HashMap<&str, f64> = HashMap::new();
+    for t in a {
+        *ca.entry(t).or_insert(0.0) += 1.0;
+    }
+    for t in b {
+        *cb.entry(t).or_insert(0.0) += 1.0;
+    }
+    let dot: f64 = ca
+        .iter()
+        .filter_map(|(t, &x)| cb.get(t).map(|&y| x * y))
+        .sum();
+    let na: f64 = ca.values().map(|x| x * x).sum::<f64>().sqrt();
+    let nb: f64 = cb.values().map(|x| x * x).sum::<f64>().sqrt();
+    if na == 0.0 || nb == 0.0 {
+        return 0.0;
+    }
+    dot / (na * nb)
+}
+
+/// Jaro similarity.
+pub fn jaro(a: &str, b: &str) -> f64 {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    let window = (a.len().max(b.len()) / 2).saturating_sub(1);
+    let mut b_used = vec![false; b.len()];
+    let mut matches = 0usize;
+    let mut a_matched = Vec::new();
+    for (i, &ca) in a.iter().enumerate() {
+        let lo = i.saturating_sub(window);
+        let hi = (i + window + 1).min(b.len());
+        for j in lo..hi {
+            if !b_used[j] && b[j] == ca {
+                b_used[j] = true;
+                matches += 1;
+                a_matched.push(i);
+                break;
+            }
+        }
+    }
+    if matches == 0 {
+        return 0.0;
+    }
+    // transpositions: compare matched sequences in order
+    let b_matched: Vec<char> = b_used
+        .iter()
+        .enumerate()
+        .filter(|(_, &u)| u)
+        .map(|(j, _)| b[j])
+        .collect();
+    let transpositions = a_matched
+        .iter()
+        .zip(&b_matched)
+        .filter(|(&ai, &bc)| a[ai] != bc)
+        .count() as f64
+        / 2.0;
+    let m = matches as f64;
+    (m / a.len() as f64 + m / b.len() as f64 + (m - transpositions) / m) / 3.0
+}
+
+/// Jaro–Winkler similarity (prefix scale 0.1, max prefix 4).
+pub fn jaro_winkler(a: &str, b: &str) -> f64 {
+    let j = jaro(a, b);
+    let prefix = a
+        .chars()
+        .zip(b.chars())
+        .take(4)
+        .take_while(|(x, y)| x == y)
+        .count() as f64;
+    (j + prefix * 0.1 * (1.0 - j)).min(1.0)
+}
+
+/// Monge–Elkan similarity: for each token of `a`, the best Jaro–Winkler
+/// match in `b`, averaged. Asymmetric by definition; we symmetrize by
+/// averaging both directions.
+pub fn monge_elkan(a: &[String], b: &[String]) -> f64 {
+    fn directed(a: &[String], b: &[String]) -> f64 {
+        if a.is_empty() {
+            return if b.is_empty() { 1.0 } else { 0.0 };
+        }
+        if b.is_empty() {
+            return 0.0;
+        }
+        let mut total = 0.0;
+        for ta in a {
+            let best = b
+                .iter()
+                .map(|tb| jaro_winkler(ta, tb))
+                .fold(0.0f64, f64::max);
+            total += best;
+        }
+        total / a.len() as f64
+    }
+    (directed(a, b) + directed(b, a)) / 2.0
+}
+
+/// Relative numeric similarity: `1 - |a-b| / max(|a|, |b|)`, clamped to 0.
+pub fn numeric_sim(a: f64, b: f64) -> f64 {
+    if a == b {
+        return 1.0;
+    }
+    let denom = a.abs().max(b.abs());
+    if denom == 0.0 {
+        return 1.0;
+    }
+    (1.0 - (a - b).abs() / denom).max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_owned).collect()
+    }
+
+    #[test]
+    fn levenshtein_known() {
+        assert_eq!(levenshtein("kitten", "sitting"), 3);
+        assert_eq!(levenshtein("", "abc"), 3);
+        assert_eq!(levenshtein("abc", "abc"), 0);
+        assert_eq!(levenshtein("flaw", "lawn"), 2);
+    }
+
+    #[test]
+    fn levenshtein_sim_bounds() {
+        assert_eq!(levenshtein_sim("", ""), 1.0);
+        assert_eq!(levenshtein_sim("abc", "abc"), 1.0);
+        assert_eq!(levenshtein_sim("abc", "xyz"), 0.0);
+        let s = levenshtein_sim("apple", "aple");
+        assert!(s > 0.7 && s < 1.0);
+    }
+
+    #[test]
+    fn jaccard_cases() {
+        assert_eq!(jaccard::<String>(&[], &[]), 1.0);
+        assert_eq!(jaccard(&toks("a b c"), &toks("a b c")), 1.0);
+        assert_eq!(jaccard(&toks("a b"), &toks("c d")), 0.0);
+        assert!((jaccard(&toks("a b c"), &toks("b c d")) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overlap_cases() {
+        assert_eq!(overlap(&toks("a b"), &toks("a b c d")), 1.0);
+        assert_eq!(overlap(&toks("a"), &toks("b")), 0.0);
+        assert_eq!(overlap::<String>(&[], &toks("a")), 0.0);
+    }
+
+    #[test]
+    fn cosine_tokens_cases() {
+        assert!((cosine_tokens(&toks("a a b"), &toks("a a b")) - 1.0).abs() < 1e-12);
+        assert_eq!(cosine_tokens(&toks("a"), &toks("b")), 0.0);
+        let sim = cosine_tokens(&toks("red shoes"), &toks("red boots"));
+        assert!(sim > 0.0 && sim < 1.0);
+    }
+
+    #[test]
+    fn jaro_winkler_known() {
+        assert!((jaro("martha", "marhta") - 0.944444).abs() < 1e-4);
+        assert!((jaro_winkler("martha", "marhta") - 0.961111).abs() < 1e-4);
+        assert_eq!(jaro_winkler("abc", "abc"), 1.0);
+        assert_eq!(jaro("", ""), 1.0);
+        assert_eq!(jaro("a", ""), 0.0);
+    }
+
+    #[test]
+    fn jaro_winkler_prefix_boost() {
+        // same jaro, but shared prefix boosts winkler
+        let plain = jaro("prefixa", "prefixb");
+        let jw = jaro_winkler("prefixa", "prefixb");
+        assert!(jw > plain);
+    }
+
+    #[test]
+    fn monge_elkan_behaviour() {
+        let a = toks("john smith");
+        let b = toks("jon smyth");
+        let sim = monge_elkan(&a, &b);
+        assert!(sim > 0.7, "{sim}");
+        assert_eq!(monge_elkan(&a, &a), 1.0);
+        assert_eq!(monge_elkan(&[], &[]), 1.0);
+        assert_eq!(monge_elkan(&a, &[]), 0.0);
+    }
+
+    #[test]
+    fn numeric_sim_cases() {
+        assert_eq!(numeric_sim(5.0, 5.0), 1.0);
+        assert_eq!(numeric_sim(0.0, 0.0), 1.0);
+        assert!((numeric_sim(10.0, 9.0) - 0.9).abs() < 1e-12);
+        assert_eq!(numeric_sim(1.0, -100.0), 0.0);
+    }
+
+    #[test]
+    fn all_sims_bounded() {
+        let pairs = [("hello", "world"), ("abc", ""), ("aa", "aaa"), ("x", "x")];
+        for (a, b) in pairs {
+            for v in [
+                levenshtein_sim(a, b),
+                jaro(a, b),
+                jaro_winkler(a, b),
+                jaccard(&toks(a), &toks(b)),
+            ] {
+                assert!((0.0..=1.0).contains(&v), "{a} vs {b}: {v}");
+            }
+        }
+    }
+}

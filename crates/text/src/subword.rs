@@ -1,0 +1,269 @@
+//! WordPiece-style subword tokenization.
+//!
+//! The transformer families in `embed` consume **subword** sequences: rare
+//! words decompose into frequent fragments, so lexically similar values
+//! ("panasonic" / "panasonik") share most of their pieces — exactly the
+//! property that makes frozen transformer embeddings useful for EM.
+//!
+//! [`SubwordVocabBuilder`] learns a vocabulary from a corpus with a
+//! frequency-driven procedure (whole words above a threshold, then frequent
+//! prefixes/suffixes/infixes, then single characters as a fallback), and
+//! [`SubwordTokenizer`] applies greedy longest-match segmentation, the same
+//! inference algorithm real WordPiece uses.
+
+use crate::tokenize::words;
+use crate::vocab::Vocab;
+use std::collections::HashMap;
+
+/// Marker prefix for non-initial word pieces (`##ing`), as in WordPiece.
+pub const CONTINUATION: &str = "##";
+
+/// Learns a subword vocabulary from token frequencies.
+#[derive(Debug, Default)]
+pub struct SubwordVocabBuilder {
+    word_counts: HashMap<String, u64>,
+}
+
+impl SubwordVocabBuilder {
+    /// Empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Count every word of a raw (unnormalized) text.
+    pub fn feed_text(&mut self, text: &str) {
+        for w in words(text) {
+            *self.word_counts.entry(w).or_insert(0) += 1;
+        }
+    }
+
+    /// Count an already-tokenized word.
+    pub fn feed_word(&mut self, word: &str) {
+        *self.word_counts.entry(word.to_owned()).or_insert(0) += 1;
+    }
+
+    /// Build a vocabulary with at most `max_size` entries (including the
+    /// special tokens and the single-character fallback pieces).
+    ///
+    /// Selection order mirrors WordPiece training's outcome without its
+    /// expensive likelihood loop:
+    /// 1. all single characters seen (guarantees full coverage),
+    /// 2. whole words by descending frequency,
+    /// 3. word prefixes and `##`-continuations by descending frequency,
+    /// until the budget is exhausted.
+    pub fn build(&self, max_size: usize) -> Vocab {
+        let mut vocab = Vocab::new();
+
+        // 1. single-character coverage
+        let mut chars: HashMap<char, u64> = HashMap::new();
+        for (w, &c) in &self.word_counts {
+            for ch in w.chars() {
+                *chars.entry(ch).or_insert(0) += c;
+            }
+        }
+        let mut char_list: Vec<(char, u64)> = chars.into_iter().collect();
+        char_list.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        for (ch, _) in &char_list {
+            if vocab.len() >= max_size {
+                return vocab;
+            }
+            vocab.add(&ch.to_string());
+            vocab.add(&format!("{CONTINUATION}{ch}"));
+        }
+
+        // 2. whole words
+        let mut word_list: Vec<(&String, u64)> =
+            self.word_counts.iter().map(|(w, &c)| (w, c)).collect();
+        word_list.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
+        for (w, _) in word_list.iter().take((max_size * 3) / 4) {
+            if vocab.len() >= max_size {
+                return vocab;
+            }
+            vocab.add(w);
+        }
+
+        // 3. frequent fragments (prefixes and continuations up to 6 chars)
+        let mut frag_counts: HashMap<String, u64> = HashMap::new();
+        for (w, &c) in &self.word_counts {
+            let chars: Vec<char> = w.chars().collect();
+            let n = chars.len();
+            for len in 2..=6.min(n.saturating_sub(1)) {
+                let prefix: String = chars[..len].iter().collect();
+                *frag_counts.entry(prefix).or_insert(0) += c;
+                let suffix: String = chars[n - len..].iter().collect();
+                *frag_counts.entry(format!("{CONTINUATION}{suffix}")).or_insert(0) += c;
+            }
+        }
+        let mut frags: Vec<(String, u64)> = frag_counts.into_iter().collect();
+        frags.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        for (f, _) in frags {
+            if vocab.len() >= max_size {
+                break;
+            }
+            vocab.add(&f);
+        }
+        vocab
+    }
+}
+
+/// Greedy longest-match subword segmenter over a fixed vocabulary.
+#[derive(Debug, Clone)]
+pub struct SubwordTokenizer {
+    vocab: Vocab,
+    max_piece_len: usize,
+}
+
+impl SubwordTokenizer {
+    /// Wrap a vocabulary produced by [`SubwordVocabBuilder::build`].
+    pub fn new(vocab: Vocab) -> Self {
+        Self {
+            vocab,
+            max_piece_len: 24,
+        }
+    }
+
+    /// The wrapped vocabulary.
+    pub fn vocab(&self) -> &Vocab {
+        &self.vocab
+    }
+
+    /// Segment one (already normalized) word into pieces. A word whose
+    /// characters are not all covered degrades to `[UNK]` pieces per
+    /// unmatched character rather than dropping the word.
+    pub fn pieces(&self, word: &str) -> Vec<String> {
+        let chars: Vec<char> = word.chars().collect();
+        if chars.is_empty() {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        let mut start = 0;
+        while start < chars.len() {
+            let mut end = chars.len().min(start + self.max_piece_len);
+            let mut found = None;
+            while end > start {
+                let piece: String = chars[start..end].iter().collect();
+                let candidate = if start == 0 {
+                    piece
+                } else {
+                    format!("{CONTINUATION}{piece}")
+                };
+                if self.vocab.get(&candidate).is_some() {
+                    found = Some((candidate, end));
+                    break;
+                }
+                end -= 1;
+            }
+            match found {
+                Some((piece, next)) => {
+                    out.push(piece);
+                    start = next;
+                }
+                None => {
+                    out.push("[UNK]".to_owned());
+                    start += 1;
+                }
+            }
+        }
+        out
+    }
+
+    /// Tokenize raw text: normalize → words → pieces, flattened.
+    pub fn tokenize(&self, text: &str) -> Vec<String> {
+        let mut out = Vec::new();
+        for w in words(text) {
+            out.extend(self.pieces(&w));
+        }
+        out
+    }
+
+    /// Tokenize and encode to ids in one step.
+    pub fn encode(&self, text: &str) -> Vec<u32> {
+        self.tokenize(text).iter().map(|t| self.vocab.id(t)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn build_tok(corpus: &[&str], size: usize) -> SubwordTokenizer {
+        let mut b = SubwordVocabBuilder::new();
+        for t in corpus {
+            b.feed_text(t);
+        }
+        SubwordTokenizer::new(b.build(size))
+    }
+
+    #[test]
+    fn known_word_is_single_piece() {
+        let tok = build_tok(&["apple banana apple apple banana"], 200);
+        assert_eq!(tok.pieces("apple"), vec!["apple"]);
+    }
+
+    #[test]
+    fn unknown_word_decomposes() {
+        let tok = build_tok(&["playing played player play"], 400);
+        let pieces = tok.pieces("playable");
+        assert!(pieces.len() >= 2, "{pieces:?}");
+        // first piece has no continuation marker, later pieces do (or UNK)
+        assert!(!pieces[0].starts_with(CONTINUATION));
+        for p in &pieces[1..] {
+            assert!(p.starts_with(CONTINUATION) || p == "[UNK]", "{p}");
+        }
+    }
+
+    #[test]
+    fn coverage_never_empty_for_seen_chars() {
+        let tok = build_tok(&["abcdefghij"], 500);
+        // every word made of seen characters segments without UNK
+        let pieces = tok.pieces("cafebead");
+        assert!(pieces.iter().all(|p| p != "[UNK]"), "{pieces:?}");
+    }
+
+    #[test]
+    fn unseen_char_becomes_unk() {
+        let tok = build_tok(&["abc"], 100);
+        let pieces = tok.pieces("azb");
+        assert!(pieces.contains(&"[UNK]".to_owned()), "{pieces:?}");
+    }
+
+    #[test]
+    fn typo_decomposes_into_long_prefix_fragment() {
+        let tok = build_tok(
+            &["panasonic sony samsung panasonic panasonic camera camera lens"],
+            300,
+        );
+        // a corrupted variant should reuse a long prefix fragment of the
+        // frequent word rather than shattering into characters
+        let b = tok.pieces("panasonid");
+        assert!(
+            "panasonic".starts_with(&b[0]) && b[0].chars().count() >= 4,
+            "pieces: {b:?}"
+        );
+    }
+
+    #[test]
+    fn tokenize_flattens_and_normalizes() {
+        let tok = build_tok(&["red shoes blue shoes"], 200);
+        let toks = tok.tokenize("Red SHOES!");
+        assert_eq!(toks, vec!["red", "shoes"]);
+    }
+
+    #[test]
+    fn encode_matches_vocab_ids() {
+        let tok = build_tok(&["x y z"], 100);
+        let ids = tok.encode("x q");
+        assert_eq!(ids.len(), 2);
+        assert_eq!(ids[0], tok.vocab().id("x"));
+    }
+
+    #[test]
+    fn vocab_size_budget_respected() {
+        let mut b = SubwordVocabBuilder::new();
+        for i in 0..500 {
+            b.feed_word(&format!("word{i}"));
+        }
+        let v = b.build(64);
+        assert!(v.len() <= 64, "vocab size {}", v.len());
+    }
+}

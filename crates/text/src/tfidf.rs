@@ -1,0 +1,165 @@
+//! TF-IDF weighting and weighted token similarity.
+//!
+//! The raw-feature baseline and the blocking diagnostics benefit from
+//! frequency-aware comparisons: shared *rare* tokens ("xk450") are far
+//! stronger match evidence than shared frequent ones ("the", "series").
+//! [`TfIdf`] learns corpus statistics; [`TfIdf::cosine`] is the classic
+//! weighted cosine, and [`TfIdf::soft_jaccard`] a weighted overlap.
+
+use std::collections::HashMap;
+
+/// Corpus token statistics for TF-IDF weighting.
+#[derive(Debug, Clone, Default)]
+pub struct TfIdf {
+    doc_freq: HashMap<String, u32>,
+    n_docs: u32,
+}
+
+impl TfIdf {
+    /// Empty model.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Count one document's distinct tokens.
+    pub fn add_document(&mut self, tokens: &[String]) {
+        self.n_docs += 1;
+        let mut seen: Vec<&String> = tokens.iter().collect();
+        seen.sort();
+        seen.dedup();
+        for t in seen {
+            *self.doc_freq.entry(t.clone()).or_insert(0) += 1;
+        }
+    }
+
+    /// Fit from an iterator of documents.
+    pub fn fit<'a>(docs: impl IntoIterator<Item = &'a [String]>) -> Self {
+        let mut model = Self::new();
+        for d in docs {
+            model.add_document(d);
+        }
+        model
+    }
+
+    /// Number of documents seen.
+    pub fn n_docs(&self) -> u32 {
+        self.n_docs
+    }
+
+    /// Smoothed inverse document frequency of a token; unseen tokens get
+    /// the maximum weight.
+    pub fn idf(&self, token: &str) -> f64 {
+        let df = self.doc_freq.get(token).copied().unwrap_or(0) as f64;
+        ((self.n_docs as f64 + 1.0) / (df + 1.0)).ln() + 1.0
+    }
+
+    fn weights<'a>(&self, tokens: &'a [String]) -> HashMap<&'a str, f64> {
+        let mut tf: HashMap<&str, f64> = HashMap::new();
+        for t in tokens {
+            *tf.entry(t).or_insert(0.0) += 1.0;
+        }
+        for (t, w) in tf.iter_mut() {
+            *w *= self.idf(t);
+        }
+        tf
+    }
+
+    /// TF-IDF-weighted cosine similarity of two token lists, in `[0, 1]`.
+    pub fn cosine(&self, a: &[String], b: &[String]) -> f64 {
+        if a.is_empty() && b.is_empty() {
+            return 1.0;
+        }
+        let wa = self.weights(a);
+        let wb = self.weights(b);
+        let dot: f64 = wa
+            .iter()
+            .filter_map(|(t, &x)| wb.get(t).map(|&y| x * y))
+            .sum();
+        let na: f64 = wa.values().map(|x| x * x).sum::<f64>().sqrt();
+        let nb: f64 = wb.values().map(|x| x * x).sum::<f64>().sqrt();
+        if na == 0.0 || nb == 0.0 {
+            return 0.0;
+        }
+        (dot / (na * nb)).clamp(0.0, 1.0)
+    }
+
+    /// IDF-weighted Jaccard: shared weight over total weight.
+    pub fn soft_jaccard(&self, a: &[String], b: &[String]) -> f64 {
+        if a.is_empty() && b.is_empty() {
+            return 1.0;
+        }
+        let wa = self.weights(a);
+        let wb = self.weights(b);
+        let mut inter = 0.0;
+        let mut union = 0.0;
+        let mut keys: Vec<&str> = wa.keys().chain(wb.keys()).copied().collect();
+        keys.sort_unstable();
+        keys.dedup();
+        for k in keys {
+            let x = wa.get(k).copied().unwrap_or(0.0);
+            let y = wb.get(k).copied().unwrap_or(0.0);
+            inter += x.min(y);
+            union += x.max(y);
+        }
+        if union == 0.0 {
+            0.0
+        } else {
+            inter / union
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_owned).collect()
+    }
+
+    fn corpus_model() -> TfIdf {
+        let docs: Vec<Vec<String>> = vec![
+            toks("the sony camera"),
+            toks("the canon camera"),
+            toks("the nikon camera"),
+            toks("the xk450 special"),
+        ];
+        TfIdf::fit(docs.iter().map(Vec::as_slice))
+    }
+
+    #[test]
+    fn rare_tokens_weigh_more() {
+        let m = corpus_model();
+        assert!(m.idf("xk450") > m.idf("camera"));
+        assert!(m.idf("camera") > m.idf("the"));
+        // unseen token gets the max weight
+        assert!(m.idf("zzz") >= m.idf("xk450"));
+    }
+
+    #[test]
+    fn weighted_cosine_prefers_rare_overlap() {
+        let m = corpus_model();
+        // sharing the rare token beats sharing the common pair
+        let rare = m.cosine(&toks("xk450 lens"), &toks("xk450 body"));
+        let common = m.cosine(&toks("the camera lens"), &toks("the camera body"));
+        assert!(rare > common, "rare {rare} vs common {common}");
+    }
+
+    #[test]
+    fn identity_and_disjoint() {
+        let m = corpus_model();
+        let a = toks("sony xk450 camera");
+        assert!((m.cosine(&a, &a) - 1.0).abs() < 1e-12);
+        assert_eq!(m.cosine(&a, &toks("unrelated words")), 0.0);
+        assert!((m.soft_jaccard(&a, &a) - 1.0).abs() < 1e-12);
+        assert_eq!(m.soft_jaccard(&toks(""), &toks("")), 1.0);
+    }
+
+    #[test]
+    fn soft_jaccard_between_zero_and_one() {
+        let m = corpus_model();
+        let v = m.soft_jaccard(&toks("the sony camera"), &toks("the canon camera"));
+        assert!((0.0..=1.0).contains(&v));
+        assert!(v > 0.0 && v < 1.0);
+    }
+}

@@ -1,0 +1,56 @@
+//! Word-level tokenization.
+
+use crate::normalize::normalize;
+
+/// Split an already-normalized string on whitespace.
+pub fn whitespace(s: &str) -> Vec<String> {
+    s.split_whitespace().map(str::to_owned).collect()
+}
+
+/// Normalize then split: the standard word tokenizer of the stack.
+pub fn words(s: &str) -> Vec<String> {
+    whitespace(&normalize(s))
+}
+
+/// Character q-grams of a token (padded with `#`), the classic record-linkage
+/// representation for typo-tolerant set similarity.
+pub fn qgrams(token: &str, q: usize) -> Vec<String> {
+    assert!(q >= 1, "qgrams: q must be >= 1");
+    let padded: Vec<char> = std::iter::repeat_n('#', q - 1)
+        .chain(token.chars())
+        .chain(std::iter::repeat_n('#', q - 1))
+        .collect();
+    if padded.len() < q {
+        return Vec::new();
+    }
+    padded.windows(q).map(|w| w.iter().collect()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn words_pipeline() {
+        assert_eq!(words("Hello, World!"), vec!["hello", "world"]);
+        assert!(words("   ").is_empty());
+    }
+
+    #[test]
+    fn qgram_padding() {
+        let grams = qgrams("ab", 3);
+        assert_eq!(grams, vec!["##a", "#ab", "ab#", "b##"]);
+        assert_eq!(qgrams("a", 1), vec!["a"]);
+    }
+
+    #[test]
+    fn qgram_count_law() {
+        // with (q-1) padding each side, an n-char token yields n + q - 1 grams
+        for q in 1..=4usize {
+            for token in ["x", "abc", "abcdef"] {
+                let n = token.chars().count();
+                assert_eq!(qgrams(token, q).len(), n + q - 1);
+            }
+        }
+    }
+}

@@ -1,0 +1,154 @@
+//! Integer vocabularies with special tokens.
+//!
+//! Both the word2vec embedder and the transformer families map tokens to
+//! dense ids through a [`Vocab`]. Ids are stable for a given insertion order,
+//! and the first ids are always the special tokens, in the order of
+//! [`Vocab::SPECIALS`].
+
+use std::collections::HashMap;
+
+/// A bidirectional token ↔ id map.
+#[derive(Debug, Clone)]
+pub struct Vocab {
+    token_to_id: HashMap<String, u32>,
+    id_to_token: Vec<String>,
+}
+
+impl Vocab {
+    /// Special tokens present in every vocabulary, at fixed ids:
+    /// `[PAD]`=0, `[UNK]`=1, `[CLS]`=2, `[SEP]`=3, `[MASK]`=4.
+    pub const SPECIALS: [&'static str; 5] = ["[PAD]", "[UNK]", "[CLS]", "[SEP]", "[MASK]"];
+
+    /// Id of the padding token.
+    pub const PAD: u32 = 0;
+    /// Id of the unknown token.
+    pub const UNK: u32 = 1;
+    /// Id of the sequence-start token.
+    pub const CLS: u32 = 2;
+    /// Id of the separator token.
+    pub const SEP: u32 = 3;
+    /// Id of the mask token (used by the MLM pretraining objective).
+    pub const MASK: u32 = 4;
+
+    /// New vocabulary containing only the special tokens.
+    pub fn new() -> Self {
+        let mut v = Vocab {
+            token_to_id: HashMap::new(),
+            id_to_token: Vec::new(),
+        };
+        for s in Self::SPECIALS {
+            v.add(s);
+        }
+        v
+    }
+
+    /// Insert a token if absent; returns its id either way.
+    pub fn add(&mut self, token: &str) -> u32 {
+        if let Some(&id) = self.token_to_id.get(token) {
+            return id;
+        }
+        let id = self.id_to_token.len() as u32;
+        self.token_to_id.insert(token.to_owned(), id);
+        self.id_to_token.push(token.to_owned());
+        id
+    }
+
+    /// Id of `token`, or `UNK` when absent.
+    pub fn id(&self, token: &str) -> u32 {
+        self.token_to_id.get(token).copied().unwrap_or(Self::UNK)
+    }
+
+    /// Id of `token` only if present.
+    pub fn get(&self, token: &str) -> Option<u32> {
+        self.token_to_id.get(token).copied()
+    }
+
+    /// Token string for `id`; `"[UNK]"` for out-of-range ids.
+    pub fn token(&self, id: u32) -> &str {
+        self.id_to_token
+            .get(id as usize)
+            .map(String::as_str)
+            .unwrap_or("[UNK]")
+    }
+
+    /// Number of tokens, including specials.
+    pub fn len(&self) -> usize {
+        self.id_to_token.len()
+    }
+
+    /// Always false: a vocabulary at least contains the special tokens.
+    pub fn is_empty(&self) -> bool {
+        self.id_to_token.is_empty()
+    }
+
+    /// True when `token` is one of the special tokens.
+    pub fn is_special(token: &str) -> bool {
+        Self::SPECIALS.contains(&token)
+    }
+
+    /// Encode a token sequence to ids (absent tokens become `UNK`).
+    pub fn encode(&self, tokens: &[String]) -> Vec<u32> {
+        tokens.iter().map(|t| self.id(t)).collect()
+    }
+
+    /// Decode ids back to token strings.
+    pub fn decode(&self, ids: &[u32]) -> Vec<String> {
+        ids.iter().map(|&i| self.token(i).to_owned()).collect()
+    }
+
+    /// Iterate `(token, id)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, u32)> {
+        self.id_to_token
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (t.as_str(), i as u32))
+    }
+}
+
+impl Default for Vocab {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn specials_have_fixed_ids() {
+        let v = Vocab::new();
+        assert_eq!(v.id("[PAD]"), Vocab::PAD);
+        assert_eq!(v.id("[UNK]"), Vocab::UNK);
+        assert_eq!(v.id("[CLS]"), Vocab::CLS);
+        assert_eq!(v.id("[SEP]"), Vocab::SEP);
+        assert_eq!(v.id("[MASK]"), Vocab::MASK);
+        assert_eq!(v.len(), 5);
+    }
+
+    #[test]
+    fn add_is_idempotent() {
+        let mut v = Vocab::new();
+        let a = v.add("apple");
+        let b = v.add("apple");
+        assert_eq!(a, b);
+        assert_eq!(v.len(), 6);
+    }
+
+    #[test]
+    fn unknown_maps_to_unk() {
+        let v = Vocab::new();
+        assert_eq!(v.id("nonexistent"), Vocab::UNK);
+        assert_eq!(v.token(9999), "[UNK]");
+    }
+
+    #[test]
+    fn roundtrip() {
+        let mut v = Vocab::new();
+        v.add("red");
+        v.add("blue");
+        let toks = vec!["red".to_owned(), "blue".to_owned(), "red".to_owned()];
+        let ids = v.encode(&toks);
+        assert_eq!(v.decode(&ids), toks);
+    }
+}

@@ -1,0 +1,79 @@
+//! Budget sweep (the Table 5 axis): how test F1 and models-evaluated grow
+//! with the training budget, for all three paper systems plus the
+//! successive-halving extension, on one dataset.
+//!
+//! ```text
+//! cargo run --release --example budget_sweep
+//! ```
+
+use automl::halving::SuccessiveHalving;
+use automl::AutoMlSystem;
+use bench::experiments::{make_system, SYSTEM_NAMES};
+use em_core::{run_encoded, Combiner, EmAdapter, PipelineConfig, TokenizerMode};
+use em_data::{MagellanDataset, Split};
+use embed::families::{EmbedderFamily, PretrainConfig, PretrainedTransformer};
+
+fn main() {
+    let seed = 17;
+    let dataset = MagellanDataset::SIA.profile().generate(seed);
+    println!(
+        "dataset {}: {} pairs ({:.1}% matches)",
+        dataset.name(),
+        dataset.len(),
+        dataset.match_ratio() * 100.0
+    );
+
+    let domain_text: Vec<String> = dataset
+        .pairs()
+        .iter()
+        .take(150)
+        .flat_map(|p| [p.left.flatten(), p.right.flatten()])
+        .collect();
+    println!("pretraining the Albert-style embedder…");
+    let embedder = PretrainedTransformer::pretrain(
+        EmbedderFamily::Albert,
+        &domain_text,
+        PretrainConfig {
+            seed,
+            ..PretrainConfig::default()
+        },
+    );
+    let adapter = EmAdapter::new(TokenizerMode::Hybrid, &embedder, Combiner::Average);
+    let train = adapter.encode_split(&dataset, Split::Train);
+    let valid = adapter.encode_split(&dataset, Split::Validation);
+    let test = adapter.encode_split(&dataset, Split::Test);
+
+    println!(
+        "\n{:>18} {:>8} {:>8} {:>8} {:>8}",
+        "system", "0.5h", "1h", "3h", "6h"
+    );
+    let budgets = [0.5f64, 1.0, 3.0, 6.0];
+    for (idx, name) in SYSTEM_NAMES.iter().enumerate() {
+        let mut cells = Vec::new();
+        for &hours in &budgets {
+            let mut sys = make_system(idx, seed);
+            let cfg = PipelineConfig {
+                budget_hours: hours,
+                seed,
+                ..PipelineConfig::default()
+            };
+            let r = run_encoded(sys.as_mut(), &train, &valid, &test, cfg);
+            cells.push(format!("{:>8.2}", r.test_f1));
+        }
+        println!("{name:>18} {}", cells.join(" "));
+    }
+    // the successive-halving extension under the same budgets
+    let mut cells = Vec::new();
+    for &hours in &budgets {
+        let mut sys = SuccessiveHalving::new(seed);
+        let cfg = PipelineConfig {
+            budget_hours: hours,
+            seed,
+            ..PipelineConfig::default()
+        };
+        let r = run_encoded(&mut sys, &train, &valid, &test, cfg);
+        cells.push(format!("{:>8.2}", r.test_f1));
+    }
+    println!("{:>18} {}", SuccessiveHalving::new(0).name(), cells.join(" "));
+    println!("\n(F1 should be non-decreasing left to right, within noise)");
+}

@@ -1,0 +1,78 @@
+//! Product matching scenario (the Amazon-Google workload the paper's
+//! introduction motivates): compare the adapter's tokenizer modes and all
+//! three AutoML systems on one dataset, plus the DeepMatcher reference.
+//!
+//! ```text
+//! cargo run --release --example product_matching
+//! ```
+
+use bench::experiments::{adapter_run, make_system, SYSTEM_NAMES};
+use deepmatcher::{train_deepmatcher, TrainConfig};
+use em_core::{Combiner, TokenizerMode};
+use em_data::{MagellanDataset, Split};
+use embed::families::{EmbedderFamily, PretrainConfig, PretrainedTransformer};
+
+fn main() {
+    let seed = 7;
+    let dataset = MagellanDataset::SAG.profile().generate_scaled(seed, 0.12);
+    println!(
+        "Amazon-Google style dataset: {} pairs ({:.1}% matches)\n",
+        dataset.len(),
+        dataset.match_ratio() * 100.0
+    );
+
+    let domain_text: Vec<String> = dataset
+        .pairs()
+        .iter()
+        .take(150)
+        .flat_map(|p| [p.left.flatten(), p.right.flatten()])
+        .collect();
+    println!("pretraining the Albert-style embedder…");
+    let embedder = PretrainedTransformer::pretrain(
+        EmbedderFamily::Albert,
+        &domain_text,
+        PretrainConfig {
+            seed,
+            ..PretrainConfig::default()
+        },
+    );
+
+    // tokenizer comparison with the AutoSklearn-style system
+    println!("\ntokenizer comparison (AutoSklearn-style, 1h budget):");
+    for mode in [
+        TokenizerMode::Unstructured,
+        TokenizerMode::AttributeBased,
+        TokenizerMode::Hybrid,
+    ] {
+        let r = adapter_run(&dataset, &embedder, mode, Combiner::Average, 0, 1.0, seed);
+        println!("  {:12} test F1 {:.2}", mode.label(), r.test_f1);
+    }
+
+    // system comparison with the hybrid tokenizer
+    println!("\nAutoML system comparison (Hybrid tokenizer):");
+    for (idx, name) in SYSTEM_NAMES.iter().enumerate() {
+        let r = adapter_run(
+            &dataset,
+            &embedder,
+            TokenizerMode::Hybrid,
+            Combiner::Average,
+            idx,
+            1.0,
+            seed,
+        );
+        println!(
+            "  {name:12} test F1 {:.2}  ({:.2} paper-hours, {} models)",
+            r.test_f1, r.hours_used, r.models_evaluated
+        );
+    }
+    let _ = make_system(0, seed); // (exported for user code; silence lint)
+
+    // DeepMatcher reference
+    println!("\ntraining DeepMatcher (Hybrid) for reference…");
+    let dm = train_deepmatcher(&dataset, TrainConfig { seed, ..TrainConfig::default() });
+    println!(
+        "  DeepMatcher  test F1 {:.2}  (val {:.2})",
+        dm.f1_on(dataset.split(Split::Test)),
+        dm.val_f1
+    );
+}

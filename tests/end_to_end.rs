@@ -1,0 +1,178 @@
+//! Cross-crate integration tests: the full paper pipeline, end to end, on
+//! small dataset slices. These exercise em-data → embed → em-core → automl
+//! together (and deepmatcher for the baseline), checking the *relationships*
+//! the paper's tables are built on rather than point values.
+
+use automl::{AutoMlSystem, Budget};
+use bench::experiments::{adapter_run, make_system, SYSTEM_NAMES};
+use deepmatcher::{train_deepmatcher, TrainConfig};
+use em_core::{run_pipeline, run_raw, Combiner, EmAdapter, PipelineConfig, TokenizerMode};
+use em_data::{MagellanDataset, Split};
+use embed::families::{EmbedderFamily, PretrainConfig, PretrainedTransformer};
+
+fn quick_embedder(seed: u64) -> PretrainedTransformer {
+    let dataset = MagellanDataset::SFZ.profile().generate(seed);
+    let domain_text: Vec<String> = dataset
+        .pairs()
+        .iter()
+        .take(120)
+        .flat_map(|p| [p.left.flatten(), p.right.flatten()])
+        .collect();
+    PretrainedTransformer::pretrain(
+        EmbedderFamily::Albert,
+        &domain_text,
+        PretrainConfig {
+            corpus_sentences: 900,
+            steps: 350,
+            seed,
+            ..PretrainConfig::default()
+        },
+    )
+}
+
+#[test]
+fn adapter_pipeline_beats_raw_automl_on_easy_dataset() {
+    // the paper's central claim (Table 4): the EM adapter lifts AutoML F1
+    let dataset = MagellanDataset::SFZ.profile().generate(3);
+    let embedder = quick_embedder(3);
+    let adapter = EmAdapter::new(TokenizerMode::Hybrid, &embedder, Combiner::Average);
+    let cfg = PipelineConfig {
+        budget_hours: 1.0,
+        ..PipelineConfig::default()
+    };
+    let mut sys_a = make_system(0, 3);
+    let adapted = run_pipeline(sys_a.as_mut(), &adapter, &dataset, cfg);
+    let mut sys_r = make_system(0, 3);
+    let raw = run_raw(sys_r.as_mut(), &dataset, cfg);
+    assert!(
+        adapted.test_f1 > raw.test_f1 + 10.0,
+        "adapter must clearly lift raw AutoML: adapted {:.1} vs raw {:.1}",
+        adapted.test_f1,
+        raw.test_f1
+    );
+    assert!(
+        adapted.test_f1 > 60.0,
+        "S-FZ is the saturated dataset; adapted F1 {:.1}",
+        adapted.test_f1
+    );
+}
+
+#[test]
+fn all_three_systems_run_under_budget_and_predict() {
+    let dataset = MagellanDataset::SBR.profile().generate(5);
+    let embedder = quick_embedder(5);
+    let adapter = EmAdapter::new(TokenizerMode::Hybrid, &embedder, Combiner::Average);
+    let train = adapter.encode_split(&dataset, Split::Train);
+    let valid = adapter.encode_split(&dataset, Split::Validation);
+    let test = adapter.encode_split(&dataset, Split::Test);
+    for (idx, name) in SYSTEM_NAMES.iter().enumerate() {
+        let mut sys = make_system(idx, 5);
+        let mut budget = Budget::hours(0.5);
+        let report = sys.fit(&train, &valid, &mut budget);
+        assert!(
+            budget.used() <= budget.used() + budget.remaining() + 1e-9,
+            "{name}: accounting"
+        );
+        assert!(!report.leaderboard.is_empty(), "{name}: no models evaluated");
+        assert!((0.0..=1.0).contains(&sys.threshold()), "{name}: threshold");
+        let probs = sys.predict_proba(&test.x);
+        assert_eq!(probs.len(), test.len(), "{name}");
+        assert!(
+            probs.iter().all(|p| p.is_finite() && (0.0..=1.0).contains(p)),
+            "{name}: probabilities out of range"
+        );
+    }
+}
+
+#[test]
+fn hybrid_tokenizer_is_more_dirt_robust_than_attribute() {
+    // Table 4's dirty-dataset story, checked as a relationship
+    let embedder = quick_embedder(7);
+    let dirty = MagellanDataset::DIA.profile().generate(7);
+    let attr = adapter_run(&dirty, &embedder, TokenizerMode::AttributeBased, Combiner::Average, 0, 0.7, 7);
+    let hybrid = adapter_run(&dirty, &embedder, TokenizerMode::Hybrid, Combiner::Average, 0, 0.7, 7);
+    assert!(
+        hybrid.test_f1 >= attr.test_f1 - 5.0,
+        "hybrid should not lose badly to attr on dirty data: {:.1} vs {:.1}",
+        hybrid.test_f1,
+        attr.test_f1
+    );
+}
+
+#[test]
+fn deepmatcher_trains_and_is_competitive_on_easy_data() {
+    let dataset = MagellanDataset::SFZ.profile().generate(9);
+    let dm = train_deepmatcher(&dataset, TrainConfig { seed: 9, ..TrainConfig::default() });
+    let f1 = dm.f1_on(dataset.split(Split::Test));
+    // well above the all-positive baseline (~21 F1 at 11.6% matches);
+    // absolute levels at reproduction scale are seed-sensitive
+    assert!(f1 > 45.0, "DeepMatcher on S-FZ: {f1:.1}");
+}
+
+#[test]
+fn pipeline_results_are_reproducible() {
+    let dataset = MagellanDataset::SBR.profile().generate(11);
+    let embedder = quick_embedder(11);
+    let run = || {
+        let adapter = EmAdapter::new(TokenizerMode::Hybrid, &embedder, Combiner::Average);
+        let mut sys = make_system(2, 11);
+        run_pipeline(
+            &mut *sys,
+            &adapter,
+            &dataset,
+            PipelineConfig {
+                budget_hours: 0.4,
+                ..PipelineConfig::default()
+            },
+        )
+        .test_f1
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn six_hour_budget_never_loses_to_one_hour_by_much() {
+    // Table 5's budget relationship: more budget ⇒ same or better (small
+    // tolerance for search randomness)
+    let dataset = MagellanDataset::SBR.profile().generate(13);
+    let embedder = quick_embedder(13);
+    let one = adapter_run(&dataset, &embedder, TokenizerMode::Hybrid, Combiner::Average, 0, 1.0, 13);
+    let six = adapter_run(&dataset, &embedder, TokenizerMode::Hybrid, Combiner::Average, 0, 6.0, 13);
+    assert!(
+        six.test_f1 >= one.test_f1 - 8.0,
+        "6h {:.1} vs 1h {:.1}",
+        six.test_f1,
+        one.test_f1
+    );
+    assert!(six.hours_used >= one.hours_used - 1e-9);
+}
+
+#[test]
+fn embedder_families_all_feed_the_pipeline() {
+    let dataset = MagellanDataset::SBR.profile().generate(15);
+    for family in EmbedderFamily::ALL {
+        let embedder = PretrainedTransformer::pretrain(
+            family,
+            &[],
+            PretrainConfig {
+                corpus_sentences: 300,
+                steps: 40,
+                seed: 15,
+                ..PretrainConfig::default()
+            },
+        );
+        let r = adapter_run(
+            &dataset,
+            &embedder,
+            TokenizerMode::AttributeBased,
+            Combiner::Average,
+            0,
+            0.3,
+            15,
+        );
+        assert!(
+            r.test_f1.is_finite() && (0.0..=100.0).contains(&r.test_f1),
+            "{family:?}: {r:?}"
+        );
+    }
+}

@@ -1,0 +1,136 @@
+//! Property tests over the synthetic-benchmark substrate: noise operators,
+//! domain generators, blocking and the budget/search machinery.
+
+use automl::budget::{fit_cost, Budget, ModelFamily};
+use em_data::generators::{Beer, Bibliographic, Domain, Music, ProductRetail, Restaurant};
+use em_data::noise::{corrupt_entity, dirtify, NoiseConfig};
+use em_data::{token_blocking, BlockerConfig, MagellanDataset};
+use linalg::Rng;
+use proptest::prelude::*;
+
+fn domains() -> Vec<Box<dyn Domain>> {
+    vec![
+        Box::new(Bibliographic),
+        Box::new(ProductRetail),
+        Box::new(Beer),
+        Box::new(Music),
+        Box::new(Restaurant),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn corruption_never_panics_and_preserves_width(
+        seed in any::<u64>(),
+        level in 0.0f64..1.0,
+        domain_idx in 0usize..5
+    ) {
+        let domain = &domains()[domain_idx];
+        let schema = domain.schema();
+        let mut rng = Rng::new(seed);
+        let entity = domain.generate(&mut rng);
+        let cfg = NoiseConfig::from_level(level);
+        let corrupted = corrupt_entity(&entity, &schema, &cfg, &["extra"], &mut rng);
+        prop_assert_eq!(corrupted.width(), entity.width());
+        // corrupted values never become empty strings (empty = None)
+        for v in corrupted.values().flatten() {
+            prop_assert!(!v.is_empty());
+        }
+    }
+
+    #[test]
+    fn dirtify_preserves_token_multiset(seed in any::<u64>(), domain_idx in 0usize..5) {
+        let domain = &domains()[domain_idx];
+        let mut rng = Rng::new(seed);
+        let entity = domain.generate(&mut rng);
+        let dirty = dirtify(&entity, 0.5, &mut rng);
+        let mut before: Vec<String> = entity
+            .flatten()
+            .split_whitespace()
+            .map(str::to_owned)
+            .collect();
+        let mut after: Vec<String> = dirty
+            .flatten()
+            .split_whitespace()
+            .map(str::to_owned)
+            .collect();
+        before.sort();
+        after.sort();
+        prop_assert_eq!(before, after, "dirtify must move, not destroy, values");
+    }
+
+    #[test]
+    fn near_miss_always_differs(
+        seed in any::<u64>(),
+        closeness in 0.0f64..1.0,
+        domain_idx in 0usize..5
+    ) {
+        let domain = &domains()[domain_idx];
+        let mut rng = Rng::new(seed);
+        let entity = domain.generate(&mut rng);
+        let near = domain.near_miss(&entity, closeness, &mut rng);
+        prop_assert_ne!(&near, &entity);
+        prop_assert_eq!(near.width(), entity.width());
+    }
+
+    #[test]
+    fn dataset_generation_hits_profile_at_any_seed(seed in any::<u64>()) {
+        let p = MagellanDataset::SIA.profile();
+        let d = p.generate(seed);
+        prop_assert_eq!(d.len(), p.size);
+        let pct = d.match_ratio() * 100.0;
+        prop_assert!((pct - p.match_pct).abs() < 1.5, "{} vs {}", pct, p.match_pct);
+    }
+
+    #[test]
+    fn blocking_candidates_within_cross_product(
+        seed in any::<u64>(),
+        n_left in 1usize..40,
+        n_right in 1usize..40,
+        min_overlap in 1usize..3
+    ) {
+        let domain = Restaurant;
+        let schema = domain.schema();
+        let mut rng = Rng::new(seed);
+        let left: Vec<_> = (0..n_left).map(|_| domain.generate(&mut rng)).collect();
+        let right: Vec<_> = (0..n_right).map(|_| domain.generate(&mut rng)).collect();
+        let r = token_blocking(&left, &right, &schema, &BlockerConfig {
+            min_overlap,
+            ..BlockerConfig::default()
+        });
+        prop_assert!(r.candidates.len() <= r.cross_product);
+        for c in &r.candidates {
+            prop_assert!(c.left < n_left && c.right < n_right);
+        }
+        // sorted and unique
+        for w in r.candidates.windows(2) {
+            prop_assert!((w[0].left, w[0].right) < (w[1].left, w[1].right));
+        }
+        prop_assert!((0.0..=1.0).contains(&r.reduction_ratio()));
+    }
+
+    #[test]
+    fn budget_arithmetic_never_goes_negative(
+        charges in prop::collection::vec(0.0f64..10.0, 0..30),
+        hours in 0.1f64..10.0
+    ) {
+        let mut b = Budget::hours(hours);
+        for c in charges {
+            b.consume(c);
+            prop_assert!(b.remaining() >= 0.0);
+            prop_assert!(b.used() >= 0.0);
+            prop_assert!(b.used_hours() <= b.used() / automl::budget::UNITS_PER_HOUR + 1e-9);
+        }
+    }
+
+    #[test]
+    fn fit_cost_is_monotone_in_rows(rows_a in 1usize..50_000, rows_b in 1usize..50_000) {
+        let (lo, hi) = if rows_a <= rows_b { (rows_a, rows_b) } else { (rows_b, rows_a) };
+        for family in [ModelFamily::Gbm, ModelFamily::Knn, ModelFamily::NaiveBayes] {
+            prop_assert!(fit_cost(family, lo) <= fit_cost(family, hi));
+            prop_assert!(fit_cost(family, lo) > 0.0);
+        }
+    }
+}

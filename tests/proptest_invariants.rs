@@ -1,0 +1,160 @@
+//! Property-based tests over cross-crate invariants: CSV round-trips with
+//! arbitrary content, tokenizer/adapter totality on arbitrary record pairs,
+//! metric laws, RNG/statistics laws, and search-space construction.
+
+use em_core::tokenizer::{tokenize_pair, TokenizerMode};
+use em_data::csv::{read_csv, write_csv};
+use em_data::{AttrType, Attribute, DatasetKind, EmDataset, Entity, RecordPair, Schema};
+use linalg::Rng;
+use ml::metrics::{best_f1_threshold, f1_at_threshold, roc_auc, Confusion};
+use proptest::prelude::*;
+use std::io::BufReader;
+
+/// Arbitrary cell value: possibly missing, possibly nasty (commas, quotes,
+/// unicode, numerics).
+fn cell() -> impl Strategy<Value = Option<String>> {
+    prop_oneof![
+        2 => Just(None),
+        5 => "[a-z0-9 ]{1,20}".prop_map(Some),
+        2 => "[\\PC,\"]{0,12}".prop_map(Some),
+        1 => (-1000.0..1000.0f64).prop_map(|v| Some(format!("{v:.2}"))),
+    ]
+}
+
+fn record_pairs(width: usize, n: usize) -> impl Strategy<Value = Vec<(Vec<Option<String>>, Vec<Option<String>>, bool)>> {
+    prop::collection::vec(
+        (
+            prop::collection::vec(cell(), width),
+            prop::collection::vec(cell(), width),
+            any::<bool>(),
+        ),
+        1..=n,
+    )
+}
+
+fn build_dataset(raw: Vec<(Vec<Option<String>>, Vec<Option<String>>, bool)>, width: usize) -> EmDataset {
+    let attrs: Vec<Attribute> = (0..width)
+        .map(|i| Attribute::new(&format!("a{i}"), AttrType::Text))
+        .collect();
+    let schema = Schema::new(attrs);
+    let pairs: Vec<RecordPair> = raw
+        .into_iter()
+        .map(|(l, r, y)| RecordPair::new(Entity::new(l), Entity::new(r), y))
+        .collect();
+    let mut rng = Rng::new(1);
+    EmDataset::with_split("prop", DatasetKind::Structured, schema, pairs, &mut rng)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn csv_roundtrip_preserves_labels_and_count(
+        raw in record_pairs(3, 24)
+    ) {
+        let d = build_dataset(raw, 3);
+        let mut buf = Vec::new();
+        write_csv(&d, &mut buf).unwrap();
+        let loaded = read_csv("p", DatasetKind::Structured, BufReader::new(&buf[..]), 2).unwrap();
+        prop_assert_eq!(loaded.len(), d.len());
+        prop_assert!((loaded.match_ratio() - d.match_ratio()).abs() < 1e-12);
+        // every non-empty original value survives somewhere (labels sorted
+        // differently because of the fresh split, so compare multisets of
+        // flattened rows)
+        let mut a: Vec<String> = d.pairs().iter().map(|p| format!("{}|{}|{}", p.label, p.left.flatten(), p.right.flatten())).collect();
+        let mut b: Vec<String> = loaded.pairs().iter().map(|p| format!("{}|{}|{}", p.label, p.left.flatten(), p.right.flatten())).collect();
+        a.sort();
+        b.sort();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn tokenizer_total_and_counts_correct(
+        raw in record_pairs(4, 6),
+        mode_idx in 0usize..3
+    ) {
+        let d = build_dataset(raw, 4);
+        let mode = [TokenizerMode::Unstructured, TokenizerMode::AttributeBased, TokenizerMode::Hybrid][mode_idx];
+        for pair in d.pairs() {
+            let seqs = tokenize_pair(pair, d.schema(), mode);
+            prop_assert_eq!(seqs.len(), mode.n_sequences(d.schema().len()));
+        }
+    }
+
+    #[test]
+    fn split_partition_invariants(raw in record_pairs(2, 60)) {
+        let d = build_dataset(raw, 2);
+        let (tr, va, te) = (
+            d.split(em_data::Split::Train).len(),
+            d.split(em_data::Split::Validation).len(),
+            d.split(em_data::Split::Test).len(),
+        );
+        prop_assert_eq!(tr + va + te, d.len());
+        // 60/20/20 within integer rounding
+        prop_assert!(tr >= d.len() * 60 / 100);
+        prop_assert!(tr <= d.len() * 60 / 100 + 1);
+    }
+
+    #[test]
+    fn f1_bounds_and_threshold_optimality(
+        probs in prop::collection::vec(0.0f32..1.0, 4..80),
+        labels_seed in any::<u64>()
+    ) {
+        let mut rng = Rng::new(labels_seed);
+        let labels: Vec<bool> = probs.iter().map(|_| rng.chance(0.3)).collect();
+        let (thr, best) = best_f1_threshold(&probs, &labels);
+        prop_assert!((0.0..=100.0).contains(&best));
+        // the tuned threshold is at least as good as the default
+        let at_half = f1_at_threshold(&probs, &labels, 0.5);
+        prop_assert!(best >= at_half - 1e-9);
+        prop_assert!((0.0..=1.0).contains(&thr));
+    }
+
+    #[test]
+    fn confusion_counts_always_partition(
+        n in 1usize..100,
+        seed in any::<u64>()
+    ) {
+        let mut rng = Rng::new(seed);
+        let pred: Vec<bool> = (0..n).map(|_| rng.chance(0.5)).collect();
+        let act: Vec<bool> = (0..n).map(|_| rng.chance(0.2)).collect();
+        let c = Confusion::from_predictions(&pred, &act);
+        prop_assert_eq!(c.tp + c.fp + c.tn + c.fn_, n);
+        prop_assert!(c.precision() >= 0.0 && c.precision() <= 1.0);
+        prop_assert!(c.recall() >= 0.0 && c.recall() <= 1.0);
+    }
+
+    #[test]
+    fn auc_is_flip_symmetric(
+        probs in prop::collection::vec(0.0f32..1.0, 6..60),
+        seed in any::<u64>()
+    ) {
+        let mut rng = Rng::new(seed);
+        let labels: Vec<bool> = probs.iter().map(|_| rng.chance(0.4)).collect();
+        let auc = roc_auc(&probs, &labels);
+        let flipped: Vec<f32> = probs.iter().map(|p| 1.0 - p).collect();
+        let auc_flipped = roc_auc(&flipped, &labels);
+        prop_assert!((auc + auc_flipped - 1.0).abs() < 1e-9
+            // degenerate single-class case returns 0.5 for both
+            || (auc == 0.5 && auc_flipped == 0.5));
+    }
+
+    #[test]
+    fn rng_below_always_in_range(seed in any::<u64>(), n in 1usize..1000) {
+        let mut rng = Rng::new(seed);
+        for _ in 0..50 {
+            prop_assert!(rng.below(n) < n);
+        }
+    }
+
+    #[test]
+    fn candidate_encoding_stays_in_cube(seed in any::<u64>()) {
+        let families = automl::space::sklearn_families();
+        let mut rng = Rng::new(seed);
+        let c = automl::space::Candidate::sample(&families, &mut rng);
+        let enc = c.encode(&families);
+        prop_assert!(enc.iter().all(|&v| (0.0..=1.0).contains(&v)));
+        let p = c.perturb(0.3, &mut rng);
+        prop_assert!(p.params.iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+}
