@@ -173,4 +173,75 @@ mod tests {
         b.consume(-3.0);
         assert_eq!(b.used(), 0.0);
     }
+
+    /// Property: a search loop that checks `can_afford` before every
+    /// `consume` (the contract all engines follow) never spends past the
+    /// limit at all — and even a loop that only checks *after* charging
+    /// overshoots by at most one fit's cost.
+    #[test]
+    fn never_overspends_by_more_than_one_fit() {
+        let families = [
+            ModelFamily::Gbm,
+            ModelFamily::CatGbm,
+            ModelFamily::RandomForest,
+            ModelFamily::Knn,
+            ModelFamily::LogReg,
+            ModelFamily::NaiveBayes,
+        ];
+        for seed in 0..64u64 {
+            let mut rng = linalg::Rng::new(seed);
+            let limit_hours = 0.1 + rng.f64() * 6.0;
+            let rows = 10 + rng.below(20_000);
+
+            // disciplined loop: check first, then charge
+            let mut b = Budget::hours(limit_hours);
+            loop {
+                let cost = fit_cost(families[rng.below(families.len())], rows);
+                if !b.can_afford(cost) {
+                    break;
+                }
+                b.consume(cost);
+            }
+            assert!(
+                b.used() <= b.limit_hours() * UNITS_PER_HOUR + 1e-9,
+                "seed {seed}"
+            );
+
+            // undisciplined loop: charge first, stop once exhausted
+            let mut b = Budget::hours(limit_hours);
+            let mut max_cost = 0.0f64;
+            while !b.exhausted() {
+                let cost = fit_cost(families[rng.below(families.len())], rows);
+                max_cost = max_cost.max(cost);
+                b.consume(cost);
+            }
+            let overshoot = b.used() - b.limit_hours() * UNITS_PER_HOUR;
+            assert!(
+                overshoot <= max_cost + 1e-9,
+                "seed {seed}: overshoot {overshoot}"
+            );
+        }
+    }
+
+    /// Property: `used_hours` round-trips through [`UNITS_PER_HOUR`] for
+    /// arbitrary consumption patterns.
+    #[test]
+    fn hours_roundtrip_through_units_per_hour() {
+        for seed in 0..64u64 {
+            let mut rng = linalg::Rng::new(seed);
+            let mut b = Budget::hours(0.5 + rng.f64() * 8.0);
+            for _ in 0..rng.below(40) {
+                b.consume(rng.f64() * 5.0);
+            }
+            assert!(
+                (b.used_hours() * UNITS_PER_HOUR - b.used()).abs() < 1e-9,
+                "seed {seed}"
+            );
+            assert!(
+                (b.limit_hours() * UNITS_PER_HOUR - (b.used() + b.remaining())).abs() < 1e-9
+                    || b.used() >= b.limit_hours() * UNITS_PER_HOUR,
+                "seed {seed}: limit/used/remaining must be consistent"
+            );
+        }
+    }
 }

@@ -20,7 +20,10 @@ pub fn greedy_selection(
 ) -> Vec<f32> {
     assert!(!val_probs.is_empty(), "no models to select from");
     let n = val_probs[0].len();
-    assert!(val_probs.iter().all(|p| p.len() == n), "ragged probabilities");
+    assert!(
+        val_probs.iter().all(|p| p.len() == n),
+        "ragged probabilities"
+    );
     let mut counts = vec![0usize; val_probs.len()];
     let mut ensemble_sum = vec![0.0f32; n];
     let mut members = 0usize;
@@ -212,12 +215,32 @@ mod tests {
         let a: Vec<f32> = y
             .iter()
             .enumerate()
-            .map(|(i, &b)| if i < 40 { if b { 0.9 } else { 0.1 } } else { 0.5 })
+            .map(|(i, &b)| {
+                if i < 40 {
+                    if b {
+                        0.9
+                    } else {
+                        0.1
+                    }
+                } else {
+                    0.5
+                }
+            })
             .collect();
         let b: Vec<f32> = y
             .iter()
             .enumerate()
-            .map(|(i, &l)| if i >= 40 { if l { 0.9 } else { 0.1 } } else { 0.5 })
+            .map(|(i, &l)| {
+                if i >= 40 {
+                    if l {
+                        0.9
+                    } else {
+                        0.1
+                    }
+                } else {
+                    0.5
+                }
+            })
             .collect();
         let w = greedy_selection(&[a.clone(), b.clone()], &y, 12);
         // both should participate
@@ -231,7 +254,11 @@ mod tests {
     fn weights_form_simplex() {
         let y = labels(30);
         let models: Vec<Vec<f32>> = (0..5)
-            .map(|m| (0..30).map(|i| ((i * (m + 2)) % 10) as f32 / 10.0).collect())
+            .map(|m| {
+                (0..30)
+                    .map(|i| ((i * (m + 2)) % 10) as f32 / 10.0)
+                    .collect()
+            })
             .collect();
         let w = greedy_selection(&models, &y, 8);
         assert!((w.iter().sum::<f32>() - 1.0).abs() < 1e-5);
@@ -243,9 +270,14 @@ mod tests {
         // every row gets exactly one OOF prediction; model count == k
         let mut rng = Rng::new(1);
         let rows: Vec<Vec<f32>> = (0..40).map(|i| vec![i as f32, (i % 7) as f32]).collect();
-        let y: Vec<f32> = (0..40).map(|i| if i % 2 == 0 { 1.0 } else { 0.0 }).collect();
+        let y: Vec<f32> = (0..40)
+            .map(|i| if i % 2 == 0 { 1.0 } else { 0.0 })
+            .collect();
         let data = TabularData::new(Matrix::from_rows(&rows), y);
-        let template = LogisticRegression::new(LinearConfig { epochs: 3, ..LinearConfig::default() });
+        let template = LogisticRegression::new(LinearConfig {
+            epochs: 3,
+            ..LinearConfig::default()
+        });
         let (oof, models) = out_of_fold(&template, &data, 4, &mut rng);
         assert_eq!(oof.len(), 40);
         assert_eq!(models.len(), 4);

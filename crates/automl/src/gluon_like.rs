@@ -16,6 +16,7 @@
 use crate::budget::{fit_cost, Budget, ModelFamily};
 use crate::ensemble::{greedy_selection, weighted_average, BaggedModel, GlmMetalearner};
 use crate::leaderboard::{FitReport, Leaderboard};
+use crate::telemetry::TrialTracker;
 use crate::AutoMlSystem;
 use linalg::{Matrix, Rng};
 use ml::boosting::{BoostConfig, GradientBoosting, ObliviousBoosting};
@@ -100,6 +101,8 @@ impl AutoMlSystem for AutoGluonStyle {
     }
 
     fn fit(&mut self, train: &TabularData, valid: &TabularData, budget: &mut Budget) -> FitReport {
+        let span = obs::span("automl.AutoGluon.fit");
+        let mut tracker = TrialTracker::new(self.name());
         let mut rng = Rng::new(self.seed ^ 0x61u64);
         let valid_labels = valid.labels_bool();
         let mut leaderboard = Leaderboard::new();
@@ -110,8 +113,7 @@ impl AutoMlSystem for AutoGluonStyle {
         // --- layer 1: bagged base models -------------------------------
         for (family, template) in roster(self.seed) {
             // k fold-fits, each on (k-1)/k of the data
-            let cost =
-                K_FOLDS as f64 * fit_cost(family, train.len() * (K_FOLDS - 1) / K_FOLDS);
+            let cost = K_FOLDS as f64 * fit_cost(family, train.len() * (K_FOLDS - 1) / K_FOLDS);
             if !budget.can_afford(cost) {
                 continue; // tight budgets silently drop roster tails
             }
@@ -119,6 +121,7 @@ impl AutoMlSystem for AutoGluonStyle {
             budget.consume(cost);
             let val_probs = bag.predict_proba(&valid.x);
             let (_, f1) = best_f1_threshold(&val_probs, &valid_labels);
+            tracker.record(family, &format!("bag[{}]", bag.name()), f1, cost);
             leaderboard.push(format!("bag[{}]", bag.name()), f1, cost);
             self.bags.push(bag);
         }
@@ -129,7 +132,9 @@ impl AutoMlSystem for AutoGluonStyle {
             let prior = train.positive_ratio() as f32;
             self.fallback = Some(prior);
             self.threshold = 0.5;
+            span.add_units(budget.used());
             return FitReport {
+                system: self.name(),
                 units_used: budget.used(),
                 hours_used: budget.used_hours(),
                 val_f1: 0.0,
@@ -141,8 +146,11 @@ impl AutoMlSystem for AutoGluonStyle {
         // --- layer 2: GLM stacker on out-of-fold probabilities ----------
         let oof = Matrix::from_fn(train.len(), self.bags.len(), |i, m| self.bags[m].oof[i]);
         let stack_cost = fit_cost(ModelFamily::LogReg, train.len());
-        let bag_val_probs: Vec<Vec<f32>> =
-            self.bags.iter().map(|b| b.predict_proba(&valid.x)).collect();
+        let bag_val_probs: Vec<Vec<f32>> = self
+            .bags
+            .iter()
+            .map(|b| b.predict_proba(&valid.x))
+            .collect();
         let mut best: (f64, f32); // (val F1, threshold)
 
         // greedy weighted ensemble is always available
@@ -157,6 +165,7 @@ impl AutoMlSystem for AutoGluonStyle {
             budget.consume(stack_cost);
             let stacked_val = meta.predict(&bag_val_probs);
             let (st, sf1) = best_f1_threshold(&stacked_val, &valid_labels);
+            tracker.record(ModelFamily::LogReg, "stacker[glm]", sf1, stack_cost);
             leaderboard.push("stacker[glm]".to_owned(), sf1, stack_cost);
             if sf1 > best.0 {
                 best = (sf1, st);
@@ -165,7 +174,9 @@ impl AutoMlSystem for AutoGluonStyle {
         }
 
         self.threshold = best.1;
+        span.add_units(budget.used());
         FitReport {
+            system: self.name(),
             units_used: budget.used(),
             hours_used: budget.used_hours(),
             val_f1: best.0,
@@ -217,7 +228,11 @@ mod tests {
         let mut sys = AutoGluonStyle::new(5);
         let mut budget = Budget::hours(4.0);
         let report = sys.fit(&train, &valid, &mut budget);
-        assert!(report.leaderboard.len() >= 5, "{}", report.leaderboard.len());
+        assert!(
+            report.leaderboard.len() >= 5,
+            "{}",
+            report.leaderboard.len()
+        );
         let f1 = f1_score(&sys.predict(&test.x), &test.labels_bool());
         assert!(f1 > 85.0, "F1 {f1}");
     }
@@ -231,7 +246,12 @@ mod tests {
         let mut large_sys = AutoGluonStyle::new(1);
         let mut b2 = Budget::hours(10.0);
         large_sys.fit(&blob_data(2000, 6), &valid, &mut b2);
-        assert!(b2.used() > 2.0 * b1.used(), "{} vs {}", b2.used(), b1.used());
+        assert!(
+            b2.used() > 2.0 * b1.used(),
+            "{} vs {}",
+            b2.used(),
+            b1.used()
+        );
         assert!(!b1.exhausted(), "AutoGluon should not drain a huge budget");
     }
 

@@ -11,6 +11,7 @@ use crate::budget::{fit_cost, Budget, ModelFamily};
 use crate::ensemble::{out_of_fold, GlmMetalearner};
 use crate::leaderboard::{FitReport, Leaderboard};
 use crate::space::{h2o_families, Candidate};
+use crate::telemetry::TrialTracker;
 use crate::AutoMlSystem;
 use linalg::{Matrix, Rng};
 use ml::dataset::TabularData;
@@ -53,6 +54,8 @@ impl AutoMlSystem for H2oStyle {
     }
 
     fn fit(&mut self, train: &TabularData, valid: &TabularData, budget: &mut Budget) -> FitReport {
+        let span = obs::span("automl.H2OAutoML.fit");
+        let mut tracker = TrialTracker::new(self.name());
         let mut rng = Rng::new(self.seed ^ 0x420);
         let families = h2o_families();
         let valid_labels = valid.labels_bool();
@@ -79,6 +82,7 @@ impl AutoMlSystem for H2oStyle {
             let probs = model.predict_proba(&valid.x);
             let (_, f1) = best_f1_threshold(&probs, &valid_labels);
             budget.consume(cost);
+            tracker.record(candidate.family, &model.name(), f1, cost);
             leaderboard.push(model.name(), f1, cost);
             evaluated.push((candidate, model, probs, f1));
         }
@@ -96,9 +100,8 @@ impl AutoMlSystem for H2oStyle {
         let mut oof_cols: Vec<Vec<f32>> = Vec::new();
         let mut kept: Vec<Evaluated> = Vec::new();
         for (cand, model, vprobs, f1) in evaluated {
-            let oof_cost = K_FOLDS as f64
-                * fit_cost(cand.family, train.len() * (K_FOLDS - 1) / K_FOLDS)
-                * 0.5; // folds are smaller and reuse binning work
+            let oof_cost =
+                K_FOLDS as f64 * fit_cost(cand.family, train.len() * (K_FOLDS - 1) / K_FOLDS) * 0.5; // folds are smaller and reuse binning work
             if budget.can_afford(oof_cost) {
                 let mut fold_rng = rng.fork(oof_cols.len() as u64);
                 let (oof, _) = out_of_fold(model.as_ref(), train, K_FOLDS, &mut fold_rng);
@@ -113,8 +116,7 @@ impl AutoMlSystem for H2oStyle {
         let mut best = (single_f1, single_t, false);
 
         if oof_cols.len() >= 2 {
-            let oof =
-                Matrix::from_fn(train.len(), oof_cols.len(), |i, m| oof_cols[m][i]);
+            let oof = Matrix::from_fn(train.len(), oof_cols.len(), |i, m| oof_cols[m][i]);
             let meta = GlmMetalearner::fit(&oof, &train.y, 1e-2);
             let member_val: Vec<Vec<f32>> = kept
                 .iter()
@@ -123,6 +125,7 @@ impl AutoMlSystem for H2oStyle {
                 .collect();
             let stacked_val = meta.predict(&member_val);
             let (st, sf1) = best_f1_threshold(&stacked_val, &valid_labels);
+            tracker.record(ModelFamily::LogReg, "super_learner[glm]", sf1, 0.0);
             leaderboard.push("super_learner[glm]".to_owned(), sf1, 0.0);
             if sf1 >= best.0 {
                 best = (sf1, st, true);
@@ -137,7 +140,9 @@ impl AutoMlSystem for H2oStyle {
         }
         self.best_single = 0;
         self.threshold = best.1;
+        span.add_units(budget.used());
         FitReport {
+            system: self.name(),
             units_used: budget.used(),
             hours_used: budget.used_hours(),
             val_f1: best.0,
@@ -150,8 +155,7 @@ impl AutoMlSystem for H2oStyle {
         assert!(!self.members.is_empty(), "predict before fit");
         match &self.meta {
             Some(meta) => {
-                let base: Vec<Vec<f32>> =
-                    self.members.iter().map(|m| m.predict_proba(x)).collect();
+                let base: Vec<Vec<f32>> = self.members.iter().map(|m| m.predict_proba(x)).collect();
                 meta.predict(&base)
             }
             None => self.members[self.best_single].predict_proba(x),

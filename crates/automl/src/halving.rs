@@ -10,6 +10,7 @@
 use crate::budget::{fit_cost, Budget};
 use crate::leaderboard::{FitReport, Leaderboard};
 use crate::space::{sklearn_families, Candidate};
+use crate::telemetry::TrialTracker;
 use crate::AutoMlSystem;
 use linalg::{Matrix, Rng};
 use ml::cv::stratified_holdout;
@@ -64,12 +65,18 @@ impl SuccessiveHalving {
     }
 }
 
+/// One evaluated configuration: the candidate, its fitted model, its
+/// validation probabilities and its validation score.
+type Evaluated = (Candidate, Box<dyn Classifier>, Vec<f32>, f64);
+
 impl AutoMlSystem for SuccessiveHalving {
     fn name(&self) -> &'static str {
         "SuccessiveHalving"
     }
 
     fn fit(&mut self, train: &TabularData, valid: &TabularData, budget: &mut Budget) -> FitReport {
+        let span = obs::span("automl.SuccessiveHalving.fit");
+        let mut tracker = TrialTracker::new(self.name());
         let mut rng = Rng::new(self.seed ^ 0x5A1);
         let families = sklearn_families();
         let valid_labels = valid.labels_bool();
@@ -80,26 +87,26 @@ impl AutoMlSystem for SuccessiveHalving {
             .map(|_| (Candidate::sample(&families, &mut rng), f64::MIN))
             .collect();
         let mut subsample = self.config.initial_subsample;
-        let mut survivors: Vec<(Candidate, Box<dyn Classifier>, Vec<f32>, f64)> = Vec::new();
+        let mut survivors: Vec<Evaluated> = Vec::new();
         let mut eval_idx = 0u64;
         let mut rung = 0usize;
         loop {
-            let rows = ((train.len() as f64 * subsample) as usize).clamp(
-                2.max(valid_labels.len().min(8)),
-                train.len(),
-            );
+            let rows = ((train.len() as f64 * subsample) as usize)
+                .clamp(2.max(valid_labels.len().min(8)), train.len());
             // deterministic per-rung subsample (stratified so tiny rungs
             // keep both classes)
             let subset = if rows < train.len() {
                 let mut sub_rng = rng.fork(rung as u64);
-                let (keep, _) =
-                    stratified_holdout(&train.y, 1.0 - rows as f64 / train.len() as f64, &mut sub_rng);
+                let (keep, _) = stratified_holdout(
+                    &train.y,
+                    1.0 - rows as f64 / train.len() as f64,
+                    &mut sub_rng,
+                );
                 train.select(&keep)
             } else {
                 train.clone()
             };
-            let mut rung_results: Vec<(Candidate, Box<dyn Classifier>, Vec<f32>, f64)> =
-                Vec::new();
+            let mut rung_results: Vec<Evaluated> = Vec::new();
             for (cand, score) in population.iter_mut() {
                 let cost = fit_cost(cand.family, subset.len());
                 if !budget.can_afford(cost) {
@@ -111,11 +118,13 @@ impl AutoMlSystem for SuccessiveHalving {
                 let probs = model.predict_proba(&valid.x);
                 let (_, f1) = best_f1_threshold(&probs, &valid_labels);
                 budget.consume(cost);
-                leaderboard.push(
-                    format!("rung{rung}[{}]", model.name()),
+                tracker.record(
+                    cand.family,
+                    &format!("rung{rung}[{}]", model.name()),
                     f1,
                     cost,
                 );
+                leaderboard.push(format!("rung{rung}[{}]", model.name()), f1, cost);
                 *score = f1;
                 rung_results.push((cand.clone(), model, probs, f1));
             }
@@ -127,8 +136,8 @@ impl AutoMlSystem for SuccessiveHalving {
             survivors = rung_results;
             // promote the top fraction
             survivors.sort_by(|a, b| b.3.partial_cmp(&a.3).expect("finite F1"));
-            let keep = ((survivors.len() as f64 * self.config.keep_fraction).ceil() as usize)
-                .max(1);
+            let keep =
+                ((survivors.len() as f64 * self.config.keep_fraction).ceil() as usize).max(1);
             if keep == 1 || subsample >= 1.0 || budget.exhausted() {
                 break;
             }
@@ -149,7 +158,9 @@ impl AutoMlSystem for SuccessiveHalving {
         let (threshold, val_f1) = best_f1_threshold(&probs, &valid_labels);
         self.best = Some(model);
         self.threshold = threshold;
+        span.add_units(budget.used());
         FitReport {
+            system: self.name(),
             units_used: budget.used(),
             hours_used: budget.used_hours(),
             val_f1,

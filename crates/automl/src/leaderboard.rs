@@ -58,6 +58,9 @@ impl Leaderboard {
 /// Summary of one AutoML `fit` run.
 #[derive(Debug, Clone)]
 pub struct FitReport {
+    /// Name of the system that produced this report (as in the paper's
+    /// tables: "AutoSklearn", "AutoGluon", "H2OAutoML", …).
+    pub system: &'static str,
     /// Budget units consumed.
     pub units_used: f64,
     /// Consumed budget expressed in paper-hours.

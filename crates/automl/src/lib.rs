@@ -26,12 +26,13 @@
 pub mod budget;
 pub mod ensemble;
 pub mod gluon_like;
-pub mod halving;
 pub mod h2o_like;
+pub mod halving;
 pub mod leaderboard;
 pub mod sklearn_like;
 pub mod smbo;
 pub mod space;
+pub mod telemetry;
 
 use linalg::Matrix;
 use ml::dataset::TabularData;

@@ -10,6 +10,7 @@ use crate::ensemble::{greedy_selection, weighted_average};
 use crate::leaderboard::{FitReport, Leaderboard};
 use crate::smbo::{propose, warm_starts, Surrogate};
 use crate::space::{sklearn_families, Candidate};
+use crate::telemetry::TrialTracker;
 use crate::AutoMlSystem;
 use linalg::{Matrix, Rng};
 use ml::dataset::TabularData;
@@ -49,6 +50,8 @@ impl AutoMlSystem for AutoSklearnStyle {
     }
 
     fn fit(&mut self, train: &TabularData, valid: &TabularData, budget: &mut Budget) -> FitReport {
+        let span = obs::span("automl.AutoSklearn.fit");
+        let mut tracker = TrialTracker::new(self.name());
         let mut rng = Rng::new(self.seed ^ 0xA51);
         let families = sklearn_families();
         let valid_labels = valid.labels_bool();
@@ -70,8 +73,12 @@ impl AutoMlSystem for AutoSklearnStyle {
                 let rows: Vec<Vec<f32>> =
                     history.iter().map(|(c, _)| c.encode(&families)).collect();
                 let scores: Vec<f64> = history.iter().map(|(_, s)| *s).collect();
-                let surrogate =
-                    Surrogate::fit(&Matrix::from_rows(&rows), &scores, SURROGATE_TREES, &mut rng);
+                let surrogate = Surrogate::fit(
+                    &Matrix::from_rows(&rows),
+                    &scores,
+                    SURROGATE_TREES,
+                    &mut rng,
+                );
                 propose(&surrogate, &families, &history, &mut rng)
             };
             let cost = fit_cost(candidate.family, train.len());
@@ -84,6 +91,7 @@ impl AutoMlSystem for AutoSklearnStyle {
             let probs = model.predict_proba(&valid.x);
             let (_, f1) = best_f1_threshold(&probs, &valid_labels);
             budget.consume(cost);
+            tracker.record(candidate.family, &model.name(), f1, cost);
             leaderboard.push(model.name(), f1, cost);
             history.push((candidate, f1 / 100.0));
             fitted.push((model, probs));
@@ -111,7 +119,9 @@ impl AutoMlSystem for AutoSklearnStyle {
 
         // the real AutoSklearn always runs out its clock
         budget.drain();
+        span.add_units(budget.used());
         FitReport {
+            system: self.name(),
             units_used: budget.used(),
             hours_used: budget.used_hours(),
             val_f1,
@@ -159,7 +169,11 @@ mod tests {
         let mut budget = Budget::hours(1.0);
         let report = sys.fit(&train, &valid, &mut budget);
         assert!(budget.exhausted(), "AutoSklearn must drain its budget");
-        assert!(report.leaderboard.len() >= 4, "{}", report.leaderboard.len());
+        assert!(
+            report.leaderboard.len() >= 4,
+            "{}",
+            report.leaderboard.len()
+        );
         let preds = sys.predict(&test.x);
         let f1 = f1_score(&preds, &test.labels_bool());
         assert!(f1 > 85.0, "F1 {f1}");

@@ -13,8 +13,15 @@ use linalg::{Matrix, Rng};
 /// One node of a surrogate regression tree.
 #[derive(Debug, Clone)]
 enum SNode {
-    Leaf { value: f64 },
-    Split { feature: usize, threshold: f32, left: usize, right: usize },
+    Leaf {
+        value: f64,
+    },
+    Split {
+        feature: usize,
+        threshold: f32,
+        left: usize,
+        right: usize,
+    },
 }
 
 #[derive(Debug, Clone)]
@@ -34,8 +41,17 @@ impl STree {
         loop {
             match &self.nodes[node] {
                 SNode::Leaf { value } => return *value,
-                SNode::Split { feature, threshold, left, right } => {
-                    node = if row[*feature] <= *threshold { *left } else { *right };
+                SNode::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    node = if row[*feature] <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
                 }
             }
         }
@@ -92,13 +108,19 @@ fn grow(
         nodes.push(SNode::Leaf { value: mean });
         return nodes.len() - 1;
     };
-    let (li, ri): (Vec<usize>, Vec<usize>) =
-        indices.into_iter().partition(|&i| x[(i, feature)] <= threshold);
+    let (li, ri): (Vec<usize>, Vec<usize>) = indices
+        .into_iter()
+        .partition(|&i| x[(i, feature)] <= threshold);
     let slot = nodes.len();
     nodes.push(SNode::Leaf { value: mean });
     let left = grow(x, y, li, depth + 1, max_depth, rng, nodes);
     let right = grow(x, y, ri, depth + 1, max_depth, rng, nodes);
-    nodes[slot] = SNode::Split { feature, threshold, left, right };
+    nodes[slot] = SNode::Split {
+        feature,
+        threshold,
+        left,
+        right,
+    };
     slot
 }
 
@@ -128,8 +150,7 @@ impl Surrogate {
     pub fn predict(&self, encoding: &[f32]) -> (f64, f64) {
         let preds: Vec<f64> = self.trees.iter().map(|t| t.predict(encoding)).collect();
         let mean = preds.iter().sum::<f64>() / preds.len() as f64;
-        let var =
-            preds.iter().map(|p| (p - mean) * (p - mean)).sum::<f64>() / preds.len() as f64;
+        let var = preds.iter().map(|p| (p - mean) * (p - mean)).sum::<f64>() / preds.len() as f64;
         (mean, var.sqrt())
     }
 
@@ -179,18 +200,36 @@ pub fn warm_starts(n_rows: usize, positive_ratio: f64) -> Vec<Candidate> {
     use crate::budget::ModelFamily::*;
     let mut out = Vec::new();
     // a solid GBM is the best first guess on tabular data of any size
-    out.push(Candidate { family: Gbm, params: [0.5, 0.5, 0.5, 1.0] });
+    out.push(Candidate {
+        family: Gbm,
+        params: [0.5, 0.5, 0.5, 1.0],
+    });
     if n_rows < 1500 {
         // tiny datasets: strong regularization / simple models first
-        out.push(Candidate { family: LogReg, params: [0.6, 0.5, 0.5, 1.0] });
-        out.push(Candidate { family: RandomForest, params: [0.5, 0.3, 0.5, 0.6] });
+        out.push(Candidate {
+            family: LogReg,
+            params: [0.6, 0.5, 0.5, 1.0],
+        });
+        out.push(Candidate {
+            family: RandomForest,
+            params: [0.5, 0.3, 0.5, 0.6],
+        });
     } else {
-        out.push(Candidate { family: RandomForest, params: [0.7, 0.7, 0.4, 0.1] });
-        out.push(Candidate { family: ExtraTrees, params: [0.7, 0.7, 0.4, 0.1] });
+        out.push(Candidate {
+            family: RandomForest,
+            params: [0.7, 0.7, 0.4, 0.1],
+        });
+        out.push(Candidate {
+            family: ExtraTrees,
+            params: [0.7, 0.7, 0.4, 0.1],
+        });
     }
     if positive_ratio < 0.15 {
         // heavy imbalance: balanced linear model probes the threshold geometry
-        out.push(Candidate { family: LinearSvm, params: [0.4, 0.6, 1.0, 0.5] });
+        out.push(Candidate {
+            family: LinearSvm,
+            params: [0.4, 0.6, 1.0, 0.5],
+        });
     }
     out
 }
@@ -294,7 +333,10 @@ mod tests {
         };
         let sparse = make_history(8, &mut rng);
         let dense = make_history(120, &mut rng);
-        let probe = Candidate { family: ModelFamily::Gbm, params: [0.5; PARAM_DIMS] };
+        let probe = Candidate {
+            family: ModelFamily::Gbm,
+            params: [0.5; PARAM_DIMS],
+        };
         let enc = probe.encode(&families);
         let (xs, ys) = encode_history(&sparse, &families);
         let (xd, yd) = encode_history(&dense, &families);
@@ -302,7 +344,10 @@ mod tests {
         let sd = Surrogate::fit(&xd, &yd, 25, &mut rng);
         let (_, sig_sparse) = ss.predict(&enc);
         let (_, sig_dense) = sd.predict(&enc);
-        assert!(sig_dense <= sig_sparse + 0.05, "{sig_dense} vs {sig_sparse}");
+        assert!(
+            sig_dense <= sig_sparse + 0.05,
+            "{sig_dense} vs {sig_sparse}"
+        );
     }
 
     #[test]

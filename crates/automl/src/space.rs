@@ -198,7 +198,9 @@ mod tests {
             let probs = model.predict_proba(&x);
             assert_eq!(probs.len(), 60);
             assert!(
-                probs.iter().all(|p| p.is_finite() && (0.0..=1.0).contains(p)),
+                probs
+                    .iter()
+                    .all(|p| p.is_finite() && (0.0..=1.0).contains(p)),
                 "{family:?}"
             );
         }

@@ -1,0 +1,77 @@
+//! Shared search-trajectory telemetry for the AutoML engines.
+//!
+//! Every engine funnels its per-candidate evaluations through a
+//! [`TrialTracker`], which emits one [`obs::TrialEvent`] per fitted model
+//! (family, hyperparameters, validation F1, units charged, best-so-far)
+//! and keeps two registry metrics per engine current:
+//! `automl.<engine>.trials` (counter) and `automl.<engine>.units_spent`
+//! (gauge). Convergence traces — best validation F1 over budget spend —
+//! thus fall out of any run, in the JSONL trace when `AUTOML_EM_TRACE` is
+//! set and in [`obs::recent_trials`] always.
+
+use crate::budget::ModelFamily;
+
+/// Per-search trial telemetry (one per `fit` call).
+pub struct TrialTracker {
+    engine: &'static str,
+    n: usize,
+    best: f64,
+    trials: &'static obs::Counter,
+    units: &'static obs::Gauge,
+}
+
+impl TrialTracker {
+    /// Start tracking one engine's search.
+    pub fn new(engine: &'static str) -> Self {
+        Self {
+            engine,
+            n: 0,
+            best: f64::NEG_INFINITY,
+            trials: obs::counter(&format!("automl.{engine}.trials")),
+            units: obs::gauge(&format!("automl.{engine}.units_spent")),
+        }
+    }
+
+    /// Record one candidate fit: its family, full model description
+    /// (hyperparameters included), validation F1 and budget charge.
+    pub fn record(&mut self, family: ModelFamily, model: &str, val_f1: f64, cost_units: f64) {
+        self.best = self.best.max(val_f1);
+        obs::events::emit_trial(obs::TrialEvent {
+            engine: self.engine,
+            trial: self.n,
+            family: format!("{family:?}"),
+            model: model.to_owned(),
+            val_f1,
+            cost_units,
+            best_so_far: self.best,
+        });
+        self.n += 1;
+        self.trials.inc();
+        self.units.add(cost_units);
+    }
+
+    /// Trials recorded in this search so far.
+    pub fn trials(&self) -> usize {
+        self.n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tracker_emits_and_counts() {
+        let mut t = TrialTracker::new("t.tel.Engine");
+        t.record(ModelFamily::Gbm, "gbm(rounds=50)", 61.0, 1.5);
+        t.record(ModelFamily::LogReg, "logreg(l2=0.01)", 55.0, 0.5);
+        assert_eq!(t.trials(), 2);
+        let trials = obs::recent_trials(Some("t.tel.Engine"));
+        assert_eq!(trials.len(), 2);
+        assert_eq!(trials[0].best_so_far, 61.0);
+        assert_eq!(trials[1].best_so_far, 61.0, "best-so-far is cumulative");
+        assert_eq!(obs::counter("automl.t.tel.Engine.trials").get(), 2);
+        let spent = obs::gauge("automl.t.tel.Engine.units_spent").get();
+        assert!((spent - 2.0).abs() < 1e-12);
+    }
+}

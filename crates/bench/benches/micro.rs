@@ -1,8 +1,9 @@
 //! Micro-benchmarks of the hot kernels under every experiment: string
 //! similarity, tokenization, embedding forward passes, classical-model
-//! fits and the autodiff engine.
+//! fits and the autodiff engine (std-only harness — see
+//! [`bench::stopwatch`]).
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use bench::stopwatch::bench;
 use em_core::{tokenizer::tokenize_pair, TokenizerMode};
 use em_data::MagellanDataset;
 use embed::families::{EmbedderFamily, PretrainConfig, PretrainedTransformer};
@@ -14,42 +15,33 @@ use ml::Classifier;
 use std::hint::black_box;
 use text::similarity::{jaccard, jaro_winkler, levenshtein};
 
-fn bench_micro_similarity(c: &mut Criterion) {
+fn main() {
+    println!("== micro benches ==");
+
     let a = "deep learning for entity matching a design space exploration";
     let b = "deep learnig of entity matchin design space exploraton acm";
     let ta: Vec<String> = a.split_whitespace().map(str::to_owned).collect();
     let tb: Vec<String> = b.split_whitespace().map(str::to_owned).collect();
-    let mut g = c.benchmark_group("micro/similarity");
-    g.bench_function("levenshtein_60ch", |bch| {
-        bch.iter(|| black_box(levenshtein(black_box(a), black_box(b))))
+    bench("micro/similarity/levenshtein_60ch", 200, || {
+        black_box(levenshtein(black_box(a), black_box(b)))
     });
-    g.bench_function("jaro_winkler_60ch", |bch| {
-        bch.iter(|| black_box(jaro_winkler(black_box(a), black_box(b))))
+    bench("micro/similarity/jaro_winkler_60ch", 200, || {
+        black_box(jaro_winkler(black_box(a), black_box(b)))
     });
-    g.bench_function("jaccard_tokens", |bch| {
-        bch.iter(|| black_box(jaccard(black_box(&ta), black_box(&tb))))
+    bench("micro/similarity/jaccard_tokens", 200, || {
+        black_box(jaccard(black_box(&ta), black_box(&tb)))
     });
-    g.finish();
-}
 
-fn bench_micro_tokenizer(c: &mut Criterion) {
     let dataset = MagellanDataset::SDA.profile().generate_scaled(1, 0.05);
     let pairs = dataset.pairs();
-    let mut g = c.benchmark_group("micro/em_tokenizer");
-    g.throughput(Throughput::Elements(pairs.len() as u64));
     for mode in [TokenizerMode::AttributeBased, TokenizerMode::Hybrid] {
-        g.bench_function(mode.label(), |bch| {
-            bch.iter(|| {
-                for p in pairs {
-                    black_box(tokenize_pair(p, dataset.schema(), mode));
-                }
-            })
+        bench(&format!("micro/em_tokenizer/{}", mode.label()), 20, || {
+            for p in pairs {
+                black_box(tokenize_pair(p, dataset.schema(), mode));
+            }
         });
     }
-    g.finish();
-}
 
-fn bench_micro_embedder(c: &mut Criterion) {
     let embedder = PretrainedTransformer::pretrain(
         EmbedderFamily::DBert,
         &[],
@@ -60,54 +52,31 @@ fn bench_micro_embedder(c: &mut Criterion) {
         },
     );
     let text = "sony ab123 wireless noise cancelling headphones sep sony ab123 headphones black";
-    c.bench_function("micro/transformer_embed_14tok", |bch| {
-        bch.iter(|| black_box(embedder.embed(black_box(text))))
+    bench("micro/transformer_embed_14tok", 100, || {
+        black_box(embedder.embed(black_box(text)))
     });
-}
 
-fn bench_micro_models(c: &mut Criterion) {
     let mut rng = Rng::new(1);
     let x = Matrix::randn(500, 64, 1.0, &mut rng);
     let y: Vec<f32> = (0..500).map(|i| f32::from(i % 4 == 0)).collect();
-    let mut g = c.benchmark_group("micro/model_fit_500x64");
-    g.sample_size(10);
-    g.bench_function("gbm_50rounds", |bch| {
-        bch.iter(|| {
-            let mut m = GradientBoosting::new(BoostConfig {
-                n_rounds: 50,
-                ..BoostConfig::default()
-            });
-            m.fit(&x, &y);
-            black_box(m.predict_proba(&x)[0])
-        })
+    bench("micro/model_fit_500x64/gbm_50rounds", 5, || {
+        let mut m = GradientBoosting::new(BoostConfig {
+            n_rounds: 50,
+            ..BoostConfig::default()
+        });
+        m.fit(&x, &y);
+        black_box(m.predict_proba(&x)[0])
     });
-    g.bench_function("random_forest_30trees", |bch| {
-        bch.iter(|| {
-            let mut m = RandomForest::new(ForestConfig::random_forest(30, 1));
-            m.fit(&x, &y);
-            black_box(m.predict_proba(&x)[0])
-        })
+    bench("micro/model_fit_500x64/random_forest_30trees", 5, || {
+        let mut m = RandomForest::new(ForestConfig::random_forest(30, 1));
+        m.fit(&x, &y);
+        black_box(m.predict_proba(&x)[0])
     });
-    g.finish();
-}
 
-fn bench_micro_matmul(c: &mut Criterion) {
     let mut rng = Rng::new(2);
-    let a = Matrix::randn(64, 64, 1.0, &mut rng);
-    let b = Matrix::randn(64, 64, 1.0, &mut rng);
-    c.bench_function("micro/matmul_64x64", |bch| {
-        bch.iter(|| black_box(black_box(&a).matmul(black_box(&b))))
+    let ma = Matrix::randn(64, 64, 1.0, &mut rng);
+    let mb = Matrix::randn(64, 64, 1.0, &mut rng);
+    bench("micro/matmul_64x64", 200, || {
+        black_box(black_box(&ma).matmul(black_box(&mb)))
     });
 }
-
-criterion_group! {
-    name = micro;
-    config = Criterion::default();
-    targets =
-        bench_micro_similarity,
-        bench_micro_tokenizer,
-        bench_micro_embedder,
-        bench_micro_models,
-        bench_micro_matmul
-}
-criterion_main!(micro);

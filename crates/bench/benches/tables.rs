@@ -1,4 +1,5 @@
-//! Criterion benches, one per paper table, at miniature scale.
+//! Timing benches, one per paper table, at miniature scale (std-only
+//! harness — see [`bench::stopwatch`]).
 //!
 //! These measure the *wall-clock cost* of regenerating each table's
 //! pipeline on a small slice of the benchmark, so regressions in any layer
@@ -7,7 +8,7 @@
 //! binaries.
 
 use bench::experiments::{adapter_run, pretrain_embedders, table2_row, table3_rows, Embedders};
-use criterion::{criterion_group, criterion_main, Criterion};
+use bench::stopwatch::bench;
 use em_core::{Combiner, TokenizerMode};
 use em_data::{magellan_benchmark, MagellanDataset};
 use embed::families::EmbedderFamily;
@@ -21,76 +22,48 @@ fn mini_embedders() -> Embedders {
     pretrain_embedders(&profiles, 1)
 }
 
-fn bench_table1_datagen(c: &mut Criterion) {
-    c.bench_function("table1/generate_all_profiles_scaled", |b| {
-        b.iter(|| {
-            for p in magellan_benchmark() {
-                let d = p.generate_scaled(black_box(7), 0.02);
-                black_box(d.len());
-            }
-        })
-    });
-}
+fn main() {
+    println!("== table benches (miniature scale) ==");
 
-fn bench_table2_automl_raw(c: &mut Criterion) {
+    bench("table1/generate_all_profiles_scaled", 10, || {
+        for p in magellan_benchmark() {
+            let d = p.generate_scaled(black_box(7), 0.02);
+            black_box(d.len());
+        }
+    });
+
     let profile = MagellanDataset::SBR.profile();
-    c.bench_function("table2/raw_automl_plus_deepmatcher_sbr", |b| {
-        b.iter(|| black_box(table2_row(&profile, 0.15, 3)))
+    bench("table2/raw_automl_plus_deepmatcher_sbr", 3, || {
+        black_box(table2_row(&profile, 0.15, 3))
     });
-}
 
-fn bench_table3_adapter_grid(c: &mut Criterion) {
     let embedders = mini_embedders();
-    let profile = MagellanDataset::SBR.profile();
-    c.bench_function("table3/adapter_grid_one_dataset", |b| {
-        b.iter(|| black_box(table3_rows(&profile, &embedders, 0.15, 3, 0.2)))
+    bench("table3/adapter_grid_one_dataset", 3, || {
+        black_box(table3_rows(&profile, &embedders, 0.15, 3, 0.2))
     });
-}
 
-fn bench_table4_delta(c: &mut Criterion) {
     // Table 4 is an aggregation of Tables 2+3; bench the aggregation input
-    let embedders = mini_embedders();
-    let profile = MagellanDataset::SBR.profile();
-    c.bench_function("table4/raw_plus_grid_one_dataset", |b| {
-        b.iter(|| {
-            let raw = table2_row(&profile, 0.15, 3);
-            let grid = table3_rows(&profile, &embedders, 0.15, 3, 0.2);
-            black_box((raw.dm_f1, grid.len()))
-        })
+    bench("table4/raw_plus_grid_one_dataset", 3, || {
+        let raw = table2_row(&profile, 0.15, 3);
+        let grid = table3_rows(&profile, &embedders, 0.15, 3, 0.2);
+        black_box((raw.dm_f1, grid.len()))
     });
-}
 
-fn bench_table5_budget(c: &mut Criterion) {
-    let embedders = mini_embedders();
     let albert = embedders.get(EmbedderFamily::Albert);
     let dataset = MagellanDataset::SBR.profile().generate_scaled(3, 0.2);
-    let mut group = c.benchmark_group("table5");
     for hours in [1.0_f64, 6.0] {
-        group.bench_function(format!("hybrid_albert_budget_{hours}h"), |b| {
-            b.iter(|| {
-                black_box(adapter_run(
-                    &dataset,
-                    albert,
-                    TokenizerMode::Hybrid,
-                    Combiner::Average,
-                    0,
-                    hours,
-                    3,
-                ))
-            })
+        bench(&format!("table5/hybrid_albert_budget_{hours}h"), 3, || {
+            black_box(adapter_run(
+                &dataset,
+                albert,
+                TokenizerMode::Hybrid,
+                Combiner::Average,
+                0,
+                hours,
+                3,
+            ))
         });
     }
-    group.finish();
-}
 
-criterion_group! {
-    name = tables;
-    config = Criterion::default().sample_size(10);
-    targets =
-        bench_table1_datagen,
-        bench_table2_automl_raw,
-        bench_table3_adapter_grid,
-        bench_table4_delta,
-        bench_table5_budget
+    obs::print_summary();
 }
-criterion_main!(tables);

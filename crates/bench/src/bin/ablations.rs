@@ -15,7 +15,7 @@
 //! AutoSklearn-style system.
 
 use bench::experiments::{adapter_run, dataset_seed, pretrain_embedders};
-use bench::report::{emit, f1, Table};
+use bench::report::{emit, f1, finish_run, Table};
 use bench::Cli;
 use em_core::{run_pipeline, Combiner, EmAdapter, PipelineConfig, TokenizerMode};
 use em_data::MagellanDataset;
@@ -41,7 +41,11 @@ impl SequenceEmbedder for ConcatLast4<'_> {
 
 fn main() {
     let cli = Cli::parse();
-    let subset = [MagellanDataset::SDA, MagellanDataset::SWA, MagellanDataset::DIA];
+    let subset = [
+        MagellanDataset::SDA,
+        MagellanDataset::SWA,
+        MagellanDataset::DIA,
+    ];
     let profiles: Vec<_> = subset.iter().map(|d| d.profile()).collect();
     eprintln!("pretraining embedders…");
     let embedders = pretrain_embedders(&profiles, cli.seed);
@@ -50,7 +54,13 @@ fn main() {
     // --- combiner ablation -------------------------------------------------
     let mut combiner_table = Table::new(
         "Ablation - combiner variants (Hybrid tokenizer, Albert, AutoSklearn)",
-        &["Dataset", "avg (paper)", "max", "avg+spread", "concat-last4"],
+        &[
+            "Dataset",
+            "avg (paper)",
+            "max",
+            "avg+spread",
+            "concat-last4",
+        ],
     );
     for p in &profiles {
         let seed = dataset_seed(cli.seed, p.code);
@@ -58,8 +68,16 @@ fn main() {
         let mut cells = Vec::new();
         for combiner in [Combiner::Average, Combiner::Max, Combiner::AverageAndSpread] {
             cells.push(
-                adapter_run(&dataset, albert, TokenizerMode::Hybrid, combiner, 0, 1.0, seed)
-                    .test_f1,
+                adapter_run(
+                    &dataset,
+                    albert,
+                    TokenizerMode::Hybrid,
+                    combiner,
+                    0,
+                    1.0,
+                    seed,
+                )
+                .test_f1,
             );
         }
         // concat-last-4 embedder variant with the standard average combiner
@@ -70,7 +88,11 @@ fn main() {
             sys.as_mut(),
             &adapter,
             &dataset,
-            PipelineConfig { budget_hours: 1.0, seed, ..PipelineConfig::default() },
+            PipelineConfig {
+                budget_hours: 1.0,
+                seed,
+                ..PipelineConfig::default()
+            },
         );
         cells.push(r.test_f1);
         combiner_table.row(vec![
@@ -118,7 +140,11 @@ fn main() {
             plain_sys.as_mut(),
             &adapter,
             &dataset,
-            PipelineConfig { budget_hours: 1.0, seed, ..PipelineConfig::default() },
+            PipelineConfig {
+                budget_hours: 1.0,
+                seed,
+                ..PipelineConfig::default()
+            },
         );
         let adapter2 = EmAdapter::new(TokenizerMode::Hybrid, albert, Combiner::Average);
         let mut os_sys = bench::experiments::make_system(0, seed);
@@ -148,8 +174,15 @@ fn main() {
     for p in &profiles {
         let seed = dataset_seed(cli.seed, p.code);
         let dataset = p.generate_scaled(seed, bench::experiments::effective_scale(p, cli.scale));
-        let pretrained =
-            adapter_run(&dataset, albert, TokenizerMode::Hybrid, Combiner::Average, 0, 1.0, seed);
+        let pretrained = adapter_run(
+            &dataset,
+            albert,
+            TokenizerMode::Hybrid,
+            Combiner::Average,
+            0,
+            1.0,
+            seed,
+        );
         let texts: Vec<String> = dataset
             .pairs()
             .iter()
@@ -162,7 +195,11 @@ fn main() {
             sys.as_mut(),
             &adapter,
             &dataset,
-            PipelineConfig { budget_hours: 1.0, seed, ..PipelineConfig::default() },
+            PipelineConfig {
+                budget_hours: 1.0,
+                seed,
+                ..PipelineConfig::default()
+            },
         );
         local_table.row(vec![
             p.code.to_owned(),
@@ -171,4 +208,5 @@ fn main() {
         ]);
     }
     emit(&local_table, cli.out.as_deref());
+    finish_run("ablations", &cli);
 }

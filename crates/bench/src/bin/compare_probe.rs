@@ -16,13 +16,37 @@ fn main() {
     let embedders = pretrain_embedders(&profiles, 42);
     let albert = embedders.get(EmbedderFamily::Albert);
     for base in profiles {
-        for diff in [base.difficulty, base.difficulty * 0.75, base.difficulty * 0.55] {
-            let p = DatasetProfile { difficulty: diff, ..base };
+        for diff in [
+            base.difficulty,
+            base.difficulty * 0.75,
+            base.difficulty * 0.55,
+        ] {
+            let p = DatasetProfile {
+                difficulty: diff,
+                ..base
+            };
             let d = p.generate_scaled(9, 0.12);
-            let dm = train_deepmatcher(&d, TrainConfig { epochs: 10, ..TrainConfig::default() });
+            let dm = train_deepmatcher(
+                &d,
+                TrainConfig {
+                    epochs: 10,
+                    ..TrainConfig::default()
+                },
+            );
             let dmf1 = dm.f1_on(d.split(Split::Test));
-            let ad = adapter_run(&d, albert, TokenizerMode::Hybrid, Combiner::Average, 0, 1.0, 9);
-            println!("{} diff {:.2}: DM {:.1}  adapter+ASk {:.1}", p.code, diff, dmf1, ad.test_f1);
+            let ad = adapter_run(
+                &d,
+                albert,
+                TokenizerMode::Hybrid,
+                Combiner::Average,
+                0,
+                1.0,
+                9,
+            );
+            println!(
+                "{} diff {:.2}: DM {:.1}  adapter+ASk {:.1}",
+                p.code, diff, dmf1, ad.test_f1
+            );
         }
     }
 }

@@ -15,21 +15,40 @@ fn main() {
         (MagellanDataset::DDA, 0.12),
     ] {
         let d = id.profile().generate_scaled(9, scale);
-        let domain: Vec<String> = d.pairs().iter().take(150)
-            .flat_map(|p| [p.left.flatten(), p.right.flatten()]).collect();
+        let domain: Vec<String> = d
+            .pairs()
+            .iter()
+            .take(150)
+            .flat_map(|p| [p.left.flatten(), p.right.flatten()])
+            .collect();
         let emb = PretrainedTransformer::pretrain(
-            EmbedderFamily::Albert, &domain,
-            PretrainConfig { steps: 600, seed: 1, ..PretrainConfig::default() });
+            EmbedderFamily::Albert,
+            &domain,
+            PretrainConfig {
+                steps: 600,
+                seed: 1,
+                ..PretrainConfig::default()
+            },
+        );
         for mode in [TokenizerMode::AttributeBased, TokenizerMode::Hybrid] {
             let adapter = EmAdapter::new(mode, &emb, Combiner::Average);
             let tr = adapter.encode_split(&d, Split::Train);
             let va = adapter.encode_split(&d, Split::Validation);
             let te = adapter.encode_split(&d, Split::Test);
-            let mut m = GradientBoosting::new(BoostConfig { n_rounds: 150, ..Default::default() });
+            let mut m = GradientBoosting::new(BoostConfig {
+                n_rounds: 150,
+                ..Default::default()
+            });
             m.fit(&tr.x, &tr.y);
             let (thr, vf1) = best_f1_threshold(&m.predict_proba(&va.x), &va.labels_bool());
             let tf1 = f1_at_threshold(&m.predict_proba(&te.x), &te.labels_bool(), thr);
-            println!("{} {:8}: val {:.1} test {:.1}", d.name(), mode.label(), vf1, tf1);
+            println!(
+                "{} {:8}: val {:.1} test {:.1}",
+                d.name(),
+                mode.label(),
+                vf1,
+                tf1
+            );
         }
     }
 }

@@ -2,7 +2,7 @@
 //! type, size and match percentage — and verifies the generated datasets
 //! actually hit those numbers.
 
-use bench::report::{emit, Table};
+use bench::report::{emit, finish_run, Table};
 use bench::Cli;
 use em_data::Split;
 
@@ -11,7 +11,13 @@ fn main() {
     let mut table = Table::new(
         "Table 1 - Magellan Benchmark",
         &[
-            "Dataset", "Type", "Datasets", "Size", "% Match", "gen size", "gen % match",
+            "Dataset",
+            "Type",
+            "Datasets",
+            "Size",
+            "% Match",
+            "gen size",
+            "gen % match",
             "train/valid/test",
         ],
     );
@@ -41,4 +47,5 @@ fn main() {
         "(scale {} — paper columns 'Size'/'% Match' are the Table 1 targets,\n the gen columns are what the synthetic generator produced)",
         cli.scale
     );
+    finish_run("table1", &cli);
 }

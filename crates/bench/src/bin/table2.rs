@@ -3,7 +3,7 @@
 //! (Hybrid) on all 12 datasets — F1 and training time per system.
 
 use bench::experiments::{dataset_seed, per_dataset, table2_row, SYSTEM_NAMES};
-use bench::report::{emit, f1, hours, Table};
+use bench::report::{emit, f1, finish_run, hours, Table};
 use bench::Cli;
 
 fn main() {
@@ -40,8 +40,8 @@ fn main() {
             f1(row.dm_f1),
             hours(row.dm_hours),
         ]);
-        for i in 0..3 {
-            avgs[i] += row.systems[i].0;
+        for (avg, sys) in avgs.iter_mut().zip(&row.systems) {
+            *avg += sys.0;
         }
         avgs[3] += row.dm_f1;
     }
@@ -52,4 +52,5 @@ fn main() {
         println!("  {name:12} {:.2}", avgs[i] / n);
     }
     println!("  {:12} {:.2}", "DeepMatcher", avgs[3] / n);
+    finish_run("table2", &cli);
 }

@@ -6,7 +6,7 @@
 use bench::experiments::{
     dataset_seed, per_dataset, pretrain_embedders, table3_rows, SYSTEM_NAMES,
 };
-use bench::report::{emit, f1, Table};
+use bench::report::{emit, f1, finish_run, Table};
 use bench::Cli;
 use em_core::TokenizerMode;
 use embed::families::EmbedderFamily;
@@ -79,4 +79,5 @@ fn main() {
             .collect();
         println!("{sys_name}: best-embedder counts — {}", winners.join(" "));
     }
+    finish_run("table3", &cli);
 }

@@ -12,7 +12,7 @@
 use bench::experiments::{
     dataset_seed, per_dataset, pretrain_embedders, table2_row, table3_rows, SYSTEM_NAMES,
 };
-use bench::report::{emit, f1, Table};
+use bench::report::{emit, f1, finish_run, Table};
 use bench::Cli;
 use em_core::TokenizerMode;
 use embed::families::EmbedderFamily;
@@ -40,7 +40,10 @@ fn main() {
         }
         let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
         let mut t3 = Table::new(
-            &format!("Table 3{} - EM-Adapter with {sys_name}", ["a", "b", "c"][sys_idx]),
+            &format!(
+                "Table 3{} - EM-Adapter with {sys_name}",
+                ["a", "b", "c"][sys_idx]
+            ),
             &header_refs,
         );
         for (p, (_, grid)) in profiles.iter().zip(&results) {
@@ -76,7 +79,7 @@ fn main() {
     let mut delta_sums = [0.0f64; 3];
     for (p, (raw, grid)) in profiles.iter().zip(&results) {
         let mut row = vec![p.code.to_owned()];
-        for sys_idx in 0..3 {
+        for (sys_idx, delta_sum) in delta_sums.iter_mut().enumerate() {
             let none = raw.systems[sys_idx].0;
             let avg_of = |mode: TokenizerMode| {
                 let vals: Vec<f64> = grid
@@ -89,7 +92,7 @@ fn main() {
             let attr = avg_of(TokenizerMode::AttributeBased);
             let hybrid = avg_of(TokenizerMode::Hybrid);
             let delta = (attr + hybrid) / 2.0 - none;
-            delta_sums[sys_idx] += delta;
+            *delta_sum += delta;
             row.push(f1(none));
             row.push(f1(attr));
             row.push(f1(hybrid));
@@ -103,4 +106,5 @@ fn main() {
     for (name, d) in SYSTEM_NAMES.iter().zip(delta_sums) {
         println!("  {name:12} {:+.2}", d / n);
     }
+    finish_run("table4", &cli);
 }

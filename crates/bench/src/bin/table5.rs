@@ -4,8 +4,10 @@
 //! against DeepMatcher (Hybrid). Δ columns report the offset between the
 //! best adapted system and DeepMatcher, per budget.
 
-use bench::experiments::{dataset_seed, make_system, per_dataset, pretrain_embedders, SYSTEM_NAMES};
-use bench::report::{emit, f1, hours, Table};
+use bench::experiments::{
+    dataset_seed, make_system, per_dataset, pretrain_embedders, SYSTEM_NAMES,
+};
+use bench::report::{emit, f1, finish_run, hours, Table};
 use bench::Cli;
 use deepmatcher::{train_deepmatcher, TrainConfig};
 use em_core::{run_encoded, Combiner, EmAdapter, PipelineConfig, TokenizerMode};
@@ -30,7 +32,13 @@ fn main() {
     let rows = per_dataset(&profiles, |p| {
         let seed = dataset_seed(cli.seed, p.code);
         let dataset = p.generate_scaled(seed, bench::experiments::effective_scale(p, cli.scale));
-        let dm = train_deepmatcher(&dataset, TrainConfig { seed, ..TrainConfig::default() });
+        let dm = train_deepmatcher(
+            &dataset,
+            TrainConfig {
+                seed,
+                ..TrainConfig::default()
+            },
+        );
         let dm_f1 = dm.f1_on(dataset.split(Split::Test));
         // encode once, reuse for every (system × budget) combination
         let adapter = EmAdapter::new(TokenizerMode::Hybrid, albert, Combiner::Average);
@@ -42,8 +50,12 @@ fn main() {
         for i in 0..3 {
             for (slot, hours) in [(&mut one, 1.0), (&mut six, 6.0)] {
                 let mut sys = make_system(i, seed);
-                let cfg = PipelineConfig { budget_hours: hours, seed, ..PipelineConfig::default() };
-                slot[i] = run_encoded(sys.as_mut(), &train, &valid, &test, cfg).test_f1;
+                let cfg = PipelineConfig {
+                    budget_hours: hours,
+                    seed,
+                    ..PipelineConfig::default()
+                };
+                slot[i] = run_encoded(sys.as_mut(), &train, &valid, &test, cfg, p.code).test_f1;
             }
         }
         Row {
@@ -58,17 +70,8 @@ fn main() {
     let mut table = Table::new(
         "Table 5 - EM-Adapter plus AutoML vs DeepMatcher",
         &[
-            "Dataset",
-            "DM F1",
-            "DM (h)",
-            "1h ASk",
-            "1h AGl",
-            "1h H2O",
-            "1h Delta",
-            "6h ASk",
-            "6h AGl",
-            "6h H2O",
-            "6h Delta",
+            "Dataset", "DM F1", "DM (h)", "1h ASk", "1h AGl", "1h H2O", "1h Delta", "6h ASk",
+            "6h AGl", "6h H2O", "6h Delta",
         ],
     );
     let (mut cmp1, mut cmp6) = (0usize, 0usize);
@@ -102,4 +105,5 @@ fn main() {
          (paper: 9/12 and 11/12)"
     );
     let _ = SYSTEM_NAMES; // referenced for column naming consistency
+    finish_run("table5", &cli);
 }

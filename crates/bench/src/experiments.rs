@@ -1,4 +1,4 @@
-//! Shared experiment runner behind every table binary and Criterion bench.
+//! Shared experiment runner behind every table binary and timing bench.
 //!
 //! The expensive artifacts are built once and shared: the five pretrained
 //! embedder families (pretrained on the generalist corpus plus a sample of
@@ -64,31 +64,37 @@ pub fn pretrain_embedders(profiles: &[DatasetProfile], seed: u64) -> Embedders {
     let fast = std::env::var_os("EMBED_BENCH_FAST").is_some();
     let cfg = PretrainConfig {
         seed,
-        steps: if fast { 40 } else { PretrainConfig::default().steps },
-        corpus_sentences: if fast { 300 } else { PretrainConfig::default().corpus_sentences },
+        steps: if fast {
+            40
+        } else {
+            PretrainConfig::default().steps
+        },
+        corpus_sentences: if fast {
+            300
+        } else {
+            PretrainConfig::default().corpus_sentences
+        },
         ..PretrainConfig::default()
     };
     let mut families: Vec<(usize, PretrainedTransformer)> = Vec::new();
-    crossbeam::thread::scope(|s| {
+    std::thread::scope(|s| {
         let handles: Vec<_> = EmbedderFamily::ALL
             .iter()
             .enumerate()
             .map(|(i, &family)| {
                 let domain_text = &domain_text;
-                s.spawn(move |_| (i, PretrainedTransformer::pretrain(family, domain_text, cfg)))
+                s.spawn(move || (i, PretrainedTransformer::pretrain(family, domain_text, cfg)))
             })
             .collect();
         for h in handles {
             families.push(h.join().expect("pretraining thread panicked"));
         }
-    })
-    .expect("scope");
+    });
     families.sort_by_key(|(i, _)| *i);
     Embedders {
         families: families.into_iter().map(|(_, f)| f).collect(),
     }
 }
-
 
 /// Effective generation scale: small datasets always run at (near) full
 /// size — they are cheap and meaningless below a few hundred pairs — while
@@ -125,7 +131,13 @@ pub fn table2_row(profile: &DatasetProfile, scale: f64, seed: u64) -> Table2Row 
         let r = run_raw(sys.as_mut(), &dataset, cfg);
         *slot = (r.test_f1, r.hours_used);
     }
-    let dm = train_deepmatcher(&dataset, TrainConfig { seed, ..TrainConfig::default() });
+    let dm = train_deepmatcher(
+        &dataset,
+        TrainConfig {
+            seed,
+            ..TrainConfig::default()
+        },
+    );
     let dm_f1 = dm.f1_on(dataset.split(Split::Test));
     Table2Row {
         code: profile.code,
@@ -173,7 +185,14 @@ pub fn table3_rows(
             let mut f1 = [0.0; 3];
             for (i, slot) in f1.iter_mut().enumerate() {
                 let mut sys = make_system(i, seed);
-                let r = em_core::pipeline::run_encoded(sys.as_mut(), &train, &valid, &test, cfg);
+                let r = em_core::pipeline::run_encoded(
+                    sys.as_mut(),
+                    &train,
+                    &valid,
+                    &test,
+                    cfg,
+                    profile.code,
+                );
                 *slot = r.test_f1;
             }
             cells.push(GridCell {
@@ -217,20 +236,19 @@ pub fn per_dataset<T: Send>(
     f: impl Fn(&DatasetProfile) -> T + Sync,
 ) -> Vec<T> {
     let mut results: Vec<(usize, T)> = Vec::with_capacity(profiles.len());
-    crossbeam::thread::scope(|s| {
+    std::thread::scope(|s| {
         let handles: Vec<_> = profiles
             .iter()
             .enumerate()
             .map(|(i, p)| {
                 let f = &f;
-                s.spawn(move |_| (i, f(p)))
+                s.spawn(move || (i, f(p)))
             })
             .collect();
         for h in handles {
             results.push(h.join().expect("dataset thread panicked"));
         }
-    })
-    .expect("scope");
+    });
     results.sort_by_key(|(i, _)| *i);
     results.into_iter().map(|(_, t)| t).collect()
 }
@@ -238,7 +256,9 @@ pub fn per_dataset<T: Send>(
 /// Deterministic per-dataset sub-seed.
 pub fn dataset_seed(master: u64, code: &str) -> u64 {
     let mut rng = Rng::new(master);
-    let tag = code.bytes().fold(0u64, |a, b| a.wrapping_mul(31).wrapping_add(b as u64));
+    let tag = code
+        .bytes()
+        .fold(0u64, |a, b| a.wrapping_mul(31).wrapping_add(b as u64));
     rng.fork(tag).next_u64()
 }
 
@@ -289,8 +309,9 @@ mod tests {
         let embedders = tiny_embedders();
         let cells = table3_rows(&p, &embedders, 0.25, 5, 0.2);
         assert_eq!(cells.len(), 2 * 5);
-        assert!(cells.iter().any(|c| c.mode == TokenizerMode::Hybrid
-            && c.family == EmbedderFamily::Albert));
+        assert!(cells
+            .iter()
+            .any(|c| c.mode == TokenizerMode::Hybrid && c.family == EmbedderFamily::Albert));
         for c in &cells {
             for f1 in c.f1 {
                 assert!((0.0..=100.0).contains(&f1));

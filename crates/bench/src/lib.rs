@@ -19,6 +19,7 @@
 
 pub mod experiments;
 pub mod report;
+pub mod stopwatch;
 
 /// Shared CLI options for the table binaries.
 #[derive(Debug, Clone)]

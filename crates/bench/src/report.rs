@@ -118,6 +118,28 @@ pub fn emit(table: &Table, out_dir: Option<&str>) {
     }
 }
 
+/// End-of-run bookkeeping shared by every table binary: print the obs
+/// summary (span tree + metrics) to stderr and, when an output directory
+/// is configured, write `<dir>/<run>_manifest.json` capturing the run
+/// identity (seed, scale, dataset filter), metrics snapshot and span tree
+/// next to the TSV artifacts.
+pub fn finish_run(run: &str, cli: &crate::Cli) {
+    obs::print_summary();
+    if let Some(dir) = cli.out.as_deref() {
+        let mut manifest = obs::Manifest::new(run);
+        manifest
+            .config("seed", obs::Value::U64(cli.seed))
+            .config("scale", obs::Value::F64(cli.scale));
+        if let Some(only) = &cli.only {
+            manifest.config("only", obs::Value::Str(only.clone()));
+        }
+        match manifest.write_to(dir) {
+            Ok(path) => eprintln!("(wrote {})", path.display()),
+            Err(e) => eprintln!("warning: could not write manifest: {e}"),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

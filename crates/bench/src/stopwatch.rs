@@ -1,0 +1,53 @@
+//! Minimal std-only bench harness used by `cargo bench` targets.
+//!
+//! Crates.io is unreachable from the build environment, so the bench
+//! targets cannot use Criterion; this module provides the small slice of
+//! it the tables need — named timings with warmup, min/mean/max over a
+//! fixed iteration count — and records each timing as an `obs` histogram
+//! so bench runs share the same observability surface as the binaries.
+
+use std::time::Instant;
+
+/// Time `f` for `iters` iterations (after one untimed warmup call) and
+/// print a `name  min/mean/max` line. Returns the last result so callers
+/// can keep the computation observable.
+pub fn bench<T>(name: &str, iters: usize, mut f: impl FnMut() -> T) -> T {
+    assert!(iters > 0, "bench needs at least one iteration");
+    let mut last = f(); // warmup, untimed
+    let hist = obs::histogram(
+        &format!("bench.{name}.ms"),
+        &[0.1, 1.0, 10.0, 100.0, 1_000.0, 10_000.0],
+    );
+    let mut times_ms = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        last = std::hint::black_box(f());
+        let ms = t0.elapsed().as_secs_f64() * 1000.0;
+        hist.observe(ms);
+        times_ms.push(ms);
+    }
+    let min = times_ms.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = times_ms.iter().cloned().fold(0.0f64, f64::max);
+    let mean = times_ms.iter().sum::<f64>() / times_ms.len() as f64;
+    println!(
+        "{name:<44} {iters:>3} iters  min {min:>10.3}ms  mean {mean:>10.3}ms  max {max:>10.3}ms"
+    );
+    last
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_returns_last_value() {
+        let mut n = 0u64;
+        let out = bench("t.sw.counter", 3, || {
+            n += 1;
+            n
+        });
+        // 1 warmup + 3 timed calls
+        assert_eq!(out, 4);
+        assert_eq!(obs::histogram("bench.t.sw.counter.ms", &[]).count(), 3);
+    }
+}

@@ -5,16 +5,44 @@ fn main() {
     // sweep difficulty for the Walmart-Amazon profile
     for diff in [0.55f64, 0.65, 0.75] {
         let base = MagellanDataset::SWA.profile();
-        let p = DatasetProfile { difficulty: diff, ..base };
+        let p = DatasetProfile {
+            difficulty: diff,
+            ..base
+        };
         let d = p.generate_scaled(9, 0.12);
-        let dm = train_deepmatcher(&d, TrainConfig { epochs: 10, ..TrainConfig::default() });
-        println!("S-WA diff {}: val {:.1} test {:.1}", diff, dm.val_f1, dm.f1_on(d.split(Split::Test)));
+        let dm = train_deepmatcher(
+            &d,
+            TrainConfig {
+                epochs: 10,
+                ..TrainConfig::default()
+            },
+        );
+        println!(
+            "S-WA diff {}: val {:.1} test {:.1}",
+            diff,
+            dm.val_f1,
+            dm.f1_on(d.split(Split::Test))
+        );
     }
     for diff in [0.35f64, 0.45] {
         let base = MagellanDataset::SAG.profile();
-        let p = DatasetProfile { difficulty: diff, ..base };
+        let p = DatasetProfile {
+            difficulty: diff,
+            ..base
+        };
         let d = p.generate_scaled(9, 0.12);
-        let dm = train_deepmatcher(&d, TrainConfig { epochs: 10, ..TrainConfig::default() });
-        println!("S-AG diff {}: val {:.1} test {:.1}", diff, dm.val_f1, dm.f1_on(d.split(Split::Test)));
+        let dm = train_deepmatcher(
+            &d,
+            TrainConfig {
+                epochs: 10,
+                ..TrainConfig::default()
+            },
+        );
+        println!(
+            "S-AG diff {}: val {:.1} test {:.1}",
+            diff,
+            dm.val_f1,
+            dm.f1_on(d.split(Split::Test))
+        );
     }
 }

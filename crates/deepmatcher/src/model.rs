@@ -4,9 +4,9 @@ use em_data::{RecordPair, Schema};
 use embed::word2vec as embed_init;
 use linalg::Rng;
 use nn::attention::SoftAlign;
+use nn::layers::dropout_mask;
 use nn::layers::{Embedding, Linear};
 use nn::rnn::BiGru;
-use nn::layers::dropout_mask;
 use nn::{ParamStore, Tape, TensorId};
 use text::subword::{SubwordTokenizer, SubwordVocabBuilder};
 use text::tokenize::words;
@@ -92,7 +92,8 @@ impl DeepMatcher {
                 }
             }
         }
-        let tokenizer = SubwordTokenizer::new(builder.build(if config.subword { 3000 } else { 20_000 }));
+        let tokenizer =
+            SubwordTokenizer::new(builder.build(if config.subword { 3000 } else { 20_000 }));
         let to_tokens = |v: &str| -> Vec<String> {
             if config.subword {
                 tokenizer.tokenize(v)
@@ -194,12 +195,7 @@ impl DeepMatcher {
 
     /// Summarize one side against the other:
     /// `mean over tokens of relu(W[h, ctx, |h−ctx|])`.
-    fn summarize(
-        &self,
-        tape: &mut Tape,
-        h_self: TensorId,
-        h_other: TensorId,
-    ) -> TensorId {
+    fn summarize(&self, tape: &mut Tape, h_self: TensorId, h_other: TensorId) -> TensorId {
         let ctx = self.align.forward(tape, &self.store, h_self, h_other);
         let diff = tape.sub(h_self, ctx);
         let sq = tape.mul(diff, diff);

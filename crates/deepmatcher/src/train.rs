@@ -81,7 +81,13 @@ pub fn estimated_hours(n_pairs: usize) -> f64 {
 pub fn train_deepmatcher(dataset: &EmDataset, config: TrainConfig) -> TrainedDeepMatcher {
     let train = dataset.split(Split::Train);
     let model = DeepMatcher::new(dataset.schema(), train, config.model);
-    train_on_pairs(model, train, dataset.split(Split::Validation), dataset.len(), config)
+    train_on_pairs(
+        model,
+        train,
+        dataset.split(Split::Validation),
+        dataset.len(),
+        config,
+    )
 }
 
 fn train_on_pairs(
@@ -92,6 +98,7 @@ fn train_on_pairs(
     config: TrainConfig,
 ) -> TrainedDeepMatcher {
     let mut model = model;
+    let train_span = obs::span("deepmatcher.train");
     // adaptive epoch count: small training sets need many more passes
     // (the paper's DeepMatcher trains to convergence with early stopping)
     let epochs = config.epochs.max((6000 / train.len().max(1)).clamp(1, 30));
@@ -108,7 +115,9 @@ fn train_on_pairs(
     // early stopping à la DeepMatcher: keep the parameter snapshot of the
     // epoch with the best validation F1
     let mut best_snapshot: Option<(f64, nn::ParamStore)> = None;
-    for _ in 0..epochs {
+    for epoch in 0..epochs {
+        let mut loss_sum = 0.0f64;
+        let mut loss_n = 0usize;
         rng.shuffle(&mut order);
         for chunk in order.chunks(config.batch) {
             let mut grads = Grads::new();
@@ -120,6 +129,8 @@ fn train_on_pairs(
                 let mut drop_rng = rng.fork(i as u64);
                 let logit = model.forward_train(&mut tape, pair, Some(&mut drop_rng));
                 let loss = tape.bce_logits(logit, &[if pair.label { 1.0 } else { 0.0 }]);
+                loss_sum += f64::from(tape.value(loss).as_slice()[0]);
+                loss_n += 1;
                 let scaled = tape.scale(loss, w);
                 tape.backward(scaled, &mut grads);
                 weight_sum += w;
@@ -139,14 +150,27 @@ fn train_on_pairs(
                 opt.step(&mut model.store, &grads);
             }
         }
+        let mut epoch_val_f1 = f64::NAN;
         if !valid.is_empty() {
             let probs: Vec<f32> = valid.iter().map(|p| model.predict_proba(p)).collect();
             let labels: Vec<bool> = valid.iter().map(|p| p.label).collect();
             let (_, f1) = best_f1_threshold(&probs, &labels);
+            epoch_val_f1 = f1;
             if best_snapshot.as_ref().is_none_or(|(b, _)| f1 > *b) {
                 best_snapshot = Some((f1, model.store.clone()));
             }
         }
+        obs::emit(
+            "dm_epoch",
+            &[
+                ("epoch", obs::Value::U64(epoch as u64)),
+                (
+                    "train_loss",
+                    obs::Value::F64(loss_sum / loss_n.max(1) as f64),
+                ),
+                ("val_f1", obs::Value::F64(epoch_val_f1)),
+            ],
+        );
     }
     if let Some((_, snapshot)) = best_snapshot {
         model.store = snapshot;
@@ -159,11 +183,14 @@ fn train_on_pairs(
     } else {
         best_f1_threshold(&probs, &labels)
     };
+    let hours = estimated_hours(total_pairs);
+    obs::gauge("deepmatcher.estimated_hours").add(hours);
+    drop(train_span);
     TrainedDeepMatcher {
         model,
         threshold,
         val_f1,
-        hours: estimated_hours(total_pairs),
+        hours,
     }
 }
 

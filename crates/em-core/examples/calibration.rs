@@ -3,22 +3,44 @@
 //! achievable-F1 ordering matches the paper's DeepMatcher column.
 use em_data::{magellan_benchmark, Split};
 use ml::boosting::{BoostConfig, GradientBoosting};
-use ml::Classifier;
 use ml::metrics::{best_f1_threshold, f1_at_threshold};
+use ml::Classifier;
 use text::similarity::*;
 
 fn feats(p: &em_data::RecordPair, w: usize) -> Vec<f32> {
     let mut out = Vec::new();
     for i in 0..w {
-        let l: Vec<String> = p.left.value_or_empty(i).split_whitespace().map(|s| s.to_lowercase()).collect();
-        let r: Vec<String> = p.right.value_or_empty(i).split_whitespace().map(|s| s.to_lowercase()).collect();
+        let l: Vec<String> = p
+            .left
+            .value_or_empty(i)
+            .split_whitespace()
+            .map(|s| s.to_lowercase())
+            .collect();
+        let r: Vec<String> = p
+            .right
+            .value_or_empty(i)
+            .split_whitespace()
+            .map(|s| s.to_lowercase())
+            .collect();
         out.push(jaccard(&l, &r) as f32);
         out.push(monge_elkan(&l, &r) as f32);
         out.push(levenshtein_sim(&l.join(" "), &r.join(" ")) as f32);
     }
     // whole-record features: dirt-robust, like the hybrid tokenizer's view
-    let lf: Vec<String> = p.left.flatten().to_lowercase().split_whitespace().map(str::to_owned).collect();
-    let rf: Vec<String> = p.right.flatten().to_lowercase().split_whitespace().map(str::to_owned).collect();
+    let lf: Vec<String> = p
+        .left
+        .flatten()
+        .to_lowercase()
+        .split_whitespace()
+        .map(str::to_owned)
+        .collect();
+    let rf: Vec<String> = p
+        .right
+        .flatten()
+        .to_lowercase()
+        .split_whitespace()
+        .map(str::to_owned)
+        .collect();
     out.push(jaccard(&lf, &rf) as f32);
     out.push(overlap(&lf, &rf) as f32);
     out.push(cosine_tokens(&lf, &rf) as f32);
@@ -26,30 +48,45 @@ fn feats(p: &em_data::RecordPair, w: usize) -> Vec<f32> {
 }
 
 fn main() {
-    let paper = [94.7, 98.4, 69.3, 66.9, 72.7, 88.0, 100.0, 62.8, 74.5, 98.1, 93.8, 46.0];
+    let paper = [
+        94.7, 98.4, 69.3, 66.9, 72.7, 88.0, 100.0, 62.8, 74.5, 98.1, 93.8, 46.0,
+    ];
     for (k, p) in magellan_benchmark().iter().enumerate() {
         let scale = (1500.0 / p.size as f64).min(1.0);
         let mut f1s = Vec::new();
         for seed in [11u64, 22, 33] {
-        let d = p.generate_scaled(seed, scale);
-        let w = d.schema().len();
-        let enc = |split| {
-            let ps = d.split(split);
-            let x = linalg::Matrix::from_rows(&ps.iter().map(|pp| feats(pp, w)).collect::<Vec<_>>());
-            let y: Vec<f32> = ps.iter().map(|pp| if pp.label {1.0} else {0.0}).collect();
-            (x, y)
-        };
-        let (xt, yt) = enc(Split::Train);
-        let (xv, yv) = enc(Split::Validation);
-        let (xs, ys) = enc(Split::Test);
-        let mut gbm = GradientBoosting::new(BoostConfig{n_rounds: 80, ..Default::default()});
-        gbm.fit(&xt, &yt);
-        let vb: Vec<bool> = yv.iter().map(|&v| v>=0.5).collect();
-        let (thr, _) = best_f1_threshold(&gbm.predict_proba(&xv), &vb);
-        let tb: Vec<bool> = ys.iter().map(|&v| v>=0.5).collect();
-        let tf1 = f1_at_threshold(&gbm.predict_proba(&xs), &tb, thr);
-        f1s.push(tf1);
+            let d = p.generate_scaled(seed, scale);
+            let w = d.schema().len();
+            let enc = |split| {
+                let ps = d.split(split);
+                let x = linalg::Matrix::from_rows(
+                    &ps.iter().map(|pp| feats(pp, w)).collect::<Vec<_>>(),
+                );
+                let y: Vec<f32> = ps
+                    .iter()
+                    .map(|pp| if pp.label { 1.0 } else { 0.0 })
+                    .collect();
+                (x, y)
+            };
+            let (xt, yt) = enc(Split::Train);
+            let (xv, yv) = enc(Split::Validation);
+            let (xs, ys) = enc(Split::Test);
+            let mut gbm = GradientBoosting::new(BoostConfig {
+                n_rounds: 80,
+                ..Default::default()
+            });
+            gbm.fit(&xt, &yt);
+            let vb: Vec<bool> = yv.iter().map(|&v| v >= 0.5).collect();
+            let (thr, _) = best_f1_threshold(&gbm.predict_proba(&xv), &vb);
+            let tb: Vec<bool> = ys.iter().map(|&v| v >= 0.5).collect();
+            let tf1 = f1_at_threshold(&gbm.predict_proba(&xs), &tb, thr);
+            f1s.push(tf1);
         }
-        println!("{:5}  ceiling {:5.1}   paper-DM {:5.1}", p.code, linalg::stats::mean(&f1s), paper[k]);
+        println!(
+            "{:5}  ceiling {:5.1}   paper-DM {:5.1}",
+            p.code,
+            linalg::stats::mean(&f1s),
+            paper[k]
+        );
     }
 }

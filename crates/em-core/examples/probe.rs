@@ -1,26 +1,40 @@
 use em_core::baseline::RawFeaturizer;
 use em_data::{MagellanDataset, Split};
 use ml::boosting::{BoostConfig, GradientBoosting};
-use ml::Classifier;
 use ml::metrics::{best_f1_threshold, f1_at_threshold};
 use ml::preprocess::StandardScaler;
+use ml::Classifier;
 
 fn main() {
-    for scale in [1.0] {
+    for scale in [1.0f64] {
         for id in [MagellanDataset::SDA, MagellanDataset::SFZ] {
-            let s = (scale as f64).max(400.0 / id.profile().size as f64).min(1.0);
+            let s = scale.max(400.0 / id.profile().size as f64).min(1.0);
             let d = id.profile().generate_scaled(9, s);
             let f = RawFeaturizer::fit(&d, 1);
             let tr = f.encode_split(&d, Split::Train);
             let va = f.encode_split(&d, Split::Validation);
             let te = f.encode_split(&d, Split::Test);
             let sc = StandardScaler::fit(&tr.x);
-            let (trx, vax, tex) = (sc.transform(&tr.x), sc.transform(&va.x), sc.transform(&te.x));
-            let mut m = GradientBoosting::new(BoostConfig{n_rounds:200, max_depth:7, ..Default::default()});
+            let (trx, vax, tex) = (
+                sc.transform(&tr.x),
+                sc.transform(&va.x),
+                sc.transform(&te.x),
+            );
+            let mut m = GradientBoosting::new(BoostConfig {
+                n_rounds: 200,
+                max_depth: 7,
+                ..Default::default()
+            });
             m.fit(&trx, &tr.y);
             let (thr, _) = best_f1_threshold(&m.predict_proba(&vax), &va.labels_bool());
             let tf1 = f1_at_threshold(&m.predict_proba(&tex), &te.labels_bool(), thr);
-            println!("{} scale {:.2} (n={}): raw gbm test {:.1}", d.name(), s, d.len(), tf1);
+            println!(
+                "{} scale {:.2} (n={}): raw gbm test {:.1}",
+                d.name(),
+                s,
+                d.len(),
+                tf1
+            );
         }
     }
 }

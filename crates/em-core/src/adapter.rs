@@ -20,7 +20,11 @@ pub struct EmAdapter<'a> {
 
 impl<'a> EmAdapter<'a> {
     /// Build an adapter over a borrowed embedder.
-    pub fn new(mode: TokenizerMode, embedder: &'a dyn SequenceEmbedder, combiner: Combiner) -> Self {
+    pub fn new(
+        mode: TokenizerMode,
+        embedder: &'a dyn SequenceEmbedder,
+        combiner: Combiner,
+    ) -> Self {
         let name = format!("{}-{}", mode.label(), embedder.name());
         Self {
             mode,
@@ -48,8 +52,7 @@ impl<'a> EmAdapter<'a> {
     /// Encode one record pair into a single feature vector.
     pub fn encode_pair(&self, pair: &RecordPair, schema: &Schema) -> Vec<f32> {
         let sequences = tokenize_pair(pair, schema, self.mode);
-        let embeddings: Vec<Vec<f32>> =
-            sequences.iter().map(|s| self.cache.embed(s)).collect();
+        let embeddings: Vec<Vec<f32>> = sequences.iter().map(|s| self.cache.embed(s)).collect();
         self.combiner.combine(&embeddings)
     }
 
@@ -69,6 +72,11 @@ impl<'a> EmAdapter<'a> {
     /// value repetition saves on real datasets.
     pub fn cache_stats(&self) -> (usize, usize) {
         self.cache.stats()
+    }
+
+    /// Embedding-cache hit rate (`None` before any encoding happened).
+    pub fn cache_hit_rate(&self) -> Option<f64> {
+        self.cache.hit_rate()
     }
 }
 
@@ -92,7 +100,8 @@ mod tests {
             let mut out = vec![0.0f32; self.dim];
             for tok in textv.split_whitespace() {
                 let h = linalg::SplitMix64::mix(
-                    tok.bytes().fold(0u64, |a, b| a.wrapping_mul(131).wrapping_add(b as u64)),
+                    tok.bytes()
+                        .fold(0u64, |a, b| a.wrapping_mul(131).wrapping_add(b as u64)),
                 );
                 out[(h % self.dim as u64) as usize] += 1.0;
             }

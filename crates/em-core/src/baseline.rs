@@ -91,9 +91,7 @@ impl RawFeaturizer {
             for (i, attr) in dataset.schema().attributes().iter().enumerate() {
                 match attr.ty {
                     AttrType::Numeric => {
-                        let parsed = entity
-                            .value(i)
-                            .and_then(text::normalize::parse_numeric);
+                        let parsed = entity.value(i).and_then(text::normalize::parse_numeric);
                         match parsed {
                             Some(v) => {
                                 out.push(v as f32);

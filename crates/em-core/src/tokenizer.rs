@@ -105,9 +105,7 @@ pub fn tokenize_pair(pair: &RecordPair, schema: &Schema, mode: TokenizerMode) ->
                 pair.right.flatten()
             ))]
         }
-        TokenizerMode::AttributeBased => {
-            (0..width).map(|i| couple(pair, i + 1, i)).collect()
-        }
+        TokenizerMode::AttributeBased => (0..width).map(|i| couple(pair, i + 1, i)).collect(),
         TokenizerMode::Hybrid => (1..=width).map(|i| couple(pair, i, 0)).collect(),
     }
 }

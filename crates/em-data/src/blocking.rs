@@ -168,15 +168,23 @@ mod tests {
     #[test]
     fn shared_tokens_create_candidates() {
         let schema = toy_schema();
-        let left = vec![entity(&["golden dragon", "boston"]), entity(&["blue ocean", "miami"])];
+        let left = vec![
+            entity(&["golden dragon", "boston"]),
+            entity(&["blue ocean", "miami"]),
+        ];
         let right = vec![
             entity(&["golden dragon cafe", "boston"]),
             entity(&["red lantern", "chicago"]),
         ];
-        let r = token_blocking(&left, &right, &schema, &BlockerConfig {
-            max_token_frequency: 1.0,
-            ..BlockerConfig::default()
-        });
+        let r = token_blocking(
+            &left,
+            &right,
+            &schema,
+            &BlockerConfig {
+                max_token_frequency: 1.0,
+                ..BlockerConfig::default()
+            },
+        );
         assert!(r.candidates.contains(&CandidatePair { left: 0, right: 0 }));
         assert!(!r.candidates.contains(&CandidatePair { left: 1, right: 1 }));
         assert_eq!(r.cross_product, 4);
@@ -187,16 +195,26 @@ mod tests {
         let schema = toy_schema();
         let left = vec![entity(&["alpha beta", "x"])];
         let right = vec![entity(&["alpha gamma", "y"]), entity(&["alpha beta", "z"])];
-        let loose = token_blocking(&left, &right, &schema, &BlockerConfig {
-            min_overlap: 1,
-            max_token_frequency: 1.0,
-            ..BlockerConfig::default()
-        });
-        let tight = token_blocking(&left, &right, &schema, &BlockerConfig {
-            min_overlap: 2,
-            max_token_frequency: 1.0,
-            ..BlockerConfig::default()
-        });
+        let loose = token_blocking(
+            &left,
+            &right,
+            &schema,
+            &BlockerConfig {
+                min_overlap: 1,
+                max_token_frequency: 1.0,
+                ..BlockerConfig::default()
+            },
+        );
+        let tight = token_blocking(
+            &left,
+            &right,
+            &schema,
+            &BlockerConfig {
+                min_overlap: 2,
+                max_token_frequency: 1.0,
+                ..BlockerConfig::default()
+            },
+        );
         assert_eq!(loose.candidates.len(), 2);
         assert_eq!(tight.candidates.len(), 1);
         assert!(tight.reduction_ratio() > loose.reduction_ratio());
@@ -210,10 +228,15 @@ mod tests {
         let right: Vec<Entity> = (0..20)
             .map(|i| entity(&[&format!("cafe place{i}"), "b"]))
             .collect();
-        let r = token_blocking(&left, &right, &schema, &BlockerConfig {
-            max_token_frequency: 0.2,
-            ..BlockerConfig::default()
-        });
+        let r = token_blocking(
+            &left,
+            &right,
+            &schema,
+            &BlockerConfig {
+                max_token_frequency: 0.2,
+                ..BlockerConfig::default()
+            },
+        );
         assert!(r.candidates.is_empty(), "{:?}", r.candidates);
     }
 
@@ -223,17 +246,27 @@ mod tests {
         let left = vec![entity(&["unique name", "shared city"])];
         let right = vec![entity(&["other words", "shared city"])];
         // block on name only: no candidate
-        let name_only = token_blocking(&left, &right, &schema, &BlockerConfig {
-            key_attributes: vec![0],
-            max_token_frequency: 1.0,
-            ..BlockerConfig::default()
-        });
+        let name_only = token_blocking(
+            &left,
+            &right,
+            &schema,
+            &BlockerConfig {
+                key_attributes: vec![0],
+                max_token_frequency: 1.0,
+                ..BlockerConfig::default()
+            },
+        );
         assert!(name_only.candidates.is_empty());
         // block on all attributes: city overlap creates the candidate
-        let all = token_blocking(&left, &right, &schema, &BlockerConfig {
-            max_token_frequency: 1.0,
-            ..BlockerConfig::default()
-        });
+        let all = token_blocking(
+            &left,
+            &right,
+            &schema,
+            &BlockerConfig {
+                max_token_frequency: 1.0,
+                ..BlockerConfig::default()
+            },
+        );
         assert_eq!(all.candidates.len(), 1);
     }
 

@@ -86,7 +86,10 @@ pub fn read_csv<R: BufRead>(
         .next()
         .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "empty CSV"))??;
     let cols = parse_line(&header);
-    if cols.first().map(String::as_str) != Some("label") || cols.len() < 3 || cols.len().is_multiple_of(2) {
+    if cols.first().map(String::as_str) != Some("label")
+        || cols.len() < 3
+        || cols.len().is_multiple_of(2)
+    {
         return Err(io::Error::new(
             io::ErrorKind::InvalidData,
             "expected header: label,left_*...,right_*...",
@@ -191,7 +194,13 @@ mod tests {
     #[test]
     fn missing_values_roundtrip() {
         let csv = "label,left_a,left_b,right_a,right_b\n1,x,,y,3\n0,,2,z,\n";
-        let d = read_csv("t", DatasetKind::Structured, BufReader::new(csv.as_bytes()), 1).unwrap();
+        let d = read_csv(
+            "t",
+            DatasetKind::Structured,
+            BufReader::new(csv.as_bytes()),
+            1,
+        )
+        .unwrap();
         assert_eq!(d.len(), 2);
         let total_missing: usize = d
             .pairs()
@@ -204,7 +213,13 @@ mod tests {
     #[test]
     fn type_inference() {
         let csv = "label,left_t,left_n,right_t,right_n\n1,abc,1.5,def,2\n0,ghi,3,jkl,4.5\n";
-        let d = read_csv("t", DatasetKind::Structured, BufReader::new(csv.as_bytes()), 1).unwrap();
+        let d = read_csv(
+            "t",
+            DatasetKind::Structured,
+            BufReader::new(csv.as_bytes()),
+            1,
+        )
+        .unwrap();
         assert_eq!(d.schema().attr(0).ty, AttrType::Text);
         assert_eq!(d.schema().attr(1).ty, AttrType::Numeric);
     }
@@ -212,16 +227,24 @@ mod tests {
     #[test]
     fn rejects_bad_header() {
         let csv = "foo,bar\n";
-        assert!(
-            read_csv("t", DatasetKind::Structured, BufReader::new(csv.as_bytes()), 1).is_err()
-        );
+        assert!(read_csv(
+            "t",
+            DatasetKind::Structured,
+            BufReader::new(csv.as_bytes()),
+            1
+        )
+        .is_err());
     }
 
     #[test]
     fn rejects_ragged_rows() {
         let csv = "label,left_a,right_a\n1,x\n";
-        assert!(
-            read_csv("t", DatasetKind::Structured, BufReader::new(csv.as_bytes()), 1).is_err()
-        );
+        assert!(read_csv(
+            "t",
+            DatasetKind::Structured,
+            BufReader::new(csv.as_bytes()),
+            1
+        )
+        .is_err());
     }
 }

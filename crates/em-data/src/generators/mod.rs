@@ -146,7 +146,13 @@ impl Domain for Bibliographic {
         if let Some(title) = entity.value(0) {
             out.set(
                 0,
-                Some(replace_tokens(title, pools::RESEARCH_WORDS, replace_p, true, rng)),
+                Some(replace_tokens(
+                    title,
+                    pools::RESEARCH_WORDS,
+                    replace_p,
+                    true,
+                    rng,
+                )),
             );
         }
         // authors: shared co-author only on hard datasets
@@ -407,7 +413,10 @@ impl Domain for Music {
             out.set(1, Some(zipf_phrase(pools::ARTIST_WORDS, 2, rng)));
         }
         if rng.chance(0.5) {
-            out.set(2, Some(zipf_phrase(pools::SONG_WORDS, 1 + rng.below(2), rng)));
+            out.set(
+                2,
+                Some(zipf_phrase(pools::SONG_WORDS, 1 + rng.below(2), rng)),
+            );
         }
         if rng.chance(0.6) {
             out.set(5, Some((1990 + rng.below(31)).to_string()));
@@ -470,7 +479,11 @@ impl Domain for Restaurant {
         }
         out.set(
             1,
-            Some(format!("{} {}", 1 + rng.below(999), zipf_pick(pools::STREETS, rng))),
+            Some(format!(
+                "{} {}",
+                1 + rng.below(999),
+                zipf_pick(pools::STREETS, rng)
+            )),
         );
         out.set(3, Some(phone(rng)));
         if !rng.chance(closeness) {

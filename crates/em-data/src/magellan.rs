@@ -77,18 +77,114 @@ impl MagellanDataset {
     pub fn profile(self) -> DatasetProfile {
         use MagellanDataset::*;
         match self {
-            SDG => DatasetProfile::new(self, "S-DG", "DBLP-GoogleScholar", DatasetKind::Structured, 28_707, 18.63, 0.22),
-            SDA => DatasetProfile::new(self, "S-DA", "DBLP-ACM", DatasetKind::Structured, 12_363, 17.96, 0.06),
-            SAG => DatasetProfile::new(self, "S-AG", "Amazon-Google", DatasetKind::Structured, 11_460, 10.18, 0.40),
-            SWA => DatasetProfile::new(self, "S-WA", "Walmart-Amazon", DatasetKind::Structured, 10_242, 9.39, 0.78),
-            SBR => DatasetProfile::new(self, "S-BR", "BeerAdvo-RateBeer", DatasetKind::Structured, 450, 15.11, 0.34),
-            SIA => DatasetProfile::new(self, "S-IA", "iTunes-Amazon", DatasetKind::Structured, 539, 24.49, 0.17),
-            SFZ => DatasetProfile::new(self, "S-FZ", "Fodors-Zagats", DatasetKind::Structured, 946, 11.63, 0.02),
-            TAB => DatasetProfile::new(self, "T-AB", "Abt-Buy", DatasetKind::Textual, 9_575, 10.74, 0.58),
-            DIA => DatasetProfile::new(self, "D-IA", "iTunes-Amazon", DatasetKind::Dirty, 539, 24.49, 0.22),
-            DDA => DatasetProfile::new(self, "D-DA", "DBLP-ACM", DatasetKind::Dirty, 12_363, 17.96, 0.08),
-            DDG => DatasetProfile::new(self, "D-DG", "DBLP-GoogleScholar", DatasetKind::Dirty, 28_707, 18.63, 0.19),
-            DWA => DatasetProfile::new(self, "D-WA", "Walmart-Amazon", DatasetKind::Dirty, 10_242, 9.39, 0.70),
+            SDG => DatasetProfile::new(
+                self,
+                "S-DG",
+                "DBLP-GoogleScholar",
+                DatasetKind::Structured,
+                28_707,
+                18.63,
+                0.22,
+            ),
+            SDA => DatasetProfile::new(
+                self,
+                "S-DA",
+                "DBLP-ACM",
+                DatasetKind::Structured,
+                12_363,
+                17.96,
+                0.06,
+            ),
+            SAG => DatasetProfile::new(
+                self,
+                "S-AG",
+                "Amazon-Google",
+                DatasetKind::Structured,
+                11_460,
+                10.18,
+                0.40,
+            ),
+            SWA => DatasetProfile::new(
+                self,
+                "S-WA",
+                "Walmart-Amazon",
+                DatasetKind::Structured,
+                10_242,
+                9.39,
+                0.78,
+            ),
+            SBR => DatasetProfile::new(
+                self,
+                "S-BR",
+                "BeerAdvo-RateBeer",
+                DatasetKind::Structured,
+                450,
+                15.11,
+                0.34,
+            ),
+            SIA => DatasetProfile::new(
+                self,
+                "S-IA",
+                "iTunes-Amazon",
+                DatasetKind::Structured,
+                539,
+                24.49,
+                0.17,
+            ),
+            SFZ => DatasetProfile::new(
+                self,
+                "S-FZ",
+                "Fodors-Zagats",
+                DatasetKind::Structured,
+                946,
+                11.63,
+                0.02,
+            ),
+            TAB => DatasetProfile::new(
+                self,
+                "T-AB",
+                "Abt-Buy",
+                DatasetKind::Textual,
+                9_575,
+                10.74,
+                0.58,
+            ),
+            DIA => DatasetProfile::new(
+                self,
+                "D-IA",
+                "iTunes-Amazon",
+                DatasetKind::Dirty,
+                539,
+                24.49,
+                0.22,
+            ),
+            DDA => DatasetProfile::new(
+                self,
+                "D-DA",
+                "DBLP-ACM",
+                DatasetKind::Dirty,
+                12_363,
+                17.96,
+                0.08,
+            ),
+            DDG => DatasetProfile::new(
+                self,
+                "D-DG",
+                "DBLP-GoogleScholar",
+                DatasetKind::Dirty,
+                28_707,
+                18.63,
+                0.19,
+            ),
+            DWA => DatasetProfile::new(
+                self,
+                "D-WA",
+                "Walmart-Amazon",
+                DatasetKind::Dirty,
+                10_242,
+                9.39,
+                0.70,
+            ),
         }
     }
 
@@ -233,7 +329,10 @@ mod tests {
             .iter()
             .filter(|p| p.kind == DatasetKind::Structured)
             .count();
-        let textual = all.iter().filter(|p| p.kind == DatasetKind::Textual).count();
+        let textual = all
+            .iter()
+            .filter(|p| p.kind == DatasetKind::Textual)
+            .count();
         let dirty = all.iter().filter(|p| p.kind == DatasetKind::Dirty).count();
         assert_eq!((structured, textual, dirty), (7, 1, 4));
         // exact Table 1 sizes
@@ -244,7 +343,11 @@ mod tests {
 
     #[test]
     fn generated_size_and_balance_match_profile() {
-        for id in [MagellanDataset::SBR, MagellanDataset::SIA, MagellanDataset::SFZ] {
+        for id in [
+            MagellanDataset::SBR,
+            MagellanDataset::SIA,
+            MagellanDataset::SFZ,
+        ] {
             let p = id.profile();
             let d = p.generate(42);
             assert_eq!(d.len(), p.size, "{}", p.code);
@@ -296,8 +399,18 @@ mod tests {
         let mut match_sim = Vec::new();
         let mut non_sim = Vec::new();
         for p in d.pairs() {
-            let l: Vec<String> = p.left.flatten().split_whitespace().map(str::to_owned).collect();
-            let r: Vec<String> = p.right.flatten().split_whitespace().map(str::to_owned).collect();
+            let l: Vec<String> = p
+                .left
+                .flatten()
+                .split_whitespace()
+                .map(str::to_owned)
+                .collect();
+            let r: Vec<String> = p
+                .right
+                .flatten()
+                .split_whitespace()
+                .map(str::to_owned)
+                .collect();
             let j = jaccard(&l, &r);
             if p.label {
                 match_sim.push(j);
@@ -327,13 +440,28 @@ mod tests {
         // easy dataset (S-FZ) must show a larger match/non-match similarity
         // gap than the hard one (S-WA)
         let gap = |id: MagellanDataset| {
-            let d = id.profile().generate_scaled(13, if id == MagellanDataset::SFZ { 1.0 } else { 0.05 });
+            let d = id.profile().generate_scaled(
+                13,
+                if id == MagellanDataset::SFZ {
+                    1.0
+                } else {
+                    0.05
+                },
+            );
             let (mut ms, mut ns) = (Vec::new(), Vec::new());
             for p in d.pairs() {
-                let l: Vec<String> =
-                    p.left.flatten().split_whitespace().map(str::to_owned).collect();
-                let r: Vec<String> =
-                    p.right.flatten().split_whitespace().map(str::to_owned).collect();
+                let l: Vec<String> = p
+                    .left
+                    .flatten()
+                    .split_whitespace()
+                    .map(str::to_owned)
+                    .collect();
+                let r: Vec<String> = p
+                    .right
+                    .flatten()
+                    .split_whitespace()
+                    .map(str::to_owned)
+                    .collect();
                 let j = jaccard(&l, &r);
                 if p.label {
                     ms.push(j)

@@ -273,7 +273,10 @@ mod tests {
         for _ in 0..30 {
             let c = corrupt_text(original, &cfg, &["acm", "press"], &mut rng);
             sims.push(text::similarity::jaccard(
-                &original.split_whitespace().map(str::to_owned).collect::<Vec<_>>(),
+                &original
+                    .split_whitespace()
+                    .map(str::to_owned)
+                    .collect::<Vec<_>>(),
                 &c.split_whitespace().map(str::to_owned).collect::<Vec<_>>(),
             ));
         }

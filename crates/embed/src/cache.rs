@@ -10,11 +10,19 @@ use std::cell::RefCell;
 use std::collections::HashMap;
 
 /// A caching wrapper around any [`SequenceEmbedder`].
+///
+/// Besides the per-instance counters returned by [`stats`](Self::stats),
+/// every hit/miss is also published to the global `obs` metrics registry
+/// (`embed.cache.hits` / `embed.cache.misses`), so the end-of-run summary
+/// shows the process-wide cache effectiveness without any plumbing.
 pub struct EmbeddingCache<'a> {
     inner: &'a dyn SequenceEmbedder,
     cache: RefCell<HashMap<String, Vec<f32>>>,
     hits: RefCell<usize>,
     misses: RefCell<usize>,
+    global_hits: &'static obs::Counter,
+    global_misses: &'static obs::Counter,
+    global_rate: &'static obs::Gauge,
 }
 
 impl<'a> EmbeddingCache<'a> {
@@ -25,6 +33,18 @@ impl<'a> EmbeddingCache<'a> {
             cache: RefCell::new(HashMap::new()),
             hits: RefCell::new(0),
             misses: RefCell::new(0),
+            global_hits: obs::counter("embed.cache.hits"),
+            global_misses: obs::counter("embed.cache.misses"),
+            global_rate: obs::gauge("embed.cache.hit_rate"),
+        }
+    }
+
+    /// Recompute the process-wide hit-rate gauge from the global counters.
+    fn publish_rate(&self) {
+        let h = self.global_hits.get() as f64;
+        let m = self.global_misses.get() as f64;
+        if h + m > 0.0 {
+            self.global_rate.set(h / (h + m));
         }
     }
 
@@ -32,9 +52,13 @@ impl<'a> EmbeddingCache<'a> {
     pub fn embed(&self, textv: &str) -> Vec<f32> {
         if let Some(v) = self.cache.borrow().get(textv) {
             *self.hits.borrow_mut() += 1;
+            self.global_hits.inc();
+            self.publish_rate();
             return v.clone();
         }
         *self.misses.borrow_mut() += 1;
+        self.global_misses.inc();
+        self.publish_rate();
         let v = self.inner.embed(textv);
         self.cache.borrow_mut().insert(textv.to_owned(), v.clone());
         v
@@ -43,6 +67,16 @@ impl<'a> EmbeddingCache<'a> {
     /// `(hits, misses)` counters.
     pub fn stats(&self) -> (usize, usize) {
         (*self.hits.borrow(), *self.misses.borrow())
+    }
+
+    /// Hits as a fraction of all lookups (`None` before the first lookup).
+    pub fn hit_rate(&self) -> Option<f64> {
+        let (h, m) = self.stats();
+        if h + m == 0 {
+            None
+        } else {
+            Some(h as f64 / (h + m) as f64)
+        }
     }
 
     /// Embedding width of the wrapped embedder.
@@ -87,6 +121,16 @@ mod tests {
         assert_eq!(b[0], 6.0);
         assert_eq!(*inner.calls.borrow(), 2);
         assert_eq!(cache.stats(), (1, 2));
+        assert!((cache.hit_rate().unwrap() - 1.0 / 3.0).abs() < 1e-12);
         assert_eq!(cache.dim(), 2);
+    }
+
+    #[test]
+    fn hit_rate_is_none_before_first_lookup() {
+        let inner = CountingEmbedder {
+            calls: RefCell::new(0),
+        };
+        let cache = EmbeddingCache::new(&inner);
+        assert_eq!(cache.hit_rate(), None);
     }
 }

@@ -137,11 +137,7 @@ impl PretrainedTransformer {
     /// Build + pretrain one family. `domain_text` lets the subword
     /// vocabulary cover the target dataset's surface forms (the real
     /// checkpoints' BPE vocabularies cover Magellan text the same way).
-    pub fn pretrain(
-        family: EmbedderFamily,
-        domain_text: &[String],
-        cfg: PretrainConfig,
-    ) -> Self {
+    pub fn pretrain(family: EmbedderFamily, domain_text: &[String], cfg: PretrainConfig) -> Self {
         let corpus = generalist_corpus(cfg.corpus_sentences, cfg.seed);
         let tokenizer = build_tokenizer(&corpus, domain_text, family.vocab_budget());
         let vocab_len = tokenizer.vocab().len();
@@ -332,12 +328,18 @@ mod tests {
         let short = PretrainedTransformer::pretrain(
             EmbedderFamily::DBert,
             &[],
-            PretrainConfig { steps: 3, ..quick_cfg() },
+            PretrainConfig {
+                steps: 3,
+                ..quick_cfg()
+            },
         );
         let long = PretrainedTransformer::pretrain(
             EmbedderFamily::DBert,
             &[],
-            PretrainConfig { steps: 120, ..quick_cfg() },
+            PretrainConfig {
+                steps: 120,
+                ..quick_cfg()
+            },
         );
         assert!(
             long.final_loss < short.final_loss,
@@ -352,7 +354,10 @@ mod tests {
         let emb = PretrainedTransformer::pretrain(
             EmbedderFamily::Bert,
             &[],
-            PretrainConfig { steps: 80, ..quick_cfg() },
+            PretrainConfig {
+                steps: 80,
+                ..quick_cfg()
+            },
         );
         let a = emb.embed("silver compact digital system xy200");
         let b = emb.embed("silver compact digital system xy201");
@@ -432,7 +437,10 @@ mod tests {
         let emb = PretrainedTransformer::pretrain(
             EmbedderFamily::Albert,
             &[],
-            PretrainConfig { steps: 60, ..quick_cfg() },
+            PretrainConfig {
+                steps: 60,
+                ..quick_cfg()
+            },
         );
         let dim = emb.dim();
         let m = emb.embed("silver compact xy200 camera sep silver compact xy200 camera black");
@@ -451,7 +459,10 @@ mod tests {
         let with = PretrainedTransformer::pretrain(
             EmbedderFamily::Bert,
             &domain,
-            PretrainConfig { steps: 2, ..quick_cfg() },
+            PretrainConfig {
+                steps: 2,
+                ..quick_cfg()
+            },
         );
         let toks = with.tokenizer().tokenize("zzyqx");
         assert!(toks.iter().all(|t| t != "[UNK]"), "{toks:?}");

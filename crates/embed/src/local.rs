@@ -132,7 +132,12 @@ mod tests {
         let dim = e.dim();
         let same = e.embed("sony camera lens sep sony camera lens");
         let diff = e.embed("sony camera lens sep kit kit kit");
-        assert!(same[dim - 4] > diff[dim - 4], "{} vs {}", same[dim - 4], diff[dim - 4]);
+        assert!(
+            same[dim - 4] > diff[dim - 4],
+            "{} vs {}",
+            same[dim - 4],
+            diff[dim - 4]
+        );
         assert!(same[dim - 2] > diff[dim - 2]); // segment cosine
     }
 

@@ -15,12 +15,56 @@ use text::{SubwordTokenizer, SubwordVocabBuilder};
 /// Words used to synthesize the generalist corpus (deliberately overlapping
 /// the domains of the Magellan generators without copying their pools).
 const TOPIC_WORDS: &[&str] = &[
-    "system", "model", "series", "classic", "digital", "analysis", "report", "market",
-    "design", "color", "black", "silver", "power", "compact", "city", "river", "north",
-    "garden", "house", "music", "record", "album", "live", "night", "data", "query",
-    "network", "learning", "journal", "conference", "street", "avenue", "grand", "royal",
-    "premium", "edition", "standard", "special", "light", "heavy", "fresh", "golden",
-    "united", "central", "pacific", "summer", "winter", "modern", "vintage", "original",
+    "system",
+    "model",
+    "series",
+    "classic",
+    "digital",
+    "analysis",
+    "report",
+    "market",
+    "design",
+    "color",
+    "black",
+    "silver",
+    "power",
+    "compact",
+    "city",
+    "river",
+    "north",
+    "garden",
+    "house",
+    "music",
+    "record",
+    "album",
+    "live",
+    "night",
+    "data",
+    "query",
+    "network",
+    "learning",
+    "journal",
+    "conference",
+    "street",
+    "avenue",
+    "grand",
+    "royal",
+    "premium",
+    "edition",
+    "standard",
+    "special",
+    "light",
+    "heavy",
+    "fresh",
+    "golden",
+    "united",
+    "central",
+    "pacific",
+    "summer",
+    "winter",
+    "modern",
+    "vintage",
+    "original",
 ];
 
 const CONNECTORS: &[&str] = &["the", "of", "and", "with", "for", "in", "a", "on", "by"];
@@ -108,11 +152,7 @@ pub fn build_tokenizer(corpus: &[String], extra: &[String], vocab_size: usize) -
 /// One masked-LM training example: input ids with ~15% of positions
 /// replaced by `[MASK]` (80%) / random token (10%) / kept (10%), plus the
 /// original targets and the loss weights selecting the masked positions.
-pub fn mask_tokens(
-    ids: &[u32],
-    vocab_len: usize,
-    rng: &mut Rng,
-) -> (Vec<u32>, Vec<u32>, Vec<f32>) {
+pub fn mask_tokens(ids: &[u32], vocab_len: usize, rng: &mut Rng) -> (Vec<u32>, Vec<u32>, Vec<f32>) {
     let mut masked = ids.to_vec();
     let targets = ids.to_vec();
     let mut weights = vec![0.0f32; ids.len()];
@@ -135,10 +175,7 @@ pub fn mask_tokens(
     }
     if !any {
         // guarantee at least one prediction target per example
-        if let Some(i) = ids
-            .iter()
-            .position(|&t| t >= Vocab::SPECIALS.len() as u32)
-        {
+        if let Some(i) = ids.iter().position(|&t| t >= Vocab::SPECIALS.len() as u32) {
             weights[i] = 1.0;
             masked[i] = Vocab::MASK;
         }

@@ -93,24 +93,21 @@ impl Word2Vec {
             .iter()
             .map(|s| s.iter().filter_map(|t| vocab.get(t).copied()).collect())
             .collect();
-        let total_steps: u64 = (config.epochs
-            * encoded.iter().map(Vec::len).sum::<usize>().max(1))
-            as u64;
+        let total_steps: u64 =
+            (config.epochs * encoded.iter().map(Vec::len).sum::<usize>().max(1)) as u64;
         let mut step: u64 = 0;
         for _ in 0..config.epochs {
             for sent in &encoded {
                 for (center_pos, &center) in sent.iter().enumerate() {
                     step += 1;
-                    let lr = config.lr
-                        * (1.0 - step as f32 / (total_steps + 1) as f32).max(0.05);
+                    let lr = config.lr * (1.0 - step as f32 / (total_steps + 1) as f32).max(0.05);
                     let w = 1 + rng.below(config.window);
                     let lo = center_pos.saturating_sub(w);
                     let hi = (center_pos + w + 1).min(sent.len());
-                    for ctx_pos in lo..hi {
+                    for (ctx_pos, &context) in sent.iter().enumerate().take(hi).skip(lo) {
                         if ctx_pos == center_pos {
                             continue;
                         }
-                        let context = sent[ctx_pos];
                         // positive + negatives
                         let mut grad_in = vec![0.0f32; config.dim];
                         for k in 0..=config.negatives {
@@ -122,8 +119,7 @@ impl Word2Vec {
                             if label == 0.0 && target == context {
                                 continue;
                             }
-                            let dot =
-                                linalg::vector::dot(&input[center], &output[target]);
+                            let dot = linalg::vector::dot(&input[center], &output[target]);
                             let err = (sigmoid(dot) - label) * lr;
                             for d in 0..config.dim {
                                 grad_in[d] += err * output[target][d];
@@ -216,13 +212,23 @@ mod tests {
 
     #[test]
     fn similar_contexts_give_similar_vectors() {
-        let model = Word2Vec::train(&corpus(300, 1), W2vConfig { dim: 24, epochs: 4, ..W2vConfig::default() });
+        let model = Word2Vec::train(
+            &corpus(300, 1),
+            W2vConfig {
+                dim: 24,
+                epochs: 4,
+                ..W2vConfig::default()
+            },
+        );
         let cat = model.vector("cat").unwrap();
         let dog = model.vector("dog").unwrap();
         let stone = model.vector("stone").unwrap();
         let sim_cd = cosine(cat, dog);
         let sim_cs = cosine(cat, stone);
-        assert!(sim_cd > sim_cs + 0.2, "cat~dog {sim_cd}, cat~stone {sim_cs}");
+        assert!(
+            sim_cd > sim_cs + 0.2,
+            "cat~dog {sim_cd}, cat~stone {sim_cs}"
+        );
     }
 
     #[test]
@@ -264,7 +270,11 @@ mod tests {
     #[test]
     fn deterministic() {
         let c = corpus(30, 4);
-        let cfg = W2vConfig { dim: 16, epochs: 2, ..W2vConfig::default() };
+        let cfg = W2vConfig {
+            dim: 16,
+            epochs: 2,
+            ..W2vConfig::default()
+        };
         let a = Word2Vec::train(&c, cfg);
         let b = Word2Vec::train(&c, cfg);
         assert_eq!(a.vector("cat"), b.vector("cat"));

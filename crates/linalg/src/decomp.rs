@@ -52,8 +52,8 @@ impl Cholesky {
         let mut y = vec![0.0f64; n];
         for i in 0..n {
             let mut v = b[i] as f64;
-            for k in 0..i {
-                v -= self.l[i * n + k] * y[k];
+            for (k, &yk) in y.iter().enumerate().take(i) {
+                v -= self.l[i * n + k] * yk;
             }
             y[i] = v / self.l[i * n + i];
         }
@@ -61,8 +61,8 @@ impl Cholesky {
         let mut x = vec![0.0f64; n];
         for i in (0..n).rev() {
             let mut v = y[i];
-            for k in i + 1..n {
-                v -= self.l[k * n + i] * x[k];
+            for (k, &xk) in x.iter().enumerate().take(n).skip(i + 1) {
+                v -= self.l[k * n + i] * xk;
             }
             x[i] = v / self.l[i * n + i];
         }

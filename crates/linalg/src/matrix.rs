@@ -177,7 +177,8 @@ impl Matrix {
     /// both the output and `other`, which is what lets LLVM vectorize it.
     pub fn matmul(&self, other: &Matrix) -> Matrix {
         assert_eq!(
-            self.cols, other.rows,
+            self.cols,
+            other.rows,
             "matmul shape mismatch: {:?} x {:?}",
             self.shape(),
             other.shape()
@@ -507,7 +508,11 @@ mod tests {
 
     #[test]
     fn row_and_col_selection() {
-        let m = Matrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0], vec![7.0, 8.0, 9.0]]);
+        let m = Matrix::from_rows(&[
+            vec![1.0, 2.0, 3.0],
+            vec![4.0, 5.0, 6.0],
+            vec![7.0, 8.0, 9.0],
+        ]);
         let r = m.select_rows(&[2, 0]);
         assert_eq!(r.row(0), &[7.0, 8.0, 9.0]);
         assert_eq!(r.row(1), &[1.0, 2.0, 3.0]);

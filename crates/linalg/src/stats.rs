@@ -92,7 +92,8 @@ pub fn erf(x: f64) -> f64 {
     let t = 1.0 / (1.0 + 0.327_591_1 * x);
     let poly = t
         * (0.254_829_592
-            + t * (-0.284_496_736 + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
+            + t * (-0.284_496_736
+                + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
     sign * (1.0 - poly * (-x * x).exp())
 }
 
@@ -113,7 +114,7 @@ pub fn min_max_normalize(xs: &mut [f64]) {
     }
     let lo = xs.iter().cloned().fold(f64::INFINITY, f64::min);
     let hi = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-    if hi - lo < f64::EPSILON {
+    if (hi - lo).abs() < f64::EPSILON {
         xs.iter_mut().for_each(|x| *x = 0.0);
         return;
     }

@@ -13,7 +13,7 @@
 //! `g = p − y`, `h = p(1 − p)` and leaves take the Newton step
 //! `−G/(H + λ)`.
 
-use crate::tree::{Binner, BinnedData, MAX_BINS};
+use crate::tree::{BinnedData, Binner, MAX_BINS};
 use crate::{check_fit_inputs, Classifier};
 use linalg::vector::sigmoid;
 use linalg::{Matrix, Rng};
@@ -60,8 +60,15 @@ impl Default for BoostConfig {
 /// One node of a fitted regression tree.
 #[derive(Debug, Clone)]
 enum RNode {
-    Leaf { value: f32 },
-    Split { feature: u32, threshold: f32, left: usize, right: usize },
+    Leaf {
+        value: f32,
+    },
+    Split {
+        feature: u32,
+        threshold: f32,
+        left: usize,
+        right: usize,
+    },
 }
 
 #[derive(Debug, Clone)]
@@ -75,9 +82,18 @@ impl RegTree {
         loop {
             match &self.nodes[node] {
                 RNode::Leaf { value } => return *value,
-                RNode::Split { feature, threshold, left, right } => {
+                RNode::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
                     let v = row[*feature as usize];
-                    node = if !v.is_finite() || v <= *threshold { *left } else { *right };
+                    node = if !v.is_finite() || v <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
                 }
             }
         }
@@ -124,9 +140,9 @@ fn best_split(ctx: &GrowCtx, indices: &[usize]) -> Option<(usize, u8, f32)> {
         }
         let mut gl = 0.0f32;
         let mut hl = 0.0f32;
-        for b in 0..n_bins - 1 {
-            gl += gh[b].0;
-            hl += gh[b].1;
+        for (b, &(gb, hb)) in gh.iter().enumerate().take(n_bins - 1) {
+            gl += gb;
+            hl += hb;
             let hr = hsum - hl;
             if hl < ctx.cfg.min_child_weight || hr < ctx.cfg.min_child_weight {
                 continue;
@@ -140,7 +156,12 @@ fn best_split(ctx: &GrowCtx, indices: &[usize]) -> Option<(usize, u8, f32)> {
     best
 }
 
-fn grow_depthwise(ctx: &GrowCtx, indices: Vec<usize>, depth: usize, nodes: &mut Vec<RNode>) -> usize {
+fn grow_depthwise(
+    ctx: &GrowCtx,
+    indices: Vec<usize>,
+    depth: usize,
+    nodes: &mut Vec<RNode>,
+) -> usize {
     let mut gsum = 0.0f32;
     let mut hsum = 0.0f32;
     for &i in &indices {
@@ -148,21 +169,31 @@ fn grow_depthwise(ctx: &GrowCtx, indices: Vec<usize>, depth: usize, nodes: &mut 
         hsum += ctx.h[i];
     }
     if depth >= ctx.cfg.max_depth || indices.len() < 2 {
-        nodes.push(RNode::Leaf { value: leaf_value(gsum, hsum, ctx.cfg.lambda) });
+        nodes.push(RNode::Leaf {
+            value: leaf_value(gsum, hsum, ctx.cfg.lambda),
+        });
         return nodes.len() - 1;
     }
     let Some((feature, bin, _)) = best_split(ctx, &indices) else {
-        nodes.push(RNode::Leaf { value: leaf_value(gsum, hsum, ctx.cfg.lambda) });
+        nodes.push(RNode::Leaf {
+            value: leaf_value(gsum, hsum, ctx.cfg.lambda),
+        });
         return nodes.len() - 1;
     };
     let threshold = ctx.binner.threshold(feature, bin).expect("valid split bin");
-    let (li, ri): (Vec<usize>, Vec<usize>) =
-        indices.into_iter().partition(|&i| ctx.binned.get(i, feature) <= bin);
+    let (li, ri): (Vec<usize>, Vec<usize>) = indices
+        .into_iter()
+        .partition(|&i| ctx.binned.get(i, feature) <= bin);
     let slot = nodes.len();
     nodes.push(RNode::Leaf { value: 0.0 });
     let left = grow_depthwise(ctx, li, depth + 1, nodes);
     let right = grow_depthwise(ctx, ri, depth + 1, nodes);
-    nodes[slot] = RNode::Split { feature: feature as u32, threshold, left, right };
+    nodes[slot] = RNode::Split {
+        feature: feature as u32,
+        threshold,
+        left,
+        right,
+    };
     slot
 }
 
@@ -212,8 +243,9 @@ fn grow_oblivious(ctx: &GrowCtx, indices: Vec<usize>) -> RegTree {
         decisions.push((feature as u32, threshold, bin));
         let mut next = Vec::with_capacity(partitions.len() * 2);
         for part in partitions {
-            let (l, r): (Vec<usize>, Vec<usize>) =
-                part.into_iter().partition(|&i| ctx.binned.get(i, feature) <= bin);
+            let (l, r): (Vec<usize>, Vec<usize>) = part
+                .into_iter()
+                .partition(|&i| ctx.binned.get(i, feature) <= bin);
             next.push(l);
             next.push(r);
         }
@@ -243,7 +275,9 @@ fn build_oblivious_nodes(
             gsum += ctx.g[i];
             hsum += ctx.h[i];
         }
-        nodes.push(RNode::Leaf { value: leaf_value(gsum, hsum, ctx.cfg.lambda) });
+        nodes.push(RNode::Leaf {
+            value: leaf_value(gsum, hsum, ctx.cfg.lambda),
+        });
         return nodes.len() - 1;
     }
     let (feature, threshold, _) = decisions[level];
@@ -251,9 +285,20 @@ fn build_oblivious_nodes(
     nodes.push(RNode::Leaf { value: 0.0 });
     let stride = 1 << (decisions.len() - level - 1);
     let left = build_oblivious_nodes(decisions, level + 1, partitions, leaf_base, ctx, nodes);
-    let right =
-        build_oblivious_nodes(decisions, level + 1, partitions, leaf_base + stride, ctx, nodes);
-    nodes[slot] = RNode::Split { feature, threshold, left, right };
+    let right = build_oblivious_nodes(
+        decisions,
+        level + 1,
+        partitions,
+        leaf_base + stride,
+        ctx,
+        nodes,
+    );
+    nodes[slot] = RNode::Split {
+        feature,
+        threshold,
+        left,
+        right,
+    };
     slot
 }
 
@@ -275,7 +320,12 @@ pub struct Boosted {
 
 impl Boosted {
     fn new(config: BoostConfig, kind: TreeKind) -> Self {
-        Self { config, kind, base_score: 0.0, trees: Vec::new() }
+        Self {
+            config,
+            kind,
+            base_score: 0.0,
+            trees: Vec::new(),
+        }
     }
 
     /// Number of fitted trees.
@@ -432,14 +482,21 @@ mod tests {
 
     #[test]
     fn gbm_solves_xor() {
-        let cfg = BoostConfig { n_rounds: 50, ..BoostConfig::default() };
+        let cfg = BoostConfig {
+            n_rounds: 50,
+            ..BoostConfig::default()
+        };
         let f1 = fit_eval(GradientBoosting::new(cfg), 1);
         assert!(f1 > 92.0, "F1 {f1}");
     }
 
     #[test]
     fn oblivious_solves_xor() {
-        let cfg = BoostConfig { n_rounds: 50, max_depth: 4, ..BoostConfig::default() };
+        let cfg = BoostConfig {
+            n_rounds: 50,
+            max_depth: 4,
+            ..BoostConfig::default()
+        };
         let f1 = fit_eval(ObliviousBoosting::new(cfg), 2);
         assert!(f1 > 92.0, "F1 {f1}");
     }
@@ -448,8 +505,14 @@ mod tests {
     fn more_rounds_do_not_hurt_training_fit() {
         let (x, y) = blobs(300, 0.3, 0.8, 3);
         let actual: Vec<bool> = y.iter().map(|&v| v >= 0.5).collect();
-        let mut short = GradientBoosting::new(BoostConfig { n_rounds: 5, ..BoostConfig::default() });
-        let mut long = GradientBoosting::new(BoostConfig { n_rounds: 80, ..BoostConfig::default() });
+        let mut short = GradientBoosting::new(BoostConfig {
+            n_rounds: 5,
+            ..BoostConfig::default()
+        });
+        let mut long = GradientBoosting::new(BoostConfig {
+            n_rounds: 80,
+            ..BoostConfig::default()
+        });
         short.fit(&x, &y);
         long.fit(&x, &y);
         let auc_s = roc_auc(&short.predict_proba(&x), &actual);
@@ -472,7 +535,11 @@ mod tests {
     #[test]
     fn deterministic() {
         let (x, y) = blobs(200, 0.4, 1.0, 5);
-        let cfg = BoostConfig { n_rounds: 10, subsample: 0.8, ..BoostConfig::default() };
+        let cfg = BoostConfig {
+            n_rounds: 10,
+            subsample: 0.8,
+            ..BoostConfig::default()
+        };
         let mut a = GradientBoosting::new(cfg);
         let mut b = GradientBoosting::new(cfg);
         a.fit(&x, &y);
@@ -485,7 +552,11 @@ mod tests {
         // without trees the prediction is the class prior logit; with heavy
         // imbalance the untrained probability must be far below 0.5
         let (x, y) = blobs(300, 0.05, 0.1, 6);
-        let mut m = GradientBoosting::new(BoostConfig { n_rounds: 1, lr: 0.0, ..BoostConfig::default() });
+        let mut m = GradientBoosting::new(BoostConfig {
+            n_rounds: 1,
+            lr: 0.0,
+            ..BoostConfig::default()
+        });
         m.fit(&x, &y);
         let probs = m.predict_proba(&x);
         assert!(probs[0] < 0.2, "{}", probs[0]);
@@ -494,7 +565,10 @@ mod tests {
     #[test]
     fn importance_sums_to_one_and_prefers_signal() {
         let (x, y) = blobs(300, 0.4, 2.0, 12);
-        let mut m = GradientBoosting::new(BoostConfig { n_rounds: 30, ..BoostConfig::default() });
+        let mut m = GradientBoosting::new(BoostConfig {
+            n_rounds: 30,
+            ..BoostConfig::default()
+        });
         m.fit(&x, &y);
         let imp = m.feature_importance(x.cols());
         assert!((imp.iter().sum::<f32>() - 1.0).abs() < 1e-4);

@@ -151,7 +151,10 @@ impl Classifier for RandomForest {
             SplitRule::Best => "rf",
             SplitRule::Random => "xt",
         };
-        format!("{kind}(n={},depth={})", self.config.n_trees, self.config.max_depth)
+        format!(
+            "{kind}(n={},depth={})",
+            self.config.n_trees, self.config.max_depth
+        )
     }
 
     fn fresh(&self) -> Box<dyn Classifier> {

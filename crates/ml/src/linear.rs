@@ -347,7 +347,10 @@ mod tests {
     #[test]
     fn probabilities_in_unit_interval() {
         let (x, y) = blobs(150, 0.3, 1.0, 7);
-        for model in [&mut LogisticRegression::default() as &mut dyn Classifier, &mut LinearSvm::default()] {
+        for model in [
+            &mut LogisticRegression::default() as &mut dyn Classifier,
+            &mut LinearSvm::default(),
+        ] {
             model.fit(&x, &y);
             for p in model.predict_proba(&x) {
                 assert!((0.0..=1.0).contains(&p), "{p}");

@@ -83,12 +83,11 @@ impl Classifier for GaussianNb {
         let mut out = Vec::with_capacity(x.rows());
         for row in x.rows_iter() {
             let mut log_like = [self.log_priors[0], self.log_priors[1]];
-            for c in 0..2 {
+            for (c, ll) in log_like.iter_mut().enumerate() {
                 for (j, &v) in row.iter().enumerate() {
                     let var = self.vars[c][j] as f64;
                     let diff = v as f64 - self.means[c][j] as f64;
-                    log_like[c] +=
-                        -0.5 * ((2.0 * std::f64::consts::PI * var).ln() + diff * diff / var);
+                    *ll += -0.5 * ((2.0 * std::f64::consts::PI * var).ln() + diff * diff / var);
                 }
             }
             // softmax over the two log-likelihoods

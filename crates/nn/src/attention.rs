@@ -154,7 +154,7 @@ impl RelativePositionBias {
             }
         }
         let flat = tape.gather(store, self.table, &idx); // (len² × 1)
-        // reshape (len² × 1) → (len × len): slice and stack rows
+                                                         // reshape (len² × 1) → (len × len): slice and stack rows
         let mut out: Option<TensorId> = None;
         for i in 0..len {
             let row = tape.rows(flat, i * len, len); // (len × 1)

@@ -31,8 +31,8 @@ impl Sgd {
             let Some(g) = grads.get(id) else { continue };
             let p = store.get_mut(id);
             if self.momentum > 0.0 {
-                let v = self.velocity[id.0]
-                    .get_or_insert_with(|| Matrix::zeros(p.rows(), p.cols()));
+                let v =
+                    self.velocity[id.0].get_or_insert_with(|| Matrix::zeros(p.rows(), p.cols()));
                 for (vi, &gi) in v.as_mut_slice().iter_mut().zip(g.as_slice()) {
                     *vi = self.momentum * *vi - self.lr * gi;
                 }
@@ -85,10 +85,8 @@ impl Adam {
         for id in store.ids().collect::<Vec<_>>() {
             let Some(g) = grads.get(id) else { continue };
             let p = store.get_mut(id);
-            let m = self.m[id.0]
-                .get_or_insert_with(|| Matrix::zeros(p.rows(), p.cols()));
-            let v = self.v[id.0]
-                .get_or_insert_with(|| Matrix::zeros(p.rows(), p.cols()));
+            let m = self.m[id.0].get_or_insert_with(|| Matrix::zeros(p.rows(), p.cols()));
+            let v = self.v[id.0].get_or_insert_with(|| Matrix::zeros(p.rows(), p.cols()));
             for ((pi, (mi, vi)), &gi) in p
                 .as_mut_slice()
                 .iter_mut()

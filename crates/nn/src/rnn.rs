@@ -225,7 +225,11 @@ mod tests {
         let make_example = |rng: &mut Rng| {
             let len = 3 + rng.below(4);
             let vals: Vec<f32> = (0..len).map(|_| rng.normal()).collect();
-            let label = if vals.iter().sum::<f32>() > 0.0 { 1.0f32 } else { 0.0 };
+            let label = if vals.iter().sum::<f32>() > 0.0 {
+                1.0f32
+            } else {
+                0.0
+            };
             (Matrix::from_vec(len, 1, vals), label)
         };
         for _ in 0..300 {

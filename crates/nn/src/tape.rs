@@ -250,8 +250,7 @@ impl Tape {
         for i in 0..x.rows() {
             let row = x.row(i);
             let mean = linalg::vector::mean(row);
-            let var =
-                row.iter().map(|&r| (r - mean) * (r - mean)).sum::<f32>() / row.len() as f32;
+            let var = row.iter().map(|&r| (r - mean) * (r - mean)).sum::<f32>() / row.len() as f32;
             let inv_std = 1.0 / (var + eps).sqrt();
             let dst = v.row_mut(i);
             for (d, &r) in dst.iter_mut().zip(row) {
@@ -353,8 +352,7 @@ impl Tape {
                 }
                 let row = x.row(i);
                 let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
-                let logsum: f32 =
-                    row.iter().map(|&v| (v - max).exp()).sum::<f32>().ln() + max;
+                let logsum: f32 = row.iter().map(|&v| (v - max).exp()).sum::<f32>().ln() + max;
                 loss += (weights[i] * (logsum - row[targets[i] as usize])) as f64;
             }
             loss /= wsum as f64;
@@ -482,8 +480,7 @@ impl Tape {
                         let yrow = y.row(r);
                         let grow = g.row(r);
                         let mean = linalg::vector::mean(xrow);
-                        let var = xrow.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>()
-                            / d;
+                        let var = xrow.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / d;
                         let inv_std = 1.0 / (var + eps).sqrt();
                         let g_mean = linalg::vector::mean(grow);
                         let gy_mean = linalg::vector::dot(grow, yrow) / d;
@@ -561,7 +558,11 @@ impl Tape {
                     }
                     add_adj(&mut adj, *a, &da);
                 }
-                Op::CeLogitsRows { a, targets, weights } => {
+                Op::CeLogitsRows {
+                    a,
+                    targets,
+                    weights,
+                } => {
                     let x = &self.nodes[*a].value;
                     let wsum: f32 = weights.iter().sum();
                     if wsum > 0.0 {

@@ -128,11 +128,21 @@ impl TransformerEncoder {
             (None, Some(RelativePositionBias::new(store, "rel", 32)))
         } else {
             (
-                Some(Embedding::new(store, "pos", config.max_len, config.dim, rng)),
+                Some(Embedding::new(
+                    store,
+                    "pos",
+                    config.max_len,
+                    config.dim,
+                    rng,
+                )),
                 None,
             )
         };
-        let physical_blocks = if config.share_layers { 1 } else { config.layers };
+        let physical_blocks = if config.share_layers {
+            1
+        } else {
+            config.layers
+        };
         let blocks = (0..physical_blocks)
             .map(|i| {
                 TransformerBlock::new(
@@ -216,12 +226,7 @@ impl TransformerEncoder {
     /// Masked-LM logits `(len × vocab)` with weights tied to the token
     /// embedding table (requires no factorized embedding, or applies the
     /// projection transpose implicitly by scoring in embedding space).
-    pub fn mlm_logits(
-        &self,
-        tape: &mut Tape,
-        store: &ParamStore,
-        hidden: TensorId,
-    ) -> TensorId {
+    pub fn mlm_logits(&self, tape: &mut Tape, store: &ParamStore, hidden: TensorId) -> TensorId {
         let table = tape.param(store, self.token_emb.table());
         let table_t = tape.transpose(table);
         match &self.emb_proj {

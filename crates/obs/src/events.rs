@@ -1,0 +1,206 @@
+//! Structured event stream: a bounded in-memory ring for diagnostics plus
+//! an optional JSONL trace file.
+//!
+//! Set `AUTOML_EM_TRACE=path.jsonl` before the process starts and every
+//! event becomes one JSON object per line in that file (the env var is
+//! read once, on first emit). Without the env var, events still land in
+//! the ring so tests and failure paths can inspect the recent search
+//! trajectory via [`recent_trials`].
+
+use crate::json::Obj;
+use crate::metrics::counter;
+use std::collections::VecDeque;
+use std::fs::File;
+use std::io::Write;
+use std::sync::{Mutex, OnceLock};
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// Maximum events retained in memory.
+const RING_CAPACITY: usize = 4096;
+
+/// A dynamically typed event-field value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// String field.
+    Str(String),
+    /// Float field.
+    F64(f64),
+    /// Unsigned-integer field.
+    U64(u64),
+    /// Boolean field.
+    Bool(bool),
+}
+
+/// One candidate fit inside an AutoML search — the event every engine
+/// emits per evaluated model, which makes convergence traces (best-so-far
+/// over budget spend) a by-product of any run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrialEvent {
+    /// Engine name ("AutoSklearn", "AutoGluon", "H2OAutoML", …).
+    pub engine: &'static str,
+    /// 0-based index of this trial within the engine's search.
+    pub trial: usize,
+    /// Model family searched ("Gbm", "LogReg", …).
+    pub family: String,
+    /// Full model description including hyperparameters.
+    pub model: String,
+    /// Validation F1 (percentage points) of this candidate.
+    pub val_f1: f64,
+    /// Budget units this fit consumed.
+    pub cost_units: f64,
+    /// Best validation F1 seen so far in this search, including this trial.
+    pub best_so_far: f64,
+}
+
+enum Stored {
+    Trial(TrialEvent),
+    Other,
+}
+
+static RING: Mutex<VecDeque<Stored>> = Mutex::new(VecDeque::new());
+
+fn trace_file() -> Option<&'static Mutex<File>> {
+    static TRACE: OnceLock<Option<Mutex<File>>> = OnceLock::new();
+    TRACE
+        .get_or_init(|| {
+            let path = std::env::var("AUTOML_EM_TRACE").ok()?;
+            if path.is_empty() {
+                return None;
+            }
+            match File::create(&path) {
+                Ok(f) => Some(Mutex::new(f)),
+                Err(e) => {
+                    eprintln!("obs: cannot open AUTOML_EM_TRACE={path}: {e}");
+                    None
+                }
+            }
+        })
+        .as_ref()
+}
+
+/// True when `AUTOML_EM_TRACE` points at a writable trace file.
+pub fn trace_enabled() -> bool {
+    trace_file().is_some()
+}
+
+fn now_ms() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0)
+}
+
+fn write_line(kind: &str, fill: impl FnOnce(&mut Obj)) {
+    let Some(file) = trace_file() else { return };
+    let mut o = Obj::new();
+    o.str("ev", kind).u64("ts_ms", now_ms());
+    fill(&mut o);
+    let mut line = o.finish();
+    line.push('\n');
+    // one write_all per line under the lock keeps lines whole even with
+    // parallel dataset threads emitting concurrently
+    let mut f = file.lock().expect("trace file");
+    if let Err(e) = f.write_all(line.as_bytes()) {
+        eprintln!("obs: trace write failed: {e}");
+    }
+}
+
+fn push_ring(ev: Stored) {
+    let mut ring = RING.lock().expect("event ring");
+    if ring.len() >= RING_CAPACITY {
+        ring.pop_front();
+    }
+    ring.push_back(ev);
+}
+
+/// Emit a generic event: a kind tag plus flat key/value fields.
+pub fn emit(kind: &str, fields: &[(&str, Value)]) {
+    counter("obs.events").inc();
+    write_line(kind, |o| {
+        for (k, v) in fields {
+            match v {
+                Value::Str(s) => o.str(k, s),
+                Value::F64(f) => o.f64(k, *f),
+                Value::U64(u) => o.u64(k, *u),
+                Value::Bool(b) => o.bool(k, *b),
+            };
+        }
+    });
+    push_ring(Stored::Other);
+}
+
+/// Emit one AutoML trial (see [`TrialEvent`]).
+pub fn emit_trial(ev: TrialEvent) {
+    counter("obs.events").inc();
+    write_line("trial", |o| {
+        o.str("engine", ev.engine)
+            .u64("trial", ev.trial as u64)
+            .str("family", &ev.family)
+            .str("model", &ev.model)
+            .f64("val_f1", ev.val_f1)
+            .f64("cost_units", ev.cost_units)
+            .f64("best_so_far", ev.best_so_far);
+    });
+    push_ring(Stored::Trial(ev));
+}
+
+/// The trial events still in the ring, oldest first, optionally filtered
+/// by engine name.
+pub fn recent_trials(engine: Option<&str>) -> Vec<TrialEvent> {
+    RING.lock()
+        .expect("event ring")
+        .iter()
+        .filter_map(|s| match s {
+            Stored::Trial(t) if engine.is_none_or(|e| t.engine == e) => Some(t.clone()),
+            _ => None,
+        })
+        .collect()
+}
+
+/// Drop everything in the in-memory ring.
+pub fn reset_events() {
+    RING.lock().expect("event ring").clear();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_filters_by_engine_and_stays_bounded() {
+        // one sequential test (not several) because the ring is global and
+        // flooding it would race with a concurrent filtering assertion
+        let mk = |engine, trial| TrialEvent {
+            engine,
+            trial,
+            family: "Gbm".into(),
+            model: "gbm(...)".into(),
+            val_f1: 50.0,
+            cost_units: 1.0,
+            best_so_far: 50.0,
+        };
+        emit_trial(mk("t.ev.EngineA", 0));
+        emit_trial(mk("t.ev.EngineB", 0));
+        emit_trial(mk("t.ev.EngineA", 1));
+        let a = recent_trials(Some("t.ev.EngineA"));
+        assert_eq!(a.len(), 2);
+        assert_eq!(a[0].trial, 0);
+        assert_eq!(a[1].trial, 1);
+        assert!(recent_trials(None).len() >= 3);
+
+        for i in 0..(RING_CAPACITY + 10) {
+            emit("t.ev.flood", &[("i", Value::U64(i as u64))]);
+        }
+        assert!(RING.lock().unwrap().len() <= RING_CAPACITY);
+    }
+
+    #[test]
+    fn trace_disabled_without_env_var() {
+        // the test harness never sets AUTOML_EM_TRACE; emitting must be a
+        // cheap no-op on the file path
+        if std::env::var("AUTOML_EM_TRACE").is_err() {
+            assert!(!trace_enabled());
+        }
+        emit("t.ev.noop", &[("ok", Value::Bool(true))]);
+    }
+}

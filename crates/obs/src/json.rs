@@ -1,0 +1,152 @@
+//! Hand-rolled JSON writing — just enough for the event stream and run
+//! manifests (objects, arrays, strings, numbers, booleans), with correct
+//! string escaping and non-finite floats mapped to `null`.
+
+/// Append `s` to `out` as a JSON string literal (with surrounding quotes).
+pub fn write_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Append `v` to `out` as a JSON number (`null` when not finite, so the
+/// line stays parseable no matter what a metric produced).
+pub fn write_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        out.push_str(&format!("{v}"));
+    } else {
+        out.push_str("null");
+    }
+}
+
+/// An in-progress JSON object; fields are appended in call order.
+#[derive(Debug, Default)]
+pub struct Obj {
+    buf: String,
+    n: usize,
+}
+
+impl Obj {
+    /// Start an empty object.
+    pub fn new() -> Self {
+        Self {
+            buf: String::from("{"),
+            n: 0,
+        }
+    }
+
+    fn key(&mut self, k: &str) {
+        if self.n > 0 {
+            self.buf.push(',');
+        }
+        self.n += 1;
+        write_str(&mut self.buf, k);
+        self.buf.push(':');
+    }
+
+    /// Add a string field.
+    pub fn str(&mut self, k: &str, v: &str) -> &mut Self {
+        self.key(k);
+        write_str(&mut self.buf, v);
+        self
+    }
+
+    /// Add a float field.
+    pub fn f64(&mut self, k: &str, v: f64) -> &mut Self {
+        self.key(k);
+        write_f64(&mut self.buf, v);
+        self
+    }
+
+    /// Add an unsigned-integer field.
+    pub fn u64(&mut self, k: &str, v: u64) -> &mut Self {
+        self.key(k);
+        self.buf.push_str(&v.to_string());
+        self
+    }
+
+    /// Add a boolean field.
+    pub fn bool(&mut self, k: &str, v: bool) -> &mut Self {
+        self.key(k);
+        self.buf.push_str(if v { "true" } else { "false" });
+        self
+    }
+
+    /// Add a field whose value is already-serialized JSON.
+    pub fn raw(&mut self, k: &str, json: &str) -> &mut Self {
+        self.key(k);
+        self.buf.push_str(json);
+        self
+    }
+
+    /// Close the object and return the JSON text.
+    pub fn finish(self) -> String {
+        let mut buf = self.buf;
+        buf.push('}');
+        buf
+    }
+}
+
+/// Serialize a list of already-serialized JSON values as an array.
+pub fn array(items: impl IntoIterator<Item = String>) -> String {
+    let mut out = String::from("[");
+    for (i, item) in items.into_iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&item);
+    }
+    out.push(']');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_nasty_strings() {
+        let mut s = String::new();
+        write_str(&mut s, "a\"b\\c\nd\te\u{1}f");
+        assert_eq!(s, "\"a\\\"b\\\\c\\nd\\te\\u0001f\"");
+    }
+
+    #[test]
+    fn object_builder_shapes() {
+        let mut o = Obj::new();
+        o.str("name", "x")
+            .u64("n", 3)
+            .f64("v", 1.5)
+            .bool("ok", true);
+        o.raw("arr", &array(["1".into(), "2".into()]));
+        assert_eq!(
+            o.finish(),
+            r#"{"name":"x","n":3,"v":1.5,"ok":true,"arr":[1,2]}"#
+        );
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        let mut o = Obj::new();
+        o.f64("bad", f64::NAN).f64("inf", f64::INFINITY);
+        assert_eq!(o.finish(), r#"{"bad":null,"inf":null}"#);
+    }
+
+    #[test]
+    fn empty_object_and_array() {
+        assert_eq!(Obj::new().finish(), "{}");
+        assert_eq!(array(Vec::<String>::new()), "[]");
+    }
+}

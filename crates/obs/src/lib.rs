@@ -1,0 +1,55 @@
+//! # obs — zero-dependency tracing, metrics and search-trajectory telemetry
+//!
+//! The paper's evaluation reports *training time* per (dataset × system)
+//! cell and budget behaviour, not just F1 — so every layer of this
+//! reproduction needs to be observable: where does encode time go, how
+//! does each AutoML engine spend its budget, which model families dominate
+//! a search. This crate is the shared substrate for that, built on `std`
+//! alone (builds are offline; no serde, no tracing, no prometheus):
+//!
+//! * [`span`] — hierarchical spans with wall-clock **and** deterministic
+//!   budget-unit timing, collected into a global, thread-safe tree. Spans
+//!   opened on different threads become separate roots and are merged by
+//!   name, so parallel per-dataset runs aggregate into one readable tree.
+//! * [`metrics`] — a global registry of named counters, gauges and
+//!   fixed-bucket histograms. Handles are `&'static` and lock-free on the
+//!   hot path (one atomic op per update).
+//! * [`events`] — a structured event stream. Every event is kept in a
+//!   bounded in-memory ring (for diagnostics and tests) and, when the
+//!   `AUTOML_EM_TRACE=path.jsonl` environment variable is set, appended to
+//!   that file as one hand-rolled JSON object per line. [`TrialEvent`] is
+//!   the per-candidate-fit record every AutoML engine emits, so search
+//!   convergence traces fall out of a run for free.
+//! * [`summary`] — a human-readable end-of-run summary (span tree plus
+//!   metrics snapshot) printed to stderr, no env var required.
+//! * [`manifest`] — a per-run manifest JSON (run identity, config,
+//!   metrics snapshot, span tree) the bench binaries write next to their
+//!   TSV artifacts.
+//!
+//! Everything is safe to use from multiple threads; all globals can be
+//! [`reset`] between logical runs (tests do this).
+
+pub mod events;
+pub mod json;
+pub mod manifest;
+pub mod metrics;
+pub mod span;
+pub mod summary;
+
+pub use events::{emit, recent_trials, trace_enabled, TrialEvent, Value};
+pub use manifest::Manifest;
+pub use metrics::{counter, gauge, histogram, snapshot, Counter, Gauge, Histogram};
+pub use span::{span, span_tree, SpanGuard, SpanRecord};
+pub use summary::{print_summary, render_summary};
+
+/// Clear all global observability state: span tree, metrics registry and
+/// the in-memory event ring. The JSONL trace file (if any) stays open.
+///
+/// Meant for the boundary between logical runs in one process (e.g. a
+/// harness regenerating two tables back to back); concurrently
+/// instrumented threads will simply start repopulating the globals.
+pub fn reset() {
+    span::reset_spans();
+    metrics::reset_metrics();
+    events::reset_events();
+}

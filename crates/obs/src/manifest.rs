@@ -1,0 +1,107 @@
+//! Per-run manifest JSON: run identity and config, a metrics snapshot and
+//! the span tree, written next to the TSV artifacts so every `results/`
+//! table carries its full run context (the reproducibility practice the
+//! EM benchmarking literature insists on).
+
+use crate::events::Value;
+use crate::json::{self, Obj};
+use crate::metrics::snapshot;
+use crate::span::span_tree;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// Builder for one run's manifest.
+#[derive(Debug)]
+pub struct Manifest {
+    name: String,
+    config: Vec<(String, Value)>,
+}
+
+impl Manifest {
+    /// Start a manifest for the run called `name` ("table2", …).
+    pub fn new(name: &str) -> Self {
+        Self {
+            name: name.to_owned(),
+            config: Vec::new(),
+        }
+    }
+
+    /// Record one run-configuration field (seed, scale, dataset filter…).
+    pub fn config(&mut self, key: &str, value: Value) -> &mut Self {
+        self.config.push((key.to_owned(), value));
+        self
+    }
+
+    /// Serialize the manifest, capturing the *current* metrics snapshot
+    /// and span tree.
+    pub fn to_json(&self) -> String {
+        let mut config = Obj::new();
+        for (k, v) in &self.config {
+            match v {
+                Value::Str(s) => config.str(k, s),
+                Value::F64(f) => config.f64(k, *f),
+                Value::U64(u) => config.u64(k, *u),
+                Value::Bool(b) => config.bool(k, *b),
+            };
+        }
+        let mut metrics = Obj::new();
+        for (name, value) in snapshot() {
+            metrics.raw(&name, &value.to_json());
+        }
+        let mut o = Obj::new();
+        o.str("run", &self.name)
+            .u64(
+                "written_at_ms",
+                SystemTime::now()
+                    .duration_since(UNIX_EPOCH)
+                    .map(|d| d.as_millis() as u64)
+                    .unwrap_or(0),
+            )
+            .raw("config", &config.finish())
+            .raw("metrics", &metrics.finish())
+            .raw(
+                "spans",
+                &json::array(span_tree().iter().map(|r| r.to_json())),
+            );
+        o.finish()
+    }
+
+    /// Write `<dir>/<name>_manifest.json` (creating `dir` if needed).
+    pub fn write_to(&self, dir: &str) -> io::Result<PathBuf> {
+        fs::create_dir_all(dir)?;
+        let path = Path::new(dir).join(format!("{}_manifest.json", self.name));
+        fs::write(&path, self.to_json())?;
+        Ok(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::counter;
+    use crate::span::span;
+
+    #[test]
+    fn manifest_roundtrips_through_disk() {
+        counter("t.man.counter").add(2);
+        {
+            let _g = span("t.man.span");
+        }
+        let mut m = Manifest::new("t_man_demo");
+        m.config("seed", Value::U64(42))
+            .config("scale", Value::F64(0.06))
+            .config("only", Value::Str("S-BR".into()));
+        let dir = std::env::temp_dir().join("obs_manifest_test");
+        let path = m.write_to(dir.to_str().unwrap()).unwrap();
+        assert!(path.to_string_lossy().ends_with("t_man_demo_manifest.json"));
+        let text = fs::read_to_string(&path).unwrap();
+        assert!(text.starts_with('{') && text.ends_with('}'));
+        assert!(text.contains(r#""run":"t_man_demo""#), "{text}");
+        assert!(text.contains(r#""seed":42"#));
+        assert!(text.contains(r#""scale":0.06"#));
+        assert!(text.contains("t.man.counter"));
+        assert!(text.contains("t.man.span"));
+    }
+}

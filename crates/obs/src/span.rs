@@ -1,0 +1,223 @@
+//! Hierarchical spans with wall-clock and budget-unit timing.
+//!
+//! A [`span`] call opens a frame on a thread-local stack and returns an
+//! RAII [`SpanGuard`]; dropping the guard closes the frame and attaches
+//! the finished record to its parent frame, or — for a root span — to the
+//! global collector. Records with the same name under the same parent are
+//! merged (durations and unit charges summed, `count` incremented), so a
+//! loop over 12 datasets collapses into one line per stage instead of 12
+//! copies, and parallel threads aggregate into a single readable tree.
+
+use crate::json::{self, Obj};
+use std::cell::RefCell;
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// A finished (sub)tree of spans.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanRecord {
+    /// Span name ("pipeline/fit").
+    pub name: String,
+    /// Total wall-clock milliseconds across all merged instances.
+    pub wall_ms: f64,
+    /// Total deterministic budget units charged via [`SpanGuard::add_units`].
+    pub units: f64,
+    /// How many span instances were merged into this record.
+    pub count: u64,
+    /// Child spans, in first-seen order.
+    pub children: Vec<SpanRecord>,
+}
+
+impl SpanRecord {
+    /// Serialize this subtree as a JSON object.
+    pub fn to_json(&self) -> String {
+        let mut o = Obj::new();
+        o.str("name", &self.name)
+            .f64("wall_ms", self.wall_ms)
+            .f64("units", self.units)
+            .u64("count", self.count);
+        if !self.children.is_empty() {
+            o.raw(
+                "children",
+                &json::array(self.children.iter().map(SpanRecord::to_json)),
+            );
+        }
+        o.finish()
+    }
+}
+
+/// Merge `rec` into `records`, by name, recursively.
+fn merge_into(records: &mut Vec<SpanRecord>, rec: SpanRecord) {
+    if let Some(existing) = records.iter_mut().find(|r| r.name == rec.name) {
+        existing.wall_ms += rec.wall_ms;
+        existing.units += rec.units;
+        existing.count += rec.count;
+        for child in rec.children {
+            merge_into(&mut existing.children, child);
+        }
+    } else {
+        records.push(rec);
+    }
+}
+
+struct Frame {
+    name: String,
+    start: Instant,
+    units: f64,
+    children: Vec<SpanRecord>,
+}
+
+thread_local! {
+    static STACK: RefCell<Vec<Frame>> = const { RefCell::new(Vec::new()) };
+}
+
+static ROOTS: Mutex<Vec<SpanRecord>> = Mutex::new(Vec::new());
+
+/// Open a span; it closes (and records itself) when the guard drops.
+pub fn span(name: impl Into<String>) -> SpanGuard {
+    STACK.with(|stack| {
+        stack.borrow_mut().push(Frame {
+            name: name.into(),
+            start: Instant::now(),
+            units: 0.0,
+            children: Vec::new(),
+        });
+    });
+    SpanGuard { closed: false }
+}
+
+/// RAII handle for an open span (see [`span`]).
+#[must_use = "a span measures the scope of its guard — bind it with `let`"]
+pub struct SpanGuard {
+    closed: bool,
+}
+
+impl SpanGuard {
+    /// Charge deterministic budget units to the innermost open span.
+    pub fn add_units(&self, units: f64) {
+        STACK.with(|stack| {
+            if let Some(frame) = stack.borrow_mut().last_mut() {
+                frame.units += units.max(0.0);
+            }
+        });
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if self.closed {
+            return;
+        }
+        self.closed = true;
+        STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            let Some(frame) = stack.pop() else { return };
+            let rec = SpanRecord {
+                name: frame.name,
+                wall_ms: frame.start.elapsed().as_secs_f64() * 1e3,
+                units: frame.units,
+                count: 1,
+                children: frame.children,
+            };
+            match stack.last_mut() {
+                Some(parent) => merge_into(&mut parent.children, rec),
+                None => merge_into(&mut ROOTS.lock().expect("span collector"), rec),
+            }
+        });
+    }
+}
+
+/// Snapshot of the global (merged, root-level) span tree.
+pub fn span_tree() -> Vec<SpanRecord> {
+    ROOTS.lock().expect("span collector").clone()
+}
+
+/// Clear the global span tree (open spans on live threads are unaffected
+/// until they close).
+pub fn reset_spans() {
+    ROOTS.lock().expect("span collector").clear();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Pull one named root out of the global tree (tests share globals, so
+    /// each test uses unique span names).
+    fn take_root(name: &str) -> SpanRecord {
+        let mut roots = ROOTS.lock().expect("span collector");
+        let idx = roots
+            .iter()
+            .position(|r| r.name == name)
+            .unwrap_or_else(|| panic!("root {name} not recorded"));
+        roots.swap_remove(idx)
+    }
+
+    #[test]
+    fn nesting_builds_a_tree() {
+        {
+            let _a = span("t.nest.outer");
+            {
+                let _b = span("t.nest.inner");
+            }
+            {
+                let _c = span("t.nest.inner");
+            }
+        }
+        let root = take_root("t.nest.outer");
+        assert_eq!(root.count, 1);
+        assert_eq!(root.children.len(), 1, "same-name children merge");
+        assert_eq!(root.children[0].count, 2);
+        assert!(root.wall_ms >= root.children[0].wall_ms);
+    }
+
+    #[test]
+    fn units_attach_to_innermost_span() {
+        {
+            let _a = span("t.units.outer");
+            let b = span("t.units.inner");
+            b.add_units(3.5);
+            b.add_units(-1.0); // negative charges ignored, like Budget
+        }
+        let root = take_root("t.units.outer");
+        assert_eq!(root.units, 0.0);
+        assert_eq!(root.children[0].units, 3.5);
+    }
+
+    #[test]
+    fn parallel_threads_merge_roots() {
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                std::thread::spawn(|| {
+                    let _g = span("t.par.root");
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let root = take_root("t.par.root");
+        assert_eq!(root.count, 4);
+    }
+
+    #[test]
+    fn json_shape() {
+        let rec = SpanRecord {
+            name: "a".into(),
+            wall_ms: 1.5,
+            units: 2.0,
+            count: 1,
+            children: vec![SpanRecord {
+                name: "b".into(),
+                wall_ms: 0.5,
+                units: 0.0,
+                count: 3,
+                children: Vec::new(),
+            }],
+        };
+        assert_eq!(
+            rec.to_json(),
+            r#"{"name":"a","wall_ms":1.5,"units":2,"count":1,"children":[{"name":"b","wall_ms":0.5,"units":0,"count":3}]}"#
+        );
+    }
+}

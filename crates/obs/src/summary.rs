@@ -1,0 +1,109 @@
+//! Human-readable end-of-run summary: the merged span tree plus a metrics
+//! snapshot, rendered as text. Printed to stderr so it never pollutes the
+//! table markdown/TSV a binary writes to stdout.
+
+use crate::metrics::{snapshot, MetricSnapshot};
+use crate::span::{span_tree, SpanRecord};
+
+fn fmt_wall(ms: f64) -> String {
+    if ms >= 60_000.0 {
+        format!("{:.1}min", ms / 60_000.0)
+    } else if ms >= 1000.0 {
+        format!("{:.2}s", ms / 1000.0)
+    } else {
+        format!("{ms:.1}ms")
+    }
+}
+
+fn render_span(out: &mut String, rec: &SpanRecord, depth: usize) {
+    let indent = "  ".repeat(depth);
+    let label = format!("{indent}{}", rec.name);
+    let mut line = format!("  {label:<42} wall {:>9}", fmt_wall(rec.wall_ms));
+    if rec.units > 0.0 {
+        line.push_str(&format!("  units {:>8.2}", rec.units));
+    }
+    if rec.count > 1 {
+        line.push_str(&format!("  ×{}", rec.count));
+    }
+    line.push('\n');
+    out.push_str(&line);
+    for child in &rec.children {
+        render_span(out, child, depth + 1);
+    }
+}
+
+/// Render the summary (span tree + metrics) as multi-line text.
+pub fn render_summary() -> String {
+    let mut out = String::from("== automl-em run summary ==\n");
+    let tree = span_tree();
+    if !tree.is_empty() {
+        out.push_str("spans:\n");
+        for root in &tree {
+            render_span(&mut out, root, 0);
+        }
+    }
+    let metrics = snapshot();
+    if !metrics.is_empty() {
+        out.push_str("metrics:\n");
+        for (name, value) in &metrics {
+            match value {
+                MetricSnapshot::Counter(v) => {
+                    out.push_str(&format!("  {name:<44} {v}\n"));
+                }
+                MetricSnapshot::Gauge(v) => {
+                    out.push_str(&format!("  {name:<44} {v:.4}\n"));
+                }
+                MetricSnapshot::Histogram(count, sum, _) => {
+                    let mean = if *count == 0 {
+                        0.0
+                    } else {
+                        sum / *count as f64
+                    };
+                    out.push_str(&format!(
+                        "  {name:<44} n={count} sum={sum:.2} mean={mean:.3}\n"
+                    ));
+                }
+            }
+        }
+    }
+    if tree.is_empty() && metrics.is_empty() {
+        out.push_str("(nothing recorded)\n");
+    }
+    out
+}
+
+/// Print [`render_summary`] to stderr.
+pub fn print_summary() {
+    eprint!("{}", render_summary());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{counter, gauge};
+    use crate::span::span;
+
+    #[test]
+    fn summary_mentions_spans_and_metrics() {
+        {
+            let outer = span("t.sum.root");
+            outer.add_units(3.0);
+            let _inner = span("t.sum.child");
+        }
+        counter("t.sum.counter").add(5);
+        gauge("t.sum.gauge").set(0.25);
+        let text = render_summary();
+        assert!(text.contains("t.sum.root"), "{text}");
+        assert!(text.contains("t.sum.child"), "{text}");
+        assert!(text.contains("units"), "{text}");
+        assert!(text.contains("t.sum.counter"), "{text}");
+        assert!(text.contains("0.2500"), "{text}");
+    }
+
+    #[test]
+    fn wall_formatting_scales() {
+        assert_eq!(fmt_wall(3.17), "3.2ms");
+        assert_eq!(fmt_wall(2500.0), "2.50s");
+        assert_eq!(fmt_wall(120_000.0), "2.0min");
+    }
+}

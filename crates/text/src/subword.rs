@@ -50,7 +50,7 @@ impl SubwordVocabBuilder {
     /// 1. all single characters seen (guarantees full coverage),
     /// 2. whole words by descending frequency,
     /// 3. word prefixes and `##`-continuations by descending frequency,
-    /// until the budget is exhausted.
+    ///    until the budget is exhausted.
     pub fn build(&self, max_size: usize) -> Vocab {
         let mut vocab = Vocab::new();
 
@@ -91,7 +91,9 @@ impl SubwordVocabBuilder {
                 let prefix: String = chars[..len].iter().collect();
                 *frag_counts.entry(prefix).or_insert(0) += c;
                 let suffix: String = chars[n - len..].iter().collect();
-                *frag_counts.entry(format!("{CONTINUATION}{suffix}")).or_insert(0) += c;
+                *frag_counts
+                    .entry(format!("{CONTINUATION}{suffix}"))
+                    .or_insert(0) += c;
             }
         }
         let mut frags: Vec<(String, u64)> = frag_counts.into_iter().collect();
@@ -178,7 +180,10 @@ impl SubwordTokenizer {
 
     /// Tokenize and encode to ids in one step.
     pub fn encode(&self, text: &str) -> Vec<u32> {
-        self.tokenize(text).iter().map(|t| self.vocab.id(t)).collect()
+        self.tokenize(text)
+            .iter()
+            .map(|t| self.vocab.id(t))
+            .collect()
     }
 }
 

@@ -11,9 +11,7 @@ use automl::sklearn_like::AutoSklearnStyle;
 use em_core::{run_pipeline, Combiner, EmAdapter, PipelineConfig, TokenizerMode};
 use em_data::generators::{Domain, Restaurant};
 use em_data::noise::{corrupt_entity, NoiseConfig};
-use em_data::{
-    token_blocking, BlockerConfig, CandidatePair, DatasetKind, EmDataset, RecordPair,
-};
+use em_data::{token_blocking, BlockerConfig, CandidatePair, DatasetKind, EmDataset, RecordPair};
 use embed::families::{EmbedderFamily, PretrainConfig, PretrainedTransformer};
 use linalg::Rng;
 
@@ -33,7 +31,10 @@ fn main() {
         // ~60% of left records have a (corrupted) duplicate on the right
         if rng.chance(0.6) {
             right.push(corrupt_entity(&base, &schema, &noise, &[], &mut rng));
-            truth.push(CandidatePair { left: i, right: right.len() - 1 });
+            truth.push(CandidatePair {
+                left: i,
+                right: right.len() - 1,
+            });
         } else {
             right.push(domain.generate(&mut rng));
         }

@@ -57,7 +57,7 @@ fn main() {
                 seed,
                 ..PipelineConfig::default()
             };
-            let r = run_encoded(sys.as_mut(), &train, &valid, &test, cfg);
+            let r = run_encoded(sys.as_mut(), &train, &valid, &test, cfg, dataset.name());
             cells.push(format!("{:>8.2}", r.test_f1));
         }
         println!("{name:>18} {}", cells.join(" "));
@@ -71,9 +71,13 @@ fn main() {
             seed,
             ..PipelineConfig::default()
         };
-        let r = run_encoded(&mut sys, &train, &valid, &test, cfg);
+        let r = run_encoded(&mut sys, &train, &valid, &test, cfg, dataset.name());
         cells.push(format!("{:>8.2}", r.test_f1));
     }
-    println!("{:>18} {}", SuccessiveHalving::new(0).name(), cells.join(" "));
+    println!(
+        "{:>18} {}",
+        SuccessiveHalving::new(0).name(),
+        cells.join(" ")
+    );
     println!("\n(F1 should be non-decreasing left to right, within noise)");
 }

@@ -31,8 +31,13 @@ fn main() {
 
     // load it back: schema + attribute types are inferred from the header
     // and values, and a fresh 60/20/20 split is drawn
-    let dataset = read_csv("my-restaurants", DatasetKind::Structured, BufReader::new(&buf[..]), 99)
-        .expect("parse CSV");
+    let dataset = read_csv(
+        "my-restaurants",
+        DatasetKind::Structured,
+        BufReader::new(&buf[..]),
+        99,
+    )
+    .expect("parse CSV");
     println!(
         "\nloaded '{}': {} attributes, {} pairs, {:.1}% matches",
         dataset.name(),
@@ -61,12 +66,7 @@ fn main() {
 
     let adapter = EmAdapter::new(TokenizerMode::Hybrid, &embedder, Combiner::Average);
     let mut system = H2oStyle::new(5);
-    let result = run_pipeline(
-        &mut system,
-        &adapter,
-        &dataset,
-        PipelineConfig::default(),
-    );
+    let result = run_pipeline(&mut system, &adapter, &dataset, PipelineConfig::default());
     println!(
         "\nH2O-style AutoML on the adapted features: test F1 {:.2} ({:.2} paper-hours)",
         result.test_f1, result.hours_used

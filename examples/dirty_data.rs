@@ -54,7 +54,15 @@ fn main() {
     println!("\ntest F1 (AutoSklearn-style, 1h budget):");
     println!("{:>14} {:>12} {:>12}", "tokenizer", "structured", "dirty");
     for mode in [TokenizerMode::AttributeBased, TokenizerMode::Hybrid] {
-        let s = adapter_run(&structured, &embedder, mode, Combiner::Average, 0, 1.0, seed);
+        let s = adapter_run(
+            &structured,
+            &embedder,
+            mode,
+            Combiner::Average,
+            0,
+            1.0,
+            seed,
+        );
         let d = adapter_run(&dirty, &embedder, mode, Combiner::Average, 0, 1.0, seed);
         println!(
             "{:>14} {:>12.2} {:>12.2}",

@@ -69,7 +69,13 @@ fn main() {
 
     // DeepMatcher reference
     println!("\ntraining DeepMatcher (Hybrid) for reference…");
-    let dm = train_deepmatcher(&dataset, TrainConfig { seed, ..TrainConfig::default() });
+    let dm = train_deepmatcher(
+        &dataset,
+        TrainConfig {
+            seed,
+            ..TrainConfig::default()
+        },
+    );
     println!(
         "  DeepMatcher  test F1 {:.2}  (val {:.2})",
         dm.f1_on(dataset.split(Split::Test)),

@@ -3,7 +3,7 @@
 //! together (and deepmatcher for the baseline), checking the *relationships*
 //! the paper's tables are built on rather than point values.
 
-use automl::{AutoMlSystem, Budget};
+use automl::Budget;
 use bench::experiments::{adapter_run, make_system, SYSTEM_NAMES};
 use deepmatcher::{train_deepmatcher, TrainConfig};
 use em_core::{run_pipeline, run_raw, Combiner, EmAdapter, PipelineConfig, TokenizerMode};
@@ -73,12 +73,17 @@ fn all_three_systems_run_under_budget_and_predict() {
             budget.used() <= budget.used() + budget.remaining() + 1e-9,
             "{name}: accounting"
         );
-        assert!(!report.leaderboard.is_empty(), "{name}: no models evaluated");
+        assert!(
+            !report.leaderboard.is_empty(),
+            "{name}: no models evaluated"
+        );
         assert!((0.0..=1.0).contains(&sys.threshold()), "{name}: threshold");
         let probs = sys.predict_proba(&test.x);
         assert_eq!(probs.len(), test.len(), "{name}");
         assert!(
-            probs.iter().all(|p| p.is_finite() && (0.0..=1.0).contains(p)),
+            probs
+                .iter()
+                .all(|p| p.is_finite() && (0.0..=1.0).contains(p)),
             "{name}: probabilities out of range"
         );
     }
@@ -89,8 +94,24 @@ fn hybrid_tokenizer_is_more_dirt_robust_than_attribute() {
     // Table 4's dirty-dataset story, checked as a relationship
     let embedder = quick_embedder(7);
     let dirty = MagellanDataset::DIA.profile().generate(7);
-    let attr = adapter_run(&dirty, &embedder, TokenizerMode::AttributeBased, Combiner::Average, 0, 0.7, 7);
-    let hybrid = adapter_run(&dirty, &embedder, TokenizerMode::Hybrid, Combiner::Average, 0, 0.7, 7);
+    let attr = adapter_run(
+        &dirty,
+        &embedder,
+        TokenizerMode::AttributeBased,
+        Combiner::Average,
+        0,
+        0.7,
+        7,
+    );
+    let hybrid = adapter_run(
+        &dirty,
+        &embedder,
+        TokenizerMode::Hybrid,
+        Combiner::Average,
+        0,
+        0.7,
+        7,
+    );
     assert!(
         hybrid.test_f1 >= attr.test_f1 - 5.0,
         "hybrid should not lose badly to attr on dirty data: {:.1} vs {:.1}",
@@ -102,7 +123,13 @@ fn hybrid_tokenizer_is_more_dirt_robust_than_attribute() {
 #[test]
 fn deepmatcher_trains_and_is_competitive_on_easy_data() {
     let dataset = MagellanDataset::SFZ.profile().generate(9);
-    let dm = train_deepmatcher(&dataset, TrainConfig { seed: 9, ..TrainConfig::default() });
+    let dm = train_deepmatcher(
+        &dataset,
+        TrainConfig {
+            seed: 9,
+            ..TrainConfig::default()
+        },
+    );
     let f1 = dm.f1_on(dataset.split(Split::Test));
     // well above the all-positive baseline (~21 F1 at 11.6% matches);
     // absolute levels at reproduction scale are seed-sensitive
@@ -136,8 +163,24 @@ fn six_hour_budget_never_loses_to_one_hour_by_much() {
     // tolerance for search randomness)
     let dataset = MagellanDataset::SBR.profile().generate(13);
     let embedder = quick_embedder(13);
-    let one = adapter_run(&dataset, &embedder, TokenizerMode::Hybrid, Combiner::Average, 0, 1.0, 13);
-    let six = adapter_run(&dataset, &embedder, TokenizerMode::Hybrid, Combiner::Average, 0, 6.0, 13);
+    let one = adapter_run(
+        &dataset,
+        &embedder,
+        TokenizerMode::Hybrid,
+        Combiner::Average,
+        0,
+        1.0,
+        13,
+    );
+    let six = adapter_run(
+        &dataset,
+        &embedder,
+        TokenizerMode::Hybrid,
+        Combiner::Average,
+        0,
+        6.0,
+        13,
+    );
     assert!(
         six.test_f1 >= one.test_f1 - 8.0,
         "6h {:.1} vs 1h {:.1}",

@@ -1,0 +1,160 @@
+//! Property-style tests over the synthetic-benchmark substrate: noise
+//! operators, domain generators, blocking and the budget/search machinery.
+//!
+//! Std-only stand-in for a proptest suite (crates.io is unreachable from
+//! the build environment): each test loops over many deterministic seeds
+//! and generates its inputs with [`linalg::Rng`].
+
+use automl::budget::{fit_cost, Budget, ModelFamily};
+use em_data::generators::{Beer, Bibliographic, Domain, Music, ProductRetail, Restaurant};
+use em_data::noise::{corrupt_entity, dirtify, NoiseConfig};
+use em_data::{token_blocking, BlockerConfig, MagellanDataset};
+use linalg::Rng;
+
+fn domains() -> Vec<Box<dyn Domain>> {
+    vec![
+        Box::new(Bibliographic),
+        Box::new(ProductRetail),
+        Box::new(Beer),
+        Box::new(Music),
+        Box::new(Restaurant),
+    ]
+}
+
+#[test]
+fn corruption_never_panics_and_preserves_width() {
+    for seed in 0..48u64 {
+        let mut rng = Rng::new(seed);
+        let level = rng.f64();
+        let domain = &domains()[rng.below(5)];
+        let schema = domain.schema();
+        let entity = domain.generate(&mut rng);
+        let cfg = NoiseConfig::from_level(level);
+        let corrupted = corrupt_entity(&entity, &schema, &cfg, &["extra"], &mut rng);
+        assert_eq!(corrupted.width(), entity.width(), "seed {seed}");
+        // corrupted values never become empty strings (empty = None)
+        for v in corrupted.values().flatten() {
+            assert!(!v.is_empty(), "seed {seed}");
+        }
+    }
+}
+
+#[test]
+fn dirtify_preserves_token_multiset() {
+    for seed in 0..48u64 {
+        let mut rng = Rng::new(seed);
+        let domain = &domains()[rng.below(5)];
+        let entity = domain.generate(&mut rng);
+        let dirty = dirtify(&entity, 0.5, &mut rng);
+        let tokens = |e: &em_data::Entity| {
+            let mut v: Vec<String> = e.flatten().split_whitespace().map(str::to_owned).collect();
+            v.sort();
+            v
+        };
+        assert_eq!(
+            tokens(&entity),
+            tokens(&dirty),
+            "seed {seed}: dirtify must move, not destroy, values"
+        );
+    }
+}
+
+#[test]
+fn near_miss_always_differs() {
+    for seed in 0..48u64 {
+        let mut rng = Rng::new(seed);
+        let closeness = rng.f64();
+        let domain = &domains()[rng.below(5)];
+        let entity = domain.generate(&mut rng);
+        let near = domain.near_miss(&entity, closeness, &mut rng);
+        assert_ne!(&near, &entity, "seed {seed}");
+        assert_eq!(near.width(), entity.width(), "seed {seed}");
+    }
+}
+
+#[test]
+fn dataset_generation_hits_profile_at_any_seed() {
+    for seed in [0u64, 1, 7, 42, 1234, u64::MAX, 0xDEAD_BEEF, 3, 99, 2026] {
+        let p = MagellanDataset::SIA.profile();
+        let d = p.generate(seed);
+        assert_eq!(d.len(), p.size, "seed {seed}");
+        let pct = d.match_ratio() * 100.0;
+        assert!(
+            (pct - p.match_pct).abs() < 1.5,
+            "seed {seed}: {pct} vs {}",
+            p.match_pct
+        );
+    }
+}
+
+#[test]
+fn blocking_candidates_within_cross_product() {
+    for seed in 0..48u64 {
+        let mut rng = Rng::new(seed);
+        let n_left = 1 + rng.below(39);
+        let n_right = 1 + rng.below(39);
+        let min_overlap = 1 + rng.below(2);
+        let domain = Restaurant;
+        let schema = domain.schema();
+        let left: Vec<_> = (0..n_left).map(|_| domain.generate(&mut rng)).collect();
+        let right: Vec<_> = (0..n_right).map(|_| domain.generate(&mut rng)).collect();
+        let r = token_blocking(
+            &left,
+            &right,
+            &schema,
+            &BlockerConfig {
+                min_overlap,
+                ..BlockerConfig::default()
+            },
+        );
+        assert!(r.candidates.len() <= r.cross_product, "seed {seed}");
+        for c in &r.candidates {
+            assert!(c.left < n_left && c.right < n_right, "seed {seed}");
+        }
+        // sorted and unique
+        for w in r.candidates.windows(2) {
+            assert!(
+                (w[0].left, w[0].right) < (w[1].left, w[1].right),
+                "seed {seed}"
+            );
+        }
+        assert!((0.0..=1.0).contains(&r.reduction_ratio()), "seed {seed}");
+    }
+}
+
+#[test]
+fn budget_arithmetic_never_goes_negative() {
+    for seed in 0..48u64 {
+        let mut rng = Rng::new(seed);
+        let hours = 0.1 + rng.f64() * 9.9;
+        let n_charges = rng.below(31);
+        let mut b = Budget::hours(hours);
+        for _ in 0..n_charges {
+            b.consume(rng.f64() * 10.0);
+            assert!(b.remaining() >= 0.0, "seed {seed}");
+            assert!(b.used() >= 0.0, "seed {seed}");
+            assert!(
+                b.used_hours() <= b.used() / automl::budget::UNITS_PER_HOUR + 1e-9,
+                "seed {seed}"
+            );
+        }
+    }
+}
+
+#[test]
+fn fit_cost_is_monotone_in_rows() {
+    for seed in 0..48u64 {
+        let mut rng = Rng::new(seed);
+        let rows_a = 1 + rng.below(49_999);
+        let rows_b = 1 + rng.below(49_999);
+        let (lo, hi) = if rows_a <= rows_b {
+            (rows_a, rows_b)
+        } else {
+            (rows_b, rows_a)
+        };
+        for family in [ModelFamily::Gbm, ModelFamily::Knn, ModelFamily::NaiveBayes] {
+            assert!(fit_cost(family, lo) <= fit_cost(family, hi), "seed {seed}");
+            assert!(fit_cost(family, lo) > 0.0, "seed {seed}");
+        }
+    }
+}
