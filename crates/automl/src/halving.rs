@@ -6,6 +6,12 @@
 //! generation" search the AutoML literature proposes (Hyperband/ASHA class)
 //! and used by the `ablations` bench to compare search strategies under
 //! the same budget accounting.
+//!
+//! Each rung's population sweep is embarrassingly parallel and runs
+//! through the `par` worker pool; the affordable prefix of the rung is
+//! planned on the driving thread with a simulated budget and charges are
+//! replayed in submission order afterwards, so the report is byte-for-byte
+//! the one a sequential sweep produces, at any thread count.
 
 use crate::budget::{fit_cost, Budget};
 use crate::leaderboard::{FitReport, Leaderboard};
@@ -106,27 +112,44 @@ impl AutoMlSystem for SuccessiveHalving {
             } else {
                 train.clone()
             };
-            let mut rung_results: Vec<Evaluated> = Vec::new();
-            for (cand, score) in population.iter_mut() {
+            // --- plan the affordable prefix of the rung (same order and
+            //     budget arithmetic as a sequential sweep) ---
+            let seed = self.seed;
+            let mut sim = budget.clone(); // replayed on `budget` below
+            let mut planned: Vec<(usize, f64, u64)> = Vec::new();
+            for (pop_idx, (cand, _)) in population.iter().enumerate() {
                 let cost = fit_cost(cand.family, subset.len());
-                if !budget.can_afford(cost) {
+                if !sim.can_afford(cost) {
                     break;
                 }
-                let mut model = cand.build(self.seed.wrapping_add(eval_idx));
+                sim.consume(cost);
+                planned.push((pop_idx, cost, eval_idx));
                 eval_idx += 1;
+            }
+
+            // --- the whole rung is an independent population sweep: fit
+            //     it through the par pool, results in submission order ---
+            let fits = par::map(&planned, |&(pop_idx, _, idx)| {
+                let mut model = population[pop_idx].0.build(seed.wrapping_add(idx));
                 model.fit(&subset.x, &subset.y);
                 let probs = model.predict_proba(&valid.x);
                 let (_, f1) = best_f1_threshold(&probs, &valid_labels);
+                (model, probs, f1)
+            });
+
+            // --- charge budget and emit telemetry in submission order ---
+            let mut rung_results: Vec<Evaluated> = Vec::new();
+            for (&(pop_idx, cost, _), (model, probs, f1)) in planned.iter().zip(fits) {
                 budget.consume(cost);
                 tracker.record(
-                    cand.family,
+                    population[pop_idx].0.family,
                     &format!("rung{rung}[{}]", model.name()),
                     f1,
                     cost,
                 );
                 leaderboard.push(format!("rung{rung}[{}]", model.name()), f1, cost);
-                *score = f1;
-                rung_results.push((cand.clone(), model, probs, f1));
+                population[pop_idx].1 = f1;
+                rung_results.push((population[pop_idx].0.clone(), model, probs, f1));
             }
             if rung_results.is_empty() {
                 // this rung could not afford a single fit; keep the previous

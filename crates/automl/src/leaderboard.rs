@@ -1,7 +1,7 @@
 //! Search-run reporting: leaderboards and fit reports.
 
 /// One evaluated model in a search run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LeaderboardEntry {
     /// Human-readable model description.
     pub model: String,
@@ -12,7 +12,7 @@ pub struct LeaderboardEntry {
 }
 
 /// All models evaluated during a search, in evaluation order.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Leaderboard {
     entries: Vec<LeaderboardEntry>,
 }
@@ -56,7 +56,10 @@ impl Leaderboard {
 }
 
 /// Summary of one AutoML `fit` run.
-#[derive(Debug, Clone)]
+///
+/// Derives `PartialEq` so the determinism suite can assert that two runs
+/// at different thread counts produced byte-identical reports.
+#[derive(Debug, Clone, PartialEq)]
 pub struct FitReport {
     /// Name of the system that produced this report (as in the paper's
     /// tables: "AutoSklearn", "AutoGluon", "H2OAutoML", …).

@@ -23,6 +23,8 @@
 //! paper's observed training-time patterns (e.g. AutoGluon taking > 4 h on
 //! DBLP-GoogleScholar but minutes on the beer dataset).
 
+#![warn(missing_docs)]
+
 pub mod budget;
 pub mod ensemble;
 pub mod gluon_like;

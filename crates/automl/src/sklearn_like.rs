@@ -4,6 +4,13 @@
 //! Budget semantics follow the real tool: the run keeps searching until the
 //! time budget is gone and the reported training time is always the full
 //! budget (Table 2 shows 1.00 h for every dataset).
+//!
+//! The SMBO loop is **batched**: each round proposes [`SMBO_BATCH`]
+//! candidates from the same surrogate snapshot (constant-liar batch SMBO)
+//! and fits them through the `par` worker pool. Candidate choice, model
+//! seeds, budget charges and trial telemetry all happen on the driving
+//! thread in submission order, so the full [`FitReport`] is byte-identical
+//! for every thread count — threads only change wall-clock time.
 
 use crate::budget::{fit_cost, Budget};
 use crate::ensemble::{greedy_selection, weighted_average};
@@ -23,6 +30,11 @@ const MIN_RANDOM_EVALS: usize = 8;
 const SURROGATE_TREES: usize = 20;
 /// Greedy-selection iterations.
 const ENSEMBLE_ROUNDS: usize = 25;
+/// Candidates proposed per SMBO round and fitted concurrently. Part of
+/// the search algorithm, **not** tied to the worker count: the same batch
+/// is planned whatever `par::threads()` says, so results never depend on
+/// the machine.
+pub const SMBO_BATCH: usize = 4;
 
 /// The AutoSklearn-style engine. See module docs.
 pub struct AutoSklearnStyle {
@@ -62,39 +74,73 @@ impl AutoMlSystem for AutoSklearnStyle {
         let mut history: Vec<(Candidate, f64)> = Vec::new();
         let mut fitted: Vec<(Box<dyn Classifier>, Vec<f32>)> = Vec::new();
 
+        let seed = self.seed;
         let mut eval_idx = 0u64;
         loop {
-            // choose the next candidate
-            let candidate = if let Some(c) = warm.pop() {
-                c
-            } else if history.len() < MIN_RANDOM_EVALS {
-                Candidate::sample(&families, &mut rng)
-            } else {
+            // --- plan one batch on the driving thread (deterministic) ---
+            // one surrogate snapshot per round; every proposal in the
+            // round maximizes EI against it (constant-liar batch SMBO)
+            let surrogate = if warm.is_empty() && history.len() >= MIN_RANDOM_EVALS {
                 let rows: Vec<Vec<f32>> =
                     history.iter().map(|(c, _)| c.encode(&families)).collect();
                 let scores: Vec<f64> = history.iter().map(|(_, s)| *s).collect();
-                let surrogate = Surrogate::fit(
+                Some(Surrogate::fit(
                     &Matrix::from_rows(&rows),
                     &scores,
                     SURROGATE_TREES,
                     &mut rng,
-                );
-                propose(&surrogate, &families, &history, &mut rng)
+                ))
+            } else {
+                None
             };
-            let cost = fit_cost(candidate.family, train.len());
-            if !budget.can_afford(cost) {
+            let mut sim = budget.clone(); // replayed on `budget` below
+            let mut planned: Vec<(Candidate, f64, u64)> = Vec::new();
+            let mut starved = false;
+            while planned.len() < SMBO_BATCH {
+                let candidate = if let Some(c) = warm.pop() {
+                    c
+                } else if let Some(s) = surrogate
+                    .as_ref()
+                    .filter(|_| history.len() + planned.len() >= MIN_RANDOM_EVALS)
+                {
+                    propose(s, &families, &history, &mut rng)
+                } else {
+                    Candidate::sample(&families, &mut rng)
+                };
+                let cost = fit_cost(candidate.family, train.len());
+                if !sim.can_afford(cost) {
+                    starved = true;
+                    break;
+                }
+                sim.consume(cost);
+                planned.push((candidate, cost, eval_idx));
+                eval_idx += 1;
+            }
+            if planned.is_empty() {
                 break;
             }
-            let mut model = candidate.build(self.seed.wrapping_add(eval_idx));
-            eval_idx += 1;
-            model.fit(&train.x, &train.y);
-            let probs = model.predict_proba(&valid.x);
-            let (_, f1) = best_f1_threshold(&probs, &valid_labels);
-            budget.consume(cost);
-            tracker.record(candidate.family, &model.name(), f1, cost);
-            leaderboard.push(model.name(), f1, cost);
-            history.push((candidate, f1 / 100.0));
-            fitted.push((model, probs));
+
+            // --- fit the batch in parallel; results come back in
+            //     submission order whatever the scheduling ---
+            let evals = par::map(&planned, |(candidate, _, idx)| {
+                let mut model = candidate.build(seed.wrapping_add(*idx));
+                model.fit(&train.x, &train.y);
+                let probs = model.predict_proba(&valid.x);
+                let (_, f1) = best_f1_threshold(&probs, &valid_labels);
+                (model, probs, f1)
+            });
+
+            // --- charge budget and emit telemetry in submission order ---
+            for ((candidate, cost, _), (model, probs, f1)) in planned.into_iter().zip(evals) {
+                budget.consume(cost);
+                tracker.record(candidate.family, &model.name(), f1, cost);
+                leaderboard.push(model.name(), f1, cost);
+                history.push((candidate, f1 / 100.0));
+                fitted.push((model, probs));
+            }
+            if starved {
+                break;
+            }
         }
 
         // greedy ensemble selection over everything evaluated

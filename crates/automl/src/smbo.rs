@@ -132,17 +132,20 @@ pub struct Surrogate {
 impl Surrogate {
     /// Fit `n_trees` bootstrapped regression trees on `(encoding, score)`
     /// history.
+    ///
+    /// Every tree owns an rng forked from `rng` *before* any tree is
+    /// grown, so the trees are independent tasks: they fit through the
+    /// `par` worker pool and the forest is identical at any thread count.
     pub fn fit(encodings: &Matrix, scores: &[f64], n_trees: usize, rng: &mut Rng) -> Surrogate {
         assert_eq!(encodings.rows(), scores.len(), "history length mismatch");
         assert!(encodings.rows() >= 2, "need at least two observations");
         let n = encodings.rows();
-        let trees = (0..n_trees)
-            .map(|t| {
-                let mut tree_rng = rng.fork(t as u64);
-                let idx: Vec<usize> = (0..n).map(|_| tree_rng.below(n)).collect();
-                STree::fit(encodings, scores, &idx, 8, &mut tree_rng)
-            })
-            .collect();
+        let forks: Vec<Rng> = (0..n_trees).map(|t| rng.fork(t as u64)).collect();
+        let trees = par::map(&forks, |fork| {
+            let mut tree_rng = fork.clone();
+            let idx: Vec<usize> = (0..n).map(|_| tree_rng.below(n)).collect();
+            STree::fit(encodings, scores, &idx, 8, &mut tree_rng)
+        });
         Surrogate { trees }
     }
 

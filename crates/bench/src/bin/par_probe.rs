@@ -1,0 +1,146 @@
+//! Parallelism probe: the determinism-contract demo for the `par` pool.
+//!
+//! Runs the **same Table-2-sized engine fit twice** — once on 1 worker
+//! thread, once on 4 — and verifies the two runs are *byte-identical*:
+//! same [`FitReport`] (F1, threshold, budget charges, full leaderboard)
+//! and same prediction vector. Threads may only change wall-clock time.
+//!
+//! The manifest (written to `--out`, default `results/`) records:
+//!
+//! * `wall_secs_t1` / `wall_secs_t4` / `wall_speedup` — measured
+//!   wall-clock. On a machine with ≥ 4 cores this shows the ≥ 2x speedup;
+//!   on fewer cores it is bounded by the hardware (`cores` is recorded so
+//!   the number can be judged in context).
+//! * `scheduled_parallelism_t4` — worker busy-time divided by wall-clock
+//!   during the 4-thread fit: how many workers the pool actually kept
+//!   loaded. This is the hardware-independent half of the claim — it must
+//!   be ≥ 2 for the probe to pass, whatever the core count.
+//! * `identical_reports` / `identical_predictions` — the determinism
+//!   contract, asserted as well as recorded.
+
+use automl::halving::SuccessiveHalving;
+use automl::{AutoMlSystem, Budget, FitReport};
+use bench::Cli;
+use linalg::{Matrix, Rng};
+use ml::dataset::TabularData;
+use std::time::Instant;
+
+/// Synthetic two-blob match/non-match data at Table-2 scale (the Magellan
+/// structured datasets run a few hundred to a few thousand pairs).
+fn blob_data(n: usize, seed: u64) -> TabularData {
+    let mut rng = Rng::new(seed);
+    let mut rows = Vec::with_capacity(n);
+    let mut y = Vec::with_capacity(n);
+    for _ in 0..n {
+        let pos = rng.chance(0.25);
+        let c = if pos { 1.1f32 } else { -1.1 };
+        let row: Vec<f32> = (0..12)
+            .map(|j| {
+                if j % 3 == 0 {
+                    c + rng.normal()
+                } else {
+                    rng.normal()
+                }
+            })
+            .collect();
+        rows.push(row);
+        y.push(if pos { 1.0 } else { 0.0 });
+    }
+    TabularData::new(Matrix::from_rows(&rows), y)
+}
+
+/// One engine fit at a fixed worker count. Returns the report, the
+/// prediction vector and `(wall seconds, worker busy seconds)`.
+fn run_fit(
+    threads: usize,
+    seed: u64,
+    train: &TabularData,
+    valid: &TabularData,
+) -> (FitReport, Vec<f32>, f64, f64) {
+    par::set_threads(threads);
+    let busy0 = obs::counter("par.busy_us").get();
+    let t0 = Instant::now();
+    let mut sys = SuccessiveHalving::new(seed);
+    let mut budget = Budget::hours(24.0);
+    let report = sys.fit(train, valid, &mut budget);
+    let wall = t0.elapsed().as_secs_f64();
+    let busy = (obs::counter("par.busy_us").get() - busy0) as f64 / 1e6;
+    let probs = sys.predict_proba(&valid.x);
+    par::reset_threads();
+    (report, probs, wall, busy)
+}
+
+fn main() {
+    let cli = Cli::parse();
+    let out_dir = cli.out.clone().unwrap_or_else(|| "results".to_owned());
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    let train = blob_data(6000, cli.seed ^ 0x9A);
+    let valid = blob_data(1500, cli.seed ^ 0x9B);
+
+    let (report1, probs1, wall1, _) = run_fit(1, cli.seed, &train, &valid);
+    let (report4, probs4, wall4, busy4) = run_fit(4, cli.seed, &train, &valid);
+
+    let identical_reports = report1 == report4;
+    let identical_predictions = probs1 == probs4;
+    let wall_speedup = wall1 / wall4;
+    let scheduled = busy4 / wall4;
+
+    println!(
+        "par_probe — SuccessiveHalving fit, {} train pairs",
+        train.len()
+    );
+    println!("  threads=1: {wall1:>7.2}s  val F1 {:.2}", report1.val_f1);
+    println!("  threads=4: {wall4:>7.2}s  val F1 {:.2}", report4.val_f1);
+    println!("  wall-clock speedup        {wall_speedup:.2}x  ({cores} core(s) available)");
+    println!("  scheduled parallelism     {scheduled:.2} workers busy");
+    println!("  identical reports         {identical_reports}");
+    println!("  identical predictions     {identical_predictions}");
+    if cores < 4 {
+        println!(
+            "  note: wall-clock speedup is bounded by the {cores} available \
+             core(s); scheduled parallelism shows the speedup realized once \
+             >= 4 cores exist"
+        );
+    }
+
+    assert!(identical_reports, "FitReport changed with the thread count");
+    assert!(
+        identical_predictions,
+        "predictions changed with the thread count"
+    );
+    assert!(
+        scheduled >= 2.0,
+        "pool kept only {scheduled:.2} workers busy on 4 threads"
+    );
+    if cores >= 4 {
+        assert!(
+            wall_speedup >= 2.0,
+            "expected >= 2x wall-clock speedup on {cores} cores, got {wall_speedup:.2}x"
+        );
+    }
+
+    let mut manifest = obs::Manifest::new("par_probe");
+    manifest
+        .config("seed", obs::Value::U64(cli.seed))
+        .config("train_pairs", obs::Value::U64(train.len() as u64))
+        .config("cores", obs::Value::U64(cores as u64))
+        .config("wall_secs_t1", obs::Value::F64(wall1))
+        .config("wall_secs_t4", obs::Value::F64(wall4))
+        .config("wall_speedup", obs::Value::F64(wall_speedup))
+        .config("scheduled_parallelism_t4", obs::Value::F64(scheduled))
+        .config("val_f1", obs::Value::F64(report1.val_f1))
+        .config(
+            "leaderboard_len",
+            obs::Value::U64(report1.leaderboard.len() as u64),
+        )
+        .config("identical_reports", obs::Value::Bool(identical_reports))
+        .config(
+            "identical_predictions",
+            obs::Value::Bool(identical_predictions),
+        );
+    match manifest.write_to(&out_dir) {
+        Ok(path) => println!("(wrote {})", path.display()),
+        Err(e) => eprintln!("warning: could not write manifest: {e}"),
+    }
+}

@@ -4,7 +4,9 @@
 //! embedder families (pretrained on the generalist corpus plus a sample of
 //! Magellan-style domain text, like real checkpoints' BPE vocabularies
 //! cover benchmark text), and each dataset's encodings are reused across
-//! the three AutoML systems. Datasets run in parallel with scoped threads.
+//! the three AutoML systems. Datasets and embedder pretraining fan out
+//! across the shared `par` worker pool (set `AUTOML_EM_THREADS` to bound
+//! it); results always come back in input order.
 
 use automl::AutoMlSystem;
 use deepmatcher::{train_deepmatcher, TrainConfig};
@@ -76,24 +78,10 @@ pub fn pretrain_embedders(profiles: &[DatasetProfile], seed: u64) -> Embedders {
         },
         ..PretrainConfig::default()
     };
-    let mut families: Vec<(usize, PretrainedTransformer)> = Vec::new();
-    std::thread::scope(|s| {
-        let handles: Vec<_> = EmbedderFamily::ALL
-            .iter()
-            .enumerate()
-            .map(|(i, &family)| {
-                let domain_text = &domain_text;
-                s.spawn(move || (i, PretrainedTransformer::pretrain(family, domain_text, cfg)))
-            })
-            .collect();
-        for h in handles {
-            families.push(h.join().expect("pretraining thread panicked"));
-        }
+    let families = par::map(&EmbedderFamily::ALL, |&family| {
+        PretrainedTransformer::pretrain(family, &domain_text, cfg)
     });
-    families.sort_by_key(|(i, _)| *i);
-    Embedders {
-        families: families.into_iter().map(|(_, f)| f).collect(),
-    }
+    Embedders { families }
 }
 
 /// Effective generation scale: small datasets always run at (near) full
@@ -235,22 +223,7 @@ pub fn per_dataset<T: Send>(
     profiles: &[DatasetProfile],
     f: impl Fn(&DatasetProfile) -> T + Sync,
 ) -> Vec<T> {
-    let mut results: Vec<(usize, T)> = Vec::with_capacity(profiles.len());
-    std::thread::scope(|s| {
-        let handles: Vec<_> = profiles
-            .iter()
-            .enumerate()
-            .map(|(i, p)| {
-                let f = &f;
-                s.spawn(move || (i, f(p)))
-            })
-            .collect();
-        for h in handles {
-            results.push(h.join().expect("dataset thread panicked"));
-        }
-    });
-    results.sort_by_key(|(i, _)| *i);
-    results.into_iter().map(|(_, t)| t).collect()
+    par::map(profiles, f)
 }
 
 /// Deterministic per-dataset sub-seed.

@@ -57,14 +57,32 @@ impl<'a> EmAdapter<'a> {
     }
 
     /// Encode one split of a dataset into features + labels.
+    ///
+    /// Tokenization (cheap, order-sensitive bookkeeping) stays on the
+    /// calling thread; the embedding of the flattened sequence list — the
+    /// expensive phase — fans out across the `par` pool through
+    /// [`EmbeddingCache::embed_batch`]. Row order and every feature value
+    /// match a sequential [`encode_pair`](Self::encode_pair) loop exactly.
     pub fn encode_split(&self, dataset: &EmDataset, split: Split) -> TabularData {
         let pairs = dataset.split(split);
-        let mut rows = Vec::with_capacity(pairs.len());
+        // phase 1: tokenize every pair, remembering each pair's slice of
+        // the flat sequence list
+        let mut sequences: Vec<String> = Vec::new();
+        let mut ranges = Vec::with_capacity(pairs.len());
         let mut y = Vec::with_capacity(pairs.len());
         for pair in pairs {
-            rows.push(self.encode_pair(pair, dataset.schema()));
+            let start = sequences.len();
+            sequences.extend(tokenize_pair(pair, dataset.schema(), self.mode));
+            ranges.push(start..sequences.len());
             y.push(if pair.label { 1.0 } else { 0.0 });
         }
+        // phase 2: embed the flat list in parallel (cache-memoized)
+        let embeddings = self.cache.embed_batch(&sequences);
+        // phase 3: combine per pair, in pair order
+        let rows: Vec<Vec<f32>> = ranges
+            .into_iter()
+            .map(|r| self.combiner.combine(&embeddings[r]))
+            .collect();
         TabularData::new(Matrix::from_rows(&rows), y)
     }
 

@@ -4,10 +4,31 @@
 //! same brand, near-duplicate titles appear in many pairs), so caching by
 //! exact string removes a large share of the transformer forward passes
 //! when embedding a full dataset.
+//!
+//! The cache is **sharded**: the key hash picks one of [`SHARDS`]
+//! independently locked map segments, and the hit/miss statistics live in
+//! per-shard atomics rather than behind any lock. That is what lets
+//! [`EmbeddingCache::embed_batch`] fan a whole dataset's sequences across
+//! the `par` worker pool without the workers serializing on a single map
+//! mutex — or, worse, on a stats lock around every lookup.
 
 use crate::SequenceEmbedder;
-use std::cell::RefCell;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Number of independently locked cache segments. A power of two well
+/// above any realistic worker count, so two workers rarely contend for
+/// the same shard.
+pub const SHARDS: usize = 16;
+
+/// One cache segment: its own map lock plus its own stat atomics.
+#[derive(Default)]
+struct Shard {
+    map: Mutex<HashMap<String, Vec<f32>>>,
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+}
 
 /// A caching wrapper around any [`SequenceEmbedder`].
 ///
@@ -15,14 +36,27 @@ use std::collections::HashMap;
 /// every hit/miss is also published to the global `obs` metrics registry
 /// (`embed.cache.hits` / `embed.cache.misses`), so the end-of-run summary
 /// shows the process-wide cache effectiveness without any plumbing.
+///
+/// All methods take `&self` and the type is `Sync`: concurrent
+/// [`embed`](Self::embed) calls from `par` workers are the intended use.
 pub struct EmbeddingCache<'a> {
     inner: &'a dyn SequenceEmbedder,
-    cache: RefCell<HashMap<String, Vec<f32>>>,
-    hits: RefCell<usize>,
-    misses: RefCell<usize>,
+    shards: Vec<Shard>,
     global_hits: &'static obs::Counter,
     global_misses: &'static obs::Counter,
     global_rate: &'static obs::Gauge,
+}
+
+/// Deterministic FNV-style hash used only for shard selection (never for
+/// result-affecting decisions — a bad spread costs contention, not
+/// correctness).
+fn shard_of(key: &str) -> usize {
+    let mut h = 0xcbf29ce484222325u64;
+    for b in key.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    (h % SHARDS as u64) as usize
 }
 
 impl<'a> EmbeddingCache<'a> {
@@ -30,9 +64,7 @@ impl<'a> EmbeddingCache<'a> {
     pub fn new(inner: &'a dyn SequenceEmbedder) -> Self {
         Self {
             inner,
-            cache: RefCell::new(HashMap::new()),
-            hits: RefCell::new(0),
-            misses: RefCell::new(0),
+            shards: (0..SHARDS).map(|_| Shard::default()).collect(),
             global_hits: obs::counter("embed.cache.hits"),
             global_misses: obs::counter("embed.cache.misses"),
             global_rate: obs::gauge("embed.cache.hit_rate"),
@@ -49,24 +81,49 @@ impl<'a> EmbeddingCache<'a> {
     }
 
     /// Embed through the cache.
+    ///
+    /// On a miss the shard lock is **released** while the wrapped embedder
+    /// runs (the expensive part), so concurrent misses on the same shard
+    /// still embed in parallel; two racing misses for the same key both
+    /// compute and one insert wins — wasted work, never a wrong value,
+    /// since embedders are pure functions of the string.
     pub fn embed(&self, textv: &str) -> Vec<f32> {
-        if let Some(v) = self.cache.borrow().get(textv) {
-            *self.hits.borrow_mut() += 1;
+        let shard = &self.shards[shard_of(textv)];
+        if let Some(v) = shard.map.lock().expect("cache shard").get(textv) {
+            shard.hits.fetch_add(1, Ordering::Relaxed);
             self.global_hits.inc();
             self.publish_rate();
             return v.clone();
         }
-        *self.misses.borrow_mut() += 1;
+        shard.misses.fetch_add(1, Ordering::Relaxed);
         self.global_misses.inc();
         self.publish_rate();
         let v = self.inner.embed(textv);
-        self.cache.borrow_mut().insert(textv.to_owned(), v.clone());
+        shard
+            .map
+            .lock()
+            .expect("cache shard")
+            .insert(textv.to_owned(), v.clone());
         v
     }
 
-    /// `(hits, misses)` counters.
+    /// Embed a whole batch of sequences through the cache, fanning the
+    /// work across the `par` pool. Output order matches input order and
+    /// every vector equals what a sequential [`embed`](Self::embed) loop
+    /// would produce — parallelism changes wall-clock only.
+    pub fn embed_batch<S: AsRef<str> + Sync>(&self, texts: &[S]) -> Vec<Vec<f32>> {
+        par::map(texts, |t| self.embed(t.as_ref()))
+    }
+
+    /// `(hits, misses)` counters, summed over all shards.
     pub fn stats(&self) -> (usize, usize) {
-        (*self.hits.borrow(), *self.misses.borrow())
+        let mut hits = 0;
+        let mut misses = 0;
+        for s in &self.shards {
+            hits += s.hits.load(Ordering::Relaxed);
+            misses += s.misses.load(Ordering::Relaxed);
+        }
+        (hits, misses)
     }
 
     /// Hits as a fraction of all lookups (`None` before the first lookup).
@@ -77,6 +134,19 @@ impl<'a> EmbeddingCache<'a> {
         } else {
             Some(h as f64 / (h + m) as f64)
         }
+    }
+
+    /// Distinct sequences currently cached.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.map.lock().expect("cache shard").len())
+            .sum()
+    }
+
+    /// True before anything was cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
     }
 
     /// Embedding width of the wrapped embedder.
@@ -90,7 +160,15 @@ mod tests {
     use super::*;
 
     struct CountingEmbedder {
-        calls: RefCell<usize>,
+        calls: AtomicUsize,
+    }
+
+    impl CountingEmbedder {
+        fn new() -> Self {
+            Self {
+                calls: AtomicUsize::new(0),
+            }
+        }
     }
 
     impl SequenceEmbedder for CountingEmbedder {
@@ -99,7 +177,7 @@ mod tests {
         }
 
         fn embed(&self, textv: &str) -> Vec<f32> {
-            *self.calls.borrow_mut() += 1;
+            self.calls.fetch_add(1, Ordering::Relaxed);
             vec![textv.len() as f32, 1.0]
         }
 
@@ -110,27 +188,63 @@ mod tests {
 
     #[test]
     fn cache_deduplicates_calls() {
-        let inner = CountingEmbedder {
-            calls: RefCell::new(0),
-        };
+        let inner = CountingEmbedder::new();
         let cache = EmbeddingCache::new(&inner);
         let a1 = cache.embed("hello");
         let a2 = cache.embed("hello");
         let b = cache.embed("world!");
         assert_eq!(a1, a2);
         assert_eq!(b[0], 6.0);
-        assert_eq!(*inner.calls.borrow(), 2);
+        assert_eq!(inner.calls.load(Ordering::Relaxed), 2);
         assert_eq!(cache.stats(), (1, 2));
         assert!((cache.hit_rate().unwrap() - 1.0 / 3.0).abs() < 1e-12);
         assert_eq!(cache.dim(), 2);
+        assert_eq!(cache.len(), 2);
     }
 
     #[test]
     fn hit_rate_is_none_before_first_lookup() {
-        let inner = CountingEmbedder {
-            calls: RefCell::new(0),
-        };
+        let inner = CountingEmbedder::new();
         let cache = EmbeddingCache::new(&inner);
         assert_eq!(cache.hit_rate(), None);
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn batch_matches_sequential_and_preserves_order() {
+        let inner = CountingEmbedder::new();
+        let cache = EmbeddingCache::new(&inner);
+        let texts: Vec<String> = (0..200).map(|i| format!("value {}", i % 37)).collect();
+        let sequential: Vec<Vec<f32>> = texts.iter().map(|t| cache.embed(t)).collect();
+
+        let inner2 = CountingEmbedder::new();
+        let cache2 = EmbeddingCache::new(&inner2);
+        let batched = cache2.embed_batch(&texts);
+        assert_eq!(sequential, batched);
+        // only 37 distinct strings → at most 37 real embedder calls, even
+        // though racing workers may each miss the same fresh key once
+        assert_eq!(cache2.len(), 37);
+        assert!(inner2.calls.load(Ordering::Relaxed) >= 37);
+        let (h, m) = cache2.stats();
+        assert_eq!(h + m, 200);
+    }
+
+    #[test]
+    fn concurrent_embeds_keep_stats_consistent() {
+        let inner = CountingEmbedder::new();
+        let cache = EmbeddingCache::new(&inner);
+        std::thread::scope(|s| {
+            for t in 0..8 {
+                let cache = &cache;
+                s.spawn(move || {
+                    for i in 0..100 {
+                        let _ = cache.embed(&format!("k{}", (t * 100 + i) % 13));
+                    }
+                });
+            }
+        });
+        let (h, m) = cache.stats();
+        assert_eq!(h + m, 800);
+        assert_eq!(cache.len(), 13);
     }
 }

@@ -18,6 +18,8 @@
 //! repeat attribute values heavily, so the cache removes most transformer
 //! forward passes when embedding a full dataset.
 
+#![warn(missing_docs)]
+
 pub mod cache;
 pub mod families;
 pub mod local;
@@ -30,7 +32,12 @@ pub use word2vec::Word2Vec;
 
 /// A frozen text-sequence embedder: token sequence in, fixed-width vector
 /// out. Implemented by the transformer families and by word2vec.
-pub trait SequenceEmbedder {
+///
+/// `Sync` is a supertrait because embedders are shared by reference across
+/// the `par` worker pool during batch encoding
+/// ([`cache::EmbeddingCache::embed_batch`]); every implementation is a
+/// frozen (immutable) model, so the bound costs nothing.
+pub trait SequenceEmbedder: Sync {
     /// Embedding width.
     fn dim(&self) -> usize;
 

@@ -20,6 +20,8 @@
 //! naturally on slices (see [`vector`]), and a concrete [`Matrix`] type where
 //! shape bookkeeping matters.
 
+#![warn(missing_docs)]
+
 pub mod decomp;
 pub mod matrix;
 pub mod rng;

@@ -9,6 +9,12 @@ use crate::rng::Rng;
 use std::fmt;
 use std::ops::{Index, IndexMut};
 
+/// Fused multiply-add count (`rows · inner · cols`) above which
+/// [`Matrix::matmul`] switches to the row-tiled parallel path. Below it a
+/// scope's thread-spawn overhead (tens of microseconds) would not pay for
+/// itself.
+pub const PAR_MATMUL_FLOPS: usize = 1 << 21;
+
 /// A dense matrix with `rows × cols` entries stored row-major.
 #[derive(Clone, PartialEq)]
 pub struct Matrix {
@@ -175,6 +181,12 @@ impl Matrix {
     ///
     /// Classic ikj loop order: the inner loop runs over contiguous rows of
     /// both the output and `other`, which is what lets LLVM vectorize it.
+    ///
+    /// Above [`PAR_MATMUL_FLOPS`] fused multiply-adds the output rows are
+    /// tiled across the `par` worker pool. Each output row is produced by
+    /// exactly the same per-row kernel in exactly the same order either
+    /// way, so the parallel product is **bit-identical** to the
+    /// sequential one for every thread count.
     pub fn matmul(&self, other: &Matrix) -> Matrix {
         assert_eq!(
             self.cols,
@@ -183,16 +195,48 @@ impl Matrix {
             self.shape(),
             other.shape()
         );
-        let mut out = Matrix::zeros(self.rows, other.cols);
-        for i in 0..self.rows {
+        let flops = self.rows * self.cols * other.cols;
+        let workers = par::threads();
+        if workers > 1 && flops >= PAR_MATMUL_FLOPS && self.rows >= 2 {
+            // row tiles, a few per worker so stealing can balance them
+            let tile = (self.rows / (4 * workers)).max(1);
+            let n_tiles = self.rows.div_ceil(tile);
+            let chunks = par::map_indexed(n_tiles, |t| {
+                let r0 = t * tile;
+                let r1 = (r0 + tile).min(self.rows);
+                self.matmul_rows(other, r0, r1)
+            });
+            let mut data = Vec::with_capacity(self.rows * other.cols);
+            for chunk in chunks {
+                data.extend_from_slice(&chunk);
+            }
+            return Matrix {
+                rows: self.rows,
+                cols: other.cols,
+                data,
+            };
+        }
+        Matrix {
+            rows: self.rows,
+            cols: other.cols,
+            data: self.matmul_rows(other, 0, self.rows),
+        }
+    }
+
+    /// The shared matmul kernel: output rows `r0..r1` of `self · other`,
+    /// row-major. Both the sequential and the row-tiled parallel path call
+    /// this, which is what guarantees their bit-identical results.
+    fn matmul_rows(&self, other: &Matrix, r0: usize, r1: usize) -> Vec<f32> {
+        let mut out = vec![0.0f32; (r1 - r0) * other.cols];
+        for i in r0..r1 {
             let a_row = self.row(i);
-            let out_start = i * other.cols;
+            let out_start = (i - r0) * other.cols;
             for (k, &a) in a_row.iter().enumerate() {
                 if a == 0.0 {
                     continue;
                 }
                 let b_row = other.row(k);
-                let out_row = &mut out.data[out_start..out_start + other.cols];
+                let out_row = &mut out[out_start..out_start + other.cols];
                 for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
                     *o += a * b;
                 }
@@ -537,6 +581,36 @@ mod tests {
     fn from_fn_layout() {
         let m = Matrix::from_fn(2, 3, |i, j| (i * 10 + j) as f32);
         assert_eq!(m.as_slice(), &[0.0, 1.0, 2.0, 10.0, 11.0, 12.0]);
+    }
+
+    #[test]
+    fn parallel_matmul_is_bit_identical_to_sequential() {
+        // big enough to clear PAR_MATMUL_FLOPS (192·160·192 ≈ 5.9M fma)
+        let mut rng = Rng::new(42);
+        let a = Matrix::randn(192, 160, 1.0, &mut rng);
+        let b = Matrix::randn(160, 192, 1.0, &mut rng);
+        assert!(a.rows() * a.cols() * b.cols() >= PAR_MATMUL_FLOPS);
+        let seq = Matrix {
+            rows: a.rows,
+            cols: b.cols,
+            data: a.matmul_rows(&b, 0, a.rows),
+        };
+        let auto = a.matmul(&b); // parallel when the machine has >1 thread
+        assert_eq!(seq.as_slice(), auto.as_slice(), "exact bit equality");
+    }
+
+    #[test]
+    fn parallel_matmul_handles_ragged_tiles() {
+        // a row count that does not divide evenly into tiles
+        let mut rng = Rng::new(43);
+        let a = Matrix::randn(131, 140, 1.0, &mut rng);
+        let b = Matrix::randn(140, 131, 1.0, &mut rng);
+        let seq = Matrix {
+            rows: a.rows,
+            cols: b.cols,
+            data: a.matmul_rows(&b, 0, a.rows),
+        };
+        assert_eq!(seq.as_slice(), a.matmul(&b).as_slice());
     }
 
     #[test]

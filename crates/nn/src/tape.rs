@@ -1,7 +1,7 @@
 //! The reverse-mode autodiff tape.
 //!
 //! A [`Tape`] is a growing list of nodes; each op appends one node holding
-//! its forward value and an [`Op`] record of how it was produced. Backward
+//! its forward value and an `Op` record of how it was produced. Backward
 //! is a single reverse sweep dispatching on the op enum. Parameters enter
 //! through [`Tape::param`] (dense) or [`Tape::gather`] (row lookup into an
 //! embedding table — gradients stay sparse per batch).

@@ -7,7 +7,7 @@
 //! a search. This crate is the shared substrate for that, built on `std`
 //! alone (builds are offline; no serde, no tracing, no prometheus):
 //!
-//! * [`span`] — hierarchical spans with wall-clock **and** deterministic
+//! * [`span`](mod@span) — hierarchical spans with wall-clock **and** deterministic
 //!   budget-unit timing, collected into a global, thread-safe tree. Spans
 //!   opened on different threads become separate roots and are merged by
 //!   name, so parallel per-dataset runs aggregate into one readable tree.
@@ -28,6 +28,8 @@
 //!
 //! Everything is safe to use from multiple threads; all globals can be
 //! [`reset`] between logical runs (tests do this).
+
+#![warn(missing_docs)]
 
 pub mod events;
 pub mod json;

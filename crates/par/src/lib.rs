@@ -1,0 +1,46 @@
+//! # par — std-only work-stealing fork/join parallelism
+//!
+//! Every parallel path in the stack — row-tiled `linalg` matmul, the
+//! AutoML engines' batched candidate fits, the embedding cache's batch
+//! encode — funnels through this crate, so the whole workspace has exactly
+//! one threading model to reason about:
+//!
+//! * **Scoped workers, no persistent pool.** Each [`map_indexed`] call
+//!   spawns its workers with [`std::thread::scope`], so closures may borrow
+//!   from the caller's stack and no `unsafe` lifetime erasure is needed.
+//!   Spawn cost is a few tens of microseconds, which callers amortize by
+//!   only parallelizing coarse work (a model fit, a row tile of a large
+//!   matmul, a batch of embeddings).
+//! * **Work stealing.** Input indices are block-distributed over
+//!   per-worker deques; a worker that drains its own queue pops from the
+//!   *back* of a victim's queue. Heterogeneous task costs (a GBM fit next
+//!   to a naive-Bayes fit) therefore balance automatically.
+//! * **Deterministic ordered results.** `map_indexed(n, f)` always returns
+//!   `[f(0), f(1), …, f(n-1)]` in index order, regardless of which worker
+//!   ran which index and in what order. Combined with per-index
+//!   deterministic closures (each task derives its own RNG from its index)
+//!   this gives the stack's core contract: **results are byte-identical
+//!   for every thread count**; threads only change wall-clock time.
+//! * **No nested oversubscription.** A `map_indexed` call issued from
+//!   inside a worker runs sequentially on that worker, so an engine
+//!   parallelizing over candidate fits does not multiply with a matmul
+//!   parallelizing over row tiles.
+//!
+//! The worker count is resolved per call: a process-wide programmatic
+//! override ([`set_threads`]) wins, then the `AUTOML_EM_THREADS`
+//! environment variable, then [`std::thread::available_parallelism`].
+//!
+//! Per-call observability lands in the global `obs` registry:
+//! `par.tasks` / `par.steals` / `par.scopes` counters, the `par.busy_us`
+//! cumulative worker busy-time counter and the `par.threads` gauge.
+//!
+//! ```
+//! let squares = par::map_indexed(8, |i| i * i);
+//! assert_eq!(squares, vec![0, 1, 4, 9, 16, 25, 36, 49]);
+//! ```
+
+#![warn(missing_docs)]
+
+mod pool;
+
+pub use pool::{map, map_indexed, reset_threads, scope, set_threads, threads};

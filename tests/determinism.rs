@@ -1,0 +1,175 @@
+//! Determinism contract: thread count must never change results.
+//!
+//! Every AutoML engine is fitted twice on the same data and seed — once
+//! with the `par` pool pinned to 1 worker, once to 4 — and the two runs
+//! must agree **byte for byte**: the full [`FitReport`] (val F1,
+//! threshold, budget charges, leaderboard order) and the prediction
+//! vector. The same holds for the parallel matmul path and the batch
+//! embedding cache. Threads are allowed to change wall-clock time only.
+//!
+//! The thread override is process-global, so every test here serializes
+//! on one lock (this binary is its own process; other test binaries are
+//! unaffected).
+
+use automl::{AutoMlSystem, Budget, FitReport};
+use embed::cache::EmbeddingCache;
+use embed::SequenceEmbedder;
+use linalg::{Matrix, Rng};
+use ml::dataset::TabularData;
+use std::sync::{Mutex, MutexGuard};
+
+/// Serializes tests that flip the global `par` thread override.
+fn guard() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+fn blob_data(n: usize, seed: u64) -> TabularData {
+    let mut rng = Rng::new(seed);
+    let mut rows = Vec::with_capacity(n);
+    let mut y = Vec::with_capacity(n);
+    for _ in 0..n {
+        let pos = rng.chance(0.3);
+        let c = if pos { 1.2f32 } else { -1.2 };
+        rows.push(vec![c + rng.normal(), -c + rng.normal(), rng.normal()]);
+        y.push(if pos { 1.0 } else { 0.0 });
+    }
+    TabularData::new(Matrix::from_rows(&rows), y)
+}
+
+/// Fit `make()`'s engine at a fixed worker count; return the report and
+/// the validation predictions.
+fn fit_at(
+    threads: usize,
+    make: &dyn Fn() -> Box<dyn AutoMlSystem>,
+    train: &TabularData,
+    valid: &TabularData,
+    budget_hours: f64,
+) -> (FitReport, Vec<f32>) {
+    par::set_threads(threads);
+    let mut sys = make();
+    let mut budget = Budget::hours(budget_hours);
+    let report = sys.fit(train, valid, &mut budget);
+    let probs = sys.predict_proba(&valid.x);
+    par::reset_threads();
+    (report, probs)
+}
+
+/// The core contract check, shared by the per-engine tests.
+fn engine_is_thread_count_invariant(make: &dyn Fn() -> Box<dyn AutoMlSystem>, budget_hours: f64) {
+    let _g = guard();
+    let train = blob_data(260, 11);
+    let valid = blob_data(90, 12);
+    let (r1, p1) = fit_at(1, make, &train, &valid, budget_hours);
+    let (r4, p4) = fit_at(4, make, &train, &valid, budget_hours);
+    assert_eq!(
+        r1, r4,
+        "{}: FitReport differs across thread counts",
+        r1.system
+    );
+    assert_eq!(
+        p1, p4,
+        "{}: predictions differ across thread counts",
+        r1.system
+    );
+    assert!(!r1.leaderboard.is_empty());
+}
+
+#[test]
+fn autosklearn_fit_is_byte_identical_across_thread_counts() {
+    engine_is_thread_count_invariant(
+        &|| Box::new(automl::sklearn_like::AutoSklearnStyle::new(5)),
+        0.4,
+    );
+}
+
+#[test]
+fn autogluon_fit_is_byte_identical_across_thread_counts() {
+    engine_is_thread_count_invariant(
+        &|| Box::new(automl::gluon_like::AutoGluonStyle::new(5)),
+        0.6,
+    );
+}
+
+#[test]
+fn h2o_fit_is_byte_identical_across_thread_counts() {
+    engine_is_thread_count_invariant(&|| Box::new(automl::h2o_like::H2oStyle::new(5)), 1.0);
+}
+
+#[test]
+fn halving_fit_is_byte_identical_across_thread_counts() {
+    engine_is_thread_count_invariant(
+        &|| Box::new(automl::halving::SuccessiveHalving::new(5)),
+        0.7,
+    );
+}
+
+#[test]
+fn parallel_matmul_is_bit_identical_to_single_thread() {
+    let _g = guard();
+    // large enough to cross PAR_MATMUL_FLOPS (190*170*180 ≈ 5.8M ≥ 2^21)
+    let mut rng = Rng::new(42);
+    let a = Matrix::from_fn(190, 170, |_, _| rng.normal());
+    let b = Matrix::from_fn(170, 180, |_, _| rng.normal());
+    par::set_threads(1);
+    let seq = a.matmul(&b);
+    par::set_threads(4);
+    let par4 = a.matmul(&b);
+    par::reset_threads();
+    assert_eq!(
+        seq.as_slice(),
+        par4.as_slice(),
+        "matmul drifted with thread count"
+    );
+}
+
+struct LenEmbedder;
+
+impl SequenceEmbedder for LenEmbedder {
+    fn dim(&self) -> usize {
+        3
+    }
+
+    fn embed(&self, textv: &str) -> Vec<f32> {
+        let l = textv.len() as f32;
+        vec![l, l * 0.5, 1.0 / (1.0 + l)]
+    }
+
+    fn name(&self) -> String {
+        "len".into()
+    }
+}
+
+#[test]
+fn embed_batch_is_identical_across_thread_counts() {
+    let _g = guard();
+    let texts: Vec<String> = (0..300)
+        .map(|i| format!("record value {}", i % 41))
+        .collect();
+    let run = |threads: usize| {
+        par::set_threads(threads);
+        let inner = LenEmbedder;
+        let cache = EmbeddingCache::new(&inner);
+        let out = cache.embed_batch(&texts);
+        par::reset_threads();
+        out
+    };
+    assert_eq!(run(1), run(4));
+}
+
+#[test]
+fn adapter_encode_split_is_identical_across_thread_counts() {
+    let _g = guard();
+    use em_core::{Combiner, EmAdapter, TokenizerMode};
+    use em_data::{MagellanDataset, Split};
+    let d = MagellanDataset::SBR.profile().generate_scaled(3, 0.5);
+    let run = |threads: usize| {
+        par::set_threads(threads);
+        let inner = LenEmbedder;
+        let adapter = EmAdapter::new(TokenizerMode::Hybrid, &inner, Combiner::Average);
+        let data = adapter.encode_split(&d, Split::Train);
+        par::reset_threads();
+        (data.x.as_slice().to_vec(), data.y)
+    };
+    assert_eq!(run(1), run(4));
+}
