@@ -8,6 +8,8 @@
 //! units; reports convert units back to paper-hours so the tables can show
 //! the same "Training time (h)" columns.
 
+use ml::TrialError;
+
 /// Budget units corresponding to one paper-hour of training.
 pub const UNITS_PER_HOUR: f64 = 12.0;
 
@@ -65,19 +67,24 @@ pub struct Budget {
 }
 
 impl Budget {
-    /// Budget worth `hours` paper-hours.
-    pub fn hours(hours: f64) -> Self {
-        assert!(hours > 0.0, "budget must be positive");
-        Self {
-            limit: hours * UNITS_PER_HOUR,
-            used: 0.0,
-        }
+    /// Budget worth `hours` paper-hours. Errors with
+    /// [`TrialError::InvalidBudget`] when `hours` is non-positive or
+    /// non-finite instead of panicking.
+    pub fn hours(hours: f64) -> Result<Self, TrialError> {
+        Self::units(hours * UNITS_PER_HOUR).map_err(|_| {
+            TrialError::InvalidBudget(format!("budget hours must be positive, got {hours}"))
+        })
     }
 
-    /// Budget with an explicit unit limit.
-    pub fn units(limit: f64) -> Self {
-        assert!(limit > 0.0, "budget must be positive");
-        Self { limit, used: 0.0 }
+    /// Budget with an explicit unit limit. Errors with
+    /// [`TrialError::InvalidBudget`] on non-positive or non-finite limits.
+    pub fn units(limit: f64) -> Result<Self, TrialError> {
+        if !limit.is_finite() || limit <= 0.0 {
+            return Err(TrialError::InvalidBudget(format!(
+                "budget units must be positive and finite, got {limit}"
+            )));
+        }
+        Ok(Self { limit, used: 0.0 })
     }
 
     /// Charge `units` (may push usage past the limit — checked afterwards).
@@ -129,7 +136,7 @@ mod tests {
 
     #[test]
     fn accounting() {
-        let mut b = Budget::hours(1.0);
+        let mut b = Budget::hours(1.0).unwrap();
         assert_eq!(b.remaining(), UNITS_PER_HOUR);
         b.consume(10.0);
         assert_eq!(b.used(), 10.0);
@@ -143,7 +150,7 @@ mod tests {
 
     #[test]
     fn hours_roundtrip() {
-        let mut b = Budget::hours(6.0);
+        let mut b = Budget::hours(6.0).unwrap();
         b.consume(3.0 * UNITS_PER_HOUR);
         assert!((b.used_hours() - 3.0).abs() < 1e-12);
         assert!((b.limit_hours() - 6.0).abs() < 1e-12);
@@ -151,7 +158,7 @@ mod tests {
 
     #[test]
     fn drain_exhausts() {
-        let mut b = Budget::hours(2.0);
+        let mut b = Budget::hours(2.0).unwrap();
         b.consume(5.0);
         b.drain();
         assert!(b.exhausted());
@@ -168,8 +175,20 @@ mod tests {
     }
 
     #[test]
+    fn invalid_limits_error_instead_of_panicking() {
+        for bad in [0.0, -1.0, f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let err = Budget::hours(bad).unwrap_err();
+            assert_eq!(err.kind(), "invalid_budget", "hours({bad})");
+            let err = Budget::units(bad).unwrap_err();
+            assert_eq!(err.kind(), "invalid_budget", "units({bad})");
+        }
+        assert!(Budget::hours(0.25).is_ok());
+        assert!(Budget::units(1e-6).is_ok());
+    }
+
+    #[test]
     fn negative_consumption_ignored() {
-        let mut b = Budget::units(5.0);
+        let mut b = Budget::units(5.0).unwrap();
         b.consume(-3.0);
         assert_eq!(b.used(), 0.0);
     }
@@ -194,7 +213,7 @@ mod tests {
             let rows = 10 + rng.below(20_000);
 
             // disciplined loop: check first, then charge
-            let mut b = Budget::hours(limit_hours);
+            let mut b = Budget::hours(limit_hours).unwrap();
             loop {
                 let cost = fit_cost(families[rng.below(families.len())], rows);
                 if !b.can_afford(cost) {
@@ -208,7 +227,7 @@ mod tests {
             );
 
             // undisciplined loop: charge first, stop once exhausted
-            let mut b = Budget::hours(limit_hours);
+            let mut b = Budget::hours(limit_hours).unwrap();
             let mut max_cost = 0.0f64;
             while !b.exhausted() {
                 let cost = fit_cost(families[rng.below(families.len())], rows);
@@ -229,7 +248,7 @@ mod tests {
     fn hours_roundtrip_through_units_per_hour() {
         for seed in 0..64u64 {
             let mut rng = linalg::Rng::new(seed);
-            let mut b = Budget::hours(0.5 + rng.f64() * 8.0);
+            let mut b = Budget::hours(0.5 + rng.f64() * 8.0).unwrap();
             for _ in 0..rng.below(40) {
                 b.consume(rng.f64() * 5.0);
             }

@@ -6,7 +6,7 @@ use linalg::{Matrix, Rng};
 use ml::cv::stratified_kfold;
 use ml::dataset::TabularData;
 use ml::metrics::f1_at_threshold;
-use ml::Classifier;
+use ml::{Classifier, TrialError};
 
 /// Greedy (Caruana) ensemble selection: repeatedly add the model — with
 /// replacement — whose inclusion maximizes validation F1 of the averaged
@@ -43,7 +43,9 @@ pub fn greedy_selection(
                 best_add = Some((m, f1));
             }
         }
-        let (m, f1) = best_add.expect("at least one model");
+        // `best_add` is always Some (val_probs is non-empty), but stay
+        // panic-free on the search path
+        let Some((m, f1)) = best_add else { break };
         if f1 <= best_f1 && members >= 1 {
             break; // no further improvement
         }
@@ -85,22 +87,27 @@ pub fn weighted_average(probs: &[Vec<f32>], weights: &[f32]) -> Vec<f32> {
     out
 }
 
+/// What [`out_of_fold`] yields on success: one out-of-fold probability
+/// per training row, plus the per-fold fitted models.
+pub type OofResult = Result<(Vec<f32>, Vec<Box<dyn Classifier>>), TrialError>;
+
 /// Out-of-fold predictions: train a fresh copy of `template` on each
 /// k-fold train side and predict its validation side. Returns one
-/// probability per training row, plus the per-fold fitted models.
+/// probability per training row, plus the per-fold fitted models. Errors
+/// if any fold's fit fails (e.g. a fold lost all of one class).
 pub fn out_of_fold(
     template: &dyn Classifier,
     data: &TabularData,
     k: usize,
     rng: &mut Rng,
-) -> (Vec<f32>, Vec<Box<dyn Classifier>>) {
+) -> OofResult {
     let folds = stratified_kfold(&data.y, k, rng);
     let mut oof = vec![0.0f32; data.len()];
     let mut models = Vec::with_capacity(k);
     for (train_idx, valid_idx) in folds {
         let train = data.select(&train_idx);
         let mut model = template.fresh();
-        model.fit(&train.x, &train.y);
+        model.fit(&train.x, &train.y)?;
         let valid_x = data.x.select_rows(&valid_idx);
         let preds = model.predict_proba(&valid_x);
         for (&i, &p) in valid_idx.iter().zip(&preds) {
@@ -108,7 +115,7 @@ pub fn out_of_fold(
         }
         models.push(model);
     }
-    (oof, models)
+    Ok((oof, models))
 }
 
 /// A bagged base model: the average of its per-fold members (AutoGluon
@@ -121,14 +128,20 @@ pub struct BaggedModel {
 }
 
 impl BaggedModel {
-    /// Bag `template` over `k` stratified folds of `data`.
-    pub fn fit(template: &dyn Classifier, data: &TabularData, k: usize, rng: &mut Rng) -> Self {
-        let (oof, members) = out_of_fold(template, data, k, rng);
-        Self {
+    /// Bag `template` over `k` stratified folds of `data`. Errors if any
+    /// fold's fit fails.
+    pub fn fit(
+        template: &dyn Classifier,
+        data: &TabularData,
+        k: usize,
+        rng: &mut Rng,
+    ) -> Result<Self, TrialError> {
+        let (oof, members) = out_of_fold(template, data, k, rng)?;
+        Ok(Self {
             members,
             oof,
             name: template.name(),
-        }
+        })
     }
 
     /// Average probability across fold members.
@@ -278,7 +291,7 @@ mod tests {
             epochs: 3,
             ..LinearConfig::default()
         });
-        let (oof, models) = out_of_fold(&template, &data, 4, &mut rng);
+        let (oof, models) = out_of_fold(&template, &data, 4, &mut rng).unwrap();
         assert_eq!(oof.len(), 40);
         assert_eq!(models.len(), 4);
         assert!(oof.iter().all(|p| (0.0..=1.0).contains(p)));
@@ -291,7 +304,7 @@ mod tests {
         let y: Vec<f32> = (0..60).map(|i| if i >= 30 { 1.0 } else { 0.0 }).collect();
         let data = TabularData::new(Matrix::from_rows(&rows), y);
         let template = LogisticRegression::default();
-        let bag = BaggedModel::fit(&template, &data, 3, &mut rng);
+        let bag = BaggedModel::fit(&template, &data, 3, &mut rng).unwrap();
         assert!(bag.name().starts_with("logreg"));
         let probs = bag.predict_proba(&data.x);
         // monotone feature → later rows should have higher probability

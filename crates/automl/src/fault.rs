@@ -1,0 +1,185 @@
+//! Deterministic fault injection for the trial path.
+//!
+//! Robustness claims need tests, and "a trial panicked halfway through a
+//! parallel batch" is not a situation unit tests stumble into naturally.
+//! A [`FaultPlan`] injects failures at exact trial indices — fail trial
+//! k, poison trial k's score with NaN, panic inside trial k, inflate
+//! trial k's cost — so the suite can prove that every engine degrades
+//! gracefully *and deterministically*: the same plan at 1 and 8 threads
+//! must yield byte-identical [`crate::FitReport`]s.
+//!
+//! Plans are keyed by the engine's **planned trial index**, which is
+//! assigned before any parallel execution, so a plan is thread-count
+//! invariant by construction. Set `AUTOML_EM_FAULTS` (e.g.
+//! `nan@2,panic@5,fail@0,cost@3=2.5`) to inject faults into a real run —
+//! see EXPERIMENTS.md for the reproduction recipe.
+
+use std::collections::BTreeMap;
+
+/// One injected fault.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Fault {
+    /// The trial returns [`ml::TrialError::Injected`] without running.
+    Fail,
+    /// The trial runs but its validation score is replaced with NaN
+    /// (exercising the non-finite quarantine path).
+    NanScore,
+    /// The trial panics mid-fit (exercising the `catch_unwind` boundary).
+    Panic,
+    /// The trial succeeds but its charged cost is multiplied by this
+    /// factor (exercising budget accounting under mispriced trials).
+    InflateCost(f64),
+}
+
+/// A deterministic schedule of faults, keyed by planned trial index.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultPlan {
+    faults: BTreeMap<u64, Fault>,
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing (the production default).
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Builder: inject `fault` at planned trial `trial`.
+    pub fn inject(mut self, trial: u64, fault: Fault) -> Self {
+        self.faults.insert(trial, fault);
+        self
+    }
+
+    /// The fault scheduled for `trial`, if any.
+    pub fn get(&self, trial: u64) -> Option<Fault> {
+        self.faults.get(&trial).copied()
+    }
+
+    /// Cost multiplier for `trial`: the injected inflation factor, or 1.
+    pub fn cost_multiplier(&self, trial: u64) -> f64 {
+        match self.faults.get(&trial) {
+            Some(Fault::InflateCost(m)) => *m,
+            _ => 1.0,
+        }
+    }
+
+    /// True when no faults are scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// Parse the `AUTOML_EM_FAULTS` environment variable into a plan.
+    /// Unset, empty, or unparseable entries mean "no fault" — fault
+    /// injection must never break a production run.
+    pub fn from_env() -> Self {
+        match std::env::var("AUTOML_EM_FAULTS") {
+            Ok(spec) => Self::parse(&spec),
+            Err(_) => Self::none(),
+        }
+    }
+
+    /// Parse a comma-separated spec: `fail@K`, `nan@K`, `panic@K`,
+    /// `cost@K=M`. Entries that don't parse are skipped (lenient by
+    /// design — see [`FaultPlan::from_env`]).
+    pub fn parse(spec: &str) -> Self {
+        let mut plan = Self::none();
+        for entry in spec.split(',') {
+            let entry = entry.trim();
+            if entry.is_empty() {
+                continue;
+            }
+            let Some((kind, rest)) = entry.split_once('@') else {
+                continue;
+            };
+            let (trial_str, arg) = match rest.split_once('=') {
+                Some((t, a)) => (t, Some(a)),
+                None => (rest, None),
+            };
+            let Ok(trial) = trial_str.trim().parse::<u64>() else {
+                continue;
+            };
+            let fault = match kind.trim() {
+                "fail" => Fault::Fail,
+                "nan" => Fault::NanScore,
+                "panic" => Fault::Panic,
+                "cost" => match arg.and_then(|a| a.trim().parse::<f64>().ok()) {
+                    Some(m) if m.is_finite() && m > 0.0 => Fault::InflateCost(m),
+                    _ => continue,
+                },
+                _ => continue,
+            };
+            plan.faults.insert(trial, fault);
+        }
+        plan
+    }
+}
+
+/// Marker prefix on injected panic messages, used by
+/// [`silence_injected_panic_output`] to keep test logs readable.
+pub(crate) const INJECTED_PANIC_MSG: &str = "injected fault: panic";
+
+/// Install a panic hook that suppresses the default stderr backtrace spam
+/// for *injected* panics only; real panics still print through the
+/// previous hook. Idempotent; used by the fault-injection tests.
+pub fn silence_injected_panic_output() {
+    use std::sync::Once;
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let injected = info
+                .payload()
+                .downcast_ref::<String>()
+                .map(|s| s.contains(INJECTED_PANIC_MSG))
+                .or_else(|| {
+                    info.payload()
+                        .downcast_ref::<&str>()
+                        .map(|s| s.contains(INJECTED_PANIC_MSG))
+                })
+                .unwrap_or(false);
+            if !injected {
+                previous(info);
+            }
+        }));
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_and_lookup() {
+        let plan = FaultPlan::none()
+            .inject(2, Fault::NanScore)
+            .inject(5, Fault::Panic)
+            .inject(3, Fault::InflateCost(2.5));
+        assert_eq!(plan.get(2), Some(Fault::NanScore));
+        assert_eq!(plan.get(5), Some(Fault::Panic));
+        assert_eq!(plan.get(0), None);
+        assert_eq!(plan.cost_multiplier(3), 2.5);
+        assert_eq!(plan.cost_multiplier(2), 1.0);
+        assert!(!plan.is_empty());
+        assert!(FaultPlan::none().is_empty());
+    }
+
+    #[test]
+    fn parse_spec_roundtrip() {
+        let plan = FaultPlan::parse("nan@2, panic@5,fail@0,cost@3=2.5");
+        assert_eq!(
+            plan,
+            FaultPlan::none()
+                .inject(2, Fault::NanScore)
+                .inject(5, Fault::Panic)
+                .inject(0, Fault::Fail)
+                .inject(3, Fault::InflateCost(2.5))
+        );
+    }
+
+    #[test]
+    fn parse_is_lenient() {
+        // garbage entries are dropped, valid ones kept
+        let plan = FaultPlan::parse("bogus, nan@x, cost@1, cost@2=-1, cost@2=nan, panic@7,,");
+        assert_eq!(plan, FaultPlan::none().inject(7, Fault::Panic));
+        assert!(FaultPlan::parse("").is_empty());
+    }
+}

@@ -15,8 +15,10 @@
 
 use crate::budget::{fit_cost, Budget, ModelFamily};
 use crate::ensemble::{greedy_selection, weighted_average, BaggedModel, GlmMetalearner};
+use crate::fault::FaultPlan;
 use crate::leaderboard::{FitReport, Leaderboard};
 use crate::telemetry::TrialTracker;
+use crate::trial::guard_trial;
 use crate::AutoMlSystem;
 use linalg::{Matrix, Rng};
 use ml::boosting::{BoostConfig, GradientBoosting, ObliviousBoosting};
@@ -24,7 +26,7 @@ use ml::dataset::TabularData;
 use ml::forest::{ForestConfig, RandomForest};
 use ml::knn::{KNearest, KnnConfig};
 use ml::metrics::best_f1_threshold;
-use ml::Classifier;
+use ml::{Classifier, TrialError};
 
 /// Bagging folds (AutoGluon default is 8; 5 keeps small datasets viable).
 const K_FOLDS: usize = 5;
@@ -72,6 +74,7 @@ fn roster(seed: u64) -> Vec<(ModelFamily, Box<dyn Classifier>)> {
 /// The AutoGluon-style engine. See module docs.
 pub struct AutoGluonStyle {
     seed: u64,
+    faults: FaultPlan,
     bags: Vec<BaggedModel>,
     meta: Option<GlmMetalearner>,
     /// Greedy fallback weights over bags when the stacker is skipped/worse.
@@ -82,10 +85,17 @@ pub struct AutoGluonStyle {
 }
 
 impl AutoGluonStyle {
-    /// New engine with a deterministic seed.
+    /// New engine with a deterministic seed (faults come from the
+    /// `AUTOML_EM_FAULTS` environment variable, usually none).
     pub fn new(seed: u64) -> Self {
+        Self::with_faults(seed, FaultPlan::from_env())
+    }
+
+    /// New engine with an explicit fault-injection plan (tests).
+    pub fn with_faults(seed: u64, faults: FaultPlan) -> Self {
         Self {
             seed,
+            faults,
             bags: Vec::new(),
             meta: None,
             weights: Vec::new(),
@@ -100,7 +110,12 @@ impl AutoMlSystem for AutoGluonStyle {
         "AutoGluon"
     }
 
-    fn fit(&mut self, train: &TabularData, valid: &TabularData, budget: &mut Budget) -> FitReport {
+    fn fit(
+        &mut self,
+        train: &TabularData,
+        valid: &TabularData,
+        budget: &mut Budget,
+    ) -> Result<FitReport, TrialError> {
         let span = obs::span("automl.AutoGluon.fit");
         let mut tracker = TrialTracker::new(self.name());
         let mut rng = Rng::new(self.seed ^ 0x61u64);
@@ -117,30 +132,56 @@ impl AutoMlSystem for AutoGluonStyle {
             if !budget.can_afford(cost) {
                 continue; // tight budgets silently drop roster tails
             }
-            let bag = BaggedModel::fit(template.as_ref(), train, K_FOLDS, &mut rng);
-            budget.consume(cost);
-            let val_probs = bag.predict_proba(&valid.x);
-            let (_, f1) = best_f1_threshold(&val_probs, &valid_labels);
-            tracker.record(family, &format!("bag[{}]", bag.name()), f1, cost);
-            leaderboard.push(format!("bag[{}]", bag.name()), f1, cost);
-            self.bags.push(bag);
+            // attempted roster members are trials: a failing bag — panic,
+            // NaN score, injected fault — is quarantined and the roster
+            // continues (budget-skipped members above are not trials and
+            // get no leaderboard entry)
+            let trial_idx = tracker.trials() as u64;
+            let charged = cost * self.faults.cost_multiplier(trial_idx);
+            let name = format!("bag[{}]", template.name());
+            let outcome = guard_trial(self.faults.get(trial_idx), || {
+                let bag = BaggedModel::fit(template.as_ref(), train, K_FOLDS, &mut rng)?;
+                let val_probs = bag.predict_proba(&valid.x);
+                let (_, f1) = best_f1_threshold(&val_probs, &valid_labels);
+                Ok((bag, val_probs, f1))
+            });
+            budget.consume(charged);
+            match outcome {
+                Ok((bag, _, f1)) => {
+                    tracker.record(family, &name, f1, charged);
+                    leaderboard.push(name, f1, charged);
+                    self.bags.push(bag);
+                }
+                Err(err) => {
+                    tracker.record_failure(family, &name, &err, charged);
+                    leaderboard.push_failed(name, err, charged);
+                }
+            }
         }
 
         if self.bags.is_empty() {
+            if !leaderboard.is_empty() {
+                // trials were attempted and every one failed — that is a
+                // run-level error, not the budget-starvation fallback
+                span.add_units(budget.used());
+                return Err(TrialError::AllTrialsFailed {
+                    attempted: leaderboard.len(),
+                });
+            }
             // nothing affordable: majority-class predictor (this is the
             // degenerate outcome the paper observed on starved runs)
             let prior = train.positive_ratio() as f32;
             self.fallback = Some(prior);
             self.threshold = 0.5;
             span.add_units(budget.used());
-            return FitReport {
+            return Ok(FitReport {
                 system: self.name(),
                 units_used: budget.used(),
                 hours_used: budget.used_hours(),
                 val_f1: 0.0,
                 threshold: 0.5,
                 leaderboard,
-            };
+            });
         }
 
         // --- layer 2: GLM stacker on out-of-fold probabilities ----------
@@ -161,28 +202,44 @@ impl AutoMlSystem for AutoGluonStyle {
         best = (gf1, gt);
 
         if budget.can_afford(stack_cost) {
-            let meta = GlmMetalearner::fit(&oof, &train.y, 1e-2);
-            budget.consume(stack_cost);
-            let stacked_val = meta.predict(&bag_val_probs);
-            let (st, sf1) = best_f1_threshold(&stacked_val, &valid_labels);
-            tracker.record(ModelFamily::LogReg, "stacker[glm]", sf1, stack_cost);
-            leaderboard.push("stacker[glm]".to_owned(), sf1, stack_cost);
-            if sf1 > best.0 {
-                best = (sf1, st);
-                self.meta = Some(meta);
+            // the stacker is a trial like any other: a degenerate GLM solve
+            // (NaN coefficients on collinear folds) is quarantined and the
+            // greedy ensemble below keeps the run alive
+            let trial_idx = tracker.trials() as u64;
+            let charged = stack_cost * self.faults.cost_multiplier(trial_idx);
+            let outcome = guard_trial(self.faults.get(trial_idx), || {
+                let meta = GlmMetalearner::fit(&oof, &train.y, 1e-2);
+                let stacked_val = meta.predict(&bag_val_probs);
+                let (st, sf1) = best_f1_threshold(&stacked_val, &valid_labels);
+                Ok(((meta, st), stacked_val, sf1))
+            });
+            budget.consume(charged);
+            match outcome {
+                Ok(((meta, st), _, sf1)) => {
+                    tracker.record(ModelFamily::LogReg, "stacker[glm]", sf1, charged);
+                    leaderboard.push("stacker[glm]".to_owned(), sf1, charged);
+                    if sf1 > best.0 {
+                        best = (sf1, st);
+                        self.meta = Some(meta);
+                    }
+                }
+                Err(err) => {
+                    tracker.record_failure(ModelFamily::LogReg, "stacker[glm]", &err, charged);
+                    leaderboard.push_failed("stacker[glm]".to_owned(), err, charged);
+                }
             }
         }
 
         self.threshold = best.1;
         span.add_units(budget.used());
-        FitReport {
+        Ok(FitReport {
             system: self.name(),
             units_used: budget.used(),
             hours_used: budget.used_hours(),
             val_f1: best.0,
             threshold: best.1,
             leaderboard,
-        }
+        })
     }
 
     fn predict_proba(&self, x: &Matrix) -> Vec<f32> {
@@ -226,8 +283,8 @@ mod tests {
         let valid = blob_data(120, 2);
         let test = blob_data(120, 3);
         let mut sys = AutoGluonStyle::new(5);
-        let mut budget = Budget::hours(4.0);
-        let report = sys.fit(&train, &valid, &mut budget);
+        let mut budget = Budget::hours(4.0).unwrap();
+        let report = sys.fit(&train, &valid, &mut budget).unwrap();
         assert!(
             report.leaderboard.len() >= 5,
             "{}",
@@ -241,11 +298,11 @@ mod tests {
     fn time_used_scales_with_dataset_not_budget() {
         let valid = blob_data(60, 4);
         let mut small_sys = AutoGluonStyle::new(1);
-        let mut b1 = Budget::hours(10.0);
-        small_sys.fit(&blob_data(100, 5), &valid, &mut b1);
+        let mut b1 = Budget::hours(10.0).unwrap();
+        small_sys.fit(&blob_data(100, 5), &valid, &mut b1).unwrap();
         let mut large_sys = AutoGluonStyle::new(1);
-        let mut b2 = Budget::hours(10.0);
-        large_sys.fit(&blob_data(2000, 6), &valid, &mut b2);
+        let mut b2 = Budget::hours(10.0).unwrap();
+        large_sys.fit(&blob_data(2000, 6), &valid, &mut b2).unwrap();
         assert!(
             b2.used() > 2.0 * b1.used(),
             "{} vs {}",
@@ -260,8 +317,8 @@ mod tests {
         let train = blob_data(500, 7);
         let valid = blob_data(100, 8);
         let mut sys = AutoGluonStyle::new(1);
-        let mut budget = Budget::units(0.2); // can't afford anything
-        let report = sys.fit(&train, &valid, &mut budget);
+        let mut budget = Budget::units(0.2).unwrap(); // can't afford anything
+        let report = sys.fit(&train, &valid, &mut budget).unwrap();
         assert_eq!(report.val_f1, 0.0);
         let probs = sys.predict_proba(&valid.x);
         assert!(probs.iter().all(|&p| p == probs[0]), "constant fallback");
@@ -272,12 +329,12 @@ mod tests {
         let train = blob_data(400, 9);
         let valid = blob_data(100, 10);
         let mut rich_sys = AutoGluonStyle::new(2);
-        let mut rich = Budget::hours(10.0);
-        let r1 = rich_sys.fit(&train, &valid, &mut rich);
+        let mut rich = Budget::hours(10.0).unwrap();
+        let r1 = rich_sys.fit(&train, &valid, &mut rich).unwrap();
         let mut poor_sys = AutoGluonStyle::new(2);
         // enough for roughly half the roster
-        let mut poor = Budget::units(rich.used() * 0.45);
-        let r2 = poor_sys.fit(&train, &valid, &mut poor);
+        let mut poor = Budget::units(rich.used() * 0.45).unwrap();
+        let r2 = poor_sys.fit(&train, &valid, &mut poor).unwrap();
         assert!(r2.leaderboard.len() < r1.leaderboard.len());
     }
 
@@ -287,8 +344,8 @@ mod tests {
         let valid = blob_data(80, 12);
         let run = || {
             let mut sys = AutoGluonStyle::new(3);
-            let mut budget = Budget::hours(5.0);
-            sys.fit(&train, &valid, &mut budget);
+            let mut budget = Budget::hours(5.0).unwrap();
+            sys.fit(&train, &valid, &mut budget).unwrap();
             sys.predict_proba(&valid.x)
         };
         assert_eq!(run(), run());

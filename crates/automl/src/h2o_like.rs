@@ -15,14 +15,16 @@
 
 use crate::budget::{fit_cost, Budget, ModelFamily};
 use crate::ensemble::{out_of_fold, GlmMetalearner};
+use crate::fault::FaultPlan;
 use crate::leaderboard::{FitReport, Leaderboard};
 use crate::space::{h2o_families, Candidate};
 use crate::telemetry::TrialTracker;
+use crate::trial::{all_failed_error, guard_trial};
 use crate::AutoMlSystem;
 use linalg::{Matrix, Rng};
 use ml::dataset::TabularData;
 use ml::metrics::best_f1_threshold;
-use ml::Classifier;
+use ml::{Classifier, TrialError};
 
 /// Random-search cap (the tool's `max_models` knob).
 const MAX_MODELS: usize = 24;
@@ -34,6 +36,7 @@ const K_FOLDS: usize = 4;
 /// The H2OAutoML-style engine. See module docs.
 pub struct H2oStyle {
     seed: u64,
+    faults: FaultPlan,
     members: Vec<Box<dyn Classifier>>,
     meta: Option<GlmMetalearner>,
     /// Index of the best single model (used when stacking doesn't help).
@@ -42,10 +45,17 @@ pub struct H2oStyle {
 }
 
 impl H2oStyle {
-    /// New engine with a deterministic seed.
+    /// New engine with a deterministic seed (faults come from the
+    /// `AUTOML_EM_FAULTS` environment variable, usually none).
     pub fn new(seed: u64) -> Self {
+        Self::with_faults(seed, FaultPlan::from_env())
+    }
+
+    /// New engine with an explicit fault-injection plan (tests).
+    pub fn with_faults(seed: u64, faults: FaultPlan) -> Self {
         Self {
             seed,
+            faults,
             members: Vec::new(),
             meta: None,
             best_single: 0,
@@ -59,7 +69,12 @@ impl AutoMlSystem for H2oStyle {
         "H2OAutoML"
     }
 
-    fn fit(&mut self, train: &TabularData, valid: &TabularData, budget: &mut Budget) -> FitReport {
+    fn fit(
+        &mut self,
+        train: &TabularData,
+        valid: &TabularData,
+        budget: &mut Budget,
+    ) -> Result<FitReport, TrialError> {
         let span = obs::span("automl.H2OAutoML.fit");
         let mut tracker = TrialTracker::new(self.name());
         let mut rng = Rng::new(self.seed ^ 0x420);
@@ -90,44 +105,72 @@ impl AutoMlSystem for H2oStyle {
             planned.push((candidate, cost, idx));
         }
 
-        // --- independent fits: run the grid through the par pool ---
+        // --- independent fits: run the grid through the par pool, each
+        //     inside the trial boundary so a failing candidate — panic,
+        //     NaN score, injected fault — is quarantined without losing
+        //     the worker or the grid ---
+        let faults = &self.faults;
         let fits = par::map(&planned, |(candidate, _, idx)| {
-            let mut model = candidate.build(seed.wrapping_add(*idx));
-            model.fit(&train.x, &train.y);
-            let probs = model.predict_proba(&valid.x);
-            let (_, f1) = best_f1_threshold(&probs, &valid_labels);
-            (model, probs, f1)
+            guard_trial(faults.get(*idx), || {
+                let mut model = candidate.build(seed.wrapping_add(*idx));
+                model.fit(&train.x, &train.y)?;
+                let probs = model.predict_proba(&valid.x);
+                let (_, f1) = best_f1_threshold(&probs, &valid_labels);
+                Ok((model, probs, f1))
+            })
         });
 
         // --- charge budget and emit telemetry in submission order ---
         let mut evaluated: Vec<Evaluated> = Vec::new();
-        for ((candidate, cost, _), (model, probs, f1)) in planned.into_iter().zip(fits) {
-            budget.consume(cost);
-            tracker.record(candidate.family, &model.name(), f1, cost);
-            leaderboard.push(model.name(), f1, cost);
-            evaluated.push((candidate, model, probs, f1));
+        for ((candidate, cost, idx), fit) in planned.into_iter().zip(fits) {
+            let charged = cost * self.faults.cost_multiplier(idx);
+            budget.consume(charged);
+            match fit {
+                Ok((model, probs, f1)) => {
+                    tracker.record(candidate.family, &model.name(), f1, charged);
+                    leaderboard.push(model.name(), f1, charged);
+                    evaluated.push((candidate, model, probs, f1));
+                }
+                Err(err) => {
+                    let name = candidate.build(seed.wrapping_add(idx)).name();
+                    tracker.record_failure(candidate.family, &name, &err, charged);
+                    leaderboard.push_failed(name, err, charged);
+                }
+            }
         }
-        assert!(
-            !evaluated.is_empty(),
-            "budget too small for even one H2O evaluation"
-        );
+        if evaluated.is_empty() {
+            span.add_units(budget.used());
+            return Err(all_failed_error(&leaderboard, budget, train.len()));
+        }
 
-        // rank by validation F1, keep the stack members
-        evaluated.sort_by(|a, b| b.3.partial_cmp(&a.3).expect("finite F1"));
+        // rank by validation F1, keep the stack members (scores are
+        // guard-validated finite, but keep the sort NaN-safe regardless)
+        evaluated.sort_by(|a, b| linalg::stats::nan_worst_cmp(b.3, a.3));
         evaluated.truncate(STACK_TOP.max(1));
 
         // --- super learner ------------------------------------------------
         // leak-free metalearner features: out-of-fold probabilities
         let mut oof_cols: Vec<Vec<f32>> = Vec::new();
+        // indices into `kept` that contributed an oof column — the stack
+        // membership (NOT necessarily a prefix of `kept`: a member whose
+        // fold refits fail is dropped from the stack but stays ranked)
+        let mut oof_members: Vec<usize> = Vec::new();
         let mut kept: Vec<Evaluated> = Vec::new();
         for (cand, model, vprobs, f1) in evaluated {
             let oof_cost =
                 K_FOLDS as f64 * fit_cost(cand.family, train.len() * (K_FOLDS - 1) / K_FOLDS) * 0.5; // folds are smaller and reuse binning work
             if budget.can_afford(oof_cost) {
                 let mut fold_rng = rng.fork(oof_cols.len() as u64);
-                let (oof, _) = out_of_fold(model.as_ref(), train, K_FOLDS, &mut fold_rng);
-                budget.consume(oof_cost);
-                oof_cols.push(oof);
+                // the member already fitted once, but its fold refits run
+                // through the panic boundary too: a crashing fold drops
+                // this member from the stacker, never the whole run
+                let oof =
+                    par::catch_panic(|| out_of_fold(model.as_ref(), train, K_FOLDS, &mut fold_rng));
+                if let Ok(Ok((oof, _))) = oof {
+                    budget.consume(oof_cost);
+                    oof_cols.push(oof);
+                    oof_members.push(kept.len());
+                }
             }
             kept.push((cand, model, vprobs, f1));
         }
@@ -138,38 +181,55 @@ impl AutoMlSystem for H2oStyle {
 
         if oof_cols.len() >= 2 {
             let oof = Matrix::from_fn(train.len(), oof_cols.len(), |i, m| oof_cols[m][i]);
-            let meta = GlmMetalearner::fit(&oof, &train.y, 1e-2);
-            let member_val: Vec<Vec<f32>> = kept
-                .iter()
-                .take(oof_cols.len())
-                .map(|(_, _, p, _)| p.clone())
-                .collect();
-            let stacked_val = meta.predict(&member_val);
-            let (st, sf1) = best_f1_threshold(&stacked_val, &valid_labels);
-            tracker.record(ModelFamily::LogReg, "super_learner[glm]", sf1, 0.0);
-            leaderboard.push("super_learner[glm]".to_owned(), sf1, 0.0);
-            if sf1 >= best.0 {
-                best = (sf1, st, true);
-                self.meta = Some(meta);
+            let member_val: Vec<Vec<f32>> =
+                oof_members.iter().map(|&i| kept[i].2.clone()).collect();
+            // the super learner is a trial like any other: a degenerate
+            // GLM solve is quarantined and the best single model wins
+            let trial_idx = tracker.trials() as u64;
+            let outcome = guard_trial(self.faults.get(trial_idx), || {
+                let meta = GlmMetalearner::fit(&oof, &train.y, 1e-2);
+                let stacked_val = meta.predict(&member_val);
+                let (st, sf1) = best_f1_threshold(&stacked_val, &valid_labels);
+                Ok(((meta, st), stacked_val, sf1))
+            });
+            match outcome {
+                Ok(((meta, st), _, sf1)) => {
+                    tracker.record(ModelFamily::LogReg, "super_learner[glm]", sf1, 0.0);
+                    leaderboard.push("super_learner[glm]".to_owned(), sf1, 0.0);
+                    if sf1 >= best.0 {
+                        best = (sf1, st, true);
+                        self.meta = Some(meta);
+                    }
+                }
+                Err(err) => {
+                    tracker.record_failure(ModelFamily::LogReg, "super_learner[glm]", &err, 0.0);
+                    leaderboard.push_failed("super_learner[glm]".to_owned(), err, 0.0);
+                }
             }
         }
 
-        let n_meta = oof_cols.len();
-        self.members = kept.into_iter().map(|(_, m, _, _)| m).collect();
         if best.2 {
-            self.members.truncate(n_meta);
+            // serve exactly the stacked members, in oof-column order
+            let mut models: Vec<Option<Box<dyn Classifier>>> =
+                kept.into_iter().map(|(_, m, _, _)| Some(m)).collect();
+            self.members = oof_members
+                .iter()
+                .filter_map(|&i| models[i].take())
+                .collect();
+        } else {
+            self.members = kept.into_iter().map(|(_, m, _, _)| m).collect();
         }
         self.best_single = 0;
         self.threshold = best.1;
         span.add_units(budget.used());
-        FitReport {
+        Ok(FitReport {
             system: self.name(),
             units_used: budget.used(),
             hours_used: budget.used_hours(),
             val_f1: best.0,
             threshold: best.1,
             leaderboard,
-        }
+        })
     }
 
     fn predict_proba(&self, x: &Matrix) -> Vec<f32> {
@@ -212,8 +272,8 @@ mod tests {
         let valid = blob_data(120, 2);
         let test = blob_data(120, 3);
         let mut sys = H2oStyle::new(11);
-        let mut budget = Budget::hours(1.0);
-        let report = sys.fit(&train, &valid, &mut budget);
+        let mut budget = Budget::hours(1.0).unwrap();
+        let report = sys.fit(&train, &valid, &mut budget).unwrap();
         assert!(report.leaderboard.len() >= 3);
         let f1 = f1_score(&sys.predict(&test.x), &test.labels_bool());
         assert!(f1 > 85.0, "F1 {f1}");
@@ -225,8 +285,8 @@ mod tests {
         let train = blob_data(80, 4);
         let valid = blob_data(40, 5);
         let mut sys = H2oStyle::new(2);
-        let mut budget = Budget::hours(10.0);
-        sys.fit(&train, &valid, &mut budget);
+        let mut budget = Budget::hours(10.0).unwrap();
+        sys.fit(&train, &valid, &mut budget).unwrap();
         assert!(!budget.exhausted());
         assert!(budget.used_hours() < 5.0);
     }
@@ -237,8 +297,8 @@ mod tests {
         let valid = blob_data(80, 7);
         let run = || {
             let mut sys = H2oStyle::new(3);
-            let mut budget = Budget::hours(1.0);
-            sys.fit(&train, &valid, &mut budget);
+            let mut budget = Budget::hours(1.0).unwrap();
+            sys.fit(&train, &valid, &mut budget).unwrap();
             sys.predict_proba(&valid.x)
         };
         assert_eq!(run(), run());
@@ -251,8 +311,8 @@ mod tests {
         let train = blob_data(250, 8);
         let valid = blob_data(100, 9);
         let mut sys = H2oStyle::new(4);
-        let mut budget = Budget::hours(2.0);
-        let report = sys.fit(&train, &valid, &mut budget);
+        let mut budget = Budget::hours(2.0).unwrap();
+        let report = sys.fit(&train, &valid, &mut budget).unwrap();
         let best_single = report
             .leaderboard
             .entries()

@@ -14,15 +14,17 @@
 //! the one a sequential sweep produces, at any thread count.
 
 use crate::budget::{fit_cost, Budget};
+use crate::fault::FaultPlan;
 use crate::leaderboard::{FitReport, Leaderboard};
 use crate::space::{sklearn_families, Candidate};
 use crate::telemetry::TrialTracker;
+use crate::trial::{all_failed_error, guard_trial};
 use crate::AutoMlSystem;
 use linalg::{Matrix, Rng};
 use ml::cv::stratified_holdout;
 use ml::dataset::TabularData;
 use ml::metrics::best_f1_threshold;
-use ml::Classifier;
+use ml::{Classifier, TrialError};
 
 /// Successive-halving configuration.
 #[derive(Debug, Clone, Copy)]
@@ -50,12 +52,14 @@ impl Default for HalvingConfig {
 pub struct SuccessiveHalving {
     seed: u64,
     config: HalvingConfig,
+    faults: FaultPlan,
     best: Option<Box<dyn Classifier>>,
     threshold: f32,
 }
 
 impl SuccessiveHalving {
-    /// New engine with a deterministic seed and default rungs.
+    /// New engine with a deterministic seed and default rungs (faults come
+    /// from the `AUTOML_EM_FAULTS` environment variable, usually none).
     pub fn new(seed: u64) -> Self {
         Self::with_config(seed, HalvingConfig::default())
     }
@@ -65,8 +69,17 @@ impl SuccessiveHalving {
         Self {
             seed,
             config,
+            faults: FaultPlan::from_env(),
             best: None,
             threshold: 0.5,
+        }
+    }
+
+    /// New engine with an explicit fault-injection plan (tests).
+    pub fn with_faults(seed: u64, faults: FaultPlan) -> Self {
+        Self {
+            faults,
+            ..Self::new(seed)
         }
     }
 }
@@ -80,7 +93,12 @@ impl AutoMlSystem for SuccessiveHalving {
         "SuccessiveHalving"
     }
 
-    fn fit(&mut self, train: &TabularData, valid: &TabularData, budget: &mut Budget) -> FitReport {
+    fn fit(
+        &mut self,
+        train: &TabularData,
+        valid: &TabularData,
+        budget: &mut Budget,
+    ) -> Result<FitReport, TrialError> {
         let span = obs::span("automl.SuccessiveHalving.fit");
         let mut tracker = TrialTracker::new(self.name());
         let mut rng = Rng::new(self.seed ^ 0x5A1);
@@ -128,37 +146,58 @@ impl AutoMlSystem for SuccessiveHalving {
             }
 
             // --- the whole rung is an independent population sweep: fit
-            //     it through the par pool, results in submission order ---
+            //     it through the par pool (each fit inside the trial
+            //     boundary), results in submission order ---
+            let faults = &self.faults;
             let fits = par::map(&planned, |&(pop_idx, _, idx)| {
-                let mut model = population[pop_idx].0.build(seed.wrapping_add(idx));
-                model.fit(&subset.x, &subset.y);
-                let probs = model.predict_proba(&valid.x);
-                let (_, f1) = best_f1_threshold(&probs, &valid_labels);
-                (model, probs, f1)
+                guard_trial(faults.get(idx), || {
+                    let mut model = population[pop_idx].0.build(seed.wrapping_add(idx));
+                    model.fit(&subset.x, &subset.y)?;
+                    let probs = model.predict_proba(&valid.x);
+                    let (_, f1) = best_f1_threshold(&probs, &valid_labels);
+                    Ok((model, probs, f1))
+                })
             });
 
             // --- charge budget and emit telemetry in submission order ---
             let mut rung_results: Vec<Evaluated> = Vec::new();
-            for (&(pop_idx, cost, _), (model, probs, f1)) in planned.iter().zip(fits) {
-                budget.consume(cost);
-                tracker.record(
-                    population[pop_idx].0.family,
-                    &format!("rung{rung}[{}]", model.name()),
-                    f1,
-                    cost,
-                );
-                leaderboard.push(format!("rung{rung}[{}]", model.name()), f1, cost);
-                population[pop_idx].1 = f1;
-                rung_results.push((population[pop_idx].0.clone(), model, probs, f1));
+            for (&(pop_idx, cost, idx), fit) in planned.iter().zip(fits) {
+                let charged = cost * self.faults.cost_multiplier(idx);
+                budget.consume(charged);
+                match fit {
+                    Ok((model, probs, f1)) => {
+                        tracker.record(
+                            population[pop_idx].0.family,
+                            &format!("rung{rung}[{}]", model.name()),
+                            f1,
+                            charged,
+                        );
+                        leaderboard.push(format!("rung{rung}[{}]", model.name()), f1, charged);
+                        population[pop_idx].1 = f1;
+                        rung_results.push((population[pop_idx].0.clone(), model, probs, f1));
+                    }
+                    Err(err) => {
+                        // quarantined: the configuration keeps its f64::MIN
+                        // score and is never promoted to the next rung
+                        let name = format!(
+                            "rung{rung}[{}]",
+                            population[pop_idx].0.build(seed.wrapping_add(idx)).name()
+                        );
+                        tracker.record_failure(population[pop_idx].0.family, &name, &err, charged);
+                        leaderboard.push_failed(name, err, charged);
+                    }
+                }
             }
             if rung_results.is_empty() {
-                // this rung could not afford a single fit; keep the previous
-                // rung's survivors as the final population
+                // nothing usable came out of this rung (unaffordable, or
+                // every attempted fit failed); keep the previous rung's
+                // survivors as the final population
                 break;
             }
             survivors = rung_results;
-            // promote the top fraction
-            survivors.sort_by(|a, b| b.3.partial_cmp(&a.3).expect("finite F1"));
+            // promote the top fraction (scores are guard-validated finite,
+            // but keep the sort NaN-safe regardless)
+            survivors.sort_by(|a, b| linalg::stats::nan_worst_cmp(b.3, a.3));
             let keep =
                 ((survivors.len() as f64 * self.config.keep_fraction).ceil() as usize).max(1);
             if keep == 1 || subsample >= 1.0 || budget.exhausted() {
@@ -173,26 +212,29 @@ impl AutoMlSystem for SuccessiveHalving {
             rung += 1;
         }
 
-        assert!(
-            !survivors.is_empty(),
-            "budget too small for even one halving evaluation"
-        );
+        if survivors.is_empty() {
+            span.add_units(budget.used());
+            return Err(all_failed_error(&leaderboard, budget, train.len()));
+        }
         let (_, model, probs, _) = survivors.swap_remove(0);
         let (threshold, val_f1) = best_f1_threshold(&probs, &valid_labels);
         self.best = Some(model);
         self.threshold = threshold;
         span.add_units(budget.used());
-        FitReport {
+        Ok(FitReport {
             system: self.name(),
             units_used: budget.used(),
             hours_used: budget.used_hours(),
             val_f1,
             threshold,
             leaderboard,
-        }
+        })
     }
 
     fn predict_proba(&self, x: &Matrix) -> Vec<f32> {
+        // usage-contract violation, not a trial failure: fit() must have
+        // returned Ok before predicting
+        #[allow(clippy::expect_used)]
         self.best
             .as_ref()
             .expect("predict before fit")
@@ -227,8 +269,8 @@ mod tests {
         let valid = blob_data(150, 2);
         let test = blob_data(150, 3);
         let mut sys = SuccessiveHalving::new(7);
-        let mut budget = Budget::hours(1.0);
-        let report = sys.fit(&train, &valid, &mut budget);
+        let mut budget = Budget::hours(1.0).unwrap();
+        let report = sys.fit(&train, &valid, &mut budget).unwrap();
         assert!(report.leaderboard.len() >= HalvingConfig::default().initial_population / 2);
         let f1 = ml::metrics::f1_score(&sys.predict(&test.x), &test.labels_bool());
         assert!(f1 > 85.0, "F1 {f1}");
@@ -239,8 +281,8 @@ mod tests {
         let train = blob_data(600, 4);
         let valid = blob_data(150, 5);
         let mut sys = SuccessiveHalving::new(3);
-        let mut budget = Budget::hours(2.0);
-        let report = sys.fit(&train, &valid, &mut budget);
+        let mut budget = Budget::hours(2.0).unwrap();
+        let report = sys.fit(&train, &valid, &mut budget).unwrap();
         // rung labels must show at least two rungs and rung-1 strictly
         // smaller than rung-0
         let rung0 = report
@@ -266,8 +308,8 @@ mod tests {
         let valid = blob_data(80, 7);
         let run = || {
             let mut sys = SuccessiveHalving::new(5);
-            let mut budget = Budget::hours(0.5);
-            sys.fit(&train, &valid, &mut budget);
+            let mut budget = Budget::hours(0.5).unwrap();
+            sys.fit(&train, &valid, &mut budget).unwrap();
             sys.predict_proba(&valid.x)
         };
         assert_eq!(run(), run());
@@ -278,8 +320,8 @@ mod tests {
         let train = blob_data(300, 8);
         let valid = blob_data(100, 9);
         let mut sys = SuccessiveHalving::new(1);
-        let mut budget = Budget::units(1.5);
-        let report = sys.fit(&train, &valid, &mut budget);
+        let mut budget = Budget::units(1.5).unwrap();
+        let report = sys.fit(&train, &valid, &mut budget).unwrap();
         assert!(!report.leaderboard.is_empty());
         assert!((0.0..=1.0).contains(&sys.threshold()));
     }

@@ -1,4 +1,12 @@
 //! Search-run reporting: leaderboards and fit reports.
+//!
+//! Failed candidates stay on the leaderboard — quarantined, not erased.
+//! A failed entry records *why* it failed ([`ml::TrialError`]) and what it
+//! cost, stores `val_f1 = -inf` (never NaN, which would break the
+//! report's `PartialEq` byte-identity across thread counts), and is
+//! excluded from [`Leaderboard::best`].
+
+use ml::TrialError;
 
 /// One evaluated model in a search run.
 #[derive(Debug, Clone, PartialEq)]
@@ -6,9 +14,19 @@ pub struct LeaderboardEntry {
     /// Human-readable model description.
     pub model: String,
     /// Validation F1 (percentage points) at the model's best threshold.
+    /// `-inf` for failed trials — never NaN.
     pub val_f1: f64,
     /// Budget units this fit consumed.
     pub cost_units: f64,
+    /// Why the trial failed, when it did (`None` for successes).
+    pub error: Option<TrialError>,
+}
+
+impl LeaderboardEntry {
+    /// True when this candidate completed and produced a usable score.
+    pub fn succeeded(&self) -> bool {
+        self.error.is_none()
+    }
 }
 
 /// All models evaluated during a search, in evaluation order.
@@ -23,21 +41,42 @@ impl Leaderboard {
         Self::default()
     }
 
-    /// Record one evaluation.
+    /// Record one successful evaluation. A NaN score is quarantined
+    /// defensively as a failed entry (engines validate upstream; this is
+    /// the last line keeping reports NaN-free).
     pub fn push(&mut self, model: String, val_f1: f64, cost_units: f64) {
+        if val_f1.is_nan() {
+            return self.push_failed(
+                model,
+                TrialError::NonFiniteScore { stage: "score" },
+                cost_units,
+            );
+        }
         self.entries.push(LeaderboardEntry {
             model,
             val_f1,
             cost_units,
+            error: None,
         });
     }
 
-    /// Entries in evaluation order.
+    /// Record one quarantined failure: the candidate is kept (with the
+    /// budget it burned and the reason it failed) but can never win.
+    pub fn push_failed(&mut self, model: String, error: TrialError, cost_units: f64) {
+        self.entries.push(LeaderboardEntry {
+            model,
+            val_f1: f64::NEG_INFINITY,
+            cost_units,
+            error: Some(error),
+        });
+    }
+
+    /// Entries in evaluation order (successes and failures).
     pub fn entries(&self) -> &[LeaderboardEntry] {
         &self.entries
     }
 
-    /// Number of evaluations.
+    /// Number of evaluations, failed ones included.
     pub fn len(&self) -> usize {
         self.entries.len()
     }
@@ -47,18 +86,33 @@ impl Leaderboard {
         self.entries.is_empty()
     }
 
-    /// The best entry by validation F1.
+    /// Quarantined failures, in evaluation order.
+    pub fn failures(&self) -> impl Iterator<Item = &LeaderboardEntry> {
+        self.entries.iter().filter(|e| !e.succeeded())
+    }
+
+    /// Number of quarantined failures.
+    pub fn n_failed(&self) -> usize {
+        self.failures().count()
+    }
+
+    /// The best *successful* entry by validation F1. `None` when every
+    /// trial failed (or none ran).
     pub fn best(&self) -> Option<&LeaderboardEntry> {
         self.entries
             .iter()
-            .max_by(|a, b| a.val_f1.partial_cmp(&b.val_f1).expect("finite F1"))
+            .filter(|e| e.succeeded())
+            .max_by(|a, b| linalg::stats::nan_worst_cmp(a.val_f1, b.val_f1))
     }
 }
 
 /// Summary of one AutoML `fit` run.
 ///
 /// Derives `PartialEq` so the determinism suite can assert that two runs
-/// at different thread counts produced byte-identical reports.
+/// at different thread counts produced byte-identical reports. That is
+/// also why no field may ever hold NaN (`NaN != NaN`): failed trials store
+/// `-inf` and carry their reason in
+/// [`LeaderboardEntry::error`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct FitReport {
     /// Name of the system that produced this report (as in the paper's
@@ -72,8 +126,15 @@ pub struct FitReport {
     pub val_f1: f64,
     /// Decision threshold tuned on validation data.
     pub threshold: f32,
-    /// Every model evaluated along the way.
+    /// Every model evaluated along the way, failures included.
     pub leaderboard: Leaderboard,
+}
+
+impl FitReport {
+    /// The quarantined failures of this run, in evaluation order.
+    pub fn failed_trials(&self) -> Vec<&LeaderboardEntry> {
+        self.leaderboard.failures().collect()
+    }
 }
 
 #[cfg(test)]
@@ -89,5 +150,56 @@ mod tests {
         lb.push("c".into(), 70.0, 1.5);
         assert_eq!(lb.best().unwrap().model, "b");
         assert_eq!(lb.len(), 3);
+        assert_eq!(lb.n_failed(), 0);
+    }
+
+    #[test]
+    fn failures_are_kept_but_never_win() {
+        let mut lb = Leaderboard::new();
+        lb.push_failed(
+            "poisoned".into(),
+            TrialError::NonFiniteScore { stage: "score" },
+            1.0,
+        );
+        assert!(lb.best().is_none(), "all-failed leaderboard has no best");
+        lb.push("ok".into(), 42.0, 1.0);
+        lb.push_failed("crashed".into(), TrialError::FitPanic("boom".into()), 0.5);
+        assert_eq!(lb.len(), 3);
+        assert_eq!(lb.n_failed(), 2);
+        assert_eq!(lb.best().unwrap().model, "ok");
+        let reasons: Vec<&str> = lb
+            .failures()
+            .map(|e| e.error.as_ref().unwrap().kind())
+            .collect();
+        assert_eq!(reasons, ["non_finite_score", "fit_panic"]);
+        // failed entries must be NaN-free so reports stay comparable
+        assert!(lb.entries().iter().all(|e| !e.val_f1.is_nan()));
+    }
+
+    #[test]
+    fn nan_push_is_quarantined_defensively() {
+        let mut lb = Leaderboard::new();
+        lb.push("bad".into(), f64::NAN, 1.0);
+        assert!(lb.best().is_none());
+        assert_eq!(lb.n_failed(), 1);
+        assert!(!lb.entries()[0].val_f1.is_nan());
+    }
+
+    #[test]
+    fn fit_report_lists_failed_trials() {
+        let mut lb = Leaderboard::new();
+        lb.push("ok".into(), 60.0, 1.0);
+        lb.push_failed("bad".into(), TrialError::Injected("trial failure"), 0.2);
+        let report = FitReport {
+            system: "Test",
+            units_used: 1.2,
+            hours_used: 0.1,
+            val_f1: 60.0,
+            threshold: 0.5,
+            leaderboard: lb,
+        };
+        let failed = report.failed_trials();
+        assert_eq!(failed.len(), 1);
+        assert_eq!(failed[0].model, "bad");
     }
 }

@@ -24,9 +24,14 @@
 //! DBLP-GoogleScholar but minutes on the beer dataset).
 
 #![warn(missing_docs)]
+#![cfg_attr(
+    not(test),
+    warn(clippy::unwrap_used, clippy::expect_used, clippy::panic)
+)]
 
 pub mod budget;
 pub mod ensemble;
+pub mod fault;
 pub mod gluon_like;
 pub mod h2o_like;
 pub mod halving;
@@ -35,12 +40,15 @@ pub mod sklearn_like;
 pub mod smbo;
 pub mod space;
 pub mod telemetry;
+pub(crate) mod trial;
 
 use linalg::Matrix;
 use ml::dataset::TabularData;
 
 pub use budget::Budget;
-pub use leaderboard::{FitReport, Leaderboard};
+pub use fault::{Fault, FaultPlan};
+pub use leaderboard::{FitReport, Leaderboard, LeaderboardEntry};
+pub use ml::TrialError;
 
 /// A complete AutoML system: give it train/validation data and a budget,
 /// get a fitted predictor with a validation-tuned decision threshold.
@@ -50,7 +58,19 @@ pub trait AutoMlSystem {
 
     /// Run the system's full search under `budget`. Models are trained on
     /// `train`; all selection, stacking and threshold tuning uses `valid`.
-    fn fit(&mut self, train: &TabularData, valid: &TabularData, budget: &mut Budget) -> FitReport;
+    ///
+    /// Individual candidate failures (NaN scores, panicking fits,
+    /// injected faults) are quarantined on the report's leaderboard and
+    /// the search continues; `Err` means the *run itself* could not
+    /// produce a predictor — every trial failed
+    /// ([`TrialError::AllTrialsFailed`]) or the budget could not cover a
+    /// single fit ([`TrialError::BudgetExceeded`]).
+    fn fit(
+        &mut self,
+        train: &TabularData,
+        valid: &TabularData,
+        budget: &mut Budget,
+    ) -> Result<FitReport, TrialError>;
 
     /// Match probability per row (requires a prior `fit`).
     fn predict_proba(&self, x: &Matrix) -> Vec<f32>;

@@ -14,15 +14,17 @@
 
 use crate::budget::{fit_cost, Budget};
 use crate::ensemble::{greedy_selection, weighted_average};
+use crate::fault::FaultPlan;
 use crate::leaderboard::{FitReport, Leaderboard};
 use crate::smbo::{propose, warm_starts, Surrogate};
 use crate::space::{sklearn_families, Candidate};
 use crate::telemetry::TrialTracker;
+use crate::trial::{all_failed_error, guard_trial};
 use crate::AutoMlSystem;
 use linalg::{Matrix, Rng};
 use ml::dataset::TabularData;
 use ml::metrics::best_f1_threshold;
-use ml::Classifier;
+use ml::{Classifier, TrialError};
 
 /// Minimum random evaluations before the surrogate takes over.
 const MIN_RANDOM_EVALS: usize = 8;
@@ -39,16 +41,24 @@ pub const SMBO_BATCH: usize = 4;
 /// The AutoSklearn-style engine. See module docs.
 pub struct AutoSklearnStyle {
     seed: u64,
+    faults: FaultPlan,
     members: Vec<Box<dyn Classifier>>,
     weights: Vec<f32>,
     threshold: f32,
 }
 
 impl AutoSklearnStyle {
-    /// New engine with a deterministic seed.
+    /// New engine with a deterministic seed (faults come from the
+    /// `AUTOML_EM_FAULTS` environment variable, usually none).
     pub fn new(seed: u64) -> Self {
+        Self::with_faults(seed, FaultPlan::from_env())
+    }
+
+    /// New engine with an explicit fault-injection plan (tests).
+    pub fn with_faults(seed: u64, faults: FaultPlan) -> Self {
         Self {
             seed,
+            faults,
             members: Vec::new(),
             weights: Vec::new(),
             threshold: 0.5,
@@ -61,7 +71,12 @@ impl AutoMlSystem for AutoSklearnStyle {
         "AutoSklearn"
     }
 
-    fn fit(&mut self, train: &TabularData, valid: &TabularData, budget: &mut Budget) -> FitReport {
+    fn fit(
+        &mut self,
+        train: &TabularData,
+        valid: &TabularData,
+        budget: &mut Budget,
+    ) -> Result<FitReport, TrialError> {
         let span = obs::span("automl.AutoSklearn.fit");
         let mut tracker = TrialTracker::new(self.name());
         let mut rng = Rng::new(self.seed ^ 0xA51);
@@ -121,22 +136,40 @@ impl AutoMlSystem for AutoSklearnStyle {
             }
 
             // --- fit the batch in parallel; results come back in
-            //     submission order whatever the scheduling ---
+            //     submission order whatever the scheduling. Each fit runs
+            //     inside the trial boundary so a failing candidate — panic,
+            //     NaN score, injected fault — is quarantined as an `Err`
+            //     without losing the worker or the batch ---
+            let faults = &self.faults;
             let evals = par::map(&planned, |(candidate, _, idx)| {
-                let mut model = candidate.build(seed.wrapping_add(*idx));
-                model.fit(&train.x, &train.y);
-                let probs = model.predict_proba(&valid.x);
-                let (_, f1) = best_f1_threshold(&probs, &valid_labels);
-                (model, probs, f1)
+                guard_trial(faults.get(*idx), || {
+                    let mut model = candidate.build(seed.wrapping_add(*idx));
+                    model.fit(&train.x, &train.y)?;
+                    let probs = model.predict_proba(&valid.x);
+                    let (_, f1) = best_f1_threshold(&probs, &valid_labels);
+                    Ok((model, probs, f1))
+                })
             });
 
             // --- charge budget and emit telemetry in submission order ---
-            for ((candidate, cost, _), (model, probs, f1)) in planned.into_iter().zip(evals) {
-                budget.consume(cost);
-                tracker.record(candidate.family, &model.name(), f1, cost);
-                leaderboard.push(model.name(), f1, cost);
-                history.push((candidate, f1 / 100.0));
-                fitted.push((model, probs));
+            for ((candidate, cost, idx), eval) in planned.into_iter().zip(evals) {
+                let charged = cost * self.faults.cost_multiplier(idx);
+                budget.consume(charged);
+                match eval {
+                    Ok((model, probs, f1)) => {
+                        tracker.record(candidate.family, &model.name(), f1, charged);
+                        leaderboard.push(model.name(), f1, charged);
+                        history.push((candidate, f1 / 100.0));
+                        fitted.push((model, probs));
+                    }
+                    Err(err) => {
+                        // the attempted work is charged, the candidate is
+                        // quarantined, and the search continues
+                        let name = candidate.build(seed.wrapping_add(idx)).name();
+                        tracker.record_failure(candidate.family, &name, &err, charged);
+                        leaderboard.push_failed(name, err, charged);
+                    }
+                }
             }
             if starved {
                 break;
@@ -144,10 +177,10 @@ impl AutoMlSystem for AutoSklearnStyle {
         }
 
         // greedy ensemble selection over everything evaluated
-        assert!(
-            !fitted.is_empty(),
-            "budget too small for even one AutoSklearn evaluation"
-        );
+        if fitted.is_empty() {
+            span.add_units(budget.used());
+            return Err(all_failed_error(&leaderboard, budget, train.len()));
+        }
         let val_probs: Vec<Vec<f32>> = fitted.iter().map(|(_, p)| p.clone()).collect();
         let weights = greedy_selection(&val_probs, &valid_labels, ENSEMBLE_ROUNDS);
         let ens_val = weighted_average(&val_probs, &weights);
@@ -166,14 +199,14 @@ impl AutoMlSystem for AutoSklearnStyle {
         // the real AutoSklearn always runs out its clock
         budget.drain();
         span.add_units(budget.used());
-        FitReport {
+        Ok(FitReport {
             system: self.name(),
             units_used: budget.used(),
             hours_used: budget.used_hours(),
             val_f1,
             threshold,
             leaderboard,
-        }
+        })
     }
 
     fn predict_proba(&self, x: &Matrix) -> Vec<f32> {
@@ -212,8 +245,8 @@ mod tests {
         let valid = blob_data(120, 2);
         let test = blob_data(120, 3);
         let mut sys = AutoSklearnStyle::new(7);
-        let mut budget = Budget::hours(1.0);
-        let report = sys.fit(&train, &valid, &mut budget);
+        let mut budget = Budget::hours(1.0).unwrap();
+        let report = sys.fit(&train, &valid, &mut budget).unwrap();
         assert!(budget.exhausted(), "AutoSklearn must drain its budget");
         assert!(
             report.leaderboard.len() >= 4,
@@ -230,8 +263,8 @@ mod tests {
         let train = blob_data(150, 4);
         let valid = blob_data(60, 5);
         let mut sys = AutoSklearnStyle::new(1);
-        let mut budget = Budget::hours(0.5);
-        let report = sys.fit(&train, &valid, &mut budget);
+        let mut budget = Budget::hours(0.5).unwrap();
+        let report = sys.fit(&train, &valid, &mut budget).unwrap();
         assert!((report.hours_used - 0.5).abs() < 1e-9);
     }
 
@@ -241,8 +274,8 @@ mod tests {
         let valid = blob_data(60, 7);
         let run = |seed| {
             let mut sys = AutoSklearnStyle::new(seed);
-            let mut budget = Budget::hours(0.3);
-            sys.fit(&train, &valid, &mut budget);
+            let mut budget = Budget::hours(0.3).unwrap();
+            sys.fit(&train, &valid, &mut budget).unwrap();
             sys.predict_proba(&valid.x)
         };
         assert_eq!(run(9), run(9));
@@ -253,11 +286,11 @@ mod tests {
         let train = blob_data(200, 8);
         let valid = blob_data(80, 9);
         let mut small_sys = AutoSklearnStyle::new(3);
-        let mut small_budget = Budget::hours(0.3);
-        let small = small_sys.fit(&train, &valid, &mut small_budget);
+        let mut small_budget = Budget::hours(0.3).unwrap();
+        let small = small_sys.fit(&train, &valid, &mut small_budget).unwrap();
         let mut big_sys = AutoSklearnStyle::new(3);
-        let mut big_budget = Budget::hours(2.0);
-        let big = big_sys.fit(&train, &valid, &mut big_budget);
+        let mut big_budget = Budget::hours(2.0).unwrap();
+        let big = big_sys.fit(&train, &valid, &mut big_budget).unwrap();
         assert!(big.leaderboard.len() > small.leaderboard.len());
     }
 }

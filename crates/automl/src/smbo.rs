@@ -88,7 +88,7 @@ fn grow(
     let mut best: Option<(usize, f32, f64)> = None;
     for &j in &features {
         let mut vals: Vec<(f32, usize)> = indices.iter().map(|&i| (x[(i, j)], i)).collect();
-        vals.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
+        vals.sort_by(|a, b| linalg::stats::nan_last_cmp_f32(a.0, b.0));
         for s in 1..vals.len() {
             if vals[s].0 == vals[s - 1].0 {
                 continue;
@@ -179,7 +179,7 @@ pub fn propose(
     let mut pool: Vec<Candidate> = (0..48).map(|_| Candidate::sample(families, rng)).collect();
     // local search around the current top-3
     let mut top: Vec<&(Candidate, f64)> = history.iter().collect();
-    top.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite score"));
+    top.sort_by(|a, b| linalg::stats::nan_worst_cmp(b.1, a.1));
     for (cand, _) in top.iter().take(3) {
         for _ in 0..8 {
             pool.push(cand.perturb(0.15, rng));
@@ -189,9 +189,11 @@ pub fn propose(
         .max_by(|a, b| {
             let ea = surrogate.ei(&a.encode(families), best_score);
             let eb = surrogate.ei(&b.encode(families), best_score);
-            ea.partial_cmp(&eb).expect("finite EI")
+            // a NaN EI (degenerate surrogate) must never win the argmax
+            linalg::stats::nan_worst_cmp(ea, eb)
         })
-        .expect("non-empty pool")
+        // unreachable (the pool always holds 48+ samples), but panic-free
+        .unwrap_or_else(|| Candidate::sample(families, rng))
 }
 
 /// Meta-learning warm starts: hand-picked configurations that historically

@@ -194,7 +194,7 @@ mod tests {
         for family in sklearn_families() {
             let c = Candidate::sample(&[family], &mut rng);
             let mut model = c.build(7);
-            model.fit(&x, &y);
+            model.fit(&x, &y).unwrap();
             let probs = model.predict_proba(&x);
             assert_eq!(probs.len(), 60);
             assert!(
@@ -243,8 +243,8 @@ mod tests {
         let (x, y) = tiny_data();
         let mut m1 = c.build(9);
         let mut m2 = c.build(9);
-        m1.fit(&x, &y);
-        m2.fit(&x, &y);
+        m1.fit(&x, &y).unwrap();
+        m2.fit(&x, &y).unwrap();
         assert_eq!(m1.predict_proba(&x), m2.predict_proba(&x));
     }
 }

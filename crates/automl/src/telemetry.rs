@@ -10,6 +10,7 @@
 //! set and in [`obs::recent_trials`] always.
 
 use crate::budget::ModelFamily;
+use ml::TrialError;
 
 /// Per-search trial telemetry (one per `fit` call).
 pub struct TrialTracker {
@@ -17,6 +18,7 @@ pub struct TrialTracker {
     n: usize,
     best: f64,
     trials: &'static obs::Counter,
+    failed: &'static obs::Counter,
     units: &'static obs::Gauge,
 }
 
@@ -28,6 +30,7 @@ impl TrialTracker {
             n: 0,
             best: f64::NEG_INFINITY,
             trials: obs::counter(&format!("automl.{engine}.trials")),
+            failed: obs::counter(&format!("automl.{engine}.failed_trials")),
             units: obs::gauge(&format!("automl.{engine}.units_spent")),
         }
     }
@@ -44,9 +47,37 @@ impl TrialTracker {
             val_f1,
             cost_units,
             best_so_far: self.best,
+            error: None,
         });
         self.n += 1;
         self.trials.inc();
+        self.units.add(cost_units);
+    }
+
+    /// Record one quarantined candidate failure. The trial still counts
+    /// toward the trial index and charges `cost_units` (the work was
+    /// attempted), but never advances best-so-far; its `val_f1` is stored
+    /// as `-inf` so the event stays NaN-free and comparable.
+    pub fn record_failure(
+        &mut self,
+        family: ModelFamily,
+        model: &str,
+        error: &TrialError,
+        cost_units: f64,
+    ) {
+        obs::events::emit_trial(obs::TrialEvent {
+            engine: self.engine,
+            trial: self.n,
+            family: format!("{family:?}"),
+            model: model.to_owned(),
+            val_f1: f64::NEG_INFINITY,
+            cost_units,
+            best_so_far: self.best,
+            error: Some(error.to_string()),
+        });
+        self.n += 1;
+        self.trials.inc();
+        self.failed.inc();
         self.units.add(cost_units);
     }
 
@@ -73,5 +104,28 @@ mod tests {
         assert_eq!(obs::counter("automl.t.tel.Engine.trials").get(), 2);
         let spent = obs::gauge("automl.t.tel.Engine.units_spent").get();
         assert!((spent - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tracker_records_failures_without_moving_best() {
+        let mut t = TrialTracker::new("t.tel.FailEngine");
+        t.record(ModelFamily::Gbm, "gbm(rounds=50)", 70.0, 1.0);
+        t.record_failure(
+            ModelFamily::Knn,
+            "knn(k=5)",
+            &TrialError::NonFiniteScore { stage: "score" },
+            0.5,
+        );
+        assert_eq!(t.trials(), 2);
+        let trials = obs::recent_trials(Some("t.tel.FailEngine"));
+        assert_eq!(trials.len(), 2);
+        let failed = &trials[1];
+        assert_eq!(failed.val_f1, f64::NEG_INFINITY);
+        assert_eq!(failed.best_so_far, 70.0, "failure must not advance best");
+        assert!(failed.error.as_deref().unwrap().contains("non-finite"));
+        assert_eq!(
+            obs::counter("automl.t.tel.FailEngine.failed_trials").get(),
+            1
+        );
     }
 }

@@ -1,0 +1,166 @@
+//! The guarded trial boundary every engine evaluates candidates through.
+//!
+//! [`guard_trial`] is the single place where a candidate fit can go wrong
+//! without taking the search down with it. It applies any injected
+//! [`Fault`], catches panics from model code via [`par::catch_panic`], and
+//! validates that the trial's outputs are finite — so by the time an
+//! engine sees `Ok`, the probabilities and score are safe to store in a
+//! [`crate::FitReport`] (which must stay NaN-free to keep its `PartialEq`
+//! byte-identity contract across thread counts).
+
+use crate::budget::{fit_cost, Budget, ModelFamily};
+use crate::fault::{Fault, INJECTED_PANIC_MSG};
+use crate::leaderboard::Leaderboard;
+use ml::TrialError;
+
+/// Outcome of one guarded candidate evaluation: the fitted model,
+/// its validation probabilities and its validation score.
+pub(crate) type TrialOutcome<T> = Result<(T, Vec<f32>, f64), TrialError>;
+
+/// Run one candidate evaluation inside the fault boundary.
+///
+/// `fault` is the injected fault scheduled for this trial (if any); `f`
+/// builds, fits, predicts and scores the candidate, returning
+/// `(model, validation probabilities, score)`. On success the
+/// probabilities and the score are checked for finiteness — a NaN or
+/// infinity anywhere quarantines the trial as
+/// [`TrialError::NonFiniteScore`] rather than letting it poison a sort or
+/// a stored report.
+pub(crate) fn guard_trial<T>(
+    fault: Option<Fault>,
+    f: impl FnOnce() -> TrialOutcome<T>,
+) -> TrialOutcome<T> {
+    if matches!(fault, Some(Fault::Fail)) {
+        return Err(TrialError::Injected("trial failure"));
+    }
+    let caught = par::catch_panic(move || {
+        if matches!(fault, Some(Fault::Panic)) {
+            // Payload deliberately matches INJECTED_PANIC_MSG so the
+            // test-only panic hook can keep it off stderr. This panic is
+            // the fault being injected — it is caught two lines down by
+            // the same `catch_panic` boundary that guards real fits.
+            #[allow(clippy::panic)]
+            std::panic::panic_any(INJECTED_PANIC_MSG.to_owned());
+        }
+        let mut out = f();
+        if matches!(fault, Some(Fault::NanScore)) {
+            if let Ok((_, _, score)) = &mut out {
+                *score = f64::NAN;
+            }
+        }
+        out
+    });
+    let (model, probs, score) = match caught {
+        Ok(result) => result?,
+        Err(panic_msg) => return Err(TrialError::FitPanic(panic_msg)),
+    };
+    if probs.iter().any(|p| !p.is_finite()) {
+        return Err(TrialError::NonFiniteScore {
+            stage: "probability",
+        });
+    }
+    if !score.is_finite() {
+        return Err(TrialError::NonFiniteScore { stage: "score" });
+    }
+    Ok((model, probs, score))
+}
+
+/// The run-level error when a search produced no usable model: every
+/// attempted trial failed ([`TrialError::AllTrialsFailed`]), or the
+/// budget never covered even the cheapest fit
+/// ([`TrialError::BudgetExceeded`]).
+pub(crate) fn all_failed_error(
+    leaderboard: &Leaderboard,
+    budget: &Budget,
+    train_rows: usize,
+) -> TrialError {
+    if leaderboard.is_empty() {
+        TrialError::budget_exceeded(
+            fit_cost(ModelFamily::NaiveBayes, train_rows),
+            budget.remaining(),
+        )
+    } else {
+        TrialError::AllTrialsFailed {
+            attempted: leaderboard.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ok_trial() -> TrialOutcome<&'static str> {
+        Ok(("model", vec![0.1, 0.9], 72.5))
+    }
+
+    #[test]
+    fn clean_trial_passes_through() {
+        let (m, probs, score) = guard_trial(None, ok_trial).unwrap();
+        assert_eq!(m, "model");
+        assert_eq!(probs, vec![0.1, 0.9]);
+        assert_eq!(score, 72.5);
+    }
+
+    #[test]
+    fn fail_fault_short_circuits() {
+        let err = guard_trial::<&'static str>(Some(Fault::Fail), || {
+            unreachable!("Fail must not run the trial")
+        })
+        .unwrap_err();
+        assert_eq!(err.kind(), "injected");
+    }
+
+    #[test]
+    fn nan_fault_is_quarantined_as_non_finite_score() {
+        let err = guard_trial(Some(Fault::NanScore), ok_trial).unwrap_err();
+        assert_eq!(err, TrialError::NonFiniteScore { stage: "score" });
+    }
+
+    #[test]
+    fn panic_fault_is_caught_at_the_boundary() {
+        crate::fault::silence_injected_panic_output();
+        let err = guard_trial(Some(Fault::Panic), ok_trial).unwrap_err();
+        assert_eq!(err.kind(), "fit_panic");
+        assert!(err.to_string().contains("injected fault: panic"));
+    }
+
+    #[test]
+    fn real_panics_are_caught_too() {
+        crate::fault::silence_injected_panic_output();
+        let err: TrialError = guard_trial::<()>(None, || {
+            std::panic::panic_any(format!("{INJECTED_PANIC_MSG} (simulated model bug)"));
+        })
+        .unwrap_err();
+        assert_eq!(err.kind(), "fit_panic");
+    }
+
+    #[test]
+    fn non_finite_probabilities_are_quarantined() {
+        let err = guard_trial(None, || Ok(("m", vec![0.2, f32::NAN], 50.0))).unwrap_err();
+        assert_eq!(
+            err,
+            TrialError::NonFiniteScore {
+                stage: "probability"
+            }
+        );
+        let err = guard_trial(None, || Ok(("m", vec![f32::INFINITY], 50.0))).unwrap_err();
+        assert_eq!(err.kind(), "non_finite_score");
+    }
+
+    #[test]
+    fn non_finite_score_is_quarantined() {
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let err = guard_trial(None, || Ok(("m", vec![0.5], bad))).unwrap_err();
+            assert_eq!(err, TrialError::NonFiniteScore { stage: "score" });
+        }
+    }
+
+    #[test]
+    fn inflate_cost_does_not_alter_the_outcome() {
+        // cost inflation is applied by the engine's budget accounting, not
+        // by the guard — the trial itself must be untouched
+        let (_, _, score) = guard_trial(Some(Fault::InflateCost(3.0)), ok_trial).unwrap();
+        assert_eq!(score, 72.5);
+    }
+}

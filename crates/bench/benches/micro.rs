@@ -64,12 +64,12 @@ fn main() {
             n_rounds: 50,
             ..BoostConfig::default()
         });
-        m.fit(&x, &y);
+        m.fit(&x, &y).expect("bench fit failed");
         black_box(m.predict_proba(&x)[0])
     });
     bench("micro/model_fit_500x64/random_forest_30trees", 5, || {
         let mut m = RandomForest::new(ForestConfig::random_forest(30, 1));
-        m.fit(&x, &y);
+        m.fit(&x, &y).expect("bench fit failed");
         black_box(m.predict_proba(&x)[0])
     });
 

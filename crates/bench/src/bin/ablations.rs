@@ -93,7 +93,8 @@ fn main() {
                 seed,
                 ..PipelineConfig::default()
             },
-        );
+        )
+        .expect("pipeline run failed");
         cells.push(r.test_f1);
         combiner_table.row(vec![
             p.code.to_owned(),
@@ -145,7 +146,8 @@ fn main() {
                 seed,
                 ..PipelineConfig::default()
             },
-        );
+        )
+        .expect("pipeline run failed");
         let adapter2 = EmAdapter::new(TokenizerMode::Hybrid, albert, Combiner::Average);
         let mut os_sys = bench::experiments::make_system(0, seed);
         let oversampled = run_pipeline(
@@ -157,7 +159,8 @@ fn main() {
                 oversample: true,
                 seed,
             },
-        );
+        )
+        .expect("pipeline run failed");
         os_table.row(vec![
             p.code.to_owned(),
             f1(plain.test_f1),
@@ -200,7 +203,8 @@ fn main() {
                 seed,
                 ..PipelineConfig::default()
             },
-        );
+        )
+        .expect("pipeline run failed");
         local_table.row(vec![
             p.code.to_owned(),
             f1(pretrained.test_f1),

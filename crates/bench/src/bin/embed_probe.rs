@@ -39,7 +39,7 @@ fn main() {
                 n_rounds: 150,
                 ..Default::default()
             });
-            m.fit(&tr.x, &tr.y);
+            m.fit(&tr.x, &tr.y).expect("probe fit failed");
             let (thr, vf1) = best_f1_threshold(&m.predict_proba(&va.x), &va.labels_bool());
             let tf1 = f1_at_threshold(&m.predict_proba(&te.x), &te.labels_bool(), thr);
             println!(

@@ -61,8 +61,10 @@ fn run_fit(
     let busy0 = obs::counter("par.busy_us").get();
     let t0 = Instant::now();
     let mut sys = SuccessiveHalving::new(seed);
-    let mut budget = Budget::hours(24.0);
-    let report = sys.fit(train, valid, &mut budget);
+    let mut budget = Budget::hours(24.0).expect("valid probe budget");
+    let report = sys
+        .fit(train, valid, &mut budget)
+        .expect("probe fit failed");
     let wall = t0.elapsed().as_secs_f64();
     let busy = (obs::counter("par.busy_us").get() - busy0) as f64 / 1e6;
     let probs = sys.predict_proba(&valid.x);

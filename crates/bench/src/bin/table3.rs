@@ -64,8 +64,8 @@ fn main() {
         for cells in &all_cells {
             let best = cells
                 .iter()
-                .max_by(|a, b| a.f1[sys_idx].partial_cmp(&b.f1[sys_idx]).unwrap())
-                .unwrap();
+                .max_by(|a, b| linalg::stats::nan_worst_cmp(a.f1[sys_idx], b.f1[sys_idx]))
+                .expect("at least one embedder family per dataset");
             let fam_idx = EmbedderFamily::ALL
                 .iter()
                 .position(|&f| f == best.family)

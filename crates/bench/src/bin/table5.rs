@@ -55,7 +55,9 @@ fn main() {
                     seed,
                     ..PipelineConfig::default()
                 };
-                slot[i] = run_encoded(sys.as_mut(), &train, &valid, &test, cfg, p.code).test_f1;
+                slot[i] = run_encoded(sys.as_mut(), &train, &valid, &test, cfg, p.code)
+                    .expect("encoded run failed")
+                    .test_f1;
             }
         }
         Row {

@@ -116,7 +116,7 @@ pub fn table2_row(profile: &DatasetProfile, scale: f64, seed: u64) -> Table2Row 
     let mut systems = [(0.0, 0.0); 3];
     for (i, slot) in systems.iter_mut().enumerate() {
         let mut sys = make_system(i, seed);
-        let r = run_raw(sys.as_mut(), &dataset, cfg);
+        let r = run_raw(sys.as_mut(), &dataset, cfg).expect("raw AutoML run failed");
         *slot = (r.test_f1, r.hours_used);
     }
     let dm = train_deepmatcher(
@@ -180,7 +180,8 @@ pub fn table3_rows(
                     &test,
                     cfg,
                     profile.code,
-                );
+                )
+                .expect("encoded AutoML run failed");
                 *slot = r.test_f1;
             }
             cells.push(GridCell {
@@ -216,6 +217,7 @@ pub fn adapter_run(
             ..PipelineConfig::default()
         },
     )
+    .expect("adapter pipeline run failed")
 }
 
 /// Run a closure per profile in parallel, preserving profile order.

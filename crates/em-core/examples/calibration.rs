@@ -75,7 +75,7 @@ fn main() {
                 n_rounds: 80,
                 ..Default::default()
             });
-            gbm.fit(&xt, &yt);
+            gbm.fit(&xt, &yt).expect("calibration fit failed");
             let vb: Vec<bool> = yv.iter().map(|&v| v >= 0.5).collect();
             let (thr, _) = best_f1_threshold(&gbm.predict_proba(&xv), &vb);
             let tb: Vec<bool> = ys.iter().map(|&v| v >= 0.5).collect();

@@ -25,7 +25,7 @@ fn main() {
                 max_depth: 7,
                 ..Default::default()
             });
-            m.fit(&trx, &tr.y);
+            m.fit(&trx, &tr.y).expect("probe fit failed");
             let (thr, _) = best_f1_threshold(&m.predict_proba(&vax), &va.labels_bool());
             let tf1 = f1_at_threshold(&m.predict_proba(&tex), &te.labels_bool(), thr);
             println!(

@@ -22,6 +22,11 @@
 //! implements the *no-adapter* path of Table 2 (word2vec-per-column
 //! features, the paper's §5.1 preprocessing for AutoSklearn).
 
+#![cfg_attr(
+    not(test),
+    warn(clippy::unwrap_used, clippy::expect_used, clippy::panic)
+)]
+
 pub mod adapter;
 pub mod baseline;
 pub mod combiner;
@@ -29,6 +34,7 @@ pub mod pipeline;
 pub mod tokenizer;
 
 pub use adapter::EmAdapter;
+pub use automl::TrialError;
 pub use combiner::Combiner;
 pub use pipeline::{run_encoded, run_pipeline, run_raw, PipelineConfig, PipelineResult};
 pub use tokenizer::TokenizerMode;

@@ -4,7 +4,7 @@
 
 use crate::adapter::EmAdapter;
 use crate::baseline::RawFeaturizer;
-use automl::{AutoMlSystem, Budget};
+use automl::{AutoMlSystem, Budget, TrialError};
 use em_data::{EmDataset, Split};
 use linalg::Rng;
 use ml::dataset::TabularData;
@@ -48,8 +48,10 @@ pub struct PipelineResult {
     pub val_f1: f64,
     /// Paper-hours of budget consumed.
     pub hours_used: f64,
-    /// Models evaluated during the search.
+    /// Models evaluated during the search (quarantined failures included).
     pub models_evaluated: usize,
+    /// Trials that failed and were quarantined on the leaderboard.
+    pub models_failed: usize,
     /// Embedding-cache hit rate over the encode stage (`None` on paths
     /// that never touch the embedding cache, e.g. the raw baseline).
     pub cache_hit_rate: Option<f64>,
@@ -57,6 +59,11 @@ pub struct PipelineResult {
 
 /// Run an already-encoded train/valid/test triple through a system.
 /// `dataset` is the dataset code carried into the result and trace.
+///
+/// Individual candidate failures are quarantined inside the system's
+/// search (see [`automl::AutoMlSystem::fit`]); `Err` means the run itself
+/// produced no predictor — an invalid budget, every trial failing, or a
+/// budget too small for a single fit.
 pub fn run_encoded(
     system: &mut dyn AutoMlSystem,
     train: &TabularData,
@@ -64,7 +71,7 @@ pub fn run_encoded(
     test: &TabularData,
     config: PipelineConfig,
     dataset: &str,
-) -> PipelineResult {
+) -> Result<PipelineResult, TrialError> {
     let span = obs::span("pipeline.run");
     // scale features on train statistics (AutoML tools all do this
     // internally for scale-sensitive members like kNN and linear models)
@@ -82,10 +89,10 @@ pub fn run_encoded(
         let mut rng = Rng::new(config.seed ^ 0x05A);
         train = train.oversample_minority(&mut rng);
     }
-    let mut budget = Budget::hours(config.budget_hours);
+    let mut budget = Budget::hours(config.budget_hours)?;
     let report = {
         let _s = obs::span("pipeline.fit"); // engine spans nest under this
-        system.fit(&train, &valid, &mut budget)
+        system.fit(&train, &valid, &mut budget)?
     };
     let preds = {
         let _s = obs::span("pipeline.predict");
@@ -106,9 +113,13 @@ pub fn run_encoded(
                 "models_evaluated",
                 obs::Value::U64(report.leaderboard.len() as u64),
             ),
+            (
+                "models_failed",
+                obs::Value::U64(report.leaderboard.n_failed() as u64),
+            ),
         ],
     );
-    PipelineResult {
+    Ok(PipelineResult {
         system: report.system,
         dataset: dataset.to_owned(),
         seed: config.seed,
@@ -116,8 +127,9 @@ pub fn run_encoded(
         val_f1: report.val_f1,
         hours_used: report.hours_used,
         models_evaluated: report.leaderboard.len(),
+        models_failed: report.leaderboard.n_failed(),
         cache_hit_rate: None,
-    }
+    })
 }
 
 /// Adapter ⊕ AutoML: the paper's proposed pipeline (§5.2, §5.3).
@@ -126,7 +138,7 @@ pub fn run_pipeline(
     adapter: &EmAdapter<'_>,
     dataset: &EmDataset,
     config: PipelineConfig,
-) -> PipelineResult {
+) -> Result<PipelineResult, TrialError> {
     let (train, valid, test) = {
         let _s = obs::span("pipeline.encode");
         (
@@ -135,12 +147,12 @@ pub fn run_pipeline(
             adapter.encode_split(dataset, Split::Test),
         )
     };
-    let mut result = run_encoded(system, &train, &valid, &test, config, dataset.name());
+    let mut result = run_encoded(system, &train, &valid, &test, config, dataset.name())?;
     result.cache_hit_rate = adapter.cache_hit_rate();
     if let Some(rate) = result.cache_hit_rate {
         obs::gauge("embed.cache.hit_rate").set(rate);
     }
-    result
+    Ok(result)
 }
 
 /// Raw AutoML without the adapter: the Table 2 baseline path.
@@ -148,7 +160,7 @@ pub fn run_raw(
     system: &mut dyn AutoMlSystem,
     dataset: &EmDataset,
     config: PipelineConfig,
-) -> PipelineResult {
+) -> Result<PipelineResult, TrialError> {
     let featurizer = RawFeaturizer::fit(dataset, config.seed);
     let (train, valid, test) = {
         let _s = obs::span("pipeline.encode_raw");
@@ -227,9 +239,9 @@ mod tests {
             let d = MagellanDataset::SBR.profile().generate(seed);
             let adapter = EmAdapter::new(TokenizerMode::Hybrid, &emb, Combiner::Average);
             let mut sys1 = AutoSklearnStyle::new(1);
-            let adapted = run_pipeline(&mut sys1, &adapter, &d, cfg);
+            let adapted = run_pipeline(&mut sys1, &adapter, &d, cfg).unwrap();
             let mut sys2 = AutoSklearnStyle::new(1);
-            let raw = run_raw(&mut sys2, &d, cfg);
+            let raw = run_raw(&mut sys2, &d, cfg).unwrap();
             if adapted.test_f1 >= raw.test_f1 - 1.0
                 && adapted.test_f1 > 40.0
                 && adapted.models_evaluated > 0
@@ -269,7 +281,8 @@ mod tests {
                 oversample: true,
                 seed: 5,
             },
-        );
+        )
+        .unwrap();
         assert!(r.test_f1.is_finite());
         assert!(r.hours_used > 0.0);
         assert_eq!(r.system, "AutoSklearn");

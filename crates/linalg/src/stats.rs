@@ -3,6 +3,60 @@
 //! Shared by the dataset generators (checking class-balance targets), the
 //! AutoML surrogate model (expected improvement needs the normal CDF/PDF) and
 //! the experiment report code (means, quantiles over F1 scores).
+//!
+//! Also home to the workspace's NaN-safe comparators. A diverging trial can
+//! legitimately produce NaN scores, so nothing in the stack is allowed to
+//! `partial_cmp().expect(...)` on a score: sorts use [`nan_last_cmp`] /
+//! [`nan_worst_cmp`] (and their `f32` twins), which give NaN a fixed,
+//! deterministic position instead of panicking.
+
+use std::cmp::Ordering;
+
+/// Total order for ascending sort keys where **NaN sorts last** (treated
+/// as larger than every finite value and +inf). Unlike [`f64::total_cmp`],
+/// negative NaN is *also* last, so the position of a NaN never depends on
+/// its sign bit.
+pub fn nan_last_cmp(a: f64, b: f64) -> Ordering {
+    match (a.is_nan(), b.is_nan()) {
+        (true, true) => Ordering::Equal,
+        (true, false) => Ordering::Greater,
+        (false, true) => Ordering::Less,
+        (false, false) => a.total_cmp(&b),
+    }
+}
+
+/// `f32` twin of [`nan_last_cmp`].
+pub fn nan_last_cmp_f32(a: f32, b: f32) -> Ordering {
+    match (a.is_nan(), b.is_nan()) {
+        (true, true) => Ordering::Equal,
+        (true, false) => Ordering::Greater,
+        (false, true) => Ordering::Less,
+        (false, false) => a.total_cmp(&b),
+    }
+}
+
+/// Total order for *scores* where **NaN is the worst value** (smaller than
+/// everything, even -inf). Use with `max_by` to pick a best score, or as
+/// `|a, b| nan_worst_cmp(b, a)` for a descending best-first sort — in both
+/// cases NaN candidates deterministically lose.
+pub fn nan_worst_cmp(a: f64, b: f64) -> Ordering {
+    match (a.is_nan(), b.is_nan()) {
+        (true, true) => Ordering::Equal,
+        (true, false) => Ordering::Less,
+        (false, true) => Ordering::Greater,
+        (false, false) => a.total_cmp(&b),
+    }
+}
+
+/// `f32` twin of [`nan_worst_cmp`].
+pub fn nan_worst_cmp_f32(a: f32, b: f32) -> Ordering {
+    match (a.is_nan(), b.is_nan()) {
+        (true, true) => Ordering::Equal,
+        (true, false) => Ordering::Less,
+        (false, true) => Ordering::Greater,
+        (false, false) => a.total_cmp(&b),
+    }
+}
 
 /// Arithmetic mean; 0 for empty input.
 pub fn mean(xs: &[f64]) -> f64 {
@@ -28,11 +82,13 @@ pub fn std_dev(xs: &[f64]) -> f64 {
 }
 
 /// Linear-interpolation quantile (`q` in `[0, 1]`); panics on empty input.
+/// NaN inputs sort last (see [`nan_last_cmp`]) instead of panicking, so
+/// they only influence the upper quantiles.
 pub fn quantile(xs: &[f64], q: f64) -> f64 {
     assert!(!xs.is_empty(), "quantile of empty slice");
     assert!((0.0..=1.0).contains(&q), "quantile q out of range: {q}");
     let mut sorted = xs.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input"));
+    sorted.sort_by(|a, b| nan_last_cmp(*a, *b));
     let pos = q * (sorted.len() - 1) as f64;
     let lo = pos.floor() as usize;
     let hi = pos.ceil() as usize;
@@ -177,6 +233,42 @@ mod tests {
         // zero variance: EI is the plain improvement
         assert!((expected_improvement(0.7, 0.0, 0.6) - 0.1).abs() < 1e-12);
         assert_eq!(expected_improvement(0.5, 0.0, 0.6), 0.0);
+    }
+
+    #[test]
+    fn nan_comparators_are_total_and_deterministic() {
+        let mut xs = [2.0, f64::NAN, -1.0, f64::INFINITY, f64::NEG_INFINITY];
+        xs.sort_by(|a, b| nan_last_cmp(*a, *b));
+        assert_eq!(xs[0], f64::NEG_INFINITY);
+        assert!(xs[4].is_nan());
+
+        // nan_worst: NaN loses a max_by against anything, even -inf
+        let best = [f64::NAN, f64::NEG_INFINITY, 3.0, f64::NAN]
+            .into_iter()
+            .max_by(|a, b| nan_worst_cmp(*a, *b))
+            .unwrap();
+        assert_eq!(best, 3.0);
+        // all-NaN input still yields a value, deterministically
+        assert!([f64::NAN, f64::NAN]
+            .into_iter()
+            .max_by(|a, b| nan_worst_cmp(*a, *b))
+            .unwrap()
+            .is_nan());
+
+        // negative NaN sorts the same as positive NaN
+        let neg_nan = f64::from_bits(f64::NAN.to_bits() | (1 << 63));
+        assert_eq!(nan_last_cmp(neg_nan, 0.0), std::cmp::Ordering::Greater);
+        assert_eq!(nan_worst_cmp(neg_nan, 0.0), std::cmp::Ordering::Less);
+        assert_eq!(nan_last_cmp_f32(f32::NAN, 1.0), std::cmp::Ordering::Greater);
+        assert_eq!(nan_worst_cmp_f32(f32::NAN, 1.0), std::cmp::Ordering::Less);
+    }
+
+    #[test]
+    fn quantile_tolerates_nan() {
+        // NaN sorts last, so the low quantiles stay finite
+        let xs = [1.0, f64::NAN, 3.0, 2.0];
+        assert_eq!(quantile(&xs, 0.0), 1.0);
+        assert_eq!(median(&[1.0, 5.0, f64::NAN]), 5.0);
     }
 
     #[test]

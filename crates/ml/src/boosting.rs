@@ -14,7 +14,7 @@
 //! `−G/(H + λ)`.
 
 use crate::tree::{BinnedData, Binner, MAX_BINS};
-use crate::{check_fit_inputs, Classifier};
+use crate::{check_fit_inputs, Classifier, TrialError};
 use linalg::vector::sigmoid;
 use linalg::{Matrix, Rng};
 
@@ -180,6 +180,9 @@ fn grow_depthwise(
         });
         return nodes.len() - 1;
     };
+    // best_split only proposes bins 0..n_bins-1, all of which have a cut
+    // point, so this expect encodes an internal invariant.
+    #[allow(clippy::expect_used)]
     let threshold = ctx.binner.threshold(feature, bin).expect("valid split bin");
     let (li, ri): (Vec<usize>, Vec<usize>) = indices
         .into_iter()
@@ -239,6 +242,9 @@ fn grow_oblivious(ctx: &GrowCtx, indices: Vec<usize>) -> RegTree {
             }
         }
         let Some((feature, bin, _)) = best else { break };
+        // same invariant as the depth-wise grower: proposed bins always
+        // carry a cut point.
+        #[allow(clippy::expect_used)]
         let threshold = ctx.binner.threshold(feature, bin).expect("valid split bin");
         decisions.push((feature as u32, threshold, bin));
         let mut next = Vec::with_capacity(partitions.len() * 2);
@@ -364,8 +370,8 @@ impl Boosted {
 }
 
 impl Classifier for Boosted {
-    fn fit(&mut self, x: &Matrix, y: &[f32]) {
-        check_fit_inputs(x, y);
+    fn fit(&mut self, x: &Matrix, y: &[f32]) -> Result<(), TrialError> {
+        check_fit_inputs(x, y)?;
         self.trees.clear();
         let n = x.rows();
         let pos = y.iter().filter(|&&v| v >= 0.5).count().max(1) as f32;
@@ -420,6 +426,7 @@ impl Classifier for Boosted {
             }
             self.trees.push(tree);
         }
+        Ok(())
     }
 
     fn predict_proba(&self, x: &Matrix) -> Vec<f32> {
@@ -474,7 +481,7 @@ mod tests {
     fn fit_eval(mut model: Boosted, seed: u64) -> f64 {
         let (x, y) = xor(500, seed);
         let (xt, yt) = xor(300, seed + 1);
-        model.fit(&x, &y);
+        model.fit(&x, &y).unwrap();
         let probs = model.predict_proba(&xt);
         let actual: Vec<bool> = yt.iter().map(|&v| v >= 0.5).collect();
         f1_at_threshold(&probs, &actual, 0.5)
@@ -513,8 +520,8 @@ mod tests {
             n_rounds: 80,
             ..BoostConfig::default()
         });
-        short.fit(&x, &y);
-        long.fit(&x, &y);
+        short.fit(&x, &y).unwrap();
+        long.fit(&x, &y).unwrap();
         let auc_s = roc_auc(&short.predict_proba(&x), &actual);
         let auc_l = roc_auc(&long.predict_proba(&x), &actual);
         assert!(auc_l >= auc_s - 1e-9, "{auc_l} vs {auc_s}");
@@ -542,8 +549,8 @@ mod tests {
         };
         let mut a = GradientBoosting::new(cfg);
         let mut b = GradientBoosting::new(cfg);
-        a.fit(&x, &y);
-        b.fit(&x, &y);
+        a.fit(&x, &y).unwrap();
+        b.fit(&x, &y).unwrap();
         assert_eq!(a.predict_proba(&x), b.predict_proba(&x));
     }
 
@@ -557,7 +564,7 @@ mod tests {
             lr: 0.0,
             ..BoostConfig::default()
         });
-        m.fit(&x, &y);
+        m.fit(&x, &y).unwrap();
         let probs = m.predict_proba(&x);
         assert!(probs[0] < 0.2, "{}", probs[0]);
     }
@@ -569,7 +576,7 @@ mod tests {
             n_rounds: 30,
             ..BoostConfig::default()
         });
-        m.fit(&x, &y);
+        m.fit(&x, &y).unwrap();
         let imp = m.feature_importance(x.cols());
         assert!((imp.iter().sum::<f32>() - 1.0).abs() < 1e-4);
         assert!(imp[0] + imp[1] > imp[2], "{imp:?}");
@@ -585,7 +592,7 @@ mod tests {
             max_depth: 3,
             ..BoostConfig::default()
         });
-        m.fit(&x, &y);
+        m.fit(&x, &y).unwrap();
         assert_eq!(m.n_trees(), 1);
         // depth-3 complete tree: 2^4 - 1 = 15 nodes (or fewer levels if no
         // gain was found, giving 2^d+1 - 1)

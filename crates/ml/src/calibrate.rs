@@ -84,14 +84,22 @@ pub fn pr_curve(probs: &[f32], labels: &[bool]) -> Vec<PrPoint> {
     if total_pos == 0 || probs.is_empty() {
         return Vec::new();
     }
+    // descending by probability; NaN scores deterministically sort last
+    // (they are the "worst" threshold) instead of panicking
     let mut order: Vec<usize> = (0..probs.len()).collect();
-    order.sort_by(|&a, &b| probs[b].partial_cmp(&probs[a]).expect("NaN probability"));
+    order.sort_by(|&a, &b| linalg::stats::nan_worst_cmp_f32(probs[b], probs[a]));
     let mut out = Vec::new();
     let mut tp = 0usize;
     let mut fp = 0usize;
     let mut i = 0;
     while i < order.len() {
         let threshold = probs[order[i]];
+        if threshold.is_nan() {
+            // NaN probabilities sorted last; `p >= t` is false for NaN at
+            // every threshold, so these rows can never be predicted
+            // positive and contribute no further curve points.
+            break;
+        }
         // consume all examples tied at this threshold
         while i < order.len() && probs[order[i]] == threshold {
             if labels[order[i]] {

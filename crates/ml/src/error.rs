@@ -1,0 +1,133 @@
+//! The workspace-wide trial-failure taxonomy.
+//!
+//! A *trial* is one attempt to fit and score a candidate model. Anything
+//! that can go wrong on that path — degenerate inputs, a score that came
+//! back NaN, a panic inside model code, an exhausted budget — is folded
+//! into [`TrialError`] so the AutoML engines can quarantine the failure
+//! into their leaderboard and keep searching instead of aborting the run.
+//!
+//! The enum lives in `ml` because `fit` entry points are the lowest layer
+//! that can fail; `automl` and `em-core` re-export it so callers never
+//! need to depend on `ml` directly just for the error type.
+
+use std::fmt;
+
+/// Why a single trial (or a whole search, when nothing survived) failed.
+///
+/// Derives `Clone` + `PartialEq` so failed entries can live inside
+/// `FitReport` without breaking the byte-identical-across-thread-counts
+/// determinism contract. No variant ever stores a NaN for the same
+/// reason (`NaN != NaN` would poison `PartialEq`); offending values are
+/// rendered into strings at construction time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TrialError {
+    /// A probability or score came back non-finite (NaN or ±inf).
+    /// `stage` names where it surfaced, e.g. `"probability"` or `"score"`.
+    NonFiniteScore {
+        /// Pipeline stage that produced the non-finite value.
+        stage: &'static str,
+    },
+    /// Training inputs were unusable: shape mismatch, empty set, …
+    DegenerateInput(String),
+    /// A trial needed more budget than the run had left.
+    BudgetExceeded {
+        /// Units the trial would have cost, rendered to a string so the
+        /// variant stays `Eq`-safe even for non-finite inputs.
+        needed: String,
+        /// Units remaining when the trial was attempted.
+        remaining: String,
+    },
+    /// Model code panicked; the payload message was captured at the
+    /// trial boundary (`catch_unwind`) so the worker survived.
+    FitPanic(String),
+    /// A budget was constructed with a non-positive or non-finite limit.
+    InvalidBudget(String),
+    /// A deterministic fault-injection plan forced this failure.
+    Injected(&'static str),
+    /// Every attempted trial failed, so the search has no model to return.
+    AllTrialsFailed {
+        /// How many trials were attempted before giving up.
+        attempted: usize,
+    },
+}
+
+impl TrialError {
+    /// Build a [`TrialError::BudgetExceeded`] from raw unit counts.
+    pub fn budget_exceeded(needed: f64, remaining: f64) -> Self {
+        TrialError::BudgetExceeded {
+            needed: format!("{needed:.3}"),
+            remaining: format!("{remaining:.3}"),
+        }
+    }
+
+    /// Short stable label for counters and event streams.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TrialError::NonFiniteScore { .. } => "non_finite_score",
+            TrialError::DegenerateInput(_) => "degenerate_input",
+            TrialError::BudgetExceeded { .. } => "budget_exceeded",
+            TrialError::FitPanic(_) => "fit_panic",
+            TrialError::InvalidBudget(_) => "invalid_budget",
+            TrialError::Injected(_) => "injected",
+            TrialError::AllTrialsFailed { .. } => "all_trials_failed",
+        }
+    }
+}
+
+impl fmt::Display for TrialError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrialError::NonFiniteScore { stage } => {
+                write!(f, "non-finite value in {stage}")
+            }
+            TrialError::DegenerateInput(msg) => write!(f, "degenerate input: {msg}"),
+            TrialError::BudgetExceeded { needed, remaining } => {
+                write!(
+                    f,
+                    "budget exceeded: needed {needed} units, {remaining} left"
+                )
+            }
+            TrialError::FitPanic(msg) => write!(f, "fit panicked: {msg}"),
+            TrialError::InvalidBudget(msg) => write!(f, "invalid budget: {msg}"),
+            TrialError::Injected(what) => write!(f, "injected fault: {what}"),
+            TrialError::AllTrialsFailed { attempted } => {
+                write!(f, "all {attempted} attempted trials failed")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TrialError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = TrialError::NonFiniteScore { stage: "score" };
+        assert_eq!(e.to_string(), "non-finite value in score");
+        let e = TrialError::budget_exceeded(2.0, 0.5);
+        assert!(e.to_string().contains("2.000"));
+        assert!(e.to_string().contains("0.500"));
+        let e = TrialError::FitPanic("boom".into());
+        assert!(e.to_string().contains("boom"));
+    }
+
+    #[test]
+    fn kinds_are_stable() {
+        assert_eq!(TrialError::Injected("panic").kind(), "injected");
+        assert_eq!(
+            TrialError::AllTrialsFailed { attempted: 3 }.kind(),
+            "all_trials_failed"
+        );
+    }
+
+    #[test]
+    fn equality_holds_even_for_nonfinite_inputs() {
+        // NaN limits render to the same string, so Eq stays coherent.
+        let a = TrialError::budget_exceeded(f64::NAN, 1.0);
+        let b = TrialError::budget_exceeded(f64::NAN, 1.0);
+        assert_eq!(a, b);
+    }
+}

@@ -5,7 +5,7 @@
 //! training matrix, then average the probability output of their trees.
 
 use crate::tree::{Binner, DecisionTree, SplitRule, TreeConfig};
-use crate::{check_fit_inputs, Classifier};
+use crate::{check_fit_inputs, Classifier, TrialError};
 use linalg::{Matrix, Rng};
 
 /// Forest hyperparameters.
@@ -104,8 +104,8 @@ impl Default for RandomForest {
 }
 
 impl Classifier for RandomForest {
-    fn fit(&mut self, x: &Matrix, y: &[f32]) {
-        check_fit_inputs(x, y);
+    fn fit(&mut self, x: &Matrix, y: &[f32]) -> Result<(), TrialError> {
+        check_fit_inputs(x, y)?;
         self.trees.clear();
         let binner = Binner::fit(x, self.config.n_bins);
         let binned = binner.transform(x);
@@ -129,6 +129,7 @@ impl Classifier for RandomForest {
             tree.fit_binned(&binned, &binner, y, &indices, &mut tree_rng);
             self.trees.push(tree);
         }
+        Ok(())
     }
 
     fn predict_proba(&self, x: &Matrix) -> Vec<f32> {
@@ -173,7 +174,7 @@ mod tests {
         let (x, y) = xor(500, 1);
         let (xt, yt) = xor(300, 2);
         let mut rf = RandomForest::new(ForestConfig::random_forest(30, 7));
-        rf.fit(&x, &y);
+        rf.fit(&x, &y).unwrap();
         let probs = rf.predict_proba(&xt);
         let actual: Vec<bool> = yt.iter().map(|&v| v >= 0.5).collect();
         let f1 = f1_at_threshold(&probs, &actual, 0.5);
@@ -185,7 +186,7 @@ mod tests {
         let (x, y) = blobs(400, 0.3, 1.5, 3);
         let (xt, yt) = blobs(200, 0.3, 1.5, 4);
         let mut xt_model = RandomForest::new(ForestConfig::extra_trees(30, 9));
-        xt_model.fit(&x, &y);
+        xt_model.fit(&x, &y).unwrap();
         let probs = xt_model.predict_proba(&xt);
         let actual: Vec<bool> = yt.iter().map(|&v| v >= 0.5).collect();
         assert!(roc_auc(&probs, &actual) > 0.95);
@@ -197,9 +198,9 @@ mod tests {
         let (xt, yt) = blobs(300, 0.4, 0.6, 6);
         let actual: Vec<bool> = yt.iter().map(|&v| v >= 0.5).collect();
         let mut tree = DecisionTree::default();
-        tree.fit(&x, &y);
+        tree.fit(&x, &y).unwrap();
         let mut forest = RandomForest::new(ForestConfig::random_forest(50, 1));
-        forest.fit(&x, &y);
+        forest.fit(&x, &y).unwrap();
         let auc_tree = roc_auc(&tree.predict_proba(&xt), &actual);
         let auc_forest = roc_auc(&forest.predict_proba(&xt), &actual);
         assert!(
@@ -213,8 +214,8 @@ mod tests {
         let (x, y) = blobs(200, 0.3, 1.0, 8);
         let mut a = RandomForest::new(ForestConfig::random_forest(10, 3));
         let mut b = RandomForest::new(ForestConfig::random_forest(10, 3));
-        a.fit(&x, &y);
-        b.fit(&x, &y);
+        a.fit(&x, &y).unwrap();
+        b.fit(&x, &y).unwrap();
         assert_eq!(a.predict_proba(&x), b.predict_proba(&x));
     }
 
@@ -223,8 +224,8 @@ mod tests {
         let (x, y) = blobs(200, 0.3, 0.7, 9);
         let mut a = RandomForest::new(ForestConfig::random_forest(5, 1));
         let mut b = RandomForest::new(ForestConfig::random_forest(5, 2));
-        a.fit(&x, &y);
-        b.fit(&x, &y);
+        a.fit(&x, &y).unwrap();
+        b.fit(&x, &y).unwrap();
         assert_ne!(a.predict_proba(&x), b.predict_proba(&x));
     }
 
@@ -233,7 +234,7 @@ mod tests {
         // feature 0 carries the signal; features 1-2 are noise
         let (x, y) = blobs(400, 0.5, 2.0, 11);
         let mut rf = RandomForest::new(ForestConfig::random_forest(20, 2));
-        rf.fit(&x, &y);
+        rf.fit(&x, &y).unwrap();
         let imp = rf.feature_importance(x.cols());
         assert_eq!(imp.len(), 3);
         assert!((imp.iter().sum::<f32>() - 1.0).abs() < 1e-4);
@@ -245,7 +246,7 @@ mod tests {
     fn probabilities_bounded() {
         let (x, y) = blobs(150, 0.2, 1.0, 10);
         let mut rf = RandomForest::new(ForestConfig::random_forest(15, 4));
-        rf.fit(&x, &y);
+        rf.fit(&x, &y).unwrap();
         for p in rf.predict_proba(&x) {
             assert!((0.0..=1.0).contains(&p));
         }

@@ -4,7 +4,7 @@
 //! (≤ ~17k training rows, ≤ few hundred dims); distances reuse the
 //! vectorized kernels in `linalg`.
 
-use crate::{check_fit_inputs, Classifier};
+use crate::{check_fit_inputs, Classifier, TrialError};
 use linalg::vector::sq_dist;
 use linalg::Matrix;
 
@@ -52,13 +52,17 @@ impl Default for KNearest {
 }
 
 impl Classifier for KNearest {
-    fn fit(&mut self, x: &Matrix, y: &[f32]) {
-        check_fit_inputs(x, y);
+    fn fit(&mut self, x: &Matrix, y: &[f32]) -> Result<(), TrialError> {
+        check_fit_inputs(x, y)?;
         self.x = Some(x.clone());
         self.y = y.to_vec();
+        Ok(())
     }
 
     fn predict_proba(&self, x: &Matrix) -> Vec<f32> {
+        // Predict-before-fit is a caller bug, not a recoverable trial
+        // failure; the panic is caught at the trial boundary anyway.
+        #[allow(clippy::expect_used)]
         let train = self.x.as_ref().expect("predict before fit");
         assert_eq!(train.cols(), x.cols(), "feature width mismatch");
         let k = self.config.k.clamp(1, train.rows());
@@ -70,10 +74,9 @@ impl Classifier for KNearest {
             for (ti, trow) in train.rows_iter().enumerate() {
                 dists.push((sq_dist(row, trow), self.y[ti]));
             }
-            // partial selection of the k smallest
-            dists.select_nth_unstable_by(k - 1, |a, b| {
-                a.0.partial_cmp(&b.0).expect("finite distance")
-            });
+            // partial selection of the k smallest; NaN distances (from
+            // non-finite features) sort last so they never become neighbours
+            dists.select_nth_unstable_by(k - 1, |a, b| linalg::stats::nan_last_cmp_f32(a.0, b.0));
             let neighbours = &dists[..k];
             let prob = if self.config.distance_weighted {
                 let mut wsum = 0.0f64;
@@ -112,7 +115,7 @@ mod tests {
         let (x, y) = blobs(300, 0.4, 2.0, 1);
         let (xt, yt) = blobs(150, 0.4, 2.0, 2);
         let mut m = KNearest::default();
-        m.fit(&x, &y);
+        m.fit(&x, &y).unwrap();
         let probs = m.predict_proba(&xt);
         let actual: Vec<bool> = yt.iter().map(|&v| v >= 0.5).collect();
         let f1 = f1_at_threshold(&probs, &actual, 0.5);
@@ -126,7 +129,7 @@ mod tests {
             k: 1,
             distance_weighted: false,
         });
-        m.fit(&x, &y);
+        m.fit(&x, &y).unwrap();
         let probs = m.predict_proba(&x);
         for (p, &label) in probs.iter().zip(&y) {
             assert_eq!(*p, label);
@@ -140,7 +143,7 @@ mod tests {
             k: 50,
             distance_weighted: false,
         });
-        m.fit(&x, &y);
+        m.fit(&x, &y).unwrap();
         let probs = m.predict_proba(&x);
         // with k = n every prediction equals the global positive rate
         let rate = y.iter().sum::<f32>() / y.len() as f32;
@@ -158,7 +161,7 @@ mod tests {
             k: 3,
             distance_weighted: true,
         });
-        m.fit(&x, &y);
+        m.fit(&x, &y).unwrap();
         // query right on the positive: weighted prob must exceed 1/3
         let p = m.predict_proba(&Matrix::from_rows(&[vec![0.01]]))[0];
         assert!(p > 0.8, "{p}");

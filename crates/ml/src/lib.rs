@@ -21,10 +21,16 @@
 //!
 //! Models are deterministic given their `seed` configuration field.
 
+#![cfg_attr(
+    not(test),
+    warn(clippy::unwrap_used, clippy::expect_used, clippy::panic)
+)]
+
 pub mod boosting;
 pub mod calibrate;
 pub mod cv;
 pub mod dataset;
+pub mod error;
 pub mod forest;
 pub mod knn;
 pub mod linear;
@@ -35,14 +41,18 @@ pub mod tree;
 
 use linalg::Matrix;
 
+pub use error::TrialError;
+
 /// A binary probabilistic classifier.
 ///
 /// `fit` consumes features `x` (one row per example) and labels `y`
 /// (`0.0` / `1.0`); `predict_proba` returns the probability of the positive
 /// ("match") class per row.
 pub trait Classifier: Send {
-    /// Train on the given data, replacing any previous fit.
-    fn fit(&mut self, x: &Matrix, y: &[f32]);
+    /// Train on the given data, replacing any previous fit. Returns a
+    /// [`TrialError`] instead of panicking on degenerate inputs so one
+    /// bad candidate never aborts a whole AutoML search.
+    fn fit(&mut self, x: &Matrix, y: &[f32]) -> Result<(), TrialError>;
 
     /// Probability of the positive class for each row of `x`.
     fn predict_proba(&self, x: &Matrix) -> Vec<f32>;
@@ -60,11 +70,22 @@ pub trait Classifier: Send {
 }
 
 /// Validate a training-set shape shared by every `fit` implementation.
-pub(crate) fn check_fit_inputs(x: &Matrix, y: &[f32]) {
-    assert_eq!(x.rows(), y.len(), "features/labels length mismatch");
-    assert!(x.rows() > 0, "cannot fit on an empty dataset");
+pub(crate) fn check_fit_inputs(x: &Matrix, y: &[f32]) -> Result<(), TrialError> {
+    if x.rows() != y.len() {
+        return Err(TrialError::DegenerateInput(format!(
+            "features/labels length mismatch: {} rows vs {} labels",
+            x.rows(),
+            y.len()
+        )));
+    }
+    if x.rows() == 0 {
+        return Err(TrialError::DegenerateInput(
+            "cannot fit on an empty dataset".into(),
+        ));
+    }
     debug_assert!(
         y.iter().all(|&v| v == 0.0 || v == 1.0),
         "labels must be 0.0 or 1.0"
     );
+    Ok(())
 }

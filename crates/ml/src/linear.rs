@@ -6,7 +6,7 @@
 //! `class_weight="balanced"` in scikit-learn — part of the AutoSklearn
 //! search space.
 
-use crate::{check_fit_inputs, Classifier};
+use crate::{check_fit_inputs, Classifier, TrialError};
 use linalg::vector::{dot, sigmoid};
 use linalg::{Matrix, Rng};
 
@@ -83,8 +83,8 @@ fn class_weights(y: &[f32], balanced: bool) -> (f32, f32) {
 }
 
 impl Classifier for LogisticRegression {
-    fn fit(&mut self, x: &Matrix, y: &[f32]) {
-        check_fit_inputs(x, y);
+    fn fit(&mut self, x: &Matrix, y: &[f32]) -> Result<(), TrialError> {
+        check_fit_inputs(x, y)?;
         let d = x.cols();
         let mut rng = Rng::new(self.config.seed);
         self.weights = vec![0.0; d];
@@ -121,6 +121,7 @@ impl Classifier for LogisticRegression {
                 self.bias += vel_b;
             }
         }
+        Ok(())
     }
 
     fn predict_proba(&self, x: &Matrix) -> Vec<f32> {
@@ -171,8 +172,8 @@ impl Default for LinearSvm {
 }
 
 impl Classifier for LinearSvm {
-    fn fit(&mut self, x: &Matrix, y: &[f32]) {
-        check_fit_inputs(x, y);
+    fn fit(&mut self, x: &Matrix, y: &[f32]) -> Result<(), TrialError> {
+        check_fit_inputs(x, y)?;
         let d = x.cols();
         let lambda = self.config.l2.max(1e-6);
         let mut rng = Rng::new(self.config.seed);
@@ -205,6 +206,7 @@ impl Classifier for LinearSvm {
                 }
             }
         }
+        Ok(())
     }
 
     fn predict_proba(&self, x: &Matrix) -> Vec<f32> {
@@ -272,7 +274,7 @@ mod tests {
     fn f1_of(model: &mut dyn Classifier, seed: u64) -> f64 {
         let (x, y) = blobs(400, 0.3, 1.5, seed);
         let (xt, yt) = blobs(200, 0.3, 1.5, seed + 1);
-        model.fit(&x, &y);
+        model.fit(&x, &y).unwrap();
         let probs = model.predict_proba(&xt);
         let actual: Vec<bool> = yt.iter().map(|&v| v >= 0.5).collect();
         f1_at_threshold(&probs, &actual, 0.5)
@@ -297,8 +299,8 @@ mod tests {
         let (x, y) = blobs(200, 0.3, 1.0, 3);
         let mut a = LogisticRegression::default();
         let mut b = LogisticRegression::default();
-        a.fit(&x, &y);
-        b.fit(&x, &y);
+        a.fit(&x, &y).unwrap();
+        b.fit(&x, &y).unwrap();
         assert_eq!(a.weights(), b.weights());
     }
 
@@ -315,8 +317,8 @@ mod tests {
             balanced: false,
             ..LinearConfig::default()
         });
-        balanced.fit(&x, &y);
-        plain.fit(&x, &y);
+        balanced.fit(&x, &y).unwrap();
+        plain.fit(&x, &y).unwrap();
         let recall = |probs: &[f32]| {
             let tp = probs
                 .iter()
@@ -335,7 +337,7 @@ mod tests {
     fn fresh_resets_fit_state() {
         let (x, y) = blobs(100, 0.4, 1.0, 6);
         let mut m = LogisticRegression::default();
-        m.fit(&x, &y);
+        m.fit(&x, &y).unwrap();
         let f = m.fresh();
         // fresh model must not carry weights — predicting should panic
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
@@ -351,7 +353,7 @@ mod tests {
             &mut LogisticRegression::default() as &mut dyn Classifier,
             &mut LinearSvm::default(),
         ] {
-            model.fit(&x, &y);
+            model.fit(&x, &y).unwrap();
             for p in model.predict_proba(&x) {
                 assert!((0.0..=1.0).contains(&p), "{p}");
             }

@@ -4,6 +4,12 @@
 //! module is the measurement backbone of the whole reproduction. F1 values
 //! are returned in `[0, 100]` percentage points, matching the paper's
 //! presentation.
+//!
+//! **Zero-division convention**: precision, recall and F1 all return `0.0`
+//! when their denominator is zero (nothing predicted positive, no actual
+//! positives, or both). This is scikit-learn's `zero_division=0` default
+//! and makes degenerate classifiers score worst instead of propagating
+//! NaN into leaderboards.
 
 /// Counts of a binary confusion matrix.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -34,9 +40,8 @@ impl Confusion {
         c
     }
 
-    /// Precision of the match class (1.0 when nothing was predicted
-    /// positive, the scikit-learn zero-division convention is 0; we use 0
-    /// as well so F1 degrades properly).
+    /// Precision of the match class; `0.0` when nothing was predicted
+    /// positive (see the module-level zero-division convention).
     pub fn precision(&self) -> f64 {
         if self.tp + self.fp == 0 {
             0.0
@@ -45,7 +50,8 @@ impl Confusion {
         }
     }
 
-    /// Recall of the match class.
+    /// Recall of the match class; `0.0` when there are no actual positives
+    /// (see the module-level zero-division convention).
     pub fn recall(&self) -> f64 {
         if self.tp + self.fn_ == 0 {
             0.0
@@ -54,7 +60,8 @@ impl Confusion {
         }
     }
 
-    /// F1 of the match class, in **percentage points** `[0, 100]`.
+    /// F1 of the match class, in **percentage points** `[0, 100]`; `0.0`
+    /// when precision + recall is zero (see the module-level convention).
     pub fn f1(&self) -> f64 {
         let p = self.precision();
         let r = self.recall();
@@ -111,8 +118,9 @@ pub fn roc_auc(probs: &[f32], actual: &[bool]) -> f64 {
         return 0.5;
     }
     // rank probabilities (average ranks on ties)
+    // NaN probabilities rank last (deterministically) instead of panicking
     let mut order: Vec<usize> = (0..probs.len()).collect();
-    order.sort_by(|&a, &b| probs[a].partial_cmp(&probs[b]).expect("NaN probability"));
+    order.sort_by(|&a, &b| linalg::stats::nan_last_cmp_f32(probs[a], probs[b]));
     let mut ranks = vec![0.0f64; probs.len()];
     let mut i = 0;
     while i < order.len() {
@@ -143,8 +151,14 @@ pub fn roc_auc(probs: &[f32], actual: &[bool]) -> f64 {
 pub fn best_f1_threshold(probs: &[f32], actual: &[bool]) -> (f32, f64) {
     let mut candidates: Vec<f32> = probs.to_vec();
     candidates.push(0.5);
-    candidates.sort_by(|a, b| a.partial_cmp(b).expect("NaN probability"));
+    candidates.sort_by(|a, b| linalg::stats::nan_last_cmp_f32(*a, *b));
     candidates.dedup();
+    // a NaN threshold predicts nothing positive (p >= NaN is false) and
+    // scores 0, so stray NaNs can never win the sweep
+    candidates.retain(|t| t.is_finite());
+    if candidates.is_empty() {
+        return (0.5, 0.0);
+    }
     let mut best = (0.5f32, -1.0f64);
     for &t in &candidates {
         let f1 = f1_at_threshold(probs, actual, t);

@@ -1,6 +1,6 @@
 //! Gaussian naive Bayes — the cheap baseline of the AutoSklearn space.
 
-use crate::{check_fit_inputs, Classifier};
+use crate::{check_fit_inputs, Classifier, TrialError};
 use linalg::Matrix;
 
 /// Gaussian NB with per-class feature means/variances and class priors.
@@ -21,8 +21,8 @@ impl GaussianNb {
 }
 
 impl Classifier for GaussianNb {
-    fn fit(&mut self, x: &Matrix, y: &[f32]) {
-        check_fit_inputs(x, y);
+    fn fit(&mut self, x: &Matrix, y: &[f32]) -> Result<(), TrialError> {
+        check_fit_inputs(x, y)?;
         let d = x.cols();
         let mut counts = [0usize; 2];
         let mut sums = [vec![0.0f64; d], vec![0.0f64; d]];
@@ -76,6 +76,7 @@ impl Classifier for GaussianNb {
         self.means = means;
         self.vars = var_out;
         self.fitted = true;
+        Ok(())
     }
 
     fn predict_proba(&self, x: &Matrix) -> Vec<f32> {
@@ -119,7 +120,7 @@ mod tests {
         let (x, y) = blobs(400, 0.3, 2.0, 1);
         let (xt, yt) = blobs(200, 0.3, 2.0, 2);
         let mut m = GaussianNb::new();
-        m.fit(&x, &y);
+        m.fit(&x, &y).unwrap();
         let probs = m.predict_proba(&xt);
         let actual: Vec<bool> = yt.iter().map(|&v| v >= 0.5).collect();
         let f1 = f1_at_threshold(&probs, &actual, 0.5);
@@ -133,7 +134,7 @@ mod tests {
         let mut y = vec![0.0f32; 180];
         y.extend(vec![1.0; 20]);
         let mut m = GaussianNb::new();
-        m.fit(&x, &y);
+        m.fit(&x, &y).unwrap();
         let p = m.predict_proba(&Matrix::full(1, 2, 1.0))[0];
         assert!((p - 0.1).abs() < 0.02, "{p}");
     }
@@ -143,7 +144,7 @@ mod tests {
         let x = Matrix::full(10, 2, 1.0);
         let y = vec![1.0; 10];
         let mut m = GaussianNb::new();
-        m.fit(&x, &y);
+        m.fit(&x, &y).unwrap();
         let p = m.predict_proba(&x);
         assert!(p.iter().all(|v| v.is_finite()));
         assert!(p[0] > 0.5);
@@ -153,7 +154,7 @@ mod tests {
     fn probabilities_bounded_and_finite() {
         let (x, y) = blobs(100, 0.5, 5.0, 3);
         let mut m = GaussianNb::new();
-        m.fit(&x, &y);
+        m.fit(&x, &y).unwrap();
         for p in m.predict_proba(&x) {
             assert!(p.is_finite() && (0.0..=1.0).contains(&p));
         }

@@ -9,7 +9,7 @@
 //! leaves) used by [`crate::forest`]; the boosting module builds its own
 //! gradient/hessian regression tree on the same binned representation.
 
-use crate::{check_fit_inputs, Classifier};
+use crate::{check_fit_inputs, Classifier, TrialError};
 use linalg::{Matrix, Rng};
 
 /// Maximum number of histogram bins per feature.
@@ -30,7 +30,7 @@ impl Binner {
         for j in 0..x.cols() {
             let mut col = x.col(j);
             col.retain(|v| v.is_finite());
-            col.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+            col.sort_by(f32::total_cmp);
             col.dedup();
             let mut cuts = Vec::new();
             if col.len() > 1 {
@@ -284,6 +284,10 @@ impl DecisionTree {
             self.nodes.push(Node::Leaf { prob });
             return self.nodes.len() - 1;
         };
+        // A winning split bin always has a cut point: candidate bins range
+        // over 0..n_bins-1 and `threshold` only returns None for the last
+        // bin, so this cannot fire without a bug in the split search.
+        #[allow(clippy::expect_used)]
         let threshold = binner
             .threshold(feature, bin)
             .expect("split bin has a cut point");
@@ -362,13 +366,14 @@ fn gini(pos: f32, total: f32) -> f32 {
 }
 
 impl Classifier for DecisionTree {
-    fn fit(&mut self, x: &Matrix, y: &[f32]) {
-        check_fit_inputs(x, y);
+    fn fit(&mut self, x: &Matrix, y: &[f32]) -> Result<(), TrialError> {
+        check_fit_inputs(x, y)?;
         let binner = Binner::fit(x, self.config.n_bins);
         let binned = binner.transform(x);
         let indices: Vec<usize> = (0..x.rows()).collect();
         let mut rng = Rng::new(self.config.seed);
         self.fit_binned(&binned, &binner, y, &indices, &mut rng);
+        Ok(())
     }
 
     fn predict_proba(&self, x: &Matrix) -> Vec<f32> {
@@ -425,7 +430,7 @@ mod tests {
         let (x, y) = xor(400, 1);
         let (xt, yt) = xor(200, 2);
         let mut tree = DecisionTree::default();
-        tree.fit(&x, &y);
+        tree.fit(&x, &y).unwrap();
         let probs = tree.predict_proba(&xt);
         let actual: Vec<bool> = yt.iter().map(|&v| v >= 0.5).collect();
         let f1 = f1_at_threshold(&probs, &actual, 0.5);
@@ -439,7 +444,7 @@ mod tests {
             max_depth: 1,
             ..TreeConfig::default()
         });
-        tree.fit(&x, &y);
+        tree.fit(&x, &y).unwrap();
         // a stump has at most 3 nodes
         assert!(tree.node_count() <= 3, "{}", tree.node_count());
     }
@@ -449,7 +454,7 @@ mod tests {
         let x = Matrix::from_rows(&[vec![0.0], vec![0.1], vec![0.2]]);
         let y = vec![1.0, 1.0, 1.0];
         let mut tree = DecisionTree::default();
-        tree.fit(&x, &y);
+        tree.fit(&x, &y).unwrap();
         assert_eq!(tree.node_count(), 1);
         assert_eq!(tree.predict_proba(&x), vec![1.0, 1.0, 1.0]);
     }
@@ -461,7 +466,7 @@ mod tests {
             split_rule: SplitRule::Random,
             ..TreeConfig::default()
         });
-        tree.fit(&x, &y);
+        tree.fit(&x, &y).unwrap();
         let probs = tree.predict_proba(&x);
         let actual: Vec<bool> = y.iter().map(|&v| v >= 0.5).collect();
         let f1 = f1_at_threshold(&probs, &actual, 0.5);
@@ -473,8 +478,8 @@ mod tests {
         let (x, y) = blobs(200, 0.3, 1.0, 5);
         let mut a = DecisionTree::default();
         let mut b = DecisionTree::default();
-        a.fit(&x, &y);
-        b.fit(&x, &y);
+        a.fit(&x, &y).unwrap();
+        b.fit(&x, &y).unwrap();
         assert_eq!(a.predict_proba(&x), b.predict_proba(&x));
     }
 
@@ -485,7 +490,7 @@ mod tests {
             min_samples_leaf: 40,
             ..TreeConfig::default()
         });
-        tree.fit(&x, &y);
+        tree.fit(&x, &y).unwrap();
         // with such a large leaf requirement only ~1 split is possible
         assert!(tree.node_count() <= 3);
     }

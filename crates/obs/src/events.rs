@@ -50,6 +50,10 @@ pub struct TrialEvent {
     pub cost_units: f64,
     /// Best validation F1 seen so far in this search, including this trial.
     pub best_so_far: f64,
+    /// Why the trial failed, when it did (`None` for successful trials).
+    /// Failed trials carry `val_f1 = -inf`, never NaN, so stored events
+    /// stay comparable.
+    pub error: Option<String>,
 }
 
 enum Stored {
@@ -140,6 +144,9 @@ pub fn emit_trial(ev: TrialEvent) {
             .f64("val_f1", ev.val_f1)
             .f64("cost_units", ev.cost_units)
             .f64("best_so_far", ev.best_so_far);
+        if let Some(err) = &ev.error {
+            o.str("error", err);
+        }
     });
     push_ring(Stored::Trial(ev));
 }
@@ -178,6 +185,7 @@ mod tests {
             val_f1: 50.0,
             cost_units: 1.0,
             best_so_far: 50.0,
+            error: None,
         };
         emit_trial(mk("t.ev.EngineA", 0));
         emit_trial(mk("t.ev.EngineB", 0));

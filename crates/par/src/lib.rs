@@ -30,6 +30,15 @@
 //! override ([`set_threads`]) wins, then the `AUTOML_EM_THREADS`
 //! environment variable, then [`std::thread::available_parallelism`].
 //!
+//! **Panic policy.** A panic inside a `map_indexed` closure unwinds its
+//! worker; the parent joins every worker (stolen tasks still complete)
+//! and then re-raises the first panic via `resume_unwind`, so a panic is
+//! never silently swallowed — but it *does* abort the whole scope.
+//! Callers that must survive panicking tasks (the AutoML trial path)
+//! wrap the fallible region in [`catch_panic`], which converts the
+//! unwind into a `Result::Err` carrying the panic message *inside* the
+//! task, so the scope completes and every other task's result is kept.
+//!
 //! Per-call observability lands in the global `obs` registry:
 //! `par.tasks` / `par.steals` / `par.scopes` counters, the `par.busy_us`
 //! cumulative worker busy-time counter and the `par.threads` gauge.
@@ -43,4 +52,4 @@
 
 mod pool;
 
-pub use pool::{map, map_indexed, reset_threads, scope, set_threads, threads};
+pub use pool::{catch_panic, map, map_indexed, reset_threads, scope, set_threads, threads};

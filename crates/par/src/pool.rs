@@ -9,6 +9,7 @@
 
 use std::cell::Cell;
 use std::collections::VecDeque;
+use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
@@ -84,6 +85,33 @@ where
     F: Fn(&I) -> T + Sync,
 {
     map_indexed(items.len(), |i| f(&items[i]))
+}
+
+/// Run `f`, converting a panic into `Err` with the panic message.
+///
+/// This is the **trial boundary** the AutoML engines wrap around model
+/// code before handing it to [`map_indexed`]: a panicking candidate fit
+/// becomes an ordinary failed result on the worker instead of unwinding
+/// through the pool (where it would abort the whole scope via
+/// [`map_indexed`]'s propagation policy — see the crate docs). Counted in
+/// the `par.caught_panics` metric.
+pub fn catch_panic<T>(f: impl FnOnce() -> T) -> Result<T, String> {
+    // AssertUnwindSafe: callers only observe state through the returned
+    // Result; a poisoned half-written value is dropped with the payload.
+    match std::panic::catch_unwind(AssertUnwindSafe(f)) {
+        Ok(v) => Ok(v),
+        Err(payload) => {
+            obs::counter("par.caught_panics").inc();
+            let msg = if let Some(s) = payload.downcast_ref::<&str>() {
+                (*s).to_owned()
+            } else if let Some(s) = payload.downcast_ref::<String>() {
+                s.clone()
+            } else {
+                "non-string panic payload".to_owned()
+            };
+            Err(msg)
+        }
+    }
 }
 
 /// A fork/join scope for heterogeneous task sets that don't fit the
@@ -305,6 +333,40 @@ mod tests {
         match result {
             Ok(_) => panic!("panic did not propagate"),
             Err(p) => std::panic::resume_unwind(p),
+        }
+    }
+
+    #[test]
+    fn catch_panic_returns_payload_message() {
+        assert_eq!(catch_panic(|| 42).unwrap(), 42);
+        let err = catch_panic(|| panic!("boom {}", 7)).unwrap_err();
+        assert!(err.contains("boom 7"), "{err}");
+        // &'static str payloads are captured too
+        let err = catch_panic(|| std::panic::panic_any("static payload")).unwrap_err();
+        assert_eq!(err, "static payload");
+        // non-string payloads degrade gracefully
+        let err = catch_panic(|| std::panic::panic_any(3usize)).unwrap_err();
+        assert!(err.contains("non-string"));
+    }
+
+    #[test]
+    fn catch_panic_inside_workers_keeps_scope_alive() {
+        let _g = guard();
+        set_threads(4);
+        let out = map_indexed(16, |i| {
+            catch_panic(move || {
+                assert!(i != 5, "task {i} exploded");
+                i * 2
+            })
+        });
+        reset_threads();
+        assert_eq!(out.len(), 16);
+        for (i, r) in out.iter().enumerate() {
+            if i == 5 {
+                assert!(r.as_ref().unwrap_err().contains("task 5 exploded"));
+            } else {
+                assert_eq!(*r.as_ref().unwrap(), i * 2);
+            }
         }
     }
 

@@ -99,7 +99,8 @@ fn main() {
     );
     let adapter = EmAdapter::new(TokenizerMode::Hybrid, &embedder, Combiner::Average);
     let mut system = AutoSklearnStyle::new(21);
-    let result = run_pipeline(&mut system, &adapter, &dataset, PipelineConfig::default());
+    let result = run_pipeline(&mut system, &adapter, &dataset, PipelineConfig::default())
+        .expect("pipeline run failed");
     println!(
         "adapter + AutoSklearn on the blocked candidates: test F1 {:.2}",
         result.test_f1

@@ -57,7 +57,8 @@ fn main() {
                 seed,
                 ..PipelineConfig::default()
             };
-            let r = run_encoded(sys.as_mut(), &train, &valid, &test, cfg, dataset.name());
+            let r = run_encoded(sys.as_mut(), &train, &valid, &test, cfg, dataset.name())
+                .expect("encoded run failed");
             cells.push(format!("{:>8.2}", r.test_f1));
         }
         println!("{name:>18} {}", cells.join(" "));
@@ -71,7 +72,8 @@ fn main() {
             seed,
             ..PipelineConfig::default()
         };
-        let r = run_encoded(&mut sys, &train, &valid, &test, cfg, dataset.name());
+        let r = run_encoded(&mut sys, &train, &valid, &test, cfg, dataset.name())
+            .expect("encoded run failed");
         cells.push(format!("{:>8.2}", r.test_f1));
     }
     println!(

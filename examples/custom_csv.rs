@@ -66,7 +66,8 @@ fn main() {
 
     let adapter = EmAdapter::new(TokenizerMode::Hybrid, &embedder, Combiner::Average);
     let mut system = H2oStyle::new(5);
-    let result = run_pipeline(&mut system, &adapter, &dataset, PipelineConfig::default());
+    let result = run_pipeline(&mut system, &adapter, &dataset, PipelineConfig::default())
+        .expect("pipeline run failed");
     println!(
         "\nH2O-style AutoML on the adapted features: test F1 {:.2} ({:.2} paper-hours)",
         result.test_f1, result.hours_used

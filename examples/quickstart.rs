@@ -57,7 +57,8 @@ fn main() {
             budget_hours: 1.0,
             ..PipelineConfig::default()
         },
-    );
+    )
+    .expect("pipeline run failed");
 
     println!(
         "test F1 {:.2} (validation {:.2}) — {} models evaluated in {:.2} paper-hours",

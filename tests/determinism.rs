@@ -48,8 +48,8 @@ fn fit_at(
 ) -> (FitReport, Vec<f32>) {
     par::set_threads(threads);
     let mut sys = make();
-    let mut budget = Budget::hours(budget_hours);
-    let report = sys.fit(train, valid, &mut budget);
+    let mut budget = Budget::hours(budget_hours).unwrap();
+    let report = sys.fit(train, valid, &mut budget).unwrap();
     let probs = sys.predict_proba(&valid.x);
     par::reset_threads();
     (report, probs)

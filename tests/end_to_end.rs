@@ -41,9 +41,9 @@ fn adapter_pipeline_beats_raw_automl_on_easy_dataset() {
         ..PipelineConfig::default()
     };
     let mut sys_a = make_system(0, 3);
-    let adapted = run_pipeline(sys_a.as_mut(), &adapter, &dataset, cfg);
+    let adapted = run_pipeline(sys_a.as_mut(), &adapter, &dataset, cfg).unwrap();
     let mut sys_r = make_system(0, 3);
-    let raw = run_raw(sys_r.as_mut(), &dataset, cfg);
+    let raw = run_raw(sys_r.as_mut(), &dataset, cfg).unwrap();
     assert!(
         adapted.test_f1 > raw.test_f1 + 10.0,
         "adapter must clearly lift raw AutoML: adapted {:.1} vs raw {:.1}",
@@ -67,8 +67,8 @@ fn all_three_systems_run_under_budget_and_predict() {
     let test = adapter.encode_split(&dataset, Split::Test);
     for (idx, name) in SYSTEM_NAMES.iter().enumerate() {
         let mut sys = make_system(idx, 5);
-        let mut budget = Budget::hours(0.5);
-        let report = sys.fit(&train, &valid, &mut budget);
+        let mut budget = Budget::hours(0.5).unwrap();
+        let report = sys.fit(&train, &valid, &mut budget).unwrap();
         assert!(
             budget.used() <= budget.used() + budget.remaining() + 1e-9,
             "{name}: accounting"
@@ -152,6 +152,7 @@ fn pipeline_results_are_reproducible() {
                 ..PipelineConfig::default()
             },
         )
+        .unwrap()
         .test_f1
     };
     assert_eq!(run(), run());

@@ -128,7 +128,7 @@ fn budget_arithmetic_never_goes_negative() {
         let mut rng = Rng::new(seed);
         let hours = 0.1 + rng.f64() * 9.9;
         let n_charges = rng.below(31);
-        let mut b = Budget::hours(hours);
+        let mut b = Budget::hours(hours).unwrap();
         for _ in 0..n_charges {
             b.consume(rng.f64() * 10.0);
             assert!(b.remaining() >= 0.0, "seed {seed}");
