@@ -123,6 +123,12 @@ impl Budget {
         self.limit / UNITS_PER_HOUR
     }
 
+    /// Total budget in units (used by the search journal's config hash so
+    /// a resume under a different budget is rejected).
+    pub fn limit_units(&self) -> f64 {
+        self.limit
+    }
+
     /// Consume everything left (AutoSklearn semantics: the real system
     /// always runs its full time budget).
     pub fn drain(&mut self) {

@@ -4,17 +4,24 @@
 //! parallel batch" is not a situation unit tests stumble into naturally.
 //! A [`FaultPlan`] injects failures at exact trial indices — fail trial
 //! k, poison trial k's score with NaN, panic inside trial k, inflate
-//! trial k's cost — so the suite can prove that every engine degrades
-//! gracefully *and deterministically*: the same plan at 1 and 8 threads
-//! must yield byte-identical [`crate::FitReport`]s.
+//! trial k's cost, hang trial k until its deadline, or kill the whole
+//! process-equivalent search at trial k — so the suite can prove that
+//! every engine degrades gracefully *and deterministically*: the same
+//! plan at 1 and 8 threads must yield byte-identical
+//! [`crate::FitReport`]s, and a killed-then-resumed search must match an
+//! uninterrupted one.
 //!
 //! Plans are keyed by the engine's **planned trial index**, which is
 //! assigned before any parallel execution, so a plan is thread-count
 //! invariant by construction. Set `AUTOML_EM_FAULTS` (e.g.
-//! `nan@2,panic@5,fail@0,cost@3=2.5`) to inject faults into a real run —
-//! see EXPERIMENTS.md for the reproduction recipe.
+//! `nan@2,panic@5,fail@0,cost@3=2.5,hang@7,kill@9`) to inject faults
+//! into a real run — see EXPERIMENTS.md for the reproduction recipe.
+//! Malformed specs are rejected loudly: a typo'd `panic@x` aborts the
+//! process with a clear message instead of silently degrading to a no-op
+//! (which would make a fault-injection experiment pass vacuously).
 
 use std::collections::BTreeMap;
+use std::fmt;
 
 /// One injected fault.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -29,7 +36,38 @@ pub enum Fault {
     /// The trial succeeds but its charged cost is multiplied by this
     /// factor (exercising budget accounting under mispriced trials).
     InflateCost(f64),
+    /// The trial spins until its cancellation token fires (exercising the
+    /// deadline-abandonment path); it then fails as
+    /// [`ml::TrialError::DeadlineExceeded`]. A 60 s safety valve prevents
+    /// a plan without a deadline from hanging a test run forever.
+    Hang,
+    /// The search aborts by panic *outside* the trial's `catch_unwind`
+    /// boundary, simulating a SIGKILL mid-search: in-flight work is lost
+    /// and only journal records fsync'd before this trial survive
+    /// (exercising the kill-and-resume path).
+    Kill,
 }
+
+/// A malformed `AUTOML_EM_FAULTS` entry: which entry and why.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultSpecError {
+    /// The offending comma-separated entry, verbatim.
+    pub entry: String,
+    /// What was wrong with it.
+    pub reason: String,
+}
+
+impl fmt::Display for FaultSpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "bad fault spec entry '{}': {} (expected fail@K, nan@K, panic@K, hang@K, kill@K or cost@K=M)",
+            self.entry, self.reason
+        )
+    }
+}
+
+impl std::error::Error for FaultSpecError {}
 
 /// A deterministic schedule of faults, keyed by planned trial index.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -67,55 +105,94 @@ impl FaultPlan {
         self.faults.is_empty()
     }
 
-    /// Parse the `AUTOML_EM_FAULTS` environment variable into a plan.
-    /// Unset, empty, or unparseable entries mean "no fault" — fault
-    /// injection must never break a production run.
+    /// Read the `AUTOML_EM_FAULTS` environment variable into a plan.
+    /// Unset or empty means "no faults". A *malformed* spec aborts the
+    /// process with a clear message: someone running a fault-injection
+    /// experiment must never have a typo silently turn it into a clean
+    /// run. (Config validation fail-fast, not a library panic — hence
+    /// `process::exit`, which also keeps the panic-free clippy gate
+    /// meaningful.)
     pub fn from_env() -> Self {
         match std::env::var("AUTOML_EM_FAULTS") {
-            Ok(spec) => Self::parse(&spec),
+            Ok(spec) => match Self::parse(&spec) {
+                Ok(plan) => plan,
+                Err(e) => {
+                    eprintln!("fatal: AUTOML_EM_FAULTS={spec:?}: {e}");
+                    std::process::exit(2);
+                }
+            },
             Err(_) => Self::none(),
         }
     }
 
     /// Parse a comma-separated spec: `fail@K`, `nan@K`, `panic@K`,
-    /// `cost@K=M`. Entries that don't parse are skipped (lenient by
-    /// design — see [`FaultPlan::from_env`]).
-    pub fn parse(spec: &str) -> Self {
+    /// `hang@K`, `kill@K`, `cost@K=M`. Empty entries (doubled or
+    /// trailing commas) are tolerated; anything else malformed is an
+    /// error naming the entry and the reason.
+    pub fn parse(spec: &str) -> Result<Self, FaultSpecError> {
         let mut plan = Self::none();
         for entry in spec.split(',') {
             let entry = entry.trim();
             if entry.is_empty() {
                 continue;
             }
+            let bad = |reason: &str| FaultSpecError {
+                entry: entry.to_owned(),
+                reason: reason.to_owned(),
+            };
             let Some((kind, rest)) = entry.split_once('@') else {
-                continue;
+                return Err(bad("missing '@<trial>'"));
             };
             let (trial_str, arg) = match rest.split_once('=') {
                 Some((t, a)) => (t, Some(a)),
                 None => (rest, None),
             };
-            let Ok(trial) = trial_str.trim().parse::<u64>() else {
-                continue;
-            };
-            let fault = match kind.trim() {
+            let trial = trial_str
+                .trim()
+                .parse::<u64>()
+                .map_err(|_| bad("trial index is not a non-negative integer"))?;
+            let kind = kind.trim();
+            if arg.is_some() && kind != "cost" {
+                return Err(bad("only cost@K takes an '=<multiplier>' argument"));
+            }
+            let fault = match kind {
                 "fail" => Fault::Fail,
                 "nan" => Fault::NanScore,
                 "panic" => Fault::Panic,
-                "cost" => match arg.and_then(|a| a.trim().parse::<f64>().ok()) {
-                    Some(m) if m.is_finite() && m > 0.0 => Fault::InflateCost(m),
-                    _ => continue,
-                },
-                _ => continue,
+                "hang" => Fault::Hang,
+                "kill" => Fault::Kill,
+                "cost" => {
+                    let arg = arg.ok_or_else(|| bad("cost@K needs '=<multiplier>'"))?;
+                    let m = arg
+                        .trim()
+                        .parse::<f64>()
+                        .map_err(|_| bad("cost multiplier is not a number"))?;
+                    if !m.is_finite() || m <= 0.0 {
+                        return Err(bad("cost multiplier must be finite and positive"));
+                    }
+                    Fault::InflateCost(m)
+                }
+                other => {
+                    return Err(FaultSpecError {
+                        entry: entry.to_owned(),
+                        reason: format!("unknown fault kind '{other}'"),
+                    })
+                }
             };
             plan.faults.insert(trial, fault);
         }
-        plan
+        Ok(plan)
     }
 }
 
 /// Marker prefix on injected panic messages, used by
 /// [`silence_injected_panic_output`] to keep test logs readable.
 pub(crate) const INJECTED_PANIC_MSG: &str = "injected fault: panic";
+
+/// Panic payload used by [`Fault::Kill`]. Raised *outside* the trial's
+/// `catch_unwind` boundary so it unwinds through the whole engine —
+/// the in-test stand-in for a SIGKILL mid-search.
+pub(crate) const INJECTED_KILL_MSG: &str = "injected fault: kill (simulated process death)";
 
 /// Install a panic hook that suppresses the default stderr backtrace spam
 /// for *injected* panics only; real panics still print through the
@@ -126,14 +203,16 @@ pub fn silence_injected_panic_output() {
     ONCE.call_once(|| {
         let previous = std::panic::take_hook();
         std::panic::set_hook(Box::new(move |info| {
+            let matches_marker =
+                |s: &str| s.contains(INJECTED_PANIC_MSG) || s.contains(INJECTED_KILL_MSG);
             let injected = info
                 .payload()
                 .downcast_ref::<String>()
-                .map(|s| s.contains(INJECTED_PANIC_MSG))
+                .map(|s| matches_marker(s))
                 .or_else(|| {
                     info.payload()
                         .downcast_ref::<&str>()
-                        .map(|s| s.contains(INJECTED_PANIC_MSG))
+                        .map(|s| matches_marker(s))
                 })
                 .unwrap_or(false);
             if !injected {
@@ -164,7 +243,7 @@ mod tests {
 
     #[test]
     fn parse_spec_roundtrip() {
-        let plan = FaultPlan::parse("nan@2, panic@5,fail@0,cost@3=2.5");
+        let plan = FaultPlan::parse("nan@2, panic@5,fail@0,cost@3=2.5, hang@7, kill@9,").unwrap();
         assert_eq!(
             plan,
             FaultPlan::none()
@@ -172,14 +251,38 @@ mod tests {
                 .inject(5, Fault::Panic)
                 .inject(0, Fault::Fail)
                 .inject(3, Fault::InflateCost(2.5))
+                .inject(7, Fault::Hang)
+                .inject(9, Fault::Kill)
         );
+        assert!(FaultPlan::parse("").unwrap().is_empty());
+        assert!(FaultPlan::parse(" , ,").unwrap().is_empty());
     }
 
     #[test]
-    fn parse_is_lenient() {
-        // garbage entries are dropped, valid ones kept
-        let plan = FaultPlan::parse("bogus, nan@x, cost@1, cost@2=-1, cost@2=nan, panic@7,,");
-        assert_eq!(plan, FaultPlan::none().inject(7, Fault::Panic));
-        assert!(FaultPlan::parse("").is_empty());
+    fn parse_rejects_malformed_specs_with_reasons() {
+        for (spec, needle) in [
+            ("bogus", "missing '@<trial>'"),
+            ("nan@x", "not a non-negative integer"),
+            ("panic@-3", "not a non-negative integer"),
+            ("cost@1", "needs '=<multiplier>'"),
+            ("cost@2=-1", "finite and positive"),
+            ("cost@2=nan", "finite and positive"),
+            ("cost@2=zzz", "not a number"),
+            ("explode@4", "unknown fault kind 'explode'"),
+            ("nan@4=2", "only cost@K takes"),
+            ("nan@2, panic@x", "not a non-negative integer"),
+        ] {
+            let err = FaultPlan::parse(spec).expect_err(spec);
+            assert!(
+                err.to_string().contains(needle),
+                "{spec}: expected {needle:?} in {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn valid_prefix_does_not_mask_a_later_error() {
+        let err = FaultPlan::parse("fail@0,wat").unwrap_err();
+        assert_eq!(err.entry, "wat");
     }
 }

@@ -16,6 +16,7 @@
 use crate::budget::{fit_cost, Budget, ModelFamily};
 use crate::ensemble::{greedy_selection, weighted_average, BaggedModel, GlmMetalearner};
 use crate::fault::FaultPlan;
+use crate::journal::{ResumePolicy, SearchRun};
 use crate::leaderboard::{FitReport, Leaderboard};
 use crate::telemetry::TrialTracker;
 use crate::trial::guard_trial;
@@ -27,6 +28,7 @@ use ml::forest::{ForestConfig, RandomForest};
 use ml::knn::{KNearest, KnnConfig};
 use ml::metrics::best_f1_threshold;
 use ml::{Classifier, TrialError};
+use par::Deadline;
 
 /// Bagging folds (AutoGluon default is 8; 5 keeps small datasets viable).
 const K_FOLDS: usize = 5;
@@ -110,11 +112,13 @@ impl AutoMlSystem for AutoGluonStyle {
         "AutoGluon"
     }
 
-    fn fit(
+    fn fit_resumable(
         &mut self,
         train: &TabularData,
         valid: &TabularData,
         budget: &mut Budget,
+        policy: &ResumePolicy,
+        deadline: Deadline,
     ) -> Result<FitReport, TrialError> {
         let span = obs::span("automl.AutoGluon.fit");
         let mut tracker = TrialTracker::new(self.name());
@@ -125,8 +129,38 @@ impl AutoMlSystem for AutoGluonStyle {
         self.meta = None;
         self.fallback = None;
 
+        let members = roster(self.seed);
+        let roster_desc: Vec<String> = members
+            .iter()
+            .map(|(family, template)| format!("{family:?}:{}", template.name()))
+            .collect();
+        let positives = train.y.iter().filter(|&&v| v >= 0.5).count();
+        let mut run = SearchRun::start(
+            self.name(),
+            self.seed,
+            budget,
+            &[
+                &format!("k_folds={K_FOLDS}"),
+                &format!("roster={}", roster_desc.join(",")),
+                &format!(
+                    "rows={} cols={} pos={positives} valid={}",
+                    train.len(),
+                    train.x.cols(),
+                    valid.len()
+                ),
+            ],
+            policy,
+            deadline,
+        )?;
+        let mut deadline_cut = false;
+
         // --- layer 1: bagged base models -------------------------------
-        for (family, template) in roster(self.seed) {
+        for (family, template) in members {
+            if run.deadline_expired() {
+                run.note_deadline();
+                deadline_cut = true;
+                break; // keep what is already trained: best-so-far
+            }
             // k fold-fits, each on (k-1)/k of the data
             let cost = K_FOLDS as f64 * fit_cost(family, train.len() * (K_FOLDS - 1) / K_FOLDS);
             if !budget.can_afford(cost) {
@@ -137,22 +171,35 @@ impl AutoMlSystem for AutoGluonStyle {
             // continues (budget-skipped members above are not trials and
             // get no leaderboard entry)
             let trial_idx = tracker.trials() as u64;
-            let charged = cost * self.faults.cost_multiplier(trial_idx);
             let name = format!("bag[{}]", template.name());
-            let outcome = guard_trial(self.faults.get(trial_idx), || {
-                let bag = BaggedModel::fit(template.as_ref(), train, K_FOLDS, &mut rng)?;
-                let val_probs = bag.predict_proba(&valid.x);
-                let (_, f1) = best_f1_threshold(&val_probs, &valid_labels);
-                Ok((bag, val_probs, f1))
-            });
+            run.note_planned(trial_idx, &name, cost);
+            run.sync();
+            // Each trial gets its own forked rng stream, advanced on the
+            // driving thread whether or not the trial body runs — so a
+            // failure replayed from the journal (which skips the body)
+            // leaves every later trial's randomness untouched.
+            let mut bag_rng = rng.fork(trial_idx);
+            let token = run.token();
+            let outcome = match run.replayed_failure(trial_idx) {
+                Some(err) => Err(err),
+                None => guard_trial(self.faults.get(trial_idx), &token, || {
+                    let bag = BaggedModel::fit(template.as_ref(), train, K_FOLDS, &mut bag_rng)?;
+                    let val_probs = bag.predict_proba(&valid.x);
+                    let (_, f1) = best_f1_threshold(&val_probs, &valid_labels);
+                    Ok((bag, val_probs, f1))
+                }),
+            };
+            let charged = run.charge(trial_idx, cost * self.faults.cost_multiplier(trial_idx));
             budget.consume(charged);
             match outcome {
                 Ok((bag, _, f1)) => {
+                    run.record_done(trial_idx, &name, f1, charged)?;
                     tracker.record(family, &name, f1, charged);
                     leaderboard.push(name, f1, charged);
                     self.bags.push(bag);
                 }
                 Err(err) => {
+                    run.record_failed(trial_idx, &name, &err, charged)?;
                     tracker.record_failure(family, &name, &err, charged);
                     leaderboard.push_failed(name, err, charged);
                 }
@@ -201,21 +248,31 @@ impl AutoMlSystem for AutoGluonStyle {
         self.weights = weights;
         best = (gf1, gt);
 
-        if budget.can_afford(stack_cost) {
+        if !deadline_cut && budget.can_afford(stack_cost) {
             // the stacker is a trial like any other: a degenerate GLM solve
             // (NaN coefficients on collinear folds) is quarantined and the
             // greedy ensemble below keeps the run alive
             let trial_idx = tracker.trials() as u64;
-            let charged = stack_cost * self.faults.cost_multiplier(trial_idx);
-            let outcome = guard_trial(self.faults.get(trial_idx), || {
-                let meta = GlmMetalearner::fit(&oof, &train.y, 1e-2);
-                let stacked_val = meta.predict(&bag_val_probs);
-                let (st, sf1) = best_f1_threshold(&stacked_val, &valid_labels);
-                Ok(((meta, st), stacked_val, sf1))
-            });
+            run.note_planned(trial_idx, "stacker[glm]", stack_cost);
+            run.sync();
+            let token = run.token();
+            let outcome = match run.replayed_failure(trial_idx) {
+                Some(err) => Err(err),
+                None => guard_trial(self.faults.get(trial_idx), &token, || {
+                    let meta = GlmMetalearner::fit(&oof, &train.y, 1e-2);
+                    let stacked_val = meta.predict(&bag_val_probs);
+                    let (st, sf1) = best_f1_threshold(&stacked_val, &valid_labels);
+                    Ok(((meta, st), stacked_val, sf1))
+                }),
+            };
+            let charged = run.charge(
+                trial_idx,
+                stack_cost * self.faults.cost_multiplier(trial_idx),
+            );
             budget.consume(charged);
             match outcome {
                 Ok(((meta, st), _, sf1)) => {
+                    run.record_done(trial_idx, "stacker[glm]", sf1, charged)?;
                     tracker.record(ModelFamily::LogReg, "stacker[glm]", sf1, charged);
                     leaderboard.push("stacker[glm]".to_owned(), sf1, charged);
                     if sf1 > best.0 {
@@ -224,6 +281,7 @@ impl AutoMlSystem for AutoGluonStyle {
                     }
                 }
                 Err(err) => {
+                    run.record_failed(trial_idx, "stacker[glm]", &err, charged)?;
                     tracker.record_failure(ModelFamily::LogReg, "stacker[glm]", &err, charged);
                     leaderboard.push_failed("stacker[glm]".to_owned(), err, charged);
                 }

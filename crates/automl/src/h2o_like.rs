@@ -16,6 +16,7 @@
 use crate::budget::{fit_cost, Budget, ModelFamily};
 use crate::ensemble::{out_of_fold, GlmMetalearner};
 use crate::fault::FaultPlan;
+use crate::journal::{ResumePolicy, SearchRun};
 use crate::leaderboard::{FitReport, Leaderboard};
 use crate::space::{h2o_families, Candidate};
 use crate::telemetry::TrialTracker;
@@ -25,6 +26,7 @@ use linalg::{Matrix, Rng};
 use ml::dataset::TabularData;
 use ml::metrics::best_f1_threshold;
 use ml::{Classifier, TrialError};
+use par::Deadline;
 
 /// Random-search cap (the tool's `max_models` knob).
 const MAX_MODELS: usize = 24;
@@ -69,11 +71,13 @@ impl AutoMlSystem for H2oStyle {
         "H2OAutoML"
     }
 
-    fn fit(
+    fn fit_resumable(
         &mut self,
         train: &TabularData,
         valid: &TabularData,
         budget: &mut Budget,
+        policy: &ResumePolicy,
+        deadline: Deadline,
     ) -> Result<FitReport, TrialError> {
         let span = obs::span("automl.H2OAutoML.fit");
         let mut tracker = TrialTracker::new(self.name());
@@ -81,6 +85,25 @@ impl AutoMlSystem for H2oStyle {
         let families = h2o_families();
         let valid_labels = valid.labels_bool();
         let mut leaderboard = Leaderboard::new();
+        let positives = train.y.iter().filter(|&&v| v >= 0.5).count();
+        let mut run = SearchRun::start(
+            self.name(),
+            self.seed,
+            budget,
+            &[
+                &format!("families={families:?}"),
+                &format!("max_models={MAX_MODELS} stack_top={STACK_TOP} k_folds={K_FOLDS}"),
+                &format!(
+                    "rows={} cols={} pos={positives} valid={}",
+                    train.len(),
+                    train.x.cols(),
+                    valid.len()
+                ),
+            ],
+            policy,
+            deadline,
+        )?;
+        let mut deadline_cut = false;
 
         // --- fast random search -----------------------------------------
         // reserve a slice of the budget for the stacking stage
@@ -105,34 +128,48 @@ impl AutoMlSystem for H2oStyle {
             planned.push((candidate, cost, idx));
         }
 
+        // WAL intent records for the whole grid: one fsync
+        for (candidate, cost, idx) in &planned {
+            let name = candidate.build(seed.wrapping_add(*idx)).name();
+            run.note_planned(*idx, &name, *cost);
+        }
+        run.sync();
+
         // --- independent fits: run the grid through the par pool, each
         //     inside the trial boundary so a failing candidate — panic,
         //     NaN score, injected fault — is quarantined without losing
-        //     the worker or the grid ---
+        //     the worker or the grid. Journaled failures are restored
+        //     without re-running ---
         let faults = &self.faults;
-        let fits = par::map(&planned, |(candidate, _, idx)| {
-            guard_trial(faults.get(*idx), || {
+        let view = run.view();
+        let fits = par::map(&planned, |(candidate, _, idx)| match view.failed(*idx) {
+            Some(err) => Err(err),
+            None => guard_trial(faults.get(*idx), view.token(), || {
                 let mut model = candidate.build(seed.wrapping_add(*idx));
                 model.fit(&train.x, &train.y)?;
                 let probs = model.predict_proba(&valid.x);
                 let (_, f1) = best_f1_threshold(&probs, &valid_labels);
                 Ok((model, probs, f1))
-            })
+            }),
         });
 
-        // --- charge budget and emit telemetry in submission order ---
+        // --- charge budget, journal outcomes and emit telemetry in
+        //     submission order (replayed trials use their recorded
+        //     charges) ---
         let mut evaluated: Vec<Evaluated> = Vec::new();
         for ((candidate, cost, idx), fit) in planned.into_iter().zip(fits) {
-            let charged = cost * self.faults.cost_multiplier(idx);
+            let charged = run.charge(idx, cost * self.faults.cost_multiplier(idx));
             budget.consume(charged);
             match fit {
                 Ok((model, probs, f1)) => {
+                    run.record_done(idx, &model.name(), f1, charged)?;
                     tracker.record(candidate.family, &model.name(), f1, charged);
                     leaderboard.push(model.name(), f1, charged);
                     evaluated.push((candidate, model, probs, f1));
                 }
                 Err(err) => {
                     let name = candidate.build(seed.wrapping_add(idx)).name();
+                    run.record_failed(idx, &name, &err, charged)?;
                     tracker.record_failure(candidate.family, &name, &err, charged);
                     leaderboard.push_failed(name, err, charged);
                 }
@@ -157,6 +194,12 @@ impl AutoMlSystem for H2oStyle {
         let mut oof_members: Vec<usize> = Vec::new();
         let mut kept: Vec<Evaluated> = Vec::new();
         for (cand, model, vprobs, f1) in evaluated {
+            if run.deadline_expired() {
+                run.note_deadline();
+                deadline_cut = true;
+                kept.push((cand, model, vprobs, f1));
+                continue; // keep the member ranked, skip its oof refits
+            }
             let oof_cost =
                 K_FOLDS as f64 * fit_cost(cand.family, train.len() * (K_FOLDS - 1) / K_FOLDS) * 0.5; // folds are smaller and reuse binning work
             if budget.can_afford(oof_cost) {
@@ -179,21 +222,28 @@ impl AutoMlSystem for H2oStyle {
         let (single_t, single_f1) = best_f1_threshold(&single_val, &valid_labels);
         let mut best = (single_f1, single_t, false);
 
-        if oof_cols.len() >= 2 {
+        if oof_cols.len() >= 2 && !deadline_cut {
             let oof = Matrix::from_fn(train.len(), oof_cols.len(), |i, m| oof_cols[m][i]);
             let member_val: Vec<Vec<f32>> =
                 oof_members.iter().map(|&i| kept[i].2.clone()).collect();
             // the super learner is a trial like any other: a degenerate
             // GLM solve is quarantined and the best single model wins
             let trial_idx = tracker.trials() as u64;
-            let outcome = guard_trial(self.faults.get(trial_idx), || {
-                let meta = GlmMetalearner::fit(&oof, &train.y, 1e-2);
-                let stacked_val = meta.predict(&member_val);
-                let (st, sf1) = best_f1_threshold(&stacked_val, &valid_labels);
-                Ok(((meta, st), stacked_val, sf1))
-            });
+            run.note_planned(trial_idx, "super_learner[glm]", 0.0);
+            run.sync();
+            let token = run.token();
+            let outcome = match run.replayed_failure(trial_idx) {
+                Some(err) => Err(err),
+                None => guard_trial(self.faults.get(trial_idx), &token, || {
+                    let meta = GlmMetalearner::fit(&oof, &train.y, 1e-2);
+                    let stacked_val = meta.predict(&member_val);
+                    let (st, sf1) = best_f1_threshold(&stacked_val, &valid_labels);
+                    Ok(((meta, st), stacked_val, sf1))
+                }),
+            };
             match outcome {
                 Ok(((meta, st), _, sf1)) => {
+                    run.record_done(trial_idx, "super_learner[glm]", sf1, 0.0)?;
                     tracker.record(ModelFamily::LogReg, "super_learner[glm]", sf1, 0.0);
                     leaderboard.push("super_learner[glm]".to_owned(), sf1, 0.0);
                     if sf1 >= best.0 {
@@ -202,6 +252,7 @@ impl AutoMlSystem for H2oStyle {
                     }
                 }
                 Err(err) => {
+                    run.record_failed(trial_idx, "super_learner[glm]", &err, 0.0)?;
                     tracker.record_failure(ModelFamily::LogReg, "super_learner[glm]", &err, 0.0);
                     leaderboard.push_failed("super_learner[glm]".to_owned(), err, 0.0);
                 }

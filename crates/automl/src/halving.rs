@@ -11,10 +11,13 @@
 //! through the `par` worker pool; the affordable prefix of the rung is
 //! planned on the driving thread with a simulated budget and charges are
 //! replayed in submission order afterwards, so the report is byte-for-byte
-//! the one a sequential sweep produces, at any thread count.
+//! the one a sequential sweep produces, at any thread count. Rungs are
+//! journaled through [`crate::journal`] like every other engine, so an
+//! interrupted halving run resumes mid-rung.
 
 use crate::budget::{fit_cost, Budget};
 use crate::fault::FaultPlan;
+use crate::journal::{ResumePolicy, SearchRun};
 use crate::leaderboard::{FitReport, Leaderboard};
 use crate::space::{sklearn_families, Candidate};
 use crate::telemetry::TrialTracker;
@@ -25,6 +28,7 @@ use ml::cv::stratified_holdout;
 use ml::dataset::TabularData;
 use ml::metrics::best_f1_threshold;
 use ml::{Classifier, TrialError};
+use par::Deadline;
 
 /// Successive-halving configuration.
 #[derive(Debug, Clone, Copy)]
@@ -93,11 +97,13 @@ impl AutoMlSystem for SuccessiveHalving {
         "SuccessiveHalving"
     }
 
-    fn fit(
+    fn fit_resumable(
         &mut self,
         train: &TabularData,
         valid: &TabularData,
         budget: &mut Budget,
+        policy: &ResumePolicy,
+        deadline: Deadline,
     ) -> Result<FitReport, TrialError> {
         let span = obs::span("automl.SuccessiveHalving.fit");
         let mut tracker = TrialTracker::new(self.name());
@@ -105,6 +111,29 @@ impl AutoMlSystem for SuccessiveHalving {
         let families = sklearn_families();
         let valid_labels = valid.labels_bool();
         let mut leaderboard = Leaderboard::new();
+        let positives = train.y.iter().filter(|&&v| v >= 0.5).count();
+        let mut run = SearchRun::start(
+            self.name(),
+            self.seed,
+            budget,
+            &[
+                &format!("families={families:?}"),
+                &format!(
+                    "rows={} cols={} pos={positives} valid={}",
+                    train.len(),
+                    train.x.cols(),
+                    valid.len()
+                ),
+                &format!(
+                    "pop={} keep={:?} subsample={:?}",
+                    self.config.initial_population,
+                    self.config.keep_fraction,
+                    self.config.initial_subsample
+                ),
+            ],
+            policy,
+            deadline,
+        )?;
 
         // rung 0 population
         let mut population: Vec<(Candidate, f64)> = (0..self.config.initial_population)
@@ -115,6 +144,12 @@ impl AutoMlSystem for SuccessiveHalving {
         let mut eval_idx = 0u64;
         let mut rung = 0usize;
         loop {
+            // wall-clock ceiling: stop opening new rungs once the deadline
+            // has passed; the previous rung's survivors are the result
+            if run.deadline_expired() {
+                run.note_deadline();
+                break;
+            }
             let rows = ((train.len() as f64 * subsample) as usize)
                 .clamp(2.max(valid_labels.len().min(8)), train.len());
             // deterministic per-rung subsample (stratified so tiny rungs
@@ -145,34 +180,44 @@ impl AutoMlSystem for SuccessiveHalving {
                 eval_idx += 1;
             }
 
+            // WAL intent records: one fsync per rung
+            for &(pop_idx, cost, idx) in &planned {
+                let name = population[pop_idx].0.build(seed.wrapping_add(idx)).name();
+                run.note_planned(idx, &format!("rung{rung}[{name}]"), cost);
+            }
+            run.sync();
+
             // --- the whole rung is an independent population sweep: fit
             //     it through the par pool (each fit inside the trial
-            //     boundary), results in submission order ---
+            //     boundary), results in submission order. Failures
+            //     replayed from the journal are restored without
+            //     re-running ---
             let faults = &self.faults;
-            let fits = par::map(&planned, |&(pop_idx, _, idx)| {
-                guard_trial(faults.get(idx), || {
+            let view = run.view();
+            let fits = par::map(&planned, |&(pop_idx, _, idx)| match view.failed(idx) {
+                Some(err) => Err(err),
+                None => guard_trial(faults.get(idx), view.token(), || {
                     let mut model = population[pop_idx].0.build(seed.wrapping_add(idx));
                     model.fit(&subset.x, &subset.y)?;
                     let probs = model.predict_proba(&valid.x);
                     let (_, f1) = best_f1_threshold(&probs, &valid_labels);
                     Ok((model, probs, f1))
-                })
+                }),
             });
 
-            // --- charge budget and emit telemetry in submission order ---
+            // --- charge budget, journal outcomes and emit telemetry in
+            //     submission order (replayed trials charge their recorded
+            //     units, so nothing is double-charged on resume) ---
             let mut rung_results: Vec<Evaluated> = Vec::new();
             for (&(pop_idx, cost, idx), fit) in planned.iter().zip(fits) {
-                let charged = cost * self.faults.cost_multiplier(idx);
+                let charged = run.charge(idx, cost * self.faults.cost_multiplier(idx));
                 budget.consume(charged);
                 match fit {
                     Ok((model, probs, f1)) => {
-                        tracker.record(
-                            population[pop_idx].0.family,
-                            &format!("rung{rung}[{}]", model.name()),
-                            f1,
-                            charged,
-                        );
-                        leaderboard.push(format!("rung{rung}[{}]", model.name()), f1, charged);
+                        let label = format!("rung{rung}[{}]", model.name());
+                        run.record_done(idx, &label, f1, charged)?;
+                        tracker.record(population[pop_idx].0.family, &label, f1, charged);
+                        leaderboard.push(label, f1, charged);
                         population[pop_idx].1 = f1;
                         rung_results.push((population[pop_idx].0.clone(), model, probs, f1));
                     }
@@ -183,6 +228,7 @@ impl AutoMlSystem for SuccessiveHalving {
                             "rung{rung}[{}]",
                             population[pop_idx].0.build(seed.wrapping_add(idx)).name()
                         );
+                        run.record_failed(idx, &name, &err, charged)?;
                         tracker.record_failure(population[pop_idx].0.family, &name, &err, charged);
                         leaderboard.push_failed(name, err, charged);
                     }

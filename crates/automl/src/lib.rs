@@ -35,6 +35,7 @@ pub mod fault;
 pub mod gluon_like;
 pub mod h2o_like;
 pub mod halving;
+pub mod journal;
 pub mod leaderboard;
 pub mod sklearn_like;
 pub mod smbo;
@@ -46,9 +47,11 @@ use linalg::Matrix;
 use ml::dataset::TabularData;
 
 pub use budget::Budget;
-pub use fault::{Fault, FaultPlan};
+pub use fault::{Fault, FaultPlan, FaultSpecError};
+pub use journal::ResumePolicy;
 pub use leaderboard::{FitReport, Leaderboard, LeaderboardEntry};
 pub use ml::TrialError;
+pub use par::{CancelToken, Deadline};
 
 /// A complete AutoML system: give it train/validation data and a budget,
 /// get a fitted predictor with a validation-tuned decision threshold.
@@ -65,11 +68,36 @@ pub trait AutoMlSystem {
     /// produce a predictor — every trial failed
     /// ([`TrialError::AllTrialsFailed`]) or the budget could not cover a
     /// single fit ([`TrialError::BudgetExceeded`]).
+    ///
+    /// Equivalent to [`AutoMlSystem::fit_resumable`] with no journal and
+    /// no deadline.
     fn fit(
         &mut self,
         train: &TabularData,
         valid: &TabularData,
         budget: &mut Budget,
+    ) -> Result<FitReport, TrialError> {
+        self.fit_resumable(train, valid, budget, &ResumePolicy::Fresh, Deadline::none())
+    }
+
+    /// Crash-safe variant of [`AutoMlSystem::fit`].
+    ///
+    /// `policy` connects the search to an on-disk write-ahead journal
+    /// (see [`journal`]): with [`ResumePolicy::Resume`] a prior
+    /// interrupted run's trials are replayed instead of repeated, and the
+    /// final report is byte-identical to the uninterrupted run's.
+    /// `deadline` is a wall-clock ceiling: once it passes the engine
+    /// stops planning new trials, abandons in-flight fits cooperatively
+    /// (quarantined as [`TrialError::DeadlineExceeded`]) and returns its
+    /// best-so-far report — total overrun is bounded by one
+    /// trial-cancellation grace period.
+    fn fit_resumable(
+        &mut self,
+        train: &TabularData,
+        valid: &TabularData,
+        budget: &mut Budget,
+        policy: &ResumePolicy,
+        deadline: Deadline,
     ) -> Result<FitReport, TrialError>;
 
     /// Match probability per row (requires a prior `fit`).

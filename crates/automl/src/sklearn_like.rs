@@ -15,6 +15,7 @@
 use crate::budget::{fit_cost, Budget};
 use crate::ensemble::{greedy_selection, weighted_average};
 use crate::fault::FaultPlan;
+use crate::journal::{ResumePolicy, SearchRun};
 use crate::leaderboard::{FitReport, Leaderboard};
 use crate::smbo::{propose, warm_starts, Surrogate};
 use crate::space::{sklearn_families, Candidate};
@@ -25,6 +26,7 @@ use linalg::{Matrix, Rng};
 use ml::dataset::TabularData;
 use ml::metrics::best_f1_threshold;
 use ml::{Classifier, TrialError};
+use par::Deadline;
 
 /// Minimum random evaluations before the surrogate takes over.
 const MIN_RANDOM_EVALS: usize = 8;
@@ -71,11 +73,13 @@ impl AutoMlSystem for AutoSklearnStyle {
         "AutoSklearn"
     }
 
-    fn fit(
+    fn fit_resumable(
         &mut self,
         train: &TabularData,
         valid: &TabularData,
         budget: &mut Budget,
+        policy: &ResumePolicy,
+        deadline: Deadline,
     ) -> Result<FitReport, TrialError> {
         let span = obs::span("automl.AutoSklearn.fit");
         let mut tracker = TrialTracker::new(self.name());
@@ -83,6 +87,28 @@ impl AutoMlSystem for AutoSklearnStyle {
         let families = sklearn_families();
         let valid_labels = valid.labels_bool();
         let mut leaderboard = Leaderboard::new();
+        let positives = train.y.iter().filter(|&&v| v >= 0.5).count();
+        let mut run = SearchRun::start(
+            self.name(),
+            self.seed,
+            budget,
+            &[
+                &format!("families={families:?}"),
+                &format!(
+                    "rows={} cols={} pos={positives} valid={}",
+                    train.len(),
+                    train.x.cols(),
+                    valid.len()
+                ),
+                &format!(
+                    "batch={SMBO_BATCH} min_random={MIN_RANDOM_EVALS} \
+                     trees={SURROGATE_TREES} rounds={ENSEMBLE_ROUNDS}"
+                ),
+            ],
+            policy,
+            deadline,
+        )?;
+        let mut deadline_cut = false;
 
         let mut warm = warm_starts(train.len(), train.positive_ratio());
         warm.reverse(); // pop() yields them in priority order
@@ -92,6 +118,13 @@ impl AutoMlSystem for AutoSklearnStyle {
         let seed = self.seed;
         let mut eval_idx = 0u64;
         loop {
+            // --- wall-clock ceiling: stop planning once the deadline has
+            //     passed and hand back the best-so-far report ---
+            if run.deadline_expired() {
+                run.note_deadline();
+                deadline_cut = true;
+                break;
+            }
             // --- plan one batch on the driving thread (deterministic) ---
             // one surrogate snapshot per round; every proposal in the
             // round maximizes EI against it (constant-liar batch SMBO)
@@ -134,29 +167,43 @@ impl AutoMlSystem for AutoSklearnStyle {
             if planned.is_empty() {
                 break;
             }
+            // WAL intent records: one fsync per batch
+            for (candidate, cost, idx) in &planned {
+                let name = candidate.build(seed.wrapping_add(*idx)).name();
+                run.note_planned(*idx, &name, *cost);
+            }
+            run.sync();
 
             // --- fit the batch in parallel; results come back in
             //     submission order whatever the scheduling. Each fit runs
             //     inside the trial boundary so a failing candidate — panic,
             //     NaN score, injected fault — is quarantined as an `Err`
-            //     without losing the worker or the batch ---
+            //     without losing the worker or the batch. Failures
+            //     replayed from the journal are restored without
+            //     re-running (their outcome may have been wall-clock
+            //     dependent, e.g. a deadline abandonment) ---
             let faults = &self.faults;
-            let evals = par::map(&planned, |(candidate, _, idx)| {
-                guard_trial(faults.get(*idx), || {
+            let view = run.view();
+            let evals = par::map(&planned, |(candidate, _, idx)| match view.failed(*idx) {
+                Some(err) => Err(err),
+                None => guard_trial(faults.get(*idx), view.token(), || {
                     let mut model = candidate.build(seed.wrapping_add(*idx));
                     model.fit(&train.x, &train.y)?;
                     let probs = model.predict_proba(&valid.x);
                     let (_, f1) = best_f1_threshold(&probs, &valid_labels);
                     Ok((model, probs, f1))
-                })
+                }),
             });
 
-            // --- charge budget and emit telemetry in submission order ---
+            // --- charge budget, journal outcomes and emit telemetry in
+            //     submission order (replayed trials charge their recorded
+            //     units, so nothing is double-charged on resume) ---
             for ((candidate, cost, idx), eval) in planned.into_iter().zip(evals) {
-                let charged = cost * self.faults.cost_multiplier(idx);
+                let charged = run.charge(idx, cost * self.faults.cost_multiplier(idx));
                 budget.consume(charged);
                 match eval {
                     Ok((model, probs, f1)) => {
+                        run.record_done(idx, &model.name(), f1, charged)?;
                         tracker.record(candidate.family, &model.name(), f1, charged);
                         leaderboard.push(model.name(), f1, charged);
                         history.push((candidate, f1 / 100.0));
@@ -166,6 +213,7 @@ impl AutoMlSystem for AutoSklearnStyle {
                         // the attempted work is charged, the candidate is
                         // quarantined, and the search continues
                         let name = candidate.build(seed.wrapping_add(idx)).name();
+                        run.record_failed(idx, &name, &err, charged)?;
                         tracker.record_failure(candidate.family, &name, &err, charged);
                         leaderboard.push_failed(name, err, charged);
                     }
@@ -196,8 +244,12 @@ impl AutoMlSystem for AutoSklearnStyle {
         }
         self.threshold = threshold;
 
-        // the real AutoSklearn always runs out its clock
-        budget.drain();
+        // the real AutoSklearn always runs out its clock — unless a
+        // wall-clock deadline cut the run short, in which case reporting
+        // the drained budget would overstate the work done
+        if !deadline_cut {
+            budget.drain();
+        }
         span.add_units(budget.used());
         Ok(FitReport {
             system: self.name(),

@@ -5,6 +5,13 @@
 //! histories hold tens of points, so exhaustive split search is cheap).
 //! Tree-to-tree disagreement provides the predictive variance that the
 //! expected-improvement acquisition needs.
+//!
+//! Crash-safety note: the surrogate runs on the *driving* thread during
+//! batch planning, between two wall-clock deadline checks, and is cheap
+//! enough (milliseconds) that it needs no cancellation point of its own.
+//! It is deliberately never journaled — on resume it is rebuilt from the
+//! replayed evaluation history, which the byte-identity contract
+//! guarantees is identical to the history of the uninterrupted run.
 
 use crate::space::Candidate;
 use linalg::stats::expected_improvement;

@@ -3,6 +3,12 @@
 //! with the three AutoML systems under 1-hour and 6-hour budgets, compared
 //! against DeepMatcher (Hybrid). Δ columns report the offset between the
 //! best adapted system and DeepMatcher, per budget.
+//!
+//! This is the binary the crash-safety layer is aimed at: pass
+//! `--journal-dir <dir>` to checkpoint every search cell to a WAL named
+//! `<code>_<system>_<budget>h.jsonl` — SIGKILL the process at any point
+//! and rerun the same command to resume — and `--deadline-secs <s>` to
+//! cap each search's wall clock (expired searches report best-so-far).
 
 use bench::experiments::{
     dataset_seed, make_system, per_dataset, pretrain_embedders, SYSTEM_NAMES,
@@ -10,7 +16,7 @@ use bench::experiments::{
 use bench::report::{emit, f1, finish_run, hours, Table};
 use bench::Cli;
 use deepmatcher::{train_deepmatcher, TrainConfig};
-use em_core::{run_encoded, Combiner, EmAdapter, PipelineConfig, TokenizerMode};
+use em_core::{run_encoded_resumable, Combiner, EmAdapter, PipelineConfig, TokenizerMode};
 use em_data::Split;
 use embed::families::EmbedderFamily;
 
@@ -47,7 +53,7 @@ fn main() {
         let test = adapter.encode_split(&dataset, Split::Test);
         let mut one = [0.0; 3];
         let mut six = [0.0; 3];
-        for i in 0..3 {
+        for (i, sys_name) in SYSTEM_NAMES.iter().enumerate() {
             for (slot, hours) in [(&mut one, 1.0), (&mut six, 6.0)] {
                 let mut sys = make_system(i, seed);
                 let cfg = PipelineConfig {
@@ -55,9 +61,21 @@ fn main() {
                     seed,
                     ..PipelineConfig::default()
                 };
-                slot[i] = run_encoded(sys.as_mut(), &train, &valid, &test, cfg, p.code)
-                    .expect("encoded run failed")
-                    .test_f1;
+                // one WAL per (dataset × system × budget) cell: a killed
+                // run resumes exactly the cells it hadn't finished
+                let policy = cli.resume_policy(&format!("{}_{sys_name}_{hours}h", p.code));
+                slot[i] = run_encoded_resumable(
+                    sys.as_mut(),
+                    &train,
+                    &valid,
+                    &test,
+                    cfg,
+                    p.code,
+                    &policy,
+                    cli.deadline(),
+                )
+                .expect("encoded run failed")
+                .test_f1;
             }
         }
         Row {
@@ -106,6 +124,5 @@ fn main() {
         "Within 2% of (or above) DeepMatcher: {cmp1}/{n} at 1h, {cmp6}/{n} at 6h \
          (paper: 9/12 and 11/12)"
     );
-    let _ = SYSTEM_NAMES; // referenced for column naming consistency
     finish_run("table5", &cli);
 }

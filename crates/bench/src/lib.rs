@@ -15,7 +15,11 @@
 //! All binaries accept `--scale <f>` (fraction of each dataset's Table 1
 //! size; default keeps runtimes in minutes — pass `--scale 1.0` for the
 //! full benchmark), `--seed <n>` and `--out <dir>` (TSV output next to the
-//! printed markdown).
+//! printed markdown). `table5` additionally accepts `--journal-dir <dir>`
+//! (checkpoint every search to a per-cell WAL and resume from it on
+//! restart — kill the process at any point and rerun the same command)
+//! and `--deadline-secs <s>` (a wall-clock ceiling per search; expired
+//! searches return best-so-far).
 
 pub mod experiments;
 pub mod report;
@@ -32,6 +36,13 @@ pub struct Cli {
     pub out: Option<String>,
     /// Optional filter: only run datasets whose code contains this string.
     pub only: Option<String>,
+    /// Directory for crash-safe search journals (`None` = no journaling).
+    /// Rerunning the same command with the same directory resumes
+    /// interrupted searches from their WALs.
+    pub journal_dir: Option<String>,
+    /// Wall-clock ceiling per AutoML search, in seconds (`None` = no
+    /// deadline). Expired searches return their best-so-far report.
+    pub deadline_secs: Option<f64>,
 }
 
 impl Default for Cli {
@@ -41,12 +52,15 @@ impl Default for Cli {
             seed: 42,
             out: Some("results".to_owned()),
             only: None,
+            journal_dir: None,
+            deadline_secs: None,
         }
     }
 }
 
 impl Cli {
-    /// Parse `--scale`, `--seed`, `--out`, `--only` from `std::env::args`.
+    /// Parse `--scale`, `--seed`, `--out`, `--only`, `--journal-dir` and
+    /// `--deadline-secs` from `std::env::args`.
     pub fn parse() -> Cli {
         let mut cli = Cli::default();
         let args: Vec<String> = std::env::args().collect();
@@ -79,7 +93,27 @@ impl Cli {
                     cli.only = Some(args.get(i + 1).expect("--only needs a code").clone());
                     i += 2;
                 }
-                other => panic!("unknown argument: {other} (try --scale/--seed/--out/--only)"),
+                "--journal-dir" => {
+                    cli.journal_dir =
+                        Some(args.get(i + 1).expect("--journal-dir needs a path").clone());
+                    i += 2;
+                }
+                "--deadline-secs" => {
+                    let secs: f64 = args
+                        .get(i + 1)
+                        .and_then(|v| v.parse().ok())
+                        .expect("--deadline-secs needs a number of seconds");
+                    assert!(
+                        secs.is_finite() && secs > 0.0,
+                        "--deadline-secs must be positive"
+                    );
+                    cli.deadline_secs = Some(secs);
+                    i += 2;
+                }
+                other => panic!(
+                    "unknown argument: {other} \
+                     (try --scale/--seed/--out/--only/--journal-dir/--deadline-secs)"
+                ),
             }
         }
         assert!(
@@ -87,6 +121,29 @@ impl Cli {
             "--scale must be in (0, 1]"
         );
         cli
+    }
+
+    /// The [`automl::ResumePolicy`] for one search cell: a per-cell WAL
+    /// named `<cell>.jsonl` under `--journal-dir` (resumed when the file
+    /// already exists), or [`automl::ResumePolicy::Fresh`] when no journal
+    /// directory was given.
+    pub fn resume_policy(&self, cell: &str) -> automl::ResumePolicy {
+        match &self.journal_dir {
+            Some(dir) => automl::ResumePolicy::Resume(
+                std::path::Path::new(dir).join(format!("{cell}.jsonl")),
+            ),
+            None => automl::ResumePolicy::Fresh,
+        }
+    }
+
+    /// A fresh wall-clock [`automl::Deadline`] from `--deadline-secs`.
+    /// The clock starts at the call, so call this once per search, right
+    /// before the search starts.
+    pub fn deadline(&self) -> automl::Deadline {
+        match self.deadline_secs {
+            Some(s) => automl::Deadline::within(std::time::Duration::from_secs_f64(s)),
+            None => automl::Deadline::none(),
+        }
     }
 
     /// The dataset profiles selected by `--only` (all 12 by default).

@@ -133,6 +133,12 @@ pub fn finish_run(run: &str, cli: &crate::Cli) {
         if let Some(only) = &cli.only {
             manifest.config("only", obs::Value::Str(only.clone()));
         }
+        if let Some(journal_dir) = &cli.journal_dir {
+            manifest.config("journal_dir", obs::Value::Str(journal_dir.clone()));
+        }
+        if let Some(secs) = cli.deadline_secs {
+            manifest.config("deadline_secs", obs::Value::F64(secs));
+        }
         match manifest.write_to(dir) {
             Ok(path) => eprintln!("(wrote {})", path.display()),
             Err(e) => eprintln!("warning: could not write manifest: {e}"),

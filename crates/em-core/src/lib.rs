@@ -34,7 +34,10 @@ pub mod pipeline;
 pub mod tokenizer;
 
 pub use adapter::EmAdapter;
-pub use automl::TrialError;
+pub use automl::{Deadline, ResumePolicy, TrialError};
 pub use combiner::Combiner;
-pub use pipeline::{run_encoded, run_pipeline, run_raw, PipelineConfig, PipelineResult};
+pub use pipeline::{
+    run_encoded, run_encoded_resumable, run_pipeline, run_pipeline_resumable, run_raw,
+    PipelineConfig, PipelineResult,
+};
 pub use tokenizer::TokenizerMode;

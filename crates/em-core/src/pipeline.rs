@@ -4,7 +4,7 @@
 
 use crate::adapter::EmAdapter;
 use crate::baseline::RawFeaturizer;
-use automl::{AutoMlSystem, Budget, TrialError};
+use automl::{AutoMlSystem, Budget, Deadline, ResumePolicy, TrialError};
 use em_data::{EmDataset, Split};
 use linalg::Rng;
 use ml::dataset::TabularData;
@@ -55,6 +55,9 @@ pub struct PipelineResult {
     /// Embedding-cache hit rate over the encode stage (`None` on paths
     /// that never touch the embedding cache, e.g. the raw baseline).
     pub cache_hit_rate: Option<f64>,
+    /// Path of the search journal the run checkpointed to / resumed
+    /// from (`None` when the run was not crash-safe).
+    pub journal: Option<String>,
 }
 
 /// Run an already-encoded train/valid/test triple through a system.
@@ -71,6 +74,34 @@ pub fn run_encoded(
     test: &TabularData,
     config: PipelineConfig,
     dataset: &str,
+) -> Result<PipelineResult, TrialError> {
+    run_encoded_resumable(
+        system,
+        train,
+        valid,
+        test,
+        config,
+        dataset,
+        &ResumePolicy::Fresh,
+        Deadline::none(),
+    )
+}
+
+/// Crash-safe variant of [`run_encoded`]: the search is journaled per
+/// `policy` (see [`automl::journal`]) and bounded by the wall-clock
+/// `deadline`. With [`ResumePolicy::Resume`] an interrupted run picks up
+/// where its journal left off and produces the same result the
+/// uninterrupted run would have.
+#[allow(clippy::too_many_arguments)] // mirrors run_encoded + the two crash-safety knobs
+pub fn run_encoded_resumable(
+    system: &mut dyn AutoMlSystem,
+    train: &TabularData,
+    valid: &TabularData,
+    test: &TabularData,
+    config: PipelineConfig,
+    dataset: &str,
+    policy: &ResumePolicy,
+    deadline: Deadline,
 ) -> Result<PipelineResult, TrialError> {
     let span = obs::span("pipeline.run");
     // scale features on train statistics (AutoML tools all do this
@@ -92,7 +123,7 @@ pub fn run_encoded(
     let mut budget = Budget::hours(config.budget_hours)?;
     let report = {
         let _s = obs::span("pipeline.fit"); // engine spans nest under this
-        system.fit(&train, &valid, &mut budget)?
+        system.fit_resumable(&train, &valid, &mut budget, policy, deadline)?
     };
     let preds = {
         let _s = obs::span("pipeline.predict");
@@ -129,6 +160,7 @@ pub fn run_encoded(
         models_evaluated: report.leaderboard.len(),
         models_failed: report.leaderboard.n_failed(),
         cache_hit_rate: None,
+        journal: policy.journal_path().map(|p| p.display().to_string()),
     })
 }
 
@@ -139,6 +171,27 @@ pub fn run_pipeline(
     dataset: &EmDataset,
     config: PipelineConfig,
 ) -> Result<PipelineResult, TrialError> {
+    run_pipeline_resumable(
+        system,
+        adapter,
+        dataset,
+        config,
+        &ResumePolicy::Fresh,
+        Deadline::none(),
+    )
+}
+
+/// Crash-safe variant of [`run_pipeline`]: encoding is recomputed (it is
+/// deterministic and cheap relative to the search), the AutoML search is
+/// journaled per `policy` and bounded by `deadline`.
+pub fn run_pipeline_resumable(
+    system: &mut dyn AutoMlSystem,
+    adapter: &EmAdapter<'_>,
+    dataset: &EmDataset,
+    config: PipelineConfig,
+    policy: &ResumePolicy,
+    deadline: Deadline,
+) -> Result<PipelineResult, TrialError> {
     let (train, valid, test) = {
         let _s = obs::span("pipeline.encode");
         (
@@ -147,7 +200,16 @@ pub fn run_pipeline(
             adapter.encode_split(dataset, Split::Test),
         )
     };
-    let mut result = run_encoded(system, &train, &valid, &test, config, dataset.name())?;
+    let mut result = run_encoded_resumable(
+        system,
+        &train,
+        &valid,
+        &test,
+        config,
+        dataset.name(),
+        policy,
+        deadline,
+    )?;
     result.cache_hit_rate = adapter.cache_hit_rate();
     if let Some(rate) = result.cache_hit_rate {
         obs::gauge("embed.cache.hit_rate").set(rate);

@@ -5,12 +5,110 @@
 //! row per record pair. Quoting follows RFC 4180 (fields containing commas,
 //! quotes or newlines are double-quoted; embedded quotes doubled). Missing
 //! values serialize as empty fields and load back as `None`.
+//!
+//! Loading is hardened against *torn files*: a process killed mid-write
+//! leaves a last line with too few fields (or a quote that never closes),
+//! and [`read_csv`] reports that as a typed [`CsvError`] carrying the byte
+//! offset where the intact prefix ends — never a panic, and never a
+//! silently dropped row.
 
 use crate::dataset::EmDataset;
 use crate::record::{Entity, RecordPair};
 use crate::schema::{AttrType, Attribute, DatasetKind, Schema};
 use linalg::Rng;
+use std::fmt;
 use std::io::{self, BufRead, Write};
+
+/// Why a CSV failed to load. Every variant that points at file content
+/// carries `byte_offset`: the offset at which the offending record
+/// *starts*, i.e. the file is intact on `[0, byte_offset)` — exactly what
+/// a recovery tool needs in order to truncate a torn tail.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CsvError {
+    /// The header row is missing or is not `label,left_*...,right_*...`.
+    BadHeader {
+        /// What was wrong with it.
+        reason: String,
+    },
+    /// A fully terminated row with the wrong number of fields.
+    RaggedRow {
+        /// 1-based physical line the record starts on.
+        line: u64,
+        /// Byte offset the record starts at.
+        byte_offset: u64,
+        /// Fields found.
+        got: usize,
+        /// Fields the header promises.
+        expected: usize,
+    },
+    /// The file ends mid-record — no trailing newline and too few fields,
+    /// the signature of a crash mid-write.
+    TruncatedLine {
+        /// 1-based physical line the torn record starts on.
+        line: u64,
+        /// Byte offset of the torn record; truncating the file to this
+        /// length recovers the intact prefix.
+        byte_offset: u64,
+        /// Fields found in the partial record.
+        got: usize,
+        /// Fields the header promises.
+        expected: usize,
+    },
+    /// A quoted field was still open when the file ended.
+    UnclosedQuote {
+        /// 1-based physical line the record with the open quote starts on.
+        line: u64,
+        /// Byte offset of that record (the intact prefix ends here).
+        byte_offset: u64,
+    },
+    /// The underlying reader failed.
+    Io(String),
+}
+
+impl fmt::Display for CsvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CsvError::BadHeader { reason } => write!(f, "bad CSV header: {reason}"),
+            CsvError::RaggedRow {
+                line,
+                byte_offset,
+                got,
+                expected,
+            } => write!(
+                f,
+                "line {line} (byte offset {byte_offset}): row has {got} fields, expected {expected}"
+            ),
+            CsvError::TruncatedLine {
+                line,
+                byte_offset,
+                got,
+                expected,
+            } => write!(
+                f,
+                "line {line}: file ends mid-record with {got} of {expected} fields and no \
+                 trailing newline (torn write?); truncate to {byte_offset} bytes to recover"
+            ),
+            CsvError::UnclosedQuote { line, byte_offset } => write!(
+                f,
+                "line {line}: quoted field never closes before end of file \
+                 (torn write?); truncate to {byte_offset} bytes to recover"
+            ),
+            CsvError::Io(msg) => write!(f, "CSV read failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+impl From<CsvError> for io::Error {
+    fn from(e: CsvError) -> Self {
+        let kind = match &e {
+            CsvError::Io(_) => io::ErrorKind::Other,
+            _ => io::ErrorKind::InvalidData,
+        };
+        io::Error::new(kind, e.to_string())
+    }
+}
 
 /// Escape one field per RFC 4180.
 fn escape(field: &str) -> String {
@@ -21,11 +119,14 @@ fn escape(field: &str) -> String {
     }
 }
 
-/// Parse one CSV line into fields (handles quoted fields).
-fn parse_line(line: &str) -> Vec<String> {
+/// Split a (possibly partial) record into fields. Returns the fields and
+/// whether a quoted field was still open at the end — `true` means the
+/// record continues on the next physical line (an embedded newline) or
+/// the file was cut off mid-quote.
+fn split_fields(record: &str) -> (Vec<String>, bool) {
     let mut fields = Vec::new();
     let mut cur = String::new();
-    let mut chars = line.chars().peekable();
+    let mut chars = record.chars().peekable();
     let mut in_quotes = false;
     while let Some(c) = chars.next() {
         match c {
@@ -45,7 +146,99 @@ fn parse_line(line: &str) -> Vec<String> {
         }
     }
     fields.push(cur);
-    fields
+    (fields, in_quotes)
+}
+
+/// Parse one complete CSV line into fields (handles quoted fields).
+#[cfg(test)]
+fn parse_line(line: &str) -> Vec<String> {
+    split_fields(line).0
+}
+
+/// One logical record: its fields, the 1-based physical line and byte
+/// offset it starts at, and whether its final line was `\n`-terminated.
+struct Record {
+    fields: Vec<String>,
+    line: u64,
+    byte_offset: u64,
+    terminated: bool,
+}
+
+/// Streams logical records off a reader, tracking byte offsets so torn
+/// tails are reported precisely. A quoted field may span physical lines
+/// (RFC 4180 embedded newline); a quote still open at EOF is an error.
+struct RecordReader<R> {
+    reader: R,
+    offset: u64,
+    line: u64,
+}
+
+impl<R: BufRead> RecordReader<R> {
+    fn new(reader: R) -> Self {
+        Self {
+            reader,
+            offset: 0,
+            line: 0,
+        }
+    }
+
+    /// The next logical record, or `None` at clean end of file. Blank
+    /// lines between records are skipped.
+    fn next_record(&mut self) -> Result<Option<Record>, CsvError> {
+        loop {
+            let start_offset = self.offset;
+            let start_line = self.line + 1;
+            let mut record = String::new();
+            let mut terminated;
+            loop {
+                let mut raw = String::new();
+                let n = self
+                    .reader
+                    .read_line(&mut raw)
+                    .map_err(|e| CsvError::Io(e.to_string()))?;
+                if n == 0 {
+                    if record.is_empty() {
+                        return Ok(None);
+                    }
+                    // a quoted field swallowed the rest of the file
+                    return Err(CsvError::UnclosedQuote {
+                        line: start_line,
+                        byte_offset: start_offset,
+                    });
+                }
+                self.offset += n as u64;
+                self.line += 1;
+                terminated = raw.ends_with('\n');
+                if terminated {
+                    raw.pop();
+                    if raw.ends_with('\r') {
+                        raw.pop();
+                    }
+                }
+                record.push_str(&raw);
+                let (fields, open) = split_fields(&record);
+                if !open {
+                    if fields.len() == 1 && fields[0].trim().is_empty() {
+                        break; // blank line between records
+                    }
+                    return Ok(Some(Record {
+                        fields,
+                        line: start_line,
+                        byte_offset: start_offset,
+                        terminated,
+                    }));
+                }
+                if !terminated {
+                    // EOF inside the open quote
+                    return Err(CsvError::UnclosedQuote {
+                        line: start_line,
+                        byte_offset: start_offset,
+                    });
+                }
+                record.push('\n'); // the newline belongs to the quoted field
+            }
+        }
+    }
 }
 
 /// Write a dataset (all splits, in split order) as CSV.
@@ -75,25 +268,28 @@ pub fn write_csv<W: Write>(dataset: &EmDataset, out: &mut W) -> io::Result<()> {
 /// values all parse as numbers is `Numeric`, otherwise `Text`.
 ///
 /// The loaded pairs are re-split 60/20/20 with `seed`.
+///
+/// A file cut off mid-write fails with [`CsvError::TruncatedLine`] (or
+/// [`CsvError::UnclosedQuote`]) carrying the byte offset of the intact
+/// prefix; a complete last row without a trailing newline is accepted.
 pub fn read_csv<R: BufRead>(
     name: &str,
     kind: DatasetKind,
     reader: R,
     seed: u64,
-) -> io::Result<EmDataset> {
-    let mut lines = reader.lines();
-    let header = lines
-        .next()
-        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "empty CSV"))??;
-    let cols = parse_line(&header);
+) -> Result<EmDataset, CsvError> {
+    let mut records = RecordReader::new(reader);
+    let header = records.next_record()?.ok_or_else(|| CsvError::BadHeader {
+        reason: "empty CSV".to_owned(),
+    })?;
+    let cols = header.fields;
     if cols.first().map(String::as_str) != Some("label")
         || cols.len() < 3
         || cols.len().is_multiple_of(2)
     {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            "expected header: label,left_*...,right_*...",
-        ));
+        return Err(CsvError::BadHeader {
+            reason: "expected header: label,left_*...,right_*...".to_owned(),
+        });
     }
     let width = (cols.len() - 1) / 2;
     let attr_names: Vec<String> = cols[1..=width]
@@ -103,17 +299,26 @@ pub fn read_csv<R: BufRead>(
 
     type RawPair = (bool, Vec<Option<String>>, Vec<Option<String>>);
     let mut raw_pairs: Vec<RawPair> = Vec::new();
-    for line in lines {
-        let line = line?;
-        if line.trim().is_empty() {
-            continue;
-        }
-        let fields = parse_line(&line);
+    while let Some(record) = records.next_record()? {
+        let fields = record.fields;
         if fields.len() != cols.len() {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                format!("row has {} fields, expected {}", fields.len(), cols.len()),
-            ));
+            // short and unterminated = the classic torn tail of a crash
+            // mid-write; anything else is a malformed row in its own right
+            return Err(if fields.len() < cols.len() && !record.terminated {
+                CsvError::TruncatedLine {
+                    line: record.line,
+                    byte_offset: record.byte_offset,
+                    got: fields.len(),
+                    expected: cols.len(),
+                }
+            } else {
+                CsvError::RaggedRow {
+                    line: record.line,
+                    byte_offset: record.byte_offset,
+                    got: fields.len(),
+                    expected: cols.len(),
+                }
+            });
         }
         let label = fields[0].trim() == "1";
         let to_opt = |s: &String| {
@@ -239,12 +444,128 @@ mod tests {
     #[test]
     fn rejects_ragged_rows() {
         let csv = "label,left_a,right_a\n1,x\n";
-        assert!(read_csv(
+        let err = read_csv(
             "t",
             DatasetKind::Structured,
             BufReader::new(csv.as_bytes()),
-            1
+            1,
         )
-        .is_err());
+        .unwrap_err();
+        assert_eq!(
+            err,
+            CsvError::RaggedRow {
+                line: 2,
+                byte_offset: 21,
+                got: 2,
+                expected: 3
+            }
+        );
+    }
+
+    #[test]
+    fn truncated_last_line_is_a_typed_error_with_the_recovery_offset() {
+        // simulate a crash mid-write: chop the serialized file mid-row
+        let d = MagellanDataset::SBR.profile().generate(3);
+        let mut buf = Vec::new();
+        write_csv(&d, &mut buf).unwrap();
+        let torn = &buf[..buf.len() - 7];
+        let err = read_csv("t", d.kind(), BufReader::new(torn), 1).unwrap_err();
+        match err {
+            CsvError::TruncatedLine {
+                byte_offset,
+                got,
+                expected,
+                ..
+            } => {
+                assert!(got < expected, "torn row must be short ({got}/{expected})");
+                // the reported offset is exactly where the torn record
+                // starts: truncating there yields a loadable file
+                let recovered = read_csv(
+                    "t",
+                    d.kind(),
+                    BufReader::new(&torn[..byte_offset as usize]),
+                    1,
+                )
+                .unwrap();
+                assert_eq!(recovered.len(), d.len() - 1);
+            }
+            other => panic!("expected TruncatedLine, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn complete_last_row_without_trailing_newline_is_accepted() {
+        let csv = "label,left_a,right_a\n1,x,y\n0,p,q"; // no final \n
+        let d = read_csv(
+            "t",
+            DatasetKind::Structured,
+            BufReader::new(csv.as_bytes()),
+            1,
+        )
+        .unwrap();
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn quote_left_open_by_truncation_is_reported() {
+        let csv = "label,left_a,right_a\n1,x,y\n0,\"p,q"; // quote never closes
+        let err = read_csv(
+            "t",
+            DatasetKind::Structured,
+            BufReader::new(csv.as_bytes()),
+            1,
+        )
+        .unwrap_err();
+        assert_eq!(
+            err,
+            CsvError::UnclosedQuote {
+                line: 3,
+                byte_offset: 27
+            }
+        );
+        assert!(err.to_string().contains("truncate to 27 bytes"));
+    }
+
+    #[test]
+    fn quoted_embedded_newline_spans_physical_lines() {
+        let csv = "label,left_a,right_a\n1,\"two\nlines\",y\n";
+        let d = read_csv(
+            "t",
+            DatasetKind::Structured,
+            BufReader::new(csv.as_bytes()),
+            1,
+        )
+        .unwrap();
+        assert_eq!(d.len(), 1);
+        assert_eq!(d.pairs()[0].left.value_or_empty(0), "two\nlines");
+    }
+
+    #[test]
+    fn embedded_newline_roundtrips_through_write_and_read() {
+        // write_csv quotes fields containing '\n'; the reader must
+        // reassemble them instead of erroring on the split line
+        assert_eq!(escape("two\nlines"), "\"two\nlines\"");
+        let csv = format!("label,left_a,right_a\n1,{},{}\n", escape("two\nlines"), "y");
+        let d = read_csv(
+            "t",
+            DatasetKind::Structured,
+            BufReader::new(csv.as_bytes()),
+            1,
+        )
+        .unwrap();
+        assert_eq!(d.pairs()[0].left.value_or_empty(0), "two\nlines");
+    }
+
+    #[test]
+    fn csv_error_converts_to_io_error() {
+        let err = CsvError::TruncatedLine {
+            line: 9,
+            byte_offset: 100,
+            got: 1,
+            expected: 3,
+        };
+        let io_err: std::io::Error = err.into();
+        assert_eq!(io_err.kind(), std::io::ErrorKind::InvalidData);
+        assert!(io_err.to_string().contains("truncate to 100 bytes"));
     }
 }

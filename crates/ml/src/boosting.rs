@@ -383,6 +383,11 @@ impl Classifier for Boosted {
         let mut margins = vec![self.base_score; n];
         let d = x.cols();
         for _round in 0..self.config.n_rounds {
+            // cooperative deadline check: a boosting round is the natural
+            // abandonment granularity for the slowest model family
+            if par::cancel_requested() {
+                return Err(TrialError::DeadlineExceeded);
+            }
             // gradients and hessians of the logistic loss
             let mut g = vec![0.0f32; n];
             let mut h = vec![0.0f32; n];

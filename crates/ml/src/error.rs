@@ -49,6 +49,19 @@ pub enum TrialError {
         /// How many trials were attempted before giving up.
         attempted: usize,
     },
+    /// The wall-clock deadline passed while this trial was running (or
+    /// before it could start); the trial was abandoned cooperatively and
+    /// quarantined so the engine could return its best-so-far report.
+    /// Deliberately fieldless: wall-clock timings are nondeterministic,
+    /// so nothing timing-dependent may leak into a `FitReport`.
+    DeadlineExceeded,
+    /// A journal could not be replayed against the current run: the
+    /// engine, seed, budget, data shape or search space changed since the
+    /// journal was written, or a recomputed trial disagreed with its
+    /// recorded outcome.
+    ResumeMismatch(String),
+    /// The search journal itself could not be opened or read.
+    JournalIo(String),
 }
 
 impl TrialError {
@@ -70,6 +83,9 @@ impl TrialError {
             TrialError::InvalidBudget(_) => "invalid_budget",
             TrialError::Injected(_) => "injected",
             TrialError::AllTrialsFailed { .. } => "all_trials_failed",
+            TrialError::DeadlineExceeded => "deadline_exceeded",
+            TrialError::ResumeMismatch(_) => "resume_mismatch",
+            TrialError::JournalIo(_) => "journal_io",
         }
     }
 }
@@ -93,6 +109,11 @@ impl fmt::Display for TrialError {
             TrialError::AllTrialsFailed { attempted } => {
                 write!(f, "all {attempted} attempted trials failed")
             }
+            TrialError::DeadlineExceeded => {
+                write!(f, "wall-clock deadline exceeded; trial abandoned")
+            }
+            TrialError::ResumeMismatch(msg) => write!(f, "cannot resume from journal: {msg}"),
+            TrialError::JournalIo(msg) => write!(f, "search journal I/O failed: {msg}"),
         }
     }
 }

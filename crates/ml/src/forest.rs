@@ -112,6 +112,10 @@ impl Classifier for RandomForest {
         let mut rng = Rng::new(self.config.seed);
         let all: Vec<usize> = (0..x.rows()).collect();
         for t in 0..self.config.n_trees {
+            // cooperative deadline check between trees
+            if par::cancel_requested() {
+                return Err(TrialError::DeadlineExceeded);
+            }
             let mut tree_rng = rng.fork(t as u64);
             let indices: Vec<usize> = if self.config.bootstrap {
                 (0..x.rows()).map(|_| tree_rng.below(x.rows())).collect()

@@ -96,6 +96,10 @@ impl Classifier for LogisticRegression {
         let momentum = 0.9f32;
         let mut step = 0usize;
         for _ in 0..self.config.epochs {
+            // cooperative deadline check between epochs
+            if par::cancel_requested() {
+                return Err(TrialError::DeadlineExceeded);
+            }
             rng.shuffle(&mut idx);
             for chunk in idx.chunks(self.config.batch.max(1)) {
                 let lr = self.config.lr / (1.0 + 0.01 * step as f32);
@@ -185,6 +189,10 @@ impl Classifier for LinearSvm {
         let mut t = (1.0 / lambda).ceil() as usize;
         let mut idx: Vec<usize> = (0..x.rows()).collect();
         for _ in 0..self.config.epochs {
+            // cooperative deadline check between epochs
+            if par::cancel_requested() {
+                return Err(TrialError::DeadlineExceeded);
+            }
             rng.shuffle(&mut idx);
             for &i in &idx {
                 let lr = 1.0 / (lambda * t as f32);

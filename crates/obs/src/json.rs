@@ -1,6 +1,13 @@
-//! Hand-rolled JSON writing — just enough for the event stream and run
-//! manifests (objects, arrays, strings, numbers, booleans), with correct
-//! string escaping and non-finite floats mapped to `null`.
+//! Hand-rolled JSON writing *and reading* — just enough for the event
+//! stream, run manifests and the AutoML search journal (objects, arrays,
+//! strings, numbers, booleans), with correct string escaping and
+//! non-finite floats mapped to `null`.
+//!
+//! The reader ([`parse`]) exists so the search journal can be replayed
+//! without pulling in an external JSON crate. Numbers are kept as their
+//! raw source token ([`Json::Num`]) and only converted on demand
+//! ([`Json::as_u64`] / [`Json::as_f64`]), so 64-bit seeds round-trip
+//! exactly instead of being squeezed through an `f64`.
 
 /// Append `s` to `out` as a JSON string literal (with surrounding quotes).
 pub fn write_str(out: &mut String, s: &str) {
@@ -112,6 +119,274 @@ pub fn array(items: impl IntoIterator<Item = String>) -> String {
     out
 }
 
+/// A parsed JSON value.
+///
+/// Numbers stay as their raw source token so integer precision is never
+/// lost; use the `as_*` accessors to convert.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number, kept as the raw token from the source text.
+    Num(String),
+    /// A string (unescaped).
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; fields in source order, duplicate keys kept as-is.
+    Object(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Look up a field of an object (first match wins).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a `u64`, if it is a number token that parses exactly.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(tok) => tok.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as an `f64`, if it is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(tok) => tok.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as a `bool`, if it is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+}
+
+/// Why [`parse`] rejected its input, with the byte offset of the problem.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// Byte offset into the input where parsing failed.
+    pub offset: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for JsonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} at byte {}", self.message, self.offset)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+/// Parse one JSON value from `src`, requiring that nothing but whitespace
+/// follows it.
+pub fn parse(src: &str) -> Result<Json, JsonError> {
+    let bytes = src.as_bytes();
+    let mut pos = 0usize;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(err(pos, "trailing characters after JSON value"));
+    }
+    Ok(value)
+}
+
+fn err(offset: usize, message: &str) -> JsonError {
+    JsonError {
+        offset,
+        message: message.to_owned(),
+    }
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, want: u8) -> Result<(), JsonError> {
+    if *pos < bytes.len() && bytes[*pos] == want {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(err(*pos, &format!("expected '{}'", want as char)))
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err(err(*pos, "unexpected end of input")),
+        Some(b'{') => parse_object(bytes, pos),
+        Some(b'[') => parse_array(bytes, pos),
+        Some(b'"') => parse_string(bytes, pos).map(Json::Str),
+        Some(b't') => parse_lit(bytes, pos, "true", Json::Bool(true)),
+        Some(b'f') => parse_lit(bytes, pos, "false", Json::Bool(false)),
+        Some(b'n') => parse_lit(bytes, pos, "null", Json::Null),
+        Some(c) if c.is_ascii_digit() || *c == b'-' => parse_number(bytes, pos),
+        Some(_) => Err(err(*pos, "unexpected character")),
+    }
+}
+
+fn parse_lit(bytes: &[u8], pos: &mut usize, lit: &str, v: Json) -> Result<Json, JsonError> {
+    if bytes[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(v)
+    } else {
+        Err(err(*pos, &format!("expected '{lit}'")))
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
+    let start = *pos;
+    if bytes.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    let digits_from = *pos;
+    while *pos < bytes.len()
+        && matches!(bytes[*pos], b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+    {
+        *pos += 1;
+    }
+    if *pos == digits_from {
+        return Err(err(start, "invalid number"));
+    }
+    let tok = &bytes[start..*pos];
+    // `str::from_utf8` cannot fail on this ASCII subset, but avoid unwrap.
+    let tok = std::str::from_utf8(tok).map_err(|_| err(start, "invalid number"))?;
+    if tok.parse::<f64>().is_err() {
+        return Err(err(start, "invalid number"));
+    }
+    Ok(Json::Num(tok.to_owned()))
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, JsonError> {
+    expect(bytes, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err(err(*pos, "unterminated string")),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = bytes
+                            .get(*pos + 1..*pos + 5)
+                            .ok_or_else(|| err(*pos, "truncated \\u escape"))?;
+                        let hex = std::str::from_utf8(hex)
+                            .map_err(|_| err(*pos, "invalid \\u escape"))?;
+                        let code = u32::from_str_radix(hex, 16)
+                            .map_err(|_| err(*pos, "invalid \\u escape"))?;
+                        // Surrogate pairs are not produced by our writer;
+                        // map lone surrogates to the replacement char.
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        *pos += 4;
+                    }
+                    _ => return Err(err(*pos, "invalid escape")),
+                }
+                *pos += 1;
+            }
+            Some(&b) if b < 0x80 => {
+                out.push(b as char);
+                *pos += 1;
+            }
+            Some(_) => {
+                // Multi-byte UTF-8 scalar: copy its bytes verbatim. The
+                // input came in as &str, so the sequence is valid.
+                let start = *pos;
+                *pos += 1;
+                while *pos < bytes.len() && (bytes[*pos] & 0xC0) == 0x80 {
+                    *pos += 1;
+                }
+                let s = std::str::from_utf8(&bytes[start..*pos])
+                    .map_err(|_| err(start, "invalid utf-8 in string"))?;
+                out.push_str(s);
+            }
+        }
+    }
+}
+
+fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
+    expect(bytes, pos, b'[')?;
+    let mut items = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Json::Arr(items));
+    }
+    loop {
+        items.push(parse_value(bytes, pos)?);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            _ => return Err(err(*pos, "expected ',' or ']'")),
+        }
+    }
+}
+
+fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
+    expect(bytes, pos, b'{')?;
+    let mut fields = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Json::Object(fields));
+    }
+    loop {
+        skip_ws(bytes, pos);
+        let key = parse_string(bytes, pos)?;
+        skip_ws(bytes, pos);
+        expect(bytes, pos, b':')?;
+        let value = parse_value(bytes, pos)?;
+        fields.push((key, value));
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Json::Object(fields));
+            }
+            _ => return Err(err(*pos, "expected ',' or '}'")),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -148,5 +423,58 @@ mod tests {
     fn empty_object_and_array() {
         assert_eq!(Obj::new().finish(), "{}");
         assert_eq!(array(Vec::<String>::new()), "[]");
+    }
+
+    #[test]
+    fn parse_roundtrips_writer_output() {
+        let mut o = Obj::new();
+        o.str("name", "x\"y\\z\nw")
+            .u64("seed", u64::MAX)
+            .f64("score", 72.125)
+            .f64("bad", f64::NAN)
+            .bool("ok", true);
+        o.raw("arr", &array(["1".into(), "\"two\"".into()]));
+        let v = parse(&o.finish()).unwrap();
+        assert_eq!(v.get("name").and_then(Json::as_str), Some("x\"y\\z\nw"));
+        // 64-bit integers survive exactly (no f64 round-trip)
+        assert_eq!(v.get("seed").and_then(Json::as_u64), Some(u64::MAX));
+        assert_eq!(v.get("score").and_then(Json::as_f64), Some(72.125));
+        assert_eq!(v.get("bad"), Some(&Json::Null));
+        assert_eq!(v.get("ok").and_then(Json::as_bool), Some(true));
+        let arr = v.get("arr").unwrap();
+        assert_eq!(
+            arr,
+            &Json::Arr(vec![Json::Num("1".into()), Json::Str("two".into())])
+        );
+    }
+
+    #[test]
+    fn shortest_roundtrip_floats_survive_exactly() {
+        for x in [0.1f64, 1.0 / 3.0, f64::MIN_POSITIVE, 1e300, -2.5e-7] {
+            let mut s = String::new();
+            write_f64(&mut s, x);
+            let back = parse(&s).unwrap().as_f64().unwrap();
+            assert_eq!(back.to_bits(), x.to_bits());
+        }
+    }
+
+    #[test]
+    fn parse_rejects_garbage_with_offsets() {
+        assert_eq!(parse("").unwrap_err().offset, 0);
+        assert!(parse("{\"a\":}").is_err());
+        assert!(parse("{\"a\":1} trailing").is_err());
+        assert!(parse("[1,2").is_err());
+        assert!(parse("\"unterminated").is_err());
+        let e = parse("   ?").unwrap_err();
+        assert_eq!(e.offset, 3);
+    }
+
+    #[test]
+    fn parse_handles_unicode_and_escapes() {
+        let v = parse(r#"{"s":"café → ok","n":-1.5e3}"#).unwrap();
+        assert_eq!(v.get("s").and_then(Json::as_str), Some("café → ok"));
+        assert_eq!(v.get("n").and_then(Json::as_f64), Some(-1500.0));
+        // non-integers refuse u64 conversion
+        assert_eq!(v.get("n").and_then(Json::as_u64), None);
     }
 }

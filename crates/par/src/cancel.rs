@@ -1,0 +1,236 @@
+//! Cooperative cancellation: wall-clock deadlines and cancel tokens.
+//!
+//! The AutoML engines run under a *budget* measured in deterministic
+//! paper-hours, but a production deployment also needs a *wall-clock*
+//! ceiling: Table 5 gives each system a fixed real-time allowance and
+//! expects the best-so-far model back when time is up. Cancellation here
+//! is strictly cooperative — nothing is ever killed:
+//!
+//! * A [`Deadline`] is an optional instant in wall-clock time. Engines
+//!   check it between planning batches / rungs / roster members and stop
+//!   planning new trials once it has passed.
+//! * A [`CancelToken`] is the cheap, clonable flag handed *into* running
+//!   trials. Long fit loops (boosting rounds, forest trees, linear-model
+//!   epochs) poll [`cancel_requested`] and bail out early, so a slow or
+//!   hung trial is abandoned within one round rather than overrunning the
+//!   deadline indefinitely.
+//! * [`with_cancel`] installs a token into a thread-local for the scope of
+//!   one closure, which is how the trial boundary exposes the token to
+//!   model code without threading a parameter through every `fit`
+//!   signature. The installation is panic-safe (restored via a drop
+//!   guard) and nests (the previous token is restored on exit).
+//!
+//! With no token installed — every pre-existing call path —
+//! [`cancel_requested`] is a thread-local read returning `false`, so
+//! deadline-free runs are byte-identical to what they were before this
+//! module existed.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// An optional wall-clock cutoff for a search.
+///
+/// `Deadline::none()` never expires and is the default everywhere, so the
+/// deterministic budgeted runs of the paper tables are unaffected unless a
+/// caller opts in with [`Deadline::within`] / [`Deadline::at`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Deadline(Option<Instant>);
+
+impl Deadline {
+    /// A deadline that never expires.
+    pub fn none() -> Self {
+        Deadline(None)
+    }
+
+    /// Expire `d` from now.
+    pub fn within(d: Duration) -> Self {
+        Deadline(Some(Instant::now() + d))
+    }
+
+    /// Expire at an absolute instant.
+    pub fn at(t: Instant) -> Self {
+        Deadline(Some(t))
+    }
+
+    /// Whether a cutoff is set at all.
+    pub fn is_bounded(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Whether the cutoff has passed. Always `false` for [`Deadline::none`].
+    pub fn expired(&self) -> bool {
+        match self.0 {
+            Some(t) => Instant::now() >= t,
+            None => false,
+        }
+    }
+
+    /// Time left before the cutoff (`None` when unbounded; zero once past).
+    pub fn remaining(&self) -> Option<Duration> {
+        self.0.map(|t| t.saturating_duration_since(Instant::now()))
+    }
+
+    /// A token that reports cancelled once this deadline has passed.
+    pub fn token(&self) -> CancelToken {
+        CancelToken(Arc::new(TokenInner {
+            cancelled: AtomicBool::new(false),
+            deadline: self.0,
+        }))
+    }
+}
+
+struct TokenInner {
+    cancelled: AtomicBool,
+    deadline: Option<Instant>,
+}
+
+/// Clonable cooperative-cancellation flag.
+///
+/// Reports cancelled when either [`CancelToken::cancel`] has been called
+/// or the deadline it was built from ([`Deadline::token`]) has passed.
+/// Cloning is an `Arc` bump; all clones observe the same state.
+#[derive(Clone)]
+pub struct CancelToken(Arc<TokenInner>);
+
+impl CancelToken {
+    /// A token that never reports cancelled unless [`cancel`] is called.
+    ///
+    /// [`cancel`]: CancelToken::cancel
+    pub fn unbounded() -> Self {
+        Deadline::none().token()
+    }
+
+    /// Latch the token into the cancelled state.
+    pub fn cancel(&self) {
+        self.0.cancelled.store(true, Ordering::Release);
+    }
+
+    /// Whether cancellation has been requested (explicitly or by the
+    /// token's deadline passing).
+    pub fn is_cancelled(&self) -> bool {
+        if self.0.cancelled.load(Ordering::Acquire) {
+            return true;
+        }
+        match self.0.deadline {
+            Some(t) if Instant::now() >= t => {
+                // Latch so later polls skip the clock read.
+                self.0.cancelled.store(true, Ordering::Release);
+                true
+            }
+            _ => false,
+        }
+    }
+}
+
+impl std::fmt::Debug for CancelToken {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CancelToken")
+            .field("cancelled", &self.0.cancelled.load(Ordering::Relaxed))
+            .field("deadline", &self.0.deadline)
+            .finish()
+    }
+}
+
+thread_local! {
+    static CURRENT: RefCell<Option<CancelToken>> = const { RefCell::new(None) };
+}
+
+/// Restores the previously installed token on drop, even across a panic.
+struct Restore(Option<CancelToken>);
+
+impl Drop for Restore {
+    fn drop(&mut self) {
+        let prev = self.0.take();
+        CURRENT.with(|c| *c.borrow_mut() = prev);
+    }
+}
+
+/// Run `f` with `token` installed as the current thread's cancellation
+/// token, visible to [`cancel_requested`]. Nested calls shadow the outer
+/// token for their scope; the previous token is restored on exit (panic
+/// included).
+pub fn with_cancel<T>(token: &CancelToken, f: impl FnOnce() -> T) -> T {
+    let prev = CURRENT.with(|c| c.borrow_mut().replace(token.clone()));
+    let _restore = Restore(prev);
+    f()
+}
+
+/// Whether the current thread's installed token (if any) has been
+/// cancelled. With no token installed this is `false`, so code that polls
+/// it is a no-op on every deadline-free path.
+pub fn cancel_requested() -> bool {
+    CURRENT.with(|c| {
+        c.borrow()
+            .as_ref()
+            .map(CancelToken::is_cancelled)
+            .unwrap_or(false)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unbounded_deadline_never_expires() {
+        let d = Deadline::none();
+        assert!(!d.is_bounded());
+        assert!(!d.expired());
+        assert!(d.remaining().is_none());
+        assert!(!d.token().is_cancelled());
+    }
+
+    #[test]
+    fn past_deadline_expires_and_cancels_token() {
+        let d = Deadline::at(Instant::now() - Duration::from_millis(1));
+        assert!(d.is_bounded());
+        assert!(d.expired());
+        assert_eq!(d.remaining(), Some(Duration::ZERO));
+        assert!(d.token().is_cancelled());
+    }
+
+    #[test]
+    fn explicit_cancel_latches_across_clones() {
+        let t = CancelToken::unbounded();
+        let clone = t.clone();
+        assert!(!clone.is_cancelled());
+        t.cancel();
+        assert!(clone.is_cancelled());
+    }
+
+    #[test]
+    fn with_cancel_installs_and_restores() {
+        assert!(!cancel_requested());
+        let t = CancelToken::unbounded();
+        t.cancel();
+        with_cancel(&t, || {
+            assert!(cancel_requested());
+            // nested scope shadows the cancelled token
+            let quiet = CancelToken::unbounded();
+            with_cancel(&quiet, || assert!(!cancel_requested()));
+            assert!(cancel_requested());
+        });
+        assert!(!cancel_requested());
+    }
+
+    #[test]
+    fn with_cancel_restores_after_panic() {
+        let t = CancelToken::unbounded();
+        t.cancel();
+        let caught = std::panic::catch_unwind(|| {
+            with_cancel(&t, || panic!("boom"));
+        });
+        assert!(caught.is_err());
+        assert!(!cancel_requested());
+    }
+
+    #[test]
+    fn tokens_are_visible_across_par_workers_when_installed_per_task() {
+        let t = CancelToken::unbounded();
+        t.cancel();
+        let seen = crate::map_indexed(8, |_| with_cancel(&t, cancel_requested));
+        assert!(seen.iter().all(|&s| s));
+    }
+}

@@ -50,6 +50,8 @@
 
 #![warn(missing_docs)]
 
+mod cancel;
 mod pool;
 
+pub use cancel::{cancel_requested, with_cancel, CancelToken, Deadline};
 pub use pool::{catch_panic, map, map_indexed, reset_threads, scope, set_threads, threads};

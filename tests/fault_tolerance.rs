@@ -16,12 +16,15 @@ use automl::gluon_like::AutoGluonStyle;
 use automl::h2o_like::H2oStyle;
 use automl::halving::SuccessiveHalving;
 use automl::sklearn_like::AutoSklearnStyle;
-use automl::{AutoMlSystem, Budget, Fault, FaultPlan, FitReport};
+use automl::{AutoMlSystem, Budget, Deadline, Fault, FaultPlan, FitReport, ResumePolicy};
 use linalg::{Matrix, Rng};
 use ml::calibrate::{average_precision, pr_curve, PlattScaler};
 use ml::dataset::TabularData;
 use ml::metrics::{best_f1_threshold, f1_at_threshold, roc_auc};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::sync::{Mutex, MutexGuard};
+use std::time::{Duration, Instant};
 
 /// Serializes tests that flip the global `par` thread override or read
 /// the global obs event ring.
@@ -67,6 +70,31 @@ fn fit_with(make: MakeEngine, plan: FaultPlan, hours: f64) -> (FitReport, Vec<f3
     let report = sys.fit(&train, &valid, &mut budget).unwrap();
     let probs = sys.predict_proba(&valid.x);
     (report, probs)
+}
+
+/// [`fit_with`] through the crash-safe entry point.
+fn fit_resumable_with(
+    make: MakeEngine,
+    plan: FaultPlan,
+    hours: f64,
+    policy: &ResumePolicy,
+    deadline: Deadline,
+) -> Result<(FitReport, Vec<f32>), automl::TrialError> {
+    let train = blob_data(220, 31);
+    let valid = blob_data(80, 32);
+    let mut sys = make(plan);
+    let mut budget = Budget::hours(hours).unwrap();
+    let report = sys.fit_resumable(&train, &valid, &mut budget, policy, deadline)?;
+    let probs = sys.predict_proba(&valid.x);
+    Ok((report, probs))
+}
+
+/// Unique scratch journal path for one test scenario.
+fn tmp_journal(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "em_fault_tolerance_{}_{tag}.jsonl",
+        std::process::id()
+    ))
 }
 
 /// The shared contract: the run completes, the poisoned candidate is on
@@ -327,11 +355,278 @@ fn engines_survive_single_class_training_data() {
 fn fault_plan_env_spec_matches_builder() {
     // the documented EXPERIMENTS.md reproduction spec parses to the same
     // plan the tests build programmatically
-    let parsed = FaultPlan::parse("fail@0, nan@1, panic@2, cost@3=2.5");
+    let parsed = FaultPlan::parse("fail@0, nan@1, panic@2, cost@3=2.5, hang@4, kill@5");
     let built = FaultPlan::none()
         .inject(0, Fault::Fail)
         .inject(1, Fault::NanScore)
         .inject(2, Fault::Panic)
-        .inject(3, Fault::InflateCost(2.5));
-    assert_eq!(parsed, built);
+        .inject(3, Fault::InflateCost(2.5))
+        .inject(4, Fault::Hang)
+        .inject(5, Fault::Kill);
+    assert_eq!(parsed, Ok(built));
+}
+
+// ---------------------------------------------------------------------------
+// Crash safety: kill-and-resume byte-identity, deadline-bounded anytime
+// results, and journaled budget accounting.
+// ---------------------------------------------------------------------------
+
+/// The tentpole acceptance bar: for every engine, a search SIGKILL'd (in
+/// process: an unwinding abort outside the trial boundary) after K trials
+/// and then resumed from its journal must produce a `FitReport` — and
+/// predictions — byte-identical to the run that was never interrupted, at
+/// 1 and at 4 threads.
+#[test]
+fn kill_and_resume_is_byte_identical_to_the_uninterrupted_run() {
+    let _g = guard();
+    silence_injected_panic_output();
+    for threads in [1usize, 4] {
+        par::set_threads(threads);
+        for (name, make) in engines() {
+            let (baseline, base_probs) = fit_with(make, FaultPlan::none(), 0.6);
+            let planned = baseline.leaderboard.len() as u64;
+            // kill early (first parallel batch, nothing journaled yet) and
+            // late (prior batches already journaled, so resume must replay)
+            let mut kills = vec![1u64];
+            if planned > 3 {
+                kills.push(planned - 2);
+            }
+            for k in kills {
+                let path = tmp_journal(&format!("kill_{name}_{threads}t_{k}"));
+                let _ = std::fs::remove_file(&path);
+                let policy = ResumePolicy::Resume(path.clone());
+                let unwound = catch_unwind(AssertUnwindSafe(|| {
+                    fit_resumable_with(
+                        make,
+                        FaultPlan::none().inject(k, Fault::Kill),
+                        0.6,
+                        &policy,
+                        Deadline::none(),
+                    )
+                }));
+                assert!(
+                    unwound.is_err(),
+                    "{name}@{threads}t: kill@{k} did not abort the search"
+                );
+                assert!(
+                    path.exists(),
+                    "{name}@{threads}t: no journal survived the kill"
+                );
+                let (resumed, resumed_probs) =
+                    fit_resumable_with(make, FaultPlan::none(), 0.6, &policy, Deadline::none())
+                        .unwrap_or_else(|e| panic!("{name}@{threads}t: resume failed: {e}"));
+                assert_eq!(
+                    baseline, resumed,
+                    "{name}@{threads}t: kill@{k} resumed FitReport differs from uninterrupted"
+                );
+                assert_eq!(
+                    base_probs, resumed_probs,
+                    "{name}@{threads}t: kill@{k} resumed predictions differ"
+                );
+                let _ = std::fs::remove_file(&path);
+            }
+        }
+        par::reset_threads();
+    }
+}
+
+/// Resume equivalence must also hold while *other* faults are firing: a
+/// quarantined failure recorded before the kill is replayed from the
+/// journal (never re-run), and an inflated charge is restored verbatim.
+#[test]
+fn kill_and_resume_replays_failures_and_charges_under_concurrent_faults() {
+    let _g = guard();
+    silence_injected_panic_output();
+    let plan = || {
+        FaultPlan::none()
+            .inject(0, Fault::InflateCost(2.5))
+            .inject(2, Fault::NanScore)
+    };
+    par::set_threads(4);
+    for (name, make) in engines() {
+        let (baseline, base_probs) = fit_with(make, plan(), 0.6);
+        let planned = baseline.leaderboard.len() as u64;
+        // the last trial the engine actually plans under this budget —
+        // guaranteed to execute, so the kill is guaranteed to fire (a
+        // collision with a faulted index just means kill wins that trial)
+        let k = (planned - 1).clamp(1, 5);
+        let path = tmp_journal(&format!("faulted_kill_{name}"));
+        let _ = std::fs::remove_file(&path);
+        let policy = ResumePolicy::Resume(path.clone());
+        let unwound = catch_unwind(AssertUnwindSafe(|| {
+            fit_resumable_with(
+                make,
+                plan().inject(k, Fault::Kill),
+                0.6,
+                &policy,
+                Deadline::none(),
+            )
+        }));
+        assert!(unwound.is_err(), "{name}: kill@{k} did not abort");
+        let (resumed, resumed_probs) =
+            fit_resumable_with(make, plan(), 0.6, &policy, Deadline::none())
+                .unwrap_or_else(|e| panic!("{name}: faulted resume failed: {e}"));
+        assert_eq!(baseline, resumed, "{name}: faulted resume diverged");
+        assert_eq!(base_probs, resumed_probs, "{name}: predictions diverged");
+        assert!(
+            resumed.leaderboard.n_failed() >= 1,
+            "{name}: the NaN fault should have quarantined a trial"
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+    par::reset_threads();
+}
+
+/// Resume refuses a journal written by a different search configuration
+/// instead of silently mixing incompatible trials.
+#[test]
+fn resume_refuses_a_journal_from_a_different_configuration() {
+    let _g = guard();
+    let path = tmp_journal("config_mismatch");
+    let _ = std::fs::remove_file(&path);
+    let policy = ResumePolicy::Resume(path.clone());
+    // seed 7 writes the journal…
+    fit_resumable_with(
+        |p| Box::new(AutoSklearnStyle::with_faults(7, p)),
+        FaultPlan::none(),
+        0.4,
+        &policy,
+        Deadline::none(),
+    )
+    .unwrap();
+    // …and a seed-8 search must refuse to resume from it
+    let err = fit_resumable_with(
+        |p| Box::new(AutoSklearnStyle::with_faults(8, p)),
+        FaultPlan::none(),
+        0.4,
+        &policy,
+        Deadline::none(),
+    )
+    .unwrap_err();
+    assert_eq!(err.kind(), "resume_mismatch", "got: {err}");
+    let _ = std::fs::remove_file(&path);
+}
+
+/// Deadline-bounded anytime behavior: a search with a hung trial and a
+/// tight wall-clock deadline still returns a valid best-so-far report,
+/// with the hung trial quarantined as `deadline_exceeded`, well within
+/// deadline + one trial-cancellation grace period (and far under the
+/// 60 s hang safety valve).
+#[test]
+fn deadline_returns_best_so_far_with_hung_trials_quarantined() {
+    let _g = guard();
+    silence_injected_panic_output();
+    for (name, make) in engines() {
+        let start = Instant::now();
+        let result = fit_resumable_with(
+            make,
+            FaultPlan::none().inject(2, Fault::Hang),
+            0.8,
+            &ResumePolicy::Fresh,
+            Deadline::within(Duration::from_millis(300)),
+        );
+        let elapsed = start.elapsed();
+        assert!(
+            elapsed < Duration::from_secs(30),
+            "{name}: deadline overrun: took {elapsed:?}"
+        );
+        let (report, probs) =
+            result.unwrap_or_else(|e| panic!("{name}: no best-so-far report: {e}"));
+        assert!(report.val_f1.is_finite(), "{name}: non-finite best-so-far");
+        assert!(
+            probs.iter().all(|p| p.is_finite()),
+            "{name}: non-finite predictions"
+        );
+        let abandoned = report
+            .failed_trials()
+            .iter()
+            .filter(|e| {
+                e.error
+                    .as_ref()
+                    .is_some_and(|err| err.kind() == "deadline_exceeded")
+            })
+            .count();
+        assert!(
+            abandoned >= 1,
+            "{name}: hung trial not quarantined as deadline_exceeded"
+        );
+    }
+}
+
+/// Satellite 6: the units charged to a deadline-abandoned trial are
+/// recorded in the journal and restored — not recomputed, not re-run
+/// (re-running would hang again), not double-charged — when the search
+/// resumes without the deadline.
+#[test]
+fn deadline_abandoned_charge_is_replayed_not_double_charged() {
+    let _g = guard();
+    silence_injected_panic_output();
+    let make: MakeEngine = |p| Box::new(AutoSklearnStyle::with_faults(7, p));
+    let plan = || FaultPlan::none().inject(1, Fault::Hang);
+    let path = tmp_journal("deadline_charge");
+    let _ = std::fs::remove_file(&path);
+    let policy = ResumePolicy::Resume(path.clone());
+    // first run: the hang at trial 1 is abandoned when the 250 ms
+    // deadline fires, charged, journaled, and the run ends early
+    let (first, _) = fit_resumable_with(
+        make,
+        plan(),
+        0.6,
+        &policy,
+        Deadline::within(Duration::from_millis(250)),
+    )
+    .unwrap();
+    let a1 = &first.leaderboard.entries()[1];
+    assert_eq!(
+        a1.error.as_ref().map(|e| e.kind()),
+        Some("deadline_exceeded"),
+        "trial 1 should have been abandoned at the deadline"
+    );
+    // resumed run, no deadline: the abandoned trial is replayed from the
+    // journal — if it re-ran, the hang fault would spin for the 60 s
+    // safety valve, so finishing quickly proves the replay
+    let start = Instant::now();
+    let (second, _) = fit_resumable_with(make, plan(), 0.6, &policy, Deadline::none()).unwrap();
+    assert!(
+        start.elapsed() < Duration::from_secs(30),
+        "resume re-ran the hung trial instead of replaying it"
+    );
+    let b1 = &second.leaderboard.entries()[1];
+    assert_eq!(
+        b1.error.as_ref().map(|e| e.kind()),
+        Some("deadline_exceeded"),
+        "the journaled abandonment must survive the resume"
+    );
+    assert_eq!(
+        a1.cost_units.to_bits(),
+        b1.cost_units.to_bits(),
+        "abandoned-trial charge must be restored verbatim, not recomputed"
+    );
+    // the resumed (undeadlined) run continues past where the first stopped
+    assert!(
+        second.leaderboard.len() >= first.leaderboard.len(),
+        "resume lost journaled trials"
+    );
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn fault_plan_rejects_malformed_specs() {
+    for bad in [
+        "fail",         // missing @trial
+        "fail@x",       // bad trial index
+        "explode@1",    // unknown kind
+        "cost@1",       // missing multiplier
+        "cost@1=zero",  // bad multiplier
+        "cost@1=-2",    // non-positive multiplier
+        "nan@1=3",      // argument on an arg-less kind
+        "fail@0 nan@1", // missing comma separator
+    ] {
+        let err = FaultPlan::parse(bad).unwrap_err();
+        let msg = err.to_string();
+        assert!(
+            msg.contains("expected"),
+            "{bad:?}: error should show the expected forms, got {msg:?}"
+        );
+    }
 }
