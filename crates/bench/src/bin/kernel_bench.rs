@@ -1,0 +1,348 @@
+//! Microkernel perf-regression harness: times the linalg hot kernels at
+//! the shapes the pipeline actually hits and writes `BENCH_kernels.json`,
+//! seeding the benchmark trajectory every future PR is compared against.
+//!
+//! Kernels covered: blocked GEMM (plus the naive pre-microkernel
+//! reference it must beat), both fused-transpose GEMM variants, matvec,
+//! dot and cosine. Shapes: the 256³ regression anchor, batch×768
+//! embedding projections, attention-head score/context products and a
+//! tree-booster feature block.
+//!
+//! Methodology: fixed seeds, per-entry warmup, then `--iters k` timed
+//! samples (each a fixed number of kernel calls); the reported
+//! nanoseconds-per-iteration is the **median** sample, so a stray
+//! scheduler hiccup cannot move the trajectory. Every sample also lands
+//! in an `obs` histogram (`kernel_bench.<entry>.ms`) so bench runs share
+//! the stack's observability surface.
+//!
+//! ```text
+//! kernel_bench [--out <dir>] [--iters <k>] [--threads <n>] [--check]
+//! ```
+//!
+//! `--check` runs a seconds-long smoke pass on small shapes, re-parses
+//! the JSON it wrote and asserts every recorded number is finite — the
+//! CI `bench-smoke` job gate.
+
+use linalg::{Matrix, Rng};
+use std::time::Instant;
+
+struct Entry {
+    name: String,
+    kernel: &'static str,
+    shape: Vec<usize>,
+    threads: usize,
+    flops_per_iter: f64,
+    ns_per_iter: f64,
+    gflops: f64,
+}
+
+/// Time `f` (`calls` invocations per sample, `iters` samples, one warmup
+/// sample) and return the median nanoseconds per invocation.
+fn time_median(name: &str, iters: usize, calls: usize, mut f: impl FnMut()) -> f64 {
+    let hist = obs::histogram(
+        &format!("kernel_bench.{name}.ms"),
+        &[0.01, 0.1, 1.0, 10.0, 100.0, 1_000.0],
+    );
+    for _ in 0..calls {
+        f(); // warmup sample, untimed
+    }
+    let mut samples_ns: Vec<f64> = (0..iters)
+        .map(|_| {
+            let t0 = Instant::now();
+            for _ in 0..calls {
+                std::hint::black_box(&mut f)();
+            }
+            let ns = t0.elapsed().as_secs_f64() * 1e9 / calls as f64;
+            hist.observe(ns / 1e6);
+            ns
+        })
+        .collect();
+    samples_ns.sort_by(|a, b| linalg::stats::nan_worst_cmp(*a, *b));
+    samples_ns[samples_ns.len() / 2]
+}
+
+/// Scale per-sample call counts so every sample covers enough work to
+/// dwarf clock granularity and scheduler hiccups — a floor of 4 calls
+/// keeps even the largest GEMM shapes from degenerating into
+/// single-call samples, whose medians wander by 2× on a shared vCPU.
+fn calls_for(flops: f64) -> usize {
+    ((2e8 / flops.max(1.0)) as usize).clamp(4, 4096)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn bench_entry(
+    entries: &mut Vec<Entry>,
+    name: &str,
+    kernel: &'static str,
+    shape: &[usize],
+    threads: usize,
+    iters: usize,
+    flops_per_iter: f64,
+    f: impl FnMut(),
+) {
+    let calls = calls_for(flops_per_iter);
+    let ns = time_median(name, iters, calls, f);
+    let gflops = flops_per_iter / ns;
+    println!("{name:<34} threads={threads}  {ns:>12.0} ns/iter  {gflops:>8.2} GFLOP/s");
+    entries.push(Entry {
+        name: name.to_owned(),
+        kernel,
+        shape: shape.to_vec(),
+        threads,
+        flops_per_iter,
+        ns_per_iter: ns,
+        gflops,
+    });
+}
+
+/// GEMM-family benches at one thread count. `m×k · k×n` counts
+/// `2·m·k·n` flops (multiply + add).
+fn bench_gemms(entries: &mut Vec<Entry>, shapes: &[(usize, usize, usize)], iters: usize) {
+    let threads = par::threads();
+    for &(m, k, n) in shapes {
+        let mut rng = Rng::new(0xBE9C);
+        let a = Matrix::randn(m, k, 1.0, &mut rng);
+        let b = Matrix::randn(k, n, 1.0, &mut rng);
+        let bt = b.transpose(); // n×k operand for the fused-Bᵀ kernel
+        let flops = 2.0 * (m * k * n) as f64;
+        let shape = [m, k, n];
+        let name = |kernel: &str| format!("{kernel}_{m}x{k}x{n}_t{threads}");
+        bench_entry(
+            entries,
+            &name("gemm"),
+            "matmul",
+            &shape,
+            threads,
+            iters,
+            flops,
+            || {
+                std::hint::black_box(a.matmul(&b));
+            },
+        );
+        bench_entry(
+            entries,
+            &name("gemm_reference"),
+            "matmul_reference",
+            &shape,
+            threads,
+            iters,
+            flops,
+            || {
+                std::hint::black_box(a.matmul_reference(&b));
+            },
+        );
+        bench_entry(
+            entries,
+            &name("gemm_tb"),
+            "matmul_transpose_b",
+            &shape,
+            threads,
+            iters,
+            flops,
+            || {
+                std::hint::black_box(a.matmul_transpose_b(&bt));
+            },
+        );
+        bench_entry(
+            entries,
+            &name("gemm_ta"),
+            "matmul_transpose_a",
+            &shape,
+            threads,
+            iters,
+            flops,
+            || {
+                std::hint::black_box(a.transpose().matmul_transpose_a(&b));
+            },
+        );
+    }
+}
+
+/// Single-threaded vector kernels (dot / cosine / matvec / matvec_t).
+fn bench_vector_kernels(entries: &mut Vec<Entry>, dim: usize, rows: usize, iters: usize) {
+    let mut rng = Rng::new(0xD07);
+    let x: Vec<f32> = (0..dim).map(|_| rng.normal()).collect();
+    let y: Vec<f32> = (0..dim).map(|_| rng.normal()).collect();
+    let m = Matrix::randn(rows, dim, 1.0, &mut rng);
+    let v: Vec<f32> = (0..dim).map(|_| rng.normal()).collect();
+    let vr: Vec<f32> = (0..rows).map(|_| rng.normal()).collect();
+    bench_entry(
+        entries,
+        &format!("dot_{dim}"),
+        "vector::dot",
+        &[dim],
+        1,
+        iters,
+        2.0 * dim as f64,
+        || {
+            std::hint::black_box(linalg::vector::dot(&x, &y));
+        },
+    );
+    bench_entry(
+        entries,
+        &format!("cosine_{dim}"),
+        "vector::cosine",
+        &[dim],
+        1,
+        iters,
+        6.0 * dim as f64,
+        || {
+            std::hint::black_box(linalg::vector::cosine(&x, &y));
+        },
+    );
+    bench_entry(
+        entries,
+        &format!("matvec_{rows}x{dim}"),
+        "matvec",
+        &[rows, dim],
+        1,
+        iters,
+        2.0 * (rows * dim) as f64,
+        || {
+            std::hint::black_box(m.matvec(&v));
+        },
+    );
+    bench_entry(
+        entries,
+        &format!("matvec_t_{rows}x{dim}"),
+        "matvec_t",
+        &[rows, dim],
+        1,
+        iters,
+        2.0 * (rows * dim) as f64,
+        || {
+            std::hint::black_box(m.matvec_t(&vr));
+        },
+    );
+}
+
+fn write_json(entries: &[Entry], iters: usize, out_dir: &str) -> std::path::PathBuf {
+    let items = entries.iter().map(|e| {
+        let mut o = obs::json::Obj::new();
+        o.str("name", &e.name)
+            .str("kernel", e.kernel)
+            .raw(
+                "shape",
+                &obs::json::array(e.shape.iter().map(|d| d.to_string())),
+            )
+            .u64("threads", e.threads as u64)
+            .f64("flops_per_iter", e.flops_per_iter)
+            .f64("ns_per_iter", e.ns_per_iter)
+            .f64("gflops", e.gflops);
+        o.finish()
+    });
+    let mut root = obs::json::Obj::new();
+    root.str("run", "kernel_bench")
+        .u64("iters", iters as u64)
+        .raw("entries", &obs::json::array(items));
+    let json = root.finish();
+    std::fs::create_dir_all(out_dir).expect("create output dir");
+    let path = std::path::Path::new(out_dir).join("BENCH_kernels.json");
+    std::fs::write(&path, &json).expect("write BENCH_kernels.json");
+    path
+}
+
+/// Re-read the written file and assert it parses and every recorded
+/// number is finite — the `--check` gate.
+fn verify_artifact(path: &std::path::Path) {
+    let text = std::fs::read_to_string(path).expect("read back artifact");
+    let root = obs::json::parse(&text).expect("artifact must parse as JSON");
+    let entries = match root.get("entries") {
+        Some(obs::json::Json::Arr(items)) => items.clone(),
+        other => panic!("entries array missing: {other:?}"),
+    };
+    assert!(!entries.is_empty(), "artifact has no entries");
+    for e in &entries {
+        let name = e
+            .get("name")
+            .and_then(|j| j.as_str())
+            .expect("entry.name")
+            .to_owned();
+        for field in ["flops_per_iter", "ns_per_iter", "gflops"] {
+            let v = e
+                .get(field)
+                .and_then(|j| j.as_f64())
+                .unwrap_or_else(|| panic!("{name}.{field} missing or null"));
+            assert!(v.is_finite() && v > 0.0, "{name}.{field} = {v}");
+        }
+    }
+    println!("verified {} entries, all finite", entries.len());
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let mut out_dir = "results".to_owned();
+    let mut iters = 9usize;
+    let mut check = false;
+    let mut threads_override: Option<usize> = None;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--out" => {
+                out_dir = args.get(i + 1).expect("--out needs a directory").clone();
+                i += 2;
+            }
+            "--iters" => {
+                iters = args
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .expect("--iters needs a positive integer");
+                i += 2;
+            }
+            "--threads" => {
+                threads_override = Some(
+                    args.get(i + 1)
+                        .and_then(|v| v.parse().ok())
+                        .expect("--threads needs a positive integer"),
+                );
+                i += 2;
+            }
+            "--check" => {
+                check = true;
+                i += 1;
+            }
+            other => panic!("unknown argument {other}"),
+        }
+    }
+    assert!(iters > 0, "--iters must be positive");
+
+    let mut entries = Vec::new();
+    if check {
+        // smoke shapes: seconds, not minutes, but still through every kernel
+        iters = iters.min(3);
+        par::set_threads(1);
+        bench_gemms(&mut entries, &[(32, 32, 32), (17, 13, 9)], iters);
+        bench_vector_kernels(&mut entries, 64, 32, iters);
+        par::reset_threads();
+    } else {
+        // single-thread numbers first: the regression anchor (256³), the
+        // batch×768 embedding projection, attention-head score shapes and
+        // a tree-booster feature block
+        let shapes = [
+            (256, 256, 256),
+            (64, 768, 768),
+            (128, 64, 128),
+            (2048, 32, 8),
+        ];
+        par::set_threads(1);
+        bench_gemms(&mut entries, &shapes, iters);
+        bench_vector_kernels(&mut entries, 768, 768, iters);
+        par::reset_threads();
+        // the same GEMM shapes at the configured worker count, to record
+        // the parallel trajectory alongside the single-thread one
+        if let Some(n) = threads_override {
+            par::set_threads(n);
+        }
+        if par::threads() > 1 {
+            bench_gemms(&mut entries, &shapes, iters);
+        }
+        par::reset_threads();
+    }
+
+    let path = write_json(&entries, iters, &out_dir);
+    println!("wrote {}", path.display());
+    if check {
+        verify_artifact(&path);
+        println!("kernel_bench --check OK");
+    }
+}

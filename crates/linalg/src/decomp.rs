@@ -79,9 +79,9 @@ impl Cholesky {
 /// retry with a boosted λ if numerics misbehave.
 pub fn ridge_solve(x: &Matrix, y: &[f32], lambda: f32) -> Vec<f32> {
     assert_eq!(x.rows(), y.len(), "ridge_solve: rows/labels mismatch");
-    let xt = x.transpose();
-    let mut gram = xt.matmul(x);
-    let rhs = xt.matvec(y);
+    // fused Gram product + transposed matvec: no Xᵀ is materialized
+    let mut gram = x.matmul_transpose_a(x);
+    let rhs = x.matvec_t(y);
     let mut lam = lambda.max(1e-6);
     for _ in 0..6 {
         let mut reg = gram.clone();

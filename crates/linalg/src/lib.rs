@@ -23,6 +23,7 @@
 #![warn(missing_docs)]
 
 pub mod decomp;
+pub mod gemm;
 pub mod matrix;
 pub mod rng;
 pub mod stats;

@@ -5,6 +5,7 @@
 //! shape-checked wrapper over a `Vec<f32>`; all operations are safe and most
 //! hot paths work on whole row slices so the optimizer can vectorize them.
 
+use crate::gemm;
 use crate::rng::Rng;
 use std::fmt;
 use std::ops::{Index, IndexMut};
@@ -179,14 +180,16 @@ impl Matrix {
 
     /// Matrix product `self · other`.
     ///
-    /// Classic ikj loop order: the inner loop runs over contiguous rows of
-    /// both the output and `other`, which is what lets LLVM vectorize it.
+    /// `other` is packed once into L1-sized column panels and the product
+    /// runs through the register-tiled microkernel in [`crate::gemm`].
     ///
     /// Above [`PAR_MATMUL_FLOPS`] fused multiply-adds the output rows are
-    /// tiled across the `par` worker pool. Each output row is produced by
-    /// exactly the same per-row kernel in exactly the same order either
-    /// way, so the parallel product is **bit-identical** to the
-    /// sequential one for every thread count.
+    /// tiled across the `par` worker pool, every tile multiplying against
+    /// the *same* shared packed B through the same kernel. Each output
+    /// element is accumulated in a fixed `k` order regardless of tiling,
+    /// so the parallel product is **bit-identical** to the sequential one
+    /// for every thread count — and both are bit-identical to
+    /// [`Matrix::matmul_reference`].
     pub fn matmul(&self, other: &Matrix) -> Matrix {
         assert_eq!(
             self.cols,
@@ -195,6 +198,7 @@ impl Matrix {
             self.shape(),
             other.shape()
         );
+        let packed = gemm::PackedB::pack(&other.data, other.rows, other.cols);
         let flops = self.rows * self.cols * other.cols;
         let workers = par::threads();
         if workers > 1 && flops >= PAR_MATMUL_FLOPS && self.rows >= 2 {
@@ -204,7 +208,7 @@ impl Matrix {
             let chunks = par::map_indexed(n_tiles, |t| {
                 let r0 = t * tile;
                 let r1 = (r0 + tile).min(self.rows);
-                self.matmul_rows(other, r0, r1)
+                gemm::gemm_rows(&self.data, self.cols, r0, r1, &packed)
             });
             let mut data = Vec::with_capacity(self.rows * other.cols);
             for chunk in chunks {
@@ -219,24 +223,127 @@ impl Matrix {
         Matrix {
             rows: self.rows,
             cols: other.cols,
-            data: self.matmul_rows(other, 0, self.rows),
+            data: gemm::gemm_rows(&self.data, self.cols, 0, self.rows, &packed),
         }
     }
 
-    /// The shared matmul kernel: output rows `r0..r1` of `self · other`,
-    /// row-major. Both the sequential and the row-tiled parallel path call
-    /// this, which is what guarantees their bit-identical results.
-    fn matmul_rows(&self, other: &Matrix, r0: usize, r1: usize) -> Vec<f32> {
-        let mut out = vec![0.0f32; (r1 - r0) * other.cols];
-        for i in r0..r1 {
+    /// Fused product `self · otherᵀ` (`other` given as `n × k`, i.e. its
+    /// rows are the columns being multiplied against).
+    ///
+    /// Used by attention scores (`Q·Kᵀ`) and the `g·Bᵀ` half of matmul
+    /// backprop; streams both operands along their contiguous rows
+    /// instead of materializing a transposed copy. Bit-identical to
+    /// `self.matmul(&other.transpose())` by the fixed-`k`-order contract
+    /// of [`crate::gemm`].
+    pub fn matmul_transpose_b(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols,
+            other.cols,
+            "matmul_transpose_b shape mismatch: {:?} x {:?}ᵀ",
+            self.shape(),
+            other.shape()
+        );
+        let k = self.cols;
+        let n = other.rows;
+        let packed = gemm::PackedB::pack_transposed(&other.data, n, k);
+        let flops = self.rows * k * n;
+        let workers = par::threads();
+        if workers > 1 && flops >= PAR_MATMUL_FLOPS && self.rows >= 2 {
+            let tile = (self.rows / (4 * workers)).max(1);
+            let n_tiles = self.rows.div_ceil(tile);
+            let chunks = par::map_indexed(n_tiles, |t| {
+                let r0 = t * tile;
+                let r1 = (r0 + tile).min(self.rows);
+                gemm::gemm_rows(&self.data, k, r0, r1, &packed)
+            });
+            let mut data = Vec::with_capacity(self.rows * n);
+            for chunk in chunks {
+                data.extend_from_slice(&chunk);
+            }
+            return Matrix {
+                rows: self.rows,
+                cols: n,
+                data,
+            };
+        }
+        Matrix {
+            rows: self.rows,
+            cols: n,
+            data: gemm::gemm_rows(&self.data, k, 0, self.rows, &packed),
+        }
+    }
+
+    /// Fused product `selfᵀ · other` (`self` given as `k × m`; output is
+    /// `m × n`).
+    ///
+    /// Used by Gram products (`XᵀX` in the ridge metalearner) and the
+    /// `Aᵀ·g` half of matmul backprop. Runs as rank-1 updates along
+    /// contiguous rows of both operands. Bit-identical to
+    /// `self.transpose().matmul(&other)` by the fixed-`k`-order contract
+    /// of [`crate::gemm`].
+    pub fn matmul_transpose_a(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.rows,
+            other.rows,
+            "matmul_transpose_a shape mismatch: {:?}ᵀ x {:?}",
+            self.shape(),
+            other.shape()
+        );
+        let k = self.rows;
+        let m = self.cols;
+        let n = other.cols;
+        let packed = gemm::PackedB::pack(&other.data, k, n);
+        let flops = m * k * n;
+        let workers = par::threads();
+        if workers > 1 && flops >= PAR_MATMUL_FLOPS && m >= 2 {
+            let tile = (m / (4 * workers)).max(1);
+            let n_tiles = m.div_ceil(tile);
+            let chunks = par::map_indexed(n_tiles, |t| {
+                let j0 = t * tile;
+                let j1 = (j0 + tile).min(m);
+                gemm::gemm_ta_rows(&self.data, m, j0, j1, &packed)
+            });
+            let mut data = Vec::with_capacity(m * n);
+            for chunk in chunks {
+                data.extend_from_slice(&chunk);
+            }
+            return Matrix {
+                rows: m,
+                cols: n,
+                data,
+            };
+        }
+        Matrix {
+            rows: m,
+            cols: n,
+            data: gemm::gemm_ta_rows(&self.data, m, 0, m, &packed),
+        }
+    }
+
+    /// Naive triple-loop product — the conformance oracle, and (modulo a
+    /// since-removed `a == 0.0` skip that silently dropped `0·∞` / `0·NaN`
+    /// contributions) the pre-microkernel implementation the perf harness
+    /// benchmarks against.
+    ///
+    /// Each output element is a single accumulator summed in increasing
+    /// `k` order, which is exactly the order every kernel in
+    /// [`crate::gemm`] commits to — so `matmul`, `matmul_transpose_b` and
+    /// `matmul_transpose_a` must (and do) reproduce this result *bit for
+    /// bit*.
+    pub fn matmul_reference(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols,
+            other.rows,
+            "matmul_reference shape mismatch: {:?} x {:?}",
+            self.shape(),
+            other.shape()
+        );
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
             let a_row = self.row(i);
-            let out_start = (i - r0) * other.cols;
+            let out_row = out.row_mut(i);
             for (k, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let b_row = other.row(k);
-                let out_row = &mut out[out_start..out_start + other.cols];
+                let b_row = &other.data[k * other.cols..(k + 1) * other.cols];
                 for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
                     *o += a * b;
                 }
@@ -251,6 +358,21 @@ impl Matrix {
         self.rows_iter()
             .map(|row| crate::vector::dot(row, v))
             .collect()
+    }
+
+    /// Fused transposed matrix–vector product `selfᵀ · v` (`self` is
+    /// `k × m`, `v` has length `k`, output length `m`).
+    ///
+    /// Runs as `k` scaled-row accumulations over contiguous rows, so no
+    /// transposed copy is materialized; used for `Xᵀy` right-hand sides
+    /// in the ridge metalearner.
+    pub fn matvec_t(&self, v: &[f32]) -> Vec<f32> {
+        assert_eq!(self.rows, v.len(), "matvec_t shape mismatch");
+        let mut out = vec![0.0f32; self.cols];
+        for (row, &x) in self.rows_iter().zip(v) {
+            crate::vector::axpy(x, row, &mut out);
+        }
+        out
     }
 
     /// Elementwise map into a new matrix.
@@ -590,11 +712,7 @@ mod tests {
         let a = Matrix::randn(192, 160, 1.0, &mut rng);
         let b = Matrix::randn(160, 192, 1.0, &mut rng);
         assert!(a.rows() * a.cols() * b.cols() >= PAR_MATMUL_FLOPS);
-        let seq = Matrix {
-            rows: a.rows,
-            cols: b.cols,
-            data: a.matmul_rows(&b, 0, a.rows),
-        };
+        let seq = a.matmul_reference(&b);
         let auto = a.matmul(&b); // parallel when the machine has >1 thread
         assert_eq!(seq.as_slice(), auto.as_slice(), "exact bit equality");
     }
@@ -605,12 +723,75 @@ mod tests {
         let mut rng = Rng::new(43);
         let a = Matrix::randn(131, 140, 1.0, &mut rng);
         let b = Matrix::randn(140, 131, 1.0, &mut rng);
-        let seq = Matrix {
-            rows: a.rows,
-            cols: b.cols,
-            data: a.matmul_rows(&b, 0, a.rows),
-        };
+        let seq = a.matmul_reference(&b);
         assert_eq!(seq.as_slice(), a.matmul(&b).as_slice());
+    }
+
+    #[test]
+    fn blocked_matmul_bit_matches_reference() {
+        for &(m, k, n) in &[(1, 1, 1), (5, 7, 9), (4, 8, 8), (17, 13, 19), (2, 64, 3)] {
+            let mut rng = Rng::new((m * 100 + k * 10 + n) as u64);
+            let a = Matrix::randn(m, k, 1.0, &mut rng);
+            let b = Matrix::randn(k, n, 1.0, &mut rng);
+            assert_eq!(
+                a.matmul(&b).as_slice(),
+                a.matmul_reference(&b).as_slice(),
+                "{m}x{k}x{n}"
+            );
+        }
+    }
+
+    #[test]
+    fn fused_transpose_b_matches_materialized() {
+        let mut rng = Rng::new(44);
+        let a = Matrix::randn(9, 14, 1.0, &mut rng);
+        let b = Matrix::randn(6, 14, 1.0, &mut rng); // rows are columns of Bᵀ
+        let fused = a.matmul_transpose_b(&b);
+        let materialized = a.matmul(&b.transpose());
+        assert_eq!(fused.shape(), (9, 6));
+        assert_eq!(fused.as_slice(), materialized.as_slice(), "exact bits");
+    }
+
+    #[test]
+    fn fused_transpose_a_matches_materialized() {
+        let mut rng = Rng::new(45);
+        let a = Matrix::randn(12, 7, 1.0, &mut rng); // k×m
+        let b = Matrix::randn(12, 5, 1.0, &mut rng); // k×n
+        let fused = a.matmul_transpose_a(&b);
+        let materialized = a.transpose().matmul(&b);
+        assert_eq!(fused.shape(), (7, 5));
+        assert_eq!(fused.as_slice(), materialized.as_slice(), "exact bits");
+    }
+
+    #[test]
+    fn matvec_t_matches_transposed_matvec() {
+        let mut rng = Rng::new(46);
+        let a = Matrix::randn(8, 5, 1.0, &mut rng);
+        let v: Vec<f32> = (0..8).map(|i| i as f32 * 0.3 - 1.0).collect();
+        let fused = a.matvec_t(&v);
+        let materialized = a.transpose().matvec(&v);
+        for (x, y) in fused.iter().zip(&materialized) {
+            assert!((x - y).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn matmul_propagates_non_finite_values() {
+        // regression: the old kernel skipped a == 0.0 terms, so 0·∞ and
+        // 0·NaN were silently dropped and a non-finite matrix could
+        // produce a finite (wrong) product
+        let a = Matrix::from_vec(1, 2, vec![0.0, 1.0]);
+        let b = Matrix::from_vec(2, 1, vec![f32::INFINITY, 2.0]);
+        let c = a.matmul(&b);
+        assert!(c[(0, 0)].is_nan(), "0·∞ must contribute NaN, got {c:?}");
+        let b = Matrix::from_vec(2, 1, vec![f32::NAN, 2.0]);
+        assert!(a.matmul(&b)[(0, 0)].is_nan());
+        assert!(
+            a.matmul_transpose_b(&Matrix::from_vec(1, 2, vec![f32::NAN, 0.5]))[(0, 0)].is_nan()
+        );
+        let ka = Matrix::from_vec(2, 1, vec![0.0, 1.0]);
+        let kb = Matrix::from_vec(2, 1, vec![f32::INFINITY, 1.0]);
+        assert!(ka.matmul_transpose_a(&kb)[(0, 0)].is_nan());
     }
 
     #[test]

@@ -60,8 +60,7 @@ impl MultiHeadAttention {
             let qh = col_slice(tape, q, h * head_dim, head_dim);
             let kh = col_slice(tape, k, h * head_dim, head_dim);
             let vh = col_slice(tape, v, h * head_dim, head_dim);
-            let kt = tape.transpose(kh);
-            let scores_raw = tape.matmul(qh, kt);
+            let scores_raw = tape.matmul_transpose_b(qh, kh);
             let mut scores = tape.scale(scores_raw, scale);
             if let Some(bias) = pos_bias {
                 scores = tape.add(scores, bias);
@@ -113,8 +112,7 @@ impl SoftAlign {
     ) -> TensorId {
         let pa = self.proj.forward(tape, store, a);
         let pb = self.proj.forward(tape, store, b);
-        let pbt = tape.transpose(pb);
-        let scores = tape.matmul(pa, pbt); // (len_a × len_b)
+        let scores = tape.matmul_transpose_b(pa, pb); // (len_a × len_b)
         let attn = tape.softmax_rows(scores);
         tape.matmul(attn, b)
     }

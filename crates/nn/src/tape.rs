@@ -30,6 +30,8 @@ enum Op {
         indices: Vec<u32>,
     },
     MatMul(usize, usize),
+    MatMulTB(usize, usize),
+    MatMulTA(usize, usize),
     Transpose(usize),
     Add(usize, usize),
     Sub(usize, usize),
@@ -147,6 +149,28 @@ impl Tape {
     pub fn matmul(&mut self, a: TensorId, b: TensorId) -> TensorId {
         let v = self.nodes[a.0].value.matmul(&self.nodes[b.0].value);
         self.push(v, Op::MatMul(a.0, b.0))
+    }
+
+    /// Fused `A·Bᵀ` (`b` holds the `n × k` operand). Bit-identical to
+    /// `matmul(a, transpose(b))` but skips materializing the transpose in
+    /// both the forward and the backward sweep — the fast path for
+    /// attention scores (`Q·Kᵀ`) and pair-alignment products.
+    pub fn matmul_transpose_b(&mut self, a: TensorId, b: TensorId) -> TensorId {
+        let v = self.nodes[a.0]
+            .value
+            .matmul_transpose_b(&self.nodes[b.0].value);
+        self.push(v, Op::MatMulTB(a.0, b.0))
+    }
+
+    /// Fused `Aᵀ·B` (`a` holds the `k × m` operand). Bit-identical to
+    /// `matmul(transpose(a), b)` without materializing the transpose;
+    /// the backward of every plain `matmul` also routes through this
+    /// kernel for its `Aᵀ·g` term.
+    pub fn matmul_transpose_a(&mut self, a: TensorId, b: TensorId) -> TensorId {
+        let v = self.nodes[a.0]
+            .value
+            .matmul_transpose_a(&self.nodes[b.0].value);
+        self.push(v, Op::MatMulTA(a.0, b.0))
     }
 
     /// Transpose.
@@ -398,10 +422,20 @@ impl Tape {
                     grads.accumulate(*param, &table_grad);
                 }
                 Op::MatMul(a, b) => {
-                    let bt = self.nodes[*b].value.transpose();
-                    add_adj(&mut adj, *a, &g.matmul(&bt));
-                    let at = self.nodes[*a].value.transpose();
-                    add_adj(&mut adj, *b, &at.matmul(&g));
+                    // dA = g·Bᵀ, dB = Aᵀ·g — both through the fused
+                    // kernels, so backward never materializes a transpose
+                    add_adj(&mut adj, *a, &g.matmul_transpose_b(&self.nodes[*b].value));
+                    add_adj(&mut adj, *b, &self.nodes[*a].value.matmul_transpose_a(&g));
+                }
+                Op::MatMulTB(a, b) => {
+                    // C = A·Bᵀ with B stored n×k: dA = g·B, dB = gᵀ·A
+                    add_adj(&mut adj, *a, &g.matmul(&self.nodes[*b].value));
+                    add_adj(&mut adj, *b, &g.matmul_transpose_a(&self.nodes[*a].value));
+                }
+                Op::MatMulTA(a, b) => {
+                    // C = Aᵀ·B with A stored k×m: dA = B·gᵀ, dB = A·g
+                    add_adj(&mut adj, *a, &self.nodes[*b].value.matmul_transpose_b(&g));
+                    add_adj(&mut adj, *b, &self.nodes[*a].value.matmul(&g));
                 }
                 Op::Transpose(a) => add_adj(&mut adj, *a, &g.transpose()),
                 Op::Add(a, b) => {
@@ -685,6 +719,92 @@ mod tests {
             (3, 2),
             1,
             1e-2,
+        );
+    }
+
+    #[test]
+    fn grad_matmul_transpose_b_both_sides() {
+        // param as the transposed (n × k) right operand: C = X·Wᵀ
+        check_grad(
+            |tape, store, w| {
+                let x = tape.input(Matrix::from_vec(2, 3, vec![0.5, -1.0, 2.0, 1.5, 0.3, -0.7]));
+                let p = tape.param(store, w);
+                let h = tape.matmul_transpose_b(x, p);
+                to_scalar(tape, h)
+            },
+            (4, 3),
+            11,
+            1e-2,
+        );
+        // param as the left operand: C = W·Xᵀ
+        check_grad(
+            |tape, store, w| {
+                let x = tape.input(Matrix::from_vec(
+                    4,
+                    3,
+                    (0..12).map(|v| v as f32 * 0.2 - 1.1).collect(),
+                ));
+                let p = tape.param(store, w);
+                let h = tape.matmul_transpose_b(p, x);
+                to_scalar(tape, h)
+            },
+            (2, 3),
+            12,
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn grad_matmul_transpose_a_both_sides() {
+        // param as the transposed (k × m) left operand: C = Wᵀ·X
+        check_grad(
+            |tape, store, w| {
+                let x = tape.input(Matrix::from_vec(
+                    3,
+                    4,
+                    (0..12).map(|v| v as f32 * 0.3 - 1.6).collect(),
+                ));
+                let p = tape.param(store, w);
+                let h = tape.matmul_transpose_a(p, x);
+                to_scalar(tape, h)
+            },
+            (3, 2),
+            13,
+            1e-2,
+        );
+        // param as the right operand: C = Xᵀ·W
+        check_grad(
+            |tape, store, w| {
+                let x = tape.input(Matrix::from_vec(3, 2, vec![0.4, -0.9, 1.2, 0.8, -0.5, 0.1]));
+                let p = tape.param(store, w);
+                let h = tape.matmul_transpose_a(x, p);
+                to_scalar(tape, h)
+            },
+            (3, 4),
+            14,
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn fused_transpose_forwards_bit_match_materialized_transpose() {
+        let mut rng = Rng::new(42);
+        let a = Matrix::randn(5, 7, 1.0, &mut rng);
+        let b = Matrix::randn(9, 7, 1.0, &mut rng); // n × k operand
+        let mut tape = Tape::new();
+        let (ta, tb) = (tape.input(a.clone()), tape.input(b.clone()));
+        let fused = tape.matmul_transpose_b(ta, tb);
+        let bt = tape.transpose(tb);
+        let materialized = tape.matmul(ta, bt);
+        assert_eq!(
+            tape.value(fused).as_slice(),
+            tape.value(materialized).as_slice()
+        );
+        let at = tape.transpose(ta); // 7 × 5: the k × m operand for Aᵀ·B
+        let fused_ta = tape.matmul_transpose_a(at, bt); // atᵀ·bᵀ = a·bᵀ
+        assert_eq!(
+            tape.value(fused_ta).as_slice(),
+            tape.value(materialized).as_slice()
         );
     }
 

@@ -1,0 +1,185 @@
+//! Golden leaderboard snapshots: a tiny fixed-seed search per AutoML
+//! engine whose **entire** [`automl::FitReport`] — model ids, validation
+//! F1 to the last bit, budget charges, threshold — must match a recorded
+//! snapshot byte for byte.
+//!
+//! The determinism suite proves runs agree *with themselves* across
+//! thread counts; this suite pins them to a *recorded* trajectory, so any
+//! accidental change to search order, scoring, budget accounting or
+//! kernel numerics shows up as a readable diff of the snapshot text. The
+//! snapshot strings use Rust's shortest-round-trip float formatting,
+//! which is lossless for `f32`/`f64` — textual equality is bit equality.
+//!
+//! If a PR changes these values *on purpose* (new search heuristic, new
+//! kernel semantics), regenerate by running with `--nocapture` and
+//! copying the printed `actual` block — and say so in the PR description.
+
+use automl::{AutoMlSystem, Budget};
+use linalg::{Matrix, Rng};
+use ml::dataset::TabularData;
+use std::sync::{Mutex, MutexGuard};
+
+/// Serializes tests that flip the global `par` thread override.
+fn guard() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+/// Same two-cluster generator as the determinism suite, different seeds.
+fn blob_data(n: usize, seed: u64) -> TabularData {
+    let mut rng = Rng::new(seed);
+    let mut rows = Vec::with_capacity(n);
+    let mut y = Vec::with_capacity(n);
+    for _ in 0..n {
+        let pos = rng.chance(0.3);
+        let c = if pos { 1.2f32 } else { -1.2 };
+        rows.push(vec![c + rng.normal(), -c + rng.normal(), rng.normal()]);
+        y.push(if pos { 1.0 } else { 0.0 });
+    }
+    TabularData::new(Matrix::from_rows(&rows), y)
+}
+
+/// Render a report as one line per fact, floats in shortest round-trip
+/// form (lossless), so golden comparison is bit comparison with a
+/// readable diff.
+fn snapshot(report: &automl::FitReport) -> String {
+    let mut s = String::new();
+    s.push_str(&format!(
+        "system={} units={} hours={} val_f1={} threshold={}\n",
+        report.system, report.units_used, report.hours_used, report.val_f1, report.threshold
+    ));
+    for e in report.leaderboard.entries() {
+        s.push_str(&format!(
+            "  model={} val_f1={} cost={} error={}\n",
+            e.model,
+            e.val_f1,
+            e.cost_units,
+            e.error
+                .as_ref()
+                .map_or("none".to_owned(), |err| format!("{err:?}")),
+        ));
+    }
+    s
+}
+
+fn fit_snapshot(mut sys: Box<dyn AutoMlSystem>, budget_hours: f64) -> String {
+    let _g = guard();
+    par::set_threads(1);
+    let train = blob_data(160, 21);
+    let valid = blob_data(60, 22);
+    let mut budget = Budget::hours(budget_hours).unwrap();
+    let report = sys.fit(&train, &valid, &mut budget).unwrap();
+    par::reset_threads();
+    snapshot(&report)
+}
+
+fn assert_golden(actual: &str, golden: &str, engine: &str) {
+    if actual != golden {
+        panic!(
+            "{engine}: leaderboard drifted from golden snapshot.\n\
+             --- golden ---\n{golden}\n--- actual ---\n{actual}\n\
+             If this change is intentional, update the snapshot above."
+        );
+    }
+}
+
+#[test]
+fn autosklearn_leaderboard_matches_golden_snapshot() {
+    let actual = fit_snapshot(
+        Box::new(automl::sklearn_like::AutoSklearnStyle::new(4)),
+        0.4,
+    );
+    println!("actual:\n{actual}");
+    let golden = "\
+system=AutoSklearn units=4.800000000000001 hours=0.4000000000000001 val_f1=100 threshold=0.5
+  model=gbm(n=80,lr=0.09486833,depth=5) val_f1=100 cost=0.43679999999999997 error=none
+  model=logreg(l2=1e-3) val_f1=97.56097560975608 cost=0.1456 error=none
+  model=rf(n=58,depth=9) val_f1=100 cost=0.364 error=none
+  model=rf(n=78,depth=10) val_f1=95.23809523809523 cost=0.364 error=none
+  model=gaussian_nb val_f1=97.56097560975608 cost=0.0364 error=none
+  model=logreg(l2=3e-3) val_f1=97.56097560975608 cost=0.1456 error=none
+  model=tree(depth=18) val_f1=88.88888888888889 cost=0.091 error=none
+  model=rf(n=71,depth=11) val_f1=97.56097560975608 cost=0.364 error=none
+  model=gbm(n=74,lr=0.04034378,depth=5) val_f1=100 cost=0.43679999999999997 error=none
+  model=tree(depth=9) val_f1=90.9090909090909 cost=0.091 error=none
+  model=gbm(n=65,lr=0.048242953,depth=6) val_f1=100 cost=0.43679999999999997 error=none
+  model=tree(depth=5) val_f1=77.55102040816327 cost=0.091 error=none
+  model=gbm(n=42,lr=0.108817235,depth=5) val_f1=100 cost=0.43679999999999997 error=none
+  model=linsvm(l2=2e-5) val_f1=95.23809523809523 cost=0.1456 error=none
+  model=gbm(n=40,lr=0.21723014,depth=4) val_f1=97.56097560975608 cost=0.43679999999999997 error=none
+  model=gbm(n=51,lr=0.03,depth=5) val_f1=100 cost=0.43679999999999997 error=none
+";
+    assert_golden(&actual, golden, "AutoSklearnStyle");
+}
+
+#[test]
+fn autogluon_leaderboard_matches_golden_snapshot() {
+    let actual = fit_snapshot(Box::new(automl::gluon_like::AutoGluonStyle::new(4)), 0.6);
+    println!("actual:\n{actual}");
+    let golden = "\
+system=AutoGluon units=6.6428 hours=0.5535666666666667 val_f1=100 threshold=0.5
+  model=bag[gbm(n=110,lr=0.08,depth=6)] val_f1=100 cost=2.1071999999999997 error=none
+  model=bag[catgbm(n=90,lr=0.1,depth=5)] val_f1=100 cost=2.6340000000000003 error=none
+  model=bag[rf(n=60,depth=16)] val_f1=97.56097560975608 cost=1.756 error=none
+  model=stacker[glm] val_f1=100 cost=0.1456 error=none
+";
+    assert_golden(&actual, golden, "AutoGluonStyle");
+}
+
+#[test]
+fn h2o_leaderboard_matches_golden_snapshot() {
+    let actual = fit_snapshot(Box::new(automl::h2o_like::H2oStyle::new(4)), 0.35);
+    println!("actual:\n{actual}");
+    let golden = "\
+system=H2OAutoML units=4.123999999999999 hours=0.34366666666666656 val_f1=100 threshold=0.36495915
+  model=rf(n=30,depth=7) val_f1=97.56097560975608 cost=0.364 error=none
+  model=gbm(n=34,lr=0.12074531,depth=4) val_f1=100 cost=0.43679999999999997 error=none
+  model=xt(n=42,depth=17) val_f1=100 cost=0.2912 error=none
+  model=logreg(l2=3e-2) val_f1=97.56097560975608 cost=0.1456 error=none
+  model=xt(n=43,depth=16) val_f1=97.56097560975608 cost=0.2912 error=none
+  model=logreg(l2=7e-2) val_f1=97.56097560975608 cost=0.1456 error=none
+  model=gbm(n=102,lr=0.25955328,depth=6) val_f1=100 cost=0.43679999999999997 error=none
+  model=xt(n=40,depth=12) val_f1=97.43589743589745 cost=0.2912 error=none
+  model=xt(n=28,depth=7) val_f1=100 cost=0.2912 error=none
+  model=logreg(l2=1e-5) val_f1=97.56097560975608 cost=0.1456 error=none
+  model=gbm(n=128,lr=0.04423905,depth=6) val_f1=100 cost=0.43679999999999997 error=none
+  model=xt(n=34,depth=18) val_f1=100 cost=0.2912 error=none
+";
+    assert_golden(&actual, golden, "H2oStyle");
+}
+
+#[test]
+fn halving_leaderboard_matches_golden_snapshot() {
+    let actual = fit_snapshot(Box::new(automl::halving::SuccessiveHalving::new(4)), 0.7);
+    println!("actual:\n{actual}");
+    let golden = "\
+system=SuccessiveHalving units=4.611159999999999 hours=0.38426333333333323 val_f1=100 threshold=0.40855548
+  model=rung0[gaussian_nb] val_f1=100 cost=0.03156 error=none
+  model=rung0[rf(n=52,depth=11)] val_f1=97.56097560975608 cost=0.3156 error=none
+  model=rung0[linsvm(l2=5e-2)] val_f1=100 cost=0.12624 error=none
+  model=rung0[xt(n=39,depth=14)] val_f1=100 cost=0.25248 error=none
+  model=rung0[rf(n=72,depth=11)] val_f1=100 cost=0.3156 error=none
+  model=rung0[gaussian_nb] val_f1=100 cost=0.03156 error=none
+  model=rung0[tree(depth=13)] val_f1=92.3076923076923 cost=0.0789 error=none
+  model=rung0[knn(k=30)] val_f1=97.56097560975608 cost=0.28404 error=none
+  model=rung0[gaussian_nb] val_f1=100 cost=0.03156 error=none
+  model=rung0[linsvm(l2=1e-3)] val_f1=100 cost=0.12624 error=none
+  model=rung0[rf(n=35,depth=12)] val_f1=97.56097560975608 cost=0.3156 error=none
+  model=rung0[linsvm(l2=2e-2)] val_f1=100 cost=0.12624 error=none
+  model=rung0[rf(n=65,depth=8)] val_f1=97.56097560975608 cost=0.3156 error=none
+  model=rung0[rf(n=52,depth=16)] val_f1=97.56097560975608 cost=0.3156 error=none
+  model=rung0[rf(n=74,depth=14)] val_f1=97.56097560975608 cost=0.3156 error=none
+  model=rung0[tree(depth=10)] val_f1=92.3076923076923 cost=0.0789 error=none
+  model=rung0[xt(n=80,depth=18)] val_f1=97.56097560975608 cost=0.25248 error=none
+  model=rung0[gaussian_nb] val_f1=100 cost=0.03156 error=none
+  model=rung1[gaussian_nb] val_f1=97.43589743589745 cost=0.03316 error=none
+  model=rung1[linsvm(l2=5e-2)] val_f1=97.56097560975608 cost=0.13264 error=none
+  model=rung1[xt(n=39,depth=14)] val_f1=100 cost=0.26528 error=none
+  model=rung1[rf(n=72,depth=11)] val_f1=95.23809523809523 cost=0.3316 error=none
+  model=rung1[gaussian_nb] val_f1=97.43589743589745 cost=0.03316 error=none
+  model=rung1[gaussian_nb] val_f1=97.43589743589745 cost=0.03316 error=none
+  model=rung2[xt(n=39,depth=14)] val_f1=100 cost=0.2912 error=none
+  model=rung2[linsvm(l2=5e-2)] val_f1=97.56097560975608 cost=0.1456 error=none
+";
+    assert_golden(&actual, golden, "SuccessiveHalving");
+}

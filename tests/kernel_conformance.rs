@@ -1,0 +1,171 @@
+//! Kernel conformance: the blocked GEMM and both fused-transpose
+//! variants must be **bit-identical** to a naive triple-loop oracle, at
+//! every thread count, on every shape class the pipeline can produce.
+//!
+//! This is the enforcement arm of the bit-identity contract documented in
+//! `linalg::gemm`: each output element is one accumulator advanced in
+//! strictly increasing-k order with no `mul_add` contraction, so packing,
+//! register tiling, runtime SIMD dispatch and row-tiled parallelism may
+//! change *throughput* but never a single bit of the result. Shapes cover
+//! empty and unit dims, primes that straddle the MR×NR tile in every
+//! direction, tall/wide aspect ratios, and sizes past the parallel
+//! threshold; every case runs with the `par` pool pinned to 1 and to 4
+//! workers.
+//!
+//! The thread override is process-global, so tests serialize on one lock
+//! (this binary is its own process; other test binaries are unaffected).
+
+use linalg::{Matrix, Rng};
+use std::sync::{Mutex, MutexGuard};
+
+/// Serializes tests that flip the global `par` thread override.
+fn guard() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+/// The oracle: a naive triple loop, one accumulator per element, in
+/// increasing-k order — deliberately the simplest possible statement of
+/// the arithmetic every blocked kernel must reproduce exactly.
+fn oracle(a: &Matrix, b: &Matrix) -> Matrix {
+    let (m, k, n) = (a.rows(), a.cols(), b.cols());
+    assert_eq!(b.rows(), k);
+    Matrix::from_fn(m, n, |i, j| {
+        let mut acc = 0.0f32;
+        for kk in 0..k {
+            acc += a[(i, kk)] * b[(kk, j)];
+        }
+        acc
+    })
+}
+
+/// Shape classes: empty, unit, tile-straddling primes, tall, wide, and
+/// past the `PAR_MATMUL_FLOPS` threshold so the parallel path engages.
+const SHAPES: &[(usize, usize, usize)] = &[
+    (0, 5, 7),
+    (5, 0, 7),
+    (5, 7, 0),
+    (1, 1, 1),
+    (1, 17, 1),
+    (4, 8, 8),       // exactly one full MR×NR tile per row block
+    (5, 9, 11),      // ragged in every direction
+    (13, 7, 31),     // prime dims straddling strip boundaries
+    (3, 257, 2),     // tall-k
+    (97, 2, 3),      // tall-m, tiny k
+    (2, 3, 97),      // wide-n
+    (129, 130, 131), // > 2^21 flops: parallel row tiling engages at 4 workers
+];
+
+fn randn(rows: usize, cols: usize, seed: u64) -> Matrix {
+    let mut rng = Rng::new(seed);
+    Matrix::from_fn(rows, cols, |_, _| rng.normal())
+}
+
+/// Run `f` at 1 and at 4 workers and assert the results are identical
+/// bytes; returns the 1-worker result for oracle comparison.
+fn at_both_thread_counts(f: impl Fn() -> Matrix, what: &str) -> Matrix {
+    par::set_threads(1);
+    let seq = f();
+    par::set_threads(4);
+    let par4 = f();
+    par::reset_threads();
+    assert_eq!(
+        seq.as_slice(),
+        par4.as_slice(),
+        "{what}: result depends on thread count"
+    );
+    seq
+}
+
+#[test]
+fn blocked_gemm_bit_matches_oracle_at_all_thread_counts() {
+    let _g = guard();
+    for &(m, k, n) in SHAPES {
+        let a = randn(m, k, (m * 1009 + k * 31 + n) as u64);
+        let b = randn(k, n, (n * 2003 + k) as u64);
+        let expect = oracle(&a, &b);
+        let got = at_both_thread_counts(|| a.matmul(&b), &format!("matmul {m}x{k}x{n}"));
+        assert_eq!(got.as_slice(), expect.as_slice(), "matmul {m}x{k}x{n}");
+    }
+}
+
+#[test]
+fn fused_transpose_b_bit_matches_oracle_at_all_thread_counts() {
+    let _g = guard();
+    for &(m, k, n) in SHAPES {
+        let a = randn(m, k, (m * 733 + k) as u64);
+        let bt = randn(n, k, (n * 523 + k * 7) as u64); // stored n × k
+        let expect = oracle(&a, &bt.transpose());
+        let got = at_both_thread_counts(
+            || a.matmul_transpose_b(&bt),
+            &format!("matmul_transpose_b {m}x{k}x{n}"),
+        );
+        assert_eq!(
+            got.as_slice(),
+            expect.as_slice(),
+            "matmul_transpose_b {m}x{k}x{n}"
+        );
+    }
+}
+
+#[test]
+fn fused_transpose_a_bit_matches_oracle_at_all_thread_counts() {
+    let _g = guard();
+    for &(m, k, n) in SHAPES {
+        let at = randn(k, m, (m * 389 + k * 3) as u64); // stored k × m
+        let b = randn(k, n, (n * 151 + k) as u64);
+        let expect = oracle(&at.transpose(), &b);
+        let got = at_both_thread_counts(
+            || at.matmul_transpose_a(&b),
+            &format!("matmul_transpose_a {m}x{k}x{n}"),
+        );
+        assert_eq!(
+            got.as_slice(),
+            expect.as_slice(),
+            "matmul_transpose_a {m}x{k}x{n}"
+        );
+    }
+}
+
+#[test]
+fn fused_variants_bit_match_their_materialized_forms() {
+    let _g = guard();
+    // the substitution the nn tape backward relies on: fused ops are
+    // drop-in replacements for transpose-then-multiply, bit for bit
+    for &(m, k, n) in SHAPES {
+        let a = randn(m, k, (m + k * 41) as u64);
+        let b = randn(k, n, (n + k * 43) as u64);
+        let bt = b.transpose();
+        let at = a.transpose();
+        assert_eq!(
+            a.matmul_transpose_b(&bt).as_slice(),
+            a.matmul(&b).as_slice(),
+            "A·(Bᵀ)ᵀ vs A·B at {m}x{k}x{n}"
+        );
+        assert_eq!(
+            at.matmul_transpose_a(&b).as_slice(),
+            a.matmul(&b).as_slice(),
+            "(Aᵀ)ᵀ·B vs A·B at {m}x{k}x{n}"
+        );
+    }
+}
+
+#[test]
+fn non_finite_values_reach_every_kernel_output() {
+    let _g = guard();
+    // regression for the old zero-skip fast path: a 0 in A must not drop
+    // an ∞/NaN contribution from B (0·∞ = NaN by IEEE 754)
+    let mut a = Matrix::zeros(3, 4);
+    a[(1, 2)] = 0.0;
+    a[(0, 0)] = 1.0;
+    let mut b = Matrix::zeros(4, 3);
+    b[(2, 1)] = f32::INFINITY;
+    b[(2, 2)] = f32::NAN;
+    let prod = a.matmul(&b);
+    assert!(prod[(1, 1)].is_nan(), "0·∞ must propagate as NaN");
+    assert!(prod[(1, 2)].is_nan(), "0·NaN must propagate as NaN");
+    let tb = a.matmul_transpose_b(&b.transpose());
+    assert!(tb[(1, 1)].is_nan() && tb[(1, 2)].is_nan());
+    let ta = a.transpose().matmul_transpose_a(&b);
+    assert!(ta[(1, 1)].is_nan() && ta[(1, 2)].is_nan());
+}
