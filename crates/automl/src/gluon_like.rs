@@ -19,7 +19,7 @@ use crate::fault::FaultPlan;
 use crate::journal::{ResumePolicy, SearchRun};
 use crate::leaderboard::{FitReport, Leaderboard};
 use crate::telemetry::TrialTracker;
-use crate::trial::guard_trial;
+use crate::trial::guard_trial_timed;
 use crate::AutoMlSystem;
 use linalg::{Matrix, Rng};
 use ml::boosting::{BoostConfig, GradientBoosting, ObliviousBoosting};
@@ -180,9 +180,9 @@ impl AutoMlSystem for AutoGluonStyle {
             // leaves every later trial's randomness untouched.
             let mut bag_rng = rng.fork(trial_idx);
             let token = run.token();
-            let outcome = match run.replayed_failure(trial_idx) {
-                Some(err) => Err(err),
-                None => guard_trial(self.faults.get(trial_idx), &token, || {
+            let (outcome, wall_ms) = match run.replayed_failure(trial_idx) {
+                Some(err) => (Err(err), 0.0),
+                None => guard_trial_timed(self.name(), self.faults.get(trial_idx), &token, || {
                     let bag = BaggedModel::fit(template.as_ref(), train, K_FOLDS, &mut bag_rng)?;
                     let val_probs = bag.predict_proba(&valid.x);
                     let (_, f1) = best_f1_threshold(&val_probs, &valid_labels);
@@ -194,13 +194,13 @@ impl AutoMlSystem for AutoGluonStyle {
             match outcome {
                 Ok((bag, _, f1)) => {
                     run.record_done(trial_idx, &name, f1, charged)?;
-                    tracker.record(family, &name, f1, charged);
+                    tracker.record(family, &name, f1, charged, wall_ms);
                     leaderboard.push(name, f1, charged);
                     self.bags.push(bag);
                 }
                 Err(err) => {
                     run.record_failed(trial_idx, &name, &err, charged)?;
-                    tracker.record_failure(family, &name, &err, charged);
+                    tracker.record_failure(family, &name, &err, charged, wall_ms);
                     leaderboard.push_failed(name, err, charged);
                 }
             }
@@ -256,9 +256,9 @@ impl AutoMlSystem for AutoGluonStyle {
             run.note_planned(trial_idx, "stacker[glm]", stack_cost);
             run.sync();
             let token = run.token();
-            let outcome = match run.replayed_failure(trial_idx) {
-                Some(err) => Err(err),
-                None => guard_trial(self.faults.get(trial_idx), &token, || {
+            let (outcome, wall_ms) = match run.replayed_failure(trial_idx) {
+                Some(err) => (Err(err), 0.0),
+                None => guard_trial_timed(self.name(), self.faults.get(trial_idx), &token, || {
                     let meta = GlmMetalearner::fit(&oof, &train.y, 1e-2);
                     let stacked_val = meta.predict(&bag_val_probs);
                     let (st, sf1) = best_f1_threshold(&stacked_val, &valid_labels);
@@ -273,7 +273,7 @@ impl AutoMlSystem for AutoGluonStyle {
             match outcome {
                 Ok(((meta, st), _, sf1)) => {
                     run.record_done(trial_idx, "stacker[glm]", sf1, charged)?;
-                    tracker.record(ModelFamily::LogReg, "stacker[glm]", sf1, charged);
+                    tracker.record(ModelFamily::LogReg, "stacker[glm]", sf1, charged, wall_ms);
                     leaderboard.push("stacker[glm]".to_owned(), sf1, charged);
                     if sf1 > best.0 {
                         best = (sf1, st);
@@ -282,7 +282,13 @@ impl AutoMlSystem for AutoGluonStyle {
                 }
                 Err(err) => {
                     run.record_failed(trial_idx, "stacker[glm]", &err, charged)?;
-                    tracker.record_failure(ModelFamily::LogReg, "stacker[glm]", &err, charged);
+                    tracker.record_failure(
+                        ModelFamily::LogReg,
+                        "stacker[glm]",
+                        &err,
+                        charged,
+                        wall_ms,
+                    );
                     leaderboard.push_failed("stacker[glm]".to_owned(), err, charged);
                 }
             }

@@ -20,7 +20,7 @@ use crate::journal::{ResumePolicy, SearchRun};
 use crate::leaderboard::{FitReport, Leaderboard};
 use crate::space::{h2o_families, Candidate};
 use crate::telemetry::TrialTracker;
-use crate::trial::{all_failed_error, guard_trial};
+use crate::trial::{all_failed_error, guard_trial_timed};
 use crate::AutoMlSystem;
 use linalg::{Matrix, Rng};
 use ml::dataset::TabularData;
@@ -142,9 +142,10 @@ impl AutoMlSystem for H2oStyle {
         //     without re-running ---
         let faults = &self.faults;
         let view = run.view();
+        let engine = self.name();
         let fits = par::map(&planned, |(candidate, _, idx)| match view.failed(*idx) {
-            Some(err) => Err(err),
-            None => guard_trial(faults.get(*idx), view.token(), || {
+            Some(err) => (Err(err), 0.0),
+            None => guard_trial_timed(engine, faults.get(*idx), view.token(), || {
                 let mut model = candidate.build(seed.wrapping_add(*idx));
                 model.fit(&train.x, &train.y)?;
                 let probs = model.predict_proba(&valid.x);
@@ -157,20 +158,20 @@ impl AutoMlSystem for H2oStyle {
         //     submission order (replayed trials use their recorded
         //     charges) ---
         let mut evaluated: Vec<Evaluated> = Vec::new();
-        for ((candidate, cost, idx), fit) in planned.into_iter().zip(fits) {
+        for ((candidate, cost, idx), (fit, wall_ms)) in planned.into_iter().zip(fits) {
             let charged = run.charge(idx, cost * self.faults.cost_multiplier(idx));
             budget.consume(charged);
             match fit {
                 Ok((model, probs, f1)) => {
                     run.record_done(idx, &model.name(), f1, charged)?;
-                    tracker.record(candidate.family, &model.name(), f1, charged);
+                    tracker.record(candidate.family, &model.name(), f1, charged, wall_ms);
                     leaderboard.push(model.name(), f1, charged);
                     evaluated.push((candidate, model, probs, f1));
                 }
                 Err(err) => {
                     let name = candidate.build(seed.wrapping_add(idx)).name();
                     run.record_failed(idx, &name, &err, charged)?;
-                    tracker.record_failure(candidate.family, &name, &err, charged);
+                    tracker.record_failure(candidate.family, &name, &err, charged, wall_ms);
                     leaderboard.push_failed(name, err, charged);
                 }
             }
@@ -232,9 +233,9 @@ impl AutoMlSystem for H2oStyle {
             run.note_planned(trial_idx, "super_learner[glm]", 0.0);
             run.sync();
             let token = run.token();
-            let outcome = match run.replayed_failure(trial_idx) {
-                Some(err) => Err(err),
-                None => guard_trial(self.faults.get(trial_idx), &token, || {
+            let (outcome, wall_ms) = match run.replayed_failure(trial_idx) {
+                Some(err) => (Err(err), 0.0),
+                None => guard_trial_timed(self.name(), self.faults.get(trial_idx), &token, || {
                     let meta = GlmMetalearner::fit(&oof, &train.y, 1e-2);
                     let stacked_val = meta.predict(&member_val);
                     let (st, sf1) = best_f1_threshold(&stacked_val, &valid_labels);
@@ -244,7 +245,7 @@ impl AutoMlSystem for H2oStyle {
             match outcome {
                 Ok(((meta, st), _, sf1)) => {
                     run.record_done(trial_idx, "super_learner[glm]", sf1, 0.0)?;
-                    tracker.record(ModelFamily::LogReg, "super_learner[glm]", sf1, 0.0);
+                    tracker.record(ModelFamily::LogReg, "super_learner[glm]", sf1, 0.0, wall_ms);
                     leaderboard.push("super_learner[glm]".to_owned(), sf1, 0.0);
                     if sf1 >= best.0 {
                         best = (sf1, st, true);
@@ -253,7 +254,13 @@ impl AutoMlSystem for H2oStyle {
                 }
                 Err(err) => {
                     run.record_failed(trial_idx, "super_learner[glm]", &err, 0.0)?;
-                    tracker.record_failure(ModelFamily::LogReg, "super_learner[glm]", &err, 0.0);
+                    tracker.record_failure(
+                        ModelFamily::LogReg,
+                        "super_learner[glm]",
+                        &err,
+                        0.0,
+                        wall_ms,
+                    );
                     leaderboard.push_failed("super_learner[glm]".to_owned(), err, 0.0);
                 }
             }

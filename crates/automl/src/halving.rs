@@ -21,7 +21,7 @@ use crate::journal::{ResumePolicy, SearchRun};
 use crate::leaderboard::{FitReport, Leaderboard};
 use crate::space::{sklearn_families, Candidate};
 use crate::telemetry::TrialTracker;
-use crate::trial::{all_failed_error, guard_trial};
+use crate::trial::{all_failed_error, guard_trial_timed};
 use crate::AutoMlSystem;
 use linalg::{Matrix, Rng};
 use ml::cv::stratified_holdout;
@@ -194,9 +194,10 @@ impl AutoMlSystem for SuccessiveHalving {
             //     re-running ---
             let faults = &self.faults;
             let view = run.view();
+            let engine = self.name();
             let fits = par::map(&planned, |&(pop_idx, _, idx)| match view.failed(idx) {
-                Some(err) => Err(err),
-                None => guard_trial(faults.get(idx), view.token(), || {
+                Some(err) => (Err(err), 0.0),
+                None => guard_trial_timed(engine, faults.get(idx), view.token(), || {
                     let mut model = population[pop_idx].0.build(seed.wrapping_add(idx));
                     model.fit(&subset.x, &subset.y)?;
                     let probs = model.predict_proba(&valid.x);
@@ -209,14 +210,14 @@ impl AutoMlSystem for SuccessiveHalving {
             //     submission order (replayed trials charge their recorded
             //     units, so nothing is double-charged on resume) ---
             let mut rung_results: Vec<Evaluated> = Vec::new();
-            for (&(pop_idx, cost, idx), fit) in planned.iter().zip(fits) {
+            for (&(pop_idx, cost, idx), (fit, wall_ms)) in planned.iter().zip(fits) {
                 let charged = run.charge(idx, cost * self.faults.cost_multiplier(idx));
                 budget.consume(charged);
                 match fit {
                     Ok((model, probs, f1)) => {
                         let label = format!("rung{rung}[{}]", model.name());
                         run.record_done(idx, &label, f1, charged)?;
-                        tracker.record(population[pop_idx].0.family, &label, f1, charged);
+                        tracker.record(population[pop_idx].0.family, &label, f1, charged, wall_ms);
                         leaderboard.push(label, f1, charged);
                         population[pop_idx].1 = f1;
                         rung_results.push((population[pop_idx].0.clone(), model, probs, f1));
@@ -229,7 +230,13 @@ impl AutoMlSystem for SuccessiveHalving {
                             population[pop_idx].0.build(seed.wrapping_add(idx)).name()
                         );
                         run.record_failed(idx, &name, &err, charged)?;
-                        tracker.record_failure(population[pop_idx].0.family, &name, &err, charged);
+                        tracker.record_failure(
+                            population[pop_idx].0.family,
+                            &name,
+                            &err,
+                            charged,
+                            wall_ms,
+                        );
                         leaderboard.push_failed(name, err, charged);
                     }
                 }

@@ -203,6 +203,9 @@ impl JournalWriter {
         if self.dead {
             return;
         }
+        // fsync is the journal's dominant cost; book it to the ledger so
+        // "where the budget went" tables show WAL durability overhead
+        let _t = obs::ledger::phase("journal_fsync");
         if let Err(e) = self.file.sync_data() {
             self.disable("fsync", &e);
         }

@@ -20,7 +20,7 @@ use crate::leaderboard::{FitReport, Leaderboard};
 use crate::smbo::{propose, warm_starts, Surrogate};
 use crate::space::{sklearn_families, Candidate};
 use crate::telemetry::TrialTracker;
-use crate::trial::{all_failed_error, guard_trial};
+use crate::trial::{all_failed_error, guard_trial_timed};
 use crate::AutoMlSystem;
 use linalg::{Matrix, Rng};
 use ml::dataset::TabularData;
@@ -184,9 +184,10 @@ impl AutoMlSystem for AutoSklearnStyle {
             //     dependent, e.g. a deadline abandonment) ---
             let faults = &self.faults;
             let view = run.view();
+            let engine = self.name();
             let evals = par::map(&planned, |(candidate, _, idx)| match view.failed(*idx) {
-                Some(err) => Err(err),
-                None => guard_trial(faults.get(*idx), view.token(), || {
+                Some(err) => (Err(err), 0.0),
+                None => guard_trial_timed(engine, faults.get(*idx), view.token(), || {
                     let mut model = candidate.build(seed.wrapping_add(*idx));
                     model.fit(&train.x, &train.y)?;
                     let probs = model.predict_proba(&valid.x);
@@ -198,13 +199,13 @@ impl AutoMlSystem for AutoSklearnStyle {
             // --- charge budget, journal outcomes and emit telemetry in
             //     submission order (replayed trials charge their recorded
             //     units, so nothing is double-charged on resume) ---
-            for ((candidate, cost, idx), eval) in planned.into_iter().zip(evals) {
+            for ((candidate, cost, idx), (eval, wall_ms)) in planned.into_iter().zip(evals) {
                 let charged = run.charge(idx, cost * self.faults.cost_multiplier(idx));
                 budget.consume(charged);
                 match eval {
                     Ok((model, probs, f1)) => {
                         run.record_done(idx, &model.name(), f1, charged)?;
-                        tracker.record(candidate.family, &model.name(), f1, charged);
+                        tracker.record(candidate.family, &model.name(), f1, charged, wall_ms);
                         leaderboard.push(model.name(), f1, charged);
                         history.push((candidate, f1 / 100.0));
                         fitted.push((model, probs));
@@ -214,7 +215,7 @@ impl AutoMlSystem for AutoSklearnStyle {
                         // quarantined, and the search continues
                         let name = candidate.build(seed.wrapping_add(idx)).name();
                         run.record_failed(idx, &name, &err, charged)?;
-                        tracker.record_failure(candidate.family, &name, &err, charged);
+                        tracker.record_failure(candidate.family, &name, &err, charged, wall_ms);
                         leaderboard.push_failed(name, err, charged);
                     }
                 }

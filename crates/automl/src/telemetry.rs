@@ -36,8 +36,17 @@ impl TrialTracker {
     }
 
     /// Record one candidate fit: its family, full model description
-    /// (hyperparameters included), validation F1 and budget charge.
-    pub fn record(&mut self, family: ModelFamily, model: &str, val_f1: f64, cost_units: f64) {
+    /// (hyperparameters included), validation F1, budget charge and
+    /// wall-clock milliseconds spent inside the guarded evaluation
+    /// (telemetry only — wall time never reaches a `FitReport`).
+    pub fn record(
+        &mut self,
+        family: ModelFamily,
+        model: &str,
+        val_f1: f64,
+        cost_units: f64,
+        wall_ms: f64,
+    ) {
         self.best = self.best.max(val_f1);
         obs::events::emit_trial(obs::TrialEvent {
             engine: self.engine,
@@ -46,6 +55,7 @@ impl TrialTracker {
             model: model.to_owned(),
             val_f1,
             cost_units,
+            wall_ms,
             best_so_far: self.best,
             error: None,
         });
@@ -64,6 +74,7 @@ impl TrialTracker {
         model: &str,
         error: &TrialError,
         cost_units: f64,
+        wall_ms: f64,
     ) {
         obs::events::emit_trial(obs::TrialEvent {
             engine: self.engine,
@@ -72,6 +83,7 @@ impl TrialTracker {
             model: model.to_owned(),
             val_f1: f64::NEG_INFINITY,
             cost_units,
+            wall_ms,
             best_so_far: self.best,
             error: Some(error.to_string()),
         });
@@ -94,13 +106,14 @@ mod tests {
     #[test]
     fn tracker_emits_and_counts() {
         let mut t = TrialTracker::new("t.tel.Engine");
-        t.record(ModelFamily::Gbm, "gbm(rounds=50)", 61.0, 1.5);
-        t.record(ModelFamily::LogReg, "logreg(l2=0.01)", 55.0, 0.5);
+        t.record(ModelFamily::Gbm, "gbm(rounds=50)", 61.0, 1.5, 12.0);
+        t.record(ModelFamily::LogReg, "logreg(l2=0.01)", 55.0, 0.5, 3.0);
         assert_eq!(t.trials(), 2);
         let trials = obs::recent_trials(Some("t.tel.Engine"));
         assert_eq!(trials.len(), 2);
         assert_eq!(trials[0].best_so_far, 61.0);
         assert_eq!(trials[1].best_so_far, 61.0, "best-so-far is cumulative");
+        assert_eq!(trials[0].wall_ms, 12.0, "wall time rides along per trial");
         assert_eq!(obs::counter("automl.t.tel.Engine.trials").get(), 2);
         let spent = obs::gauge("automl.t.tel.Engine.units_spent").get();
         assert!((spent - 2.0).abs() < 1e-12);
@@ -109,12 +122,13 @@ mod tests {
     #[test]
     fn tracker_records_failures_without_moving_best() {
         let mut t = TrialTracker::new("t.tel.FailEngine");
-        t.record(ModelFamily::Gbm, "gbm(rounds=50)", 70.0, 1.0);
+        t.record(ModelFamily::Gbm, "gbm(rounds=50)", 70.0, 1.0, 5.0);
         t.record_failure(
             ModelFamily::Knn,
             "knn(k=5)",
             &TrialError::NonFiniteScore { stage: "score" },
             0.5,
+            1.0,
         );
         assert_eq!(t.trials(), 2);
         let trials = obs::recent_trials(Some("t.tel.FailEngine"));

@@ -17,11 +17,19 @@
 //!
 //! ```text
 //! kernel_bench [--out <dir>] [--iters <k>] [--threads <n>] [--check]
+//!              [--diff <baseline.json>] [--max-regress <pct>]
 //! ```
 //!
 //! `--check` runs a seconds-long smoke pass on small shapes, re-parses
 //! the JSON it wrote and asserts every recorded number is finite — the
 //! CI `bench-smoke` job gate.
+//!
+//! `--diff <baseline.json>` compares the fresh run against a previously
+//! committed `BENCH_kernels.json`: every same-name entry whose
+//! `ns_per_iter` grew past `baseline × (1 + max_regress/100)` (default
+//! 50%) is a regression, and the process exits non-zero listing them.
+//! Entries only present on one side are reported but never fail the
+//! gate (shape sets are allowed to evolve).
 
 use linalg::{Matrix, Rng};
 use std::time::Instant;
@@ -269,12 +277,66 @@ fn verify_artifact(path: &std::path::Path) {
     println!("verified {} entries, all finite", entries.len());
 }
 
+/// Parse a `BENCH_kernels.json` into `name -> ns_per_iter`.
+fn load_baseline(path: &str) -> std::collections::BTreeMap<String, f64> {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
+    let root = obs::json::parse(&text)
+        .unwrap_or_else(|e| panic!("baseline {path} is not valid JSON: {e:?}"));
+    let mut out = std::collections::BTreeMap::new();
+    if let Some(obs::json::Json::Arr(items)) = root.get("entries") {
+        for e in items {
+            if let (Some(name), Some(ns)) = (
+                e.get("name").and_then(|j| j.as_str()),
+                e.get("ns_per_iter").and_then(|j| j.as_f64()),
+            ) {
+                out.insert(name.to_owned(), ns);
+            }
+        }
+    }
+    out
+}
+
+/// Gate the fresh entries against a committed baseline; returns the
+/// number of regressions past the tolerance band.
+fn diff_against_baseline(entries: &[Entry], baseline_path: &str, max_regress_pct: f64) -> usize {
+    let baseline = load_baseline(baseline_path);
+    let mut regressions = 0;
+    println!("\ndiff vs {baseline_path} (tolerance +{max_regress_pct}%):");
+    for e in entries {
+        match baseline.get(&e.name) {
+            Some(&base_ns) if base_ns > 0.0 => {
+                let allowed = base_ns * (1.0 + max_regress_pct / 100.0);
+                let delta_pct = (e.ns_per_iter - base_ns) / base_ns * 100.0;
+                if e.ns_per_iter > allowed {
+                    regressions += 1;
+                    println!(
+                        "  REGRESSED {:<34} {:>12.0} -> {:>12.0} ns/iter ({delta_pct:+.1}%)",
+                        e.name, base_ns, e.ns_per_iter
+                    );
+                } else {
+                    println!("  ok        {:<34} ({delta_pct:+.1}%)", e.name);
+                }
+            }
+            _ => println!("  new       {:<34} (no baseline entry)", e.name),
+        }
+    }
+    for name in baseline.keys() {
+        if !entries.iter().any(|e| &e.name == name) {
+            println!("  missing   {name:<34} (baseline only, not rerun)");
+        }
+    }
+    regressions
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let mut out_dir = "results".to_owned();
     let mut iters = 9usize;
     let mut check = false;
     let mut threads_override: Option<usize> = None;
+    let mut diff_baseline: Option<String> = None;
+    let mut max_regress = 50.0f64;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -300,6 +362,25 @@ fn main() {
             "--check" => {
                 check = true;
                 i += 1;
+            }
+            "--diff" => {
+                diff_baseline = Some(
+                    args.get(i + 1)
+                        .expect("--diff needs a baseline BENCH_kernels.json path")
+                        .clone(),
+                );
+                i += 2;
+            }
+            "--max-regress" => {
+                max_regress = args
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .expect("--max-regress needs a percentage");
+                assert!(
+                    max_regress.is_finite() && max_regress >= 0.0,
+                    "--max-regress must be a non-negative percentage"
+                );
+                i += 2;
             }
             other => panic!("unknown argument {other}"),
         }
@@ -344,5 +425,13 @@ fn main() {
     if check {
         verify_artifact(&path);
         println!("kernel_bench --check OK");
+    }
+    if let Some(baseline) = diff_baseline {
+        let regressions = diff_against_baseline(&entries, &baseline, max_regress);
+        if regressions > 0 {
+            eprintln!("kernel_bench --diff: {regressions} kernel(s) regressed");
+            std::process::exit(1);
+        }
+        println!("kernel_bench --diff OK");
     }
 }

@@ -1,0 +1,255 @@
+//! Run observatory CLI: render where a run's budget went, gate A/B
+//! regressions, and measure the tracing overhead contract.
+//!
+//! ```text
+//! obs_report <run_dir>                  render the report for one run
+//! obs_report --diff <A> <B>             compare two runs' phase shares;
+//!           [--max-regress <pct>]       exit 1 when any phase's share of
+//!                                       its scope grew past the band
+//!                                       (default 25%, + 0.5pp slack)
+//! obs_report --bench [--out <dir>]      run one fixed-seed search twice
+//!           [--seed <n>]                (trace off, then on), assert the
+//!                                       FitReport is byte-identical,
+//!                                       write BENCH_obs.json with the
+//!                                       phase breakdown + overhead
+//! ```
+//!
+//! A "run directory" is a table binary's `--out` directory: the
+//! `<run>_manifest.json` (span tree + cost ledger) plus, when traced,
+//! `trace.json` / `trace.folded`.
+
+use automl::{AutoMlSystem, Budget, Deadline, ResumePolicy};
+use bench::obsreport::{diff_runs, load_run, phase_shares, render_report};
+use em_core::{Combiner, EmAdapter, TokenizerMode};
+use em_data::{MagellanDataset, Split};
+use embed::families::{EmbedderFamily, PretrainConfig, PretrainedTransformer};
+use std::path::Path;
+use std::process::ExitCode;
+use std::time::Instant;
+
+fn report_mode(dir: &str) -> ExitCode {
+    match load_run(Path::new(dir)) {
+        Ok(data) => {
+            print!("{}", render_report(&data));
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("obs_report: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn diff_mode(a: &str, b: &str, max_regress_pct: f64) -> ExitCode {
+    let (base, cand) = match (load_run(Path::new(a)), load_run(Path::new(b))) {
+        (Ok(base), Ok(cand)) => (base, cand),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("obs_report: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let regs = diff_runs(&base, &cand, max_regress_pct);
+    if regs.is_empty() {
+        println!(
+            "obs_report --diff OK: no phase share grew past {max_regress_pct}% \
+             (baseline `{}` vs candidate `{}`)",
+            base.run, cand.run
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "obs_report --diff: {} phase regression(s) past {max_regress_pct}%:",
+            regs.len()
+        );
+        for r in &regs {
+            eprintln!("  {r}");
+        }
+        ExitCode::FAILURE
+    }
+}
+
+/// One fixed-seed encode+search, fresh adapter cache and fresh journal
+/// each call so the two measured runs do identical work. Returns the
+/// debug rendering of the [`automl::FitReport`] (the byte-identity
+/// fingerprint) and the wall seconds.
+fn bench_run_once(
+    embedder: &PretrainedTransformer,
+    dataset: &em_data::EmDataset,
+    seed: u64,
+    journal: &Path,
+) -> (String, f64) {
+    let _ = std::fs::remove_file(journal);
+    let adapter = EmAdapter::new(TokenizerMode::Hybrid, embedder, Combiner::Average);
+    let started = Instant::now();
+    let train = adapter.encode_split(dataset, Split::Train);
+    let valid = adapter.encode_split(dataset, Split::Validation);
+    let mut sys = automl::sklearn_like::AutoSklearnStyle::new(seed);
+    let mut budget = Budget::hours(0.3).expect("static budget");
+    let report = sys
+        .fit_resumable(
+            &train,
+            &valid,
+            &mut budget,
+            &ResumePolicy::Resume(journal.to_path_buf()),
+            Deadline::none(),
+        )
+        .expect("bench search failed");
+    (format!("{report:?}"), started.elapsed().as_secs_f64())
+}
+
+fn bench_mode(out_dir: &str, seed: u64) -> ExitCode {
+    // one small pretrained embedder + dataset, shared by all three runs
+    let profile = MagellanDataset::SBR.profile();
+    let dataset = profile.generate_scaled(seed, 1.0);
+    let domain_text: Vec<String> = dataset
+        .pairs()
+        .iter()
+        .take(200)
+        .flat_map(|p| [p.left.flatten(), p.right.flatten()])
+        .collect();
+    let embedder = PretrainedTransformer::pretrain(
+        EmbedderFamily::Albert,
+        &domain_text,
+        PretrainConfig {
+            seed,
+            steps: 20,
+            corpus_sentences: 200,
+            ..PretrainConfig::default()
+        },
+    );
+    let journal = std::env::temp_dir().join(format!("obs_report_bench_{seed}.jsonl"));
+
+    // warmup run (untimed: page faults, allocator growth)
+    obs::reset();
+    obs::trace::set_enabled(false);
+    let _ = bench_run_once(&embedder, &dataset, seed, &journal);
+
+    // measured run, tracing off — its ledger is the committed breakdown
+    obs::reset();
+    let (fp_off, wall_off) = bench_run_once(&embedder, &dataset, seed, &journal);
+    let ledger = obs::ledger_snapshot();
+
+    // measured run, tracing on
+    obs::reset();
+    obs::trace::set_enabled(true);
+    let (fp_on, wall_on) = bench_run_once(&embedder, &dataset, seed, &journal);
+    obs::trace::set_enabled(false);
+    let _ = std::fs::remove_file(&journal);
+
+    assert_eq!(
+        fp_off, fp_on,
+        "FitReport must be byte-identical with tracing on and off"
+    );
+    let overhead_pct = (wall_on - wall_off) / wall_off * 100.0;
+    println!(
+        "trace off {wall_off:.3}s, trace on {wall_on:.3}s, overhead {overhead_pct:+.2}% \
+         (FitReport byte-identical)"
+    );
+
+    // persist trace files + the benchmark artifact
+    std::fs::create_dir_all(out_dir).expect("create output dir");
+    match obs::write_trace_files(out_dir) {
+        Ok((json, folded)) => println!("wrote {} and {}", json.display(), folded.display()),
+        Err(e) => eprintln!("warning: could not write trace files: {e}"),
+    }
+    let rows: Vec<bench::obsreport::LedgerRow> = ledger
+        .iter()
+        .map(|e| bench::obsreport::LedgerRow {
+            scope: e.scope.clone(),
+            phase: e.phase.to_owned(),
+            ns: e.ns,
+            count: e.count,
+        })
+        .collect();
+    let items = phase_shares(&rows).into_iter().map(|s| {
+        let mut o = obs::json::Obj::new();
+        o.str("scope", &s.scope)
+            .str("phase", &s.phase)
+            .u64("ns", s.ns)
+            .f64("share_pct", s.share_pct);
+        o.finish()
+    });
+    let mut root = obs::json::Obj::new();
+    root.str("run", "obs_bench")
+        .u64("seed", seed)
+        .f64("wall_off_s", wall_off)
+        .f64("wall_on_s", wall_on)
+        .f64("trace_overhead_pct", overhead_pct)
+        .bool("report_identical", true)
+        .raw("phases", &obs::json::array(items));
+    let path = Path::new(out_dir).join("BENCH_obs.json");
+    std::fs::write(&path, root.finish()).expect("write BENCH_obs.json");
+    println!("wrote {}", path.display());
+    if overhead_pct >= 5.0 {
+        eprintln!("warning: tracing overhead {overhead_pct:.2}% is above the 5% contract");
+    }
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    let mut run_dir: Option<String> = None;
+    let mut diff: Option<(String, String)> = None;
+    let mut max_regress = 25.0f64;
+    let mut bench = false;
+    let mut out_dir = "results".to_owned();
+    let mut seed = 42u64;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--diff" => {
+                let a = args.get(i + 1).expect("--diff needs two run dirs").clone();
+                let b = args.get(i + 2).expect("--diff needs two run dirs").clone();
+                diff = Some((a, b));
+                i += 3;
+            }
+            "--max-regress" => {
+                max_regress = args
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .expect("--max-regress needs a percentage");
+                assert!(
+                    max_regress.is_finite() && max_regress >= 0.0,
+                    "--max-regress must be a non-negative percentage"
+                );
+                i += 2;
+            }
+            "--bench" => {
+                bench = true;
+                i += 1;
+            }
+            "--out" => {
+                out_dir = args.get(i + 1).expect("--out needs a directory").clone();
+                i += 2;
+            }
+            "--seed" => {
+                seed = args
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .expect("--seed needs an integer");
+                i += 2;
+            }
+            other if !other.starts_with('-') && run_dir.is_none() => {
+                run_dir = Some(other.to_owned());
+                i += 1;
+            }
+            other => panic!(
+                "unknown argument {other} \
+                 (try <run_dir> | --diff A B [--max-regress pct] | --bench [--out dir] [--seed n])"
+            ),
+        }
+    }
+    if bench {
+        bench_mode(&out_dir, seed)
+    } else if let Some((a, b)) = diff {
+        diff_mode(&a, &b, max_regress)
+    } else if let Some(dir) = run_dir {
+        report_mode(&dir)
+    } else {
+        eprintln!(
+            "usage: obs_report <run_dir> | --diff <A> <B> [--max-regress <pct>] \
+             | --bench [--out <dir>] [--seed <n>]"
+        );
+        ExitCode::FAILURE
+    }
+}

@@ -22,6 +22,7 @@
 //! searches return best-so-far).
 
 pub mod experiments;
+pub mod obsreport;
 pub mod report;
 pub mod stopwatch;
 

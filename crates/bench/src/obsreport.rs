@@ -1,0 +1,675 @@
+//! Run-observatory ingestion and reporting behind the `obs_report` binary.
+//!
+//! A "run directory" is whatever a table binary left behind under
+//! `--out`: a `<run>_manifest.json` (metrics + span tree + cost ledger)
+//! and, when the run was traced (`AUTOML_EM_TRACE=1`), the Perfetto
+//! `trace.json` / flamegraph `trace.folded` pair. This module loads that
+//! directory into a [`RunData`], renders the human report (hottest spans,
+//! per-scope phase breakdowns, per-thread utilization) and implements the
+//! A/B regression gate used by CI.
+//!
+//! The gate compares **phase shares** (each phase's fraction of its
+//! scope's booked nanoseconds), not raw nanoseconds: shares are invariant
+//! to machine speed, so a baseline recorded on one box is comparable to a
+//! candidate run on another. A phase regresses when its share grows past
+//! `baseline × (1 + max_regress/100) + 0.5pp`; phases below 1% of their
+//! scope are ignored as noise.
+
+use std::path::Path;
+
+/// One `(scope, phase)` cost-ledger row as read from a manifest.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LedgerRow {
+    /// Attribution scope (`"run"`, an engine name, `"par"`).
+    pub scope: String,
+    /// Phase name (`tokenize`, `gemm`, `fit_epoch`, …).
+    pub phase: String,
+    /// Total booked nanoseconds.
+    pub ns: u64,
+    /// Booking count.
+    pub count: u64,
+}
+
+/// One span subtree flattened to a `parent;child` path with its total
+/// wall time — the unit the "hottest spans" table ranks.
+#[derive(Debug, Clone)]
+pub struct HotSpan {
+    /// Semicolon-joined path from the root span.
+    pub path: String,
+    /// Total wall milliseconds across merged instances.
+    pub wall_ms: f64,
+    /// Merged instance count.
+    pub count: u64,
+}
+
+/// Per-thread utilization recovered from `trace.json`.
+#[derive(Debug, Clone)]
+pub struct ThreadUtil {
+    /// Small stable thread id assigned by the trace collector.
+    pub tid: u64,
+    /// Microseconds covered by top-level (depth-0) spans on this thread.
+    pub busy_us: f64,
+    /// Events recorded on this thread.
+    pub events: u64,
+}
+
+/// Per-engine aggregate over the `trial` events of a run's JSONL stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrialAgg {
+    /// Engine name as emitted ("AutoSklearn", …).
+    pub engine: String,
+    /// Trials observed (quarantined failures included).
+    pub trials: u64,
+    /// Trials that carried an `error` field.
+    pub failed: u64,
+    /// Total guarded-evaluation wall milliseconds.
+    pub wall_ms: f64,
+}
+
+/// Everything `obs_report` knows about one run directory.
+#[derive(Debug, Clone, Default)]
+pub struct RunData {
+    /// Run name from the manifest (`"table5"`, …).
+    pub run: String,
+    /// Cost-ledger rows, `(scope, phase)`-sorted.
+    pub ledger: Vec<LedgerRow>,
+    /// Flattened span paths.
+    pub spans: Vec<HotSpan>,
+    /// Per-thread utilization (empty when the run was not traced).
+    pub threads: Vec<ThreadUtil>,
+    /// Trace timeline extent in microseconds (0 when untraced).
+    pub trace_span_us: f64,
+    /// Per-engine trial aggregates from any `*.jsonl` event stream in
+    /// the directory (empty when the run streamed no events).
+    pub trials: Vec<TrialAgg>,
+}
+
+/// One phase's share of its scope.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseShare {
+    /// Attribution scope.
+    pub scope: String,
+    /// Phase name.
+    pub phase: String,
+    /// Booked nanoseconds.
+    pub ns: u64,
+    /// Booking count carried over from the ledger row.
+    pub count: u64,
+    /// Percentage of the scope's total booked nanoseconds.
+    pub share_pct: f64,
+}
+
+/// Phases below this share of their scope are ignored by the diff gate.
+pub const MIN_GATED_SHARE_PCT: f64 = 1.0;
+
+/// Absolute slack (percentage points) added on top of the relative
+/// tolerance, so near-zero baselines cannot trip the gate on noise.
+pub const SHARE_SLACK_PP: f64 = 0.5;
+
+fn arr(j: &obs::json::Json) -> &[obs::json::Json] {
+    match j {
+        obs::json::Json::Arr(items) => items,
+        _ => &[],
+    }
+}
+
+/// Find the manifest in `dir`: a file named `*_manifest.json`
+/// (alphabetically first when several runs share the directory).
+fn manifest_path(dir: &Path) -> Result<std::path::PathBuf, String> {
+    let mut candidates: Vec<_> = std::fs::read_dir(dir)
+        .map_err(|e| format!("cannot read {}: {e}", dir.display()))?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.ends_with("_manifest.json"))
+        })
+        .collect();
+    candidates.sort();
+    candidates
+        .into_iter()
+        .next()
+        .ok_or_else(|| format!("no *_manifest.json under {}", dir.display()))
+}
+
+fn flatten_spans(prefix: &str, node: &obs::json::Json, out: &mut Vec<HotSpan>) {
+    let name = node.get("name").and_then(|j| j.as_str()).unwrap_or("?");
+    let path = if prefix.is_empty() {
+        name.to_owned()
+    } else {
+        format!("{prefix};{name}")
+    };
+    out.push(HotSpan {
+        path: path.clone(),
+        wall_ms: node.get("wall_ms").and_then(|j| j.as_f64()).unwrap_or(0.0),
+        count: node.get("count").and_then(|j| j.as_u64()).unwrap_or(0),
+    });
+    if let Some(children) = node.get("children") {
+        for child in arr(children) {
+            flatten_spans(&path, child, out);
+        }
+    }
+}
+
+/// Recover per-thread busy time from Chrome trace events: for each tid,
+/// sum the durations of **depth-0** `B`/`E` pairs (nested spans are
+/// already covered by their root). Returns `(threads, timeline_us)`.
+fn thread_util(trace: &obs::json::Json) -> (Vec<ThreadUtil>, f64) {
+    use std::collections::BTreeMap;
+    struct Acc {
+        depth: u64,
+        open_ts: f64,
+        busy_us: f64,
+        events: u64,
+    }
+    let mut per: BTreeMap<u64, Acc> = BTreeMap::new();
+    let (mut t_min, mut t_max) = (f64::INFINITY, f64::NEG_INFINITY);
+    let events = trace.get("traceEvents").map(arr).unwrap_or(&[]);
+    for ev in events {
+        let tid = ev.get("tid").and_then(|j| j.as_u64()).unwrap_or(0);
+        let ts = ev.get("ts").and_then(|j| j.as_f64()).unwrap_or(0.0);
+        let ph = ev.get("ph").and_then(|j| j.as_str()).unwrap_or("");
+        t_min = t_min.min(ts);
+        t_max = t_max.max(ts);
+        let acc = per.entry(tid).or_insert(Acc {
+            depth: 0,
+            open_ts: 0.0,
+            busy_us: 0.0,
+            events: 0,
+        });
+        acc.events += 1;
+        match ph {
+            "B" => {
+                if acc.depth == 0 {
+                    acc.open_ts = ts;
+                }
+                acc.depth += 1;
+            }
+            "E" => {
+                acc.depth = acc.depth.saturating_sub(1);
+                if acc.depth == 0 {
+                    acc.busy_us += ts - acc.open_ts;
+                }
+            }
+            _ => {}
+        }
+    }
+    let threads = per
+        .into_iter()
+        .map(|(tid, a)| ThreadUtil {
+            tid,
+            busy_us: a.busy_us,
+            events: a.events,
+        })
+        .collect();
+    let span_us = if t_max > t_min { t_max - t_min } else { 0.0 };
+    (threads, span_us)
+}
+
+/// Aggregate `trial` events from every `*.jsonl` file in the run
+/// directory (the `AUTOML_EM_TRACE` stream, when it was pointed there).
+/// Lines of other shapes — `pipeline` events, journal WAL records
+/// (`planned`/`done`/`failed`) — are skipped by the `ev == "trial"`
+/// filter; unparseable lines are skipped too (a live stream may end in
+/// a torn line).
+fn trial_aggregates(dir: &Path) -> Result<Vec<TrialAgg>, String> {
+    use std::collections::BTreeMap;
+    let mut per: BTreeMap<String, TrialAgg> = BTreeMap::new();
+    let mut paths: Vec<_> = std::fs::read_dir(dir)
+        .map_err(|e| format!("cannot read {}: {e}", dir.display()))?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "jsonl"))
+        .collect();
+    paths.sort();
+    for path in paths {
+        let text = std::fs::read_to_string(&path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        for line in text.lines() {
+            let Ok(ev) = obs::json::parse(line) else {
+                continue;
+            };
+            if ev.get("ev").and_then(|j| j.as_str()) != Some("trial") {
+                continue;
+            }
+            let Some(engine) = ev.get("engine").and_then(|j| j.as_str()) else {
+                continue;
+            };
+            let agg = per.entry(engine.to_owned()).or_insert(TrialAgg {
+                engine: engine.to_owned(),
+                trials: 0,
+                failed: 0,
+                wall_ms: 0.0,
+            });
+            agg.trials += 1;
+            if ev.get("error").is_some() {
+                agg.failed += 1;
+            }
+            agg.wall_ms += ev.get("wall_ms").and_then(|j| j.as_f64()).unwrap_or(0.0);
+        }
+    }
+    Ok(per.into_values().collect())
+}
+
+/// Load a run directory into a [`RunData`].
+pub fn load_run(dir: &Path) -> Result<RunData, String> {
+    let mpath = manifest_path(dir)?;
+    let text = std::fs::read_to_string(&mpath)
+        .map_err(|e| format!("cannot read {}: {e}", mpath.display()))?;
+    let root = obs::json::parse(&text)
+        .map_err(|e| format!("{} is not valid JSON: {e:?}", mpath.display()))?;
+    let mut data = RunData {
+        run: root
+            .get("run")
+            .and_then(|j| j.as_str())
+            .unwrap_or("?")
+            .to_owned(),
+        ..RunData::default()
+    };
+    if let Some(rows) = root.get("ledger") {
+        for row in arr(rows) {
+            data.ledger.push(LedgerRow {
+                scope: row
+                    .get("scope")
+                    .and_then(|j| j.as_str())
+                    .unwrap_or("run")
+                    .to_owned(),
+                phase: row
+                    .get("phase")
+                    .and_then(|j| j.as_str())
+                    .unwrap_or("?")
+                    .to_owned(),
+                ns: row.get("ns").and_then(|j| j.as_u64()).unwrap_or(0),
+                count: row.get("count").and_then(|j| j.as_u64()).unwrap_or(0),
+            });
+        }
+    }
+    if let Some(spans) = root.get("spans") {
+        for span in arr(spans) {
+            flatten_spans("", span, &mut data.spans);
+        }
+    }
+    data.trials = trial_aggregates(dir)?;
+    let tpath = dir.join("trace.json");
+    if tpath.exists() {
+        let ttext = std::fs::read_to_string(&tpath)
+            .map_err(|e| format!("cannot read {}: {e}", tpath.display()))?;
+        let trace = obs::json::parse(&ttext)
+            .map_err(|e| format!("{} is not valid JSON: {e:?}", tpath.display()))?;
+        let (threads, span_us) = thread_util(&trace);
+        data.threads = threads;
+        data.trace_span_us = span_us;
+    }
+    Ok(data)
+}
+
+/// Per-scope phase shares of a ledger, `(scope, phase)`-sorted. The
+/// `par` bookkeeping rows (`busy`/`idle`/`steal`) keep their scope but
+/// are shared against the `par` total only, like every other scope.
+pub fn phase_shares(ledger: &[LedgerRow]) -> Vec<PhaseShare> {
+    use std::collections::BTreeMap;
+    let mut scope_total: BTreeMap<&str, u64> = BTreeMap::new();
+    for row in ledger {
+        *scope_total.entry(&row.scope).or_insert(0) += row.ns;
+    }
+    let mut out: Vec<PhaseShare> = ledger
+        .iter()
+        .map(|row| {
+            let total = scope_total.get(row.scope.as_str()).copied().unwrap_or(0);
+            PhaseShare {
+                scope: row.scope.clone(),
+                phase: row.phase.clone(),
+                ns: row.ns,
+                count: row.count,
+                share_pct: if total > 0 {
+                    row.ns as f64 / total as f64 * 100.0
+                } else {
+                    0.0
+                },
+            }
+        })
+        .collect();
+    out.sort_by(|a, b| (&a.scope, &a.phase).cmp(&(&b.scope, &b.phase)));
+    out
+}
+
+/// One detected regression from [`diff_runs`].
+#[derive(Debug, Clone)]
+pub struct Regression {
+    /// Attribution scope.
+    pub scope: String,
+    /// Phase whose share grew.
+    pub phase: String,
+    /// Baseline share (percent of scope).
+    pub base_pct: f64,
+    /// Candidate share (percent of scope).
+    pub cand_pct: f64,
+    /// The share the gate would still have accepted.
+    pub allowed_pct: f64,
+}
+
+impl std::fmt::Display for Regression {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "[{}] {}: {:.1}% -> {:.1}% (allowed {:.1}%)",
+            self.scope, self.phase, self.base_pct, self.cand_pct, self.allowed_pct
+        )
+    }
+}
+
+/// Compare candidate `cand` against `base`: a phase regresses when its
+/// share of its scope grows past `base × (1 + max_regress_pct/100)`
+/// plus [`SHARE_SLACK_PP`] percentage points. Phases under
+/// [`MIN_GATED_SHARE_PCT`] in **both** runs are skipped; phases only
+/// present in the candidate are gated against a zero baseline (slack
+/// still applies).
+pub fn diff_runs(base: &RunData, cand: &RunData, max_regress_pct: f64) -> Vec<Regression> {
+    use std::collections::BTreeMap;
+    let base_shares: BTreeMap<(String, String), f64> = phase_shares(&base.ledger)
+        .into_iter()
+        .map(|s| ((s.scope, s.phase), s.share_pct))
+        .collect();
+    let mut out = Vec::new();
+    for s in phase_shares(&cand.ledger) {
+        let key = (s.scope.clone(), s.phase.clone());
+        let base_pct = base_shares.get(&key).copied().unwrap_or(0.0);
+        if base_pct < MIN_GATED_SHARE_PCT && s.share_pct < MIN_GATED_SHARE_PCT {
+            continue;
+        }
+        let allowed = base_pct * (1.0 + max_regress_pct / 100.0) + SHARE_SLACK_PP;
+        if s.share_pct > allowed {
+            out.push(Regression {
+                scope: s.scope,
+                phase: s.phase,
+                base_pct,
+                cand_pct: s.share_pct,
+                allowed_pct: allowed,
+            });
+        }
+    }
+    out
+}
+
+fn fmt_ns(ns: u64) -> String {
+    let ms = ns as f64 / 1e6;
+    if ms >= 1000.0 {
+        format!("{:.2}s", ms / 1e3)
+    } else if ms >= 1.0 {
+        format!("{ms:.1}ms")
+    } else {
+        format!("{:.0}us", ns as f64 / 1e3)
+    }
+}
+
+/// Render the human report for one run.
+pub fn render_report(data: &RunData) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "== obs_report: run `{}` ==", data.run);
+
+    // hottest spans by total wall time
+    let mut spans = data.spans.clone();
+    spans.sort_by(|a, b| {
+        b.wall_ms
+            .partial_cmp(&a.wall_ms)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    if !spans.is_empty() {
+        let _ = writeln!(out, "\nhottest spans (total wall):");
+        for s in spans.iter().take(12) {
+            let _ = writeln!(out, "  {:>10.1}ms  x{:<6} {}", s.wall_ms, s.count, s.path);
+        }
+    }
+
+    // per-scope phase breakdown
+    let shares = phase_shares(&data.ledger);
+    if !shares.is_empty() {
+        let _ = writeln!(out, "\nphase breakdown (share of scope):");
+        let mut last_scope = String::new();
+        for s in &shares {
+            if s.scope != last_scope {
+                let _ = writeln!(out, "  [{}]", s.scope);
+                last_scope = s.scope.clone();
+            }
+            let _ = writeln!(
+                out,
+                "    {:<16} {:>9}  {:>5.1}%  x{}",
+                s.phase,
+                fmt_ns(s.ns),
+                s.share_pct,
+                s.count
+            );
+        }
+    }
+
+    // per-engine trial telemetry from the events stream
+    if !data.trials.is_empty() {
+        let _ = writeln!(out, "\ntrials (from events JSONL):");
+        for t in &data.trials {
+            let _ = writeln!(
+                out,
+                "  {:<14} {:>4} trials ({} failed)  {:>9.1}ms guarded wall",
+                t.engine, t.trials, t.failed, t.wall_ms
+            );
+        }
+    }
+
+    // per-thread utilization from the trace
+    if data.threads.is_empty() {
+        let _ = writeln!(
+            out,
+            "\n(no trace.json — rerun with AUTOML_EM_TRACE=1 for per-thread utilization)"
+        );
+    } else {
+        let _ = writeln!(
+            out,
+            "\nper-thread utilization (timeline {:.1}ms):",
+            data.trace_span_us / 1e3
+        );
+        for t in &data.threads {
+            let pct = if data.trace_span_us > 0.0 {
+                t.busy_us / data.trace_span_us * 100.0
+            } else {
+                0.0
+            };
+            let _ = writeln!(
+                out,
+                "  tid {:>3}  busy {:>10.1}ms  {:>5.1}%  {} events",
+                t.tid,
+                t.busy_us / 1e3,
+                pct,
+                t.events
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(scope: &str, phase: &str, ns: u64) -> LedgerRow {
+        LedgerRow {
+            scope: scope.into(),
+            phase: phase.into(),
+            ns,
+            count: 1,
+        }
+    }
+
+    #[test]
+    fn shares_are_per_scope() {
+        let shares = phase_shares(&[
+            row("run", "tokenize", 750),
+            row("run", "embed", 250),
+            row("par", "busy", 90),
+            row("par", "idle", 10),
+        ]);
+        let get = |scope: &str, phase: &str| {
+            shares
+                .iter()
+                .find(|s| s.scope == scope && s.phase == phase)
+                .unwrap()
+                .share_pct
+        };
+        assert!((get("run", "tokenize") - 75.0).abs() < 1e-9);
+        assert!((get("run", "embed") - 25.0).abs() < 1e-9);
+        assert!((get("par", "busy") - 90.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn diff_flags_only_real_regressions() {
+        let base = RunData {
+            ledger: vec![row("eng", "trial", 800), row("eng", "gemm", 200)],
+            ..RunData::default()
+        };
+        // identical candidate: clean
+        assert!(diff_runs(&base, &base, 25.0).is_empty());
+        // gemm share doubles (20% -> 40%): flagged at 25% tolerance
+        let slow = RunData {
+            ledger: vec![row("eng", "trial", 1200), row("eng", "gemm", 800)],
+            ..RunData::default()
+        };
+        let regs = diff_runs(&base, &slow, 25.0);
+        assert_eq!(regs.len(), 1, "{regs:?}");
+        assert_eq!(regs[0].phase, "gemm");
+        assert!(regs[0].cand_pct > regs[0].allowed_pct);
+        // small drift inside the tolerance band: clean
+        let drift = RunData {
+            ledger: vec![row("eng", "trial", 790), row("eng", "gemm", 210)],
+            ..RunData::default()
+        };
+        assert!(diff_runs(&base, &drift, 25.0).is_empty());
+    }
+
+    #[test]
+    fn diff_ignores_sub_percent_noise_phases() {
+        let base = RunData {
+            ledger: vec![
+                row("run", "fit_epoch", 10_000),
+                row("run", "journal_fsync", 5),
+            ],
+            ..RunData::default()
+        };
+        let cand = RunData {
+            // fsync triples but stays under 1% of the scope: not gated
+            ledger: vec![
+                row("run", "fit_epoch", 10_000),
+                row("run", "journal_fsync", 15),
+            ],
+            ..RunData::default()
+        };
+        assert!(diff_runs(&base, &cand, 10.0).is_empty());
+    }
+
+    #[test]
+    fn diff_gates_phases_new_in_candidate() {
+        let base = RunData {
+            ledger: vec![row("run", "fit_epoch", 1000)],
+            ..RunData::default()
+        };
+        let cand = RunData {
+            ledger: vec![row("run", "fit_epoch", 1000), row("run", "gemm", 1000)],
+            ..RunData::default()
+        };
+        let regs = diff_runs(&base, &cand, 25.0);
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].phase, "gemm");
+        assert_eq!(regs[0].base_pct, 0.0);
+    }
+
+    #[test]
+    fn report_renders_all_sections() {
+        let data = RunData {
+            run: "t_obsreport".into(),
+            ledger: vec![
+                row("run", "tokenize", 2_000_000),
+                row("run", "embed", 6_000_000),
+            ],
+            spans: vec![HotSpan {
+                path: "pipeline.run;pipeline.fit".into(),
+                wall_ms: 12.5,
+                count: 3,
+            }],
+            threads: vec![ThreadUtil {
+                tid: 1,
+                busy_us: 800.0,
+                events: 42,
+            }],
+            trace_span_us: 1000.0,
+            trials: vec![TrialAgg {
+                engine: "AutoSklearn".into(),
+                trials: 9,
+                failed: 2,
+                wall_ms: 41.5,
+            }],
+        };
+        let text = render_report(&data);
+        assert!(text.contains("run `t_obsreport`"));
+        assert!(text.contains("pipeline.run;pipeline.fit"));
+        assert!(text.contains("tokenize"));
+        assert!(text.contains("75.0%"), "{text}");
+        assert!(text.contains("80.0%"), "{text}"); // thread utilization
+        assert!(text.contains("9 trials (2 failed)"), "{text}");
+    }
+
+    #[test]
+    fn load_run_roundtrips_a_manifest_and_trace() {
+        let dir = std::env::temp_dir().join("bench_obsreport_load_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(
+            dir.join("demo_manifest.json"),
+            r#"{"run":"demo","config":{},"metrics":{},
+                "spans":[{"name":"a","wall_ms":5.0,"units":0,"count":1,
+                          "children":[{"name":"b","wall_ms":2.0,"units":0,"count":4}]}],
+                "ledger":[{"scope":"run","phase":"gemm","ns":1500,"count":2}]}"#,
+        )
+        .unwrap();
+        std::fs::write(
+            dir.join("trace.json"),
+            r#"{"traceEvents":[
+                {"name":"a","ph":"B","ts":0.0,"pid":1,"tid":1},
+                {"name":"a","ph":"E","ts":50.0,"pid":1,"tid":1},
+                {"name":"x","ph":"B","ts":10.0,"pid":1,"tid":2},
+                {"name":"x","ph":"E","ts":100.0,"pid":1,"tid":2}],
+                "displayTimeUnit":"ms"}"#,
+        )
+        .unwrap();
+        std::fs::write(
+            dir.join("events.jsonl"),
+            concat!(
+                r#"{"ev":"trial","engine":"AutoSklearn","trial":0,"wall_ms":3.5}"#,
+                "\n",
+                r#"{"ev":"trial","engine":"AutoSklearn","trial":1,"wall_ms":1.5,"error":"boom"}"#,
+                "\n",
+                r#"{"ev":"planned","trial":0,"model":"gbm"}"#, // WAL shape: skipped
+                "\n",
+                r#"{"ev":"trial","torn"#, // torn tail line: skipped
+            ),
+        )
+        .unwrap();
+        let data = load_run(&dir).unwrap();
+        assert_eq!(data.run, "demo");
+        assert_eq!(
+            data.trials,
+            vec![TrialAgg {
+                engine: "AutoSklearn".into(),
+                trials: 2,
+                failed: 1,
+                wall_ms: 5.0,
+            }]
+        );
+        assert_eq!(data.ledger.len(), 1);
+        assert_eq!(data.ledger[0].phase, "gemm");
+        assert_eq!(data.ledger[0].ns, 1500);
+        assert_eq!(data.ledger[0].count, 2);
+        assert_eq!(data.spans.len(), 2);
+        assert_eq!(data.spans[1].path, "a;b");
+        assert_eq!(data.threads.len(), 2);
+        assert!((data.threads[0].busy_us - 50.0).abs() < 1e-9);
+        assert!((data.trace_span_us - 100.0).abs() < 1e-9);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

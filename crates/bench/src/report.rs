@@ -119,10 +119,12 @@ pub fn emit(table: &Table, out_dir: Option<&str>) {
 }
 
 /// End-of-run bookkeeping shared by every table binary: print the obs
-/// summary (span tree + metrics) to stderr and, when an output directory
-/// is configured, write `<dir>/<run>_manifest.json` capturing the run
-/// identity (seed, scale, dataset filter), metrics snapshot and span tree
-/// next to the TSV artifacts.
+/// summary (span tree + metrics + cost ledger) to stderr and, when an
+/// output directory is configured, write `<dir>/<run>_manifest.json`
+/// capturing the run identity (seed, scale, dataset filter), metrics
+/// snapshot, span tree and ledger next to the TSV artifacts. When the
+/// run was traced (`AUTOML_EM_TRACE=1`) the Perfetto `trace.json` and
+/// flamegraph `trace.folded` land in the same directory.
 pub fn finish_run(run: &str, cli: &crate::Cli) {
     obs::print_summary();
     if let Some(dir) = cli.out.as_deref() {
@@ -142,6 +144,14 @@ pub fn finish_run(run: &str, cli: &crate::Cli) {
         match manifest.write_to(dir) {
             Ok(path) => eprintln!("(wrote {})", path.display()),
             Err(e) => eprintln!("warning: could not write manifest: {e}"),
+        }
+        if obs::trace_collecting() {
+            match obs::write_trace_files(dir) {
+                Ok((json, folded)) => {
+                    eprintln!("(wrote {} and {})", json.display(), folded.display());
+                }
+                Err(e) => eprintln!("warning: could not write trace files: {e}"),
+            }
         }
     }
 }

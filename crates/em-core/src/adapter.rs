@@ -70,14 +70,20 @@ impl<'a> EmAdapter<'a> {
         let mut sequences: Vec<String> = Vec::new();
         let mut ranges = Vec::with_capacity(pairs.len());
         let mut y = Vec::with_capacity(pairs.len());
-        for pair in pairs {
-            let start = sequences.len();
-            sequences.extend(tokenize_pair(pair, dataset.schema(), self.mode));
-            ranges.push(start..sequences.len());
-            y.push(if pair.label { 1.0 } else { 0.0 });
+        {
+            let _t = obs::ledger::phase("tokenize");
+            for pair in pairs {
+                let start = sequences.len();
+                sequences.extend(tokenize_pair(pair, dataset.schema(), self.mode));
+                ranges.push(start..sequences.len());
+                y.push(if pair.label { 1.0 } else { 0.0 });
+            }
         }
         // phase 2: embed the flat list in parallel (cache-memoized)
-        let embeddings = self.cache.embed_batch(&sequences);
+        let embeddings = {
+            let _t = obs::ledger::phase("embed");
+            self.cache.embed_batch(&sequences)
+        };
         // phase 3: combine per pair, in pair order
         let rows: Vec<Vec<f32>> = ranges
             .into_iter()

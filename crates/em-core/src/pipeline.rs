@@ -127,6 +127,7 @@ pub fn run_encoded_resumable(
     };
     let preds = {
         let _s = obs::span("pipeline.predict");
+        let _t = obs::ledger::phase("predict");
         system.predict(&test.x)
     };
     let test_f1 = f1_score(&preds, &test.labels_bool());

@@ -98,6 +98,9 @@ impl<'a> EmbeddingCache<'a> {
         shard.misses.fetch_add(1, Ordering::Relaxed);
         self.global_misses.inc();
         self.publish_rate();
+        // the miss path is where embedding compute actually happens —
+        // book it so the ledger separates cache misses from cache wins
+        let _t = obs::ledger::phase("cache_miss");
         let v = self.inner.embed(textv);
         shard
             .map

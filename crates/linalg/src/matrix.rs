@@ -191,6 +191,7 @@ impl Matrix {
     /// for every thread count — and both are bit-identical to
     /// [`Matrix::matmul_reference`].
     pub fn matmul(&self, other: &Matrix) -> Matrix {
+        let _t = obs::ledger::phase("gemm");
         assert_eq!(
             self.cols,
             other.rows,
@@ -236,6 +237,7 @@ impl Matrix {
     /// `self.matmul(&other.transpose())` by the fixed-`k`-order contract
     /// of [`crate::gemm`].
     pub fn matmul_transpose_b(&self, other: &Matrix) -> Matrix {
+        let _t = obs::ledger::phase("gemm");
         assert_eq!(
             self.cols,
             other.cols,
@@ -282,6 +284,7 @@ impl Matrix {
     /// `self.transpose().matmul(&other)` by the fixed-`k`-order contract
     /// of [`crate::gemm`].
     pub fn matmul_transpose_a(&self, other: &Matrix) -> Matrix {
+        let _t = obs::ledger::phase("gemm");
         assert_eq!(
             self.rows,
             other.rows,

@@ -382,6 +382,9 @@ impl Classifier for Boosted {
         let mut rng = Rng::new(self.config.seed);
         let mut margins = vec![self.base_score; n];
         let d = x.cols();
+        // one ledger entry per fit covering every boosting round (booked
+        // on every exit path, including deadline abandonment)
+        let _t = obs::ledger::phase("fit_epoch");
         for _round in 0..self.config.n_rounds {
             // cooperative deadline check: a boosting round is the natural
             // abandonment granularity for the slowest model family

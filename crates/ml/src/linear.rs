@@ -95,6 +95,9 @@ impl Classifier for LogisticRegression {
         let mut vel_b = 0.0f32;
         let momentum = 0.9f32;
         let mut step = 0usize;
+        // one ledger entry per fit covering the whole epoch loop (booked
+        // on every exit path, including deadline abandonment)
+        let _t = obs::ledger::phase("fit_epoch");
         for _ in 0..self.config.epochs {
             // cooperative deadline check between epochs
             if par::cancel_requested() {
@@ -188,6 +191,7 @@ impl Classifier for LinearSvm {
         // the textbook t = 1 start makes the initial bias update explode
         let mut t = (1.0 / lambda).ceil() as usize;
         let mut idx: Vec<usize> = (0..x.rows()).collect();
+        let _t = obs::ledger::phase("fit_epoch");
         for _ in 0..self.config.epochs {
             // cooperative deadline check between epochs
             if par::cancel_requested() {

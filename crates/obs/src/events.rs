@@ -48,6 +48,10 @@ pub struct TrialEvent {
     pub val_f1: f64,
     /// Budget units this fit consumed.
     pub cost_units: f64,
+    /// Wall-clock milliseconds the guarded evaluation took. Telemetry
+    /// only — wall time never flows into a `FitReport`, which must stay
+    /// byte-identical across thread counts and tracing settings.
+    pub wall_ms: f64,
     /// Best validation F1 seen so far in this search, including this trial.
     pub best_so_far: f64,
     /// Why the trial failed, when it did (`None` for successful trials).
@@ -143,6 +147,7 @@ pub fn emit_trial(ev: TrialEvent) {
             .str("model", &ev.model)
             .f64("val_f1", ev.val_f1)
             .f64("cost_units", ev.cost_units)
+            .f64("wall_ms", ev.wall_ms)
             .f64("best_so_far", ev.best_so_far);
         if let Some(err) = &ev.error {
             o.str("error", err);
@@ -184,6 +189,7 @@ mod tests {
             model: "gbm(...)".into(),
             val_f1: 50.0,
             cost_units: 1.0,
+            wall_ms: 0.25,
             best_so_far: 50.0,
             error: None,
         };

@@ -1,0 +1,229 @@
+//! Per-trial cost ledger: wall-time attribution to named phases, grouped
+//! by scope (usually the AutoML engine that was searching when the time
+//! was spent).
+//!
+//! The paper's evaluation is F1 *under a time budget*, so "where did the
+//! budget go" is a first-class result. Instrumentation points across the
+//! stack (tokenize, embed, cache-miss, GEMM, fit-epoch, predict, journal
+//! fsync, worker busy/idle/steal) charge elapsed nanoseconds to the
+//! current scope via [`phase`] (RAII) or [`add`] (pre-measured). The
+//! guarded trial boundary installs the engine name as the scope with
+//! [`scope`], so the same GEMM phase shows up under `AutoSklearn` or
+//! `H2O` depending on who triggered it; time spent outside any trial
+//! lands under the `"run"` scope.
+//!
+//! The ledger is telemetry only — it records wall time and never feeds
+//! anything back into computation, so it cannot perturb `FitReport`
+//! byte-identity. Aggregation takes one short global lock per closed
+//! phase; instrumentation points sit at millisecond granularity (a batch
+//! GEMM, a fit, an fsync), never inside inner loops.
+
+use crate::json::{self, Obj};
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Scope used when no [`scope`] guard is active on the thread.
+pub const DEFAULT_SCOPE: &str = "run";
+
+#[derive(Debug, Default, Clone, Copy)]
+struct Cell {
+    ns: u64,
+    count: u64,
+}
+
+static LEDGER: Mutex<BTreeMap<(String, &'static str), Cell>> = Mutex::new(BTreeMap::new());
+
+thread_local! {
+    static SCOPES: RefCell<Vec<String>> = const { RefCell::new(Vec::new()) };
+}
+
+fn current_scope() -> String {
+    SCOPES.with(|s| {
+        s.borrow()
+            .last()
+            .cloned()
+            .unwrap_or_else(|| DEFAULT_SCOPE.to_owned())
+    })
+}
+
+/// Install `name` as the calling thread's ledger scope until the returned
+/// guard drops (scopes nest; the innermost wins). The trial boundary uses
+/// this to attribute all phase time inside a trial to its engine.
+pub fn scope(name: &str) -> ScopeGuard {
+    SCOPES.with(|s| s.borrow_mut().push(name.to_owned()));
+    ScopeGuard { _priv: () }
+}
+
+/// RAII handle restoring the previous scope (see [`scope`]).
+#[must_use = "a ledger scope lasts for the lifetime of its guard — bind it with `let`"]
+pub struct ScopeGuard {
+    _priv: (),
+}
+
+impl Drop for ScopeGuard {
+    fn drop(&mut self) {
+        SCOPES.with(|s| {
+            let _ = s.borrow_mut().pop();
+        });
+    }
+}
+
+/// Charge `ns` nanoseconds (as `count` occurrences) of `phase` to the
+/// calling thread's current scope.
+pub fn add_n(phase: &'static str, ns: u64, count: u64) {
+    add_scoped(&current_scope(), phase, ns, count);
+}
+
+/// Charge `ns` nanoseconds of one occurrence of `phase` to the calling
+/// thread's current scope.
+pub fn add(phase: &'static str, ns: u64) {
+    add_n(phase, ns, 1);
+}
+
+/// Charge `ns` nanoseconds to an explicit scope, bypassing the
+/// thread-local scope stack (the `par` pool accounts worker busy/idle
+/// time under its own `"par"` scope this way).
+pub fn add_scoped(scope: &str, phase: &'static str, ns: u64, count: u64) {
+    let mut ledger = LEDGER.lock().expect("cost ledger");
+    let cell = ledger.entry((scope.to_owned(), phase)).or_default();
+    cell.ns += ns;
+    cell.count += count;
+}
+
+/// Start timing one `phase` occurrence; elapsed wall time is charged to
+/// the calling thread's scope when the returned guard drops (including
+/// during unwind, so a panicking trial still books its time).
+pub fn phase(phase: &'static str) -> PhaseTimer {
+    PhaseTimer {
+        phase,
+        start: Instant::now(),
+    }
+}
+
+/// RAII timer returned by [`phase`].
+#[must_use = "a phase timer measures the scope of its guard — bind it with `let`"]
+pub struct PhaseTimer {
+    phase: &'static str,
+    start: Instant,
+}
+
+impl Drop for PhaseTimer {
+    fn drop(&mut self) {
+        add(self.phase, self.start.elapsed().as_nanos() as u64);
+    }
+}
+
+/// One aggregated ledger row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LedgerEntry {
+    /// Scope the time was charged to (engine name, `"par"`, or `"run"`).
+    pub scope: String,
+    /// Phase name ("gemm", "fit_epoch", "journal_fsync", …).
+    pub phase: &'static str,
+    /// Total nanoseconds charged.
+    pub ns: u64,
+    /// Number of occurrences charged.
+    pub count: u64,
+}
+
+impl LedgerEntry {
+    /// Total milliseconds charged.
+    pub fn ms(&self) -> f64 {
+        self.ns as f64 / 1e6
+    }
+}
+
+/// Read the whole ledger, sorted by (scope, phase).
+pub fn ledger_snapshot() -> Vec<LedgerEntry> {
+    let ledger = LEDGER.lock().expect("cost ledger");
+    ledger
+        .iter()
+        .map(|((scope, phase), cell)| LedgerEntry {
+            scope: scope.clone(),
+            phase,
+            ns: cell.ns,
+            count: cell.count,
+        })
+        .collect()
+}
+
+/// Zero the ledger (scopes on live threads are unaffected).
+pub fn reset_ledger() {
+    LEDGER.lock().expect("cost ledger").clear();
+}
+
+/// Serialize the ledger as a JSON array of
+/// `{"scope","phase","ns","count"}` rows, sorted by (scope, phase) — the
+/// section `obs_report` diffs between runs.
+pub fn ledger_json() -> String {
+    json::array(ledger_snapshot().iter().map(|e| {
+        let mut o = Obj::new();
+        o.str("scope", &e.scope)
+            .str("phase", e.phase)
+            .u64("ns", e.ns)
+            .u64("count", e.count);
+        o.finish()
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phases_attribute_to_the_innermost_scope() {
+        {
+            let _engine = scope("t.led.EngineA");
+            add("t_led_gemm", 1_000);
+            {
+                let _inner = scope("t.led.EngineB");
+                add_n("t_led_gemm", 2_000, 2);
+            }
+            add("t_led_fit", 500);
+        }
+        add("t_led_outside", 10);
+        let snap = ledger_snapshot();
+        let get = |s: &str, p: &str| {
+            snap.iter()
+                .find(|e| e.scope == s && e.phase == p)
+                .map(|e| (e.ns, e.count))
+        };
+        assert_eq!(get("t.led.EngineA", "t_led_gemm"), Some((1_000, 1)));
+        assert_eq!(get("t.led.EngineB", "t_led_gemm"), Some((2_000, 2)));
+        assert_eq!(get("t.led.EngineA", "t_led_fit"), Some((500, 1)));
+        assert_eq!(get(DEFAULT_SCOPE, "t_led_outside"), Some((10, 1)));
+    }
+
+    #[test]
+    fn phase_timer_books_elapsed_time() {
+        let _s = scope("t.led.Timer");
+        {
+            let _t = phase("t_led_timer_phase");
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        let entry = ledger_snapshot()
+            .into_iter()
+            .find(|e| e.scope == "t.led.Timer" && e.phase == "t_led_timer_phase")
+            .expect("phase booked on guard drop");
+        assert!(entry.ns >= 1_000_000, "booked {}ns", entry.ns);
+        assert_eq!(entry.count, 1);
+    }
+
+    #[test]
+    fn json_rows_are_sorted_and_parseable() {
+        add_scoped("t.led.json.B", "t_led_p", 5, 1);
+        add_scoped("t.led.json.A", "t_led_p", 3, 1);
+        let parsed = crate::json::parse(&ledger_json()).expect("ledger json parses");
+        let crate::json::Json::Arr(rows) = parsed else {
+            panic!("ledger json must be an array")
+        };
+        let scopes: Vec<&str> = rows
+            .iter()
+            .filter_map(|r| r.get("scope").and_then(crate::json::Json::as_str))
+            .filter(|s| s.starts_with("t.led.json."))
+            .collect();
+        assert_eq!(scopes, vec!["t.led.json.A", "t.led.json.B"]);
+    }
+}

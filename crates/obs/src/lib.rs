@@ -20,8 +20,17 @@
 //!   that file as one hand-rolled JSON object per line. [`TrialEvent`] is
 //!   the per-candidate-fit record every AutoML engine emits, so search
 //!   convergence traces fall out of a run for free.
-//! * [`summary`] — a human-readable end-of-run summary (span tree plus
-//!   metrics snapshot) printed to stderr, no env var required.
+//! * [`trace`] — a thread-aware trace collector (per-thread append-only
+//!   buffers of span begin/end and instant events with monotonic
+//!   timestamps), off by default and enabled by `AUTOML_EM_TRACE`,
+//!   exporting Chrome trace-event JSON (Perfetto / chrome://tracing) and
+//!   folded-stack text for flamegraphs.
+//! * [`ledger`] — the per-trial cost ledger: wall-time attribution to
+//!   named phases (tokenize/embed/GEMM/fit/fsync/…) grouped by the
+//!   engine scope that triggered them, the "where the budget went"
+//!   tables of the end-of-run summary.
+//! * [`summary`] — a human-readable end-of-run summary (span tree, cost
+//!   ledger and metrics snapshot) printed to stderr, no env var required.
 //! * [`manifest`] — a per-run manifest JSON (run identity, config,
 //!   metrics snapshot, span tree) the bench binaries write next to their
 //!   TSV artifacts.
@@ -33,19 +42,26 @@
 
 pub mod events;
 pub mod json;
+pub mod ledger;
 pub mod manifest;
 pub mod metrics;
 pub mod span;
 pub mod summary;
+pub mod trace;
 
 pub use events::{emit, recent_trials, trace_enabled, TrialEvent, Value};
+pub use ledger::{ledger_snapshot, LedgerEntry};
 pub use manifest::Manifest;
-pub use metrics::{counter, gauge, histogram, snapshot, Counter, Gauge, Histogram};
+pub use metrics::{
+    counter, gauge, histogram, quantile_from_buckets, snapshot, Counter, Gauge, Histogram,
+};
 pub use span::{span, span_tree, SpanGuard, SpanRecord};
 pub use summary::{print_summary, render_summary};
+pub use trace::{trace_collecting, write_trace_files, ThreadTrace, TraceEvent};
 
-/// Clear all global observability state: span tree, metrics registry and
-/// the in-memory event ring. The JSONL trace file (if any) stays open.
+/// Clear all global observability state: span tree, cost ledger, trace
+/// buffers, metrics registry and the in-memory event ring. The JSONL
+/// trace file (if any) stays open.
 ///
 /// Meant for the boundary between logical runs in one process (e.g. a
 /// harness regenerating two tables back to back); concurrently
@@ -54,4 +70,6 @@ pub fn reset() {
     span::reset_spans();
     metrics::reset_metrics();
     events::reset_events();
+    ledger::reset_ledger();
+    trace::reset_trace();
 }

@@ -5,6 +5,7 @@
 
 use crate::events::Value;
 use crate::json::{self, Obj};
+use crate::ledger::ledger_json;
 use crate::metrics::snapshot;
 use crate::span::span_tree;
 use std::fs;
@@ -34,8 +35,8 @@ impl Manifest {
         self
     }
 
-    /// Serialize the manifest, capturing the *current* metrics snapshot
-    /// and span tree.
+    /// Serialize the manifest, capturing the *current* metrics snapshot,
+    /// span tree and cost ledger.
     pub fn to_json(&self) -> String {
         let mut config = Obj::new();
         for (k, v) in &self.config {
@@ -64,7 +65,8 @@ impl Manifest {
             .raw(
                 "spans",
                 &json::array(span_tree().iter().map(|r| r.to_json())),
-            );
+            )
+            .raw("ledger", &ledger_json());
         o.finish()
     }
 

@@ -130,6 +130,13 @@ impl Histogram {
         }
     }
 
+    /// Estimate the `q`-quantile (`q` clamped to `[0, 1]`) from the
+    /// bucket counts. See [`quantile_from_buckets`] for the estimation
+    /// rule and its worst-case error bound.
+    pub fn quantile(&self, q: f64) -> f64 {
+        quantile_from_buckets(&self.buckets(), q)
+    }
+
     /// `(upper_bound, count)` per bucket; the final bound is `+inf`.
     pub fn buckets(&self) -> Vec<(f64, u64)> {
         self.bounds
@@ -146,6 +153,56 @@ impl Histogram {
         }
         self.count.store(0, Ordering::Relaxed);
         self.sum.reset();
+    }
+}
+
+/// Estimate the `q`-quantile (`q` clamped to `[0, 1]`) from fixed-bucket
+/// counts (`(upper_bound, count)` pairs as produced by
+/// [`Histogram::buckets`] — the final bound may be `+inf`).
+///
+/// The estimate interpolates linearly inside the bucket the quantile
+/// rank lands in, assuming observations are spread uniformly across the
+/// bucket. **Worst-case error is therefore the width of that bucket**
+/// (all observations could sit at either edge). Two documented
+/// distortions at the extremes: the first bucket's lower edge is taken
+/// as `min(0, bound)` (every histogram in this codebase records
+/// non-negative quantities), and a quantile landing in the `+inf`
+/// overflow bucket is clamped to the largest finite bound — there is no
+/// upper edge to interpolate toward, so tail quantiles saturate there.
+/// Returns 0.0 when the buckets are empty.
+pub fn quantile_from_buckets(buckets: &[(f64, u64)], q: f64) -> f64 {
+    let total: u64 = buckets.iter().map(|(_, n)| n).sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let rank = q.clamp(0.0, 1.0) * total as f64;
+    let mut seen = 0u64;
+    let mut lower = f64::NAN; // set per-bucket below
+    for (i, (upper, n)) in buckets.iter().enumerate() {
+        lower = if i == 0 {
+            upper.min(0.0)
+        } else {
+            buckets[i - 1].0
+        };
+        if *n == 0 {
+            continue;
+        }
+        let before = seen as f64;
+        seen += n;
+        if (seen as f64) < rank {
+            continue;
+        }
+        if upper.is_infinite() {
+            return lower; // overflow bucket: saturate at last finite bound
+        }
+        let frac = ((rank - before) / *n as f64).clamp(0.0, 1.0);
+        return lower + frac * (upper - lower);
+    }
+    // ranks beyond the last non-empty bucket (q == 1.0 edge): its bound
+    if lower.is_nan() {
+        0.0
+    } else {
+        lower
     }
 }
 
@@ -292,6 +349,35 @@ mod tests {
         assert_eq!(buckets[1], (10.0, 1));
         assert_eq!(buckets[2].1, 1);
         assert!(buckets[2].0.is_infinite());
+    }
+
+    #[test]
+    fn quantiles_interpolate_within_buckets() {
+        let h = histogram("t.m.quant", &[10.0, 20.0, 40.0]);
+        for _ in 0..50 {
+            h.observe(5.0);
+        }
+        for _ in 0..30 {
+            h.observe(15.0);
+        }
+        for _ in 0..20 {
+            h.observe(30.0);
+        }
+        // rank 50 sits exactly at the first bucket's upper edge
+        assert!((h.quantile(0.5) - 10.0).abs() < 1e-9);
+        // rank 95 lands in the third bucket: 20 + 0.75·(40−20) = 35
+        assert!((h.quantile(0.95) - 35.0).abs() < 1e-9);
+        // rank 99: 20 + 0.95·20 = 39
+        assert!((h.quantile(0.99) - 39.0).abs() < 1e-9);
+        // an observation in the +inf overflow bucket saturates tail
+        // quantiles at the largest finite bound
+        h.observe(1e9);
+        assert_eq!(h.quantile(1.0), 40.0);
+        // empty histograms report 0
+        assert_eq!(
+            quantile_from_buckets(&[(1.0, 0), (f64::INFINITY, 0)], 0.5),
+            0.0
+        );
     }
 
     #[test]

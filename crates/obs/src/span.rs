@@ -75,21 +75,37 @@ static ROOTS: Mutex<Vec<SpanRecord>> = Mutex::new(Vec::new());
 
 /// Open a span; it closes (and records itself) when the guard drops.
 pub fn span(name: impl Into<String>) -> SpanGuard {
-    STACK.with(|stack| {
-        stack.borrow_mut().push(Frame {
-            name: name.into(),
+    let name = name.into();
+    crate::trace::record_begin(&name);
+    let depth = STACK.with(|stack| {
+        let mut stack = stack.borrow_mut();
+        stack.push(Frame {
+            name,
             start: Instant::now(),
             units: 0.0,
             children: Vec::new(),
         });
+        stack.len()
     });
-    SpanGuard { closed: false }
+    SpanGuard {
+        closed: false,
+        depth,
+    }
 }
 
 /// RAII handle for an open span (see [`span`]).
+///
+/// The guard remembers how deep the thread's span stack was when it
+/// opened; on drop it closes **every frame at or below that depth**, not
+/// just the top one. A frame left open by a leaked inner guard (e.g.
+/// `mem::forget`, or an unwind path that skipped a drop) is therefore
+/// folded into the tree as a child instead of corrupting the stack for
+/// every later span on the thread — the span tree and trace export stay
+/// well-formed even when a guarded trial panics.
 #[must_use = "a span measures the scope of its guard — bind it with `let`"]
 pub struct SpanGuard {
     closed: bool,
+    depth: usize,
 }
 
 impl SpanGuard {
@@ -111,17 +127,23 @@ impl Drop for SpanGuard {
         self.closed = true;
         STACK.with(|stack| {
             let mut stack = stack.borrow_mut();
-            let Some(frame) = stack.pop() else { return };
-            let rec = SpanRecord {
-                name: frame.name,
-                wall_ms: frame.start.elapsed().as_secs_f64() * 1e3,
-                units: frame.units,
-                count: 1,
-                children: frame.children,
-            };
-            match stack.last_mut() {
-                Some(parent) => merge_into(&mut parent.children, rec),
-                None => merge_into(&mut ROOTS.lock().expect("span collector"), rec),
+            // close our own frame plus any deeper frames whose guards
+            // never ran (leaked or skipped during an unwind) — innermost
+            // first, so stragglers nest as children of their parent
+            while stack.len() >= self.depth {
+                let Some(frame) = stack.pop() else { return };
+                crate::trace::record_end();
+                let rec = SpanRecord {
+                    name: frame.name,
+                    wall_ms: frame.start.elapsed().as_secs_f64() * 1e3,
+                    units: frame.units,
+                    count: 1,
+                    children: frame.children,
+                };
+                match stack.last_mut() {
+                    Some(parent) => merge_into(&mut parent.children, rec),
+                    None => merge_into(&mut ROOTS.lock().expect("span collector"), rec),
+                }
             }
         });
     }
@@ -198,6 +220,24 @@ mod tests {
         }
         let root = take_root("t.par.root");
         assert_eq!(root.count, 4);
+    }
+
+    #[test]
+    fn leaked_inner_guard_is_closed_by_its_parent() {
+        {
+            let _outer = span("t.leak.outer");
+            let inner = span("t.leak.inner");
+            std::mem::forget(inner); // guard never drops
+        }
+        let root = take_root("t.leak.outer");
+        assert_eq!(root.children.len(), 1, "leaked frame folded into parent");
+        assert_eq!(root.children[0].name, "t.leak.inner");
+        // the thread's stack is clean again: the next span is a fresh root
+        {
+            let _g = span("t.leak.after");
+        }
+        let after = take_root("t.leak.after");
+        assert!(after.children.is_empty());
     }
 
     #[test]

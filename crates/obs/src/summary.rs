@@ -2,7 +2,8 @@
 //! snapshot, rendered as text. Printed to stderr so it never pollutes the
 //! table markdown/TSV a binary writes to stdout.
 
-use crate::metrics::{snapshot, MetricSnapshot};
+use crate::ledger::{ledger_snapshot, LedgerEntry};
+use crate::metrics::{quantile_from_buckets, snapshot, MetricSnapshot};
 use crate::span::{span_tree, SpanRecord};
 
 fn fmt_wall(ms: f64) -> String {
@@ -32,7 +33,50 @@ fn render_span(out: &mut String, rec: &SpanRecord, depth: usize) {
     }
 }
 
-/// Render the summary (span tree + metrics) as multi-line text.
+/// Render the per-scope "where the budget went" tables from the cost
+/// ledger: one block per scope (engine, `par`, `run`), each phase with
+/// its wall time, share of the scope total, and occurrence count.
+fn render_ledger(out: &mut String, entries: &[LedgerEntry]) {
+    if entries.is_empty() {
+        return;
+    }
+    out.push_str("cost ledger (where the budget went):\n");
+    let mut idx = 0;
+    while idx < entries.len() {
+        let scope = &entries[idx].scope;
+        let end = entries[idx..]
+            .iter()
+            .position(|e| &e.scope != scope)
+            .map_or(entries.len(), |p| idx + p);
+        let group = &entries[idx..end];
+        let total_ns: u64 = group.iter().map(|e| e.ns).sum();
+        out.push_str(&format!(
+            "  [{scope}]  total {}\n",
+            fmt_wall(total_ns as f64 / 1e6)
+        ));
+        let mut sorted: Vec<&LedgerEntry> = group.iter().collect();
+        sorted.sort_by(|a, b| b.ns.cmp(&a.ns).then(a.phase.cmp(b.phase)));
+        for e in sorted {
+            let share = if total_ns == 0 {
+                0.0
+            } else {
+                100.0 * e.ns as f64 / total_ns as f64
+            };
+            out.push_str(&format!(
+                "    {:<24} wall {:>9}  {share:>5.1}%  ×{}\n",
+                e.phase,
+                fmt_wall(e.ms()),
+                e.count
+            ));
+        }
+        idx = end;
+    }
+}
+
+/// Render the summary (span tree + cost ledger + metrics) as multi-line
+/// text. Histograms are shown as `n`/`mean` plus interpolated
+/// p50/p95/p99 (see [`quantile_from_buckets`] for the error bound)
+/// instead of a raw bucket dump.
 pub fn render_summary() -> String {
     let mut out = String::from("== automl-em run summary ==\n");
     let tree = span_tree();
@@ -42,6 +86,8 @@ pub fn render_summary() -> String {
             render_span(&mut out, root, 0);
         }
     }
+    let ledger = ledger_snapshot();
+    render_ledger(&mut out, &ledger);
     let metrics = snapshot();
     if !metrics.is_empty() {
         out.push_str("metrics:\n");
@@ -53,20 +99,23 @@ pub fn render_summary() -> String {
                 MetricSnapshot::Gauge(v) => {
                     out.push_str(&format!("  {name:<44} {v:.4}\n"));
                 }
-                MetricSnapshot::Histogram(count, sum, _) => {
+                MetricSnapshot::Histogram(count, sum, buckets) => {
                     let mean = if *count == 0 {
                         0.0
                     } else {
                         sum / *count as f64
                     };
+                    let p50 = quantile_from_buckets(buckets, 0.50);
+                    let p95 = quantile_from_buckets(buckets, 0.95);
+                    let p99 = quantile_from_buckets(buckets, 0.99);
                     out.push_str(&format!(
-                        "  {name:<44} n={count} sum={sum:.2} mean={mean:.3}\n"
+                        "  {name:<44} n={count} mean={mean:.3} p50={p50:.3} p95={p95:.3} p99={p99:.3}\n"
                     ));
                 }
             }
         }
     }
-    if tree.is_empty() && metrics.is_empty() {
+    if tree.is_empty() && ledger.is_empty() && metrics.is_empty() {
         out.push_str("(nothing recorded)\n");
     }
     out
@@ -98,6 +147,26 @@ mod tests {
         assert!(text.contains("units"), "{text}");
         assert!(text.contains("t.sum.counter"), "{text}");
         assert!(text.contains("0.2500"), "{text}");
+    }
+
+    #[test]
+    fn summary_renders_ledger_and_percentiles() {
+        {
+            let _s = crate::ledger::scope("t.sum.Engine");
+            crate::ledger::add_n("t_sum_gemm", 3_000_000, 4);
+            crate::ledger::add("t_sum_fit", 1_000_000);
+        }
+        let h = crate::metrics::histogram("t.sum.hist", &[1.0, 10.0]);
+        for v in [0.5, 0.5, 5.0, 5.0] {
+            h.observe(v);
+        }
+        let text = render_summary();
+        assert!(text.contains("cost ledger"), "{text}");
+        assert!(text.contains("[t.sum.Engine]"), "{text}");
+        assert!(text.contains("t_sum_gemm"), "{text}");
+        assert!(text.contains("75.0%"), "gemm is 3ms of 4ms: {text}");
+        assert!(text.contains("p50=") && text.contains("p95="), "{text}");
+        assert!(!text.contains("sum="), "raw bucket/sum dump replaced");
     }
 
     #[test]

@@ -1,0 +1,382 @@
+//! Thread-aware trace collector: per-thread append-only event buffers
+//! (span begin/end, instant events) with monotonic timestamps, exported
+//! as Chrome trace-event JSON (loadable in Perfetto / chrome://tracing)
+//! and as folded-stack text for flamegraphs.
+//!
+//! The collector is **off by default** and costs one relaxed atomic load
+//! per hook when disabled. It turns on when the `AUTOML_EM_TRACE`
+//! environment variable is set (the same switch that enables the JSONL
+//! event file) or programmatically via [`set_enabled`] (tests and the
+//! `obs_report --bench` overhead harness use this). Tracing only ever
+//! *records* timestamps — it never feeds anything back into computation —
+//! so enabling it cannot perturb `FitReport` byte-identity.
+//!
+//! Each thread appends to its own buffer (an uncontended mutex shared
+//! with a global registry so export can walk buffers of threads that have
+//! already exited). Buffers are bounded: past [`MAX_EVENTS_PER_THREAD`]
+//! events a thread drops further events and `obs.trace.dropped` counts
+//! them, so a runaway loop cannot exhaust memory.
+
+use crate::json::{self, Obj};
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, Once, OnceLock};
+use std::time::Instant;
+
+/// Hard cap on buffered events per thread; excess events are dropped and
+/// counted in the `obs.trace.dropped` counter.
+pub const MAX_EVENTS_PER_THREAD: usize = 1 << 20;
+
+/// One recorded trace event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceEvent {
+    /// A span opened (`ph:"B"` in Chrome trace terms).
+    Begin {
+        /// Span name.
+        name: String,
+        /// Nanoseconds since the process trace epoch.
+        ts_ns: u64,
+    },
+    /// The innermost open span closed (`ph:"E"`).
+    End {
+        /// Nanoseconds since the process trace epoch.
+        ts_ns: u64,
+    },
+    /// A zero-duration marker (`ph:"i"`).
+    Instant {
+        /// Marker name.
+        name: String,
+        /// Nanoseconds since the process trace epoch.
+        ts_ns: u64,
+    },
+}
+
+impl TraceEvent {
+    /// Timestamp of this event (ns since the trace epoch).
+    pub fn ts_ns(&self) -> u64 {
+        match self {
+            TraceEvent::Begin { ts_ns, .. }
+            | TraceEvent::End { ts_ns }
+            | TraceEvent::Instant { ts_ns, .. } => *ts_ns,
+        }
+    }
+}
+
+/// All events recorded by one thread, in append order.
+#[derive(Debug, Clone)]
+pub struct ThreadTrace {
+    /// Small stable thread id (registration order, starting at 0).
+    pub tid: u64,
+    /// The thread's events, timestamps non-decreasing.
+    pub events: Vec<TraceEvent>,
+}
+
+struct Buffer {
+    tid: u64,
+    events: Vec<TraceEvent>,
+}
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static ENV_INIT: Once = Once::new();
+static REGISTRY: Mutex<Vec<Arc<Mutex<Buffer>>>> = Mutex::new(Vec::new());
+
+thread_local! {
+    static LOCAL: RefCell<Option<Arc<Mutex<Buffer>>>> = const { RefCell::new(None) };
+}
+
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+fn now_ns() -> u64 {
+    epoch().elapsed().as_nanos() as u64
+}
+
+fn init_from_env() {
+    ENV_INIT.call_once(|| {
+        if std::env::var("AUTOML_EM_TRACE").is_ok_and(|v| !v.is_empty()) {
+            ENABLED.store(true, Ordering::Relaxed);
+        }
+        // pin the epoch early so timestamps of late-registering threads
+        // share the same zero
+        let _ = epoch();
+    });
+}
+
+/// True when the collector is recording (env var or [`set_enabled`]).
+pub fn trace_collecting() -> bool {
+    init_from_env();
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Programmatically force the collector on or off, overriding the
+/// `AUTOML_EM_TRACE` default. Used by tests and the overhead harness;
+/// takes effect for events recorded after the call.
+pub fn set_enabled(on: bool) {
+    init_from_env();
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+fn with_buffer(f: impl FnOnce(&mut Buffer)) {
+    LOCAL.with(|local| {
+        let mut local = local.borrow_mut();
+        let arc = local.get_or_insert_with(|| {
+            let mut reg = REGISTRY.lock().expect("trace registry");
+            let arc = Arc::new(Mutex::new(Buffer {
+                tid: reg.len() as u64,
+                events: Vec::new(),
+            }));
+            reg.push(Arc::clone(&arc));
+            arc
+        });
+        let mut buf = arc.lock().expect("trace buffer");
+        if buf.events.len() >= MAX_EVENTS_PER_THREAD {
+            crate::metrics::counter("obs.trace.dropped").inc();
+            return;
+        }
+        f(&mut buf);
+    });
+}
+
+/// Record a span-begin event on the calling thread (no-op when disabled).
+pub fn record_begin(name: &str) {
+    if !trace_collecting() {
+        return;
+    }
+    let ts_ns = now_ns();
+    with_buffer(|buf| {
+        buf.events.push(TraceEvent::Begin {
+            name: name.to_owned(),
+            ts_ns,
+        });
+    });
+}
+
+/// Record a span-end event on the calling thread (no-op when disabled).
+pub fn record_end() {
+    if !trace_collecting() {
+        return;
+    }
+    let ts_ns = now_ns();
+    with_buffer(|buf| {
+        buf.events.push(TraceEvent::End { ts_ns });
+    });
+}
+
+/// Record a zero-duration instant marker (no-op when disabled).
+pub fn instant(name: &str) {
+    if !trace_collecting() {
+        return;
+    }
+    let ts_ns = now_ns();
+    with_buffer(|buf| {
+        buf.events.push(TraceEvent::Instant {
+            name: name.to_owned(),
+            ts_ns,
+        });
+    });
+}
+
+/// Snapshot every thread's buffer (including exited threads'), ordered by
+/// stable thread id.
+pub fn trace_snapshot() -> Vec<ThreadTrace> {
+    let reg = REGISTRY.lock().expect("trace registry");
+    let mut out: Vec<ThreadTrace> = reg
+        .iter()
+        .map(|arc| {
+            let buf = arc.lock().expect("trace buffer");
+            ThreadTrace {
+                tid: buf.tid,
+                events: buf.events.clone(),
+            }
+        })
+        .collect();
+    out.sort_by_key(|t| t.tid);
+    out
+}
+
+/// Drop all recorded events (buffers stay registered; tids are stable
+/// within a process lifetime).
+pub fn reset_trace() {
+    let reg = REGISTRY.lock().expect("trace registry");
+    for arc in reg.iter() {
+        arc.lock().expect("trace buffer").events.clear();
+    }
+}
+
+/// Serialize the recorded trace as Chrome trace-event JSON — an object
+/// with a `traceEvents` array of `B`/`E`/`i` phase events (timestamps in
+/// microseconds), loadable in Perfetto or chrome://tracing.
+pub fn to_chrome_json() -> String {
+    chrome_json_of(&trace_snapshot())
+}
+
+/// Pure serializer behind [`to_chrome_json`]: deterministic over a fixed
+/// snapshot (same input ⇒ byte-identical output).
+pub fn chrome_json_of(threads: &[ThreadTrace]) -> String {
+    let mut events = Vec::new();
+    for thread in threads {
+        for ev in &thread.events {
+            let mut o = Obj::new();
+            match ev {
+                TraceEvent::Begin { name, ts_ns } => {
+                    o.str("name", name)
+                        .str("ph", "B")
+                        .f64("ts", *ts_ns as f64 / 1e3);
+                }
+                TraceEvent::End { ts_ns } => {
+                    o.str("ph", "E").f64("ts", *ts_ns as f64 / 1e3);
+                }
+                TraceEvent::Instant { name, ts_ns } => {
+                    o.str("name", name)
+                        .str("ph", "i")
+                        .f64("ts", *ts_ns as f64 / 1e3)
+                        .str("s", "t");
+                }
+            }
+            o.u64("pid", 1).u64("tid", thread.tid);
+            events.push(o.finish());
+        }
+    }
+    let mut root = Obj::new();
+    root.raw("traceEvents", &json::array(events))
+        .str("displayTimeUnit", "ms");
+    root.finish()
+}
+
+/// Render the recorded trace as folded-stack text (`a;b;c <self_us>` per
+/// line, one line per unique stack, sorted), the input format of
+/// `flamegraph.pl` and speedscope. Self-time is attributed to the stack
+/// that was open between consecutive events; stacks still open when a
+/// thread's buffer ends get no further time (their tail is unknowable).
+pub fn to_folded() -> String {
+    folded_of(&trace_snapshot())
+}
+
+/// Pure serializer behind [`to_folded`]: deterministic over a fixed
+/// snapshot (same input ⇒ byte-identical output).
+pub fn folded_of(threads: &[ThreadTrace]) -> String {
+    let mut folded: BTreeMap<String, u64> = BTreeMap::new();
+    for thread in threads {
+        let mut stack: Vec<&str> = Vec::new();
+        let mut cursor_ns: u64 = 0;
+        for ev in &thread.events {
+            let ts = ev.ts_ns();
+            if !stack.is_empty() && ts > cursor_ns {
+                let key = stack.join(";");
+                *folded.entry(key).or_insert(0) += (ts - cursor_ns) / 1_000;
+            }
+            cursor_ns = ts;
+            match ev {
+                TraceEvent::Begin { name, .. } => stack.push(name),
+                TraceEvent::End { .. } => {
+                    // tolerate an unbalanced End (thread inherited a
+                    // truncated buffer) instead of corrupting the replay
+                    let _ = stack.pop();
+                }
+                TraceEvent::Instant { .. } => {}
+            }
+        }
+    }
+    let mut out = String::new();
+    for (stack, us) in folded {
+        out.push_str(&format!("{stack} {us}\n"));
+    }
+    out
+}
+
+/// Write `trace.json` (Chrome trace-event) and `trace.folded` (flamegraph
+/// folded stacks) into `dir`, returning their paths. No-op files are
+/// still written when the trace is empty so run directories are uniform.
+pub fn write_trace_files(dir: &str) -> std::io::Result<(std::path::PathBuf, std::path::PathBuf)> {
+    std::fs::create_dir_all(dir)?;
+    let json_path = std::path::Path::new(dir).join("trace.json");
+    let folded_path = std::path::Path::new(dir).join("trace.folded");
+    std::fs::write(&json_path, to_chrome_json())?;
+    std::fs::write(&folded_path, to_folded())?;
+    Ok((json_path, folded_path))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// All trace tests share the global collector (and the enable
+    /// switch), so they run as one sequential test to avoid cross-test
+    /// event interleaving.
+    #[test]
+    fn collector_records_exports_and_resets() {
+        reset_trace();
+        let was = trace_collecting();
+
+        // disabled collector records nothing (harness never sets
+        // AUTOML_EM_TRACE, so the default is off)
+        if !was {
+            record_begin("t.trace.off");
+            record_end();
+            assert!(!trace_snapshot().iter().any(|t| {
+                t.events
+                    .iter()
+                    .any(|e| matches!(e, TraceEvent::Begin { name, .. } if name == "t.trace.off"))
+            }));
+        }
+
+        set_enabled(true);
+
+        record_begin("t.trace.outer");
+        record_begin("t.trace.inner");
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        record_end();
+        instant("t.trace.mark");
+        record_end();
+
+        let mine: Vec<ThreadTrace> = trace_snapshot()
+            .into_iter()
+            .filter(|t| {
+                t.events
+                    .iter()
+                    .any(|e| matches!(e, TraceEvent::Begin { name, .. } if name == "t.trace.outer"))
+            })
+            .collect();
+        assert_eq!(mine.len(), 1, "exactly one thread recorded the outer span");
+        let events = &mine[0].events;
+        let begins = events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::Begin { .. }))
+            .count();
+        let ends = events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::End { .. }))
+            .count();
+        assert!(begins >= 2 && ends >= 2, "balanced B/E events");
+        // per-thread timestamps are non-decreasing
+        for w in events.windows(2) {
+            assert!(w[0].ts_ns() <= w[1].ts_ns());
+        }
+
+        let snap = trace_snapshot();
+        let chrome = chrome_json_of(&snap);
+        let parsed = crate::json::parse(&chrome).expect("chrome trace parses");
+        let arr = parsed.get("traceEvents").expect("traceEvents key");
+        assert!(matches!(arr, crate::json::Json::Arr(v) if !v.is_empty()));
+        assert!(chrome.contains(r#""ph":"B""#) && chrome.contains(r#""ph":"E""#));
+        assert!(chrome.contains("t.trace.mark"));
+
+        let folded = folded_of(&snap);
+        assert!(
+            folded.contains("t.trace.outer;t.trace.inner"),
+            "nested stack line present: {folded}"
+        );
+
+        // exporting the same snapshot twice is byte-identical
+        // (replay-stable serialization)
+        assert_eq!(chrome, chrome_json_of(&snap));
+        assert_eq!(folded, folded_of(&snap));
+
+        reset_trace();
+        assert!(trace_snapshot().iter().all(|t| t.events.is_empty()));
+        set_enabled(was);
+    }
+}

@@ -42,6 +42,9 @@
 //! Per-call observability lands in the global `obs` registry:
 //! `par.tasks` / `par.steals` / `par.scopes` counters, the `par.busy_us`
 //! cumulative worker busy-time counter and the `par.threads` gauge.
+//! Worker busy/idle wall-time and steal counts are also booked to the
+//! `obs` cost ledger under the `par` scope, so end-of-run summaries show
+//! how well the pool was utilized alongside where the budget went.
 //!
 //! ```
 //! let squares = par::map_indexed(8, |i| i * i);

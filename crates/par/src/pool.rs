@@ -144,6 +144,7 @@ where
 
     let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
     let (mut tasks, mut steals, mut busy_us) = (0u64, 0u64, 0u64);
+    let scope_started = Instant::now();
     std::thread::scope(|s| {
         let handles: Vec<_> = (0..workers)
             .map(|w| {
@@ -167,6 +168,19 @@ where
     obs::counter("par.tasks").add(tasks);
     obs::counter("par.steals").add(steals);
     obs::counter("par.busy_us").add(busy_us);
+    // cost-ledger accounting under the pool's own scope: busy is the sum
+    // of worker-thread lifetimes, idle is the wall the scope kept workers
+    // reserved beyond that (threads that drained their queues early while
+    // stragglers kept working), steal is an occurrence count. Workers
+    // exit when all queues drain, so idle captures end-of-scope skew.
+    let scope_ns = scope_started.elapsed().as_nanos() as u64;
+    let busy_ns = busy_us * 1_000;
+    let idle_ns = (scope_ns * workers as u64).saturating_sub(busy_ns);
+    obs::ledger::add_scoped("par", "busy", busy_ns, tasks);
+    obs::ledger::add_scoped("par", "idle", idle_ns, workers as u64);
+    if steals > 0 {
+        obs::ledger::add_scoped("par", "steal", 0, steals);
+    }
     slots
         .into_iter()
         .map(|s| s.expect("every index was executed exactly once"))
@@ -221,6 +235,24 @@ mod tests {
     fn guard() -> std::sync::MutexGuard<'static, ()> {
         static LOCK: StdMutex<()> = StdMutex::new(());
         LOCK.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    #[test]
+    fn ledger_books_busy_and_idle_under_par_scope() {
+        let _g = guard();
+        set_threads(4);
+        let _ = map_indexed(64, |i| {
+            std::thread::sleep(std::time::Duration::from_micros(50));
+            i * 2
+        });
+        reset_threads();
+        let snap = obs::ledger::ledger_snapshot();
+        let busy = snap
+            .iter()
+            .find(|e| e.scope == "par" && e.phase == "busy")
+            .expect("busy booked");
+        assert!(busy.ns > 0 && busy.count >= 64);
+        assert!(snap.iter().any(|e| e.scope == "par" && e.phase == "idle"));
     }
 
     #[test]

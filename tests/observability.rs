@@ -1,0 +1,205 @@
+//! Observability contract: tracing and cost attribution are write-only.
+//!
+//! Turning the trace collector on must never change results — the
+//! [`FitReport`] and prediction vector stay byte-identical with tracing
+//! on and off, at 1 and 4 worker threads. The exported Chrome trace must
+//! be well-formed (parseable JSON, per-thread timestamps monotone,
+//! begin/end balanced) and replay-stable (re-exporting yields identical
+//! bytes). Finally the `obs_report` phase-share gate must stay quiet on
+//! identical runs and fire when a run is slowed by an injected
+//! [`Fault::Hang`].
+//!
+//! The trace flag, ledger and par pool are process-global, so every test
+//! serializes on one lock (this binary is its own process).
+
+use automl::fault::{Fault, FaultPlan};
+use automl::sklearn_like::AutoSklearnStyle;
+use automl::{AutoMlSystem, Budget, Deadline, FitReport, ResumePolicy};
+use bench::obsreport::{diff_runs, load_run, RunData};
+use linalg::{Matrix, Rng};
+use ml::dataset::TabularData;
+use std::sync::{Mutex, MutexGuard};
+use std::time::Duration;
+
+/// Serializes tests that flip global obs / par state.
+fn guard() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+fn blob_data(n: usize, seed: u64) -> TabularData {
+    let mut rng = Rng::new(seed);
+    let mut rows = Vec::with_capacity(n);
+    let mut y = Vec::with_capacity(n);
+    for _ in 0..n {
+        let pos = rng.chance(0.3);
+        let c = if pos { 1.2f32 } else { -1.2 };
+        rows.push(vec![c + rng.normal(), -c + rng.normal(), rng.normal()]);
+        y.push(if pos { 1.0 } else { 0.0 });
+    }
+    TabularData::new(Matrix::from_rows(&rows), y)
+}
+
+/// One fixed-seed fit at a fixed thread count and trace setting.
+fn fit_traced(threads: usize, trace: bool) -> (FitReport, Vec<f32>) {
+    obs::reset();
+    obs::trace::set_enabled(trace);
+    par::set_threads(threads);
+    let train = blob_data(240, 21);
+    let valid = blob_data(80, 22);
+    let mut sys = AutoSklearnStyle::new(9);
+    let mut budget = Budget::hours(0.4).unwrap();
+    let report = sys.fit(&train, &valid, &mut budget).unwrap();
+    let probs = sys.predict_proba(&valid.x);
+    par::reset_threads();
+    obs::trace::set_enabled(false);
+    (report, probs)
+}
+
+#[test]
+fn fit_report_is_byte_identical_with_tracing_on_and_off() {
+    let _g = guard();
+    for threads in [1, 4] {
+        let (r_off, p_off) = fit_traced(threads, false);
+        let (r_on, p_on) = fit_traced(threads, true);
+        assert_eq!(
+            r_off, r_on,
+            "FitReport changed when tracing was enabled ({threads} threads)"
+        );
+        assert_eq!(
+            p_off, p_on,
+            "predictions changed when tracing was enabled ({threads} threads)"
+        );
+    }
+}
+
+#[test]
+fn trace_export_is_well_formed_and_replay_stable() {
+    let _g = guard();
+    let (_, _) = fit_traced(4, true); // leaves a real multi-thread trace behind
+    let json_a = obs::trace::to_chrome_json();
+    let json_b = obs::trace::to_chrome_json();
+    assert_eq!(json_a, json_b, "re-export must be byte-identical");
+
+    let root = obs::json::parse(&json_a).expect("trace JSON must parse");
+    let events = match root.get("traceEvents") {
+        Some(obs::json::Json::Arr(items)) => items.clone(),
+        other => panic!("traceEvents array missing: {other:?}"),
+    };
+    assert!(!events.is_empty(), "traced fit recorded no events");
+
+    // per-thread: timestamps are non-decreasing and begin/end balance
+    use std::collections::BTreeMap;
+    let mut last_ts: BTreeMap<u64, f64> = BTreeMap::new();
+    let mut depth: BTreeMap<u64, i64> = BTreeMap::new();
+    for ev in &events {
+        let tid = ev.get("tid").and_then(|j| j.as_u64()).expect("tid");
+        let ts = ev.get("ts").and_then(|j| j.as_f64()).expect("ts");
+        let ph = ev.get("ph").and_then(|j| j.as_str()).expect("ph");
+        if let Some(prev) = last_ts.get(&tid) {
+            assert!(ts >= *prev, "tid {tid}: ts went backwards ({prev} -> {ts})");
+        }
+        last_ts.insert(tid, ts);
+        let d = depth.entry(tid).or_insert(0);
+        match ph {
+            "B" => *d += 1,
+            "E" => {
+                *d -= 1;
+                assert!(*d >= 0, "tid {tid}: end without begin");
+            }
+            "i" => {}
+            other => panic!("unexpected phase {other:?}"),
+        }
+    }
+    for (tid, d) in depth {
+        assert_eq!(d, 0, "tid {tid}: {d} unbalanced begin event(s)");
+    }
+
+    // the folded export replays the same buffers without panicking and
+    // attributes every stack to a known root
+    let folded = obs::trace::to_folded();
+    for line in folded.lines() {
+        let (stack, us) = line.rsplit_once(' ').expect("folded line shape");
+        assert!(!stack.is_empty());
+        assert!(us.parse::<u64>().is_ok(), "bad self-time {us:?}");
+    }
+}
+
+/// Fit once (optionally slowed by a hang fault) and leave a manifest in
+/// a fresh run directory, as a table binary's `--out` would.
+fn run_into_dir(dir: &std::path::Path, hang: bool) {
+    obs::reset();
+    let _ = std::fs::remove_dir_all(dir);
+    let train = blob_data(240, 31);
+    let valid = blob_data(80, 32);
+    let plan = if hang {
+        FaultPlan::none().inject(1, Fault::Hang)
+    } else {
+        FaultPlan::none()
+    };
+    let mut sys = AutoSklearnStyle::with_faults(9, plan);
+    let mut budget = Budget::hours(0.4).unwrap();
+    // the deadline is what ends the hung trial: the fault spins until the
+    // cancellation token fires, booking ~1.5s of pure `trial` time
+    let deadline = Deadline::within(Duration::from_millis(1500));
+    let _ = sys
+        .fit_resumable(&train, &valid, &mut budget, &ResumePolicy::Fresh, deadline)
+        .unwrap();
+    obs::Manifest::new("obsgate")
+        .write_to(dir.to_str().unwrap())
+        .unwrap();
+}
+
+#[test]
+fn hang_fault_trips_the_phase_share_gate() {
+    let _g = guard();
+    let base_dir = std::env::temp_dir().join("obs_gate_base");
+    let hung_dir = std::env::temp_dir().join("obs_gate_hung");
+    run_into_dir(&base_dir, false);
+    run_into_dir(&hung_dir, true);
+
+    let base = load_run(&base_dir).unwrap();
+    let hung = load_run(&hung_dir).unwrap();
+    assert!(
+        base.ledger.iter().any(|r| r.phase == "trial"),
+        "baseline ledger has no trial phase: {:?}",
+        base.ledger
+    );
+
+    // a run diffed against itself is clean …
+    assert!(diff_runs(&base, &base, 25.0).is_empty());
+    // … while the hung run's `trial` share balloons past the band
+    let regs = diff_runs(&base, &hung, 25.0);
+    assert!(
+        regs.iter().any(|r| r.phase == "trial"),
+        "hang did not trip the trial-phase gate: {regs:?}"
+    );
+
+    let _ = std::fs::remove_dir_all(&base_dir);
+    let _ = std::fs::remove_dir_all(&hung_dir);
+}
+
+#[test]
+fn ledger_survives_the_manifest_roundtrip() {
+    let _g = guard();
+    obs::reset();
+    {
+        let _s = obs::ledger::scope("t.obsint.engine");
+        let _t = obs::ledger::phase("gemm");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    let dir = std::env::temp_dir().join("obs_roundtrip");
+    let _ = std::fs::remove_dir_all(&dir);
+    obs::Manifest::new("roundtrip")
+        .write_to(dir.to_str().unwrap())
+        .unwrap();
+    let data: RunData = load_run(&dir).unwrap();
+    let row = data
+        .ledger
+        .iter()
+        .find(|r| r.scope == "t.obsint.engine" && r.phase == "gemm")
+        .expect("booked phase missing from reloaded manifest");
+    assert!(row.ns >= 1_000_000, "2ms sleep booked only {}ns", row.ns);
+    assert_eq!(row.count, 1);
+    let _ = std::fs::remove_dir_all(&dir);
+}
