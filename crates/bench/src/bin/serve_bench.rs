@@ -1,0 +1,339 @@
+//! Load generator for `em-serve`: trains the fixture model, starts the
+//! server on an ephemeral port, drives it with keep-alive client
+//! threads and writes `BENCH_serve.json` with sustained QPS and exact
+//! (not bucketed) p50/p90/p99 latency.
+//!
+//! Every response is also checked for **bit-identity** against the
+//! offline `match_proba` of the same pair — the load test doubles as a
+//! serving-correctness gate, so a "fast" result can never hide a wrong
+//! one. The JSON float round-trip is exact by the `obs::json`
+//! shortest-roundtrip contract (f32 → f64 → text → f64 → f32).
+//!
+//! ```text
+//! serve_bench [--secs <s>] [--conns <n>] [--scale <f>] [--seed <n>]
+//!             [--out <dir>] [--check]
+//! ```
+//!
+//! `--check` runs a sub-second smoke pass, re-parses the JSON it wrote
+//! and exits non-zero on any error, mismatch or non-finite number — the
+//! CI `serve-smoke` job gate.
+
+use em_core::model::{ModelHost, ModelSpec};
+use em_data::{RecordPair, Schema, Split};
+use obs::json::{self, Json};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+struct Args {
+    secs: f64,
+    conns: usize,
+    scale: f64,
+    seed: u64,
+    out: String,
+    check: bool,
+}
+
+fn parse_args() -> Args {
+    let mut a = Args {
+        secs: 3.0,
+        conns: 4,
+        scale: 0.4,
+        seed: 11,
+        out: "results".to_owned(),
+        check: false,
+    };
+    let argv: Vec<String> = std::env::args().collect();
+    let mut i = 1;
+    while i < argv.len() {
+        let value = |i: usize| argv.get(i + 1).cloned().unwrap_or_default();
+        match argv[i].as_str() {
+            "--secs" => {
+                a.secs = value(i).parse().expect("--secs needs a number");
+                i += 2;
+            }
+            "--conns" => {
+                a.conns = value(i).parse().expect("--conns needs an integer");
+                i += 2;
+            }
+            "--scale" => {
+                a.scale = value(i).parse().expect("--scale needs a number");
+                i += 2;
+            }
+            "--seed" => {
+                a.seed = value(i).parse().expect("--seed needs an integer");
+                i += 2;
+            }
+            "--out" => {
+                a.out = value(i);
+                i += 2;
+            }
+            "--check" => {
+                a.check = true;
+                a.secs = a.secs.min(0.6);
+                a.conns = a.conns.min(2);
+                i += 1;
+            }
+            other => panic!("unknown flag {other}"),
+        }
+    }
+    a
+}
+
+fn entity_json(schema: &Schema, entity: &em_data::Entity) -> String {
+    let mut o = json::Obj::new();
+    for (i, attr) in schema.attributes().iter().enumerate() {
+        if let Some(v) = entity.value(i) {
+            o.str(&attr.name, v);
+        }
+    }
+    o.finish()
+}
+
+fn match_body(schema: &Schema, pair: &RecordPair) -> String {
+    let mut o = json::Obj::new();
+    o.raw("left", &entity_json(schema, &pair.left))
+        .raw("right", &entity_json(schema, &pair.right));
+    o.finish()
+}
+
+/// Read one HTTP response off a keep-alive stream; returns the body.
+fn read_response(stream: &mut TcpStream, buf: &mut Vec<u8>) -> Result<String, String> {
+    let mut chunk = [0u8; 8192];
+    loop {
+        if let Some(head_end) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
+            let head = String::from_utf8_lossy(&buf[..head_end]).to_string();
+            let content_length: usize = head
+                .lines()
+                .find_map(|l| {
+                    let (k, v) = l.split_once(':')?;
+                    k.eq_ignore_ascii_case("content-length")
+                        .then(|| v.trim().parse().ok())?
+                })
+                .ok_or("response without content-length")?;
+            let body_start = head_end + 4;
+            if buf.len() >= body_start + content_length {
+                if !head.starts_with("HTTP/1.1 200") {
+                    return Err(format!("non-200: {}", head.lines().next().unwrap_or("")));
+                }
+                let body = String::from_utf8_lossy(&buf[body_start..body_start + content_length])
+                    .to_string();
+                buf.drain(..body_start + content_length);
+                return Ok(body);
+            }
+        }
+        let n = stream.read(&mut chunk).map_err(|e| e.to_string())?;
+        if n == 0 {
+            return Err("connection closed mid-response".into());
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    }
+}
+
+struct ClientStats {
+    latencies_us: Vec<u64>,
+    errors: usize,
+    mismatches: usize,
+}
+
+fn drive_client(
+    addr: std::net::SocketAddr,
+    host: &ModelHost,
+    reference: &[f32],
+    offset: usize,
+    stop: &AtomicBool,
+) -> ClientStats {
+    let mut stats = ClientStats {
+        latencies_us: Vec::new(),
+        errors: 0,
+        mismatches: 0,
+    };
+    let pairs = host.dataset().split(Split::Test);
+    let schema = host.dataset().schema();
+    let mut stream = match TcpStream::connect(addr) {
+        Ok(s) => s,
+        Err(_) => {
+            stats.errors += 1;
+            return stats;
+        }
+    };
+    let _ = stream.set_nodelay(true);
+    let mut rx = Vec::new();
+    let mut i = offset;
+    while !stop.load(Ordering::Relaxed) {
+        let idx = i % pairs.len();
+        i += 1;
+        let body = match_body(schema, &pairs[idx]);
+        let req = format!(
+            "POST /match HTTP/1.1\r\ncontent-type: application/json\r\ncontent-length: {}\r\n\r\n{body}",
+            body.len()
+        );
+        let t0 = Instant::now();
+        if stream.write_all(req.as_bytes()).is_err() {
+            stats.errors += 1;
+            break;
+        }
+        match read_response(&mut stream, &mut rx) {
+            Ok(rsp_body) => {
+                stats.latencies_us.push(t0.elapsed().as_micros() as u64);
+                let served = json::parse(&rsp_body)
+                    .ok()
+                    .and_then(|v| v.get("p_match").and_then(Json::as_f64));
+                match served {
+                    Some(p) if (p as f32).to_bits() == reference[idx].to_bits() => {}
+                    _ => stats.mismatches += 1,
+                }
+            }
+            Err(_) => {
+                stats.errors += 1;
+                break;
+            }
+        }
+    }
+    stats
+}
+
+fn percentile(sorted_us: &[u64], q: f64) -> u64 {
+    if sorted_us.is_empty() {
+        return 0;
+    }
+    let rank = ((sorted_us.len() as f64 * q).ceil() as usize).max(1) - 1;
+    sorted_us[rank.min(sorted_us.len() - 1)]
+}
+
+fn main() {
+    let args = parse_args();
+    let spec = ModelSpec {
+        scale: args.scale,
+        data_seed: args.seed,
+        ..ModelSpec::fixture()
+    };
+    eprintln!(
+        "serve_bench: training fixture winner ({} scale {}) ...",
+        spec.dataset.code(),
+        spec.scale
+    );
+    let host = Arc::new(spec.train().expect("fixture training failed"));
+    let warmed = host.warm_cache();
+    let reference = host.match_proba(host.dataset().split(Split::Test));
+    eprintln!(
+        "serve_bench: {} ({} val F1 {:.4}), cache warm ({warmed} new), {} test pairs",
+        host.report().system,
+        host.spec().dataset.code(),
+        host.report().val_f1,
+        reference.len()
+    );
+
+    let config = em_serve::ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        ..em_serve::ServeConfig::from_env()
+    };
+    let handle = em_serve::serve(Arc::clone(&host), &config).expect("server failed to start");
+    let addr = handle.addr();
+    eprintln!(
+        "serve_bench: serving on http://{addr}, driving {} conns for {:.1}s",
+        args.conns, args.secs
+    );
+
+    let stop = AtomicBool::new(false);
+    let t0 = Instant::now();
+    let stats: Vec<ClientStats> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..args.conns.max(1))
+            .map(|c| {
+                let host = &host;
+                let reference = &reference;
+                let stop = &stop;
+                s.spawn(move || drive_client(addr, host, reference, c * 17, stop))
+            })
+            .collect();
+        std::thread::sleep(Duration::from_secs_f64(args.secs));
+        stop.store(true, Ordering::Relaxed);
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client thread panicked"))
+            .collect()
+    });
+    let elapsed = t0.elapsed().as_secs_f64();
+    let drained = handle.shutdown();
+
+    let mut latencies: Vec<u64> = stats
+        .iter()
+        .flat_map(|s| s.latencies_us.iter().copied())
+        .collect();
+    latencies.sort_unstable();
+    let errors: usize = stats.iter().map(|s| s.errors).sum();
+    let mismatches: usize = stats.iter().map(|s| s.mismatches).sum();
+    let requests = latencies.len();
+    let qps = requests as f64 / elapsed;
+    let mean_us = if requests == 0 {
+        0.0
+    } else {
+        latencies.iter().sum::<u64>() as f64 / requests as f64
+    };
+    let (p50, p90, p99) = (
+        percentile(&latencies, 0.50),
+        percentile(&latencies, 0.90),
+        percentile(&latencies, 0.99),
+    );
+
+    let mut lat = json::Obj::new();
+    lat.u64("p50", p50)
+        .u64("p90", p90)
+        .u64("p99", p99)
+        .f64("mean", mean_us);
+    let mut o = json::Obj::new();
+    o.str("run", "serve_bench")
+        .str("dataset", host.spec().dataset.code())
+        .str("system", host.report().system)
+        .f64("scale", args.scale)
+        .u64("seed", args.seed)
+        .u64("conns", args.conns as u64)
+        .f64("secs", elapsed)
+        .u64("requests", requests as u64)
+        .f64("qps", qps)
+        .raw("latency_us", &lat.finish())
+        .u64("errors", errors as u64)
+        .u64("mismatches", mismatches as u64)
+        .bool("drained", drained);
+    let report = o.finish();
+
+    std::fs::create_dir_all(&args.out).expect("cannot create --out dir");
+    let path = std::path::Path::new(&args.out).join("BENCH_serve.json");
+    std::fs::write(&path, format!("{report}\n")).expect("cannot write BENCH_serve.json");
+
+    println!("## serve_bench\n");
+    println!("| metric | value |");
+    println!("|---|---|");
+    println!("| requests | {requests} |");
+    println!("| sustained QPS | {qps:.0} |");
+    println!("| p50 latency | {:.2} ms |", p50 as f64 / 1000.0);
+    println!("| p90 latency | {:.2} ms |", p90 as f64 / 1000.0);
+    println!("| p99 latency | {:.2} ms |", p99 as f64 / 1000.0);
+    println!("| bit-identity mismatches | {mismatches} |");
+    println!("| transport errors | {errors} |");
+    println!("| drained cleanly | {drained} |");
+    println!("\nwrote {}", path.display());
+
+    if args.check {
+        let text = std::fs::read_to_string(&path).expect("re-read failed");
+        let v = json::parse(&text).expect("BENCH_serve.json is not valid JSON");
+        let requests = v.get("requests").and_then(Json::as_u64).unwrap_or(0);
+        let qps = v.get("qps").and_then(Json::as_f64).unwrap_or(f64::NAN);
+        let ok = requests > 0
+            && qps.is_finite()
+            && mismatches == 0
+            && errors == 0
+            && drained
+            && v.get("latency_us")
+                .and_then(|l| l.get("p99"))
+                .and_then(Json::as_u64)
+                .is_some();
+        if !ok {
+            eprintln!("serve_bench --check FAILED: requests={requests} qps={qps} mismatches={mismatches} errors={errors} drained={drained}");
+            std::process::exit(1);
+        }
+        println!("serve_bench --check OK");
+    }
+}

@@ -34,6 +34,39 @@ impl<'a> EmAdapter<'a> {
         }
     }
 
+    /// Build an adapter that *owns* its embedder via `Arc`, for
+    /// long-running holders (a serving process, [`crate::model::ModelHost`])
+    /// where no enclosing scope can outlive the adapter. Feature values
+    /// are identical to a [`new`](Self::new)-built adapter over the same
+    /// embedder.
+    pub fn shared(
+        mode: TokenizerMode,
+        embedder: std::sync::Arc<dyn SequenceEmbedder + Send>,
+        combiner: Combiner,
+    ) -> EmAdapter<'static> {
+        let name = format!("{}-{}", mode.label(), embedder.name());
+        EmAdapter {
+            mode,
+            cache: EmbeddingCache::shared(embedder),
+            combiner,
+            name,
+        }
+    }
+
+    /// Pre-embed the token sequences of `pairs` into the cache (see
+    /// [`embed::cache::EmbeddingCache::warm`]); entries stay pinned for
+    /// the adapter's lifetime. Returns the number of distinct sequences
+    /// newly cached. A serving process calls this with the training pairs
+    /// at startup so first-request latency doesn't pay the embedder cost
+    /// for every attribute value the corpus already contains.
+    pub fn warm(&self, pairs: &[RecordPair], schema: &Schema) -> usize {
+        let mut sequences: Vec<String> = Vec::new();
+        for pair in pairs {
+            sequences.extend(tokenize_pair(pair, schema, self.mode));
+        }
+        self.cache.warm(&sequences)
+    }
+
     /// Adapter description ("Hybrid-Albert").
     pub fn name(&self) -> &str {
         &self.name
@@ -54,6 +87,35 @@ impl<'a> EmAdapter<'a> {
         let sequences = tokenize_pair(pair, schema, self.mode);
         let embeddings: Vec<Vec<f32>> = sequences.iter().map(|s| self.cache.embed(s)).collect();
         self.combiner.combine(&embeddings)
+    }
+
+    /// Encode a batch of unlabeled record pairs into a feature matrix —
+    /// the serving microbatch path. Tokenization stays on the calling
+    /// thread and embedding fans out through
+    /// [`EmbeddingCache::embed_batch`], exactly like
+    /// [`encode_split`](Self::encode_split); row `i` is bit-identical to
+    /// `encode_pair(&pairs[i], schema)`, whatever the batch size or
+    /// worker count.
+    pub fn encode_pairs(&self, pairs: &[RecordPair], schema: &Schema) -> Matrix {
+        let mut sequences: Vec<String> = Vec::new();
+        let mut ranges = Vec::with_capacity(pairs.len());
+        {
+            let _t = obs::ledger::phase("tokenize");
+            for pair in pairs {
+                let start = sequences.len();
+                sequences.extend(tokenize_pair(pair, schema, self.mode));
+                ranges.push(start..sequences.len());
+            }
+        }
+        let embeddings = {
+            let _t = obs::ledger::phase("embed");
+            self.cache.embed_batch(&sequences)
+        };
+        let rows: Vec<Vec<f32>> = ranges
+            .into_iter()
+            .map(|r| self.combiner.combine(&embeddings[r]))
+            .collect();
+        Matrix::from_rows(&rows)
     }
 
     /// Encode one split of a dataset into features + labels.
@@ -158,6 +220,28 @@ mod tests {
         assert_eq!(a.out_dim(), 8);
         let b = EmAdapter::new(TokenizerMode::Hybrid, &emb, Combiner::AverageAndSpread);
         assert_eq!(b.out_dim(), 16);
+    }
+
+    #[test]
+    fn shared_adapter_and_batch_encode_match_per_pair_encode() {
+        let d = MagellanDataset::SBR.profile().generate_scaled(4, 0.5);
+        let adapter = EmAdapter::shared(
+            TokenizerMode::Hybrid,
+            std::sync::Arc::new(HashEmbedder { dim: 32 }),
+            Combiner::Average,
+        );
+        let pairs = d.split(Split::Train);
+        let warmed = adapter.warm(pairs, d.schema());
+        assert!(warmed > 0);
+        let m = adapter.encode_pairs(pairs, d.schema());
+        assert_eq!(m.rows(), pairs.len());
+        for (i, pair) in pairs.iter().enumerate() {
+            let single = adapter.encode_pair(pair, d.schema());
+            assert_eq!(m.row(i), &single[..], "row {i} differs");
+        }
+        // warm() covered every sequence, so batch encoding was all hits
+        let (hits, misses) = adapter.cache_stats();
+        assert!(hits > 0 && misses == 0, "hits {hits}, misses {misses}");
     }
 
     #[test]

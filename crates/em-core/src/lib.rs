@@ -30,12 +30,14 @@
 pub mod adapter;
 pub mod baseline;
 pub mod combiner;
+pub mod model;
 pub mod pipeline;
 pub mod tokenizer;
 
 pub use adapter::EmAdapter;
 pub use automl::{Deadline, ResumePolicy, TrialError};
 pub use combiner::Combiner;
+pub use model::{load_model, EmbedderSpec, EngineKind, ModelError, ModelHost, ModelSpec};
 pub use pipeline::{
     run_encoded, run_encoded_resumable, run_pipeline, run_pipeline_resumable, run_raw,
     PipelineConfig, PipelineResult,

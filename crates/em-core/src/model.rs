@@ -1,0 +1,586 @@
+//! Winner export/load: turn a finished AutoML search into a deployable,
+//! verifiable model bundle.
+//!
+//! Everything in this stack is deterministic by contract — datasets are
+//! generated from seeds, embedders are frozen, engines replay
+//! byte-identically at any thread count (see `tests/determinism.rs` and
+//! the PR 4 journal machinery). A "trained model" is therefore fully
+//! described by its **recipe** ([`ModelSpec`]) plus a **fingerprint** of
+//! the search outcome: exporting writes both as a small JSON file, and
+//! loading re-runs the recipe and *verifies* the refit against the
+//! recorded fingerprint bit-for-bit ([`ModelError::FingerprintMismatch`]
+//! when the environment drifted). This trades startup compute for a
+//! bundle that can never go stale or desynchronize from the code — the
+//! same trade the search journal makes for crash recovery.
+//!
+//! [`ModelHost`] is the loaded artifact a serving process keeps hot: the
+//! EM adapter (with its sharded embedding cache), the train-fitted
+//! feature scaler and the fitted engine, behind one thread-safe
+//! [`match_proba`](ModelHost::match_proba) entry point whose outputs are
+//! bit-identical to the offline `predict` path on the same pairs.
+
+use crate::adapter::EmAdapter;
+use crate::combiner::Combiner;
+use crate::tokenizer::{tokenize_pair, TokenizerMode};
+use automl::{
+    gluon_like::AutoGluonStyle, h2o_like::H2oStyle, halving::SuccessiveHalving,
+    sklearn_like::AutoSklearnStyle, AutoMlSystem, Budget, FitReport, TrialError,
+};
+use em_data::{EmDataset, MagellanDataset, RecordPair, Schema, Split};
+use embed::{HashingEmbedder, LocalEmbedder, SequenceEmbedder};
+use ml::dataset::TabularData;
+use ml::preprocess::StandardScaler;
+use obs::json::{self, Json};
+use std::path::Path;
+use std::sync::Arc;
+
+/// Which frozen embedder a recipe uses. Only embedders that can be
+/// rebuilt deterministically from the recipe itself are expressible here.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum EmbedderSpec {
+    /// [`embed::HashingEmbedder`] — training-free, instant; the fixture
+    /// and smoke-test embedder.
+    Hashing {
+        /// Output width (even).
+        dim: usize,
+    },
+    /// [`embed::LocalEmbedder`] — word2vec trained on the tokenized
+    /// train split of the recipe's own dataset (the paper's §6(2) local
+    /// embedding), then frozen.
+    LocalW2v {
+        /// Word-vector width.
+        dim: usize,
+        /// Training seed.
+        seed: u64,
+    },
+}
+
+/// Which AutoML engine a recipe runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineKind {
+    /// [`automl::sklearn_like::AutoSklearnStyle`].
+    AutoSklearn,
+    /// [`automl::gluon_like::AutoGluonStyle`].
+    AutoGluon,
+    /// [`automl::h2o_like::H2oStyle`].
+    H2o,
+    /// [`automl::halving::SuccessiveHalving`].
+    Halving,
+}
+
+impl EngineKind {
+    /// The engine's system name as it appears in reports ("AutoSklearn", …).
+    pub fn system_name(self) -> &'static str {
+        match self {
+            EngineKind::AutoSklearn => "AutoSklearn",
+            EngineKind::AutoGluon => "AutoGluon",
+            EngineKind::H2o => "H2OAutoML",
+            EngineKind::Halving => "SuccessiveHalving",
+        }
+    }
+
+    /// Inverse of [`system_name`](Self::system_name).
+    pub fn from_system_name(name: &str) -> Option<EngineKind> {
+        [
+            EngineKind::AutoSklearn,
+            EngineKind::AutoGluon,
+            EngineKind::H2o,
+            EngineKind::Halving,
+        ]
+        .into_iter()
+        .find(|k| k.system_name() == name)
+    }
+
+    fn build(self, seed: u64) -> Box<dyn AutoMlSystem + Send + Sync> {
+        match self {
+            EngineKind::AutoSklearn => Box::new(AutoSklearnStyle::new(seed)),
+            EngineKind::AutoGluon => Box::new(AutoGluonStyle::new(seed)),
+            EngineKind::H2o => Box::new(H2oStyle::new(seed)),
+            EngineKind::Halving => Box::new(SuccessiveHalving::new(seed)),
+        }
+    }
+}
+
+/// The full training recipe of a deployable model: dataset, adapter
+/// configuration, engine and budget. Two runs of the same spec produce
+/// bit-identical models at any `par` thread count (the workspace
+/// determinism contract), which is what makes [`export`](ModelHost::export)
+/// / [`load_model`] sound.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelSpec {
+    /// Which Magellan benchmark dataset to train on.
+    pub dataset: MagellanDataset,
+    /// Dataset scale in `(0, 1]` (fraction of the Table 1 size).
+    pub scale: f64,
+    /// Generation seed for the dataset.
+    pub data_seed: u64,
+    /// Tokenizer mode of the EM adapter.
+    pub mode: TokenizerMode,
+    /// Embedder recipe.
+    pub embedder: EmbedderSpec,
+    /// Combiner stage of the EM adapter.
+    pub combiner: Combiner,
+    /// AutoML engine to search with.
+    pub engine: EngineKind,
+    /// Engine seed.
+    pub engine_seed: u64,
+    /// Search budget in paper-hours.
+    pub budget_hours: f64,
+}
+
+impl ModelSpec {
+    /// A small, fast fixture recipe (hashed embedder, S-BR at low scale,
+    /// sub-minute search): what CI smoke jobs, doctests and the
+    /// `serve_bench` default use.
+    pub fn fixture() -> ModelSpec {
+        ModelSpec {
+            dataset: MagellanDataset::SBR,
+            scale: 0.4,
+            data_seed: 11,
+            mode: TokenizerMode::Hybrid,
+            embedder: EmbedderSpec::Hashing { dim: 48 },
+            combiner: Combiner::Average,
+            engine: EngineKind::AutoSklearn,
+            engine_seed: 1,
+            budget_hours: 0.2,
+        }
+    }
+
+    fn build_embedder(&self, dataset: &EmDataset) -> Arc<dyn SequenceEmbedder + Send> {
+        match self.embedder {
+            EmbedderSpec::Hashing { dim } => Arc::new(HashingEmbedder::new(dim)),
+            EmbedderSpec::LocalW2v { dim, seed } => {
+                // train on the tokenized train split — deterministic given
+                // (dataset, mode), so the recipe fully determines the model
+                let mut texts: Vec<String> = Vec::new();
+                for pair in dataset.split(Split::Train) {
+                    texts.extend(tokenize_pair(pair, dataset.schema(), self.mode));
+                }
+                Arc::new(LocalEmbedder::train(&texts, dim, seed))
+            }
+        }
+    }
+
+    /// Run the recipe: generate the dataset, build the embedder, encode
+    /// the splits, fit the scaler and search with the engine — the exact
+    /// operation sequence of [`crate::pipeline::run_encoded`], so the
+    /// resulting host predicts bit-identically to the offline pipeline.
+    pub fn train(&self) -> Result<ModelHost, ModelError> {
+        let _s = obs::span("model.train");
+        let dataset = self
+            .dataset
+            .profile()
+            .generate_scaled(self.data_seed, self.scale);
+        let embedder = self.build_embedder(&dataset);
+        let adapter = EmAdapter::shared(self.mode, embedder, self.combiner);
+        let (train, valid) = {
+            let _s = obs::span("model.encode");
+            (
+                adapter.encode_split(&dataset, Split::Train),
+                adapter.encode_split(&dataset, Split::Validation),
+            )
+        };
+        // mirror pipeline::run_encoded: scale on train statistics
+        let scaler = StandardScaler::fit(&train.x);
+        let train = TabularData::new(scaler.transform(&train.x), train.y.clone());
+        let valid = TabularData::new(scaler.transform(&valid.x), valid.y.clone());
+        let mut budget = Budget::hours(self.budget_hours)?;
+        let mut system = self.engine.build(self.engine_seed);
+        let report = {
+            let _s = obs::span("model.fit");
+            system.fit(&train, &valid, &mut budget)?
+        };
+        Ok(ModelHost {
+            spec: self.clone(),
+            dataset,
+            adapter,
+            scaler,
+            system,
+            report,
+        })
+    }
+
+    fn to_json(&self) -> String {
+        let mut e = json::Obj::new();
+        match self.embedder {
+            EmbedderSpec::Hashing { dim } => {
+                e.str("type", "hashing").u64("dim", dim as u64);
+            }
+            EmbedderSpec::LocalW2v { dim, seed } => {
+                e.str("type", "local-w2v")
+                    .u64("dim", dim as u64)
+                    .u64("seed", seed);
+            }
+        }
+        let mut o = json::Obj::new();
+        o.str("dataset", self.dataset.code())
+            .f64("scale", self.scale)
+            .u64("data_seed", self.data_seed)
+            .str("tokenizer", self.mode.label())
+            .raw("embedder", &e.finish())
+            .str("combiner", self.combiner.label())
+            .str("engine", self.engine.system_name())
+            .u64("engine_seed", self.engine_seed)
+            .f64("budget_hours", self.budget_hours);
+        o.finish()
+    }
+
+    fn from_json(v: &Json) -> Result<ModelSpec, ModelError> {
+        let field = |k: &str| {
+            v.get(k)
+                .ok_or_else(|| ModelError::Malformed(format!("spec is missing '{k}'")))
+        };
+        let dataset_code = field("dataset")?
+            .as_str()
+            .ok_or_else(|| ModelError::Malformed("'dataset' must be a string".into()))?;
+        let dataset = MagellanDataset::from_code(dataset_code)
+            .ok_or_else(|| ModelError::Malformed(format!("unknown dataset '{dataset_code}'")))?;
+        let mode_label = field("tokenizer")?.as_str().unwrap_or_default();
+        let mode = [
+            TokenizerMode::Unstructured,
+            TokenizerMode::AttributeBased,
+            TokenizerMode::Hybrid,
+        ]
+        .into_iter()
+        .find(|m| m.label().eq_ignore_ascii_case(mode_label))
+        .ok_or_else(|| ModelError::Malformed(format!("unknown tokenizer '{mode_label}'")))?;
+        let comb_label = field("combiner")?.as_str().unwrap_or_default();
+        let combiner = [Combiner::Average, Combiner::Max, Combiner::AverageAndSpread]
+            .into_iter()
+            .find(|c| c.label().eq_ignore_ascii_case(comb_label))
+            .ok_or_else(|| ModelError::Malformed(format!("unknown combiner '{comb_label}'")))?;
+        let engine_name = field("engine")?.as_str().unwrap_or_default();
+        let engine = EngineKind::from_system_name(engine_name)
+            .ok_or_else(|| ModelError::Malformed(format!("unknown engine '{engine_name}'")))?;
+        let emb = field("embedder")?;
+        let dim = emb.get("dim").and_then(Json::as_u64).unwrap_or(0) as usize;
+        let embedder = match emb.get("type").and_then(Json::as_str) {
+            Some("hashing") => EmbedderSpec::Hashing { dim },
+            Some("local-w2v") => EmbedderSpec::LocalW2v {
+                dim,
+                seed: emb.get("seed").and_then(Json::as_u64).unwrap_or(0),
+            },
+            other => {
+                return Err(ModelError::Malformed(format!(
+                    "unknown embedder type {other:?}"
+                )))
+            }
+        };
+        Ok(ModelSpec {
+            dataset,
+            scale: field("scale")?.as_f64().unwrap_or(1.0),
+            data_seed: field("data_seed")?.as_u64().unwrap_or(0),
+            mode,
+            embedder,
+            combiner,
+            engine,
+            engine_seed: field("engine_seed")?.as_u64().unwrap_or(0),
+            budget_hours: field("budget_hours")?.as_f64().unwrap_or(0.0),
+        })
+    }
+}
+
+/// Why a model bundle could not be produced or loaded.
+#[derive(Debug)]
+pub enum ModelError {
+    /// Reading or writing the bundle file failed.
+    Io(std::io::Error),
+    /// The bundle file is not valid JSON or misses required fields.
+    Malformed(String),
+    /// The recipe re-ran but its outcome disagrees with the recorded
+    /// fingerprint: the code, kernel path or environment changed since
+    /// export. The payload names the first differing field.
+    FingerprintMismatch(String),
+    /// The training run itself failed.
+    Train(TrialError),
+}
+
+impl std::fmt::Display for ModelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ModelError::Io(e) => write!(f, "model bundle I/O error: {e}"),
+            ModelError::Malformed(m) => write!(f, "malformed model bundle: {m}"),
+            ModelError::FingerprintMismatch(m) => {
+                write!(f, "model fingerprint mismatch after refit: {m}")
+            }
+            ModelError::Train(e) => write!(f, "model training failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+impl From<std::io::Error> for ModelError {
+    fn from(e: std::io::Error) -> Self {
+        ModelError::Io(e)
+    }
+}
+
+impl From<TrialError> for ModelError {
+    fn from(e: TrialError) -> Self {
+        ModelError::Train(e)
+    }
+}
+
+/// A loaded, ready-to-serve model: adapter (with hot embedding cache),
+/// train-fitted scaler and fitted AutoML engine. All methods take
+/// `&self` and the type is `Send + Sync`, so one host serves concurrent
+/// requests by shared reference.
+pub struct ModelHost {
+    spec: ModelSpec,
+    dataset: EmDataset,
+    adapter: EmAdapter<'static>,
+    scaler: StandardScaler,
+    system: Box<dyn AutoMlSystem + Send + Sync>,
+    report: FitReport,
+}
+
+impl ModelHost {
+    /// The recipe this host was built from.
+    pub fn spec(&self) -> &ModelSpec {
+        &self.spec
+    }
+
+    /// The generated dataset the recipe names (its test split is what
+    /// load generators and bit-identity checks draw pairs from).
+    pub fn dataset(&self) -> &EmDataset {
+        &self.dataset
+    }
+
+    /// The schema served entities must follow.
+    pub fn schema(&self) -> &Schema {
+        self.dataset.schema()
+    }
+
+    /// The search report of the winning fit.
+    pub fn report(&self) -> &FitReport {
+        &self.report
+    }
+
+    /// The validation-tuned decision threshold.
+    pub fn threshold(&self) -> f32 {
+        self.system.threshold()
+    }
+
+    /// Match probability per pair — the serving hot path. Encoding,
+    /// scaling and prediction are all row-independent, so any batch
+    /// partition of the same pairs produces bit-identical probabilities,
+    /// and each equals the offline `predict` on the same encoded rows.
+    pub fn match_proba(&self, pairs: &[RecordPair]) -> Vec<f32> {
+        if pairs.is_empty() {
+            return Vec::new();
+        }
+        let x = self.adapter.encode_pairs(pairs, self.dataset.schema());
+        let xs = self.scaler.transform(&x);
+        let _t = obs::ledger::phase("serve_predict");
+        self.system.predict_proba(&xs)
+    }
+
+    /// Pre-embed the training corpus into the adapter's cache (entries
+    /// stay pinned — the cache never evicts). Returns the number of
+    /// distinct sequences cached. Serving processes call this at startup.
+    pub fn warm_cache(&self) -> usize {
+        self.adapter
+            .warm(self.dataset.split(Split::Train), self.dataset.schema())
+    }
+
+    /// Embedding-cache `(hits, misses)` since startup / the last warm.
+    pub fn cache_stats(&self) -> (usize, usize) {
+        self.adapter.cache_stats()
+    }
+
+    fn fingerprint_json(&self) -> String {
+        let best = self.report.leaderboard.best();
+        let mut o = json::Obj::new();
+        o.str("system", self.report.system)
+            .u64("val_f1_bits", self.report.val_f1.to_bits())
+            .u64("threshold_bits", self.threshold().to_bits() as u64)
+            .u64("units_used_bits", self.report.units_used.to_bits())
+            .u64("n_trials", self.report.leaderboard.len() as u64)
+            .str("best_model", best.map(|b| b.model.as_str()).unwrap_or(""));
+        o.finish()
+    }
+
+    /// Write the recipe + outcome fingerprint as a JSON bundle at `path`.
+    pub fn export(&self, path: &Path) -> Result<(), ModelError> {
+        let mut o = json::Obj::new();
+        o.str("kind", "automl-em-model")
+            .u64("version", 1)
+            .raw("spec", &self.spec.to_json())
+            .raw("fingerprint", &self.fingerprint_json());
+        let mut text = o.finish();
+        text.push('\n');
+        std::fs::write(path, text)?;
+        Ok(())
+    }
+
+    fn verify(&self, fp: &Json) -> Result<(), ModelError> {
+        let mismatch = |field: &str, want: String, got: String| {
+            Err(ModelError::FingerprintMismatch(format!(
+                "{field}: recorded {want}, refit produced {got}"
+            )))
+        };
+        if let Some(sys) = fp.get("system").and_then(Json::as_str) {
+            if sys != self.report.system {
+                return mismatch("system", sys.into(), self.report.system.into());
+            }
+        }
+        for (field, got) in [
+            ("val_f1_bits", self.report.val_f1.to_bits()),
+            ("threshold_bits", self.threshold().to_bits() as u64),
+            ("units_used_bits", self.report.units_used.to_bits()),
+            ("n_trials", self.report.leaderboard.len() as u64),
+        ] {
+            if let Some(want) = fp.get(field).and_then(Json::as_u64) {
+                if want != got {
+                    return mismatch(field, want.to_string(), got.to_string());
+                }
+            }
+        }
+        if let Some(best) = fp.get("best_model").and_then(Json::as_str) {
+            let got = self
+                .report
+                .leaderboard
+                .best()
+                .map(|b| b.model.as_str())
+                .unwrap_or("");
+            if best != got {
+                return mismatch("best_model", best.into(), got.into());
+            }
+        }
+        Ok(())
+    }
+}
+
+impl std::fmt::Debug for ModelHost {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ModelHost")
+            .field("spec", &self.spec)
+            .field("system", &self.report.system)
+            .field("val_f1", &self.report.val_f1)
+            .field("threshold", &self.threshold())
+            .finish()
+    }
+}
+
+/// Load a bundle written by [`ModelHost::export`]: parse the recipe,
+/// re-run it deterministically and verify the refit outcome against the
+/// recorded fingerprint bit-for-bit. An `Ok` host is therefore *provably*
+/// the exported model, not merely a model of the same shape.
+pub fn load_model(path: &Path) -> Result<ModelHost, ModelError> {
+    let _s = obs::span("model.load");
+    let text = std::fs::read_to_string(path)?;
+    let v = json::parse(&text).map_err(|e| ModelError::Malformed(e.to_string()))?;
+    match v.get("kind").and_then(Json::as_str) {
+        Some("automl-em-model") => {}
+        other => {
+            return Err(ModelError::Malformed(format!(
+                "not a model bundle (kind {other:?})"
+            )))
+        }
+    }
+    let spec = ModelSpec::from_json(
+        v.get("spec")
+            .ok_or_else(|| ModelError::Malformed("missing 'spec'".into()))?,
+    )?;
+    let host = spec.train()?;
+    if let Some(fp) = v.get("fingerprint") {
+        host.verify(fp)?;
+    }
+    obs::emit(
+        "model.loaded",
+        &[
+            ("dataset", obs::Value::Str(spec.dataset.code().into())),
+            ("system", obs::Value::Str(host.report.system.into())),
+            ("val_f1", obs::Value::F64(host.report.val_f1)),
+        ],
+    );
+    Ok(host)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_spec() -> ModelSpec {
+        ModelSpec {
+            scale: 0.25,
+            budget_hours: 0.1,
+            ..ModelSpec::fixture()
+        }
+    }
+
+    #[test]
+    fn spec_json_round_trips() {
+        let spec = ModelSpec {
+            embedder: EmbedderSpec::LocalW2v { dim: 12, seed: 9 },
+            engine: EngineKind::Halving,
+            ..tiny_spec()
+        };
+        let v = json::parse(&spec.to_json()).unwrap();
+        assert_eq!(ModelSpec::from_json(&v).unwrap(), spec);
+    }
+
+    #[test]
+    fn export_load_verifies_and_serves_identical_probs() {
+        let dir = std::env::temp_dir().join("automl_em_model_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("winner.json");
+        let spec = tiny_spec();
+        let host = spec.train().unwrap();
+        host.export(&path).unwrap();
+        let loaded = load_model(&path).unwrap();
+        let pairs = host.dataset().split(Split::Test);
+        let a = host.match_proba(pairs);
+        let b = loaded.match_proba(pairs);
+        assert_eq!(
+            a.iter().map(|p| p.to_bits()).collect::<Vec<_>>(),
+            b.iter().map(|p| p.to_bits()).collect::<Vec<_>>()
+        );
+        assert!(a.iter().all(|p| p.is_finite()));
+    }
+
+    #[test]
+    fn tampered_fingerprint_is_rejected() {
+        let dir = std::env::temp_dir().join("automl_em_model_test_tamper");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("winner.json");
+        let host = tiny_spec().train().unwrap();
+        host.export(&path).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let tampered = text.replace("\"n_trials\":", "\"n_trials\":9");
+        assert_ne!(text, tampered);
+        std::fs::write(&path, tampered).unwrap();
+        match load_model(&path) {
+            Err(ModelError::FingerprintMismatch(m)) => {
+                assert!(m.contains("n_trials"), "{m}");
+            }
+            other => panic!("expected fingerprint mismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn garbage_bundle_is_malformed() {
+        let dir = std::env::temp_dir().join("automl_em_model_test_bad");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.json");
+        std::fs::write(&path, "{\"kind\":\"something-else\"}").unwrap();
+        assert!(matches!(load_model(&path), Err(ModelError::Malformed(_))));
+        std::fs::write(&path, "not json at all").unwrap();
+        assert!(matches!(load_model(&path), Err(ModelError::Malformed(_))));
+    }
+
+    #[test]
+    fn warm_cache_pins_training_corpus() {
+        let host = tiny_spec().train().unwrap();
+        // training already encoded the train split, so the cache holds the
+        // full corpus and warm adds nothing new — but it resets the stats
+        let warmed = host.warm_cache();
+        assert_eq!(warmed, 0);
+        // every training sequence is cached: re-encoding train is all hits
+        let _ = host.match_proba(host.dataset().split(Split::Train));
+        let (hits, misses) = host.cache_stats();
+        assert!(hits > 0, "hits {hits} misses {misses}");
+        assert_eq!(misses, 0, "train split should be fully warmed");
+    }
+}

@@ -192,6 +192,14 @@ impl MagellanDataset {
     pub fn code(self) -> &'static str {
         self.profile().code
     }
+
+    /// Inverse of [`code`](Self::code), case-insensitive (`"s-br"` works):
+    /// how serialized model recipes and CLI flags name a dataset.
+    pub fn from_code(code: &str) -> Option<MagellanDataset> {
+        Self::ALL
+            .into_iter()
+            .find(|d| d.code().eq_ignore_ascii_case(code))
+    }
 }
 
 /// A Table 1 row plus the parameters our generator needs to realize it.
@@ -320,6 +328,18 @@ pub fn magellan_benchmark() -> Vec<DatasetProfile> {
 mod tests {
     use super::*;
     use crate::dataset::Split;
+
+    #[test]
+    fn code_round_trips() {
+        for d in MagellanDataset::ALL {
+            assert_eq!(MagellanDataset::from_code(d.code()), Some(d));
+        }
+        assert_eq!(
+            MagellanDataset::from_code("s-br"),
+            Some(MagellanDataset::SBR)
+        );
+        assert_eq!(MagellanDataset::from_code("nope"), None);
+    }
 
     #[test]
     fn table1_inventory() {

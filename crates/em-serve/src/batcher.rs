@@ -1,0 +1,318 @@
+//! The request coalescer: many small `/match` requests become few
+//! GEMM-sized `match_proba` calls.
+//!
+//! Connection threads [`submit`](Batcher::submit) their pairs into a
+//! bounded queue and block on a per-job waiter; worker threads pull
+//! *microbatches* off the queue — up to `max_batch` pairs, or whatever
+//! accumulated within a `linger` window of the oldest queued job — run
+//! one fused encode→scale→predict pass and scatter the probabilities
+//! back to the waiters. Because every stage of
+//! [`em_core::model::ModelHost::match_proba`] is row-independent, the
+//! probabilities are bit-identical however requests get grouped: the
+//! coalescer changes latency and throughput, never answers.
+//!
+//! Admission is explicit: a full queue rejects with
+//! [`Rejected::Overloaded`] (HTTP 429) and a draining batcher with
+//! [`Rejected::Draining`] (HTTP 503). Shutdown is *lossless* — workers
+//! keep pulling until the queue is empty, so every job admitted before
+//! [`shutdown`](Batcher::shutdown) still gets its answer.
+
+use em_core::model::ModelHost;
+use em_data::RecordPair;
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Why a submission was refused at the door.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Rejected {
+    /// The queue already holds the configured maximum number of pairs.
+    Overloaded,
+    /// The batcher is shutting down and no longer admits work.
+    Draining,
+}
+
+/// The completion slot a submitter blocks on.
+#[derive(Debug, Default)]
+pub struct Waiter {
+    slot: Mutex<Option<Vec<f32>>>,
+    done: Condvar,
+}
+
+impl Waiter {
+    /// Block until the worker fills in this job's probabilities.
+    pub fn wait(&self) -> Vec<f32> {
+        let mut slot = self.slot.lock().unwrap_or_else(|p| p.into_inner());
+        loop {
+            if let Some(out) = slot.take() {
+                return out;
+            }
+            slot = self.done.wait(slot).unwrap_or_else(|p| p.into_inner());
+        }
+    }
+
+    fn fill(&self, out: Vec<f32>) {
+        let mut slot = self.slot.lock().unwrap_or_else(|p| p.into_inner());
+        *slot = Some(out);
+        self.done.notify_all();
+    }
+}
+
+struct Job {
+    pairs: Vec<RecordPair>,
+    waiter: Arc<Waiter>,
+}
+
+struct State {
+    queue: VecDeque<Job>,
+    queued_pairs: usize,
+    draining: bool,
+}
+
+struct Inner {
+    state: Mutex<State>,
+    arrived: Condvar,
+    max_batch: usize,
+    max_queued_pairs: usize,
+    linger: Duration,
+}
+
+/// The coalescing queue handle. Cheap to clone; all clones share one
+/// queue.
+#[derive(Clone)]
+pub struct Batcher {
+    inner: Arc<Inner>,
+}
+
+impl Batcher {
+    /// Build a batcher that groups up to `max_batch` pairs per predict
+    /// call, admits at most `max_queued_pairs` queued pairs, and lets a
+    /// non-full batch linger for `linger` after its first job before
+    /// flushing.
+    pub fn new(max_batch: usize, max_queued_pairs: usize, linger: Duration) -> Self {
+        Self {
+            inner: Arc::new(Inner {
+                state: Mutex::new(State {
+                    queue: VecDeque::new(),
+                    queued_pairs: 0,
+                    draining: false,
+                }),
+                arrived: Condvar::new(),
+                max_batch: max_batch.max(1),
+                max_queued_pairs: max_queued_pairs.max(1),
+                linger,
+            }),
+        }
+    }
+
+    /// Enqueue one job (any number of pairs ≥ 1) for the next
+    /// microbatch. Returns the waiter to block on, or the typed refusal.
+    pub fn submit(&self, pairs: Vec<RecordPair>) -> Result<Arc<Waiter>, Rejected> {
+        let mut st = self.lock();
+        if st.draining {
+            obs::counter("serve.rejected.draining").inc();
+            return Err(Rejected::Draining);
+        }
+        if st.queued_pairs + pairs.len() > self.inner.max_queued_pairs {
+            obs::counter("serve.rejected.overload").inc();
+            return Err(Rejected::Overloaded);
+        }
+        let waiter = Arc::new(Waiter::default());
+        st.queued_pairs += pairs.len();
+        st.queue.push_back(Job {
+            pairs,
+            waiter: Arc::clone(&waiter),
+        });
+        obs::gauge("serve.queue.depth").set(st.queued_pairs as f64);
+        drop(st);
+        self.inner.arrived.notify_all();
+        Ok(waiter)
+    }
+
+    /// Stop admitting work. Already-queued jobs will still be processed;
+    /// worker loops exit once the queue runs dry.
+    pub fn shutdown(&self) {
+        self.lock().draining = true;
+        self.inner.arrived.notify_all();
+    }
+
+    /// Pairs currently queued (for tests and capacity introspection).
+    pub fn queued_pairs(&self) -> usize {
+        self.lock().queued_pairs
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, State> {
+        self.inner.state.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// The worker loop: call from a dedicated thread with the shared
+    /// model host. Returns when the batcher is draining *and* the queue
+    /// is empty — never abandons an admitted job.
+    pub fn run_worker(&self, host: &ModelHost) {
+        loop {
+            let batch = match self.next_batch() {
+                Some(b) => b,
+                None => return,
+            };
+            let n_pairs: usize = batch.iter().map(|j| j.pairs.len()).sum();
+            obs::histogram(
+                "serve.batch_pairs",
+                &[1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0],
+            )
+            .observe(n_pairs as f64);
+            let mut all: Vec<RecordPair> = Vec::with_capacity(n_pairs);
+            for job in &batch {
+                all.extend(job.pairs.iter().cloned());
+            }
+            let probs = host.match_proba(&all);
+            let mut off = 0;
+            for job in batch {
+                let take = job.pairs.len();
+                job.waiter.fill(probs[off..off + take].to_vec());
+                off += take;
+            }
+        }
+    }
+
+    /// Block until a microbatch is ready; `None` means drained + empty.
+    fn next_batch(&self) -> Option<Vec<Job>> {
+        let mut st = self.lock();
+        // wait for the first job (or drain-with-empty-queue)
+        loop {
+            if !st.queue.is_empty() {
+                break;
+            }
+            if st.draining {
+                return None;
+            }
+            st = self
+                .inner
+                .arrived
+                .wait(st)
+                .unwrap_or_else(|p| p.into_inner());
+        }
+        // linger from the moment we saw work, hoping to fill the batch —
+        // unless it is already full or we are draining (then flush now)
+        let deadline = Instant::now() + self.inner.linger;
+        while st.queued_pairs < self.inner.max_batch && !st.draining {
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            let (guard, timeout) = self
+                .inner
+                .arrived
+                .wait_timeout(st, deadline - now)
+                .unwrap_or_else(|p| p.into_inner());
+            st = guard;
+            if timeout.timed_out() {
+                break;
+            }
+        }
+        // pop whole jobs until the batch is full (always at least one,
+        // even if that single job alone exceeds max_batch)
+        let mut batch = Vec::new();
+        let mut pairs = 0usize;
+        while let Some(job) = st.queue.front() {
+            if !batch.is_empty() && pairs + job.pairs.len() > self.inner.max_batch {
+                break;
+            }
+            pairs += job.pairs.len();
+            let job = match st.queue.pop_front() {
+                Some(j) => j,
+                None => break,
+            };
+            batch.push(job);
+        }
+        st.queued_pairs -= pairs;
+        obs::gauge("serve.queue.depth").set(st.queued_pairs as f64);
+        Some(batch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use em_core::model::ModelSpec;
+    use em_data::Split;
+    use std::thread;
+
+    fn tiny_host() -> ModelHost {
+        ModelSpec {
+            scale: 0.25,
+            budget_hours: 0.1,
+            ..ModelSpec::fixture()
+        }
+        .train()
+        .unwrap()
+    }
+
+    #[test]
+    fn coalesced_probs_match_direct_predict() {
+        let host = tiny_host();
+        let pairs: Vec<RecordPair> = host.dataset().split(Split::Test).to_vec();
+        let direct = host.match_proba(&pairs);
+        let batcher = Batcher::new(8, 1024, Duration::from_millis(1));
+        thread::scope(|s| {
+            let worker = {
+                let b = batcher.clone();
+                let h = &host;
+                s.spawn(move || b.run_worker(h))
+            };
+            let waiters: Vec<_> = pairs
+                .iter()
+                .map(|p| batcher.submit(vec![p.clone()]).unwrap())
+                .collect();
+            for (i, w) in waiters.iter().enumerate() {
+                let got = w.wait();
+                assert_eq!(got.len(), 1);
+                assert_eq!(got[0].to_bits(), direct[i].to_bits(), "pair {i}");
+            }
+            batcher.shutdown();
+            worker.join().unwrap();
+        });
+    }
+
+    #[test]
+    fn overload_and_drain_reject_with_typed_errors() {
+        let host = tiny_host();
+        let pair = host.dataset().split(Split::Test)[0].clone();
+        let batcher = Batcher::new(4, 2, Duration::from_millis(1));
+        // no worker running: fill the queue
+        let _w1 = batcher.submit(vec![pair.clone()]).unwrap();
+        let _w2 = batcher.submit(vec![pair.clone()]).unwrap();
+        assert!(matches!(
+            batcher.submit(vec![pair.clone()]),
+            Err(Rejected::Overloaded)
+        ));
+        batcher.shutdown();
+        assert!(matches!(
+            batcher.submit(vec![pair]),
+            Err(Rejected::Draining)
+        ));
+    }
+
+    #[test]
+    fn shutdown_drains_every_admitted_job() {
+        let host = tiny_host();
+        let pairs: Vec<RecordPair> = host.dataset().split(Split::Test)[..6].to_vec();
+        let batcher = Batcher::new(4, 1024, Duration::from_millis(50));
+        // queue everything BEFORE any worker exists, then shut down and
+        // only then start the worker: all jobs must still be answered
+        let waiters: Vec<_> = pairs
+            .iter()
+            .map(|p| batcher.submit(vec![p.clone()]).unwrap())
+            .collect();
+        batcher.shutdown();
+        thread::scope(|s| {
+            let b = batcher.clone();
+            let h = &host;
+            let worker = s.spawn(move || b.run_worker(h));
+            for w in &waiters {
+                assert_eq!(w.wait().len(), 1);
+            }
+            worker.join().unwrap();
+        });
+        assert_eq!(batcher.queued_pairs(), 0);
+    }
+}

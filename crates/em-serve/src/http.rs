@@ -1,0 +1,285 @@
+//! A minimal HTTP/1.1 message layer over raw byte buffers.
+//!
+//! Only what the matching service needs, implemented defensively:
+//! `Content-Length` framed bodies (no chunked transfer — a `POST` with
+//! `Transfer-Encoding` earns a `501`), keep-alive with pipelining (the
+//! parser consumes one request from the front of a connection buffer and
+//! leaves the rest in place), and hard caps on header-block and body
+//! size so a misbehaving client cannot balloon server memory. Parsing is
+//! *incremental*: [`parse_request`] returns `Ok(None)` while the buffer
+//! holds only a prefix of a request ("torn" reads), so callers keep
+//! reading until a full message or a protocol error materializes.
+
+/// Maximum size of the request line + headers block, in bytes.
+pub const MAX_HEAD_BYTES: usize = 8 * 1024;
+
+/// One parsed HTTP request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Method token, uppercased by the client ("GET", "POST").
+    pub method: String,
+    /// Request target path, e.g. `/match/batch` (query strings are kept
+    /// as-is; the service routes on the full target).
+    pub path: String,
+    /// Body bytes as framed by `Content-Length` (empty when absent).
+    pub body: Vec<u8>,
+    /// Whether the client asked to keep the connection open
+    /// (HTTP/1.1 default yes, `Connection: close` opts out).
+    pub keep_alive: bool,
+}
+
+/// Why a byte stream could not be parsed into a [`Request`]. Each
+/// variant maps onto the HTTP status the connection should answer with
+/// before closing ([`HttpError::status`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HttpError {
+    /// Malformed request line, header or framing → `400`.
+    BadRequest(&'static str),
+    /// Header block exceeds [`MAX_HEAD_BYTES`] → `431`.
+    HeadersTooLarge,
+    /// Declared body exceeds the configured cap → `413`.
+    BodyTooLarge,
+    /// A method that takes a body arrived without `Content-Length` → `411`.
+    LengthRequired,
+    /// `Transfer-Encoding` framing is not implemented → `501`.
+    NotImplemented,
+}
+
+impl HttpError {
+    /// The HTTP status code this error should be answered with.
+    pub fn status(&self) -> u16 {
+        match self {
+            HttpError::BadRequest(_) => 400,
+            HttpError::HeadersTooLarge => 431,
+            HttpError::BodyTooLarge => 413,
+            HttpError::LengthRequired => 411,
+            HttpError::NotImplemented => 501,
+        }
+    }
+
+    /// Machine-readable error code for the JSON error body.
+    pub fn code(&self) -> &'static str {
+        match self {
+            HttpError::BadRequest(_) => "bad_request",
+            HttpError::HeadersTooLarge => "headers_too_large",
+            HttpError::BodyTooLarge => "body_too_large",
+            HttpError::LengthRequired => "length_required",
+            HttpError::NotImplemented => "not_implemented",
+        }
+    }
+
+    /// Human-readable description.
+    pub fn message(&self) -> String {
+        match self {
+            HttpError::BadRequest(m) => format!("malformed request: {m}"),
+            HttpError::HeadersTooLarge => {
+                format!("request head exceeds {MAX_HEAD_BYTES} bytes")
+            }
+            HttpError::BodyTooLarge => "request body exceeds the configured cap".into(),
+            HttpError::LengthRequired => "POST requires Content-Length".into(),
+            HttpError::NotImplemented => "Transfer-Encoding is not supported".into(),
+        }
+    }
+}
+
+/// Try to parse one request from the front of `buf`.
+///
+/// * `Ok(Some((request, consumed)))` — a complete request; the caller
+///   drains `consumed` bytes and may find the next pipelined request
+///   right behind them.
+/// * `Ok(None)` — `buf` holds only a prefix (torn request); read more.
+/// * `Err(e)` — protocol violation; answer with [`HttpError::status`]
+///   and close the connection.
+///
+/// `max_body` caps the declared `Content-Length`.
+pub fn parse_request(buf: &[u8], max_body: usize) -> Result<Option<(Request, usize)>, HttpError> {
+    // locate the end of the head (\r\n\r\n), bounding how far we look
+    let scan = buf.len().min(MAX_HEAD_BYTES + 4);
+    let head_end = buf[..scan].windows(4).position(|w| w == b"\r\n\r\n");
+    let head_end = match head_end {
+        Some(i) => i,
+        None if buf.len() > MAX_HEAD_BYTES => return Err(HttpError::HeadersTooLarge),
+        None => return Ok(None),
+    };
+    if head_end > MAX_HEAD_BYTES {
+        return Err(HttpError::HeadersTooLarge);
+    }
+    let head = std::str::from_utf8(&buf[..head_end])
+        .map_err(|_| HttpError::BadRequest("non-UTF8 head"))?;
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split(' ');
+    let (method, path, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(p), Some(v), None) if !m.is_empty() && p.starts_with('/') => (m, p, v),
+        _ => return Err(HttpError::BadRequest("request line")),
+    };
+    if version != "HTTP/1.1" && version != "HTTP/1.0" {
+        return Err(HttpError::BadRequest("unsupported HTTP version"));
+    }
+    let mut content_length: Option<usize> = None;
+    let mut keep_alive = version == "HTTP/1.1";
+    for line in lines {
+        let (name, value) = line
+            .split_once(':')
+            .ok_or(HttpError::BadRequest("header without colon"))?;
+        let value = value.trim();
+        if name.eq_ignore_ascii_case("content-length") {
+            let n: usize = value
+                .parse()
+                .map_err(|_| HttpError::BadRequest("bad Content-Length"))?;
+            if content_length.is_some_and(|prev| prev != n) {
+                return Err(HttpError::BadRequest("conflicting Content-Length"));
+            }
+            content_length = Some(n);
+        } else if name.eq_ignore_ascii_case("transfer-encoding") {
+            return Err(HttpError::NotImplemented);
+        } else if name.eq_ignore_ascii_case("connection") {
+            if value.eq_ignore_ascii_case("close") {
+                keep_alive = false;
+            } else if value.eq_ignore_ascii_case("keep-alive") {
+                keep_alive = true;
+            }
+        }
+    }
+    let body_len = match content_length {
+        Some(n) => n,
+        None if method == "POST" || method == "PUT" => return Err(HttpError::LengthRequired),
+        None => 0,
+    };
+    if body_len > max_body {
+        return Err(HttpError::BodyTooLarge);
+    }
+    let body_start = head_end + 4;
+    if buf.len() < body_start + body_len {
+        return Ok(None); // torn body
+    }
+    Ok(Some((
+        Request {
+            method: method.to_owned(),
+            path: path.to_owned(),
+            body: buf[body_start..body_start + body_len].to_vec(),
+            keep_alive,
+        },
+        body_start + body_len,
+    )))
+}
+
+/// Render a response head + body into wire bytes. `body` is always
+/// `application/json` in this service.
+pub fn render_response(status: u16, body: &str, keep_alive: bool) -> Vec<u8> {
+    let reason = match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        411 => "Length Required",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
+        431 => "Request Header Fields Too Large",
+        501 => "Not Implemented",
+        503 => "Service Unavailable",
+        _ => "Internal Server Error",
+    };
+    let mut out = format!(
+        "HTTP/1.1 {status} {reason}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: {}\r\n\r\n",
+        body.len(),
+        if keep_alive { "keep-alive" } else { "close" },
+    )
+    .into_bytes();
+    out.extend_from_slice(body.as_bytes());
+    out
+}
+
+/// Render the standard JSON error body `{"error":{"code":…,"message":…}}`.
+pub fn error_body(code: &str, message: &str) -> String {
+    let mut inner = obs::json::Obj::new();
+    inner.str("code", code).str("message", message);
+    let mut o = obs::json::Obj::new();
+    o.raw("error", &inner.finish());
+    o.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CAP: usize = 1 << 20;
+
+    #[test]
+    fn complete_get_parses() {
+        let raw = b"GET /healthz HTTP/1.1\r\nhost: x\r\n\r\n";
+        let (req, used) = parse_request(raw, CAP).unwrap().unwrap();
+        assert_eq!(used, raw.len());
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/healthz");
+        assert!(req.keep_alive);
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn torn_request_needs_more_bytes() {
+        let raw = b"POST /match HTTP/1.1\r\ncontent-length: 10\r\n\r\n12345";
+        assert_eq!(parse_request(raw, CAP).unwrap(), None);
+        let head_only = b"GET /healthz HTT";
+        assert_eq!(parse_request(head_only, CAP).unwrap(), None);
+    }
+
+    #[test]
+    fn pipelined_requests_consume_one_at_a_time() {
+        let raw = b"GET /a HTTP/1.1\r\n\r\nGET /b HTTP/1.1\r\n\r\n".to_vec();
+        let (r1, used) = parse_request(&raw, CAP).unwrap().unwrap();
+        assert_eq!(r1.path, "/a");
+        let (r2, used2) = parse_request(&raw[used..], CAP).unwrap().unwrap();
+        assert_eq!(r2.path, "/b");
+        assert_eq!(used + used2, raw.len());
+    }
+
+    #[test]
+    fn post_without_length_is_411() {
+        let raw = b"POST /match HTTP/1.1\r\n\r\n";
+        assert_eq!(parse_request(raw, CAP), Err(HttpError::LengthRequired));
+    }
+
+    #[test]
+    fn oversized_body_is_413() {
+        let raw = b"POST /match HTTP/1.1\r\ncontent-length: 100\r\n\r\n";
+        assert_eq!(parse_request(raw, 50), Err(HttpError::BodyTooLarge));
+    }
+
+    #[test]
+    fn oversized_head_is_431() {
+        let mut raw = b"GET / HTTP/1.1\r\nx-pad: ".to_vec();
+        raw.extend(std::iter::repeat_n(b'a', MAX_HEAD_BYTES + 10));
+        assert_eq!(parse_request(&raw, CAP), Err(HttpError::HeadersTooLarge));
+    }
+
+    #[test]
+    fn chunked_is_501_and_garbage_is_400() {
+        let raw = b"POST /m HTTP/1.1\r\ntransfer-encoding: chunked\r\n\r\n";
+        assert_eq!(parse_request(raw, CAP), Err(HttpError::NotImplemented));
+        let raw = b"NOT-HTTP\r\n\r\n";
+        assert!(matches!(
+            parse_request(raw, CAP),
+            Err(HttpError::BadRequest(_))
+        ));
+    }
+
+    #[test]
+    fn connection_close_is_honored() {
+        let raw = b"GET / HTTP/1.1\r\nconnection: close\r\n\r\n";
+        let (req, _) = parse_request(raw, CAP).unwrap().unwrap();
+        assert!(!req.keep_alive);
+        let raw10 = b"GET / HTTP/1.0\r\n\r\n";
+        let (req, _) = parse_request(raw10, CAP).unwrap().unwrap();
+        assert!(!req.keep_alive);
+    }
+
+    #[test]
+    fn response_renders_with_framing() {
+        let bytes = render_response(200, "{}", true);
+        let text = String::from_utf8(bytes).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("content-length: 2\r\n"));
+        assert!(text.ends_with("\r\n\r\n{}"));
+    }
+}

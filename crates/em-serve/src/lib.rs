@@ -1,0 +1,156 @@
+//! # em-serve — online entity matching as a service
+//!
+//! A long-running, std-only HTTP/1.1 server that turns a trained
+//! [`em_core::model::ModelHost`] into an online matcher: `POST /match`
+//! takes two entity descriptions and answers `P(match)` under the
+//! winner's validation-tuned threshold; `POST /match/batch` scores many
+//! pairs in one call. The serving contract is **bit-identity**: every
+//! probability equals what the offline `predict` path produces for the
+//! same pair, whatever microbatch it happened to ride in — see
+//! [`batcher`] for why coalescing cannot change answers.
+//!
+//! Three moving parts:
+//!
+//! * [`http`] — incremental HTTP/1.1 parsing with keep-alive,
+//!   pipelining and hard caps (no chunked bodies, `Content-Length`
+//!   only).
+//! * [`batcher`] — the request coalescer: a bounded queue where
+//!   concurrent small requests merge into GEMM-sized microbatches
+//!   (flush at `max_batch` pairs or after a linger window), with typed
+//!   admission control (`429 overloaded` / `503 draining`).
+//! * [`server`] — accept loop, per-connection threads behind a
+//!   [`par::Gate`], and graceful shutdown that answers everything
+//!   admitted before hanging up.
+//!
+//! Configuration comes from `AUTOML_EM_SERVE_*` environment variables
+//! ([`ServeConfig::from_env`]); every route increments `serve.*`
+//! counters and latency histograms in the [`obs`] registry, exposed
+//! live at `GET /metrics`. The serving handbook lives in
+//! `docs/SERVING.md`; `bench/src/bin/serve_bench.rs` measures p50/p99
+//! latency and sustained QPS into `results/BENCH_serve.json`.
+
+#![warn(missing_docs)]
+
+pub mod batcher;
+pub mod http;
+pub mod server;
+
+pub use batcher::{Batcher, Rejected, Waiter};
+pub use http::{parse_request, render_response, HttpError, Request};
+pub use server::{serve, ServerHandle};
+
+/// Server tuning knobs, each overridable via an `AUTOML_EM_SERVE_*`
+/// environment variable (see [`from_env`](Self::from_env)).
+///
+/// ```
+/// let config = em_serve::ServeConfig::default();
+/// assert_eq!(config.addr, "127.0.0.1:8642");
+/// assert_eq!(config.max_batch, 32);
+/// // struct-update syntax is the idiomatic way to tweak one knob:
+/// let test_config = em_serve::ServeConfig { addr: "127.0.0.1:0".into(), ..config };
+/// assert_eq!(test_config.workers, 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeConfig {
+    /// Bind address (`AUTOML_EM_SERVE_ADDR`, default `127.0.0.1:8642`;
+    /// use port `0` to let the OS pick — read it back from
+    /// [`ServerHandle::addr`]).
+    pub addr: String,
+    /// Maximum pairs fused into one predict microbatch
+    /// (`AUTOML_EM_SERVE_MAX_BATCH`, default 32).
+    pub max_batch: usize,
+    /// How long a non-full microbatch waits for company after its first
+    /// job arrives, in microseconds (`AUTOML_EM_SERVE_LINGER_US`,
+    /// default 2000).
+    pub linger_us: u64,
+    /// Admission cap: maximum pairs queued and not yet scored
+    /// (`AUTOML_EM_SERVE_QUEUE`, default 256). Beyond it, submissions
+    /// get `429 overloaded`.
+    pub queue_pairs: usize,
+    /// Maximum accepted request body in bytes
+    /// (`AUTOML_EM_SERVE_MAX_BODY`, default 1 MiB → `413` beyond).
+    pub max_body: usize,
+    /// Maximum concurrent connections (`AUTOML_EM_SERVE_MAX_CONNS`,
+    /// default 64 → `429 too_many_connections` beyond).
+    pub max_conns: usize,
+    /// Graceful-shutdown drain window in milliseconds
+    /// (`AUTOML_EM_SERVE_DRAIN_MS`, default 5000).
+    pub drain_ms: u64,
+    /// Batch worker threads (`AUTOML_EM_SERVE_WORKERS`, default 1 —
+    /// the predict pass already parallelizes internally over the `par`
+    /// pool, so more workers only help when batches are small).
+    pub workers: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:8642".into(),
+            max_batch: 32,
+            linger_us: 2000,
+            queue_pairs: 256,
+            max_body: 1 << 20,
+            max_conns: 64,
+            drain_ms: 5000,
+            workers: 1,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Read the configuration from `AUTOML_EM_SERVE_*` environment
+    /// variables, falling back to the defaults field by field.
+    /// Unparseable values fall back silently — the server should come
+    /// up with defaults rather than refuse to start over a typo'd
+    /// tuning knob (the bind address is taken verbatim and *will*
+    /// surface as a bind error, which is the one mistake that must not
+    /// be papered over).
+    pub fn from_env() -> Self {
+        let d = Self::default();
+        Self {
+            addr: std::env::var("AUTOML_EM_SERVE_ADDR").unwrap_or(d.addr),
+            max_batch: env_parse("AUTOML_EM_SERVE_MAX_BATCH", d.max_batch),
+            linger_us: env_parse("AUTOML_EM_SERVE_LINGER_US", d.linger_us),
+            queue_pairs: env_parse("AUTOML_EM_SERVE_QUEUE", d.queue_pairs),
+            max_body: env_parse("AUTOML_EM_SERVE_MAX_BODY", d.max_body),
+            max_conns: env_parse("AUTOML_EM_SERVE_MAX_CONNS", d.max_conns),
+            drain_ms: env_parse("AUTOML_EM_SERVE_DRAIN_MS", d.drain_ms),
+            workers: env_parse("AUTOML_EM_SERVE_WORKERS", d.workers),
+        }
+    }
+}
+
+fn env_parse<T: std::str::FromStr>(name: &str, default: T) -> T {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_documented_values() {
+        let c = ServeConfig::default();
+        assert_eq!(c.addr, "127.0.0.1:8642");
+        assert_eq!(c.max_batch, 32);
+        assert_eq!(c.linger_us, 2000);
+        assert_eq!(c.queue_pairs, 256);
+        assert_eq!(c.max_body, 1 << 20);
+        assert_eq!(c.max_conns, 64);
+        assert_eq!(c.drain_ms, 5000);
+        assert_eq!(c.workers, 1);
+    }
+
+    #[test]
+    fn env_parse_falls_back_on_garbage() {
+        // uses a name no other test sets, to stay parallel-safe
+        std::env::set_var("AUTOML_EM_SERVE_TEST_KNOB", "not-a-number");
+        assert_eq!(env_parse("AUTOML_EM_SERVE_TEST_KNOB", 7usize), 7);
+        std::env::set_var("AUTOML_EM_SERVE_TEST_KNOB", "12");
+        assert_eq!(env_parse("AUTOML_EM_SERVE_TEST_KNOB", 7usize), 12);
+        std::env::remove_var("AUTOML_EM_SERVE_TEST_KNOB");
+    }
+}

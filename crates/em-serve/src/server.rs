@@ -1,0 +1,501 @@
+//! The TCP accept loop, per-connection protocol driver and HTTP routes.
+//!
+//! Life of a request: the accept thread admits a connection through the
+//! server's [`par::Gate`] (a closed gate answers `503 draining` and
+//! hangs up), a per-connection thread incrementally parses HTTP/1.1
+//! messages ([`crate::http`]), the route handler decodes entities
+//! against the model's schema, and `/match` bodies flow through the
+//! [`crate::batcher::Batcher`] into fused `match_proba` microbatches.
+//! Shutdown ([`ServerHandle::shutdown`]) closes the gate, drains the
+//! queue and joins every thread — no admitted request is dropped.
+
+use crate::batcher::{Batcher, Rejected};
+use crate::http::{self, error_body, render_response, HttpError, Request};
+use crate::ServeConfig;
+use em_core::model::ModelHost;
+use em_data::{Entity, RecordPair, Schema};
+use obs::json::{self, Json};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Exponential latency buckets in microseconds (64 µs … ~4 s).
+const LATENCY_BOUNDS_US: &[f64] = &[
+    64.0, 128.0, 256.0, 512.0, 1024.0, 2048.0, 4096.0, 8192.0, 16384.0, 32768.0, 65536.0, 131072.0,
+    262144.0, 524288.0, 1048576.0, 2097152.0, 4194304.0,
+];
+
+/// Start serving `host` per `config`. Binds the listener synchronously
+/// (so a returned handle is already accepting) and spawns the accept
+/// loop plus `config.workers` batch workers.
+///
+/// ```no_run
+/// use std::sync::Arc;
+/// let host = Arc::new(em_core::model::ModelSpec::fixture().train().unwrap());
+/// let config = em_serve::ServeConfig { addr: "127.0.0.1:0".into(), ..Default::default() };
+/// let handle = em_serve::serve(host, &config).unwrap();
+/// println!("listening on http://{}", handle.addr());
+/// handle.shutdown();
+/// ```
+pub fn serve(host: Arc<ModelHost>, config: &ServeConfig) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&config.addr)?;
+    let addr = listener.local_addr()?;
+    let gate = par::Gate::new();
+    let batcher = Batcher::new(
+        config.max_batch,
+        config.queue_pairs,
+        Duration::from_micros(config.linger_us),
+    );
+    let workers: Vec<JoinHandle<()>> = (0..config.workers.max(1))
+        .map(|i| {
+            let b = batcher.clone();
+            let h = Arc::clone(&host);
+            std::thread::Builder::new()
+                .name(format!("em-serve-worker-{i}"))
+                .spawn(move || b.run_worker(&h))
+        })
+        .collect::<std::io::Result<_>>()?;
+    let accept = {
+        let gate = gate.clone();
+        let batcher = batcher.clone();
+        let host = Arc::clone(&host);
+        let max_body = config.max_body;
+        let max_conns = config.max_conns.max(1);
+        std::thread::Builder::new()
+            .name("em-serve-accept".into())
+            .spawn(move || {
+                accept_loop(&listener, &gate, &batcher, &host, max_body, max_conns);
+            })?
+    };
+    obs::emit(
+        "serve.started",
+        &[
+            ("addr", obs::Value::Str(addr.to_string())),
+            ("workers", obs::Value::U64(config.workers.max(1) as u64)),
+            ("max_batch", obs::Value::U64(config.max_batch as u64)),
+        ],
+    );
+    Ok(ServerHandle {
+        addr,
+        gate,
+        batcher,
+        accept: Some(accept),
+        workers,
+        drain: Duration::from_millis(config.drain_ms),
+    })
+}
+
+/// A running server. Dropping the handle shuts the server down (with
+/// drain); call [`shutdown`](Self::shutdown) explicitly to observe
+/// whether the drain completed in time.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    gate: par::Gate,
+    batcher: Batcher,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    drain: Duration,
+}
+
+impl ServerHandle {
+    /// The bound address (useful with a `:0` config port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Graceful shutdown: stop admitting connections and jobs, answer
+    /// everything already accepted, then join all threads. Returns
+    /// `true` when every connection finished inside the configured
+    /// drain window.
+    pub fn shutdown(mut self) -> bool {
+        self.shutdown_inner()
+    }
+
+    fn shutdown_inner(&mut self) -> bool {
+        if self.accept.is_none() {
+            return true; // already shut down
+        }
+        // 1. close the front door: no new connections are admitted, and
+        //    connection threads switch keep-alive responses to `close`
+        self.gate.close();
+        // 2. poke the blocking accept() so the accept thread observes
+        //    the closed gate and exits
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept.take() {
+            let _ = t.join();
+        }
+        // 3. stop admitting jobs; workers drain the queue, then exit —
+        //    every job admitted before this line still gets its answer
+        self.batcher.shutdown();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+        // 4. wait for connection threads to flush responses and hang up
+        let drained = self.gate.drain(self.drain);
+        obs::emit("serve.stopped", &[("drained", obs::Value::Bool(drained))]);
+        drained
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    gate: &par::Gate,
+    batcher: &Batcher,
+    host: &Arc<ModelHost>,
+    max_body: usize,
+    max_conns: usize,
+) {
+    loop {
+        let (mut stream, _) = match listener.accept() {
+            Ok(pair) => pair,
+            Err(_) => {
+                if gate.is_closed() {
+                    return;
+                }
+                continue;
+            }
+        };
+        let permit = match gate.enter() {
+            Some(p) => p,
+            None => {
+                // draining: tell the client why before hanging up
+                let body = error_body("draining", "server is shutting down");
+                let _ = stream.write_all(&render_response(503, &body, false));
+                return;
+            }
+        };
+        if gate.in_flight() > max_conns {
+            obs::counter("serve.rejected.conns").inc();
+            let body = error_body("too_many_connections", "connection limit reached");
+            let _ = stream.write_all(&render_response(429, &body, false));
+            continue; // permit drops here
+        }
+        let gate = gate.clone();
+        let batcher = batcher.clone();
+        let host = Arc::clone(host);
+        let spawned = std::thread::Builder::new()
+            .name("em-serve-conn".into())
+            .spawn(move || {
+                let _permit = permit;
+                handle_connection(stream, &gate, &batcher, &host, max_body);
+            });
+        if spawned.is_err() {
+            obs::counter("serve.rejected.conns").inc();
+        }
+    }
+}
+
+fn handle_connection(
+    mut stream: TcpStream,
+    gate: &par::Gate,
+    batcher: &Batcher,
+    host: &ModelHost,
+    max_body: usize,
+) {
+    // short read timeout so idle keep-alive connections notice a drain
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+    let _ = stream.set_nodelay(true);
+    let mut buf: Vec<u8> = Vec::new();
+    let mut chunk = [0u8; 16 * 1024];
+    loop {
+        // answer every complete pipelined request already buffered
+        loop {
+            match http::parse_request(&buf, max_body) {
+                Ok(Some((req, used))) => {
+                    buf.drain(..used);
+                    let keep = req.keep_alive && !gate.is_closed();
+                    let (status, body) = route(&req, batcher, host);
+                    observe_status(status);
+                    if stream
+                        .write_all(&render_response(status, &body, keep))
+                        .is_err()
+                        || !keep
+                    {
+                        return;
+                    }
+                }
+                Ok(None) => break, // torn: need more bytes
+                Err(e) => {
+                    respond_http_error(&mut stream, &e);
+                    return;
+                }
+            }
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => return, // peer hung up
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                // idle tick: during a drain with no request in flight,
+                // close instead of holding the permit forever
+                if gate.is_closed() && buf.is_empty() {
+                    return;
+                }
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+fn respond_http_error(stream: &mut TcpStream, e: &HttpError) {
+    observe_status(e.status());
+    let body = error_body(e.code(), &e.message());
+    let _ = stream.write_all(&render_response(e.status(), &body, false));
+}
+
+fn observe_status(status: u16) {
+    let class = match status {
+        200..=299 => "serve.rsp.2xx",
+        400..=499 => "serve.rsp.4xx",
+        _ => "serve.rsp.5xx",
+    };
+    obs::counter(class).inc();
+}
+
+fn route(req: &Request, batcher: &Batcher, host: &ModelHost) -> (u16, String) {
+    let _span = obs::span("serve.request");
+    let start = Instant::now();
+    let (status, body, latency_metric) = match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") => {
+            obs::counter("serve.req.health").inc();
+            (200, health_body(host), None)
+        }
+        ("GET", "/metrics") => {
+            obs::counter("serve.req.metrics").inc();
+            (200, metrics_body(), None)
+        }
+        ("POST", "/match") => {
+            obs::counter("serve.req.match").inc();
+            let (s, b) = handle_match(&req.body, batcher, host);
+            (s, b, Some("serve.latency_us.match"))
+        }
+        ("POST", "/match/batch") => {
+            obs::counter("serve.req.batch").inc();
+            let (s, b) = handle_batch(&req.body, batcher, host);
+            (s, b, Some("serve.latency_us.batch"))
+        }
+        (_, "/healthz" | "/metrics" | "/match" | "/match/batch") => (
+            405,
+            error_body("method_not_allowed", "wrong method for this route"),
+            None,
+        ),
+        (_, path) => (
+            404,
+            error_body("not_found", &format!("no route {path}")),
+            None,
+        ),
+    };
+    if let Some(metric) = latency_metric {
+        obs::histogram(metric, LATENCY_BOUNDS_US).observe(start.elapsed().as_micros() as f64);
+    }
+    (status, body)
+}
+
+fn health_body(host: &ModelHost) -> String {
+    let (hits, misses) = host.cache_stats();
+    let mut o = json::Obj::new();
+    o.str("status", "ok")
+        .str("dataset", host.spec().dataset.code())
+        .str("system", host.report().system)
+        .f64("val_f1", host.report().val_f1)
+        .f64("threshold", f64::from(host.threshold()))
+        .u64("cache_hits", hits as u64)
+        .u64("cache_misses", misses as u64);
+    o.finish()
+}
+
+fn metrics_body() -> String {
+    let mut o = json::Obj::new();
+    for (name, snap) in obs::snapshot() {
+        o.raw(&name, &snap.to_json());
+    }
+    o.finish()
+}
+
+fn handle_match(body: &[u8], batcher: &Batcher, host: &ModelHost) -> (u16, String) {
+    let pair = match parse_pair_body(body, host.schema()) {
+        Ok(p) => p,
+        Err(msg) => return (400, error_body("bad_request", &msg)),
+    };
+    match submit_and_wait(batcher, vec![pair]) {
+        Ok(probs) => {
+            let t = host.threshold();
+            let p = probs[0];
+            let mut o = json::Obj::new();
+            o.f64("p_match", f64::from(p))
+                .bool("match", p >= t)
+                .f64("threshold", f64::from(t));
+            (200, o.finish())
+        }
+        Err(rejection) => rejected_response(rejection),
+    }
+}
+
+fn handle_batch(body: &[u8], batcher: &Batcher, host: &ModelHost) -> (u16, String) {
+    let text = match std::str::from_utf8(body) {
+        Ok(t) => t,
+        Err(_) => return (400, error_body("bad_request", "body is not UTF-8")),
+    };
+    let v = match json::parse(text) {
+        Ok(v) => v,
+        Err(e) => {
+            return (
+                400,
+                error_body("bad_request", &format!("invalid JSON: {e}")),
+            )
+        }
+    };
+    let pairs_json = match v.get("pairs") {
+        Some(Json::Arr(items)) => items,
+        _ => return (400, error_body("bad_request", "expected a 'pairs' array")),
+    };
+    if pairs_json.is_empty() {
+        return (400, error_body("bad_request", "'pairs' must not be empty"));
+    }
+    let mut pairs = Vec::with_capacity(pairs_json.len());
+    for (i, item) in pairs_json.iter().enumerate() {
+        match parse_pair(item, host.schema()) {
+            Ok(p) => pairs.push(p),
+            Err(msg) => {
+                return (
+                    400,
+                    error_body("bad_request", &format!("pairs[{i}]: {msg}")),
+                )
+            }
+        }
+    }
+    let n = pairs.len();
+    match submit_and_wait(batcher, pairs) {
+        Ok(probs) => {
+            let t = host.threshold();
+            let results = json::array(probs.iter().map(|&p| {
+                let mut o = json::Obj::new();
+                o.f64("p_match", f64::from(p)).bool("match", p >= t);
+                o.finish()
+            }));
+            let mut o = json::Obj::new();
+            o.raw("results", &results)
+                .f64("threshold", f64::from(t))
+                .u64("batch", n as u64);
+            (200, o.finish())
+        }
+        Err(rejection) => rejected_response(rejection),
+    }
+}
+
+fn submit_and_wait(batcher: &Batcher, pairs: Vec<RecordPair>) -> Result<Vec<f32>, Rejected> {
+    let waiter = batcher.submit(pairs)?;
+    Ok(waiter.wait())
+}
+
+fn rejected_response(r: Rejected) -> (u16, String) {
+    match r {
+        Rejected::Overloaded => (
+            429,
+            error_body("overloaded", "request queue is full, retry with backoff"),
+        ),
+        Rejected::Draining => (503, error_body("draining", "server is shutting down")),
+    }
+}
+
+fn parse_pair_body(body: &[u8], schema: &Schema) -> Result<RecordPair, String> {
+    let text = std::str::from_utf8(body).map_err(|_| "body is not UTF-8".to_owned())?;
+    let v = json::parse(text).map_err(|e| format!("invalid JSON: {e}"))?;
+    parse_pair(&v, schema)
+}
+
+fn parse_pair(v: &Json, schema: &Schema) -> Result<RecordPair, String> {
+    let left = parse_entity(
+        v.get("left").ok_or_else(|| "missing 'left'".to_owned())?,
+        schema,
+    )
+    .map_err(|m| format!("left: {m}"))?;
+    let right = parse_entity(
+        v.get("right").ok_or_else(|| "missing 'right'".to_owned())?,
+        schema,
+    )
+    .map_err(|m| format!("right: {m}"))?;
+    Ok(RecordPair::new(left, right, false))
+}
+
+fn parse_entity(v: &Json, schema: &Schema) -> Result<Entity, String> {
+    let fields = match v {
+        Json::Object(fields) => fields,
+        _ => return Err("entity must be a JSON object".into()),
+    };
+    let mut values: Vec<Option<String>> = vec![None; schema.len()];
+    for (key, value) in fields {
+        let idx = schema.index_of(key).ok_or_else(|| {
+            let known: Vec<&str> = schema
+                .attributes()
+                .iter()
+                .map(|a| a.name.as_str())
+                .collect();
+            format!("unknown attribute '{key}' (schema: {})", known.join(", "))
+        })?;
+        values[idx] = match value {
+            Json::Null => None,
+            Json::Str(s) => Some(s.clone()),
+            Json::Num(tok) => Some(tok.clone()),
+            _ => {
+                return Err(format!(
+                    "attribute '{key}' must be a string, number or null"
+                ))
+            }
+        };
+    }
+    Ok(Entity::new(values))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use em_data::{AttrType, Attribute};
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Attribute::new("name", AttrType::Text),
+            Attribute::new("price", AttrType::Numeric),
+        ])
+    }
+
+    #[test]
+    fn entity_parsing_fills_by_attribute_name() {
+        let v = json::parse(r#"{"price":"9.99","name":"ipad"}"#).unwrap();
+        let e = parse_entity(&v, &schema()).unwrap();
+        assert_eq!(e.value(0), Some("ipad"));
+        assert_eq!(e.value(1), Some("9.99"));
+    }
+
+    #[test]
+    fn unknown_attribute_is_rejected_with_schema_hint() {
+        let v = json::parse(r#"{"nam":"typo"}"#).unwrap();
+        let err = parse_entity(&v, &schema()).unwrap_err();
+        assert!(err.contains("unknown attribute 'nam'"), "{err}");
+        assert!(err.contains("name, price"), "{err}");
+    }
+
+    #[test]
+    fn missing_and_null_attributes_become_none() {
+        let v = json::parse(r#"{"name":null}"#).unwrap();
+        let e = parse_entity(&v, &schema()).unwrap();
+        assert_eq!(e.value(0), None);
+        assert_eq!(e.value(1), None);
+    }
+
+    #[test]
+    fn pair_requires_both_sides() {
+        let v = json::parse(r#"{"left":{"name":"a"}}"#).unwrap();
+        assert!(parse_pair(&v, &schema()).unwrap_err().contains("right"));
+    }
+}

@@ -15,7 +15,7 @@
 use crate::SequenceEmbedder;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 /// Number of independently locked cache segments. A power of two well
 /// above any realistic worker count, so two workers rarely contend for
@@ -40,11 +40,28 @@ struct Shard {
 /// All methods take `&self` and the type is `Sync`: concurrent
 /// [`embed`](Self::embed) calls from `par` workers are the intended use.
 pub struct EmbeddingCache<'a> {
-    inner: &'a dyn SequenceEmbedder,
+    inner: Backend<'a>,
     shards: Vec<Shard>,
     global_hits: &'static obs::Counter,
     global_misses: &'static obs::Counter,
     global_rate: &'static obs::Gauge,
+}
+
+/// How the cache holds its embedder: borrowed for the scoped batch jobs
+/// (the paper-table pipelines), shared (`Arc`) for long-running owners
+/// like a serving process, where no enclosing scope outlives the cache.
+enum Backend<'a> {
+    Borrowed(&'a dyn SequenceEmbedder),
+    Shared(Arc<dyn SequenceEmbedder + Send>),
+}
+
+impl Backend<'_> {
+    fn get(&self) -> &dyn SequenceEmbedder {
+        match self {
+            Backend::Borrowed(e) => *e,
+            Backend::Shared(e) => e.as_ref(),
+        }
+    }
 }
 
 /// Deterministic FNV-style hash used only for shard selection (never for
@@ -60,14 +77,52 @@ fn shard_of(key: &str) -> usize {
 }
 
 impl<'a> EmbeddingCache<'a> {
-    /// Wrap an embedder.
+    /// Wrap a borrowed embedder (the scoped pipeline paths).
     pub fn new(inner: &'a dyn SequenceEmbedder) -> Self {
-        Self {
+        Self::with_backend(Backend::Borrowed(inner))
+    }
+
+    /// Wrap a shared (`Arc`-owned) embedder. The returned cache has no
+    /// borrow, so a long-running owner — `em_core`'s `ModelHost`, the
+    /// `em-serve` process — can hold cache and embedder together without
+    /// an enclosing scope.
+    pub fn shared(inner: Arc<dyn SequenceEmbedder + Send>) -> EmbeddingCache<'static> {
+        EmbeddingCache::with_backend(Backend::Shared(inner))
+    }
+
+    fn with_backend(inner: Backend<'a>) -> EmbeddingCache<'a> {
+        EmbeddingCache {
             inner,
             shards: (0..SHARDS).map(|_| Shard::default()).collect(),
             global_hits: obs::counter("embed.cache.hits"),
             global_misses: obs::counter("embed.cache.misses"),
             global_rate: obs::gauge("embed.cache.hit_rate"),
+        }
+    }
+
+    /// Pre-embed `texts` so later lookups hit. The cache never evicts, so
+    /// warmed entries are effectively *pinned* for the cache's lifetime.
+    /// Embedding fans out across the `par` pool like
+    /// [`embed_batch`](Self::embed_batch); afterwards the per-instance
+    /// hit/miss counters are reset so [`stats`](Self::stats) and
+    /// [`hit_rate`](Self::hit_rate) describe post-warm traffic only.
+    /// Returns the number of distinct sequences newly inserted.
+    pub fn warm<S: AsRef<str> + Sync>(&self, texts: &[S]) -> usize {
+        let _s = obs::span("embed.cache.warm");
+        let before = self.len();
+        let _ = self.embed_batch(texts);
+        let added = self.len() - before;
+        self.reset_stats();
+        added
+    }
+
+    /// Zero the per-instance hit/miss counters (the process-wide `obs`
+    /// counters are left alone). Used by [`warm`](Self::warm) and by
+    /// serving code that wants stats scoped to live traffic.
+    pub fn reset_stats(&self) {
+        for s in &self.shards {
+            s.hits.store(0, Ordering::Relaxed);
+            s.misses.store(0, Ordering::Relaxed);
         }
     }
 
@@ -101,7 +156,7 @@ impl<'a> EmbeddingCache<'a> {
         // the miss path is where embedding compute actually happens —
         // book it so the ledger separates cache misses from cache wins
         let _t = obs::ledger::phase("cache_miss");
-        let v = self.inner.embed(textv);
+        let v = self.inner.get().embed(textv);
         shard
             .map
             .lock()
@@ -154,7 +209,7 @@ impl<'a> EmbeddingCache<'a> {
 
     /// Embedding width of the wrapped embedder.
     pub fn dim(&self) -> usize {
-        self.inner.dim()
+        self.inner.get().dim()
     }
 }
 
@@ -230,6 +285,22 @@ mod tests {
         assert!(inner2.calls.load(Ordering::Relaxed) >= 37);
         let (h, m) = cache2.stats();
         assert_eq!(h + m, 200);
+    }
+
+    #[test]
+    fn shared_cache_owns_embedder_and_warm_pins() {
+        let cache = EmbeddingCache::shared(Arc::new(CountingEmbedder::new()));
+        let texts = ["a", "bb", "a", "ccc"];
+        let added = cache.warm(&texts);
+        assert_eq!(added, 3);
+        assert_eq!(cache.len(), 3);
+        // warm reset the per-instance stats, so traffic starts clean…
+        assert_eq!(cache.stats(), (0, 0));
+        // …and everything warmed is a hit now
+        let v = cache.embed("bb");
+        assert_eq!(v[0], 2.0);
+        assert_eq!(cache.stats(), (1, 0));
+        assert_eq!(cache.hit_rate(), Some(1.0));
     }
 
     #[test]

@@ -1,0 +1,105 @@
+//! A training-free hashed bag-of-words embedder.
+//!
+//! The transformer families need a pretraining pass and the local
+//! word2vec needs the target corpus; both are overkill when a pipeline
+//! just needs *a* deterministic, similarity-preserving embedder that
+//! exists instantly — CI smoke jobs, serving fixtures, load generators.
+//! [`HashingEmbedder`] fills that slot: each side of a coupled
+//! `left sep right` sequence is hashed into a fixed-width bag-of-words
+//! histogram and the output is the concatenation of the sides' **sum**
+//! and **absolute difference** — a crude relational readout in the same
+//! spirit as the transformer families' coupled-pair features, at zero
+//! training cost. Identical strings embed identically by construction,
+//! so the [`crate::cache::EmbeddingCache`] memoization applies as usual.
+
+use crate::SequenceEmbedder;
+
+/// Hashed bag-of-words over a coupled `left sep right` sequence.
+///
+/// Output layout (width [`dim`](SequenceEmbedder::dim) = `2 × half`):
+/// `(l + r) ⧺ |l − r|` where `l`, `r` are the L2-normalized per-side
+/// histograms. Without a `sep` marker the whole string is treated as the
+/// left side (`r = 0`).
+pub struct HashingEmbedder {
+    half: usize,
+}
+
+impl HashingEmbedder {
+    /// New embedder with output width `dim` (must be even and non-zero;
+    /// each side hashes into `dim / 2` buckets).
+    pub fn new(dim: usize) -> Self {
+        assert!(dim >= 2 && dim.is_multiple_of(2), "dim must be even and >= 2");
+        Self { half: dim / 2 }
+    }
+
+    fn hash_bow(&self, text: &str) -> Vec<f32> {
+        let mut out = vec![0.0f32; self.half];
+        for tok in text.split_whitespace() {
+            let h = linalg::SplitMix64::mix(
+                tok.bytes()
+                    .fold(0u64, |a, b| a.wrapping_mul(131).wrapping_add(b as u64)),
+            );
+            out[(h % self.half as u64) as usize] += 1.0;
+        }
+        linalg::vector::normalize(&mut out);
+        out
+    }
+}
+
+impl SequenceEmbedder for HashingEmbedder {
+    fn dim(&self) -> usize {
+        2 * self.half
+    }
+
+    fn embed(&self, text: &str) -> Vec<f32> {
+        let (l, r) = text.split_once(" sep ").unwrap_or((text, ""));
+        let hl = self.hash_bow(l);
+        let hr = self.hash_bow(r);
+        let mut out = linalg::vector::add(&hl, &hr);
+        out.extend(linalg::vector::abs_diff(&hl, &hr));
+        out
+    }
+
+    fn name(&self) -> String {
+        format!("hash{}", 2 * self.half)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn width_and_determinism() {
+        let e = HashingEmbedder::new(32);
+        assert_eq!(e.dim(), 32);
+        assert_eq!(e.name(), "hash32");
+        let a = e.embed("ipad pro 11 sep ipad pro 11 inch");
+        assert_eq!(a.len(), 32);
+        assert_eq!(a, e.embed("ipad pro 11 sep ipad pro 11 inch"));
+        assert!(a.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn identical_sides_zero_the_difference_half() {
+        let e = HashingEmbedder::new(16);
+        let v = e.embed("acme alpha sep acme alpha");
+        assert!(v[8..].iter().all(|&x| x == 0.0));
+        let w = e.embed("acme alpha sep zzz qqq");
+        assert!(w[8..].iter().any(|&x| x != 0.0));
+    }
+
+    #[test]
+    fn missing_separator_is_left_side_only() {
+        let e = HashingEmbedder::new(16);
+        let v = e.embed("acme alpha");
+        let coupled = e.embed("acme alpha sep ");
+        assert_eq!(v, coupled);
+    }
+
+    #[test]
+    #[should_panic(expected = "even")]
+    fn odd_width_rejected() {
+        HashingEmbedder::new(7);
+    }
+}

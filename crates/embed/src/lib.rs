@@ -22,11 +22,13 @@
 
 pub mod cache;
 pub mod families;
+pub mod hashing;
 pub mod local;
 pub mod pretrain;
 pub mod word2vec;
 
 pub use families::{EmbedderFamily, PretrainedTransformer};
+pub use hashing::HashingEmbedder;
 pub use local::LocalEmbedder;
 pub use word2vec::Word2Vec;
 

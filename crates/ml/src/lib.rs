@@ -48,7 +48,12 @@ pub use error::TrialError;
 /// `fit` consumes features `x` (one row per example) and labels `y`
 /// (`0.0` / `1.0`); `predict_proba` returns the probability of the positive
 /// ("match") class per row.
-pub trait Classifier: Send {
+///
+/// `Send` lets the AutoML engines fan candidate fits across the `par`
+/// pool; `Sync` lets a *fitted* model serve concurrent `predict_proba`
+/// calls by shared reference (the `em-serve` hot path). Every model in
+/// the zoo is plain data after `fit`, so both bounds are free.
+pub trait Classifier: Send + Sync {
     /// Train on the given data, replacing any previous fit. Returns a
     /// [`TrialError`] instead of panicking on degenerate inputs so one
     /// bad candidate never aborts a whole AutoML search.

@@ -1,0 +1,214 @@
+//! Drain-aware shutdown: a gate that tracks in-flight work and lets a
+//! server stop *admitting* new work while every unit already admitted
+//! runs to completion.
+//!
+//! This is the shutdown half of cooperative cancellation ([`crate::cancel`]):
+//! a [`CancelToken`] tells long loops to *stop early*, a [`Gate`] tells a
+//! request boundary to *stop accepting* — and lets the owner wait until
+//! the work that made it through the gate has drained. `em-serve` uses one
+//! gate per server: connection handlers and queued match requests enter
+//! the gate, shutdown closes it (new requests get a typed 503), and the
+//! drain wait returns once the last admitted request has been answered.
+//!
+//! ```
+//! use std::time::Duration;
+//! let gate = par::Gate::new();
+//! let permit = gate.enter().expect("gate open");
+//! gate.close();                       // stop admitting…
+//! assert!(gate.enter().is_none());    // …new work is refused
+//! assert_eq!(gate.in_flight(), 1);
+//! drop(permit);                       // …but admitted work finishes
+//! assert!(gate.drain(Duration::from_secs(1)));
+//! ```
+
+use crate::cancel::CancelToken;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+struct GateInner {
+    closed: AtomicBool,
+    in_flight: Mutex<usize>,
+    drained: Condvar,
+    token: CancelToken,
+}
+
+/// A clonable admission gate with drain-on-close semantics.
+///
+/// * [`enter`](Gate::enter) hands out a [`Permit`] while the gate is open
+///   and refuses (`None`) once it is closed — the caller turns that into
+///   its "shutting down" response.
+/// * [`close`](Gate::close) latches the gate shut and cancels the gate's
+///   [`CancelToken`], so cooperative loops deep inside admitted work (a
+///   model fit polling [`crate::cancel_requested`]) can also wind down.
+/// * [`drain`](Gate::drain) blocks until every outstanding permit has
+///   been dropped (or the timeout passes).
+///
+/// Clones share state: closing one clone closes them all.
+#[derive(Clone)]
+pub struct Gate(Arc<GateInner>);
+
+impl Default for Gate {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Gate {
+    /// A fresh, open gate with zero in-flight permits.
+    pub fn new() -> Self {
+        Gate(Arc::new(GateInner {
+            closed: AtomicBool::new(false),
+            in_flight: Mutex::new(0),
+            drained: Condvar::new(),
+            token: CancelToken::unbounded(),
+        }))
+    }
+
+    /// Admit one unit of work. Returns `None` once the gate is closed;
+    /// otherwise the returned [`Permit`] counts as in-flight until dropped.
+    pub fn enter(&self) -> Option<Permit> {
+        // The count is incremented under the lock *before* re-checking
+        // `closed`, so a concurrent `close(); drain()` either sees this
+        // permit in the count or this call sees the closed flag — never
+        // neither.
+        let mut n = self.0.in_flight.lock().unwrap_or_else(|p| p.into_inner());
+        if self.0.closed.load(Ordering::Acquire) {
+            return None;
+        }
+        *n += 1;
+        drop(n);
+        Some(Permit(self.0.clone()))
+    }
+
+    /// Latch the gate shut: subsequent [`enter`](Gate::enter) calls return
+    /// `None` and the gate's [`token`](Gate::token) reports cancelled.
+    /// Already-issued permits are unaffected. Idempotent.
+    pub fn close(&self) {
+        // Take the lock so `close` serializes against in-progress `enter`
+        // calls (see the comment there), then latch.
+        let _n = self.0.in_flight.lock().unwrap_or_else(|p| p.into_inner());
+        self.0.closed.store(true, Ordering::Release);
+        self.0.token.cancel();
+    }
+
+    /// Whether [`close`](Gate::close) has been called.
+    pub fn is_closed(&self) -> bool {
+        self.0.closed.load(Ordering::Acquire)
+    }
+
+    /// Number of permits currently outstanding.
+    pub fn in_flight(&self) -> usize {
+        *self.0.in_flight.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Block until every outstanding permit is dropped, or `timeout`
+    /// passes. Returns `true` when fully drained. Usually called after
+    /// [`close`](Gate::close); calling it on an open gate just waits for a
+    /// momentarily idle instant.
+    pub fn drain(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        let mut n = self.0.in_flight.lock().unwrap_or_else(|p| p.into_inner());
+        while *n > 0 {
+            let left = deadline.saturating_duration_since(Instant::now());
+            if left.is_zero() {
+                return false;
+            }
+            let (guard, _) = self
+                .0
+                .drained
+                .wait_timeout(n, left)
+                .unwrap_or_else(|p| p.into_inner());
+            n = guard;
+        }
+        true
+    }
+
+    /// A clone of the gate's cancellation token: cancelled by
+    /// [`close`](Gate::close), for handing into cooperative loops (e.g.
+    /// via [`crate::with_cancel`]).
+    pub fn token(&self) -> CancelToken {
+        self.0.token.clone()
+    }
+}
+
+impl std::fmt::Debug for Gate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Gate")
+            .field("closed", &self.is_closed())
+            .field("in_flight", &self.in_flight())
+            .finish()
+    }
+}
+
+/// An in-flight marker issued by [`Gate::enter`]; dropping it releases the
+/// slot and wakes any [`Gate::drain`] waiter.
+pub struct Permit(Arc<GateInner>);
+
+impl Drop for Permit {
+    fn drop(&mut self) {
+        let mut n = self.0.in_flight.lock().unwrap_or_else(|p| p.into_inner());
+        *n = n.saturating_sub(1);
+        if *n == 0 {
+            self.0.drained.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn enter_close_refuse() {
+        let g = Gate::new();
+        assert!(!g.is_closed());
+        let p = g.enter().expect("open");
+        assert_eq!(g.in_flight(), 1);
+        g.close();
+        assert!(g.is_closed());
+        assert!(g.enter().is_none());
+        assert!(g.token().is_cancelled());
+        // still one permit out
+        assert!(!g.drain(Duration::from_millis(10)));
+        drop(p);
+        assert!(g.drain(Duration::from_millis(100)));
+        assert_eq!(g.in_flight(), 0);
+    }
+
+    #[test]
+    fn close_is_idempotent_and_shared_across_clones() {
+        let g = Gate::new();
+        let g2 = g.clone();
+        g.close();
+        g.close();
+        assert!(g2.is_closed());
+        assert!(g2.enter().is_none());
+    }
+
+    #[test]
+    fn drain_waits_for_concurrent_permits() {
+        let g = Gate::new();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let g = g.clone();
+                s.spawn(move || {
+                    let _p = g.enter().expect("open");
+                    std::thread::sleep(Duration::from_millis(20));
+                });
+            }
+            // give the workers a moment to enter, then close + drain
+            std::thread::sleep(Duration::from_millis(5));
+            g.close();
+            assert!(g.drain(Duration::from_secs(5)));
+            assert_eq!(g.in_flight(), 0);
+        });
+    }
+
+    #[test]
+    fn drain_on_idle_open_gate_returns_immediately() {
+        let g = Gate::new();
+        assert!(g.drain(Duration::ZERO));
+    }
+}

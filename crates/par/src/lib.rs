@@ -54,7 +54,9 @@
 #![warn(missing_docs)]
 
 mod cancel;
+mod drain;
 mod pool;
 
 pub use cancel::{cancel_requested, with_cancel, CancelToken, Deadline};
+pub use drain::{Gate, Permit};
 pub use pool::{catch_panic, map, map_indexed, reset_threads, scope, set_threads, threads};

@@ -1,0 +1,385 @@
+//! Serving-layer contract tests: the wire protocol survives hostile
+//! inputs, served probabilities are bit-identical to offline `predict`
+//! at any thread count and any batching, and a graceful shutdown
+//! answers every request it admitted.
+//!
+//! The HTTP tests speak raw bytes over `TcpStream` on purpose — the
+//! point is to exercise torn requests, pipelining and oversized frames
+//! exactly as a socket would deliver them, not as a well-behaved client
+//! library would.
+
+use em_core::model::{ModelHost, ModelSpec};
+use em_data::{RecordPair, Schema, Split};
+use em_serve::{serve, ServeConfig};
+use obs::json::{self, Json};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+use std::time::Duration;
+
+/// Serializes tests that flip the global `par` thread override.
+fn guard() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+/// One fixture model for the whole binary — training takes a second,
+/// every test shares the host read-only.
+fn fixture() -> &'static ModelHost {
+    static HOST: OnceLock<ModelHost> = OnceLock::new();
+    HOST.get_or_init(|| {
+        ModelSpec {
+            scale: 0.3,
+            budget_hours: 0.1,
+            ..ModelSpec::fixture()
+        }
+        .train()
+        .expect("fixture training failed")
+    })
+}
+
+fn test_config() -> ServeConfig {
+    ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        linger_us: 500,
+        ..ServeConfig::default()
+    }
+}
+
+fn start_server() -> (em_serve::ServerHandle, SocketAddr) {
+    let host = std::sync::Arc::new(
+        ModelSpec {
+            scale: 0.3,
+            budget_hours: 0.1,
+            ..ModelSpec::fixture()
+        }
+        .train()
+        .expect("fixture training failed"),
+    );
+    let handle = serve(host, &test_config()).expect("bind failed");
+    let addr = handle.addr();
+    (handle, addr)
+}
+
+/// Send raw bytes, read until the peer closes or one full response
+/// (head + content-length body) is buffered; return the raw response.
+fn roundtrip(addr: SocketAddr, raw: &[u8]) -> String {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.write_all(raw).expect("write");
+    read_one_response(&mut stream)
+}
+
+fn read_one_response(stream: &mut TcpStream) -> String {
+    let mut buf = Vec::new();
+    let mut chunk = [0u8; 4096];
+    loop {
+        if let Some(head_end) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
+            let head = String::from_utf8_lossy(&buf[..head_end]).to_string();
+            let need: usize = head
+                .lines()
+                .find_map(|l| {
+                    let (k, v) = l.split_once(':')?;
+                    k.eq_ignore_ascii_case("content-length")
+                        .then(|| v.trim().parse().ok())?
+                })
+                .unwrap_or(0);
+            if buf.len() >= head_end + 4 + need {
+                return String::from_utf8_lossy(&buf[..head_end + 4 + need]).to_string();
+            }
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => return String::from_utf8_lossy(&buf).to_string(),
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e) => panic!("read failed: {e}"),
+        }
+    }
+}
+
+fn body_of(response: &str) -> &str {
+    response
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b)
+        .unwrap_or("")
+}
+
+fn pair_body(schema: &Schema, pair: &RecordPair) -> String {
+    let entity = |e: &em_data::Entity| {
+        let mut o = json::Obj::new();
+        for (i, attr) in schema.attributes().iter().enumerate() {
+            if let Some(v) = e.value(i) {
+                o.str(&attr.name, v);
+            }
+        }
+        o.finish()
+    };
+    let mut o = json::Obj::new();
+    o.raw("left", &entity(&pair.left))
+        .raw("right", &entity(&pair.right));
+    o.finish()
+}
+
+fn post(path: &str, body: &str) -> Vec<u8> {
+    format!(
+        "POST {path} HTTP/1.1\r\ncontent-length: {}\r\n\r\n{body}",
+        body.len()
+    )
+    .into_bytes()
+}
+
+// ---------------------------------------------------------------- protocol
+
+#[test]
+fn healthz_and_metrics_respond() {
+    let _g = guard();
+    let (handle, addr) = start_server();
+    let rsp = roundtrip(addr, b"GET /healthz HTTP/1.1\r\nconnection: close\r\n\r\n");
+    assert!(rsp.starts_with("HTTP/1.1 200"), "{rsp}");
+    let v = json::parse(body_of(&rsp)).unwrap();
+    assert_eq!(v.get("status").and_then(Json::as_str), Some("ok"));
+    assert!(v.get("threshold").and_then(Json::as_f64).is_some());
+    let rsp = roundtrip(addr, b"GET /metrics HTTP/1.1\r\nconnection: close\r\n\r\n");
+    assert!(rsp.starts_with("HTTP/1.1 200"), "{rsp}");
+    assert!(json::parse(body_of(&rsp)).is_ok(), "metrics must be JSON");
+    assert!(handle.shutdown());
+}
+
+#[test]
+fn torn_request_completes_when_rest_arrives() {
+    let _g = guard();
+    let (handle, addr) = start_server();
+    let host = fixture();
+    let pair = &host.dataset().split(Split::Test)[0];
+    let raw = post("/match", &pair_body(host.schema(), pair));
+    // drip-feed the request in three fragments with pauses: the parser
+    // must wait for the tail instead of erroring on the torn prefix
+    let mut stream = TcpStream::connect(addr).unwrap();
+    let cut_a = raw.len() / 3;
+    let cut_b = 2 * raw.len() / 3;
+    for part in [&raw[..cut_a], &raw[cut_a..cut_b], &raw[cut_b..]] {
+        stream.write_all(part).unwrap();
+        stream.flush().unwrap();
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    let rsp = read_one_response(&mut stream);
+    assert!(rsp.starts_with("HTTP/1.1 200"), "{rsp}");
+    assert!(handle.shutdown());
+}
+
+#[test]
+fn protocol_violations_get_typed_errors() {
+    let _g = guard();
+    let (handle, addr) = start_server();
+    // POST without Content-Length → 411
+    let rsp = roundtrip(addr, b"POST /match HTTP/1.1\r\n\r\n");
+    assert!(rsp.starts_with("HTTP/1.1 411"), "{rsp}");
+    // chunked framing → 501
+    let rsp = roundtrip(
+        addr,
+        b"POST /match HTTP/1.1\r\ntransfer-encoding: chunked\r\n\r\n",
+    );
+    assert!(rsp.starts_with("HTTP/1.1 501"), "{rsp}");
+    // oversized declared body → 413
+    let rsp = roundtrip(
+        addr,
+        format!(
+            "POST /match HTTP/1.1\r\ncontent-length: {}\r\n\r\n",
+            200 << 20
+        )
+        .as_bytes(),
+    );
+    assert!(rsp.starts_with("HTTP/1.1 413"), "{rsp}");
+    // header bomb → 431
+    let mut bomb = b"GET / HTTP/1.1\r\nx-pad: ".to_vec();
+    bomb.extend(std::iter::repeat_n(b'a', 9000));
+    bomb.extend_from_slice(b"\r\n\r\n");
+    let rsp = roundtrip(addr, &bomb);
+    assert!(rsp.starts_with("HTTP/1.1 431"), "{rsp}");
+    // garbage request line → 400
+    let rsp = roundtrip(addr, b"GARBAGE\r\n\r\n");
+    assert!(rsp.starts_with("HTTP/1.1 400"), "{rsp}");
+    // unknown route → 404, wrong method → 405
+    let rsp = roundtrip(addr, b"GET /nope HTTP/1.1\r\nconnection: close\r\n\r\n");
+    assert!(rsp.starts_with("HTTP/1.1 404"), "{rsp}");
+    let rsp = roundtrip(addr, b"GET /match HTTP/1.1\r\nconnection: close\r\n\r\n");
+    assert!(rsp.starts_with("HTTP/1.1 405"), "{rsp}");
+    // bad entity payloads → 400 with a JSON error body
+    let rsp = roundtrip(addr, &post("/match", "{\"left\":{}}"));
+    assert!(rsp.starts_with("HTTP/1.1 400"), "{rsp}");
+    let v = json::parse(body_of(&rsp)).unwrap();
+    assert_eq!(
+        v.get("error")
+            .and_then(|e| e.get("code"))
+            .and_then(Json::as_str),
+        Some("bad_request")
+    );
+    let rsp = roundtrip(
+        addr,
+        &post("/match", "{\"left\":{\"no_such_attr\":\"x\"},\"right\":{}}"),
+    );
+    assert!(rsp.starts_with("HTTP/1.1 400"), "{rsp}");
+    assert!(handle.shutdown());
+}
+
+#[test]
+fn pipelined_requests_answer_in_order() {
+    let _g = guard();
+    let (handle, addr) = start_server();
+    let host = fixture();
+    let pairs = host.dataset().split(Split::Test);
+    let schema = host.schema();
+    // two POSTs written back-to-back before reading anything
+    let mut raw = post("/match", &pair_body(schema, &pairs[0]));
+    raw.extend(post("/match", &pair_body(schema, &pairs[1])));
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream.write_all(&raw).unwrap();
+    let expect = fixture().match_proba(&pairs[..2]);
+    for expected in expect.iter().take(2) {
+        let rsp = read_one_response(&mut stream);
+        assert!(rsp.starts_with("HTTP/1.1 200"), "{rsp}");
+        let p = json::parse(body_of(&rsp))
+            .unwrap()
+            .get("p_match")
+            .and_then(Json::as_f64)
+            .unwrap();
+        assert_eq!((p as f32).to_bits(), expected.to_bits());
+    }
+    assert!(handle.shutdown());
+}
+
+// ------------------------------------------------------------ bit-identity
+
+/// Served probabilities equal offline `match_proba` bit-for-bit, via
+/// single requests and via one batch request, with the `par` pool pinned
+/// to 1 and then 4 workers.
+#[test]
+fn served_probs_bit_identical_to_offline_at_1_and_4_threads() {
+    let _g = guard();
+    let host = fixture();
+    let pairs =
+        &host.dataset().split(Split::Test)[..8.min(host.dataset().split(Split::Test).len())];
+    let schema = host.schema();
+    let offline = host.match_proba(pairs);
+    for threads in [1usize, 4] {
+        par::set_threads(threads);
+        let (handle, addr) = start_server();
+        // one-by-one
+        let mut stream = TcpStream::connect(addr).unwrap();
+        for (i, pair) in pairs.iter().enumerate() {
+            stream
+                .write_all(&post("/match", &pair_body(schema, pair)))
+                .unwrap();
+            let rsp = read_one_response(&mut stream);
+            assert!(rsp.starts_with("HTTP/1.1 200"), "{rsp}");
+            let p = json::parse(body_of(&rsp))
+                .unwrap()
+                .get("p_match")
+                .and_then(Json::as_f64)
+                .unwrap();
+            assert_eq!(
+                (p as f32).to_bits(),
+                offline[i].to_bits(),
+                "pair {i} at {threads} threads"
+            );
+        }
+        // all at once through /match/batch
+        let body = {
+            let mut o = json::Obj::new();
+            o.raw(
+                "pairs",
+                &json::array(pairs.iter().map(|p| pair_body(schema, p))),
+            );
+            o.finish()
+        };
+        let rsp = roundtrip(addr, &post("/match/batch", &body));
+        assert!(rsp.starts_with("HTTP/1.1 200"), "{rsp}");
+        let v = json::parse(body_of(&rsp)).unwrap();
+        assert_eq!(
+            v.get("batch").and_then(Json::as_u64),
+            Some(pairs.len() as u64)
+        );
+        let results = match v.get("results") {
+            Some(Json::Arr(items)) => items.clone(),
+            other => panic!("missing results array: {other:?}"),
+        };
+        for (i, item) in results.iter().enumerate() {
+            let p = item.get("p_match").and_then(Json::as_f64).unwrap();
+            assert_eq!(
+                (p as f32).to_bits(),
+                offline[i].to_bits(),
+                "batch result {i} at {threads} threads"
+            );
+        }
+        par::reset_threads();
+        assert!(handle.shutdown());
+    }
+}
+
+// ----------------------------------------------------------------- drain
+
+/// Graceful shutdown: every request accepted before the drain gets a
+/// real answer; none are dropped on the floor.
+#[test]
+fn drain_answers_every_accepted_request() {
+    let _g = guard();
+    let (handle, addr) = start_server();
+    let host = fixture();
+    let pairs = host.dataset().split(Split::Test);
+    let schema = host.schema();
+    let offline = host.match_proba(pairs);
+    let n_clients = 6usize;
+    let answered: Vec<(usize, u32)> = std::thread::scope(|s| {
+        let workers: Vec<_> = (0..n_clients)
+            .map(|c| {
+                s.spawn(move || {
+                    let idx = c % pairs.len();
+                    let mut stream = TcpStream::connect(addr).expect("connect");
+                    stream
+                        .write_all(&post("/match", &pair_body(schema, &pairs[idx])))
+                        .expect("write");
+                    let rsp = read_one_response(&mut stream);
+                    assert!(rsp.starts_with("HTTP/1.1 200"), "client {c}: {rsp}");
+                    let p = json::parse(body_of(&rsp))
+                        .unwrap()
+                        .get("p_match")
+                        .and_then(Json::as_f64)
+                        .unwrap();
+                    (idx, (p as f32).to_bits())
+                })
+            })
+            .collect();
+        // let the clients get their requests in flight, then drain while
+        // they are still waiting on answers
+        std::thread::sleep(Duration::from_millis(30));
+        assert!(handle.shutdown(), "drain timed out");
+        workers.into_iter().map(|w| w.join().unwrap()).collect()
+    });
+    assert_eq!(answered.len(), n_clients);
+    for (idx, bits) in answered {
+        assert_eq!(bits, offline[idx].to_bits(), "pair {idx}");
+    }
+}
+
+/// After the gate closes, *new* connections are refused with a typed
+/// `503 draining` rather than a silent hang-up.
+#[test]
+fn new_connections_during_drain_get_503() {
+    let _g = guard();
+    let (handle, addr) = start_server();
+    // hold one idle connection so the drain has something to wait for
+    let _idle = TcpStream::connect(addr).unwrap();
+    let shutdown = std::thread::spawn(move || handle.shutdown());
+    std::thread::sleep(Duration::from_millis(30));
+    // the accept thread is gone or the gate is closed: either the
+    // connect is refused outright or the server answers 503 draining
+    if let Ok(mut stream) = TcpStream::connect(addr) {
+        let mut buf = Vec::new();
+        let _ = stream.write_all(b"GET /healthz HTTP/1.1\r\n\r\n");
+        let _ = stream.read_to_end(&mut buf);
+        let rsp = String::from_utf8_lossy(&buf);
+        assert!(
+            rsp.is_empty() || rsp.starts_with("HTTP/1.1 503"),
+            "expected close or 503, got: {rsp}"
+        );
+    }
+    assert!(shutdown.join().unwrap());
+}
