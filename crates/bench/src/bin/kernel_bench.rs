@@ -16,13 +16,18 @@
 //! the stack's observability surface.
 //!
 //! ```text
-//! kernel_bench [--out <dir>] [--iters <k>] [--threads <n>] [--check]
+//! kernel_bench [--out <dir>] [--iters <k>] [--threads <list>] [--check]
 //!              [--diff <baseline.json>] [--max-regress <pct>]
 //! ```
 //!
-//! `--check` runs a seconds-long smoke pass on small shapes, re-parses
-//! the JSON it wrote and asserts every recorded number is finite — the
-//! CI `bench-smoke` job gate.
+//! `--threads 1,2,4` (the default for full runs) benches the GEMM family
+//! once per worker count; entry names carry the count (`gemm_256x256x256_t4`).
+//! The naive reference and the single-threaded vector kernels are recorded
+//! on the first pass only.
+//!
+//! `--check` runs a seconds-long smoke pass on small shapes — t1 and t2,
+//! GEMMs and vector kernels — re-parses the JSON it wrote and asserts
+//! every recorded number is finite — the CI `bench-smoke` job gate.
 //!
 //! `--diff <baseline.json>` compares the fresh run against a previously
 //! committed `BENCH_kernels.json`: every same-name entry whose
@@ -104,8 +109,15 @@ fn bench_entry(
 }
 
 /// GEMM-family benches at one thread count. `m×k · k×n` counts
-/// `2·m·k·n` flops (multiply + add).
-fn bench_gemms(entries: &mut Vec<Entry>, shapes: &[(usize, usize, usize)], iters: usize) {
+/// `2·m·k·n` flops (multiply + add). The naive pre-microkernel reference
+/// is sequential by design, so it is only recorded on the t1 pass
+/// (`with_reference`).
+fn bench_gemms(
+    entries: &mut Vec<Entry>,
+    shapes: &[(usize, usize, usize)],
+    iters: usize,
+    with_reference: bool,
+) {
     let threads = par::threads();
     for &(m, k, n) in shapes {
         let mut rng = Rng::new(0xBE9C);
@@ -127,18 +139,20 @@ fn bench_gemms(entries: &mut Vec<Entry>, shapes: &[(usize, usize, usize)], iters
                 std::hint::black_box(a.matmul(&b));
             },
         );
-        bench_entry(
-            entries,
-            &name("gemm_reference"),
-            "matmul_reference",
-            &shape,
-            threads,
-            iters,
-            flops,
-            || {
-                std::hint::black_box(a.matmul_reference(&b));
-            },
-        );
+        if with_reference {
+            bench_entry(
+                entries,
+                &name("gemm_reference"),
+                "matmul_reference",
+                &shape,
+                threads,
+                iters,
+                flops,
+                || {
+                    std::hint::black_box(a.matmul_reference(&b));
+                },
+            );
+        }
         bench_entry(
             entries,
             &name("gemm_tb"),
@@ -167,6 +181,8 @@ fn bench_gemms(entries: &mut Vec<Entry>, shapes: &[(usize, usize, usize)], iters
 }
 
 /// Single-threaded vector kernels (dot / cosine / matvec / matvec_t).
+/// Names carry the `_t1` suffix like the GEMM rows so one naming scheme
+/// covers the whole artifact.
 fn bench_vector_kernels(entries: &mut Vec<Entry>, dim: usize, rows: usize, iters: usize) {
     let mut rng = Rng::new(0xD07);
     let x: Vec<f32> = (0..dim).map(|_| rng.normal()).collect();
@@ -176,7 +192,7 @@ fn bench_vector_kernels(entries: &mut Vec<Entry>, dim: usize, rows: usize, iters
     let vr: Vec<f32> = (0..rows).map(|_| rng.normal()).collect();
     bench_entry(
         entries,
-        &format!("dot_{dim}"),
+        &format!("dot_{dim}_t1"),
         "vector::dot",
         &[dim],
         1,
@@ -188,7 +204,7 @@ fn bench_vector_kernels(entries: &mut Vec<Entry>, dim: usize, rows: usize, iters
     );
     bench_entry(
         entries,
-        &format!("cosine_{dim}"),
+        &format!("cosine_{dim}_t1"),
         "vector::cosine",
         &[dim],
         1,
@@ -200,7 +216,7 @@ fn bench_vector_kernels(entries: &mut Vec<Entry>, dim: usize, rows: usize, iters
     );
     bench_entry(
         entries,
-        &format!("matvec_{rows}x{dim}"),
+        &format!("matvec_{rows}x{dim}_t1"),
         "matvec",
         &[rows, dim],
         1,
@@ -212,7 +228,7 @@ fn bench_vector_kernels(entries: &mut Vec<Entry>, dim: usize, rows: usize, iters
     );
     bench_entry(
         entries,
-        &format!("matvec_t_{rows}x{dim}"),
+        &format!("matvec_t_{rows}x{dim}_t1"),
         "matvec_t",
         &[rows, dim],
         1,
@@ -334,7 +350,7 @@ fn main() {
     let mut out_dir = "results".to_owned();
     let mut iters = 9usize;
     let mut check = false;
-    let mut threads_override: Option<usize> = None;
+    let mut threads_override: Option<Vec<usize>> = None;
     let mut diff_baseline: Option<String> = None;
     let mut max_regress = 50.0f64;
     let mut i = 1;
@@ -352,11 +368,23 @@ fn main() {
                 i += 2;
             }
             "--threads" => {
-                threads_override = Some(
-                    args.get(i + 1)
-                        .and_then(|v| v.parse().ok())
-                        .expect("--threads needs a positive integer"),
+                let list: Vec<usize> = args
+                    .get(i + 1)
+                    .map(|v| {
+                        v.split(',')
+                            .map(|t| {
+                                t.trim()
+                                    .parse()
+                                    .expect("--threads needs positive integers (e.g. 1,2,4)")
+                            })
+                            .collect()
+                    })
+                    .expect("--threads needs a thread-count list (e.g. 1,2,4)");
+                assert!(
+                    !list.is_empty() && list.iter().all(|&t| t > 0),
+                    "--threads needs positive integers (e.g. 1,2,4)"
                 );
+                threads_override = Some(list);
                 i += 2;
             }
             "--check" => {
@@ -389,35 +417,41 @@ fn main() {
 
     let mut entries = Vec::new();
     if check {
-        // smoke shapes: seconds, not minutes, but still through every kernel
+        // smoke shapes: seconds, not minutes, but still through every
+        // kernel — including one multithreaded GEMM pass and the vector
+        // kernels, so the CI --diff gate covers the whole entry set
         iters = iters.min(3);
-        par::set_threads(1);
-        bench_gemms(&mut entries, &[(32, 32, 32), (17, 13, 9)], iters);
-        bench_vector_kernels(&mut entries, 64, 32, iters);
-        par::reset_threads();
+        let counts = threads_override.unwrap_or_else(|| vec![1, 2]);
+        let smoke = [(32, 32, 32), (17, 13, 9)];
+        for (pass, &t) in counts.iter().enumerate() {
+            par::set_threads(t);
+            bench_gemms(&mut entries, &smoke, iters, pass == 0);
+            if pass == 0 {
+                bench_vector_kernels(&mut entries, 64, 32, iters);
+            }
+            par::reset_threads();
+        }
     } else {
-        // single-thread numbers first: the regression anchor (256³), the
-        // batch×768 embedding projection, attention-head score shapes and
-        // a tree-booster feature block
+        // shapes: the 256³ regression anchor, the batch×768 embedding
+        // projection, attention-head score shapes and a tree-booster
+        // feature block. One pass per requested worker count (default
+        // t1/t2/t4); the naive reference and the single-threaded vector
+        // kernels ride on the first pass only.
         let shapes = [
             (256, 256, 256),
             (64, 768, 768),
             (128, 64, 128),
             (2048, 32, 8),
         ];
-        par::set_threads(1);
-        bench_gemms(&mut entries, &shapes, iters);
-        bench_vector_kernels(&mut entries, 768, 768, iters);
-        par::reset_threads();
-        // the same GEMM shapes at the configured worker count, to record
-        // the parallel trajectory alongside the single-thread one
-        if let Some(n) = threads_override {
-            par::set_threads(n);
+        let counts = threads_override.unwrap_or_else(|| vec![1, 2, 4]);
+        for (pass, &t) in counts.iter().enumerate() {
+            par::set_threads(t);
+            bench_gemms(&mut entries, &shapes, iters, pass == 0 && t == 1);
+            if pass == 0 {
+                bench_vector_kernels(&mut entries, 768, 768, iters);
+            }
+            par::reset_threads();
         }
-        if par::threads() > 1 {
-            bench_gemms(&mut entries, &shapes, iters);
-        }
-        par::reset_threads();
     }
 
     let path = write_json(&entries, iters, &out_dir);

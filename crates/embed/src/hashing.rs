@@ -28,7 +28,10 @@ impl HashingEmbedder {
     /// New embedder with output width `dim` (must be even and non-zero;
     /// each side hashes into `dim / 2` buckets).
     pub fn new(dim: usize) -> Self {
-        assert!(dim >= 2 && dim.is_multiple_of(2), "dim must be even and >= 2");
+        assert!(
+            dim >= 2 && dim.is_multiple_of(2),
+            "dim must be even and >= 2"
+        );
         Self { half: dim / 2 }
     }
 

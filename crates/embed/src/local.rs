@@ -10,7 +10,7 @@
 
 use crate::word2vec::{W2vConfig, Word2Vec};
 use crate::SequenceEmbedder;
-use linalg::vector::cosine;
+use linalg::vector::{cosine, cosine_with_norms, norm};
 use text::tokenize::words;
 
 /// A dataset-local word2vec embedder with the coupled-pair readout.
@@ -54,13 +54,23 @@ impl LocalEmbedder {
 }
 
 /// Mean of the best cosine match of each `a` vector against `b`.
+///
+/// Norms are hoisted out of the pair loop; `cosine_with_norms` is
+/// bit-identical to `cosine` by the fused-cosine contract in
+/// `linalg::vector`.
 fn soft_overlap(a: &[Vec<f32>], b: &[Vec<f32>]) -> f32 {
     if a.is_empty() || b.is_empty() {
         return 0.0;
     }
+    let b_norms: Vec<f32> = b.iter().map(|vb| norm(vb)).collect();
     let mut total = 0.0f32;
     for va in a {
-        let best = b.iter().map(|vb| cosine(va, vb)).fold(-1.0f32, f32::max);
+        let na = norm(va);
+        let best = b
+            .iter()
+            .zip(&b_norms)
+            .map(|(vb, &nb)| cosine_with_norms(va, vb, na, nb))
+            .fold(-1.0f32, f32::max);
         total += best;
     }
     total / a.len() as f32

@@ -3,26 +3,163 @@
 //! These are the hot kernels of the stack (dot products inside matmuls and
 //! kNN, softmax inside every attention head and classifier). They take plain
 //! slices so callers never pay for a wrapper type.
+//!
+//! **Reduction kernels and the two-build dispatch.** [`dot`] and the fused
+//! [`cosine`] follow the runtime-dispatch scheme of `crate::gemm`: a
+//! baseline build and an AVX2 build of the *same fixed accumulator
+//! structure* ([`WIDE_LANES`] independent lanes, element `i` in lane
+//! `i % WIDE_LANES`, a fixed pairwise reduction tree, a scalar tail),
+//! selected per call by runtime CPU detection. For [`cosine`] the AVX2
+//! build is literally the same source recompiled under
+//! `#[target_feature(enable = "avx2")]`; for [`dot`] (and `Matrix::matvec`
+//! on top of it) LLVM's autovectorizer stops at 128-bit for the plain
+//! one-bank loop, so its AVX2 build spells the identical lane structure
+//! out with explicit 256-bit intrinsics instead ([`avx::dot_wide`]): lane
+//! `8g + l` lives in lane `l` of ymm accumulator `g`, advanced by the same
+//! multiply-and-add per element in the same order, then spilled into the
+//! same reduction tree and tail. Either way the builds are
+//! **bit-identical** — the structure, not the instruction encoding,
+//! determines the bits — and `tests/kernel_conformance.rs` enforces it
+//! against the exported `*_generic` baselines.
+//!
+//! The three sums inside [`cosine`] each use the *same* accumulator
+//! structure as [`dot`], so `cosine(a, b)` is bit-identical to the
+//! decomposed form `(dot(a, b) / (norm(a) · norm(b))).clamp(-1, 1)` — the
+//! contract [`cosine_with_norms`] relies on to let blocking loops hoist
+//! norms out of their pair loops.
 
-/// Dot product. Panics if lengths differ.
-pub fn dot(a: &[f32], b: &[f32]) -> f32 {
-    assert_eq!(a.len(), b.len(), "dot: length mismatch");
-    // Four-lane manual unroll: keeps independent accumulator chains so the
-    // compiler can use SIMD without relying on float reassociation.
-    let mut acc = [0.0f32; 4];
-    let chunks = a.len() / 4;
-    for i in 0..chunks {
-        let o = i * 4;
-        acc[0] += a[o] * b[o];
-        acc[1] += a[o + 1] * b[o + 1];
-        acc[2] += a[o + 2] * b[o + 2];
-        acc[3] += a[o + 3] * b[o + 3];
+/// Independent accumulator lanes in [`dot`] and each fused [`cosine`] sum.
+///
+/// Element `i` of the main loop always lands in lane `i % WIDE_LANES`,
+/// and lanes collapse through a fixed pairwise tree — the structure, not
+/// the SIMD width, determines the bits of the result. 32 lanes = four
+/// 8-float AVX2 registers, enough independent add chains to hide FP-add
+/// latency at 768-dim embedding length.
+pub const WIDE_LANES: usize = 32;
+
+/// Collapse a lane bank through a fixed pairwise tree (16+16, 8+8, …).
+#[inline(always)]
+fn reduce_lanes(acc: &[f32; WIDE_LANES]) -> f32 {
+    let mut tmp = *acc;
+    let mut w = WIDE_LANES / 2;
+    while w >= 1 {
+        for c in 0..w {
+            tmp[c] += tmp[c + w];
+        }
+        w /= 2;
     }
-    let mut sum = acc[0] + acc[1] + acc[2] + acc[3];
-    for i in chunks * 4..a.len() {
+    tmp[0]
+}
+
+/// The one dot-product loop both builds compile (crate-visible so
+/// `Matrix::matvec` can inline it into its own two-build dispatch).
+#[inline(always)]
+pub(crate) fn dot_body(a: &[f32], b: &[f32]) -> f32 {
+    const L: usize = WIDE_LANES;
+    let mut acc = [0.0f32; L];
+    let blocks = a.len() / L;
+    for (av, bv) in a[..blocks * L]
+        .chunks_exact(L)
+        .zip(b[..blocks * L].chunks_exact(L))
+    {
+        for c in 0..L {
+            acc[c] += av[c] * bv[c];
+        }
+    }
+    let mut sum = reduce_lanes(&acc);
+    for i in blocks * L..a.len() {
         sum += a[i] * b[i];
     }
     sum
+}
+
+/// Explicit 256-bit forms of the wide-lane kernels, for the AVX2 builds
+/// where recompiling the scalar body is not enough (see the module docs).
+#[cfg(target_arch = "x86_64")]
+pub(crate) mod avx {
+    use super::{reduce_lanes, WIDE_LANES};
+    use core::arch::x86_64::*;
+
+    /// [`super::dot_body`]'s accumulator structure in four ymm registers:
+    /// lane `8g + l` is lane `l` of accumulator `g`, each advanced by
+    /// `+= a[i] * b[i]` in increasing-`i` order exactly as the scalar
+    /// build advances `acc[i % WIDE_LANES]`, then spilled back into the
+    /// lane array for the shared reduction tree and scalar tail. Same
+    /// float ops on the same values in the same order → identical bits.
+    ///
+    /// # Safety
+    /// Caller must have verified AVX2 support, and `b` must be at least
+    /// as long as `a`.
+    #[inline(always)]
+    pub(crate) unsafe fn dot_wide(a: &[f32], b: &[f32]) -> f32 {
+        const L: usize = WIDE_LANES;
+        debug_assert!(b.len() >= a.len());
+        let blocks = a.len() / L;
+        let mut acc0 = _mm256_setzero_ps();
+        let mut acc1 = _mm256_setzero_ps();
+        let mut acc2 = _mm256_setzero_ps();
+        let mut acc3 = _mm256_setzero_ps();
+        for blk in 0..blocks {
+            let pa = a.as_ptr().add(blk * L);
+            let pb = b.as_ptr().add(blk * L);
+            acc0 = _mm256_add_ps(
+                acc0,
+                _mm256_mul_ps(_mm256_loadu_ps(pa), _mm256_loadu_ps(pb)),
+            );
+            acc1 = _mm256_add_ps(
+                acc1,
+                _mm256_mul_ps(_mm256_loadu_ps(pa.add(8)), _mm256_loadu_ps(pb.add(8))),
+            );
+            acc2 = _mm256_add_ps(
+                acc2,
+                _mm256_mul_ps(_mm256_loadu_ps(pa.add(16)), _mm256_loadu_ps(pb.add(16))),
+            );
+            acc3 = _mm256_add_ps(
+                acc3,
+                _mm256_mul_ps(_mm256_loadu_ps(pa.add(24)), _mm256_loadu_ps(pb.add(24))),
+            );
+        }
+        let mut lanes = [0.0f32; L];
+        _mm256_storeu_ps(lanes.as_mut_ptr(), acc0);
+        _mm256_storeu_ps(lanes.as_mut_ptr().add(8), acc1);
+        _mm256_storeu_ps(lanes.as_mut_ptr().add(16), acc2);
+        _mm256_storeu_ps(lanes.as_mut_ptr().add(24), acc3);
+        let mut sum = reduce_lanes(&lanes);
+        for i in blocks * L..a.len() {
+            sum += a[i] * b[i];
+        }
+        sum
+    }
+}
+
+/// The AVX2 build of [`dot`]: [`avx::dot_wide`], the hand-vectorized form
+/// of [`dot_body`]'s lane structure.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn dot_avx2(a: &[f32], b: &[f32]) -> f32 {
+    avx::dot_wide(a, b)
+}
+
+/// Dot product. Panics if lengths differ.
+///
+/// Dispatches once per call between the baseline and AVX2 compilations of
+/// the same loop (see the module docs); both produce identical bits.
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "dot: length mismatch");
+    #[cfg(target_arch = "x86_64")]
+    if std::arch::is_x86_feature_detected!("avx2") {
+        // SAFETY: the avx2 feature was just detected at runtime.
+        return unsafe { dot_avx2(a, b) };
+    }
+    dot_body(a, b)
+}
+
+/// The baseline (no `target_feature`) compilation of [`dot`] — exported so
+/// the kernel conformance suite can prove the SIMD dispatch is
+/// bit-transparent. Not a fast path; call [`dot`].
+pub fn dot_generic(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "dot: length mismatch");
+    dot_body(a, b)
 }
 
 /// `y += alpha * x`, in place.
@@ -56,10 +193,90 @@ pub fn sq_dist(a: &[f32], b: &[f32]) -> f32 {
     s
 }
 
+/// The one fused-cosine loop both builds compile: `a·a`, `b·b` and `a·b`
+/// accumulated in a single pass, each sum with exactly the accumulator
+/// structure of [`dot_body`] — so every sum is bit-identical to the
+/// corresponding standalone [`dot`] call.
+#[inline(always)]
+fn cosine_sums_body(a: &[f32], b: &[f32]) -> (f32, f32, f32) {
+    const L: usize = WIDE_LANES;
+    let mut aa = [0.0f32; L];
+    let mut bb = [0.0f32; L];
+    let mut ab = [0.0f32; L];
+    let blocks = a.len() / L;
+    for (av, bv) in a[..blocks * L]
+        .chunks_exact(L)
+        .zip(b[..blocks * L].chunks_exact(L))
+    {
+        for c in 0..L {
+            aa[c] += av[c] * av[c];
+            bb[c] += bv[c] * bv[c];
+            ab[c] += av[c] * bv[c];
+        }
+    }
+    let mut saa = reduce_lanes(&aa);
+    let mut sbb = reduce_lanes(&bb);
+    let mut sab = reduce_lanes(&ab);
+    for i in blocks * L..a.len() {
+        saa += a[i] * a[i];
+        sbb += b[i] * b[i];
+        sab += a[i] * b[i];
+    }
+    (saa, sbb, sab)
+}
+
+/// The AVX2 compilation of [`cosine_sums_body`].
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn cosine_sums_avx2(a: &[f32], b: &[f32]) -> (f32, f32, f32) {
+    cosine_sums_body(a, b)
+}
+
+/// Turn the three fused sums into the clamped similarity.
+#[inline]
+fn cosine_finish(aa: f32, bb: f32, ab: f32) -> f32 {
+    let na = aa.sqrt();
+    let nb = bb.sqrt();
+    if na == 0.0 || nb == 0.0 {
+        return 0.0;
+    }
+    (ab / (na * nb)).clamp(-1.0, 1.0)
+}
+
 /// Cosine similarity in `[-1, 1]`; returns 0 when either vector is zero.
+///
+/// Computed in a **single pass**: one loop accumulates `a·a`, `b·b` and
+/// `a·b` together (the old implementation walked the inputs three times —
+/// `norm`, `norm`, `dot`). Each sum uses the accumulator structure of
+/// [`dot`], so the result is bit-identical to
+/// `(dot(a, b) / (norm(a) * norm(b))).clamp(-1.0, 1.0)`.
 pub fn cosine(a: &[f32], b: &[f32]) -> f32 {
-    let na = norm(a);
-    let nb = norm(b);
+    assert_eq!(a.len(), b.len(), "cosine: length mismatch");
+    #[cfg(target_arch = "x86_64")]
+    if std::arch::is_x86_feature_detected!("avx2") {
+        // SAFETY: the avx2 feature was just detected at runtime.
+        let (aa, bb, ab) = unsafe { cosine_sums_avx2(a, b) };
+        return cosine_finish(aa, bb, ab);
+    }
+    let (aa, bb, ab) = cosine_sums_body(a, b);
+    cosine_finish(aa, bb, ab)
+}
+
+/// The baseline compilation of [`cosine`] — exported for the conformance
+/// suite's SIMD-vs-scalar bit-equality checks. Not a fast path.
+pub fn cosine_generic(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "cosine: length mismatch");
+    let (aa, bb, ab) = cosine_sums_body(a, b);
+    cosine_finish(aa, bb, ab)
+}
+
+/// [`cosine`] with both norms supplied by the caller, for blocking loops
+/// that compare every row of one set against every row of another: hoist
+/// `norm(row)` out of the pair loop and pay one pass (the dot) per pair
+/// instead of three. Bit-identical to [`cosine`] when `na == norm(a)` and
+/// `nb == norm(b)` (the shared-accumulator-structure contract in the
+/// module docs).
+pub fn cosine_with_norms(a: &[f32], b: &[f32], na: f32, nb: f32) -> f32 {
     if na == 0.0 || nb == 0.0 {
         return 0.0;
     }
@@ -81,11 +298,17 @@ pub fn mean(x: &[f32]) -> f32 {
 }
 
 /// Index of the maximum entry (first on ties); panics on empty input.
+///
+/// Uses the workspace's NaN-total-ordering comparator
+/// ([`crate::stats::nan_worst_cmp_f32`]): NaN is the worst value, so a
+/// NaN-leading slice returns the first real maximum instead of silently
+/// sticking at index 0 (`v > x[0]` is false for every `v` when `x[0]` is
+/// NaN — the old behavior). An all-NaN slice returns 0.
 pub fn argmax(x: &[f32]) -> usize {
     assert!(!x.is_empty(), "argmax of empty slice");
     let mut best = 0;
     for (i, &v) in x.iter().enumerate().skip(1) {
-        if v > x[best] {
+        if crate::stats::nan_worst_cmp_f32(v, x[best]) == std::cmp::Ordering::Greater {
             best = i;
         }
     }
@@ -93,11 +316,31 @@ pub fn argmax(x: &[f32]) -> usize {
 }
 
 /// Numerically stable softmax, in place.
+///
+/// An all-`-inf` slice (a fully masked attention row, a classifier whose
+/// every logit underflowed) becomes the **uniform** distribution: the
+/// naive path would compute `-inf - -inf = NaN` and hand an unnormalized
+/// NaN buffer to callers — and `automl::trial`'s quarantine keys off
+/// non-finite probabilities, so a masked-out row must not look like a
+/// diverged model. Slices *containing* NaN still propagate NaN (that IS
+/// the diverged-model signal).
 pub fn softmax_inplace(x: &mut [f32]) {
     if x.is_empty() {
         return;
     }
     let max = x.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+    if max == f32::NEG_INFINITY {
+        // `fold` with `f32::max` ignores NaN, so max == -inf covers both
+        // the all--inf and the all-NaN-or--inf slice; only the genuinely
+        // all--inf one gets the defined uniform outcome.
+        if x.iter().all(|v| *v == f32::NEG_INFINITY) {
+            let u = 1.0 / x.len() as f32;
+            for v in x.iter_mut() {
+                *v = u;
+            }
+            return;
+        }
+    }
     let mut total = 0.0;
     for v in x.iter_mut() {
         *v = (*v - max).exp();
@@ -234,6 +477,71 @@ mod tests {
     #[test]
     fn argmax_first_tie() {
         assert_eq!(argmax(&[1.0, 3.0, 3.0, 2.0]), 1);
+    }
+
+    #[test]
+    fn argmax_treats_nan_as_worst() {
+        // regression: `v > x[best]` is false whenever x[best] is NaN, so a
+        // NaN-leading slice used to silently return 0
+        assert_eq!(argmax(&[f32::NAN, 1.0, 3.0, 2.0]), 2);
+        assert_eq!(argmax(&[f32::NAN, f32::NAN, -5.0]), 2);
+        // all-NaN: no real maximum exists, first index is the fixed answer
+        assert_eq!(argmax(&[f32::NAN, f32::NAN, f32::NAN]), 0);
+        // NaN elsewhere never displaces a real maximum
+        assert_eq!(argmax(&[1.0, f32::NAN, 0.5]), 0);
+        assert_eq!(argmax(&[f32::NEG_INFINITY, f32::NAN]), 0);
+    }
+
+    #[test]
+    fn softmax_all_neg_inf_is_uniform() {
+        // regression: -inf - -inf = NaN left the buffer as unnormalized NaN
+        let mut x = [f32::NEG_INFINITY; 4];
+        softmax_inplace(&mut x);
+        assert_eq!(x, [0.25; 4]);
+        let probs = softmax(&[f32::NEG_INFINITY]);
+        assert_eq!(probs, vec![1.0]);
+        // NaN inputs must still propagate NaN — that is the diverged-model
+        // signal automl::trial quarantines on
+        let mut bad = [f32::NAN, f32::NEG_INFINITY];
+        softmax_inplace(&mut bad);
+        assert!(bad.iter().all(|v| v.is_nan()));
+        let mut mixed = [1.0, f32::NAN];
+        softmax_inplace(&mut mixed);
+        assert!(mixed.iter().any(|v| v.is_nan()));
+    }
+
+    #[test]
+    fn fused_cosine_bit_matches_decomposed_form() {
+        // the shared-accumulator-structure contract: one fused pass ==
+        // norm/norm/dot decomposition, bit for bit, at lengths around the
+        // WIDE_LANES boundary and at embedding length
+        for &len in &[0usize, 1, 7, 31, 32, 33, 63, 64, 100, 768] {
+            let mut rng = crate::Rng::new(len as u64 + 9);
+            let a: Vec<f32> = (0..len).map(|_| rng.normal()).collect();
+            let b: Vec<f32> = (0..len).map(|_| rng.normal()).collect();
+            let decomposed = if norm(&a) == 0.0 || norm(&b) == 0.0 {
+                0.0
+            } else {
+                (dot(&a, &b) / (norm(&a) * norm(&b))).clamp(-1.0, 1.0)
+            };
+            assert_eq!(cosine(&a, &b), decomposed, "len {len}");
+            assert_eq!(
+                cosine_with_norms(&a, &b, norm(&a), norm(&b)),
+                cosine(&a, &b),
+                "len {len}"
+            );
+        }
+    }
+
+    #[test]
+    fn dispatched_kernels_bit_match_generic_builds() {
+        for &len in &[0usize, 1, 5, 32, 37, 64, 255, 768, 1000] {
+            let mut rng = crate::Rng::new(len as u64 + 77);
+            let a: Vec<f32> = (0..len).map(|_| rng.normal()).collect();
+            let b: Vec<f32> = (0..len).map(|_| rng.normal()).collect();
+            assert_eq!(dot(&a, &b), dot_generic(&a, &b), "dot len {len}");
+            assert_eq!(cosine(&a, &b), cosine_generic(&a, &b), "cos len {len}");
+        }
     }
 
     #[test]

@@ -54,6 +54,13 @@ const SHAPES: &[(usize, usize, usize)] = &[
     (97, 2, 3),      // tall-m, tiny k
     (2, 3, 97),      // wide-n
     (129, 130, 131), // > 2^21 flops: parallel row tiling engages at 4 workers
+    // tall-skinny bench shapes: n ≤ NR routes Aᵀ·B onto the direct
+    // rank-1 path (and its 4-row unroll), which must stay bit-identical
+    // to the packed path, the oracle, and itself under any row split
+    (2048, 32, 8),  // the tree-booster feature block from kernel_bench
+    (2048, 32, 16), // same but exactly one full NR strip
+    (511, 33, 7),   // ragged tall-skinny, sub-NR/2 strip
+    (300, 300, 8),  // tall-k direct path, block boundary at 256 rows
 ];
 
 fn randn(rows: usize, cols: usize, seed: u64) -> Matrix {
@@ -147,6 +154,60 @@ fn fused_variants_bit_match_their_materialized_forms() {
             a.matmul(&b).as_slice(),
             "(Aᵀ)ᵀ·B vs A·B at {m}x{k}x{n}"
         );
+    }
+}
+
+/// The vector kernels' runtime SIMD dispatch must be bit-transparent:
+/// whatever build the CPU selects, the result must equal the exported
+/// `*_generic` baseline compilations bit for bit. Lengths straddle the
+/// wide-lane block size (32), the embedding length the pipeline ships
+/// (768), and ragged tails.
+#[test]
+fn vector_kernel_dispatch_is_bit_transparent() {
+    let mut rng = Rng::new(0x51D);
+    for len in [0usize, 1, 7, 31, 32, 33, 63, 64, 65, 257, 701, 768] {
+        let a: Vec<f32> = (0..len).map(|_| rng.normal()).collect();
+        let b: Vec<f32> = (0..len).map(|_| rng.normal()).collect();
+        let d = linalg::vector::dot(&a, &b);
+        let dg = linalg::vector::dot_generic(&a, &b);
+        assert_eq!(d.to_bits(), dg.to_bits(), "dot len {len}");
+        let c = linalg::vector::cosine(&a, &b);
+        let cg = linalg::vector::cosine_generic(&a, &b);
+        assert_eq!(c.to_bits(), cg.to_bits(), "cosine len {len}");
+    }
+}
+
+/// Same bit-transparency for the dispatched matvec kernels, on shapes
+/// that straddle the wide-lane block in both dimensions.
+#[test]
+fn matvec_dispatch_is_bit_transparent() {
+    for (rows, cols) in [(1usize, 1usize), (5, 33), (33, 5), (64, 768), (131, 257)] {
+        let m = randn(rows, cols, (rows * 37 + cols) as u64);
+        let v = randn(1, cols, (cols * 11 + 3) as u64);
+        let vr = randn(1, rows, (rows * 13 + 5) as u64);
+        assert_eq!(
+            m.matvec(v.as_slice()),
+            m.matvec_generic(v.as_slice()),
+            "matvec {rows}x{cols}"
+        );
+        assert_eq!(
+            m.matvec_t(vr.as_slice()),
+            m.matvec_t_generic(vr.as_slice()),
+            "matvec_t {rows}x{cols}"
+        );
+    }
+}
+
+/// `matvec` must agree bit-for-bit with a per-row `vector::dot` — the
+/// substitution `em-serve` single-pair inference relies on.
+#[test]
+fn matvec_equals_per_row_dot() {
+    let m = randn(67, 129, 0xAB);
+    let v = randn(1, 129, 0xCD);
+    let got = m.matvec(v.as_slice());
+    for (i, y) in got.iter().enumerate() {
+        let want = linalg::vector::dot(m.row(i), v.as_slice());
+        assert_eq!(y.to_bits(), want.to_bits(), "row {i}");
     }
 }
 
