@@ -19,6 +19,18 @@
 //! Malformed specs are rejected loudly: a typo'd `panic@x` aborts the
 //! process with a clear message instead of silently degrading to a no-op
 //! (which would make a fault-injection experiment pass vacuously).
+//!
+//! The same variable also carries **serve-path faults** ([`ServeFaultPlan`],
+//! consumed by `em-serve` and `serve_bench`), keyed by *site name* instead
+//! of trial index: `panic@batcher[:K]` (the batch worker panics while
+//! processing microbatch K), `err@predict[:K]` (the predict pass for
+//! microbatch K fails with an injected typed error, the worker survives),
+//! `slow@embed:MS` (every encode/predict pass gains MS milliseconds of
+//! latency), and the client-side `torn@client` / `loris@client:MS`
+//! (torn-write and slow-loris request patterns, honored by the
+//! `serve_bench` load generator — the server never sees these, hostile
+//! clients exercise it). Trial faults and serve faults mix freely in one
+//! spec.
 
 use std::collections::BTreeMap;
 use std::fmt;
@@ -48,6 +60,76 @@ pub enum Fault {
     Kill,
 }
 
+/// Deterministic serve-path faults parsed from the same
+/// `AUTOML_EM_FAULTS` spec, keyed by site name rather than trial index.
+/// `em-serve` injects the server-side faults into its batch workers;
+/// `serve_bench --chaos` plays the client-side ones against the server.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ServeFaultPlan {
+    panic_batches: std::collections::BTreeSet<u64>,
+    err_batches: std::collections::BTreeSet<u64>,
+    slow_embed_ms: Option<u64>,
+    torn_client: bool,
+    loris_client_ms: Option<u64>,
+}
+
+impl ServeFaultPlan {
+    /// A plan that injects nothing (the production default).
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Builder: the batch worker panics while processing microbatch `k`.
+    pub fn panic_batcher_at(mut self, k: u64) -> Self {
+        self.panic_batches.insert(k);
+        self
+    }
+
+    /// Builder: the predict pass for microbatch `k` fails with an
+    /// injected error (typed 500, worker survives).
+    pub fn err_predict_at(mut self, k: u64) -> Self {
+        self.err_batches.insert(k);
+        self
+    }
+
+    /// Builder: every encode/predict pass sleeps `ms` milliseconds.
+    pub fn slow_embed(mut self, ms: u64) -> Self {
+        self.slow_embed_ms = Some(ms);
+        self
+    }
+
+    /// Whether the worker should panic on microbatch `k`.
+    pub fn panics_at(&self, k: u64) -> bool {
+        self.panic_batches.contains(&k)
+    }
+
+    /// Whether the predict pass for microbatch `k` should fail.
+    pub fn errs_at(&self, k: u64) -> bool {
+        self.err_batches.contains(&k)
+    }
+
+    /// Injected per-pass embed latency in milliseconds, if any.
+    pub fn slow_embed_ms(&self) -> Option<u64> {
+        self.slow_embed_ms
+    }
+
+    /// Whether chaos clients should send torn (fragmented, paused)
+    /// request writes.
+    pub fn torn_client(&self) -> bool {
+        self.torn_client
+    }
+
+    /// Slow-loris pacing in milliseconds per client write chunk, if any.
+    pub fn loris_client_ms(&self) -> Option<u64> {
+        self.loris_client_ms
+    }
+
+    /// True when no serve faults are scheduled.
+    pub fn is_empty(&self) -> bool {
+        self == &Self::default()
+    }
+}
+
 /// A malformed `AUTOML_EM_FAULTS` entry: which entry and why.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FaultSpecError {
@@ -61,7 +143,8 @@ impl fmt::Display for FaultSpecError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "bad fault spec entry '{}': {} (expected fail@K, nan@K, panic@K, hang@K, kill@K or cost@K=M)",
+            "bad fault spec entry '{}': {} (expected fail@K, nan@K, panic@K, hang@K, kill@K, cost@K=M, \
+             panic@batcher[:K], err@predict[:K], slow@embed:MS, torn@client or loris@client:MS)",
             self.entry, self.reason
         )
     }
@@ -69,10 +152,12 @@ impl fmt::Display for FaultSpecError {
 
 impl std::error::Error for FaultSpecError {}
 
-/// A deterministic schedule of faults, keyed by planned trial index.
+/// A deterministic schedule of faults, keyed by planned trial index,
+/// plus the serve-path faults parsed from the same spec.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct FaultPlan {
     faults: BTreeMap<u64, Fault>,
+    serve: ServeFaultPlan,
 }
 
 impl FaultPlan {
@@ -100,9 +185,14 @@ impl FaultPlan {
         }
     }
 
-    /// True when no faults are scheduled.
+    /// True when no faults are scheduled (trial or serve path).
     pub fn is_empty(&self) -> bool {
-        self.faults.is_empty()
+        self.faults.is_empty() && self.serve.is_empty()
+    }
+
+    /// The serve-path half of the plan.
+    pub fn serve(&self) -> &ServeFaultPlan {
+        &self.serve
     }
 
     /// Read the `AUTOML_EM_FAULTS` environment variable into a plan.
@@ -125,8 +215,11 @@ impl FaultPlan {
         }
     }
 
-    /// Parse a comma-separated spec: `fail@K`, `nan@K`, `panic@K`,
-    /// `hang@K`, `kill@K`, `cost@K=M`. Empty entries (doubled or
+    /// Parse a comma-separated spec. Trial-path productions: `fail@K`,
+    /// `nan@K`, `panic@K`, `hang@K`, `kill@K`, `cost@K=M`. Serve-path
+    /// productions (site names instead of trial indices):
+    /// `panic@batcher[:K]`, `err@predict[:K]`, `slow@embed:MS`,
+    /// `torn@client`, `loris@client:MS`. Empty entries (doubled or
     /// trailing commas) are tolerated; anything else malformed is an
     /// error naming the entry and the reason.
     pub fn parse(spec: &str) -> Result<Self, FaultSpecError> {
@@ -143,6 +236,14 @@ impl FaultPlan {
             let Some((kind, rest)) = entry.split_once('@') else {
                 return Err(bad("missing '@<trial>'"));
             };
+            // serve-path faults target a named site, not a trial index;
+            // unknown tokens fall through to the trial parser so its
+            // error messages stay stable
+            let site = rest.trim().split(':').next().unwrap_or("").trim();
+            if matches!(site, "batcher" | "embed" | "predict" | "client") {
+                Self::parse_serve_entry(entry, kind.trim(), rest.trim(), &mut plan.serve)?;
+                continue;
+            }
             let (trial_str, arg) = match rest.split_once('=') {
                 Some((t, a)) => (t, Some(a)),
                 None => (rest, None),
@@ -182,6 +283,69 @@ impl FaultPlan {
             plan.faults.insert(trial, fault);
         }
         Ok(plan)
+    }
+
+    /// Parse one serve-path entry (`kind@site[:arg]`) into `serve`.
+    /// Every production is strict: wrong kind/site pairings, missing or
+    /// malformed arguments, and stray arguments are all errors naming
+    /// the offending entry.
+    fn parse_serve_entry(
+        entry: &str,
+        kind: &str,
+        rest: &str,
+        serve: &mut ServeFaultPlan,
+    ) -> Result<(), FaultSpecError> {
+        let bad = |reason: String| FaultSpecError {
+            entry: entry.to_owned(),
+            reason,
+        };
+        let (site, arg) = match rest.split_once(':') {
+            Some((s, a)) => (s.trim(), Some(a.trim())),
+            None => (rest, None),
+        };
+        let batch_index = |arg: Option<&str>| -> Result<u64, FaultSpecError> {
+            match arg {
+                None => Ok(0),
+                Some(a) => a
+                    .parse::<u64>()
+                    .map_err(|_| bad("batch index is not a non-negative integer".into())),
+            }
+        };
+        match (kind, site) {
+            ("panic", "batcher") => {
+                serve.panic_batches.insert(batch_index(arg)?);
+            }
+            ("err", "predict") => {
+                serve.err_batches.insert(batch_index(arg)?);
+            }
+            ("slow", "embed") => {
+                let a = arg.ok_or_else(|| bad("slow@embed needs ':<millis>'".into()))?;
+                let ms = a
+                    .parse::<u64>()
+                    .map_err(|_| bad("millis is not a non-negative integer".into()))?;
+                serve.slow_embed_ms = Some(ms);
+            }
+            ("torn", "client") => {
+                if arg.is_some() {
+                    return Err(bad("torn@client takes no argument".into()));
+                }
+                serve.torn_client = true;
+            }
+            ("loris", "client") => {
+                let a =
+                    arg.ok_or_else(|| bad("loris@client needs ':<millis per chunk>'".into()))?;
+                let ms = a
+                    .parse::<u64>()
+                    .map_err(|_| bad("millis is not a non-negative integer".into()))?;
+                serve.loris_client_ms = Some(ms);
+            }
+            (kind, site) => {
+                return Err(bad(format!(
+                    "fault kind '{kind}' does not apply to site '{site}'"
+                )));
+            }
+        }
+        Ok(())
     }
 }
 
@@ -284,5 +448,95 @@ mod tests {
     fn valid_prefix_does_not_mask_a_later_error() {
         let err = FaultPlan::parse("fail@0,wat").unwrap_err();
         assert_eq!(err.entry, "wat");
+    }
+
+    #[test]
+    fn serve_faults_parse_alongside_trial_faults() {
+        let plan = FaultPlan::parse(
+            "nan@2, panic@batcher, panic@batcher:3, err@predict:1, slow@embed:25, \
+             torn@client, loris@client:10, kill@9",
+        )
+        .unwrap();
+        assert_eq!(plan.get(2), Some(Fault::NanScore));
+        assert_eq!(plan.get(9), Some(Fault::Kill));
+        let s = plan.serve();
+        assert!(s.panics_at(0), "bare panic@batcher means batch 0");
+        assert!(s.panics_at(3));
+        assert!(!s.panics_at(1));
+        assert!(s.errs_at(1));
+        assert!(!s.errs_at(0));
+        assert_eq!(s.slow_embed_ms(), Some(25));
+        assert!(s.torn_client());
+        assert_eq!(s.loris_client_ms(), Some(10));
+        assert!(!plan.is_empty());
+        // a pure serve plan leaves the trial side empty but not the plan
+        let only_serve = FaultPlan::parse("err@predict").unwrap();
+        assert!(!only_serve.is_empty());
+        assert!(only_serve.get(0).is_none());
+        assert!(only_serve.serve().errs_at(0));
+    }
+
+    #[test]
+    fn serve_fault_builders_match_parsed_plans() {
+        let built = ServeFaultPlan::none()
+            .panic_batcher_at(0)
+            .panic_batcher_at(3)
+            .err_predict_at(1)
+            .slow_embed(25);
+        let parsed =
+            FaultPlan::parse("panic@batcher:0,panic@batcher:3,err@predict:1,slow@embed:25")
+                .unwrap();
+        assert_eq!(parsed.serve(), &built);
+        assert!(ServeFaultPlan::none().is_empty());
+        assert!(!built.is_empty());
+    }
+
+    #[test]
+    fn malformed_serve_entries_are_rejected_with_reasons() {
+        for (spec, needle) in [
+            (
+                "panic@batcher:x",
+                "batch index is not a non-negative integer",
+            ),
+            (
+                "panic@batcher:-1",
+                "batch index is not a non-negative integer",
+            ),
+            (
+                "err@predict:nope",
+                "batch index is not a non-negative integer",
+            ),
+            ("slow@embed", "slow@embed needs ':<millis>'"),
+            ("slow@embed:fast", "millis is not a non-negative integer"),
+            ("torn@client:5", "torn@client takes no argument"),
+            ("loris@client", "loris@client needs ':<millis per chunk>'"),
+            ("loris@client:slow", "millis is not a non-negative integer"),
+            (
+                "slow@batcher:5",
+                "fault kind 'slow' does not apply to site 'batcher'",
+            ),
+            (
+                "panic@embed",
+                "fault kind 'panic' does not apply to site 'embed'",
+            ),
+            (
+                "nan@client",
+                "fault kind 'nan' does not apply to site 'client'",
+            ),
+            (
+                "hang@predict",
+                "fault kind 'hang' does not apply to site 'predict'",
+            ),
+        ] {
+            let err = FaultPlan::parse(spec).expect_err(spec);
+            assert_eq!(err.entry, spec, "error must name the bad token");
+            assert!(
+                err.to_string().contains(needle),
+                "{spec}: expected {needle:?} in {err}"
+            );
+        }
+        // a valid serve prefix does not mask a later trial error
+        let err = FaultPlan::parse("panic@batcher, nan@x").unwrap_err();
+        assert_eq!(err.entry, "nan@x");
     }
 }

@@ -9,9 +9,26 @@
 //! one. The JSON float round-trip is exact by the `obs::json`
 //! shortest-roundtrip contract (f32 → f64 → text → f64 → f32).
 //!
+//! The default run also performs a **hot-swap under load**: mid-run it
+//! trains a second model (same schema, different engine seed), exports
+//! it and `POST /admin/reload`s it into the live server. Clients verify
+//! each response against the model version named in its
+//! `x-model-version` header, so the swap phase proves zero requests are
+//! dropped or cross-version mixed; `BENCH_serve.json` gains per-version
+//! latency rows and a `swap` record.
+//!
+//! `--chaos` replaces the swap phase with a fixed serve-fault plan
+//! (worker panics, slow embeds, a slow-loris writer and torn client
+//! writes — the `AUTOML_EM_FAULTS` serve grammar) and asserts the
+//! serving invariant: *every accepted request gets exactly one
+//! correct-or-typed-error response, and post-fault 200s stay
+//! bit-identical to offline predict*. The verdict is written to
+//! `CHAOS_serve.json` and any violation exits non-zero — the CI
+//! `chaos-smoke` gate.
+//!
 //! ```text
 //! serve_bench [--secs <s>] [--conns <n>] [--scale <f>] [--seed <n>]
-//!             [--out <dir>] [--check]
+//!             [--out <dir>] [--check] [--chaos]
 //! ```
 //!
 //! `--check` runs a sub-second smoke pass, re-parses the JSON it wrote
@@ -27,6 +44,14 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+/// The fixed chaos plan the CI `chaos-smoke` job runs: two worker
+/// panics, a 5 ms slow-embed on every batch, a slow-loris writer
+/// stalling 250 ms mid-request and torn half-requests. Parsed through
+/// the real `AUTOML_EM_FAULTS` grammar so the smoke job also exercises
+/// the parser.
+const CHAOS_PLAN: &str =
+    "panic@batcher:2,panic@batcher:5,slow@embed:5,torn@client,loris@client:250";
+
 struct Args {
     secs: f64,
     conns: usize,
@@ -34,6 +59,7 @@ struct Args {
     seed: u64,
     out: String,
     check: bool,
+    chaos: bool,
 }
 
 fn parse_args() -> Args {
@@ -44,6 +70,7 @@ fn parse_args() -> Args {
         seed: 11,
         out: "results".to_owned(),
         check: false,
+        chaos: false,
     };
     let argv: Vec<String> = std::env::args().collect();
     let mut i = 1;
@@ -76,6 +103,10 @@ fn parse_args() -> Args {
                 a.conns = a.conns.min(2);
                 i += 1;
             }
+            "--chaos" => {
+                a.chaos = true;
+                i += 1;
+            }
             other => panic!("unknown flag {other}"),
         }
     }
@@ -99,8 +130,17 @@ fn match_body(schema: &Schema, pair: &RecordPair) -> String {
     o.finish()
 }
 
-/// Read one HTTP response off a keep-alive stream; returns the body.
-fn read_response(stream: &mut TcpStream, buf: &mut Vec<u8>) -> Result<String, String> {
+/// One fully parsed HTTP response off a keep-alive stream.
+struct Rsp {
+    status: u16,
+    /// `x-model-version` header, when present.
+    version: Option<u64>,
+    /// Whether a `retry-after` header was present (typed shedding).
+    retry_after: bool,
+    body: String,
+}
+
+fn read_response(stream: &mut TcpStream, buf: &mut Vec<u8>) -> Result<Rsp, String> {
     let mut chunk = [0u8; 8192];
     loop {
         if let Some(head_end) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
@@ -115,13 +155,30 @@ fn read_response(stream: &mut TcpStream, buf: &mut Vec<u8>) -> Result<String, St
                 .ok_or("response without content-length")?;
             let body_start = head_end + 4;
             if buf.len() >= body_start + content_length {
-                if !head.starts_with("HTTP/1.1 200") {
-                    return Err(format!("non-200: {}", head.lines().next().unwrap_or("")));
-                }
+                let status: u16 = head
+                    .split_whitespace()
+                    .nth(1)
+                    .and_then(|s| s.parse().ok())
+                    .ok_or("unparseable status line")?;
+                let header = |name: &str| {
+                    head.lines().skip(1).find_map(|l| {
+                        let (k, v) = l.split_once(':')?;
+                        k.trim()
+                            .eq_ignore_ascii_case(name)
+                            .then(|| v.trim().to_string())
+                    })
+                };
+                let version = header("x-model-version").and_then(|v| v.parse().ok());
+                let retry_after = header("retry-after").is_some();
                 let body = String::from_utf8_lossy(&buf[body_start..body_start + content_length])
                     .to_string();
                 buf.drain(..body_start + content_length);
-                return Ok(body);
+                return Ok(Rsp {
+                    status,
+                    version,
+                    retry_after,
+                    body,
+                });
             }
         }
         let n = stream.read(&mut chunk).map_err(|e| e.to_string())?;
@@ -132,24 +189,41 @@ fn read_response(stream: &mut TcpStream, buf: &mut Vec<u8>) -> Result<String, St
     }
 }
 
+fn error_code(body: &str) -> Option<String> {
+    json::parse(body)
+        .ok()?
+        .get("error")?
+        .get("code")
+        .and_then(Json::as_str)
+        .map(str::to_owned)
+}
+
+#[derive(Default)]
 struct ClientStats {
-    latencies_us: Vec<u64>,
+    /// (latency µs, model version) per 200 response.
+    latencies_us: Vec<(u64, u64)>,
+    /// Typed worker failures (`500 worker_panic` / `500 predict_error`).
+    typed_500: usize,
+    /// Typed load shedding (`429`/`503` with `retry-after`).
+    shed: usize,
+    /// Responses that fit no typed contract — chaos violations.
+    untyped: usize,
+    /// Requests whose response never arrived inside the deadline.
+    hangs: usize,
+    /// Transport-level failures (connect/write/read errors).
     errors: usize,
+    /// 200s whose bits disagree with offline predict for their version.
     mismatches: usize,
 }
 
 fn drive_client(
     addr: std::net::SocketAddr,
     host: &ModelHost,
-    reference: &[f32],
+    references: &[Vec<f32>; 2],
     offset: usize,
     stop: &AtomicBool,
 ) -> ClientStats {
-    let mut stats = ClientStats {
-        latencies_us: Vec::new(),
-        errors: 0,
-        mismatches: 0,
-    };
+    let mut stats = ClientStats::default();
     let pairs = host.dataset().split(Split::Test);
     let schema = host.dataset().schema();
     let mut stream = match TcpStream::connect(addr) {
@@ -160,6 +234,9 @@ fn drive_client(
         }
     };
     let _ = stream.set_nodelay(true);
+    // a response that takes >10s is a hang, which the chaos contract
+    // forbids: every accepted request gets exactly one response
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
     let mut rx = Vec::new();
     let mut i = offset;
     while !stop.load(Ordering::Relaxed) {
@@ -176,23 +253,102 @@ fn drive_client(
             break;
         }
         match read_response(&mut stream, &mut rx) {
-            Ok(rsp_body) => {
-                stats.latencies_us.push(t0.elapsed().as_micros() as u64);
-                let served = json::parse(&rsp_body)
-                    .ok()
-                    .and_then(|v| v.get("p_match").and_then(Json::as_f64));
-                match served {
-                    Some(p) if (p as f32).to_bits() == reference[idx].to_bits() => {}
-                    _ => stats.mismatches += 1,
+            Ok(rsp) => match rsp.status {
+                200 => {
+                    stats
+                        .latencies_us
+                        .push((t0.elapsed().as_micros() as u64, rsp.version.unwrap_or(0)));
+                    let served = json::parse(&rsp.body)
+                        .ok()
+                        .and_then(|v| v.get("p_match").and_then(Json::as_f64));
+                    let want = match rsp.version {
+                        Some(1) => references[0].get(idx).map(|p| p.to_bits()),
+                        Some(2) => references[1].get(idx).map(|p| p.to_bits()),
+                        _ => None,
+                    };
+                    match (served, want) {
+                        (Some(p), Some(bits)) if (p as f32).to_bits() == bits => {}
+                        _ => stats.mismatches += 1,
+                    }
                 }
-            }
-            Err(_) => {
-                stats.errors += 1;
+                500 => match error_code(&rsp.body).as_deref() {
+                    Some("worker_panic" | "predict_error") => stats.typed_500 += 1,
+                    _ => stats.untyped += 1,
+                },
+                429 | 503 if rsp.retry_after => stats.shed += 1,
+                _ => stats.untyped += 1,
+            },
+            Err(e) => {
+                if e.contains("timed out") || e.contains("WouldBlock") {
+                    stats.hangs += 1;
+                } else {
+                    stats.errors += 1;
+                }
                 break;
             }
         }
     }
     stats
+}
+
+/// A slow-loris writer: sends the request head, stalls mid-body for
+/// `stall_ms`, then completes the request. Returns whether the server
+/// still answered it correctly (it must — a slow writer may hold one
+/// connection, never break the protocol).
+fn slow_loris_client(
+    addr: std::net::SocketAddr,
+    schema: &Schema,
+    pair: &RecordPair,
+    reference_bits: u32,
+    stall_ms: u64,
+) -> bool {
+    let Ok(mut stream) = TcpStream::connect(addr) else {
+        return false;
+    };
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+    let body = match_body(schema, pair);
+    let req = format!(
+        "POST /match HTTP/1.1\r\ncontent-length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    let bytes = req.as_bytes();
+    let cut = bytes.len() / 2;
+    // drip the first half a few bytes at a time, stall, then finish
+    let step = (cut / 8).max(1);
+    for part in bytes[..cut].chunks(step) {
+        if stream.write_all(part).is_err() {
+            return false;
+        }
+        let _ = stream.flush();
+        std::thread::sleep(Duration::from_millis(stall_ms / 16));
+    }
+    std::thread::sleep(Duration::from_millis(stall_ms / 2));
+    if stream.write_all(&bytes[cut..]).is_err() {
+        return false;
+    }
+    let mut rx = Vec::new();
+    match read_response(&mut stream, &mut rx) {
+        Ok(rsp) if rsp.status == 200 => json::parse(&rsp.body)
+            .ok()
+            .and_then(|v| v.get("p_match").and_then(Json::as_f64))
+            .is_some_and(|p| (p as f32).to_bits() == reference_bits),
+        _ => false,
+    }
+}
+
+/// A torn client: writes half a request and hangs up. The server must
+/// tear the connection down silently and stay healthy.
+fn torn_client(addr: std::net::SocketAddr, schema: &Schema, pair: &RecordPair) {
+    if let Ok(mut stream) = TcpStream::connect(addr) {
+        let body = match_body(schema, pair);
+        let req = format!(
+            "POST /match HTTP/1.1\r\ncontent-length: {}\r\n\r\n{body}",
+            body.len()
+        );
+        let _ = stream.write_all(&req.as_bytes()[..req.len() / 2]);
+        let _ = stream.shutdown(std::net::Shutdown::Write);
+    }
 }
 
 fn percentile(sorted_us: &[u64], q: f64) -> u64 {
@@ -201,6 +357,27 @@ fn percentile(sorted_us: &[u64], q: f64) -> u64 {
     }
     let rank = ((sorted_us.len() as f64 * q).ceil() as usize).max(1) - 1;
     sorted_us[rank.min(sorted_us.len() - 1)]
+}
+
+fn latency_obj(latencies: &mut [u64]) -> (String, u64, u64, u64, f64) {
+    latencies.sort_unstable();
+    let n = latencies.len();
+    let mean = if n == 0 {
+        0.0
+    } else {
+        latencies.iter().sum::<u64>() as f64 / n as f64
+    };
+    let (p50, p90, p99) = (
+        percentile(latencies, 0.50),
+        percentile(latencies, 0.90),
+        percentile(latencies, 0.99),
+    );
+    let mut o = json::Obj::new();
+    o.u64("p50", p50)
+        .u64("p90", p90)
+        .u64("p99", p99)
+        .f64("mean", mean);
+    (o.finish(), p50, p90, p99, mean)
 }
 
 fn main() {
@@ -226,10 +403,42 @@ fn main() {
         reference.len()
     );
 
+    // the swap target: same recipe, different engine seed — identical
+    // schema (hot-swap compatible), honestly different search outcome
+    let (swap_bundle, reference_b) = if args.chaos {
+        (None, Vec::new())
+    } else {
+        eprintln!("serve_bench: training swap target (engine seed bump) ...");
+        let host_b = ModelSpec {
+            engine_seed: spec.engine_seed + 1,
+            ..spec
+        }
+        .train()
+        .expect("swap-target training failed");
+        let reference_b = host_b.match_proba(host.dataset().split(Split::Test));
+        let dir = std::env::temp_dir().join("serve_bench_swap");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let bundle = dir.join("swap_model.json");
+        host_b.export(&bundle).expect("swap bundle export failed");
+        (Some(bundle), reference_b)
+    };
+    let references = [reference.clone(), reference_b];
+
+    let chaos_plan = args.chaos.then(|| {
+        automl::fault::FaultPlan::parse(CHAOS_PLAN)
+            .expect("chaos plan must parse")
+            .serve()
+            .clone()
+    });
     let config = em_serve::ServeConfig {
         addr: "127.0.0.1:0".into(),
+        faults: chaos_plan.clone().unwrap_or_default(),
         ..em_serve::ServeConfig::from_env()
     };
+    if args.chaos {
+        automl::fault::silence_injected_panic_output();
+        eprintln!("serve_bench: CHAOS MODE, fault plan: {CHAOS_PLAN}");
+    }
     let handle = em_serve::serve(Arc::clone(&host), &config).expect("server failed to start");
     let addr = handle.addr();
     eprintln!(
@@ -238,17 +447,67 @@ fn main() {
     );
 
     let stop = AtomicBool::new(false);
+    let schema = host.dataset().schema();
+    let pairs = host.dataset().split(Split::Test);
+    let mut swap_report: Option<(u64, u64, u64, String)> = None; // from, to, load_ms, digest
+    let mut loris_ok = true;
+    let mut torn_sent = 0usize;
     let t0 = Instant::now();
     let stats: Vec<ClientStats> = std::thread::scope(|s| {
         let handles: Vec<_> = (0..args.conns.max(1))
             .map(|c| {
                 let host = &host;
-                let reference = &reference;
+                let references = &references;
                 let stop = &stop;
-                s.spawn(move || drive_client(addr, host, reference, c * 17, stop))
+                s.spawn(move || drive_client(addr, host, references, c * 17, stop))
             })
             .collect();
-        std::thread::sleep(Duration::from_secs_f64(args.secs));
+        if let Some(plan) = &chaos_plan {
+            // chaos side-channel clients ride alongside the load
+            if plan.torn_client() {
+                for i in 0..3 {
+                    torn_client(addr, schema, &pairs[i % pairs.len()]);
+                    torn_sent += 1;
+                }
+            }
+            let loris = plan.loris_client_ms().map(|stall| {
+                s.spawn(move || {
+                    slow_loris_client(addr, schema, &pairs[0], reference[0].to_bits(), stall)
+                })
+            });
+            std::thread::sleep(Duration::from_secs_f64(args.secs));
+            if let Some(l) = loris {
+                loris_ok = l.join().expect("loris thread panicked");
+            }
+        } else if let Some(bundle) = &swap_bundle {
+            // hot-swap mid-run: reload on a dedicated admin connection
+            std::thread::sleep(Duration::from_secs_f64(args.secs * 0.4));
+            let body = format!("{{\"path\":\"{}\"}}", bundle.display());
+            let req = format!(
+                "POST /admin/reload HTTP/1.1\r\ncontent-length: {}\r\n\r\n{body}",
+                body.len()
+            );
+            let mut admin = TcpStream::connect(addr).expect("admin connect");
+            admin.write_all(req.as_bytes()).expect("admin write");
+            let mut rx = Vec::new();
+            let rsp = read_response(&mut admin, &mut rx).expect("reload response");
+            assert_eq!(rsp.status, 200, "reload failed: {}", rsp.body);
+            let v = json::parse(&rsp.body).expect("reload body");
+            swap_report = Some((
+                v.get("previous_version")
+                    .and_then(Json::as_u64)
+                    .unwrap_or(0),
+                v.get("version").and_then(Json::as_u64).unwrap_or(0),
+                v.get("load_ms").and_then(Json::as_u64).unwrap_or(0),
+                v.get("digest")
+                    .and_then(Json::as_str)
+                    .unwrap_or_default()
+                    .to_owned(),
+            ));
+            std::thread::sleep(Duration::from_secs_f64(args.secs * 0.6));
+        } else {
+            std::thread::sleep(Duration::from_secs_f64(args.secs));
+        }
         stop.store(true, Ordering::Relaxed);
         handles
             .into_iter()
@@ -256,54 +515,123 @@ fn main() {
             .collect()
     });
     let elapsed = t0.elapsed().as_secs_f64();
+
+    // post-fault health: the server must still answer correctly
+    let healthy_after = {
+        let mut ok = false;
+        if let Ok(mut stream) = TcpStream::connect(addr) {
+            let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+            let body = match_body(schema, &pairs[0]);
+            let req = format!(
+                "POST /match HTTP/1.1\r\ncontent-length: {}\r\n\r\n{body}",
+                body.len()
+            );
+            let mut rx = Vec::new();
+            if stream.write_all(req.as_bytes()).is_ok() {
+                if let Ok(rsp) = read_response(&mut stream, &mut rx) {
+                    let want = match rsp.version {
+                        Some(2) => references[1].first().map(|p| p.to_bits()),
+                        _ => references[0].first().map(|p| p.to_bits()),
+                    };
+                    ok = rsp.status == 200
+                        && json::parse(&rsp.body)
+                            .ok()
+                            .and_then(|v| v.get("p_match").and_then(Json::as_f64))
+                            .map(|p| (p as f32).to_bits())
+                            == want;
+                }
+            }
+        }
+        ok
+    };
     let drained = handle.shutdown();
 
-    let mut latencies: Vec<u64> = stats
-        .iter()
-        .flat_map(|s| s.latencies_us.iter().copied())
-        .collect();
-    latencies.sort_unstable();
+    let mut all: Vec<u64> = Vec::new();
+    let mut v1: Vec<u64> = Vec::new();
+    let mut v2: Vec<u64> = Vec::new();
+    for s in &stats {
+        for &(lat, ver) in &s.latencies_us {
+            all.push(lat);
+            match ver {
+                1 => v1.push(lat),
+                2 => v2.push(lat),
+                _ => {}
+            }
+        }
+    }
     let errors: usize = stats.iter().map(|s| s.errors).sum();
     let mismatches: usize = stats.iter().map(|s| s.mismatches).sum();
-    let requests = latencies.len();
+    let typed_500: usize = stats.iter().map(|s| s.typed_500).sum();
+    let shed: usize = stats.iter().map(|s| s.shed).sum();
+    let untyped: usize = stats.iter().map(|s| s.untyped).sum();
+    let hangs: usize = stats.iter().map(|s| s.hangs).sum();
+    let requests = all.len();
     let qps = requests as f64 / elapsed;
-    let mean_us = if requests == 0 {
-        0.0
-    } else {
-        latencies.iter().sum::<u64>() as f64 / requests as f64
-    };
-    let (p50, p90, p99) = (
-        percentile(&latencies, 0.50),
-        percentile(&latencies, 0.90),
-        percentile(&latencies, 0.99),
-    );
+    let (lat_all, p50, p90, p99, mean_us) = latency_obj(&mut all);
+    let (lat_v1, ..) = latency_obj(&mut v1);
+    let (lat_v2, ..) = latency_obj(&mut v2);
 
-    let mut lat = json::Obj::new();
-    lat.u64("p50", p50)
-        .u64("p90", p90)
-        .u64("p99", p99)
-        .f64("mean", mean_us);
     let mut o = json::Obj::new();
-    o.str("run", "serve_bench")
-        .str("dataset", host.spec().dataset.code())
-        .str("system", host.report().system)
-        .f64("scale", args.scale)
-        .u64("seed", args.seed)
-        .u64("conns", args.conns as u64)
-        .f64("secs", elapsed)
-        .u64("requests", requests as u64)
-        .f64("qps", qps)
-        .raw("latency_us", &lat.finish())
-        .u64("errors", errors as u64)
-        .u64("mismatches", mismatches as u64)
-        .bool("drained", drained);
+    o.str(
+        "run",
+        if args.chaos {
+            "serve_bench_chaos"
+        } else {
+            "serve_bench"
+        },
+    )
+    .str("dataset", host.spec().dataset.code())
+    .str("system", host.report().system)
+    .f64("scale", args.scale)
+    .u64("seed", args.seed)
+    .u64("conns", args.conns as u64)
+    .f64("secs", elapsed)
+    .u64("requests", requests as u64)
+    .f64("qps", qps)
+    .raw("latency_us", &lat_all)
+    .u64("errors", errors as u64)
+    .u64("mismatches", mismatches as u64)
+    .u64("typed_500", typed_500 as u64)
+    .u64("shed", shed as u64)
+    .u64("untyped", untyped as u64)
+    .u64("hangs", hangs as u64)
+    .bool("drained", drained)
+    .bool("healthy_after", healthy_after);
+    if let Some((from, to, load_ms, digest)) = &swap_report {
+        let mut sw = json::Obj::new();
+        sw.bool("performed", true)
+            .u64("from_version", *from)
+            .u64("to_version", *to)
+            .u64("load_ms", *load_ms)
+            .str("digest", digest)
+            .u64("requests_v1", v1.len() as u64)
+            .u64("requests_v2", v2.len() as u64)
+            .raw("latency_us_v1", &lat_v1)
+            .raw("latency_us_v2", &lat_v2);
+        o.raw("swap", &sw.finish());
+    }
+    if args.chaos {
+        let mut ch = json::Obj::new();
+        ch.str("plan", CHAOS_PLAN)
+            .bool("loris_answered_correctly", loris_ok)
+            .u64("torn_sent", torn_sent as u64);
+        o.raw("chaos", &ch.finish());
+    }
     let report = o.finish();
 
     std::fs::create_dir_all(&args.out).expect("cannot create --out dir");
-    let path = std::path::Path::new(&args.out).join("BENCH_serve.json");
-    std::fs::write(&path, format!("{report}\n")).expect("cannot write BENCH_serve.json");
+    let file = if args.chaos {
+        "CHAOS_serve.json"
+    } else {
+        "BENCH_serve.json"
+    };
+    let path = std::path::Path::new(&args.out).join(file);
+    std::fs::write(&path, format!("{report}\n")).expect("cannot write report");
 
-    println!("## serve_bench\n");
+    println!(
+        "## serve_bench{}\n",
+        if args.chaos { " (chaos)" } else { "" }
+    );
     println!("| metric | value |");
     println!("|---|---|");
     println!("| requests | {requests} |");
@@ -311,27 +639,74 @@ fn main() {
     println!("| p50 latency | {:.2} ms |", p50 as f64 / 1000.0);
     println!("| p90 latency | {:.2} ms |", p90 as f64 / 1000.0);
     println!("| p99 latency | {:.2} ms |", p99 as f64 / 1000.0);
+    println!("| mean latency | {:.2} ms |", mean_us / 1000.0);
     println!("| bit-identity mismatches | {mismatches} |");
+    println!("| typed 500s | {typed_500} |");
+    println!("| shed (429/503 + retry-after) | {shed} |");
+    println!("| untyped responses | {untyped} |");
+    println!("| hung requests | {hangs} |");
     println!("| transport errors | {errors} |");
+    println!("| healthy after | {healthy_after} |");
     println!("| drained cleanly | {drained} |");
+    if let Some((from, to, load_ms, _)) = &swap_report {
+        println!(
+            "| hot-swap | v{from} → v{to} ({load_ms} ms load, {} v1 / {} v2 requests) |",
+            v1.len(),
+            v2.len()
+        );
+    }
     println!("\nwrote {}", path.display());
+
+    if args.chaos {
+        // the chaos verdict: exactly-one-response, correct-or-typed,
+        // bit-identical 200s, loris answered, healthy and drained
+        let ok = requests > 0
+            && mismatches == 0
+            && untyped == 0
+            && hangs == 0
+            && errors == 0
+            && typed_500 > 0 // the injected panics must have surfaced as typed 500s
+            && loris_ok
+            && healthy_after
+            && drained;
+        if !ok {
+            eprintln!(
+                "serve_bench --chaos FAILED: requests={requests} mismatches={mismatches} \
+                 untyped={untyped} hangs={hangs} errors={errors} typed_500={typed_500} \
+                 loris_ok={loris_ok} healthy_after={healthy_after} drained={drained}"
+            );
+            std::process::exit(1);
+        }
+        println!("serve_bench --chaos OK: every request got exactly one correct-or-typed response");
+        return;
+    }
 
     if args.check {
         let text = std::fs::read_to_string(&path).expect("re-read failed");
         let v = json::parse(&text).expect("BENCH_serve.json is not valid JSON");
         let requests = v.get("requests").and_then(Json::as_u64).unwrap_or(0);
         let qps = v.get("qps").and_then(Json::as_f64).unwrap_or(f64::NAN);
+        let swap_ok = v
+            .get("swap")
+            .map(|sw| {
+                sw.get("to_version").and_then(Json::as_u64) == Some(2)
+                    && sw.get("requests_v2").and_then(Json::as_u64).unwrap_or(0) > 0
+            })
+            .unwrap_or(false);
         let ok = requests > 0
             && qps.is_finite()
             && mismatches == 0
             && errors == 0
+            && untyped == 0
+            && hangs == 0
+            && swap_ok
             && drained
             && v.get("latency_us")
                 .and_then(|l| l.get("p99"))
                 .and_then(Json::as_u64)
                 .is_some();
         if !ok {
-            eprintln!("serve_bench --check FAILED: requests={requests} qps={qps} mismatches={mismatches} errors={errors} drained={drained}");
+            eprintln!("serve_bench --check FAILED: requests={requests} qps={qps} mismatches={mismatches} errors={errors} untyped={untyped} hangs={hangs} swap_ok={swap_ok} drained={drained}");
             std::process::exit(1);
         }
         println!("serve_bench --check OK");

@@ -389,6 +389,31 @@ impl ModelHost {
         self.adapter.cache_stats()
     }
 
+    /// A short FNV-1a hex digest of the outcome fingerprint — a compact,
+    /// human-comparable identity for "which exact model is this". Two
+    /// hosts share a digest iff their system, val-F1 bits, threshold
+    /// bits, budget spend and best-model name all agree; `em-serve` logs
+    /// it in swap-journal records and `/healthz` so operators can tell
+    /// model versions apart without diffing bundles.
+    pub fn fingerprint_digest(&self) -> String {
+        let json = self.fingerprint_json();
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in json.as_bytes() {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        format!("{h:016x}")
+    }
+
+    /// Whether `other` can replace this host behind a live server
+    /// without breaking in-flight request parsing: hot-swap requires an
+    /// identical entity schema (same attribute names and types), because
+    /// connection threads decode request bodies against the schema
+    /// before the batcher decides which model version scores them.
+    pub fn swap_compatible(&self, other: &ModelHost) -> bool {
+        self.schema() == other.schema()
+    }
+
     fn fingerprint_json(&self) -> String {
         let best = self.report.leaderboard.best();
         let mut o = json::Obj::new();
@@ -568,6 +593,33 @@ mod tests {
         assert!(matches!(load_model(&path), Err(ModelError::Malformed(_))));
         std::fs::write(&path, "not json at all").unwrap();
         assert!(matches!(load_model(&path), Err(ModelError::Malformed(_))));
+    }
+
+    #[test]
+    fn fingerprint_digest_distinguishes_models_and_swap_compat_tracks_schema() {
+        let a = tiny_spec().train().unwrap();
+        let b = ModelSpec {
+            engine_seed: 2,
+            ..tiny_spec()
+        }
+        .train()
+        .unwrap();
+        assert_eq!(a.fingerprint_digest().len(), 16);
+        assert_eq!(
+            a.fingerprint_digest(),
+            tiny_spec().train().unwrap().fingerprint_digest(),
+            "same recipe, same digest"
+        );
+        // same dataset → same schema → hot-swappable, even across engines
+        assert!(a.swap_compatible(&b));
+        let other_ds = ModelSpec {
+            dataset: MagellanDataset::SDA,
+            budget_hours: 0.5,
+            ..tiny_spec()
+        }
+        .train()
+        .unwrap();
+        assert!(!a.swap_compatible(&other_ds));
     }
 
     #[test]

@@ -5,21 +5,34 @@
 //! bounded queue and block on a per-job waiter; worker threads pull
 //! *microbatches* off the queue — up to `max_batch` pairs, or whatever
 //! accumulated within a `linger` window of the oldest queued job — run
-//! one fused encode→scale→predict pass and scatter the probabilities
-//! back to the waiters. Because every stage of
+//! one fused encode→scale→predict pass and scatter the results back to
+//! the waiters. Because every stage of
 //! [`em_core::model::ModelHost::match_proba`] is row-independent, the
 //! probabilities are bit-identical however requests get grouped: the
 //! coalescer changes latency and throughput, never answers.
 //!
+//! Each microbatch snapshots the [`HostCell`] exactly once, so all of a
+//! batch's requests are scored by **one model version** — the hot-swap
+//! atomicity unit (see [`crate::reload`]). The scatter carries the
+//! version and that version's threshold back to the waiter, so responses
+//! can never mix one model's probability with another's threshold.
+//!
 //! Admission is explicit: a full queue rejects with
-//! [`Rejected::Overloaded`] (HTTP 429) and a draining batcher with
-//! [`Rejected::Draining`] (HTTP 503). Shutdown is *lossless* — workers
-//! keep pulling until the queue is empty, so every job admitted before
-//! [`shutdown`](Batcher::shutdown) still gets its answer.
+//! [`Rejected::Overloaded`] (HTTP 429), a draining batcher with
+//! [`Rejected::Draining`] (HTTP 503), and an open circuit breaker with
+//! [`Rejected::Unavailable`] (HTTP 503 + `Retry-After`). Shutdown is
+//! *lossless* — workers keep pulling until the queue is empty, so every
+//! job admitted before [`shutdown`](Batcher::shutdown) still gets its
+//! answer. A worker that dies mid-batch fails that batch's waiters with
+//! a typed [`ServeFailure`] (HTTP 500) instead of hanging them — the
+//! supervisor ([`crate::supervisor`]) then restarts the worker loop.
 
-use em_core::model::ModelHost;
+use crate::reload::HostCell;
+use automl::fault::ServeFaultPlan;
 use em_data::RecordPair;
+use par::CircuitBreaker;
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
@@ -30,18 +43,89 @@ pub enum Rejected {
     Overloaded,
     /// The batcher is shutting down and no longer admits work.
     Draining,
+    /// The circuit breaker is open after repeated worker failures; retry
+    /// after the embedded number of seconds.
+    Unavailable {
+        /// Suggested client wait before retrying, in whole seconds
+        /// (the breaker cooldown remainder, rounded up, at least 1).
+        retry_after_secs: u64,
+    },
+}
+
+/// A successfully scored job: the job's probabilities plus the identity
+/// of the model version that produced them.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scored {
+    /// Match probabilities, one per submitted pair, in order.
+    pub probs: Vec<f32>,
+    /// The model version that scored this job (exactly one per batch).
+    pub version: u64,
+    /// That version's validation-tuned decision threshold.
+    pub threshold: f32,
+}
+
+/// Why a job that was *admitted* could not be scored. These map onto
+/// typed HTTP 500s — an accepted request always gets exactly one
+/// response, even when the worker underneath it died.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeFailure {
+    /// The batch worker panicked while scoring this job's microbatch.
+    /// The payload is the panic message; the worker restarts under
+    /// supervision.
+    WorkerPanic(String),
+    /// The predict pass failed with a typed error (today only injected
+    /// via `err@predict` fault plans); the worker survives.
+    PredictError(String),
+}
+
+impl ServeFailure {
+    /// Machine-readable error code for the JSON error body.
+    pub fn code(&self) -> &'static str {
+        match self {
+            ServeFailure::WorkerPanic(_) => "worker_panic",
+            ServeFailure::PredictError(_) => "predict_error",
+        }
+    }
+
+    /// Human-readable description.
+    pub fn message(&self) -> String {
+        match self {
+            ServeFailure::WorkerPanic(m) => {
+                format!("batch worker panicked while scoring this request: {m}")
+            }
+            ServeFailure::PredictError(m) => format!("predict pass failed: {m}"),
+        }
+    }
+}
+
+/// How one supervised worker loop ended — consumed by the supervisor.
+#[derive(Debug)]
+pub enum WorkerExit {
+    /// The batcher is draining and the queue ran dry: normal shutdown.
+    Drained,
+    /// The worker panicked mid-batch. In-flight waiters of that batch
+    /// were already failed with typed errors; the supervisor decides
+    /// whether and when to restart.
+    Panicked {
+        /// The panic message.
+        message: String,
+        /// Batches successfully scored since this worker (re)started —
+        /// lets the supervisor reset its backoff after a healthy stretch.
+        batches_done: u64,
+    },
 }
 
 /// The completion slot a submitter blocks on.
 #[derive(Debug, Default)]
 pub struct Waiter {
-    slot: Mutex<Option<Vec<f32>>>,
+    slot: Mutex<Option<Result<Scored, ServeFailure>>>,
     done: Condvar,
 }
 
 impl Waiter {
-    /// Block until the worker fills in this job's probabilities.
-    pub fn wait(&self) -> Vec<f32> {
+    /// Block until the worker fills in this job's outcome: the scored
+    /// probabilities, or the typed failure that hit its microbatch.
+    pub fn wait(&self) -> Result<Scored, ServeFailure> {
         let mut slot = self.slot.lock().unwrap_or_else(|p| p.into_inner());
         loop {
             if let Some(out) = slot.take() {
@@ -51,7 +135,7 @@ impl Waiter {
         }
     }
 
-    fn fill(&self, out: Vec<f32>) {
+    fn fill(&self, out: Result<Scored, ServeFailure>) {
         let mut slot = self.slot.lock().unwrap_or_else(|p| p.into_inner());
         *slot = Some(out);
         self.done.notify_all();
@@ -75,10 +159,15 @@ struct Inner {
     max_batch: usize,
     max_queued_pairs: usize,
     linger: Duration,
+    faults: ServeFaultPlan,
+    breaker: CircuitBreaker,
+    /// Global microbatch sequence number — the key the serve fault plan
+    /// (`panic@batcher:K`, `err@predict:K`) is indexed by.
+    batch_seq: AtomicU64,
 }
 
 /// The coalescing queue handle. Cheap to clone; all clones share one
-/// queue.
+/// queue, fault plan and breaker.
 #[derive(Clone)]
 pub struct Batcher {
     inner: Arc<Inner>,
@@ -86,10 +175,17 @@ pub struct Batcher {
 
 impl Batcher {
     /// Build a batcher that groups up to `max_batch` pairs per predict
-    /// call, admits at most `max_queued_pairs` queued pairs, and lets a
+    /// call, admits at most `max_queued_pairs` queued pairs, lets a
     /// non-full batch linger for `linger` after its first job before
-    /// flushing.
-    pub fn new(max_batch: usize, max_queued_pairs: usize, linger: Duration) -> Self {
+    /// flushing, injects `faults` into its workers, and refuses
+    /// admission while `breaker` is open.
+    pub fn new(
+        max_batch: usize,
+        max_queued_pairs: usize,
+        linger: Duration,
+        faults: ServeFaultPlan,
+        breaker: CircuitBreaker,
+    ) -> Self {
         Self {
             inner: Arc::new(Inner {
                 state: Mutex::new(State {
@@ -101,20 +197,43 @@ impl Batcher {
                 max_batch: max_batch.max(1),
                 max_queued_pairs: max_queued_pairs.max(1),
                 linger,
+                faults,
+                breaker,
+                batch_seq: AtomicU64::new(0),
             }),
         }
     }
 
     /// Enqueue one job (any number of pairs ≥ 1) for the next
     /// microbatch. Returns the waiter to block on, or the typed refusal.
-    pub fn submit(&self, pairs: Vec<RecordPair>) -> Result<Arc<Waiter>, Rejected> {
+    /// `route` labels the per-route rejection counters
+    /// (`serve.rejected.<reason>.<route>`), so `/metrics` can tell
+    /// overload rejections apart from drain rejections per endpoint.
+    pub fn submit(
+        &self,
+        pairs: Vec<RecordPair>,
+        route: &'static str,
+    ) -> Result<Arc<Waiter>, Rejected> {
+        if !self.inner.breaker.allow() {
+            let secs = self
+                .inner
+                .breaker
+                .retry_after()
+                .as_secs_f64()
+                .ceil()
+                .max(1.0) as u64;
+            obs::counter(&format!("serve.rejected.breaker.{route}")).inc();
+            return Err(Rejected::Unavailable {
+                retry_after_secs: secs,
+            });
+        }
         let mut st = self.lock();
         if st.draining {
-            obs::counter("serve.rejected.draining").inc();
+            obs::counter(&format!("serve.rejected.draining.{route}")).inc();
             return Err(Rejected::Draining);
         }
         if st.queued_pairs + pairs.len() > self.inner.max_queued_pairs {
-            obs::counter("serve.rejected.overload").inc();
+            obs::counter(&format!("serve.rejected.overload.{route}")).inc();
             return Err(Rejected::Overloaded);
         }
         let waiter = Arc::new(Waiter::default());
@@ -136,40 +255,101 @@ impl Batcher {
         self.inner.arrived.notify_all();
     }
 
+    /// Whether [`shutdown`](Self::shutdown) has been called (used by the
+    /// supervisor to cut restart backoff short during a drain).
+    pub fn is_draining(&self) -> bool {
+        self.lock().draining
+    }
+
     /// Pairs currently queued (for tests and capacity introspection).
     pub fn queued_pairs(&self) -> usize {
         self.lock().queued_pairs
+    }
+
+    /// The shared circuit breaker (admission + supervisor wiring).
+    pub fn breaker(&self) -> &CircuitBreaker {
+        &self.inner.breaker
     }
 
     fn lock(&self) -> std::sync::MutexGuard<'_, State> {
         self.inner.state.lock().unwrap_or_else(|p| p.into_inner())
     }
 
-    /// The worker loop: call from a dedicated thread with the shared
-    /// model host. Returns when the batcher is draining *and* the queue
-    /// is empty — never abandons an admitted job.
-    pub fn run_worker(&self, host: &ModelHost) {
+    /// One supervised worker loop: pull microbatches, snapshot the model
+    /// cell once per batch, score, scatter. Returns [`WorkerExit::Drained`]
+    /// when the batcher is draining *and* the queue is empty — never
+    /// abandoning an admitted job — or [`WorkerExit::Panicked`] after a
+    /// panic, with that batch's waiters already failed with typed errors.
+    ///
+    /// Call from a supervisor ([`crate::supervisor::spawn_workers`]) or
+    /// directly from a dedicated thread in tests.
+    pub fn run_supervised(&self, cell: &HostCell) -> WorkerExit {
+        let mut batches_done: u64 = 0;
         loop {
             let batch = match self.next_batch() {
                 Some(b) => b,
-                None => return,
+                None => return WorkerExit::Drained,
             };
+            let batch_idx = self.inner.batch_seq.fetch_add(1, Ordering::SeqCst);
+            // one snapshot per microbatch: the hot-swap atomicity unit
+            let snap = cell.snapshot();
+            if let Some(ms) = self.inner.faults.slow_embed_ms() {
+                std::thread::sleep(Duration::from_millis(ms));
+            }
             let n_pairs: usize = batch.iter().map(|j| j.pairs.len()).sum();
             obs::histogram(
                 "serve.batch_pairs",
                 &[1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0],
             )
             .observe(n_pairs as f64);
-            let mut all: Vec<RecordPair> = Vec::with_capacity(n_pairs);
-            for job in &batch {
-                all.extend(job.pairs.iter().cloned());
-            }
-            let probs = host.match_proba(&all);
-            let mut off = 0;
-            for job in batch {
-                let take = job.pairs.len();
-                job.waiter.fill(probs[off..off + take].to_vec());
-                off += take;
+            let outcome: Result<Vec<f32>, ServeFailure> = if self.inner.faults.errs_at(batch_idx) {
+                Err(ServeFailure::PredictError(
+                    "injected fault: err@predict".into(),
+                ))
+            } else {
+                let faults = &self.inner.faults;
+                let host = &snap.host;
+                let all: Vec<RecordPair> =
+                    batch.iter().flat_map(|j| j.pairs.iter().cloned()).collect();
+                par::catch_panic(move || {
+                    if faults.panics_at(batch_idx) {
+                        // marker prefix keeps test logs readable via
+                        // automl::fault::silence_injected_panic_output
+                        panic!("injected fault: panic@batcher (microbatch {batch_idx})");
+                    }
+                    host.match_proba(&all)
+                })
+                .map_err(ServeFailure::WorkerPanic)
+            };
+            match outcome {
+                Ok(probs) => {
+                    let threshold = snap.host.threshold();
+                    let mut off = 0;
+                    for job in batch {
+                        let take = job.pairs.len();
+                        job.waiter.fill(Ok(Scored {
+                            probs: probs[off..off + take].to_vec(),
+                            version: snap.version,
+                            threshold,
+                        }));
+                        off += take;
+                    }
+                    batches_done += 1;
+                    // closes a half-open breaker; no-op when closed
+                    self.inner.breaker.record_success();
+                }
+                Err(failure) => {
+                    obs::counter("serve.batch_failures").inc();
+                    for job in &batch {
+                        job.waiter.fill(Err(failure.clone()));
+                    }
+                    if let ServeFailure::WorkerPanic(message) = failure {
+                        return WorkerExit::Panicked {
+                            message,
+                            batches_done,
+                        };
+                    }
+                }
             }
         }
     }
@@ -233,7 +413,7 @@ impl Batcher {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use em_core::model::ModelSpec;
+    use em_core::model::{ModelHost, ModelSpec};
     use em_data::Split;
     use std::thread;
 
@@ -247,29 +427,43 @@ mod tests {
         .unwrap()
     }
 
+    fn plain_batcher(max_batch: usize, queue: usize, linger_ms: u64) -> Batcher {
+        Batcher::new(
+            max_batch,
+            queue,
+            Duration::from_millis(linger_ms),
+            ServeFaultPlan::none(),
+            CircuitBreaker::new(1000, Duration::from_secs(60), Duration::from_millis(50)),
+        )
+    }
+
     #[test]
     fn coalesced_probs_match_direct_predict() {
         let host = tiny_host();
         let pairs: Vec<RecordPair> = host.dataset().split(Split::Test).to_vec();
         let direct = host.match_proba(&pairs);
-        let batcher = Batcher::new(8, 1024, Duration::from_millis(1));
+        let threshold = host.threshold();
+        let cell = HostCell::new(Arc::new(host), 1);
+        let batcher = plain_batcher(8, 1024, 1);
         thread::scope(|s| {
             let worker = {
                 let b = batcher.clone();
-                let h = &host;
-                s.spawn(move || b.run_worker(h))
+                let c = Arc::clone(&cell);
+                s.spawn(move || b.run_supervised(&c))
             };
             let waiters: Vec<_> = pairs
                 .iter()
-                .map(|p| batcher.submit(vec![p.clone()]).unwrap())
+                .map(|p| batcher.submit(vec![p.clone()], "match").unwrap())
                 .collect();
             for (i, w) in waiters.iter().enumerate() {
-                let got = w.wait();
-                assert_eq!(got.len(), 1);
-                assert_eq!(got[0].to_bits(), direct[i].to_bits(), "pair {i}");
+                let got = w.wait().expect("scored");
+                assert_eq!(got.probs.len(), 1);
+                assert_eq!(got.probs[0].to_bits(), direct[i].to_bits(), "pair {i}");
+                assert_eq!(got.version, 1);
+                assert_eq!(got.threshold.to_bits(), threshold.to_bits());
             }
             batcher.shutdown();
-            worker.join().unwrap();
+            assert!(matches!(worker.join().unwrap(), WorkerExit::Drained));
         });
     }
 
@@ -277,42 +471,128 @@ mod tests {
     fn overload_and_drain_reject_with_typed_errors() {
         let host = tiny_host();
         let pair = host.dataset().split(Split::Test)[0].clone();
-        let batcher = Batcher::new(4, 2, Duration::from_millis(1));
+        let batcher = plain_batcher(4, 2, 1);
         // no worker running: fill the queue
-        let _w1 = batcher.submit(vec![pair.clone()]).unwrap();
-        let _w2 = batcher.submit(vec![pair.clone()]).unwrap();
+        let _w1 = batcher.submit(vec![pair.clone()], "match").unwrap();
+        let _w2 = batcher.submit(vec![pair.clone()], "match").unwrap();
         assert!(matches!(
-            batcher.submit(vec![pair.clone()]),
+            batcher.submit(vec![pair.clone()], "match"),
             Err(Rejected::Overloaded)
         ));
         batcher.shutdown();
         assert!(matches!(
-            batcher.submit(vec![pair]),
+            batcher.submit(vec![pair], "match"),
             Err(Rejected::Draining)
         ));
+    }
+
+    #[test]
+    fn open_breaker_rejects_with_retry_after() {
+        let host = tiny_host();
+        let pair = host.dataset().split(Split::Test)[0].clone();
+        let batcher = Batcher::new(
+            4,
+            1024,
+            Duration::from_millis(1),
+            ServeFaultPlan::none(),
+            CircuitBreaker::new(1, Duration::from_secs(60), Duration::from_secs(30)),
+        );
+        batcher.breaker().record_failure(); // trips immediately
+        match batcher.submit(vec![pair], "match") {
+            Err(Rejected::Unavailable { retry_after_secs }) => {
+                assert!((1..=30).contains(&retry_after_secs));
+            }
+            other => panic!("expected Unavailable, got {other:?}"),
+        }
     }
 
     #[test]
     fn shutdown_drains_every_admitted_job() {
         let host = tiny_host();
         let pairs: Vec<RecordPair> = host.dataset().split(Split::Test)[..6].to_vec();
-        let batcher = Batcher::new(4, 1024, Duration::from_millis(50));
+        let cell = HostCell::new(Arc::new(host), 1);
+        let batcher = plain_batcher(4, 1024, 50);
         // queue everything BEFORE any worker exists, then shut down and
         // only then start the worker: all jobs must still be answered
         let waiters: Vec<_> = pairs
             .iter()
-            .map(|p| batcher.submit(vec![p.clone()]).unwrap())
+            .map(|p| batcher.submit(vec![p.clone()], "match").unwrap())
             .collect();
         batcher.shutdown();
         thread::scope(|s| {
             let b = batcher.clone();
-            let h = &host;
-            let worker = s.spawn(move || b.run_worker(h));
+            let c = Arc::clone(&cell);
+            let worker = s.spawn(move || b.run_supervised(&c));
             for w in &waiters {
-                assert_eq!(w.wait().len(), 1);
+                assert_eq!(w.wait().expect("scored").probs.len(), 1);
             }
-            worker.join().unwrap();
+            assert!(matches!(worker.join().unwrap(), WorkerExit::Drained));
         });
         assert_eq!(batcher.queued_pairs(), 0);
+    }
+
+    #[test]
+    fn injected_panic_fails_inflight_jobs_and_reports_exit() {
+        automl::fault::silence_injected_panic_output();
+        let host = tiny_host();
+        let pairs = host.dataset().split(Split::Test).to_vec();
+        let cell = HostCell::new(Arc::new(host), 1);
+        let batcher = Batcher::new(
+            8,
+            1024,
+            Duration::from_millis(1),
+            ServeFaultPlan::none().panic_batcher_at(0),
+            CircuitBreaker::new(1000, Duration::from_secs(60), Duration::from_millis(50)),
+        );
+        let w = batcher.submit(vec![pairs[0].clone()], "match").unwrap();
+        let exit = batcher.run_supervised(&cell); // processes batch 0, panics
+        match exit {
+            WorkerExit::Panicked {
+                message,
+                batches_done,
+            } => {
+                assert!(message.contains("panic@batcher"), "{message}");
+                assert_eq!(batches_done, 0);
+            }
+            other => panic!("expected panic exit, got {other:?}"),
+        }
+        match w.wait() {
+            Err(ServeFailure::WorkerPanic(m)) => assert!(m.contains("panic@batcher"), "{m}"),
+            other => panic!("expected WorkerPanic, got {other:?}"),
+        }
+        // the next batch (index 1) scores normally on a fresh worker run
+        let w2 = batcher.submit(vec![pairs[1].clone()], "match").unwrap();
+        batcher.shutdown();
+        assert!(matches!(batcher.run_supervised(&cell), WorkerExit::Drained));
+        assert!(w2.wait().is_ok());
+    }
+
+    #[test]
+    fn injected_predict_error_is_typed_and_worker_survives() {
+        let host = tiny_host();
+        let pairs = host.dataset().split(Split::Test).to_vec();
+        let cell = HostCell::new(Arc::new(host), 1);
+        let batcher = Batcher::new(
+            8,
+            1024,
+            Duration::from_millis(1),
+            ServeFaultPlan::none().err_predict_at(0),
+            CircuitBreaker::new(1000, Duration::from_secs(60), Duration::from_millis(50)),
+        );
+        let w0 = batcher.submit(vec![pairs[0].clone()], "match").unwrap();
+        thread::scope(|s| {
+            let b = batcher.clone();
+            let c = Arc::clone(&cell);
+            let worker = s.spawn(move || b.run_supervised(&c));
+            match w0.wait() {
+                Err(ServeFailure::PredictError(m)) => assert!(m.contains("err@predict"), "{m}"),
+                other => panic!("expected PredictError, got {other:?}"),
+            }
+            // same worker, no restart needed: the very next job succeeds
+            let w1 = batcher.submit(vec![pairs[1].clone()], "match").unwrap();
+            assert!(w1.wait().is_ok());
+            batcher.shutdown();
+            assert!(matches!(worker.join().unwrap(), WorkerExit::Drained));
+        });
     }
 }

@@ -167,11 +167,25 @@ pub fn parse_request(buf: &[u8], max_body: usize) -> Result<Option<(Request, usi
 /// Render a response head + body into wire bytes. `body` is always
 /// `application/json` in this service.
 pub fn render_response(status: u16, body: &str, keep_alive: bool) -> Vec<u8> {
+    render_response_with(status, body, keep_alive, &[])
+}
+
+/// Like [`render_response`], with extra response headers — the service
+/// uses this for `retry-after` on `429`/`503` and `x-model-version` on
+/// scored responses. Header names must be lowercase ASCII without CR/LF
+/// (callers pass literals; nothing client-controlled lands here).
+pub fn render_response_with(
+    status: u16,
+    body: &str,
+    keep_alive: bool,
+    extra: &[(&str, String)],
+) -> Vec<u8> {
     let reason = match status {
         200 => "OK",
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        409 => "Conflict",
         411 => "Length Required",
         413 => "Payload Too Large",
         429 => "Too Many Requests",
@@ -180,12 +194,19 @@ pub fn render_response(status: u16, body: &str, keep_alive: bool) -> Vec<u8> {
         503 => "Service Unavailable",
         _ => "Internal Server Error",
     };
-    let mut out = format!(
-        "HTTP/1.1 {status} {reason}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: {}\r\n\r\n",
+    let mut head = format!(
+        "HTTP/1.1 {status} {reason}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: {}\r\n",
         body.len(),
         if keep_alive { "keep-alive" } else { "close" },
-    )
-    .into_bytes();
+    );
+    for (name, value) in extra {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
+    let mut out = head.into_bytes();
     out.extend_from_slice(body.as_bytes());
     out
 }
@@ -281,5 +302,26 @@ mod tests {
         assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
         assert!(text.contains("content-length: 2\r\n"));
         assert!(text.ends_with("\r\n\r\n{}"));
+    }
+
+    #[test]
+    fn extra_headers_land_in_the_head() {
+        let bytes = render_response_with(
+            503,
+            "{}",
+            false,
+            &[
+                ("retry-after", "2".to_string()),
+                ("x-model-version", "7".to_string()),
+            ],
+        );
+        let text = String::from_utf8(bytes).unwrap();
+        assert!(text.starts_with("HTTP/1.1 503 Service Unavailable\r\n"));
+        assert!(text.contains("\r\nretry-after: 2\r\n"), "{text}");
+        assert!(text.contains("\r\nx-model-version: 7\r\n"), "{text}");
+        assert!(text.ends_with("\r\n\r\n{}"));
+        // headers stay inside the head, before the blank line
+        let head_end = text.find("\r\n\r\n").unwrap();
+        assert!(text.find("retry-after").unwrap() < head_end);
     }
 }

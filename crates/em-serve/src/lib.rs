@@ -9,7 +9,7 @@
 //! same pair, whatever microbatch it happened to ride in — see
 //! [`batcher`] for why coalescing cannot change answers.
 //!
-//! Three moving parts:
+//! Five moving parts:
 //!
 //! * [`http`] — incremental HTTP/1.1 parsing with keep-alive,
 //!   pipelining and hard caps (no chunked bodies, `Content-Length`
@@ -17,10 +17,28 @@
 //! * [`batcher`] — the request coalescer: a bounded queue where
 //!   concurrent small requests merge into GEMM-sized microbatches
 //!   (flush at `max_batch` pairs or after a linger window), with typed
-//!   admission control (`429 overloaded` / `503 draining`).
+//!   admission control (`429 overloaded` / `503 draining` / `503
+//!   breaker_open` + `Retry-After`).
+//! * [`supervisor`] — keeps batch workers alive across panics:
+//!   exponential-backoff restarts, typed `500`s for the batch that
+//!   died, and a circuit breaker that sheds load after repeated
+//!   failures instead of crash-looping.
+//! * [`reload`] — zero-drop model hot-swap: `POST /admin/reload` loads
+//!   and bit-verifies a new bundle off the hot path, then flips an
+//!   `Arc` between microbatches; every response names the exact model
+//!   version that scored it (`x-model-version`), and a WAL journal
+//!   makes crash-mid-swap recovery well-defined.
 //! * [`server`] — accept loop, per-connection threads behind a
 //!   [`par::Gate`], and graceful shutdown that answers everything
 //!   admitted before hanging up.
+//!
+//! Chaos-testing hooks ride the `AUTOML_EM_FAULTS` grammar
+//! ([`automl::fault::ServeFaultPlan`]): `panic@batcher:K`,
+//! `err@predict:K`, `slow@embed:MS`, `torn@client`, `loris@client:MS`.
+//! `serve_bench --chaos` drives them and asserts the serving invariant:
+//! every accepted request gets exactly one correct-or-typed-error
+//! response, and post-fault responses stay bit-identical to offline
+//! predict.
 //!
 //! Configuration comes from `AUTOML_EM_SERVE_*` environment variables
 //! ([`ServeConfig::from_env`]); every route increments `serve.*`
@@ -33,11 +51,15 @@
 
 pub mod batcher;
 pub mod http;
+pub mod reload;
 pub mod server;
+pub mod supervisor;
 
-pub use batcher::{Batcher, Rejected, Waiter};
+pub use batcher::{Batcher, Rejected, Scored, ServeFailure, Waiter, WorkerExit};
 pub use http::{parse_request, render_response, HttpError, Request};
+pub use reload::{HostCell, ReloadError, Reloader, SwapJournal, VersionedHost};
 pub use server::{serve, ServerHandle};
+pub use supervisor::SupervisorConfig;
 
 /// Server tuning knobs, each overridable via an `AUTOML_EM_SERVE_*`
 /// environment variable (see [`from_env`](Self::from_env)).
@@ -80,6 +102,34 @@ pub struct ServeConfig {
     /// the predict pass already parallelizes internally over the `par`
     /// pool, so more workers only help when batches are small).
     pub workers: usize,
+    /// Worker restarts within [`restart_window_ms`](Self::restart_window_ms)
+    /// that trip the circuit breaker (`AUTOML_EM_SERVE_RESTART_MAX`,
+    /// default 5).
+    pub restart_max: usize,
+    /// Sliding window for counting worker restarts, in milliseconds
+    /// (`AUTOML_EM_SERVE_RESTART_WINDOW_MS`, default 30000).
+    pub restart_window_ms: u64,
+    /// How long a tripped breaker refuses work before half-opening, in
+    /// milliseconds (`AUTOML_EM_SERVE_BREAKER_COOLDOWN_MS`, default
+    /// 1000). Also the basis of the `Retry-After` header on `503
+    /// breaker_open` responses.
+    pub breaker_cooldown_ms: u64,
+    /// First worker-restart backoff delay, in milliseconds
+    /// (`AUTOML_EM_SERVE_BACKOFF_BASE_MS`, default 10). Doubles per
+    /// consecutive zero-progress restart.
+    pub backoff_base_ms: u64,
+    /// Pre-jitter ceiling on the restart backoff, in milliseconds
+    /// (`AUTOML_EM_SERVE_BACKOFF_CAP_MS`, default 1000).
+    pub backoff_cap_ms: u64,
+    /// Path of the hot-swap WAL journal
+    /// (`AUTOML_EM_SERVE_SWAP_JOURNAL`; unset → swaps work but are not
+    /// journaled and crash-mid-swap recovery is unavailable).
+    pub swap_journal: Option<String>,
+    /// Serve-path fault plan, parsed from the serve productions of
+    /// `AUTOML_EM_FAULTS` (`panic@batcher:K`, `err@predict:K`,
+    /// `slow@embed:MS`, `torn@client`, `loris@client:MS`). Empty by
+    /// default; only chaos harnesses set this.
+    pub faults: automl::fault::ServeFaultPlan,
 }
 
 impl Default for ServeConfig {
@@ -93,6 +143,13 @@ impl Default for ServeConfig {
             max_conns: 64,
             drain_ms: 5000,
             workers: 1,
+            restart_max: 5,
+            restart_window_ms: 30_000,
+            breaker_cooldown_ms: 1000,
+            backoff_base_ms: 10,
+            backoff_cap_ms: 1000,
+            swap_journal: None,
+            faults: automl::fault::ServeFaultPlan::none(),
         }
     }
 }
@@ -116,6 +173,16 @@ impl ServeConfig {
             max_conns: env_parse("AUTOML_EM_SERVE_MAX_CONNS", d.max_conns),
             drain_ms: env_parse("AUTOML_EM_SERVE_DRAIN_MS", d.drain_ms),
             workers: env_parse("AUTOML_EM_SERVE_WORKERS", d.workers),
+            restart_max: env_parse("AUTOML_EM_SERVE_RESTART_MAX", d.restart_max),
+            restart_window_ms: env_parse("AUTOML_EM_SERVE_RESTART_WINDOW_MS", d.restart_window_ms),
+            breaker_cooldown_ms: env_parse(
+                "AUTOML_EM_SERVE_BREAKER_COOLDOWN_MS",
+                d.breaker_cooldown_ms,
+            ),
+            backoff_base_ms: env_parse("AUTOML_EM_SERVE_BACKOFF_BASE_MS", d.backoff_base_ms),
+            backoff_cap_ms: env_parse("AUTOML_EM_SERVE_BACKOFF_CAP_MS", d.backoff_cap_ms),
+            swap_journal: std::env::var("AUTOML_EM_SERVE_SWAP_JOURNAL").ok(),
+            faults: automl::fault::FaultPlan::from_env().serve().clone(),
         }
     }
 }
@@ -142,6 +209,13 @@ mod tests {
         assert_eq!(c.max_conns, 64);
         assert_eq!(c.drain_ms, 5000);
         assert_eq!(c.workers, 1);
+        assert_eq!(c.restart_max, 5);
+        assert_eq!(c.restart_window_ms, 30_000);
+        assert_eq!(c.breaker_cooldown_ms, 1000);
+        assert_eq!(c.backoff_base_ms, 10);
+        assert_eq!(c.backoff_cap_ms, 1000);
+        assert_eq!(c.swap_journal, None);
+        assert!(c.faults.is_empty());
     }
 
     #[test]

@@ -1,0 +1,379 @@
+//! Zero-drop model hot-swap: a versioned atomic model pointer
+//! ([`HostCell`]), a WAL-journaled swap protocol ([`Reloader`]), and
+//! crash recovery to a well-defined version ([`SwapJournal::recover`]).
+//!
+//! The swap path never touches the request hot path. Loading a new
+//! bundle (`em_core::model::load_model` — a deterministic refit with
+//! bit-for-bit fingerprint verification) runs on the admin connection's
+//! thread; batch workers keep scoring against the old model the whole
+//! time. The flip itself is one `RwLock<Arc<_>>` write of a pointer:
+//! each worker snapshots the cell **once per microbatch**, so every
+//! accepted request is answered by exactly one model version (echoed in
+//! the `x-model-version` response header) and a batch can never straddle
+//! the swap. Verification failure rolls back — the old model keeps
+//! serving and the journal records why.
+//!
+//! Swap events are journaled append-only (`begin` → `commit`, or
+//! `begin` → `rollback`) with an fsync after every record, the same
+//! discipline as the search WAL (PR 4). A crash mid-swap therefore
+//! leaves either no `commit` (recovery re-serves the previous committed
+//! version) or a `commit` (recovery re-serves the new one) — never an
+//! ambiguous in-between. [`SwapJournal::recover`] tolerates a torn tail
+//! line exactly like `automl::journal` does.
+
+use em_core::model::{load_model, ModelError, ModelHost};
+use obs::json::{self, Json};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex, RwLock};
+use std::time::Instant;
+
+/// One immutable (model, version) pairing. Everything downstream of a
+/// snapshot — scoring, threshold, version header — reads from this one
+/// struct, so a request can never mix fields from two versions.
+pub struct VersionedHost {
+    /// The loaded model.
+    pub host: Arc<ModelHost>,
+    /// Monotonic model version (1 = the boot model, +1 per swap).
+    pub version: u64,
+}
+
+/// The serving layer's shared, swappable model pointer. Readers
+/// ([`snapshot`](HostCell::snapshot)) clone an `Arc` under a read lock —
+/// nanoseconds; the only writer is the swap flip. Requests in flight on
+/// the old `Arc` finish against the old model; new microbatches see the
+/// new one.
+pub struct HostCell {
+    current: RwLock<Arc<VersionedHost>>,
+}
+
+impl HostCell {
+    /// A cell serving `host` as `version`.
+    pub fn new(host: Arc<ModelHost>, version: u64) -> Arc<Self> {
+        Arc::new(Self {
+            current: RwLock::new(Arc::new(VersionedHost { host, version })),
+        })
+    }
+
+    /// The current (model, version) — cheap, lock held only for the
+    /// `Arc` clone. Callers hold the snapshot for the whole unit of work
+    /// (one microbatch, one health probe) so the unit sees one version.
+    pub fn snapshot(&self) -> Arc<VersionedHost> {
+        Arc::clone(&self.current.read().unwrap_or_else(|p| p.into_inner()))
+    }
+
+    /// The current version number.
+    pub fn version(&self) -> u64 {
+        self.snapshot().version
+    }
+
+    /// Flip to `host`, assigning the next version. Returns it.
+    fn swap(&self, host: Arc<ModelHost>) -> u64 {
+        let mut cur = self.current.write().unwrap_or_else(|p| p.into_inner());
+        let version = cur.version + 1;
+        *cur = Arc::new(VersionedHost { host, version });
+        version
+    }
+}
+
+/// What a committed swap looks like after recovery: which version to
+/// serve and which bundle file produces it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SwapRecovery {
+    /// The last committed model version.
+    pub version: u64,
+    /// The bundle path that version was loaded from.
+    pub bundle_path: String,
+    /// The committed model's fingerprint digest.
+    pub digest: String,
+}
+
+/// Append-only JSONL journal of swap events, fsync'd per record.
+pub struct SwapJournal {
+    path: PathBuf,
+    file: Mutex<std::fs::File>,
+}
+
+impl SwapJournal {
+    /// Open (creating or appending) the journal at `path`.
+    pub fn open(path: &Path) -> std::io::Result<Self> {
+        let file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)?;
+        Ok(Self {
+            path: path.to_path_buf(),
+            file: Mutex::new(file),
+        })
+    }
+
+    /// The journal's on-disk location.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    fn append(&self, record: &str) {
+        let mut f = self.file.lock().unwrap_or_else(|p| p.into_inner());
+        // a failed journal write must not take serving down — the model
+        // swap is correct without it; only crash recovery loses fidelity
+        let _ = writeln!(f, "{record}");
+        let _ = f.sync_data();
+    }
+
+    fn record(&self, event: &str, fields: impl FnOnce(&mut json::Obj)) {
+        let mut o = json::Obj::new();
+        o.str("event", event);
+        fields(&mut o);
+        self.append(&o.finish());
+    }
+
+    /// Journal the start of a swap attempt.
+    pub fn begin(&self, from_version: u64, to_version: u64, bundle_path: &str) {
+        self.record("swap.begin", |o| {
+            o.u64("from_version", from_version)
+                .u64("to_version", to_version)
+                .str("path", bundle_path);
+        });
+    }
+
+    /// Journal a committed swap: `version` is now the serving model.
+    pub fn commit(&self, version: u64, bundle_path: &str, digest: &str) {
+        self.record("swap.commit", |o| {
+            o.u64("version", version)
+                .str("path", bundle_path)
+                .str("digest", digest);
+        });
+    }
+
+    /// Journal a rolled-back swap attempt (old model keeps serving).
+    pub fn rollback(&self, to_version: u64, reason: &str) {
+        self.record("swap.rollback", |o| {
+            o.u64("to_version", to_version).str("reason", reason);
+        });
+    }
+
+    /// Read a journal and return the last **committed** swap, if any.
+    /// A torn tail line (crash mid-append) is ignored, like the search
+    /// WAL's torn-tail truncation; a `begin` without a `commit` simply
+    /// never became the serving version. A missing file means no swaps.
+    pub fn recover(path: &Path) -> std::io::Result<Option<SwapRecovery>> {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(e),
+        };
+        let mut last = None;
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            // unparseable lines are the torn tail (or garbage): skip
+            let Ok(v) = json::parse(line) else { continue };
+            if v.get("event").and_then(Json::as_str) != Some("swap.commit") {
+                continue;
+            }
+            let (Some(version), Some(bundle_path)) = (
+                v.get("version").and_then(Json::as_u64),
+                v.get("path").and_then(Json::as_str),
+            ) else {
+                continue;
+            };
+            last = Some(SwapRecovery {
+                version,
+                bundle_path: bundle_path.to_owned(),
+                digest: v
+                    .get("digest")
+                    .and_then(Json::as_str)
+                    .unwrap_or_default()
+                    .to_owned(),
+            });
+        }
+        Ok(last)
+    }
+}
+
+/// Why a reload attempt was refused or failed. The serving layer maps
+/// these onto typed HTTP responses; in every failure case the old model
+/// keeps serving untouched.
+#[derive(Debug)]
+pub enum ReloadError {
+    /// Another reload is already in progress (HTTP 409).
+    Busy,
+    /// Loading/verifying the bundle failed (HTTP 500, rolled back).
+    Load(ModelError),
+    /// The new model's schema differs from the serving one — swapping it
+    /// under live connections would break request parsing (HTTP 409,
+    /// rolled back).
+    SchemaMismatch,
+}
+
+impl std::fmt::Display for ReloadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReloadError::Busy => write!(f, "another reload is already in progress"),
+            ReloadError::Load(e) => write!(f, "bundle load failed: {e}"),
+            ReloadError::SchemaMismatch => {
+                write!(f, "new model's schema differs from the serving model")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ReloadError {}
+
+/// A committed swap, as reported to the admin caller.
+#[derive(Debug, Clone)]
+pub struct SwapOutcome {
+    /// Version before the swap.
+    pub previous: u64,
+    /// Version now serving.
+    pub version: u64,
+    /// Fingerprint digest of the new model.
+    pub digest: String,
+    /// Winning system name of the new model.
+    pub system: String,
+    /// Wall-clock milliseconds the load + verify took (off hot path).
+    pub load_ms: u64,
+}
+
+/// The swap orchestrator: serializes reload attempts, journals the
+/// protocol, flips the [`HostCell`] on success.
+pub struct Reloader {
+    cell: Arc<HostCell>,
+    journal: Option<SwapJournal>,
+    in_progress: Mutex<()>,
+}
+
+impl Reloader {
+    /// A reloader flipping `cell`, journaling into `journal` when given.
+    pub fn new(cell: Arc<HostCell>, journal: Option<SwapJournal>) -> Self {
+        Self {
+            cell,
+            journal,
+            in_progress: Mutex::new(()),
+        }
+    }
+
+    /// Load the bundle at `path` (slow: deterministic refit +
+    /// bit-verification, on the caller's thread), then atomically swap
+    /// it in. Exactly one reload runs at a time; concurrent calls get
+    /// [`ReloadError::Busy`] instead of queueing, so an operator
+    /// retrying a slow reload cannot stack refits.
+    pub fn reload_from_path(&self, path: &Path) -> Result<SwapOutcome, ReloadError> {
+        let Ok(_guard) = self.in_progress.try_lock() else {
+            obs::counter("serve.swap.busy").inc();
+            return Err(ReloadError::Busy);
+        };
+        let before = self.cell.snapshot();
+        let to_version = before.version + 1;
+        let path_str = path.display().to_string();
+        if let Some(j) = &self.journal {
+            j.begin(before.version, to_version, &path_str);
+        }
+        let t0 = Instant::now();
+        let loaded = match load_model(path) {
+            Ok(h) => h,
+            Err(e) => {
+                let reason = e.to_string();
+                if let Some(j) = &self.journal {
+                    j.rollback(to_version, &reason);
+                }
+                obs::counter("serve.swap.failed").inc();
+                obs::emit(
+                    "serve.swap.rollback",
+                    &[
+                        ("to_version", obs::Value::U64(to_version)),
+                        ("reason", obs::Value::Str(reason)),
+                    ],
+                );
+                return Err(ReloadError::Load(e));
+            }
+        };
+        if !before.host.swap_compatible(&loaded) {
+            if let Some(j) = &self.journal {
+                j.rollback(to_version, "schema mismatch");
+            }
+            obs::counter("serve.swap.failed").inc();
+            return Err(ReloadError::SchemaMismatch);
+        }
+        let load_ms = t0.elapsed().as_millis() as u64;
+        let digest = loaded.fingerprint_digest();
+        let system = loaded.report().system.to_owned();
+        let version = self.cell.swap(Arc::new(loaded));
+        if let Some(j) = &self.journal {
+            j.commit(version, &path_str, &digest);
+        }
+        obs::counter("serve.swap.count").inc();
+        obs::gauge("serve.model.version").set(version as f64);
+        obs::emit(
+            "serve.swap.commit",
+            &[
+                ("version", obs::Value::U64(version)),
+                ("digest", obs::Value::Str(digest.clone())),
+                ("load_ms", obs::Value::U64(load_ms)),
+            ],
+        );
+        Ok(SwapOutcome {
+            previous: before.version,
+            version,
+            digest,
+            system,
+            load_ms,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("em_serve_reload_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn recover_returns_last_commit_and_tolerates_torn_tail() {
+        let path = tmp("journal_torn.jsonl");
+        let _ = std::fs::remove_file(&path);
+        assert_eq!(SwapJournal::recover(&path).unwrap(), None, "missing file");
+        let j = SwapJournal::open(&path).unwrap();
+        j.begin(1, 2, "/m/b2.json");
+        j.commit(2, "/m/b2.json", "abcd");
+        j.begin(2, 3, "/m/b3.json");
+        j.rollback(3, "fingerprint mismatch");
+        j.begin(2, 3, "/m/b3b.json");
+        j.commit(3, "/m/b3b.json", "ef01");
+        // crash mid-append: a torn begin line with no newline-complete JSON
+        {
+            let mut f = std::fs::OpenOptions::new()
+                .append(true)
+                .open(&path)
+                .unwrap();
+            write!(f, "{{\"event\":\"swap.begin\",\"from_ver").unwrap();
+        }
+        let rec = SwapJournal::recover(&path).unwrap().expect("a commit");
+        assert_eq!(
+            rec,
+            SwapRecovery {
+                version: 3,
+                bundle_path: "/m/b3b.json".into(),
+                digest: "ef01".into()
+            }
+        );
+    }
+
+    #[test]
+    fn begin_without_commit_recovers_to_previous_commit() {
+        let path = tmp("journal_midswap.jsonl");
+        let _ = std::fs::remove_file(&path);
+        let j = SwapJournal::open(&path).unwrap();
+        j.commit(2, "/m/b2.json", "abcd");
+        j.begin(2, 3, "/m/b3.json"); // crash here: no commit, no rollback
+        let rec = SwapJournal::recover(&path).unwrap().expect("a commit");
+        assert_eq!(rec.version, 2);
+        assert_eq!(rec.bundle_path, "/m/b2.json");
+    }
+}

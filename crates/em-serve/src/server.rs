@@ -5,21 +5,33 @@
 //! hangs up), a per-connection thread incrementally parses HTTP/1.1
 //! messages ([`crate::http`]), the route handler decodes entities
 //! against the model's schema, and `/match` bodies flow through the
-//! [`crate::batcher::Batcher`] into fused `match_proba` microbatches.
-//! Shutdown ([`ServerHandle::shutdown`]) closes the gate, drains the
-//! queue and joins every thread — no admitted request is dropped.
+//! [`crate::batcher::Batcher`] into fused `match_proba` microbatches
+//! scored by supervised workers ([`crate::supervisor`]). Every scored
+//! response carries the `x-model-version` header of the exact model
+//! that produced it; `POST /admin/reload` hot-swaps that model with
+//! zero dropped requests ([`crate::reload`]). Shutdown
+//! ([`ServerHandle::shutdown`]) closes the gate, drains the queue and
+//! joins every thread — no admitted request is dropped.
 
-use crate::batcher::{Batcher, Rejected};
-use crate::http::{self, error_body, render_response, HttpError, Request};
+use crate::batcher::{Batcher, Rejected, ServeFailure};
+use crate::http::{self, error_body, render_response, render_response_with, HttpError, Request};
+use crate::reload::{HostCell, ReloadError, Reloader, SwapJournal};
+use crate::supervisor::{self, SupervisorConfig};
 use crate::ServeConfig;
-use em_core::model::ModelHost;
+use em_core::model::{load_model, ModelHost};
 use em_data::{Entity, RecordPair, Schema};
 use obs::json::{self, Json};
+use par::CircuitBreaker;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::Path;
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// Extra response headers attached by route handlers (`retry-after`,
+/// `x-model-version`). Names are `&'static` lowercase literals.
+type Headers = Vec<(&'static str, String)>;
 
 /// Exponential latency buckets in microseconds (64 µs … ~4 s).
 const LATENCY_BOUNDS_US: &[f64] = &[
@@ -43,30 +55,71 @@ pub fn serve(host: Arc<ModelHost>, config: &ServeConfig) -> std::io::Result<Serv
     let listener = TcpListener::bind(&config.addr)?;
     let addr = listener.local_addr()?;
     let gate = par::Gate::new();
+    let breaker = CircuitBreaker::new(
+        config.restart_max,
+        Duration::from_millis(config.restart_window_ms),
+        Duration::from_millis(config.breaker_cooldown_ms),
+    );
     let batcher = Batcher::new(
         config.max_batch,
         config.queue_pairs,
         Duration::from_micros(config.linger_us),
+        config.faults.clone(),
+        breaker,
     );
-    let workers: Vec<JoinHandle<()>> = (0..config.workers.max(1))
-        .map(|i| {
-            let b = batcher.clone();
-            let h = Arc::clone(&host);
-            std::thread::Builder::new()
-                .name(format!("em-serve-worker-{i}"))
-                .spawn(move || b.run_worker(&h))
-        })
-        .collect::<std::io::Result<_>>()?;
+    // crash recovery: a journaled commit from a previous process decides
+    // which model version this process boots as (see crate::reload)
+    let (boot_host, boot_version, journal) = match &config.swap_journal {
+        Some(p) => {
+            let path = Path::new(p);
+            let (h, v) = match SwapJournal::recover(path) {
+                Ok(Some(rec)) => match load_model(Path::new(&rec.bundle_path)) {
+                    Ok(loaded) if loaded.fingerprint_digest() == rec.digest => {
+                        obs::emit(
+                            "serve.swap.recovered",
+                            &[
+                                ("version", obs::Value::U64(rec.version)),
+                                ("path", obs::Value::Str(rec.bundle_path.clone())),
+                            ],
+                        );
+                        (Arc::new(loaded), rec.version)
+                    }
+                    _ => {
+                        // committed bundle is gone or no longer verifies:
+                        // serve the boot model as a NEW version so stale
+                        // journal state can never masquerade as current
+                        obs::counter("serve.swap.recovery_failed").inc();
+                        (Arc::clone(&host), rec.version + 1)
+                    }
+                },
+                _ => (Arc::clone(&host), 1),
+            };
+            (h, v, Some(SwapJournal::open(path)?))
+        }
+        None => (Arc::clone(&host), 1, None),
+    };
+    let cell = HostCell::new(boot_host, boot_version);
+    obs::gauge("serve.model.version").set(boot_version as f64);
+    let reloader = Arc::new(Reloader::new(Arc::clone(&cell), journal));
+    let sup = SupervisorConfig {
+        backoff_base: Duration::from_millis(config.backoff_base_ms),
+        backoff_cap: Duration::from_millis(config.backoff_cap_ms),
+        ..SupervisorConfig::default()
+    };
+    let workers = supervisor::spawn_workers(config.workers, &batcher, &cell, &sup);
     let accept = {
         let gate = gate.clone();
         let batcher = batcher.clone();
-        let host = Arc::clone(&host);
+        let cell = Arc::clone(&cell);
+        let reloader = Arc::clone(&reloader);
         let max_body = config.max_body;
         let max_conns = config.max_conns.max(1);
         std::thread::Builder::new()
             .name("em-serve-accept".into())
             .spawn(move || {
-                accept_loop(&listener, &gate, &batcher, &host, max_body, max_conns);
+                accept_loop(
+                    &listener, &gate, &batcher, &cell, &reloader, max_body, max_conns,
+                );
             })?
     };
     obs::emit(
@@ -75,12 +128,14 @@ pub fn serve(host: Arc<ModelHost>, config: &ServeConfig) -> std::io::Result<Serv
             ("addr", obs::Value::Str(addr.to_string())),
             ("workers", obs::Value::U64(config.workers.max(1) as u64)),
             ("max_batch", obs::Value::U64(config.max_batch as u64)),
+            ("model_version", obs::Value::U64(boot_version)),
         ],
     );
     Ok(ServerHandle {
         addr,
         gate,
         batcher,
+        cell,
         accept: Some(accept),
         workers,
         drain: Duration::from_millis(config.drain_ms),
@@ -94,6 +149,7 @@ pub struct ServerHandle {
     addr: SocketAddr,
     gate: par::Gate,
     batcher: Batcher,
+    cell: Arc<HostCell>,
     accept: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
     drain: Duration,
@@ -103,6 +159,12 @@ impl ServerHandle {
     /// The bound address (useful with a `:0` config port).
     pub fn addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// The model version currently serving (1 at boot, +1 per hot-swap;
+    /// crash recovery may boot higher — see [`crate::reload`]).
+    pub fn model_version(&self) -> u64 {
+        self.cell.version()
     }
 
     /// Graceful shutdown: stop admitting connections and jobs, answer
@@ -149,7 +211,8 @@ fn accept_loop(
     listener: &TcpListener,
     gate: &par::Gate,
     batcher: &Batcher,
-    host: &Arc<ModelHost>,
+    cell: &Arc<HostCell>,
+    reloader: &Arc<Reloader>,
     max_body: usize,
     max_conns: usize,
 ) {
@@ -168,24 +231,35 @@ fn accept_loop(
             None => {
                 // draining: tell the client why before hanging up
                 let body = error_body("draining", "server is shutting down");
-                let _ = stream.write_all(&render_response(503, &body, false));
+                let _ = stream.write_all(&render_response_with(
+                    503,
+                    &body,
+                    false,
+                    &[("retry-after", "1".to_string())],
+                ));
                 return;
             }
         };
         if gate.in_flight() > max_conns {
             obs::counter("serve.rejected.conns").inc();
             let body = error_body("too_many_connections", "connection limit reached");
-            let _ = stream.write_all(&render_response(429, &body, false));
+            let _ = stream.write_all(&render_response_with(
+                429,
+                &body,
+                false,
+                &[("retry-after", "1".to_string())],
+            ));
             continue; // permit drops here
         }
         let gate = gate.clone();
         let batcher = batcher.clone();
-        let host = Arc::clone(host);
+        let cell = Arc::clone(cell);
+        let reloader = Arc::clone(reloader);
         let spawned = std::thread::Builder::new()
             .name("em-serve-conn".into())
             .spawn(move || {
                 let _permit = permit;
-                handle_connection(stream, &gate, &batcher, &host, max_body);
+                handle_connection(stream, &gate, &batcher, &cell, &reloader, max_body);
             });
         if spawned.is_err() {
             obs::counter("serve.rejected.conns").inc();
@@ -197,7 +271,8 @@ fn handle_connection(
     mut stream: TcpStream,
     gate: &par::Gate,
     batcher: &Batcher,
-    host: &ModelHost,
+    cell: &HostCell,
+    reloader: &Reloader,
     max_body: usize,
 ) {
     // short read timeout so idle keep-alive connections notice a drain
@@ -212,10 +287,10 @@ fn handle_connection(
                 Ok(Some((req, used))) => {
                     buf.drain(..used);
                     let keep = req.keep_alive && !gate.is_closed();
-                    let (status, body) = route(&req, batcher, host);
+                    let (status, body, headers) = route(&req, batcher, cell, reloader);
                     observe_status(status);
                     if stream
-                        .write_all(&render_response(status, &body, keep))
+                        .write_all(&render_response_with(status, &body, keep, &headers))
                         .is_err()
                         || !keep
                     {
@@ -262,46 +337,64 @@ fn observe_status(status: u16) {
     obs::counter(class).inc();
 }
 
-fn route(req: &Request, batcher: &Batcher, host: &ModelHost) -> (u16, String) {
+fn route(
+    req: &Request,
+    batcher: &Batcher,
+    cell: &HostCell,
+    reloader: &Reloader,
+) -> (u16, String, Headers) {
     let _span = obs::span("serve.request");
     let start = Instant::now();
-    let (status, body, latency_metric) = match (req.method.as_str(), req.path.as_str()) {
+    let (status, body, headers, latency_metric) = match (req.method.as_str(), req.path.as_str()) {
         ("GET", "/healthz") => {
             obs::counter("serve.req.health").inc();
-            (200, health_body(host), None)
+            let snap = cell.snapshot();
+            (
+                200,
+                health_body(&snap.host, snap.version),
+                vec![("x-model-version", snap.version.to_string())],
+                None,
+            )
         }
         ("GET", "/metrics") => {
             obs::counter("serve.req.metrics").inc();
-            (200, metrics_body(), None)
+            (200, metrics_body(), Vec::new(), None)
         }
         ("POST", "/match") => {
             obs::counter("serve.req.match").inc();
-            let (s, b) = handle_match(&req.body, batcher, host);
-            (s, b, Some("serve.latency_us.match"))
+            let (s, b, h) = handle_match(&req.body, batcher, cell);
+            (s, b, h, Some("serve.latency_us.match"))
         }
         ("POST", "/match/batch") => {
             obs::counter("serve.req.batch").inc();
-            let (s, b) = handle_batch(&req.body, batcher, host);
-            (s, b, Some("serve.latency_us.batch"))
+            let (s, b, h) = handle_batch(&req.body, batcher, cell);
+            (s, b, h, Some("serve.latency_us.batch"))
         }
-        (_, "/healthz" | "/metrics" | "/match" | "/match/batch") => (
+        ("POST", "/admin/reload") => {
+            obs::counter("serve.req.reload").inc();
+            let (s, b, h) = handle_reload(&req.body, reloader);
+            (s, b, h, Some("serve.latency_us.reload"))
+        }
+        (_, "/healthz" | "/metrics" | "/match" | "/match/batch" | "/admin/reload") => (
             405,
             error_body("method_not_allowed", "wrong method for this route"),
+            Vec::new(),
             None,
         ),
         (_, path) => (
             404,
             error_body("not_found", &format!("no route {path}")),
+            Vec::new(),
             None,
         ),
     };
     if let Some(metric) = latency_metric {
         obs::histogram(metric, LATENCY_BOUNDS_US).observe(start.elapsed().as_micros() as f64);
     }
-    (status, body)
+    (status, body, headers)
 }
 
-fn health_body(host: &ModelHost) -> String {
+fn health_body(host: &ModelHost, version: u64) -> String {
     let (hits, misses) = host.cache_stats();
     let mut o = json::Obj::new();
     o.str("status", "ok")
@@ -309,6 +402,8 @@ fn health_body(host: &ModelHost) -> String {
         .str("system", host.report().system)
         .f64("val_f1", host.report().val_f1)
         .f64("threshold", f64::from(host.threshold()))
+        .u64("model_version", version)
+        .str("digest", &host.fingerprint_digest())
         .u64("cache_hits", hits as u64)
         .u64("cache_misses", misses as u64);
     o.finish()
@@ -322,29 +417,42 @@ fn metrics_body() -> String {
     o.finish()
 }
 
-fn handle_match(body: &[u8], batcher: &Batcher, host: &ModelHost) -> (u16, String) {
-    let pair = match parse_pair_body(body, host.schema()) {
+fn handle_match(body: &[u8], batcher: &Batcher, cell: &HostCell) -> (u16, String, Headers) {
+    // parse against the *current* schema; swaps are schema-compatible by
+    // construction (Reloader refuses mismatches), so any snapshot works
+    let schema = cell.snapshot();
+    let pair = match parse_pair_body(body, schema.host.schema()) {
         Ok(p) => p,
-        Err(msg) => return (400, error_body("bad_request", &msg)),
+        Err(msg) => return (400, error_body("bad_request", &msg), Vec::new()),
     };
-    match submit_and_wait(batcher, vec![pair]) {
-        Ok(probs) => {
-            let t = host.threshold();
-            let p = probs[0];
-            let mut o = json::Obj::new();
-            o.f64("p_match", f64::from(p))
-                .bool("match", p >= t)
-                .f64("threshold", f64::from(t));
-            (200, o.finish())
-        }
+    drop(schema);
+    match batcher.submit(vec![pair], "match") {
+        Ok(waiter) => match waiter.wait() {
+            Ok(scored) => {
+                let t = scored.threshold;
+                let p = scored.probs[0];
+                let mut o = json::Obj::new();
+                o.f64("p_match", f64::from(p))
+                    .bool("match", p >= t)
+                    .f64("threshold", f64::from(t));
+                (200, o.finish(), version_header(scored.version))
+            }
+            Err(failure) => failure_response(&failure),
+        },
         Err(rejection) => rejected_response(rejection),
     }
 }
 
-fn handle_batch(body: &[u8], batcher: &Batcher, host: &ModelHost) -> (u16, String) {
+fn handle_batch(body: &[u8], batcher: &Batcher, cell: &HostCell) -> (u16, String, Headers) {
     let text = match std::str::from_utf8(body) {
         Ok(t) => t,
-        Err(_) => return (400, error_body("bad_request", "body is not UTF-8")),
+        Err(_) => {
+            return (
+                400,
+                error_body("bad_request", "body is not UTF-8"),
+                Vec::new(),
+            )
+        }
     };
     let v = match json::parse(text) {
         Ok(v) => v,
@@ -352,60 +460,143 @@ fn handle_batch(body: &[u8], batcher: &Batcher, host: &ModelHost) -> (u16, Strin
             return (
                 400,
                 error_body("bad_request", &format!("invalid JSON: {e}")),
+                Vec::new(),
             )
         }
     };
     let pairs_json = match v.get("pairs") {
         Some(Json::Arr(items)) => items,
-        _ => return (400, error_body("bad_request", "expected a 'pairs' array")),
+        _ => {
+            return (
+                400,
+                error_body("bad_request", "expected a 'pairs' array"),
+                Vec::new(),
+            )
+        }
     };
     if pairs_json.is_empty() {
-        return (400, error_body("bad_request", "'pairs' must not be empty"));
+        return (
+            400,
+            error_body("bad_request", "'pairs' must not be empty"),
+            Vec::new(),
+        );
     }
+    let schema = cell.snapshot();
     let mut pairs = Vec::with_capacity(pairs_json.len());
     for (i, item) in pairs_json.iter().enumerate() {
-        match parse_pair(item, host.schema()) {
+        match parse_pair(item, schema.host.schema()) {
             Ok(p) => pairs.push(p),
             Err(msg) => {
                 return (
                     400,
                     error_body("bad_request", &format!("pairs[{i}]: {msg}")),
+                    Vec::new(),
                 )
             }
         }
     }
+    drop(schema);
     let n = pairs.len();
-    match submit_and_wait(batcher, pairs) {
-        Ok(probs) => {
-            let t = host.threshold();
-            let results = json::array(probs.iter().map(|&p| {
+    match batcher.submit(pairs, "batch") {
+        Ok(waiter) => match waiter.wait() {
+            Ok(scored) => {
+                let t = scored.threshold;
+                let results = json::array(scored.probs.iter().map(|&p| {
+                    let mut o = json::Obj::new();
+                    o.f64("p_match", f64::from(p)).bool("match", p >= t);
+                    o.finish()
+                }));
                 let mut o = json::Obj::new();
-                o.f64("p_match", f64::from(p)).bool("match", p >= t);
-                o.finish()
-            }));
-            let mut o = json::Obj::new();
-            o.raw("results", &results)
-                .f64("threshold", f64::from(t))
-                .u64("batch", n as u64);
-            (200, o.finish())
-        }
+                o.raw("results", &results)
+                    .f64("threshold", f64::from(t))
+                    .u64("batch", n as u64);
+                (200, o.finish(), version_header(scored.version))
+            }
+            Err(failure) => failure_response(&failure),
+        },
         Err(rejection) => rejected_response(rejection),
     }
 }
 
-fn submit_and_wait(batcher: &Batcher, pairs: Vec<RecordPair>) -> Result<Vec<f32>, Rejected> {
-    let waiter = batcher.submit(pairs)?;
-    Ok(waiter.wait())
+fn handle_reload(body: &[u8], reloader: &Reloader) -> (u16, String, Headers) {
+    let parsed = std::str::from_utf8(body)
+        .ok()
+        .and_then(|t| json::parse(t).ok());
+    let path = parsed
+        .as_ref()
+        .and_then(|v| v.get("path"))
+        .and_then(Json::as_str);
+    let Some(path) = path else {
+        return (
+            400,
+            error_body("bad_request", "expected {\"path\": \"<bundle.json>\"}"),
+            Vec::new(),
+        );
+    };
+    match reloader.reload_from_path(Path::new(path)) {
+        Ok(outcome) => {
+            let mut o = json::Obj::new();
+            o.str("status", "swapped")
+                .u64("previous_version", outcome.previous)
+                .u64("version", outcome.version)
+                .str("digest", &outcome.digest)
+                .str("system", &outcome.system)
+                .u64("load_ms", outcome.load_ms);
+            (200, o.finish(), version_header(outcome.version))
+        }
+        Err(ReloadError::Busy) => (
+            409,
+            error_body("reload_busy", "another reload is already in progress"),
+            Vec::new(),
+        ),
+        Err(ReloadError::SchemaMismatch) => (
+            409,
+            error_body(
+                "schema_mismatch",
+                "new model's schema differs from the serving model; rolled back",
+            ),
+            Vec::new(),
+        ),
+        Err(ReloadError::Load(e)) => (
+            500,
+            error_body(
+                "reload_failed",
+                &format!("bundle load failed: {e}; rolled back"),
+            ),
+            Vec::new(),
+        ),
+    }
 }
 
-fn rejected_response(r: Rejected) -> (u16, String) {
+fn version_header(version: u64) -> Headers {
+    vec![("x-model-version", version.to_string())]
+}
+
+fn rejected_response(r: Rejected) -> (u16, String, Headers) {
     match r {
         Rejected::Overloaded => (
             429,
             error_body("overloaded", "request queue is full, retry with backoff"),
+            vec![("retry-after", "1".to_string())],
         ),
-        Rejected::Draining => (503, error_body("draining", "server is shutting down")),
+        Rejected::Draining => (
+            503,
+            error_body("draining", "server is shutting down"),
+            vec![("retry-after", "1".to_string())],
+        ),
+        Rejected::Unavailable { retry_after_secs } => (
+            503,
+            error_body(
+                "breaker_open",
+                "circuit breaker is open after repeated worker failures",
+            ),
+            vec![("retry-after", retry_after_secs.to_string())],
+        ),
     }
+}
+
+fn failure_response(f: &ServeFailure) -> (u16, String, Headers) {
+    (500, error_body(f.code(), &f.message()), Vec::new())
 }
 
 fn parse_pair_body(body: &[u8], schema: &Schema) -> Result<RecordPair, String> {

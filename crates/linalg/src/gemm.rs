@@ -293,7 +293,7 @@ pub fn gemm_rows(a: &[f32], a_cols: usize, r0: usize, r1: usize, packed: &Packed
 /// `k × m` operand (so output row `j` is column `j` of `at` against all
 /// of packed B). Same microkernel, A panels packed from column slices —
 /// except in the tall-skinny regime (`n ≤ NR`), which takes the direct
-/// rank-1 path of [`gemm_ta_direct`] instead.
+/// rank-1 path of `gemm_ta_direct` instead.
 pub fn gemm_ta_rows(at: &[f32], m: usize, j0: usize, j1: usize, packed: &PackedB) -> Vec<f32> {
     let k = packed.k;
     debug_assert_eq!(at.len(), k * m);

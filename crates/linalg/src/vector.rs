@@ -14,7 +14,7 @@
 //! `#[target_feature(enable = "avx2")]`; for [`dot`] (and `Matrix::matvec`
 //! on top of it) LLVM's autovectorizer stops at 128-bit for the plain
 //! one-bank loop, so its AVX2 build spells the identical lane structure
-//! out with explicit 256-bit intrinsics instead ([`avx::dot_wide`]): lane
+//! out with explicit 256-bit intrinsics instead (`avx::dot_wide`): lane
 //! `8g + l` lives in lane `l` of ymm accumulator `g`, advanced by the same
 //! multiply-and-add per element in the same order, then spilled into the
 //! same reduction tree and tail. Either way the builds are
@@ -132,7 +132,7 @@ pub(crate) mod avx {
     }
 }
 
-/// The AVX2 build of [`dot`]: [`avx::dot_wide`], the hand-vectorized form
+/// The AVX2 build of [`dot`]: `avx::dot_wide`, the hand-vectorized form
 /// of [`dot_body`]'s lane structure.
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx2")]

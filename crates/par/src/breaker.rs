@@ -1,0 +1,340 @@
+//! Restart hygiene for supervised workers: exponential [`Backoff`] with
+//! deterministic jitter, and a [`CircuitBreaker`] that converts "the
+//! worker keeps dying" into fast typed refusals instead of a crash loop.
+//!
+//! Both primitives are deliberately clock-driven rather than
+//! event-driven: the breaker's Open → HalfOpen transition happens lazily
+//! when somebody asks ([`CircuitBreaker::allow`]), so there is no timer
+//! thread to supervise. `em-serve` wires one breaker per server between
+//! its batch-worker supervisor (which records restarts as failures) and
+//! its admission path (which turns an open breaker into `503` +
+//! `Retry-After`); the backoff paces the supervisor's restart attempts so
+//! a persistently-panicking worker cannot spin a core.
+
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Exponential backoff with deterministic jitter.
+///
+/// Delay for attempt `k` is `base · 2^k`, capped at `cap`, plus a jitter
+/// in `[0, delay/2)` drawn from a seeded xorshift — deterministic given
+/// the seed, so restart schedules in tests and chaos runs are
+/// reproducible (the workspace determinism contract extends to fault
+/// handling).
+#[derive(Debug, Clone)]
+pub struct Backoff {
+    base: Duration,
+    cap: Duration,
+    attempt: u32,
+    rng: u64,
+}
+
+impl Backoff {
+    /// A backoff starting at `base`, doubling per attempt, never
+    /// exceeding `cap` (pre-jitter). `seed` drives the jitter stream.
+    pub fn new(base: Duration, cap: Duration, seed: u64) -> Self {
+        Self {
+            base,
+            cap,
+            attempt: 0,
+            // xorshift must not start at 0; fold the seed through a
+            // splitmix-style scramble so seed 0 is fine too
+            rng: seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1,
+        }
+    }
+
+    /// The delay to sleep before the next restart attempt; each call
+    /// advances the attempt counter.
+    pub fn next_delay(&mut self) -> Duration {
+        let exp = self.attempt.min(16);
+        self.attempt = self.attempt.saturating_add(1);
+        let raw = self
+            .base
+            .saturating_mul(1u32.checked_shl(exp).unwrap_or(u32::MAX));
+        let capped = raw.min(self.cap);
+        // jitter in [0, capped/2): spreads simultaneous restarts apart
+        let j = self.next_u64();
+        let half = capped.as_nanos() as u64 / 2;
+        let jitter = if half == 0 { 0 } else { j % half };
+        capped + Duration::from_nanos(jitter)
+    }
+
+    /// Reset to the first attempt (call after a healthy stretch).
+    pub fn reset(&mut self) {
+        self.attempt = 0;
+    }
+
+    /// Attempts made since construction or the last [`reset`](Self::reset).
+    pub fn attempts(&self) -> u32 {
+        self.attempt
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        // xorshift64*
+        let mut x = self.rng;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.rng = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+}
+
+/// Where the breaker currently stands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Healthy: work is admitted, failures are being counted.
+    Closed,
+    /// Tripped: work is refused until the cooldown passes.
+    Open,
+    /// Cooldown expired: one trial period — a success closes the
+    /// breaker, a failure re-opens it immediately.
+    HalfOpen,
+}
+
+struct BreakerInner {
+    /// Failure timestamps inside the sliding window (Closed state only).
+    failures: Vec<Instant>,
+    state: BreakerState,
+    /// When the breaker tripped (valid in Open).
+    opened_at: Option<Instant>,
+}
+
+/// A sliding-window circuit breaker: `max_failures` failures within
+/// `window` trip it open for `cooldown`, after which it half-opens and a
+/// single success closes it again. Clones share state.
+///
+/// ```
+/// use std::time::Duration;
+/// let b = par::CircuitBreaker::new(2, Duration::from_secs(10), Duration::from_millis(50));
+/// assert!(b.allow());
+/// b.record_failure();
+/// b.record_failure(); // trips
+/// assert!(!b.allow());
+/// std::thread::sleep(Duration::from_millis(60));
+/// assert!(b.allow()); // half-open trial
+/// b.record_success();
+/// assert_eq!(b.state(), par::BreakerState::Closed);
+/// ```
+#[derive(Clone)]
+pub struct CircuitBreaker {
+    inner: Arc<Mutex<BreakerInner>>,
+    max_failures: usize,
+    window: Duration,
+    cooldown: Duration,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker tripping after `max_failures` failures within
+    /// `window`, staying open for `cooldown` before half-opening.
+    pub fn new(max_failures: usize, window: Duration, cooldown: Duration) -> Self {
+        Self {
+            inner: Arc::new(Mutex::new(BreakerInner {
+                failures: Vec::new(),
+                state: BreakerState::Closed,
+                opened_at: None,
+            })),
+            max_failures: max_failures.max(1),
+            window,
+            cooldown,
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, BreakerInner> {
+        self.inner.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Advance Open → HalfOpen if the cooldown has passed. Called from
+    /// every public entry point so state is always fresh when observed.
+    fn tick(&self, inner: &mut BreakerInner) {
+        if inner.state == BreakerState::Open {
+            let expired = inner
+                .opened_at
+                .map(|t| t.elapsed() >= self.cooldown)
+                .unwrap_or(true);
+            if expired {
+                inner.state = BreakerState::HalfOpen;
+            }
+        }
+    }
+
+    /// Whether new work should be admitted right now. `Closed` and
+    /// `HalfOpen` admit; `Open` refuses.
+    pub fn allow(&self) -> bool {
+        let mut inner = self.lock();
+        self.tick(&mut inner);
+        inner.state != BreakerState::Open
+    }
+
+    /// The current state (after lazily applying the cooldown transition).
+    pub fn state(&self) -> BreakerState {
+        let mut inner = self.lock();
+        self.tick(&mut inner);
+        inner.state
+    }
+
+    /// Record one failure. Returns `true` when this failure tripped the
+    /// breaker open (either from Closed by filling the window, or from
+    /// HalfOpen where any failure re-opens).
+    pub fn record_failure(&self) -> bool {
+        let mut inner = self.lock();
+        self.tick(&mut inner);
+        match inner.state {
+            BreakerState::Open => false,
+            BreakerState::HalfOpen => {
+                inner.state = BreakerState::Open;
+                inner.opened_at = Some(Instant::now());
+                true
+            }
+            BreakerState::Closed => {
+                let now = Instant::now();
+                inner
+                    .failures
+                    .retain(|t| now.duration_since(*t) < self.window);
+                inner.failures.push(now);
+                if inner.failures.len() >= self.max_failures {
+                    inner.state = BreakerState::Open;
+                    inner.opened_at = Some(now);
+                    inner.failures.clear();
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    /// Record one success: closes a half-open breaker (and forgets the
+    /// failure window). A success in the Closed state deliberately does
+    /// **not** clear the window — failures are forgiven only by aging
+    /// out, so a failure storm with occasional successes slipping
+    /// through still trips. No-op while Open.
+    pub fn record_success(&self) {
+        let mut inner = self.lock();
+        self.tick(&mut inner);
+        if inner.state == BreakerState::HalfOpen {
+            inner.state = BreakerState::Closed;
+            inner.failures.clear();
+        }
+    }
+
+    /// How long until an open breaker half-opens — the `Retry-After`
+    /// hint. Zero when not open.
+    pub fn retry_after(&self) -> Duration {
+        let mut inner = self.lock();
+        self.tick(&mut inner);
+        match (inner.state, inner.opened_at) {
+            (BreakerState::Open, Some(t)) => self.cooldown.saturating_sub(t.elapsed()),
+            _ => Duration::ZERO,
+        }
+    }
+}
+
+impl std::fmt::Debug for CircuitBreaker {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CircuitBreaker")
+            .field("state", &self.state())
+            .field("max_failures", &self.max_failures)
+            .field("window", &self.window)
+            .field("cooldown", &self.cooldown)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_doubles_caps_and_jitters_deterministically() {
+        let base = Duration::from_millis(10);
+        let cap = Duration::from_millis(80);
+        let mut a = Backoff::new(base, cap, 42);
+        let mut b = Backoff::new(base, cap, 42);
+        let da: Vec<Duration> = (0..6).map(|_| a.next_delay()).collect();
+        let db: Vec<Duration> = (0..6).map(|_| b.next_delay()).collect();
+        assert_eq!(da, db, "same seed, same schedule");
+        // pre-jitter floors: 10, 20, 40, 80, 80, 80; jitter < 50% on top
+        for (i, (floor_ms, d)) in [10u64, 20, 40, 80, 80, 80].iter().zip(&da).enumerate() {
+            let floor = Duration::from_millis(*floor_ms);
+            assert!(*d >= floor, "attempt {i}: {d:?} < {floor:?}");
+            assert!(
+                *d < floor + floor / 2 + Duration::from_nanos(1),
+                "attempt {i}"
+            );
+        }
+        let mut c = Backoff::new(base, cap, 43);
+        assert_ne!(
+            (0..6).map(|_| c.next_delay()).collect::<Vec<_>>(),
+            da,
+            "different seed, different jitter"
+        );
+        a.reset();
+        assert_eq!(a.attempts(), 0);
+        assert!(a.next_delay() < Duration::from_millis(16));
+    }
+
+    #[test]
+    fn breaker_trips_after_threshold_in_window() {
+        let b = CircuitBreaker::new(3, Duration::from_secs(60), Duration::from_secs(60));
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert!(!b.record_failure());
+        assert!(!b.record_failure());
+        assert!(b.allow(), "still closed below threshold");
+        assert!(b.record_failure(), "third failure trips");
+        assert_eq!(b.state(), BreakerState::Open);
+        assert!(!b.allow());
+        assert!(b.retry_after() > Duration::ZERO);
+    }
+
+    #[test]
+    fn breaker_half_opens_after_cooldown_and_closes_on_success() {
+        let b = CircuitBreaker::new(1, Duration::from_secs(60), Duration::from_millis(30));
+        assert!(b.record_failure());
+        assert_eq!(b.state(), BreakerState::Open);
+        std::thread::sleep(Duration::from_millis(40));
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        assert!(b.allow(), "half-open admits a trial");
+        b.record_success();
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert_eq!(b.retry_after(), Duration::ZERO);
+    }
+
+    #[test]
+    fn half_open_failure_reopens_immediately() {
+        let b = CircuitBreaker::new(1, Duration::from_secs(60), Duration::from_millis(20));
+        b.record_failure();
+        std::thread::sleep(Duration::from_millis(30));
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        assert!(b.record_failure(), "half-open failure re-trips");
+        assert_eq!(b.state(), BreakerState::Open);
+    }
+
+    #[test]
+    fn closed_state_success_does_not_forgive_failures() {
+        // forgiveness is by window aging only: a failure storm with the
+        // odd success slipping through must still trip
+        let b = CircuitBreaker::new(2, Duration::from_secs(60), Duration::from_secs(60));
+        b.record_failure();
+        b.record_success();
+        assert!(b.record_failure(), "second failure in window still trips");
+        assert_eq!(b.state(), BreakerState::Open);
+    }
+
+    #[test]
+    fn old_failures_age_out_of_the_window() {
+        let b = CircuitBreaker::new(2, Duration::from_millis(25), Duration::from_secs(60));
+        b.record_failure();
+        std::thread::sleep(Duration::from_millis(35));
+        assert!(!b.record_failure(), "first failure aged out");
+        assert_eq!(b.state(), BreakerState::Closed);
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let b = CircuitBreaker::new(1, Duration::from_secs(60), Duration::from_secs(60));
+        let c = b.clone();
+        b.record_failure();
+        assert!(!c.allow());
+    }
+}

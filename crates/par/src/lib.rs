@@ -53,10 +53,12 @@
 
 #![warn(missing_docs)]
 
+mod breaker;
 mod cancel;
 mod drain;
 mod pool;
 
+pub use breaker::{Backoff, BreakerState, CircuitBreaker};
 pub use cancel::{cancel_requested, with_cancel, CancelToken, Deadline};
 pub use drain::{Gate, Permit};
 pub use pool::{catch_panic, map, map_indexed, reset_threads, scope, set_threads, threads};

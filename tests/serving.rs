@@ -25,17 +25,24 @@ fn guard() -> MutexGuard<'static, ()> {
 
 /// One fixture model for the whole binary — training takes a second,
 /// every test shares the host read-only.
+fn fixture_arc() -> std::sync::Arc<ModelHost> {
+    static HOST: OnceLock<std::sync::Arc<ModelHost>> = OnceLock::new();
+    std::sync::Arc::clone(HOST.get_or_init(|| {
+        std::sync::Arc::new(
+            ModelSpec {
+                scale: 0.3,
+                budget_hours: 0.1,
+                ..ModelSpec::fixture()
+            }
+            .train()
+            .expect("fixture training failed"),
+        )
+    }))
+}
+
 fn fixture() -> &'static ModelHost {
-    static HOST: OnceLock<ModelHost> = OnceLock::new();
-    HOST.get_or_init(|| {
-        ModelSpec {
-            scale: 0.3,
-            budget_hours: 0.1,
-            ..ModelSpec::fixture()
-        }
-        .train()
-        .expect("fixture training failed")
-    })
+    static HOST: OnceLock<std::sync::Arc<ModelHost>> = OnceLock::new();
+    HOST.get_or_init(fixture_arc)
 }
 
 fn test_config() -> ServeConfig {
@@ -47,16 +54,11 @@ fn test_config() -> ServeConfig {
 }
 
 fn start_server() -> (em_serve::ServerHandle, SocketAddr) {
-    let host = std::sync::Arc::new(
-        ModelSpec {
-            scale: 0.3,
-            budget_hours: 0.1,
-            ..ModelSpec::fixture()
-        }
-        .train()
-        .expect("fixture training failed"),
-    );
-    let handle = serve(host, &test_config()).expect("bind failed");
+    start_server_with(test_config())
+}
+
+fn start_server_with(config: ServeConfig) -> (em_serve::ServerHandle, SocketAddr) {
+    let handle = serve(fixture_arc(), &config).expect("bind failed");
     let addr = handle.addr();
     (handle, addr)
 }
@@ -100,6 +102,26 @@ fn body_of(response: &str) -> &str {
         .split_once("\r\n\r\n")
         .map(|(_, b)| b)
         .unwrap_or("")
+}
+
+/// Extract a response header value (case-insensitive name).
+fn header_of(response: &str, name: &str) -> Option<String> {
+    let head = response.split("\r\n\r\n").next()?;
+    head.lines().skip(1).find_map(|l| {
+        let (k, v) = l.split_once(':')?;
+        k.trim()
+            .eq_ignore_ascii_case(name)
+            .then(|| v.trim().to_string())
+    })
+}
+
+fn error_code_of(response: &str) -> Option<String> {
+    json::parse(body_of(response))
+        .ok()?
+        .get("error")?
+        .get("code")
+        .and_then(Json::as_str)
+        .map(str::to_owned)
 }
 
 fn pair_body(schema: &Schema, pair: &RecordPair) -> String {
@@ -357,6 +379,256 @@ fn drain_answers_every_accepted_request() {
     for (idx, bits) in answered {
         assert_eq!(bits, offline[idx].to_bits(), "pair {idx}");
     }
+}
+
+// ----------------------------------------------------------------- chaos
+
+/// A worker panic mid-batch turns into typed `500 worker_panic`
+/// responses for that batch — never a hang — and the supervisor's
+/// restart makes the very next request succeed with correct bits.
+#[test]
+fn worker_panic_gives_typed_500_and_next_request_succeeds() {
+    let _g = guard();
+    automl::fault::silence_injected_panic_output();
+    let (handle, addr) = start_server_with(ServeConfig {
+        faults: automl::fault::ServeFaultPlan::none().panic_batcher_at(0),
+        ..test_config()
+    });
+    let host = fixture();
+    let pairs = host.dataset().split(Split::Test);
+    let offline = host.match_proba(&pairs[..2]);
+    // request 1 rides microbatch 0, which is rigged to panic
+    let rsp = roundtrip(addr, &post("/match", &pair_body(host.schema(), &pairs[0])));
+    assert!(rsp.starts_with("HTTP/1.1 500"), "{rsp}");
+    assert_eq!(error_code_of(&rsp).as_deref(), Some("worker_panic"));
+    // request 2 lands after the supervised restart and must be correct
+    let rsp = roundtrip(addr, &post("/match", &pair_body(host.schema(), &pairs[1])));
+    assert!(rsp.starts_with("HTTP/1.1 200"), "{rsp}");
+    let p = json::parse(body_of(&rsp))
+        .unwrap()
+        .get("p_match")
+        .and_then(Json::as_f64)
+        .unwrap();
+    assert_eq!((p as f32).to_bits(), offline[1].to_bits());
+    assert_eq!(header_of(&rsp, "x-model-version").as_deref(), Some("1"));
+    assert!(handle.shutdown());
+}
+
+/// An injected predict error is typed (`500 predict_error`) and the
+/// worker survives it without a restart.
+#[test]
+fn predict_error_is_typed_and_service_continues() {
+    let _g = guard();
+    let (handle, addr) = start_server_with(ServeConfig {
+        faults: automl::fault::ServeFaultPlan::none().err_predict_at(0),
+        ..test_config()
+    });
+    let host = fixture();
+    let pairs = host.dataset().split(Split::Test);
+    let rsp = roundtrip(addr, &post("/match", &pair_body(host.schema(), &pairs[0])));
+    assert!(rsp.starts_with("HTTP/1.1 500"), "{rsp}");
+    assert_eq!(error_code_of(&rsp).as_deref(), Some("predict_error"));
+    let rsp = roundtrip(addr, &post("/match", &pair_body(host.schema(), &pairs[1])));
+    assert!(rsp.starts_with("HTTP/1.1 200"), "{rsp}");
+    assert!(handle.shutdown());
+}
+
+/// Repeated worker panics trip the circuit breaker: requests are shed
+/// with `503 breaker_open` + `Retry-After`, and after the cooldown the
+/// breaker half-opens and a successful batch closes it again.
+#[test]
+fn breaker_trips_open_and_half_opens_on_schedule() {
+    let _g = guard();
+    automl::fault::silence_injected_panic_output();
+    let (handle, addr) = start_server_with(ServeConfig {
+        faults: automl::fault::ServeFaultPlan::none()
+            .panic_batcher_at(0)
+            .panic_batcher_at(1),
+        restart_max: 2,
+        restart_window_ms: 60_000,
+        breaker_cooldown_ms: 300,
+        backoff_base_ms: 1,
+        backoff_cap_ms: 5,
+        ..test_config()
+    });
+    let host = fixture();
+    let pairs = host.dataset().split(Split::Test);
+    let schema = host.schema();
+    // two panicking batches → two supervisor restarts → breaker trips
+    for (i, pair) in pairs.iter().enumerate().take(2) {
+        let rsp = roundtrip(addr, &post("/match", &pair_body(schema, pair)));
+        assert!(rsp.starts_with("HTTP/1.1 500"), "request {i}: {rsp}");
+    }
+    // the supervisor records failures asynchronously: poll until shed
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    let retry_after: u64 = loop {
+        let rsp = roundtrip(addr, &post("/match", &pair_body(schema, &pairs[2])));
+        if rsp.starts_with("HTTP/1.1 503") {
+            assert_eq!(error_code_of(&rsp).as_deref(), Some("breaker_open"));
+            let ra = header_of(&rsp, "retry-after")
+                .expect("503 must carry retry-after")
+                .parse()
+                .expect("retry-after is integer seconds");
+            break ra;
+        }
+        assert!(rsp.starts_with("HTTP/1.1 200"), "{rsp}");
+        assert!(
+            std::time::Instant::now() < deadline,
+            "breaker never tripped"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    };
+    assert!(retry_after >= 1, "retry-after must round up to ≥ 1s");
+    // wait out the cooldown: the half-open trial must be admitted, and
+    // its success closes the breaker for good
+    std::thread::sleep(Duration::from_millis(400));
+    for i in [3usize, 4] {
+        let rsp = roundtrip(addr, &post("/match", &pair_body(schema, &pairs[i])));
+        assert!(rsp.starts_with("HTTP/1.1 200"), "post-cooldown {i}: {rsp}");
+    }
+    assert!(handle.shutdown());
+}
+
+/// Model hot-swap under live fire: clients hammer `/match` while
+/// `/admin/reload` swaps in a different model. Every response must be
+/// a 200 whose bits match the model version named in its
+/// `x-model-version` header — zero drops, zero cross-version mixing —
+/// at 1 and at 4 `par` threads.
+#[test]
+fn hot_swap_under_load_drops_and_mismatches_nothing() {
+    let _g = guard();
+    let host_a = fixture();
+    let pairs = &host_a.dataset().split(Split::Test)[..4];
+    let schema = host_a.schema();
+    let offline_a: Vec<u32> = host_a
+        .match_proba(pairs)
+        .iter()
+        .map(|p| p.to_bits())
+        .collect();
+    // model B: same recipe, different engine seed → same schema, an
+    // honestly different search outcome to swap in
+    let host_b = ModelSpec {
+        scale: 0.3,
+        budget_hours: 0.1,
+        engine_seed: 2,
+        ..ModelSpec::fixture()
+    }
+    .train()
+    .expect("model B training failed");
+    let offline_b: Vec<u32> = host_b
+        .match_proba(pairs)
+        .iter()
+        .map(|p| p.to_bits())
+        .collect();
+    let dir = std::env::temp_dir().join("em_serve_swap_tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    let bundle = dir.join("model_b.json");
+    host_b.export(&bundle).expect("export model B");
+    for threads in [1usize, 4] {
+        par::set_threads(threads);
+        let (handle, addr) = start_server();
+        let stop = std::sync::atomic::AtomicBool::new(false);
+        let mismatches: usize = std::thread::scope(|s| {
+            let clients: Vec<_> = (0..3)
+                .map(|c: usize| {
+                    let stop = &stop;
+                    let offline_a = &offline_a;
+                    let offline_b = &offline_b;
+                    s.spawn(move || {
+                        let mut bad = 0usize;
+                        let mut stream = TcpStream::connect(addr).unwrap();
+                        let mut i = c;
+                        while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                            let idx = i % pairs.len();
+                            i += 1;
+                            stream
+                                .write_all(&post("/match", &pair_body(schema, &pairs[idx])))
+                                .unwrap();
+                            let rsp = read_one_response(&mut stream);
+                            if !rsp.starts_with("HTTP/1.1 200") {
+                                bad += 1;
+                                continue;
+                            }
+                            let version = header_of(&rsp, "x-model-version")
+                                .and_then(|v| v.parse::<u64>().ok())
+                                .unwrap_or(0);
+                            let bits = json::parse(body_of(&rsp))
+                                .unwrap()
+                                .get("p_match")
+                                .and_then(Json::as_f64)
+                                .map(|p| (p as f32).to_bits());
+                            let want = match version {
+                                1 => Some(offline_a[idx]),
+                                2 => Some(offline_b[idx]),
+                                _ => None,
+                            };
+                            if bits != want {
+                                bad += 1;
+                            }
+                        }
+                        bad
+                    })
+                })
+                .collect();
+            // let the clients build up steam, then swap mid-flight
+            std::thread::sleep(Duration::from_millis(50));
+            let body = format!("{{\"path\":\"{}\"}}", bundle.display());
+            let rsp = roundtrip(addr, &post("/admin/reload", &body));
+            assert!(rsp.starts_with("HTTP/1.1 200"), "reload: {rsp}");
+            let v = json::parse(body_of(&rsp)).unwrap();
+            assert_eq!(v.get("version").and_then(Json::as_u64), Some(2));
+            assert_eq!(v.get("previous_version").and_then(Json::as_u64), Some(1));
+            std::thread::sleep(Duration::from_millis(50));
+            stop.store(true, std::sync::atomic::Ordering::Relaxed);
+            clients.into_iter().map(|c| c.join().unwrap()).sum()
+        });
+        assert_eq!(
+            mismatches, 0,
+            "dropped or cross-version responses at {threads} threads"
+        );
+        // post-swap, every answer comes from model B as version 2
+        let rsp = roundtrip(addr, &post("/match", &pair_body(schema, &pairs[0])));
+        assert!(rsp.starts_with("HTTP/1.1 200"), "{rsp}");
+        assert_eq!(header_of(&rsp, "x-model-version").as_deref(), Some("2"));
+        let p = json::parse(body_of(&rsp))
+            .unwrap()
+            .get("p_match")
+            .and_then(Json::as_f64)
+            .unwrap();
+        assert_eq!((p as f32).to_bits(), offline_b[0]);
+        assert_eq!(handle.model_version(), 2);
+        par::reset_threads();
+        assert!(handle.shutdown());
+    }
+}
+
+/// Reload failure modes: malformed body → 400, missing bundle → 500
+/// `reload_failed` with the old model untouched, wrong method → 405.
+#[test]
+fn reload_failures_are_typed_and_leave_old_model_serving() {
+    let _g = guard();
+    let (handle, addr) = start_server();
+    let host = fixture();
+    let pairs = host.dataset().split(Split::Test);
+    let rsp = roundtrip(addr, &post("/admin/reload", "{\"nope\":1}"));
+    assert!(rsp.starts_with("HTTP/1.1 400"), "{rsp}");
+    let rsp = roundtrip(
+        addr,
+        &post("/admin/reload", "{\"path\":\"/no/such/bundle.json\"}"),
+    );
+    assert!(rsp.starts_with("HTTP/1.1 500"), "{rsp}");
+    assert_eq!(error_code_of(&rsp).as_deref(), Some("reload_failed"));
+    let rsp = roundtrip(
+        addr,
+        b"GET /admin/reload HTTP/1.1\r\nconnection: close\r\n\r\n",
+    );
+    assert!(rsp.starts_with("HTTP/1.1 405"), "{rsp}");
+    // old model still serving as version 1
+    let rsp = roundtrip(addr, &post("/match", &pair_body(host.schema(), &pairs[0])));
+    assert!(rsp.starts_with("HTTP/1.1 200"), "{rsp}");
+    assert_eq!(header_of(&rsp, "x-model-version").as_deref(), Some("1"));
+    assert_eq!(handle.model_version(), 1);
+    assert!(handle.shutdown());
 }
 
 /// After the gate closes, *new* connections are refused with a typed
