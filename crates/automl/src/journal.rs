@@ -106,20 +106,10 @@ impl Recorded {
     }
 }
 
-/// FNV-1a 64-bit over `parts`, rendered as fixed-width hex. Stable,
-/// std-only, and good enough to distinguish search configurations.
+/// Fingerprint of a search configuration: the shared WAL fingerprint
+/// primitive ([`obs::wal::fnv1a_hex`]).
 pub(crate) fn config_fingerprint(parts: &[&str]) -> String {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for part in parts {
-        for b in part.as_bytes() {
-            h ^= u64::from(*b);
-            h = h.wrapping_mul(0x0000_0100_0000_01b3);
-        }
-        // separator so ["ab","c"] and ["a","bc"] hash differently
-        h ^= 0x1f;
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    format!("{h:016x}")
+    obs::wal::fnv1a_hex(parts)
 }
 
 fn encode_error(o: &mut Obj, e: &TrialError) {
@@ -235,36 +225,26 @@ fn io_err(path: &Path, what: &str, e: &std::io::Error) -> TrialError {
 
 /// Parse the journal bytes into (header, outcomes, end-of-good-data).
 ///
-/// Stops at the first line that is torn or unparseable; `good_end` is the
-/// byte offset the file must be truncated to before appending resumes.
+/// The torn-tail scan is the shared [`obs::wal::scan_jsonl`]; on top of
+/// it this stops at the first structurally valid line that is not a
+/// journal record, so `good_end` is the byte offset the file must be
+/// truncated to before appending resumes.
 #[allow(clippy::type_complexity)]
 fn replay_bytes(bytes: &[u8]) -> (Option<Json>, BTreeMap<u64, Recorded>, usize) {
     let mut header = None;
     let mut outcomes = BTreeMap::new();
     let mut good_end = 0usize;
-    let mut start = 0usize;
-    while start < bytes.len() {
-        let Some(nl) = bytes[start..].iter().position(|&b| b == b'\n') else {
-            break; // torn tail: no terminating newline
-        };
-        let line = &bytes[start..start + nl];
-        let Ok(text) = std::str::from_utf8(line) else {
-            break;
-        };
-        let Ok(value) = obs::json::parse(text) else {
-            break;
-        };
+    for line in obs::wal::scan_jsonl(bytes) {
         if header.is_none() {
-            header = Some(value);
-        } else if let Some((trial, outcome)) = decode_trial_line(&value) {
+            header = Some(line.value);
+        } else if let Some((trial, outcome)) = decode_trial_line(&line.value) {
             if let Some(outcome) = outcome {
                 outcomes.insert(trial, outcome);
             }
         } else {
             break; // structurally valid JSON that isn't a journal record
         }
-        start += nl + 1;
-        good_end = start;
+        good_end = line.end;
     }
     (header, outcomes, good_end)
 }
@@ -660,11 +640,7 @@ fn open_resume(
              back to the last complete record",
             path.display()
         );
-        let f = OpenOptions::new()
-            .write(true)
-            .open(path)
-            .map_err(|e| io_err(path, "open journal for truncation", &e))?;
-        f.set_len(good_end as u64)
+        obs::wal::truncate_to(path, good_end as u64)
             .map_err(|e| io_err(path, "truncate torn journal tail", &e))?;
     }
     let file = OpenOptions::new()

@@ -166,6 +166,21 @@ impl ModelSpec {
     /// operation sequence of [`crate::pipeline::run_encoded`], so the
     /// resulting host predicts bit-identically to the offline pipeline.
     pub fn train(&self) -> Result<ModelHost, ModelError> {
+        self.train_resumable(&automl::ResumePolicy::Fresh, automl::Deadline::none())
+    }
+
+    /// [`train`](Self::train) with crash-safety and a wall-clock bound
+    /// threaded through to the engine's `fit_resumable`: the search
+    /// journals every trial under `policy` (so a killed training run
+    /// resumes from its WAL with a byte-identical [`FitReport`]) and
+    /// stops planning new trials once `deadline` fires. This is the entry
+    /// point the streaming layer's drift-triggered background re-search
+    /// uses.
+    pub fn train_resumable(
+        &self,
+        policy: &automl::ResumePolicy,
+        deadline: automl::Deadline,
+    ) -> Result<ModelHost, ModelError> {
         let _s = obs::span("model.train");
         let dataset = self
             .dataset
@@ -188,7 +203,7 @@ impl ModelSpec {
         let mut system = self.engine.build(self.engine_seed);
         let report = {
             let _s = obs::span("model.fit");
-            system.fit(&train, &valid, &mut budget)?
+            system.fit_resumable(&train, &valid, &mut budget, policy, deadline)?
         };
         Ok(ModelHost {
             spec: self.clone(),

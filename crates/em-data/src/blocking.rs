@@ -12,7 +12,8 @@
 
 use crate::record::Entity;
 use crate::schema::Schema;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::fmt::Write as _;
 use text::tokenize::words;
 
 /// Configuration of the token blocker.
@@ -143,6 +144,362 @@ pub fn token_blocking(
     BlockingResult {
         candidates,
         cross_product: left.len() * right.len(),
+    }
+}
+
+/// Which table a streamed record belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Side {
+    /// The left table (queries).
+    Left,
+    /// The right table (the indexed side; document frequencies and the
+    /// stop-word cutoff are computed over this table, exactly as in
+    /// [`token_blocking`]).
+    Right,
+}
+
+impl Side {
+    /// Stable wire name (`"left"` / `"right"`), used by the record ledger.
+    pub fn name(self) -> &'static str {
+        match self {
+            Side::Left => "left",
+            Side::Right => "right",
+        }
+    }
+
+    /// Parse a wire name produced by [`Side::name`].
+    pub fn from_name(s: &str) -> Option<Self> {
+        match s {
+            "left" => Some(Side::Left),
+            "right" => Some(Side::Right),
+            _ => None,
+        }
+    }
+}
+
+/// A candidate pair of streamed records, by stable record id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CandidateIdPair {
+    /// Stable id of the left record.
+    pub left: u64,
+    /// Stable id of the right record.
+    pub right: u64,
+}
+
+/// Per-token state of the incremental index.
+#[derive(Default)]
+struct TokenInfo {
+    /// Right-side document frequency (`right.len()`, cached).
+    df: usize,
+    /// Left records containing the token.
+    left: BTreeSet<u64>,
+    /// Right records containing the token.
+    right: BTreeSet<u64>,
+    /// Whether the token currently contributes to the overlap map
+    /// (i.e. `1 <= df <= max(cutoff, 1)` — not a stop word).
+    active: bool,
+}
+
+/// An incrementally-updatable token-overlap blocking index.
+///
+/// Semantically this is [`token_blocking`] turned into a live data
+/// structure: after **any** interleaving of record inserts, updates and
+/// deletes on either table, [`candidates`](Self::candidates) equals the
+/// candidate set a from-scratch [`token_blocking`] over the surviving
+/// records would produce (same pairs, same `(left, right)` order) — the
+/// equivalence the `tests/streaming.rs` property battery pins down. No
+/// mutation ever rebuilds the index; each one touches only the tokens of
+/// the affected record plus the tokens whose stop-word status flips when
+/// the cutoff moves.
+///
+/// The moving parts:
+///
+/// * per-token postings for both tables plus the right-side document
+///   frequency (`TokenInfo`);
+/// * `by_df` — tokens bucketed by df, so a cutoff shift of the stop-word
+///   threshold (`ceil(|right| · max_token_frequency)` changes when right
+///   records come and go) finds exactly the tokens in the flipped df
+///   range instead of scanning the vocabulary;
+/// * `overlap` — the number of **distinct active shared tokens** per
+///   `(left, right)` id pair, updated by deltas. A pair is a candidate
+///   iff its count reaches `min_overlap`; entries at zero are removed,
+///   so iteration order over the `BTreeMap` *is* candidate order.
+pub struct IncrementalBlocker {
+    config: BlockerConfig,
+    width: usize,
+    left_tokens: BTreeMap<u64, Vec<String>>,
+    right_tokens: BTreeMap<u64, Vec<String>>,
+    tokens: HashMap<String, TokenInfo>,
+    by_df: BTreeMap<usize, BTreeSet<String>>,
+    overlap: BTreeMap<(u64, u64), usize>,
+}
+
+impl IncrementalBlocker {
+    /// An empty index over tables sharing `schema`.
+    pub fn new(schema: &Schema, config: BlockerConfig) -> Self {
+        Self {
+            config,
+            width: schema.len(),
+            left_tokens: BTreeMap::new(),
+            right_tokens: BTreeMap::new(),
+            tokens: HashMap::new(),
+            by_df: BTreeMap::new(),
+            overlap: BTreeMap::new(),
+        }
+    }
+
+    /// The blocker configuration.
+    pub fn config(&self) -> &BlockerConfig {
+        &self.config
+    }
+
+    /// Live record count on `side`.
+    pub fn len(&self, side: Side) -> usize {
+        match side {
+            Side::Left => self.left_tokens.len(),
+            Side::Right => self.right_tokens.len(),
+        }
+    }
+
+    /// True when both tables are empty.
+    pub fn is_empty(&self) -> bool {
+        self.left_tokens.is_empty() && self.right_tokens.is_empty()
+    }
+
+    /// `|left| × |right|` over the live records.
+    pub fn cross_product(&self) -> usize {
+        self.left_tokens.len() * self.right_tokens.len()
+    }
+
+    /// Live record ids on `side`, ascending.
+    pub fn ids(&self, side: Side) -> Vec<u64> {
+        match side {
+            Side::Left => self.left_tokens.keys().copied().collect(),
+            Side::Right => self.right_tokens.keys().copied().collect(),
+        }
+    }
+
+    /// Whether `id` is live on `side`.
+    pub fn contains(&self, side: Side, id: u64) -> bool {
+        match side {
+            Side::Left => self.left_tokens.contains_key(&id),
+            Side::Right => self.right_tokens.contains_key(&id),
+        }
+    }
+
+    /// Insert or replace the record `id` on `side`. Covers both the
+    /// `Insert` and `Update` ledger events — the index only cares about
+    /// the record's final token set.
+    pub fn upsert(&mut self, side: Side, id: u64, entity: &Entity) {
+        let new = blocking_tokens(entity, &self.config.key_attributes, self.width);
+        self.apply(side, id, Some(new));
+    }
+
+    /// Remove the record `id` from `side`. Returns `false` (and changes
+    /// nothing) when the id was not live.
+    pub fn remove(&mut self, side: Side, id: u64) -> bool {
+        if !self.contains(side, id) {
+            return false;
+        }
+        self.apply(side, id, None);
+        true
+    }
+
+    /// The effective stop-word cutoff for the current right-table size.
+    fn cutoff(&self) -> usize {
+        self.cutoff_for(self.right_tokens.len())
+    }
+
+    fn should_be_active(df: usize, cutoff: usize) -> bool {
+        df >= 1 && df <= cutoff
+    }
+
+    fn inc_overlap(overlap: &mut BTreeMap<(u64, u64), usize>, l: u64, r: u64) {
+        *overlap.entry((l, r)).or_insert(0) += 1;
+    }
+
+    fn dec_overlap(overlap: &mut BTreeMap<(u64, u64), usize>, l: u64, r: u64) {
+        match overlap.get_mut(&(l, r)) {
+            Some(c) if *c > 1 => *c -= 1,
+            Some(_) => {
+                overlap.remove(&(l, r));
+            }
+            None => unreachable!("overlap decrement without a prior increment"),
+        }
+    }
+
+    /// One mutation: replace (or drop, `new_tokens = None`) the token set
+    /// of `id` on `side`, then restore every invariant.
+    fn apply(&mut self, side: Side, id: u64, new_tokens: Option<Vec<String>>) {
+        // cutoff depends on |right| *before* this mutation
+        let old_cutoff = self.cutoff_for(self.right_tokens.len());
+        let old = {
+            let table = match side {
+                Side::Left => &mut self.left_tokens,
+                Side::Right => &mut self.right_tokens,
+            };
+            match &new_tokens {
+                Some(toks) => table.insert(id, toks.clone()),
+                None => table.remove(&id),
+            }
+        }
+        .unwrap_or_default();
+        let new = new_tokens.unwrap_or_default();
+        // token-set deltas for the mutated record (both lists are sorted
+        // and deduped by `blocking_tokens`)
+        let removed: Vec<&str> = old
+            .iter()
+            .filter(|t| new.binary_search(t).is_err())
+            .map(String::as_str)
+            .collect();
+        let added: Vec<&str> = new
+            .iter()
+            .filter(|t| old.binary_search(t).is_err())
+            .map(String::as_str)
+            .collect();
+
+        // 1. postings + contribution deltas under the *current* activity
+        //    flags: the overlap map always equals the sum over active
+        //    tokens of their left×right products
+        for &t in &removed {
+            let info = self.tokens.get_mut(t).expect("posted token");
+            match side {
+                Side::Left => {
+                    info.left.remove(&id);
+                    if info.active {
+                        for &r in &info.right {
+                            Self::dec_overlap(&mut self.overlap, id, r);
+                        }
+                    }
+                }
+                Side::Right => {
+                    info.right.remove(&id);
+                    if info.active {
+                        for &l in &info.left {
+                            Self::dec_overlap(&mut self.overlap, l, id);
+                        }
+                    }
+                    Self::move_df(&mut self.by_df, t, info.df, info.df - 1);
+                    info.df -= 1;
+                }
+            }
+        }
+        for &t in &added {
+            let info = self.tokens.entry(t.to_owned()).or_default();
+            match side {
+                Side::Left => {
+                    info.left.insert(id);
+                    if info.active {
+                        for &r in &info.right {
+                            Self::inc_overlap(&mut self.overlap, id, r);
+                        }
+                    }
+                }
+                Side::Right => {
+                    info.right.insert(id);
+                    if info.active {
+                        for &l in &info.left {
+                            Self::inc_overlap(&mut self.overlap, l, id);
+                        }
+                    }
+                    Self::move_df(&mut self.by_df, t, info.df, info.df + 1);
+                    info.df += 1;
+                }
+            }
+        }
+
+        // 2. activity refresh: the touched tokens (df changed) plus every
+        //    token whose df sits in the range the cutoff just swept over
+        let new_cutoff = self.cutoff();
+        let mut dirty: BTreeSet<String> = removed
+            .iter()
+            .chain(added.iter())
+            .map(|t| (*t).to_owned())
+            .collect();
+        let (lo, hi) = (old_cutoff.min(new_cutoff), old_cutoff.max(new_cutoff));
+        if lo != hi {
+            for (_, bucket) in self.by_df.range(lo + 1..=hi) {
+                dirty.extend(bucket.iter().cloned());
+            }
+        }
+        for t in dirty {
+            let Some(info) = self.tokens.get_mut(&t) else {
+                continue;
+            };
+            let should = Self::should_be_active(info.df, new_cutoff);
+            if should != info.active {
+                for &l in &info.left {
+                    for &r in &info.right {
+                        if should {
+                            Self::inc_overlap(&mut self.overlap, l, r);
+                        } else {
+                            Self::dec_overlap(&mut self.overlap, l, r);
+                        }
+                    }
+                }
+                info.active = should;
+            }
+            if info.df == 0 && info.left.is_empty() && info.right.is_empty() {
+                self.tokens.remove(&t);
+            }
+        }
+    }
+
+    fn cutoff_for(&self, right_len: usize) -> usize {
+        let c = ((right_len as f64) * self.config.max_token_frequency).ceil() as usize;
+        c.max(1)
+    }
+
+    fn move_df(by_df: &mut BTreeMap<usize, BTreeSet<String>>, t: &str, from: usize, to: usize) {
+        if from >= 1 {
+            if let Some(bucket) = by_df.get_mut(&from) {
+                bucket.remove(t);
+                if bucket.is_empty() {
+                    by_df.remove(&from);
+                }
+            }
+        }
+        if to >= 1 {
+            by_df.entry(to).or_default().insert(t.to_owned());
+        }
+    }
+
+    /// Current candidate pairs, sorted by `(left, right)` record id —
+    /// the same order [`token_blocking`] yields after mapping row
+    /// indices to ids in ascending-id order.
+    pub fn candidates(&self) -> Vec<CandidateIdPair> {
+        self.overlap
+            .iter()
+            .filter(|(_, &count)| count >= self.config.min_overlap)
+            .map(|(&(left, right), _)| CandidateIdPair { left, right })
+            .collect()
+    }
+
+    /// Number of current candidate pairs.
+    pub fn candidate_count(&self) -> usize {
+        self.overlap
+            .values()
+            .filter(|&&c| c >= self.config.min_overlap)
+            .count()
+    }
+
+    /// A canonical, deterministic dump of the entire index state: live
+    /// token sets per record, the cutoff, and every overlap cell. Two
+    /// indexes are **bit-identical** iff their dumps are equal — this is
+    /// what the replay-from-ledger cold-start test fingerprints.
+    pub fn canonical_dump(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "cutoff {}", self.cutoff());
+        for (id, toks) in &self.left_tokens {
+            let _ = writeln!(out, "L {id} {}", toks.join("\u{1f}"));
+        }
+        for (id, toks) in &self.right_tokens {
+            let _ = writeln!(out, "R {id} {}", toks.join("\u{1f}"));
+        }
+        for ((l, r), count) in &self.overlap {
+            let _ = writeln!(out, "O {l} {r} {count}");
+        }
+        out
     }
 }
 
@@ -304,5 +661,167 @@ mod tests {
         assert!(r.candidates.is_empty());
         assert_eq!(r.reduction_ratio(), 0.0);
         assert_eq!(r.recall(&[]), 1.0);
+    }
+
+    /// Batch-rebuild the live records of `inc` with [`token_blocking`] and
+    /// return the candidate set as id pairs (rows map to ids in
+    /// ascending-id order, which preserves the `(left, right)` sort).
+    fn batch_candidates(inc: &IncrementalBlocker, schema: &Schema) -> Vec<CandidateIdPair> {
+        let left_ids = inc.ids(Side::Left);
+        let right_ids = inc.ids(Side::Right);
+        let left: Vec<Entity> = left_ids
+            .iter()
+            .map(|id| inc.live_entity(Side::Left, *id))
+            .collect();
+        let right: Vec<Entity> = right_ids
+            .iter()
+            .map(|id| inc.live_entity(Side::Right, *id))
+            .collect();
+        let r = token_blocking(&left, &right, schema, inc.config());
+        r.candidates
+            .iter()
+            .map(|p| CandidateIdPair {
+                left: left_ids[p.left],
+                right: right_ids[p.right],
+            })
+            .collect()
+    }
+
+    impl IncrementalBlocker {
+        /// Test helper: reconstruct a synthetic entity whose blocking
+        /// tokens equal the live record's (one attribute holding the
+        /// joined token list — `blocking_tokens` re-derives the same
+        /// sorted deduped set from it).
+        fn live_entity(&self, side: Side, id: u64) -> Entity {
+            let toks = match side {
+                Side::Left => &self.left_tokens[&id],
+                Side::Right => &self.right_tokens[&id],
+            };
+            let mut vals = vec![Some(toks.join(" "))];
+            vals.resize(self.width, None);
+            Entity::new(vals)
+        }
+    }
+
+    #[test]
+    fn incremental_matches_batch_on_simple_edits() {
+        let schema = toy_schema();
+        let mut inc = IncrementalBlocker::new(
+            &schema,
+            BlockerConfig {
+                max_token_frequency: 1.0,
+                ..BlockerConfig::default()
+            },
+        );
+        inc.upsert(Side::Left, 10, &entity(&["golden dragon", "boston"]));
+        inc.upsert(Side::Right, 20, &entity(&["golden dragon cafe", "boston"]));
+        inc.upsert(Side::Right, 21, &entity(&["red lantern", "chicago"]));
+        assert_eq!(
+            inc.candidates(),
+            vec![CandidateIdPair {
+                left: 10,
+                right: 20
+            }]
+        );
+        assert_eq!(inc.candidates(), batch_candidates(&inc, &schema));
+
+        // update flips the pair to the other right record
+        inc.upsert(Side::Left, 10, &entity(&["red lantern", "chicago"]));
+        assert_eq!(
+            inc.candidates(),
+            vec![CandidateIdPair {
+                left: 10,
+                right: 21
+            }]
+        );
+        assert_eq!(inc.candidates(), batch_candidates(&inc, &schema));
+
+        // delete clears it
+        assert!(inc.remove(Side::Right, 21));
+        assert!(!inc.remove(Side::Right, 21), "second delete is a no-op");
+        assert!(inc.candidates().is_empty());
+        assert_eq!(inc.cross_product(), 1);
+    }
+
+    #[test]
+    fn incremental_tracks_stop_word_cutoff_shifts() {
+        let schema = toy_schema();
+        // max_token_frequency 0.2 → cutoff moves as the right table grows
+        let config = BlockerConfig {
+            max_token_frequency: 0.2,
+            ..BlockerConfig::default()
+        };
+        let mut inc = IncrementalBlocker::new(&schema, config);
+        inc.upsert(Side::Left, 0, &entity(&["cafe unique", "a"]));
+        for i in 0..20u64 {
+            inc.upsert(
+                Side::Right,
+                100 + i,
+                &entity(&[&format!("cafe place{i}"), "b"]),
+            );
+            // at every intermediate size, the incremental candidate set
+            // must equal a from-scratch rebuild (the cutoff crosses
+            // "cafe"'s df several times on the way up)
+            assert_eq!(
+                inc.candidates(),
+                batch_candidates(&inc, &schema),
+                "after {} right records",
+                i + 1
+            );
+        }
+        assert!(inc.candidates().is_empty(), "{:?}", inc.candidates());
+        // shrink back down: deletions move the cutoff the other way
+        for i in (0..20u64).rev() {
+            assert!(inc.remove(Side::Right, 100 + i));
+            assert_eq!(
+                inc.candidates(),
+                batch_candidates(&inc, &schema),
+                "after shrinking to {i} right records"
+            );
+        }
+        assert!(inc.is_empty() || inc.len(Side::Right) == 0);
+    }
+
+    #[test]
+    fn random_interleavings_stay_equivalent_to_batch_rebuild() {
+        let domain = Restaurant;
+        let schema = domain.schema();
+        let cfg = NoiseConfig::from_level(0.3);
+        for seed in 0..6u64 {
+            let mut rng = Rng::new(seed + 500);
+            let mut inc = IncrementalBlocker::new(&schema, BlockerConfig::default());
+            for step in 0..120 {
+                let side = if rng.chance(0.5) {
+                    Side::Left
+                } else {
+                    Side::Right
+                };
+                let live = inc.ids(side);
+                let op = rng.f64();
+                if op < 0.25 && !live.is_empty() {
+                    // delete a live record
+                    let id = live[rng.below(live.len())];
+                    assert!(inc.remove(side, id));
+                } else if op < 0.55 && !live.is_empty() {
+                    // update a live record with a corrupted regeneration
+                    let id = live[rng.below(live.len())];
+                    let base = domain.generate(&mut rng);
+                    let e = corrupt_entity(&base, &schema, &cfg, &[], &mut rng);
+                    inc.upsert(side, id, &e);
+                } else {
+                    // insert a fresh record
+                    let id = 1000 * (seed + 1) + step;
+                    inc.upsert(side, id, &domain.generate(&mut rng));
+                }
+                if step % 10 == 9 {
+                    assert_eq!(
+                        inc.candidates(),
+                        batch_candidates(&inc, &schema),
+                        "seed {seed} step {step}"
+                    );
+                }
+            }
+            assert_eq!(inc.candidates(), batch_candidates(&inc, &schema));
+        }
     }
 }

@@ -34,7 +34,10 @@ pub mod noise;
 pub mod record;
 pub mod schema;
 
-pub use blocking::{token_blocking, BlockerConfig, BlockingResult, CandidatePair};
+pub use blocking::{
+    token_blocking, BlockerConfig, BlockingResult, CandidateIdPair, CandidatePair,
+    IncrementalBlocker, Side,
+};
 pub use dataset::{EmDataset, Split};
 pub use magellan::{magellan_benchmark, DatasetProfile, MagellanDataset};
 pub use record::{Entity, RecordPair};

@@ -153,23 +153,20 @@ impl SwapJournal {
     }
 
     /// Read a journal and return the last **committed** swap, if any.
-    /// A torn tail line (crash mid-append) is ignored, like the search
-    /// WAL's torn-tail truncation; a `begin` without a `commit` simply
-    /// never became the serving version. A missing file means no swaps.
+    /// Recovery is the shared WAL scan ([`obs::wal::scan_jsonl`]): it
+    /// stops at the first torn or unparseable line (crash mid-append),
+    /// exactly like the search WAL's torn-tail truncation; a `begin`
+    /// without a `commit` simply never became the serving version. A
+    /// missing file means no swaps.
     pub fn recover(path: &Path) -> std::io::Result<Option<SwapRecovery>> {
-        let text = match std::fs::read_to_string(path) {
+        let bytes = match std::fs::read(path) {
             Ok(t) => t,
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
             Err(e) => return Err(e),
         };
         let mut last = None;
-        for line in text.lines() {
-            let line = line.trim();
-            if line.is_empty() {
-                continue;
-            }
-            // unparseable lines are the torn tail (or garbage): skip
-            let Ok(v) = json::parse(line) else { continue };
+        for line in obs::wal::scan_jsonl(&bytes) {
+            let v = line.value;
             if v.get("event").and_then(Json::as_str) != Some("swap.commit") {
                 continue;
             }

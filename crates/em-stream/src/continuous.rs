@@ -1,0 +1,401 @@
+//! The continuous-EM orchestrator: one object that owns the record
+//! ledger, the derived [`StreamState`], the drift monitor, and the
+//! lifecycle of at most one background re-search at a time.
+//!
+//! Data path per event: validate against the live state, apply to the
+//! derived structures (tables, incremental blocker, cache invalidation),
+//! append to the ledger. Durability is batch-scoped — callers invoke
+//! [`ContinuousEm::sync`] at their batch boundary, matching the ledger's
+//! fsync discipline. At drift-window boundaries the monitor may fire; the
+//! orchestrator then launches a deadline-bounded, journal-resumable
+//! re-search on a **snapshot spec** in a background thread and, when it
+//! completes, promotes the exported bundle through the caller-supplied
+//! promotion callback (in production: `em-serve`'s hot-swap reload; in
+//! tests: anything that records the handoff).
+//!
+//! The promotion callback keeps this crate decoupled from the serving
+//! stack — em-stream produces bundles and decides *when*; the callback
+//! decides *where they go*.
+
+use crate::drift::{DriftConfig, DriftMonitor, DriftReport};
+use crate::ledger::{LedgerError, RecordEvent, RecordLedger};
+use crate::research::{derive_drift_spec, run_research, ResearchOutcome};
+use crate::state::{ApplyError, StreamState};
+use em_core::ModelSpec;
+use em_data::BlockerConfig;
+use embed::cache::EmbeddingCache;
+use embed::HashingEmbedder;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Why an event could not be ingested. `Apply` rejections leave every
+/// structure untouched (the event never reaches the ledger); `Ledger`
+/// errors are fatal — the system of record can no longer be trusted.
+#[derive(Debug)]
+pub enum StreamError {
+    /// The event failed validation against the live state.
+    Apply(ApplyError),
+    /// The ledger append/sync failed.
+    Ledger(LedgerError),
+}
+
+impl std::fmt::Display for StreamError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StreamError::Apply(e) => write!(f, "event rejected: {e}"),
+            StreamError::Ledger(e) => write!(f, "ledger failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StreamError {}
+
+impl From<ApplyError> for StreamError {
+    fn from(e: ApplyError) -> Self {
+        StreamError::Apply(e)
+    }
+}
+
+impl From<LedgerError> for StreamError {
+    fn from(e: LedgerError) -> Self {
+        StreamError::Ledger(e)
+    }
+}
+
+/// Static configuration of a [`ContinuousEm`] instance.
+#[derive(Debug, Clone)]
+pub struct ContinuousConfig {
+    /// Directory holding the record ledger, research journals and
+    /// exported bundles.
+    pub work_dir: PathBuf,
+    /// Blocking configuration for the incremental index.
+    pub blocker: BlockerConfig,
+    /// Drift thresholds and window size.
+    pub drift: DriftConfig,
+    /// Wall-clock bound on each background re-search.
+    pub research_deadline: Duration,
+    /// Dimension of the streaming scorer's hashing embedder.
+    pub embed_dim: usize,
+}
+
+impl ContinuousConfig {
+    /// Defaults rooted at `work_dir`.
+    pub fn new(work_dir: PathBuf) -> Self {
+        Self {
+            work_dir,
+            blocker: BlockerConfig::default(),
+            drift: DriftConfig::default(),
+            research_deadline: Duration::from_secs(30),
+            embed_dim: 48,
+        }
+    }
+
+    /// The record ledger's path under the work dir.
+    pub fn ledger_path(&self) -> PathBuf {
+        self.work_dir.join("records.jsonl")
+    }
+
+    /// The trial journal for drift epoch `epoch`.
+    pub fn journal_path(&self, epoch: u64) -> PathBuf {
+        self.work_dir
+            .join(format!("research_epoch{epoch}.journal.jsonl"))
+    }
+
+    /// The exported bundle for drift epoch `epoch`.
+    pub fn bundle_path(&self, epoch: u64) -> PathBuf {
+        self.work_dir.join(format!("bundle_epoch{epoch}.json"))
+    }
+}
+
+/// One completed promote: a drift epoch answered by a new live model.
+#[derive(Debug, Clone)]
+pub struct PromotionRecord {
+    /// Drift epoch the research answered.
+    pub epoch: u64,
+    /// Model version reported by the promotion callback (e.g. the
+    /// serving host's post-swap `x-model-version`).
+    pub version: u64,
+    /// Fingerprint digest of the promoted host.
+    pub digest: String,
+    /// The winning search report.
+    pub report: automl::FitReport,
+    /// Background research wall-clock, milliseconds.
+    pub research_ms: u64,
+    /// Promotion (bundle handoff + swap) wall-clock, milliseconds.
+    pub promote_ms: u64,
+}
+
+/// Callback that takes a bundle path live and returns the new model
+/// version. In production this is `em-serve`'s `/admin/reload` (or a
+/// direct `Reloader::reload_from_path`).
+pub type PromoteFn = Box<dyn Fn(&std::path::Path) -> Result<u64, String> + Send + Sync>;
+
+/// The continuous-EM orchestrator. See the module docs for the data
+/// path; all methods take `&mut self` — concurrency lives in the
+/// background research thread, never in the ingest path.
+pub struct ContinuousEm {
+    base_spec: ModelSpec,
+    config: ContinuousConfig,
+    state: StreamState,
+    monitor: DriftMonitor,
+    ledger: RecordLedger,
+    cache: EmbeddingCache<'static>,
+    promote: PromoteFn,
+    research: Option<(u64, JoinHandle<Result<ResearchOutcome, String>>)>,
+    promotions: Vec<PromotionRecord>,
+}
+
+impl ContinuousEm {
+    /// Open (or create) the instance rooted at `config.work_dir`,
+    /// replaying any existing record ledger — the cold-start path. The
+    /// table schema is the one `base_spec`'s dataset profile generates,
+    /// so ingested records and re-search snapshots agree by construction.
+    pub fn open(
+        base_spec: ModelSpec,
+        config: ContinuousConfig,
+        promote: PromoteFn,
+    ) -> Result<Self, StreamError> {
+        let schema = base_spec.dataset.profile().domain().schema();
+        let (ledger, replayed) = RecordLedger::open(&config.ledger_path(), &schema)?;
+        let mut state = StreamState::new(schema, config.blocker.clone());
+        for ev in &replayed.events {
+            // every ledgered event was validated before append; a
+            // rejection here means the ledger no longer matches its own
+            // history, which is a refuse-to-start corruption
+            state.apply(ev, None).map_err(|e| {
+                StreamError::Ledger(LedgerError::Io(format!(
+                    "replayed event {}:{} rejected ({e}); ledger is inconsistent",
+                    ev.kind(),
+                    ev.id()
+                )))
+            })?;
+        }
+        let cache = EmbeddingCache::shared(Arc::new(HashingEmbedder::new(config.embed_dim)));
+        let monitor = DriftMonitor::new(config.drift.clone());
+        Ok(Self {
+            base_spec,
+            config,
+            state,
+            monitor,
+            ledger,
+            cache,
+            promote,
+            research: None,
+            promotions: Vec::new(),
+        })
+    }
+
+    /// The derived streaming state.
+    pub fn state(&self) -> &StreamState {
+        &self.state
+    }
+
+    /// The streaming scorer's embedding cache (id-keyed; invalidated by
+    /// the ingest path on update/delete).
+    pub fn cache(&self) -> &EmbeddingCache<'static> {
+        &self.cache
+    }
+
+    /// The instance configuration.
+    pub fn config(&self) -> &ContinuousConfig {
+        &self.config
+    }
+
+    /// Promotions completed so far, oldest first.
+    pub fn promotions(&self) -> &[PromotionRecord] {
+        &self.promotions
+    }
+
+    /// True while a background re-search is in flight.
+    pub fn research_running(&self) -> bool {
+        self.research.is_some()
+    }
+
+    /// Record a match score for the drift monitor's score-shift signal.
+    pub fn note_score(&mut self, score: f64) {
+        self.monitor.note_score(score);
+    }
+
+    /// Ingest one event: validate + apply to the derived state, append
+    /// to the ledger (durable after the next [`sync`](Self::sync)), and
+    /// evaluate drift. When drift fires and no research is in flight, a
+    /// background re-search launches; the report is returned either way.
+    pub fn ingest(&mut self, ev: &RecordEvent) -> Result<Option<DriftReport>, StreamError> {
+        self.state.apply(ev, Some(&self.cache))?;
+        self.ledger.append(ev)?;
+        let report = self.monitor.observe(self.state.blocker());
+        if let Some(report) = &report {
+            self.maybe_launch(report);
+        }
+        Ok(report)
+    }
+
+    /// Fsync the ledger — the batch durability barrier.
+    pub fn sync(&mut self) -> Result<(), StreamError> {
+        self.ledger.sync()?;
+        Ok(())
+    }
+
+    fn maybe_launch(&mut self, report: &DriftReport) {
+        if self.research.is_some() {
+            // one re-search at a time: the running epoch answers this
+            // drift too once it promotes (the monitor re-baselined)
+            return;
+        }
+        let epoch = report.epoch;
+        let spec = derive_drift_spec(&self.base_spec, epoch);
+        let journal = self.config.journal_path(epoch);
+        let bundle = self.config.bundle_path(epoch);
+        let deadline = automl::Deadline::within(self.config.research_deadline);
+        obs::counter("stream.research.launched").inc();
+        obs::emit(
+            "stream.research.launch",
+            &[
+                ("epoch", obs::Value::U64(epoch)),
+                ("churn", obs::Value::F64(report.churn)),
+                ("score_shift", obs::Value::F64(report.score_shift)),
+            ],
+        );
+        let handle = std::thread::spawn(move || run_research(&spec, &journal, &bundle, deadline));
+        self.research = Some((epoch, handle));
+    }
+
+    /// Non-blocking: if the background re-search has finished, join it
+    /// and promote the bundle. `Ok(None)` while still running (or idle).
+    pub fn poll_promotion(&mut self) -> Result<Option<&PromotionRecord>, String> {
+        match &self.research {
+            Some((_, handle)) if handle.is_finished() => self.finish_research().map(Some),
+            _ => Ok(None),
+        }
+    }
+
+    /// Blocking: wait for the in-flight re-search (if any) and promote.
+    pub fn drain(&mut self) -> Result<Option<&PromotionRecord>, String> {
+        if self.research.is_none() {
+            return Ok(None);
+        }
+        self.finish_research().map(Some)
+    }
+
+    fn finish_research(&mut self) -> Result<&PromotionRecord, String> {
+        let (epoch, handle) = self.research.take().expect("research in flight");
+        let outcome = handle
+            .join()
+            .map_err(|_| "research thread panicked".to_owned())
+            .and_then(|r| r);
+        let outcome = match outcome {
+            Ok(mut o) => {
+                o.epoch = epoch;
+                o
+            }
+            Err(e) => {
+                obs::counter("stream.research.failed").inc();
+                return Err(e);
+            }
+        };
+        let started = Instant::now();
+        let version = (self.promote)(&outcome.bundle_path).map_err(|e| {
+            obs::counter("stream.research.failed").inc();
+            format!("promotion of epoch {epoch} failed: {e}")
+        })?;
+        let promote_ms = started.elapsed().as_millis() as u64;
+        obs::counter("stream.promotions").inc();
+        obs::emit(
+            "stream.promotion",
+            &[
+                ("epoch", obs::Value::U64(epoch)),
+                ("version", obs::Value::U64(version)),
+                ("digest", obs::Value::Str(outcome.digest.clone())),
+                ("research_ms", obs::Value::U64(outcome.research_ms)),
+                ("promote_ms", obs::Value::U64(promote_ms)),
+            ],
+        );
+        self.promotions.push(PromotionRecord {
+            epoch,
+            version,
+            digest: outcome.digest,
+            report: outcome.report,
+            research_ms: outcome.research_ms,
+            promote_ms,
+        });
+        Ok(self.promotions.last().expect("just pushed"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use em_data::Side;
+
+    fn tmp_dir(name: &str) -> PathBuf {
+        static N: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let n = N.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let dir = std::env::temp_dir().join(format!(
+            "em_stream_cont_{}_{}_{name}",
+            std::process::id(),
+            n
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn no_promote() -> PromoteFn {
+        Box::new(|_| Ok(1))
+    }
+
+    #[test]
+    fn ingest_persists_and_cold_start_replays_to_the_same_digest() {
+        let dir = tmp_dir("coldstart");
+        let spec = ModelSpec::fixture();
+        let config = ContinuousConfig::new(dir.clone());
+        let schema = spec.dataset.profile().domain().schema();
+        let events = crate::gen::generate_events(
+            spec.dataset.profile().domain().as_ref(),
+            &crate::gen::ScenarioConfig {
+                initial_pairs: 6,
+                events: 20,
+                drift_after: 1000, // never drift: isolate persistence
+                ..Default::default()
+            },
+        );
+        assert!(!events.is_empty() && !schema.is_empty());
+
+        let digest_live = {
+            let mut em = ContinuousEm::open(spec.clone(), config.clone(), no_promote()).unwrap();
+            for ev in &events {
+                em.ingest(ev).unwrap();
+            }
+            em.sync().unwrap();
+            assert!(!em.research_running());
+            em.state().digest()
+        };
+        // a fresh process replays the ledger and lands on the same state
+        let em = ContinuousEm::open(spec, config, no_promote()).unwrap();
+        assert_eq!(em.state().digest(), digest_live);
+        assert_eq!(em.state().applied(), events.len() as u64);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn rejected_events_do_not_reach_the_ledger() {
+        let dir = tmp_dir("reject");
+        let spec = ModelSpec::fixture();
+        let config = ContinuousConfig::new(dir.clone());
+        let mut em = ContinuousEm::open(spec.clone(), config.clone(), no_promote()).unwrap();
+        let bad = RecordEvent::Delete {
+            side: Side::Left,
+            id: 999,
+        };
+        assert!(matches!(
+            em.ingest(&bad),
+            Err(StreamError::Apply(ApplyError::UnknownId(..)))
+        ));
+        em.sync().unwrap();
+        drop(em);
+        let em = ContinuousEm::open(spec, config, no_promote()).unwrap();
+        assert_eq!(em.state().applied(), 0, "rejected event must not replay");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,229 @@
+//! Deterministic drifting event-stream scenarios.
+//!
+//! Shared by the property battery (`tests/streaming.rs`,
+//! `tests/property_generators.rs`), the CI fixture ledger, and
+//! `stream_bench` — all three need the *same* reproducible stream, and
+//! root-level test files are separate binaries, so the generator lives
+//! in the library.
+//!
+//! A scenario plays in two regimes around
+//! [`ScenarioConfig::drift_after`]:
+//!
+//! * **stable** — inserts of matched pairs (a generated entity on the
+//!   left, a corrupted duplicate on the right) with light noise, plus
+//!   occasional benign updates/deletes. The candidate graph reaches a
+//!   steady state.
+//! * **drifted** — new inserts come from a shifted vocabulary (every
+//!   token prefixed — a new data source with different surface forms)
+//!   and an update storm rewrites live right-side records wholesale.
+//!   Candidate churn spikes and match scores lose their bimodal shape,
+//!   which is exactly what `crate::drift` watches for.
+
+use crate::ledger::RecordEvent;
+use em_data::generators::Domain;
+use em_data::noise::{corrupt_entity, NoiseConfig};
+use em_data::{Entity, Side};
+use linalg::Rng;
+
+/// Parameters of a generated scenario.
+#[derive(Debug, Clone)]
+pub struct ScenarioConfig {
+    /// RNG seed; the whole stream is a pure function of the config.
+    pub seed: u64,
+    /// Matched pairs inserted up front (2 events each).
+    pub initial_pairs: usize,
+    /// Events generated after the initial load.
+    pub events: usize,
+    /// Post-load event index at which the drifted regime begins.
+    pub drift_after: usize,
+    /// Corruption level for right-side duplicates (0..1).
+    pub noise: f64,
+}
+
+impl Default for ScenarioConfig {
+    fn default() -> Self {
+        Self {
+            seed: 7,
+            initial_pairs: 24,
+            events: 200,
+            drift_after: 100,
+            noise: 0.2,
+        }
+    }
+}
+
+/// Prefix every word of every present value with a drift marker,
+/// simulating a new upstream source whose surface forms share no tokens
+/// with the old vocabulary.
+fn shift_vocabulary(entity: &Entity, epoch_tag: &str) -> Entity {
+    let vals = entity
+        .values()
+        .map(|v| {
+            v.map(|s| {
+                s.split_whitespace()
+                    .map(|w| format!("{epoch_tag}{w}"))
+                    .collect::<Vec<_>>()
+                    .join(" ")
+            })
+        })
+        .collect();
+    Entity::new(vals)
+}
+
+/// Generate the scenario's full event stream over `domain`.
+///
+/// Returned ids are disjoint across sides and dense enough for tests to
+/// reason about; every `Update`/`Delete` targets an id that is live at
+/// that point in the stream (so replaying through
+/// [`crate::state::StreamState::apply`] never rejects an event).
+pub fn generate_events(domain: &dyn Domain, config: &ScenarioConfig) -> Vec<RecordEvent> {
+    let schema = domain.schema();
+    let noise = NoiseConfig::from_level(config.noise);
+    let heavy_noise = NoiseConfig::from_level((config.noise * 2.5).min(0.9));
+    let mut rng = Rng::new(config.seed.wrapping_mul(0x9e37_79b9).wrapping_add(1));
+    let mut events = Vec::new();
+    let mut live_left: Vec<u64> = Vec::new();
+    let mut live_right: Vec<u64> = Vec::new();
+    let mut next_id = 1u64;
+
+    let insert_pair = |events: &mut Vec<RecordEvent>,
+                       live_left: &mut Vec<u64>,
+                       live_right: &mut Vec<u64>,
+                       next_id: &mut u64,
+                       rng: &mut Rng,
+                       drifted: bool| {
+        let base = domain.generate(rng);
+        let base = if drifted {
+            shift_vocabulary(&base, "zz")
+        } else {
+            base
+        };
+        let dup = corrupt_entity(
+            &base,
+            &schema,
+            if drifted { &heavy_noise } else { &noise },
+            &[],
+            rng,
+        );
+        let l = *next_id;
+        let r = *next_id + 1;
+        *next_id += 2;
+        live_left.push(l);
+        live_right.push(r);
+        events.push(RecordEvent::Insert {
+            side: Side::Left,
+            id: l,
+            entity: base,
+        });
+        events.push(RecordEvent::Insert {
+            side: Side::Right,
+            id: r,
+            entity: dup,
+        });
+    };
+
+    for _ in 0..config.initial_pairs {
+        insert_pair(
+            &mut events,
+            &mut live_left,
+            &mut live_right,
+            &mut next_id,
+            &mut rng,
+            false,
+        );
+    }
+
+    let mut generated = 0usize;
+    while generated < config.events {
+        let drifted = generated >= config.drift_after;
+        let roll = rng.f64();
+        if drifted && roll < 0.45 && !live_right.is_empty() {
+            // update storm: rewrite a live right record from the shifted
+            // vocabulary — maximal candidate churn per event
+            let idx = rng.below(live_right.len());
+            let id = live_right[idx];
+            let fresh = shift_vocabulary(&domain.generate(&mut rng), "zz");
+            events.push(RecordEvent::Update {
+                side: Side::Right,
+                id,
+                entity: fresh,
+            });
+            generated += 1;
+        } else if roll < 0.15 && live_left.len() > 4 {
+            let idx = rng.below(live_left.len());
+            let id = live_left.swap_remove(idx);
+            events.push(RecordEvent::Delete {
+                side: Side::Left,
+                id,
+            });
+            generated += 1;
+        } else if roll < 0.3 && !live_left.is_empty() {
+            let idx = rng.below(live_left.len());
+            let id = live_left[idx];
+            let base = domain.generate(&mut rng);
+            let base = if drifted {
+                shift_vocabulary(&base, "zz")
+            } else {
+                base
+            };
+            events.push(RecordEvent::Update {
+                side: Side::Left,
+                id,
+                entity: corrupt_entity(&base, &schema, &noise, &[], &mut rng),
+            });
+            generated += 1;
+        } else {
+            insert_pair(
+                &mut events,
+                &mut live_left,
+                &mut live_right,
+                &mut next_id,
+                &mut rng,
+                drifted,
+            );
+            generated += 2;
+        }
+    }
+    events
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use em_data::generators::Restaurant;
+
+    #[test]
+    fn streams_are_deterministic_and_replayable() {
+        let config = ScenarioConfig::default();
+        let a = generate_events(&Restaurant, &config);
+        let b = generate_events(&Restaurant, &config);
+        assert_eq!(a, b, "same config must produce the same stream");
+        assert!(a.len() >= config.initial_pairs * 2 + config.events);
+
+        // every mutation targets a then-live id (valid by construction)
+        let mut state =
+            crate::state::StreamState::new(Restaurant.schema(), em_data::BlockerConfig::default());
+        for ev in &a {
+            state.apply(ev, None).expect("generated stream is valid");
+        }
+        assert!(!state.is_empty());
+    }
+
+    #[test]
+    fn drifted_regime_changes_the_vocabulary() {
+        let config = ScenarioConfig {
+            events: 60,
+            drift_after: 20,
+            ..ScenarioConfig::default()
+        };
+        let events = generate_events(&Restaurant, &config);
+        let drifted_inserts = events
+            .iter()
+            .filter(|e| {
+                matches!(e, RecordEvent::Insert { entity, .. } | RecordEvent::Update { entity, .. }
+                    if entity.flatten().contains("zz"))
+            })
+            .count();
+        assert!(drifted_inserts > 0, "drift regime must emit shifted tokens");
+    }
+}

@@ -1,0 +1,37 @@
+//! Continuous entity matching on top of the batch AutoML-EM stack.
+//!
+//! The batch story (em-data → embed → automl → em-core → em-serve)
+//! trains a matcher on a frozen snapshot and serves it. This crate makes
+//! the snapshot a *moving target* without giving up any of the
+//! workspace's determinism or crash-safety contracts:
+//!
+//! * [`ledger`] — the event-sourced record ledger, the system of record
+//!   for every entity mutation. Append-only fingerprinted JSONL with
+//!   fsync batch discipline and torn-tail recovery via [`obs::wal`]; a
+//!   cold start replays it ([`RecordLedger::open`]).
+//! * [`state`] — the derived state: live tables, the incrementally
+//!   maintained blocking index ([`em_data::IncrementalBlocker`]), and
+//!   the id-keyed embedding-cache invalidation protocol that makes
+//!   serving a stale vector impossible.
+//! * [`drift`] — candidate-churn + score-distribution-shift monitoring
+//!   over a sliding event window.
+//! * [`research`] — deadline-bounded, journal-resumable background
+//!   re-search on a drifted snapshot, exporting a promotable bundle.
+//! * [`continuous`] — the orchestrator tying the above together with
+//!   em-serve's zero-drop hot-swap promotion (via callback).
+//! * [`gen`] — deterministic drifting event-stream scenarios shared by
+//!   the test battery, the CI fixture ledger, and `stream_bench`.
+
+pub mod continuous;
+pub mod drift;
+pub mod gen;
+pub mod ledger;
+pub mod research;
+pub mod state;
+
+pub use continuous::{ContinuousConfig, ContinuousEm, PromoteFn, PromotionRecord, StreamError};
+pub use drift::{DriftConfig, DriftMonitor, DriftReport};
+pub use gen::{generate_events, ScenarioConfig};
+pub use ledger::{schema_fingerprint, LedgerError, LedgerReplay, RecordEvent, RecordLedger};
+pub use research::{derive_drift_spec, run_research, ResearchOutcome};
+pub use state::{record_key, ApplyError, StreamState};

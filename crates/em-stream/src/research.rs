@@ -1,0 +1,87 @@
+//! Drift-triggered background re-search: derive a fresh snapshot spec,
+//! run a deadline-bounded, crash-safe `fit_resumable` search, and export
+//! the winning bundle for promotion.
+//!
+//! The search always runs under [`automl::ResumePolicy::Resume`] so a
+//! killed research run (process crash, `Fault::Kill` injection) resumes
+//! from its trial WAL and produces a **byte-identical** bundle and
+//! [`automl::FitReport`] to an uninterrupted run — the streaming crash
+//! test asserts exactly that.
+
+use em_core::{load_model, ModelSpec};
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+/// What a completed background re-search produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResearchOutcome {
+    /// Drift epoch this research answered.
+    pub epoch: u64,
+    /// Fingerprint digest of the exported host (stable across resumes).
+    pub digest: String,
+    /// Where the promotable bundle was written.
+    pub bundle_path: PathBuf,
+    /// The winning search report.
+    pub report: automl::FitReport,
+    /// Wall-clock research time in milliseconds.
+    pub research_ms: u64,
+}
+
+/// Derive the spec for drift epoch `epoch` from the serving baseline:
+/// same recipe (engine, adapter, budget), new data snapshot. Shifting
+/// `data_seed` models "re-search on the drifted snapshot" while keeping
+/// the run fully deterministic; `engine_seed` is kept so search-space
+/// traversal stays comparable across epochs.
+pub fn derive_drift_spec(base: &ModelSpec, epoch: u64) -> ModelSpec {
+    let mut spec = base.clone();
+    spec.data_seed = base.data_seed.wrapping_add(epoch);
+    spec
+}
+
+/// Run the re-search for `spec` with its trial journal at `journal`,
+/// export the winner to `bundle_out`, and return the outcome. Bounded by
+/// `deadline`; resumable across crashes via the journal.
+pub fn run_research(
+    spec: &ModelSpec,
+    journal: &Path,
+    bundle_out: &Path,
+    deadline: automl::Deadline,
+) -> Result<ResearchOutcome, String> {
+    let _s = obs::span("stream.research");
+    let started = Instant::now();
+    let policy = automl::ResumePolicy::Resume(journal.to_path_buf());
+    let host = spec
+        .train_resumable(&policy, deadline)
+        .map_err(|e| format!("research training failed: {e}"))?;
+    host.export(bundle_out)
+        .map_err(|e| format!("bundle export failed: {e}"))?;
+    // paranoia worth its cost: a bundle that cannot be loaded back must
+    // never be offered for promotion
+    load_model(bundle_out).map_err(|e| format!("exported bundle failed readback: {e}"))?;
+    let research_ms = started.elapsed().as_millis() as u64;
+    obs::counter("stream.research.completed").inc();
+    Ok(ResearchOutcome {
+        epoch: 0, // stamped by the caller, which knows the drift epoch
+        digest: host.fingerprint_digest(),
+        bundle_path: bundle_out.to_path_buf(),
+        report: host.report().clone(),
+        research_ms,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drift_spec_shifts_only_the_data_seed() {
+        let base = ModelSpec::fixture();
+        let spec = derive_drift_spec(&base, 3);
+        assert_eq!(spec.data_seed, base.data_seed + 3);
+        assert_eq!(spec.engine_seed, base.engine_seed);
+        assert_eq!(spec.engine, base.engine);
+        assert_eq!(spec.budget_hours, base.budget_hours);
+        // epoch 0 is the identity
+        assert_eq!(derive_drift_spec(&base, 0), base);
+    }
+}

@@ -28,6 +28,7 @@ struct Shard {
     map: Mutex<HashMap<String, Vec<f32>>>,
     hits: AtomicUsize,
     misses: AtomicUsize,
+    invalidations: AtomicUsize,
 }
 
 /// A caching wrapper around any [`SequenceEmbedder`].
@@ -44,6 +45,7 @@ pub struct EmbeddingCache<'a> {
     shards: Vec<Shard>,
     global_hits: &'static obs::Counter,
     global_misses: &'static obs::Counter,
+    global_invalidations: &'static obs::Counter,
     global_rate: &'static obs::Gauge,
 }
 
@@ -96,6 +98,7 @@ impl<'a> EmbeddingCache<'a> {
             shards: (0..SHARDS).map(|_| Shard::default()).collect(),
             global_hits: obs::counter("embed.cache.hits"),
             global_misses: obs::counter("embed.cache.misses"),
+            global_invalidations: obs::counter("embed.cache.invalidations"),
             global_rate: obs::gauge("embed.cache.hit_rate"),
         }
     }
@@ -165,12 +168,87 @@ impl<'a> EmbeddingCache<'a> {
         v
     }
 
+    /// Embed `textv` but memoize under the caller-chosen `key` instead of
+    /// the text itself.
+    ///
+    /// This is the entry point for callers whose cache identity is a
+    /// *mutable source* (e.g. the streaming layer's `rec:<side>:<id>`
+    /// record vectors): the key stays fixed while the underlying text can
+    /// change, so — unlike the content-keyed [`embed`](Self::embed) path,
+    /// where a changed text simply misses — a stale vector **can** be
+    /// served here unless the owner calls
+    /// [`invalidate`](Self::invalidate) with the key whenever the source
+    /// mutates. That pairing is the cache's invalidation protocol.
+    pub fn embed_keyed(&self, key: &str, textv: &str) -> Vec<f32> {
+        let shard = &self.shards[shard_of(key)];
+        if let Some(v) = shard.map.lock().expect("cache shard").get(key) {
+            shard.hits.fetch_add(1, Ordering::Relaxed);
+            self.global_hits.inc();
+            self.publish_rate();
+            return v.clone();
+        }
+        shard.misses.fetch_add(1, Ordering::Relaxed);
+        self.global_misses.inc();
+        self.publish_rate();
+        let _t = obs::ledger::phase("cache_miss");
+        let v = self.inner.get().embed(textv);
+        shard
+            .map
+            .lock()
+            .expect("cache shard")
+            .insert(key.to_owned(), v.clone());
+        v
+    }
+
     /// Embed a whole batch of sequences through the cache, fanning the
     /// work across the `par` pool. Output order matches input order and
     /// every vector equals what a sequential [`embed`](Self::embed) loop
     /// would produce — parallelism changes wall-clock only.
     pub fn embed_batch<S: AsRef<str> + Sync>(&self, texts: &[S]) -> Vec<Vec<f32>> {
         par::map(texts, |t| self.embed(t.as_ref()))
+    }
+
+    /// Drop `textv` from the cache. Returns `true` iff an entry was
+    /// actually removed (and therefore counted).
+    ///
+    /// This is the streaming layer's **precise invalidation** hook: when
+    /// a record is updated or deleted, every cached sequence derived from
+    /// it must be dropped *before* the next lookup, so a stale vector can
+    /// never be served for the new text. (Embedders are pure functions of
+    /// the string, so invalidating a still-live key is wasted compute,
+    /// never a wrong value — but the per-key accounting lets callers keep
+    /// invalidation exact.) Removal holds only the one shard lock;
+    /// concurrent `embed` calls on other shards are unaffected.
+    pub fn invalidate(&self, textv: &str) -> bool {
+        let shard = &self.shards[shard_of(textv)];
+        let removed = shard
+            .map
+            .lock()
+            .expect("cache shard")
+            .remove(textv)
+            .is_some();
+        if removed {
+            shard.invalidations.fetch_add(1, Ordering::Relaxed);
+            self.global_invalidations.inc();
+        }
+        removed
+    }
+
+    /// Invalidate a batch of sequences; returns how many entries were
+    /// actually removed.
+    pub fn invalidate_batch<S: AsRef<str>>(&self, texts: &[S]) -> usize {
+        texts.iter().filter(|t| self.invalidate(t.as_ref())).count()
+    }
+
+    /// Entries actually removed by [`invalidate`](Self::invalidate),
+    /// summed over all shards. Unlike hits/misses this is **not** zeroed
+    /// by [`reset_stats`](Self::reset_stats): invalidations account state
+    /// changes, not traffic.
+    pub fn invalidations(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.invalidations.load(Ordering::Relaxed))
+            .sum()
     }
 
     /// `(hits, misses)` counters, summed over all shards.
@@ -301,6 +379,57 @@ mod tests {
         assert_eq!(v[0], 2.0);
         assert_eq!(cache.stats(), (1, 0));
         assert_eq!(cache.hit_rate(), Some(1.0));
+    }
+
+    #[test]
+    fn invalidate_drops_exactly_the_named_entry_and_accounts_it() {
+        let inner = CountingEmbedder::new();
+        let cache = EmbeddingCache::new(&inner);
+        let _ = cache.embed("alpha");
+        let _ = cache.embed("beta");
+        assert_eq!(cache.len(), 2);
+
+        assert!(cache.invalidate("alpha"));
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.invalidations(), 1);
+        // invalidating a missing key is a no-op and is not counted
+        assert!(!cache.invalidate("alpha"));
+        assert!(!cache.invalidate("never cached"));
+        assert_eq!(cache.invalidations(), 1);
+
+        // the next embed for the dropped key is a real recompute…
+        let calls_before = inner.calls.load(Ordering::Relaxed);
+        let _ = cache.embed("alpha");
+        assert_eq!(inner.calls.load(Ordering::Relaxed), calls_before + 1);
+        // …while the untouched key still hits
+        let (h0, _) = cache.stats();
+        let _ = cache.embed("beta");
+        assert_eq!(cache.stats().0, h0 + 1);
+
+        assert_eq!(cache.invalidate_batch(&["alpha", "beta", "gamma"]), 2);
+        assert_eq!(cache.invalidations(), 3);
+        assert!(cache.is_empty());
+        // reset_stats zeroes traffic counters but not invalidations
+        cache.reset_stats();
+        assert_eq!(cache.stats(), (0, 0));
+        assert_eq!(cache.invalidations(), 3);
+    }
+
+    #[test]
+    fn keyed_embeds_serve_by_key_until_invalidated() {
+        let inner = CountingEmbedder::new();
+        let cache = EmbeddingCache::new(&inner);
+        let v1 = cache.embed_keyed("rec:left:7", "old text");
+        // same key, *different* text: without invalidation the cached
+        // (now stale w.r.t. the text) vector is served — by design
+        let v2 = cache.embed_keyed("rec:left:7", "completely different");
+        assert_eq!(v1, v2);
+        assert_eq!(inner.calls.load(Ordering::Relaxed), 1);
+        // invalidation is what restores freshness
+        assert!(cache.invalidate("rec:left:7"));
+        let v3 = cache.embed_keyed("rec:left:7", "completely different");
+        assert_ne!(v1, v3);
+        assert_eq!(inner.calls.load(Ordering::Relaxed), 2);
     }
 
     #[test]

@@ -48,6 +48,7 @@ pub mod metrics;
 pub mod span;
 pub mod summary;
 pub mod trace;
+pub mod wal;
 
 pub use events::{emit, recent_trials, trace_enabled, TrialEvent, Value};
 pub use ledger::{ledger_snapshot, LedgerEntry};

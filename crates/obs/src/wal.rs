@@ -1,0 +1,165 @@
+//! Shared torn-tail recovery for append-only JSONL write-ahead logs.
+//!
+//! Three subsystems keep a JSONL WAL with the same durability discipline
+//! (append one record per line, fsync at record boundaries): the search
+//! journal (`automl::journal`), the serving swap journal
+//! (`em-serve::reload::SwapJournal`) and the streaming record ledger
+//! (`em-stream::ledger`). All three must agree on what a crash can leave
+//! behind and how to recover from it, so the recovery scan lives here,
+//! once:
+//!
+//! * A record is **good** iff it is newline-terminated, valid UTF-8 and
+//!   parses as one JSON value. fsync-at-record-boundary guarantees every
+//!   record before the last sync is good.
+//! * The scan stops at the **first** bad line. A torn tail (partial
+//!   record with no newline, or half-flushed bytes that don't parse) is
+//!   the expected crash artifact; anything after it is untrusted.
+//! * Appending resumes only after the file is truncated back to the end
+//!   of the last good record ([`truncate_to`]).
+//!
+//! Callers layer their own record semantics (headers, event kinds) on
+//! top of the scan; a *structurally* valid line that is semantically
+//! foreign is the caller's decision to stop at, which is why
+//! [`WalLine::end`] carries a per-line truncation offset rather than the
+//! scan returning a single global one.
+
+use crate::json::{self, Json};
+use std::io;
+use std::path::Path;
+
+/// One fully recovered WAL record: its parsed JSON value and the byte
+/// offset just past its terminating newline (i.e. the length the file
+/// would have if this were the last record kept).
+pub struct WalLine {
+    /// The parsed record.
+    pub value: Json,
+    /// Byte offset just past this record's newline.
+    pub end: usize,
+}
+
+/// Scan `bytes` as JSONL, returning every leading good record in order.
+///
+/// Stops at the first torn line (missing newline), non-UTF-8 line or
+/// JSON parse failure — everything from that point on is a crash
+/// artifact and is not returned. `scan_jsonl(b).last().map_or(0, |l|
+/// l.end)` is the offset to truncate to before appending resumes.
+pub fn scan_jsonl(bytes: &[u8]) -> Vec<WalLine> {
+    let mut lines = Vec::new();
+    let mut start = 0usize;
+    while start < bytes.len() {
+        let Some(nl) = bytes[start..].iter().position(|&b| b == b'\n') else {
+            break; // torn tail: no terminating newline
+        };
+        let Ok(text) = std::str::from_utf8(&bytes[start..start + nl]) else {
+            break;
+        };
+        let Ok(value) = json::parse(text) else {
+            break;
+        };
+        start += nl + 1;
+        lines.push(WalLine { value, end: start });
+    }
+    lines
+}
+
+/// The truncation offset for `lines` as returned by [`scan_jsonl`]: just
+/// past the last good record, `0` when nothing was recoverable.
+pub fn good_end(lines: &[WalLine]) -> usize {
+    lines.last().map_or(0, |l| l.end)
+}
+
+/// Truncate the WAL at `path` down to `len` bytes — the torn-tail repair
+/// step before a recovered WAL is reopened for append.
+pub fn truncate_to(path: &Path, len: u64) -> io::Result<()> {
+    let f = std::fs::OpenOptions::new().write(true).open(path)?;
+    f.set_len(len)
+}
+
+/// FNV-1a 64-bit over `parts`, rendered as fixed-width hex. The shared
+/// header-fingerprint primitive: stable, std-only, and good enough to
+/// bind a WAL to one configuration (search space, schema, …). Parts are
+/// separated in the hash so `["ab","c"]` and `["a","bc"]` differ.
+pub fn fnv1a_hex(parts: &[&str]) -> String {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for part in parts {
+        for b in part.as_bytes() {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h ^= 0x1f;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    format!("{h:016x}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scan_recovers_all_complete_records() {
+        let bytes = b"{\"a\":1}\n{\"b\":2}\n";
+        let lines = scan_jsonl(bytes);
+        assert_eq!(lines.len(), 2);
+        assert_eq!(lines[0].value.get("a").and_then(Json::as_u64), Some(1));
+        assert_eq!(lines[0].end, 8);
+        assert_eq!(lines[1].end, bytes.len());
+        assert_eq!(good_end(&lines), bytes.len());
+    }
+
+    #[test]
+    fn scan_stops_at_torn_tail_without_newline() {
+        let bytes = b"{\"a\":1}\n{\"b\":";
+        let lines = scan_jsonl(bytes);
+        assert_eq!(lines.len(), 1);
+        assert_eq!(good_end(&lines), 8);
+    }
+
+    #[test]
+    fn scan_stops_at_unparseable_line_and_ignores_the_rest() {
+        // a half-flushed record that *did* get a newline, followed by a
+        // record that must not be trusted
+        let bytes = b"{\"a\":1}\n{\"b\":\n{\"c\":3}\n";
+        let lines = scan_jsonl(bytes);
+        assert_eq!(lines.len(), 1);
+        assert_eq!(good_end(&lines), 8);
+    }
+
+    #[test]
+    fn scan_stops_at_non_utf8_line() {
+        let mut bytes = b"{\"a\":1}\n".to_vec();
+        bytes.extend_from_slice(&[0xff, 0xfe, b'\n']);
+        let lines = scan_jsonl(&bytes);
+        assert_eq!(lines.len(), 1);
+        assert_eq!(good_end(&lines), 8);
+    }
+
+    #[test]
+    fn empty_input_recovers_nothing() {
+        assert!(scan_jsonl(b"").is_empty());
+        assert_eq!(good_end(&[]), 0);
+    }
+
+    #[test]
+    fn truncate_to_repairs_a_torn_tail_on_disk() {
+        let path = std::env::temp_dir().join(format!(
+            "obs_wal_truncate_{}_{:?}.jsonl",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::write(&path, b"{\"a\":1}\n{\"torn").unwrap();
+        let lines = scan_jsonl(&std::fs::read(&path).unwrap());
+        truncate_to(&path, good_end(&lines) as u64).unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"{\"a\":1}\n");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_separator_safe() {
+        let a = fnv1a_hex(&["ab", "c"]);
+        let b = fnv1a_hex(&["a", "bc"]);
+        assert_ne!(a, b);
+        assert_eq!(a, fnv1a_hex(&["ab", "c"]));
+        assert_eq!(a.len(), 16);
+    }
+}

@@ -142,6 +142,65 @@ fn budget_arithmetic_never_goes_negative() {
 }
 
 #[test]
+fn streaming_scenarios_are_deterministic_and_always_valid() {
+    // the drifting event-stream generator backs the streaming battery,
+    // the CI fixture ledger and stream_bench: it must be a pure function
+    // of its config, and every update/delete must target a then-live id
+    // (StreamState::apply rejects anything else)
+    use em_stream::{generate_events, ScenarioConfig, StreamState};
+    let domain = Restaurant;
+    for seed in [0u64, 1, 7, 42, 1234] {
+        let config = ScenarioConfig {
+            seed,
+            initial_pairs: 8,
+            events: 80,
+            drift_after: 40,
+            ..ScenarioConfig::default()
+        };
+        let a = generate_events(&domain, &config);
+        let b = generate_events(&domain, &config);
+        assert_eq!(a, b, "seed {seed}: stream is not deterministic");
+        assert!(a.len() >= config.initial_pairs * 2 + config.events);
+        let mut state = StreamState::new(domain.schema(), BlockerConfig::default());
+        for (i, ev) in a.iter().enumerate() {
+            state
+                .apply(ev, None)
+                .unwrap_or_else(|e| panic!("seed {seed} event {i}: invalid event: {e}"));
+        }
+        assert_eq!(state.applied(), a.len() as u64);
+    }
+}
+
+#[test]
+fn streaming_scenarios_shift_vocabulary_after_the_drift_point() {
+    use em_stream::{generate_events, RecordEvent, ScenarioConfig};
+    let domain = Restaurant;
+    for seed in [3u64, 11, 2026] {
+        let config = ScenarioConfig {
+            seed,
+            initial_pairs: 8,
+            events: 80,
+            drift_after: 30,
+            ..ScenarioConfig::default()
+        };
+        let events = generate_events(&domain, &config);
+        let carries_marker = |ev: &RecordEvent| {
+            matches!(ev, RecordEvent::Insert { entity, .. } | RecordEvent::Update { entity, .. }
+                if entity.flatten().split_whitespace().any(|w| w.starts_with("zz")))
+        };
+        let pre = config.initial_pairs * 2 + config.drift_after;
+        assert!(
+            events[..pre].iter().all(|e| !carries_marker(e)),
+            "seed {seed}: drift marker leaked into the stable regime"
+        );
+        assert!(
+            events[pre..].iter().any(carries_marker),
+            "seed {seed}: drifted regime never shifted the vocabulary"
+        );
+    }
+}
+
+#[test]
 fn fit_cost_is_monotone_in_rows() {
     for seed in 0..48u64 {
         let mut rng = Rng::new(seed);
